@@ -1,0 +1,30 @@
+//! Binding-creation rate across the fleet (§5 future work).
+
+use hgw_bench::run_fleet_parallel;
+use hgw_probe::binding_rate::measure_binding_rate;
+use hgw_stats::TextTable;
+
+fn main() {
+    let devices = hgw_devices::all_devices();
+    let results = run_fleet_parallel(&devices, 0xBA7E, |tb, d| {
+        let flows = d.expected.max_bindings.min(200);
+        measure_binding_rate(tb, flows)
+    });
+    let mut table = TextTable::new(&["device", "flows observed", "new bindings / sec"]);
+    let mut rates = Vec::new();
+    for (tag, r) in &results {
+        table.row(vec![
+            tag.clone(),
+            r.flows_observed.to_string(),
+            format!("{:.0}", r.bindings_per_sec),
+        ]);
+        rates.push(r.bindings_per_sec);
+    }
+    println!("Binding-creation rate (fresh UDP flows per second)\n");
+    println!("{}", table.render());
+    println!("{}", hgw_bench::population_legend(&rates));
+    let path = hgw_bench::figures_dir().join("binding_rate.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("\n[data written to {}]", path.display());
+    }
+}

@@ -1,0 +1,63 @@
+//! NAT classification across the fleet — the STUN/RFC 4787
+//! characterization the paper lists as future work (§5), plus a pairwise
+//! UDP hole-punching prognosis in the spirit of Ford et al. (reference 10 of the paper).
+
+use hgw_bench::run_fleet_parallel;
+use hgw_gateway::EndpointScope;
+use hgw_probe::classify::classify_nat;
+use hgw_stats::TextTable;
+
+fn scope_name(s: EndpointScope) -> &'static str {
+    match s {
+        EndpointScope::EndpointIndependent => "endpoint-independent",
+        EndpointScope::AddressDependent => "address-dependent",
+        EndpointScope::AddressAndPortDependent => "addr+port-dependent",
+    }
+}
+
+fn main() {
+    let devices = hgw_devices::all_devices();
+    let results = run_fleet_parallel(&devices, 0xC1A5, |tb, _| classify_nat(tb));
+
+    let mut table = TextTable::new(&[
+        "device",
+        "mapping",
+        "filtering",
+        "port preservation",
+        "hairpinning",
+        "RFC 3489 type",
+    ]);
+    for (tag, c) in &results {
+        table.row(vec![
+            tag.clone(),
+            scope_name(c.mapping).to_string(),
+            scope_name(c.filtering).to_string(),
+            c.port_preservation.to_string(),
+            c.hairpinning.to_string(),
+            c.rfc3489_label().to_string(),
+        ]);
+    }
+    println!("NAT classification (RFC 3489 / RFC 4787 terms)\n");
+    println!("{}", table.render());
+
+    let symmetric = results.iter().filter(|(_, c)| c.rfc3489_label() == "Symmetric").count();
+    println!("{symmetric}/34 devices are symmetric NATs.");
+    let mut punchable = 0;
+    let mut pairs = 0;
+    for (i, (_, a)) in results.iter().enumerate() {
+        for (_, b) in results.iter().skip(i + 1) {
+            pairs += 1;
+            if a.hole_punching_works(b) {
+                punchable += 1;
+            }
+        }
+    }
+    println!(
+        "UDP hole punching prognosis: {punchable}/{pairs} device pairs ({:.1}%).",
+        100.0 * punchable as f64 / pairs as f64
+    );
+    let path = hgw_bench::figures_dir().join("classify.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("\n[data written to {}]", path.display());
+    }
+}

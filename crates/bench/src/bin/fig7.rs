@@ -1,0 +1,30 @@
+//! Figure 7 — TCP-1: TCP binding timeouts (log scale, minutes). Devices
+//! whose bindings outlive the 24-hour cutoff plot at 1440 minutes.
+
+use hgw_bench::report::emit_summary_figure;
+use hgw_bench::{run_fleet_parallel, FIG7_ORDER};
+use hgw_probe::tcp_timeout::measure_tcp1;
+use hgw_stats::Summary;
+
+fn main() {
+    let devices = hgw_devices::all_devices();
+    let results = run_fleet_parallel(&devices, 0xF167, |tb, _| {
+        let m = measure_tcp1(tb);
+        (m.plotted_mins(), m.timeout_mins.is_none())
+    });
+    let summaries: Vec<(String, Summary)> = results
+        .iter()
+        .map(|(t, (mins, _))| (t.clone(), Summary::of(&[*mins]).unwrap()))
+        .collect();
+    emit_summary_figure(
+        "fig7",
+        "Figure 7 / TCP-1: TCP binding timeouts",
+        "Binding Timeout [min]",
+        &FIG7_ORDER,
+        &summaries,
+        true,
+    );
+    let beyond: Vec<&str> =
+        results.iter().filter(|(_, (_, cutoff))| *cutoff).map(|(t, _)| t.as_str()).collect();
+    println!("\n{} devices still held their binding at the 24 h cutoff: {}", beyond.len(), beyond.join(" "));
+}

@@ -1,0 +1,42 @@
+//! §4.4's "other interesting behaviors", measured fleet-wide: TTL
+//! decrementing and Record Route handling.
+
+use hgw_bench::run_fleet_parallel;
+use hgw_probe::quirks::probe_ip_quirks;
+use hgw_stats::TextTable;
+
+fn main() {
+    let devices = hgw_devices::all_devices();
+    let results = run_fleet_parallel(&devices, 0x0404, |tb, _| probe_ip_quirks(tb));
+    let mut table =
+        TextTable::new(&["device", "decrements TTL", "TTL out/in", "Record Route", "TTL-1 → ICMP"]);
+    let mut no_decrement = Vec::new();
+    let mut rr = Vec::new();
+    for (tag, q) in &results {
+        table.row(vec![
+            tag.clone(),
+            q.decrements_ttl.to_string(),
+            format!("{}/{}", q.ttl_observed.0, q.ttl_observed.1),
+            q.honors_record_route.to_string(),
+            q.ttl_expiry_reported.to_string(),
+        ]);
+        if !q.decrements_ttl {
+            no_decrement.push(tag.as_str());
+        }
+        if q.honors_record_route {
+            rr.push(tag.as_str());
+        }
+    }
+    println!("IP-level quirks (§4.4)\n");
+    println!("{}", table.render());
+    println!(
+        "Devices forwarding without decrementing the TTL: {} ({})",
+        no_decrement.len(),
+        no_decrement.join(" ")
+    );
+    println!("Devices honoring Record Route: {} ({})", rr.len(), rr.join(" "));
+    let path = hgw_bench::figures_dir().join("quirks.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("\n[data written to {}]", path.display());
+    }
+}

@@ -1,0 +1,118 @@
+//! Table 2: the pass/fail matrix for the "other tests" — DCCP and SCTP
+//! connectivity, DNS over UDP/TCP through the proxy, ICMP Host Unreachable
+//! for ping flows, and the ten ICMP error kinds per transport.
+
+use hgw_bench::run_fleet_parallel;
+use hgw_gateway::IcmpErrorKind;
+use hgw_probe::dns::measure_dns;
+use hgw_probe::icmp::{measure_icmp_matrix, IcmpMatrix};
+use hgw_probe::transport::{measure_transport_support, TransportSupport};
+use hgw_stats::TextTable;
+
+struct Row {
+    dns: hgw_probe::dns::DnsReport,
+    transport: TransportSupport,
+    icmp: IcmpMatrix,
+}
+
+fn main() {
+    let devices = hgw_devices::all_devices();
+    let results = run_fleet_parallel(&devices, 0x7AB2, |tb, _| Row {
+        dns: measure_dns(tb),
+        transport: measure_transport_support(tb),
+        icmp: measure_icmp_matrix(tb),
+    });
+
+    let mut headers: Vec<String> = vec![
+        "Tag".into(),
+        "DCCP:Conn.".into(),
+        "DNS/TCP".into(),
+        "DNS/UDP".into(),
+        "ICMP:HostUnr.".into(),
+        "SCTP:Conn.".into(),
+    ];
+    for kind in IcmpErrorKind::ALL {
+        headers.push(format!("TCP:{}", kind.label()));
+    }
+    for kind in IcmpErrorKind::ALL {
+        headers.push(format!("UDP:{}", kind.label()));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = TextTable::new(&hdr_refs);
+    let dot = |b: bool| if b { "•".to_string() } else { String::new() };
+
+    let mut sctp_count = 0;
+    let mut dccp_count = 0;
+    let mut dns_tcp_count = 0;
+    let mut dns_udp_count = 0;
+    for (tag, row) in &results {
+        let mut cells = vec![
+            tag.clone(),
+            dot(row.transport.dccp_works),
+            dot(row.dns.tcp_answered),
+            dot(row.dns.udp_answered),
+            dot(row.icmp.icmp_host_unreach),
+            dot(row.transport.sctp_works),
+        ];
+        for (_, outcome) in &row.icmp.tcp {
+            cells.push(dot(outcome.is_translated()));
+        }
+        for (_, outcome) in &row.icmp.udp {
+            cells.push(dot(outcome.is_translated()));
+        }
+        table.row(cells);
+        sctp_count += usize::from(row.transport.sctp_works);
+        dccp_count += usize::from(row.transport.dccp_works);
+        dns_tcp_count += usize::from(row.dns.tcp_answered);
+        dns_udp_count += usize::from(row.dns.udp_answered);
+    }
+    println!("Table 2: Summary of the results of other tests\n");
+    println!("{}", table.render());
+    println!("SCTP connections succeed through {sctp_count}/34 devices (paper: 18).");
+    println!("DCCP connections succeed through {dccp_count}/34 devices (paper: 0).");
+    let accepts = results.iter().filter(|(_, r)| r.dns.tcp_accepted).count();
+    println!(
+        "DNS over TCP: {accepts}/34 accept connections (paper: 14); {dns_tcp_count} answer queries (paper: 10)."
+    );
+    let via_udp: Vec<&str> = results
+        .iter()
+        .filter(|(_, r)| r.dns.tcp_upstream_via_udp == Some(true))
+        .map(|(t, _)| t.as_str())
+        .collect();
+    println!("Forwarding TCP queries upstream over UDP: {} (paper: ap).", via_udp.join(" "));
+    println!("DNS over UDP answered by {dns_udp_count}/34 devices.");
+    let no_rewrite = results
+        .iter()
+        .filter(|(_, r)| {
+            r.icmp.udp.iter().any(|(_, o)| matches!(
+                o,
+                hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_rewritten: false, .. }
+            ))
+        })
+        .count();
+    println!("Devices forwarding ICMP without rewriting embedded transport headers: {no_rewrite} (paper: 16).");
+    let stale_ck: Vec<&str> = results
+        .iter()
+        .filter(|(_, r)| {
+            r.icmp.udp.iter().any(|(_, o)| matches!(
+                o,
+                hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_ip_checksum_ok: false, .. }
+            ))
+        })
+        .map(|(t, _)| t.as_str())
+        .collect();
+    println!("Devices leaving stale embedded IP checksums: {} (paper: zy1 ls1).", stale_ck.join(" "));
+    let rst: Vec<&str> = results
+        .iter()
+        .filter(|(_, r)| {
+            r.icmp.tcp.iter().any(|(_, o)| *o == hgw_probe::icmp::IcmpOutcome::InvalidRst)
+        })
+        .map(|(t, _)| t.as_str())
+        .collect();
+    println!("Devices translating TCP errors into invalid RSTs: {} (paper: ls2).", rst.join(" "));
+
+    let path = hgw_bench::figures_dir().join("table2.csv");
+    if table.write_csv(&path).is_ok() {
+        println!("\n[data written to {}]", path.display());
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared reporting for the figure binaries: chart + table + CSV output in
+//! the paper's conventions.
+
+use hgw_stats::{Chart, Population, Summary, TextTable};
+
+/// Prints a per-device summary figure (one series of medians with
+/// quartiles), writes its CSV, and prints the population legend.
+pub fn emit_summary_figure(
+    name: &str,
+    title: &str,
+    y_label: &str,
+    order: &[&str],
+    results: &[(String, Summary)],
+    log_y: bool,
+) {
+    let ordered: Vec<(String, Summary)> = order
+        .iter()
+        .map(|tag| {
+            results
+                .iter()
+                .find(|(t, _)| t == tag)
+                .unwrap_or_else(|| panic!("missing result for {tag}"))
+                .clone()
+        })
+        .collect();
+
+    let mut chart = Chart::new(title, y_label, ordered.iter().map(|(t, _)| t.clone()).collect());
+    chart.log_y = log_y;
+    chart.add_series("Result (median)", 'o', ordered.iter().map(|(_, s)| Some(s.median)).collect());
+    println!("{}", chart.render());
+
+    let mut table = TextTable::new(&["device", "median", "q1", "q3", "iqr", "n"]);
+    for (tag, s) in &ordered {
+        table.row(vec![
+            tag.clone(),
+            format!("{:.2}", s.median),
+            format!("{:.2}", s.q1),
+            format!("{:.2}", s.q3),
+            format!("{:.2}", s.iqr()),
+            s.n.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let medians: Vec<f64> = ordered.iter().map(|(_, s)| s.median).collect();
+    if let Some(p) = Population::of(&medians) {
+        println!("Pop. Median = {:.2}   Pop. Mean = {:.2}", p.median, p.mean);
+    }
+
+    let path = crate::figures_dir().join(format!("{name}.csv"));
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("\n[data written to {}]", path.display());
+    }
+}
+
+/// One named series for [`emit_multi_series_figure`]: legend label, plot
+/// glyph, and `(device, value)` pairs.
+pub type NamedSeries<'a> = (&'a str, char, Vec<(String, f64)>);
+
+/// Prints a multi-series figure (e.g. the four throughput series of
+/// Figure 8) and writes its CSV.
+pub fn emit_multi_series_figure(
+    name: &str,
+    title: &str,
+    y_label: &str,
+    order: &[&str],
+    series: &[NamedSeries<'_>],
+    log_y: bool,
+) {
+    let mut chart = Chart::new(title, y_label, order.iter().map(|s| s.to_string()).collect());
+    chart.log_y = log_y;
+    for (label, glyph, values) in series {
+        let ordered: Vec<Option<f64>> = order
+            .iter()
+            .map(|tag| values.iter().find(|(t, _)| t == tag).map(|(_, v)| *v))
+            .collect();
+        chart.add_series(label, *glyph, ordered);
+    }
+    println!("{}", chart.render());
+
+    let mut headers = vec!["device"];
+    headers.extend(series.iter().map(|(l, _, _)| *l));
+    let mut table = TextTable::new(&headers);
+    for tag in order {
+        let mut row = vec![tag.to_string()];
+        for (_, _, values) in series {
+            let v = values.iter().find(|(t, _)| t == tag).map(|(_, v)| *v);
+            row.push(v.map(|v| format!("{v:.2}")).unwrap_or_default());
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    for (label, _, values) in series {
+        let vals: Vec<f64> = values.iter().map(|(_, v)| *v).collect();
+        println!("{label}: {}", crate::population_legend(&vals));
+    }
+    let path = crate::figures_dir().join(format!("{name}.csv"));
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("\n[data written to {}]", path.display());
+    }
+}

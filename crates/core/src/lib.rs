@@ -1,0 +1,29 @@
+//! # hgw-core — deterministic discrete-event simulation engine
+//!
+//! The foundation of the home-gateway study reproduction: virtual time,
+//! seeded randomness, an event queue, and a link model with finite rate,
+//! bounded FIFO queues and fault injection.
+//!
+//! Everything above this crate (the IP stack, the gateway model, the
+//! measurement suite) is a `Node` exchanging raw frames over
+//! `Link`s under the control of a single
+//! `Simulator`. There are no threads and no wall-clock
+//! time anywhere in the datapath: a 24-hour binding-timeout probe is an
+//! ordinary function call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod node;
+pub mod pcap;
+pub mod rng;
+pub mod sim;
+pub mod time;
+
+pub use link::{Dir, FaultConfig, Link, LinkConfig, LinkDirStats, LinkId};
+pub use pcap::{write_pcap, PcapWriter};
+pub use node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
+pub use rng::SimRng;
+pub use sim::{SimStats, Simulator};
+pub use time::{serialization_time, Duration, Instant};

@@ -1,0 +1,175 @@
+//! The [`Node`] trait and the context handed to nodes by the simulator.
+//!
+//! A node is anything attached to the simulated network: the test client,
+//! the test server, or a home gateway under test. Nodes are event-driven in
+//! the smoltcp style: the simulator calls them with a frame or an expired
+//! timer, they update internal state and emit actions (frames to transmit,
+//! timers to arm) through the [`NodeCtx`]. Nodes never block and never see
+//! wall-clock time.
+
+use core::any::Any;
+
+use crate::rng::SimRng;
+use crate::time::Instant;
+
+/// Identifies a node within a [`Simulator`](crate::sim::Simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies one of a node's network ports (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// An opaque value a node attaches to a timer so it can recognize it when it
+/// fires. Timers cannot be cancelled; nodes that re-arm timers should carry a
+/// generation counter in the token and ignore stale generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// An action emitted by a node during a callback, applied by the simulator
+/// after the callback returns.
+#[derive(Debug)]
+pub enum Action {
+    /// Transmit a raw frame (an IPv4 packet in this project) on a port.
+    SendFrame {
+        /// The egress port.
+        port: PortId,
+        /// The raw frame bytes.
+        frame: Vec<u8>,
+    },
+    /// Arm a timer.
+    SetTimer {
+        /// Absolute fire time.
+        at: Instant,
+        /// Token handed back when the timer fires.
+        token: TimerToken,
+    },
+}
+
+/// Execution context passed to every node callback.
+///
+/// Collects the node's actions and exposes the simulation clock and the
+/// node's private deterministic RNG stream.
+pub struct NodeCtx<'a> {
+    now: Instant,
+    node: NodeId,
+    rng: &'a mut SimRng,
+    actions: &'a mut Vec<Action>,
+}
+
+impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(
+        now: Instant,
+        node: NodeId,
+        rng: &'a mut SimRng,
+        actions: &'a mut Vec<Action>,
+    ) -> NodeCtx<'a> {
+        NodeCtx { now, node, rng, actions }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The id of the node being called.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's private RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queues a frame for transmission on `port`. If the port is not
+    /// connected to a link the frame is silently discarded (counted by the
+    /// simulator as an unrouted frame).
+    pub fn send_frame(&mut self, port: PortId, frame: Vec<u8>) {
+        self.actions.push(Action::SendFrame { port, frame });
+    }
+
+    /// Arms a timer at absolute time `at`. Timers in the past fire on the
+    /// next simulator step at the current time.
+    pub fn set_timer_at(&mut self, at: Instant, token: TimerToken) {
+        self.actions.push(Action::SetTimer { at, token });
+    }
+
+    /// Arms a timer `delay` from now.
+    pub fn set_timer_after(&mut self, delay: crate::time::Duration, token: TimerToken) {
+        let at = self.now.saturating_add(delay);
+        self.set_timer_at(at, token);
+    }
+}
+
+/// A network element driven by the simulator.
+pub trait Node: Any {
+    /// Called once by [`Simulator::boot`](crate::sim::Simulator::boot) after
+    /// the topology is wired, before any traffic flows. Nodes arm their
+    /// initial timers (DHCP, periodic maintenance) here.
+    fn start(&mut self, _ctx: &mut NodeCtx) {}
+
+    /// A frame arrived on `port`.
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: Vec<u8>);
+
+    /// A timer armed earlier has fired.
+    fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken);
+
+    /// Downcast support; implement as `self`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Downcast support; implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements the `as_any`/`as_any_mut` boilerplate for a node type.
+#[macro_export]
+macro_rules! impl_node_downcast {
+    () => {
+        fn as_any(&self) -> &dyn core::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+            self
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    struct Probe;
+    impl Node for Probe {
+        fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: Vec<u8>) {}
+        fn handle_timer(&mut self, _: &mut NodeCtx, _: TimerToken) {}
+        impl_node_downcast!();
+    }
+
+    #[test]
+    fn ctx_collects_actions() {
+        let mut rng = SimRng::new(1);
+        let mut actions = Vec::new();
+        let mut ctx = NodeCtx::new(Instant::from_secs(5), NodeId(3), &mut rng, &mut actions);
+        assert_eq!(ctx.now(), Instant::from_secs(5));
+        assert_eq!(ctx.node_id(), NodeId(3));
+        ctx.send_frame(PortId(0), vec![1, 2, 3]);
+        ctx.set_timer_after(Duration::from_secs(1), TimerToken(9));
+        assert_eq!(actions.len(), 2);
+        match &actions[1] {
+            Action::SetTimer { at, token } => {
+                assert_eq!(*at, Instant::from_secs(6));
+                assert_eq!(*token, TimerToken(9));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downcast_macro_works() {
+        let mut n: Box<dyn Node> = Box::new(Probe);
+        assert!(n.as_any().is::<Probe>());
+        assert!(n.as_any_mut().downcast_mut::<Probe>().is_some());
+    }
+}

@@ -1,0 +1,114 @@
+//! Classic-pcap export of captured traces — the smoltcp examples' `--pcap`
+//! option, for this testbed: any link trace (or host sniffer buffer) can be
+//! written as a libpcap file and opened in Wireshark.
+//!
+//! Frames in this project are raw IPv4 packets, so the link type is
+//! `LINKTYPE_RAW` (101).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::time::Instant;
+
+/// libpcap magic (microsecond timestamps, little-endian).
+const MAGIC: u32 = 0xA1B2_C3D4;
+/// `LINKTYPE_RAW`: packets begin directly with the IPv4 header.
+const LINKTYPE_RAW: u32 = 101;
+/// Per-packet snap length (we never truncate).
+const SNAPLEN: u32 = 65_535;
+
+/// Streams captured frames into a pcap file or any writer.
+pub struct PcapWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header.
+    pub fn new(mut out: W) -> io::Result<PcapWriter<W>> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&SNAPLEN.to_le_bytes())?;
+        out.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+        Ok(PcapWriter { out })
+    }
+
+    /// Appends one captured frame with its simulated timestamp.
+    pub fn write_frame(&mut self, at: Instant, frame: &[u8]) -> io::Result<()> {
+        let secs = at.as_secs() as u32;
+        let micros = (at.as_micros() % 1_000_000) as u32;
+        self.out.write_all(&secs.to_le_bytes())?;
+        self.out.write_all(&micros.to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
+        self.out.write_all(frame)
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Writes a whole captured trace (as returned by
+/// [`Simulator::take_trace`](crate::sim::Simulator::take_trace) or a host
+/// sniffer) to `path`.
+pub fn write_pcap(path: &Path, trace: &[(Instant, Vec<u8>)]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut writer = PcapWriter::new(io::BufWriter::new(file))?;
+    for (at, frame) in trace {
+        writer.write_frame(*at, frame)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_layout() {
+        let buf = PcapWriter::new(Vec::new()).unwrap().finish().unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(&buf[20..24], &LINKTYPE_RAW.to_le_bytes());
+    }
+
+    #[test]
+    fn frame_record_layout() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let frame = [0x45u8, 0, 0, 4];
+        w.write_frame(Instant::from_micros(1_500_042), &frame).unwrap();
+        let buf = w.finish().unwrap();
+        let rec = &buf[24..];
+        assert_eq!(&rec[0..4], &1u32.to_le_bytes(), "seconds");
+        assert_eq!(&rec[4..8], &500_042u32.to_le_bytes(), "microseconds");
+        assert_eq!(&rec[8..12], &4u32.to_le_bytes(), "incl_len");
+        assert_eq!(&rec[12..16], &4u32.to_le_bytes(), "orig_len");
+        assert_eq!(&rec[16..], &frame);
+    }
+
+    #[test]
+    fn write_pcap_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("hgw-pcap-test");
+        let path = dir.join("t.pcap");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace = vec![
+            (Instant::from_millis(1), vec![1u8, 2, 3]),
+            (Instant::from_millis(2), vec![4u8; 100]),
+        ];
+        write_pcap(&path, &trace).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(data.len(), 24 + (16 + 3) + (16 + 100));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

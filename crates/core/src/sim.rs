@@ -1,0 +1,660 @@
+//! The discrete-event simulator that drives the whole testbed.
+//!
+//! The design follows the smoltcp philosophy: a single-threaded, poll-style
+//! engine with explicit time. All concurrency in the experiments (hosts and
+//! gateways acting "simultaneously") is interleaving of events on the
+//! virtual clock, which makes every run bit-for-bit reproducible from its
+//! seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{Dir, Link, LinkConfig, LinkId};
+use crate::node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
+use crate::rng::SimRng;
+use crate::time::{Duration, Instant};
+
+/// What an event does when it is dispatched.
+#[derive(Debug)]
+enum EventKind {
+    /// Deliver a frame to a node port.
+    Deliver { node: NodeId, port: PortId, frame: Vec<u8> },
+    /// The transmitter of a link direction finished clocking out a frame.
+    TxComplete { link: LinkId, dir: Dir, frame: Vec<u8> },
+    /// A node timer fired.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: Instant,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Ties broken by insertion order for determinism.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot {
+    /// Taken out while the node's callback runs.
+    node: Option<Box<dyn Node>>,
+    rng: SimRng,
+    /// Port → (link, direction frames *leave* on).
+    ports: Vec<Option<(LinkId, Dir)>>,
+}
+
+/// Aggregate simulator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events dispatched so far.
+    pub events: u64,
+    /// Frames emitted on ports with no link attached.
+    pub unrouted_frames: u64,
+}
+
+/// The discrete-event simulator: owns the clock, the event queue, all nodes
+/// and all links.
+pub struct Simulator {
+    now: Instant,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    nodes: Vec<NodeSlot>,
+    links: Vec<Link>,
+    root_rng: SimRng,
+    stats: SimStats,
+    booted: bool,
+}
+
+impl Simulator {
+    /// Creates an empty simulator. `seed` determines every random draw any
+    /// node will ever make.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            now: Instant::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            root_rng: SimRng::new(seed),
+            stats: SimStats::default(),
+            booted: false,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Adds a node and returns its id. Each node gets an independent RNG
+    /// stream forked from the simulator seed.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let rng = self.root_rng.fork(id.0 as u64 + 1);
+        self.nodes.push(NodeSlot { node: Some(node), rng, ports: Vec::new() });
+        id
+    }
+
+    /// Connects `a`'s port `ap` to `b`'s port `bp` with a new link.
+    ///
+    /// # Panics
+    /// Panics if either port is already connected or either node id is
+    /// unknown — topology errors are programming bugs, not runtime
+    /// conditions.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        ap: PortId,
+        b: NodeId,
+        bp: PortId,
+        config: LinkConfig,
+    ) -> LinkId {
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(config, (a, ap), (b, bp)));
+        self.bind_port(a, ap, id, Dir::AtoB);
+        self.bind_port(b, bp, id, Dir::BtoA);
+        id
+    }
+
+    fn bind_port(&mut self, node: NodeId, port: PortId, link: LinkId, dir: Dir) {
+        let slot = self.nodes.get_mut(node.0).expect("connect: unknown node");
+        if slot.ports.len() <= port.0 {
+            slot.ports.resize(port.0 + 1, None);
+        }
+        assert!(slot.ports[port.0].is_none(), "connect: port {:?} of {:?} already wired", port, node);
+        slot.ports[port.0] = Some((link, dir));
+    }
+
+    /// Read access to a link (for stats and traces).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Mutable access to a link; used to reconfigure faults mid-run.
+    pub fn link_config_mut(&mut self, id: LinkId) -> &mut LinkConfig {
+        &mut self.links[id.0].config
+    }
+
+    /// Enables frame capture on one direction of a link.
+    pub fn enable_trace(&mut self, id: LinkId, dir: Dir) {
+        self.links[id.0].trace[dir.index()].get_or_insert_with(Vec::new);
+    }
+
+    /// Takes (drains) the captured frames on one direction of a link.
+    pub fn take_trace(&mut self, id: LinkId, dir: Dir) -> Vec<(Instant, Vec<u8>)> {
+        match &mut self.links[id.0].trace[dir.index()] {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Typed shared access to a node.
+    ///
+    /// # Panics
+    /// Panics if the id is unknown or the node is not a `T`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.0]
+            .node
+            .as_ref()
+            .expect("node_ref: node is mid-callback")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("node_ref: wrong node type")
+    }
+
+    /// Typed exclusive access to a node. Any actions the caller queues on
+    /// the node itself are *not* collected — drivers should instead interact
+    /// through node-provided command APIs and let the next event flush state,
+    /// or use [`Simulator::with_node`].
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id.0]
+            .node
+            .as_mut()
+            .expect("node_mut: node is mid-callback")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("node_mut: wrong node type")
+    }
+
+    /// Runs `f` against a node with a full [`NodeCtx`], applying any actions
+    /// the node emits. This is how experiment drivers inject work ("send a
+    /// probe packet now") into a node from outside the event loop.
+    pub fn with_node<T: Node, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut NodeCtx) -> R) -> R {
+        let mut node = self.nodes[id.0].node.take().expect("with_node: node is mid-callback");
+        let mut actions = Vec::new();
+        let result = {
+            let mut ctx = NodeCtx::new(self.now, id, &mut self.nodes[id.0].rng, &mut actions);
+            let typed = node.as_any_mut().downcast_mut::<T>().expect("with_node: wrong node type");
+            f(typed, &mut ctx)
+        };
+        self.nodes[id.0].node = Some(node);
+        self.apply_actions(id, actions);
+        result
+    }
+
+    /// Calls [`Node::start`] on every node. Must be called exactly once,
+    /// after the topology is wired and before the first run.
+    pub fn boot(&mut self) {
+        assert!(!self.booted, "boot: called twice");
+        self.booted = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i);
+            let mut node = self.nodes[i].node.take().expect("boot: node missing");
+            let mut actions = Vec::new();
+            {
+                let mut ctx = NodeCtx::new(self.now, id, &mut self.nodes[i].rng, &mut actions);
+                node.start(&mut ctx);
+            }
+            self.nodes[i].node = Some(node);
+            self.apply_actions(id, actions);
+        }
+    }
+
+    fn push_event(&mut self, at: Instant, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Applies the actions a node emitted during a callback.
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::SendFrame { port, frame } => self.transmit(node, port, frame),
+                Action::SetTimer { at, token } => {
+                    let at = at.max(self.now);
+                    self.push_event(at, EventKind::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    /// Entry point of a frame onto a link: fault injection, tail drop,
+    /// transmitter scheduling.
+    fn transmit(&mut self, node: NodeId, port: PortId, mut frame: Vec<u8>) {
+        let Some(&Some((link_id, dir))) = self.nodes[node.0].ports.get(port.0) else {
+            self.stats.unrouted_frames += 1;
+            return;
+        };
+        let (drop, corrupt, duplicate) = {
+            let fault = self.links[link_id.0].config.fault;
+            if fault.is_none() {
+                (false, false, false)
+            } else {
+                let rng = &mut self.nodes[node.0].rng;
+                (
+                    rng.chance(fault.drop_chance),
+                    rng.chance(fault.corrupt_chance),
+                    rng.chance(fault.duplicate_chance),
+                )
+            }
+        };
+        let link = &mut self.links[link_id.0];
+        if drop {
+            link.dirs[dir.index()].stats.drops_fault += 1;
+            return;
+        }
+        if corrupt && !frame.is_empty() {
+            let rng = &mut self.nodes[node.0].rng;
+            let idx = rng.below(frame.len() as u64) as usize;
+            let bit = 1u8 << rng.below(8);
+            frame[idx] ^= bit;
+            link.dirs[dir.index()].stats.corrupted += 1;
+        }
+        if duplicate {
+            link.dirs[dir.index()].stats.duplicated += 1;
+            self.enqueue_on_link(link_id, dir, frame.clone());
+        }
+        self.enqueue_on_link(link_id, dir, frame);
+    }
+
+    fn enqueue_on_link(&mut self, link_id: LinkId, dir: Dir, frame: Vec<u8>) {
+        let cap = self.links[link_id.0].config.queue_bytes;
+        let accepted = self.links[link_id.0].dirs[dir.index()].enqueue(frame, cap);
+        if accepted && !self.links[link_id.0].dirs[dir.index()].is_transmitting() {
+            self.start_transmitter(link_id, dir);
+        }
+    }
+
+    /// Pops the head frame and schedules its TxComplete.
+    fn start_transmitter(&mut self, link_id: LinkId, dir: Dir) {
+        let link = &mut self.links[link_id.0];
+        let Some(frame) = link.dirs[dir.index()].pop() else {
+            link.dirs[dir.index()].set_transmitting(false);
+            return;
+        };
+        link.dirs[dir.index()].set_transmitting(true);
+        let tx_end = self.now + link.tx_time(frame.len());
+        self.push_event(tx_end, EventKind::TxComplete { link: link_id, dir, frame });
+    }
+
+    /// Dispatches the next event. Returns the time it ran at, or `None` if
+    /// the queue is empty.
+    pub fn step(&mut self) -> Option<Instant> {
+        let Reverse(event) = self.queue.pop()?;
+        debug_assert!(event.at >= self.now, "event queue went backwards");
+        self.now = event.at;
+        self.stats.events += 1;
+        match event.kind {
+            EventKind::Deliver { node, port, frame } => {
+                let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
+                let mut boxed = slot.node.take().expect("deliver: node is mid-callback");
+                let mut actions = Vec::new();
+                {
+                    let mut ctx = NodeCtx::new(self.now, node, &mut slot.rng, &mut actions);
+                    boxed.handle_frame(&mut ctx, port, frame);
+                }
+                self.nodes[node.0].node = Some(boxed);
+                self.apply_actions(node, actions);
+            }
+            EventKind::TxComplete { link, dir, frame } => {
+                let (sink_node, sink_port) = self.links[link.0].sink(dir);
+                let (delay, reorder_extra) = {
+                    let l = &self.links[link.0];
+                    let fault = l.config.fault;
+                    let extra = if fault.reorder_chance > 0.0 {
+                        // Use the sink node's RNG stream for determinism.
+                        let rng = &mut self.nodes[sink_node.0].rng;
+                        if rng.chance(fault.reorder_chance) {
+                            Duration::from_nanos(
+                                rng.below(fault.reorder_window.as_nanos().max(1)),
+                            )
+                        } else {
+                            Duration::ZERO
+                        }
+                    } else {
+                        Duration::ZERO
+                    };
+                    (l.config.delay, extra)
+                };
+                {
+                    let l = &mut self.links[link.0];
+                    let d = &mut l.dirs[dir.index()];
+                    d.stats.tx_frames += 1;
+                    d.stats.tx_bytes += frame.len() as u64;
+                    if let Some(buf) = &mut l.trace[dir.index()] {
+                        buf.push((self.now, frame.clone()));
+                    }
+                }
+                self.push_event(
+                    self.now + delay + reorder_extra,
+                    EventKind::Deliver { node: sink_node, port: sink_port, frame },
+                );
+                self.start_transmitter(link, dir);
+            }
+            EventKind::Timer { node, token } => {
+                let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
+                let mut boxed = slot.node.take().expect("timer: node is mid-callback");
+                let mut actions = Vec::new();
+                {
+                    let mut ctx = NodeCtx::new(self.now, node, &mut slot.rng, &mut actions);
+                    boxed.handle_timer(&mut ctx, token);
+                }
+                self.nodes[node.0].node = Some(boxed);
+                self.apply_actions(node, actions);
+            }
+        }
+        Some(self.now)
+    }
+
+    /// Runs events until the clock reaches `deadline`. Events at exactly
+    /// `deadline` are *not* dispatched; the clock is left at `deadline`.
+    pub fn run_until(&mut self, deadline: Instant) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at >= deadline {
+                break;
+            }
+            self.step();
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now.saturating_add(d);
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is empty or `max_events` more events have
+    /// been dispatched. Returns the number of events dispatched.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// True if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_node_downcast;
+    use crate::link::FaultConfig;
+
+    /// Echoes every received frame back out the same port after a fixed
+    /// delay, and counts arrivals.
+    struct Echo {
+        delay: Duration,
+        received: Vec<(Instant, Vec<u8>)>,
+        echo: bool,
+    }
+
+    impl Echo {
+        fn new(echo: bool) -> Echo {
+            Echo { delay: Duration::from_millis(1), received: Vec::new(), echo }
+        }
+    }
+
+    impl Node for Echo {
+        fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: Vec<u8>) {
+            self.received.push((ctx.now(), frame.clone()));
+            if self.echo {
+                ctx.set_timer_after(self.delay, TimerToken(0));
+                // Store frame for echo via timer? Keep it simple: echo now.
+                ctx.send_frame(port, frame);
+            }
+        }
+        fn handle_timer(&mut self, _: &mut NodeCtx, _: TimerToken) {}
+        impl_node_downcast!();
+    }
+
+    fn two_node_sim(cfg: LinkConfig) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new(false)));
+        let b = sim.add_node(Box::new(Echo::new(false)));
+        sim.connect(a, PortId(0), b, PortId(0), cfg);
+        sim.boot();
+        (sim, a, b)
+    }
+
+    #[test]
+    fn frame_arrives_after_serialization_plus_propagation() {
+        let cfg = LinkConfig {
+            rate_bps: 100_000_000,
+            delay: Duration::from_micros(50),
+            queue_bytes: usize::MAX,
+            fault: FaultConfig::NONE,
+        };
+        let (mut sim, a, b) = two_node_sim(cfg);
+        sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(0), vec![0u8; 1500]));
+        sim.run_until_idle(100);
+        let rx = &sim.node_ref::<Echo>(b).received;
+        assert_eq!(rx.len(), 1);
+        // 120 us serialization + 50 us propagation.
+        assert_eq!(rx[0].0, Instant::from_micros(170));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (mut sim, a, b) = two_node_sim(LinkConfig::ethernet_100m());
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            for i in 0..10u8 {
+                ctx.send_frame(PortId(0), vec![i; 100]);
+            }
+        });
+        sim.run_until_idle(1000);
+        let rx = &sim.node_ref::<Echo>(b).received;
+        let order: Vec<u8> = rx.iter().map(|(_, f)| f[0]).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000, // slow: 1 Mb/s
+            delay: Duration::ZERO,
+            queue_bytes: 3000,
+            fault: FaultConfig::NONE,
+        };
+        let (mut sim, a, b) = two_node_sim(cfg);
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            for _ in 0..10 {
+                ctx.send_frame(PortId(0), vec![0u8; 1000]);
+            }
+        });
+        sim.run_until_idle(1000);
+        // One frame goes straight to the transmitter; three fit the queue.
+        let rx_count = sim.node_ref::<Echo>(b).received.len();
+        assert_eq!(rx_count, 4);
+        let link = sim.link(LinkId(0));
+        assert_eq!(link.stats(Dir::AtoB).drops_queue, 6);
+    }
+
+    #[test]
+    fn queuing_delay_emerges_from_backlog() {
+        // 10 frames of 1250 bytes at 1 Mb/s: each takes 10 ms to serialize.
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: usize::MAX,
+            fault: FaultConfig::NONE,
+        };
+        let (mut sim, a, b) = two_node_sim(cfg);
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            for _ in 0..10 {
+                ctx.send_frame(PortId(0), vec![0u8; 1250]);
+            }
+        });
+        sim.run_until_idle(1000);
+        let rx = &sim.node_ref::<Echo>(b).received;
+        assert_eq!(rx.len(), 10);
+        assert_eq!(rx[0].0, Instant::from_millis(10));
+        assert_eq!(rx[9].0, Instant::from_millis(100));
+    }
+
+    #[test]
+    fn timers_fire_in_order_at_exact_times() {
+        let mut sim = Simulator::new(1);
+        struct TimerLog {
+            fired: Vec<(Instant, u64)>,
+        }
+        impl Node for TimerLog {
+            fn start(&mut self, ctx: &mut NodeCtx) {
+                ctx.set_timer_at(Instant::from_secs(3), TimerToken(3));
+                ctx.set_timer_at(Instant::from_secs(1), TimerToken(1));
+                ctx.set_timer_at(Instant::from_secs(2), TimerToken(2));
+            }
+            fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: Vec<u8>) {}
+            fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken) {
+                self.fired.push((ctx.now(), token.0));
+            }
+            impl_node_downcast!();
+        }
+        let id = sim.add_node(Box::new(TimerLog { fired: Vec::new() }));
+        sim.boot();
+        sim.run_until_idle(100);
+        let fired = &sim.node_ref::<TimerLog>(id).fired;
+        assert_eq!(
+            fired,
+            &vec![
+                (Instant::from_secs(1), 1),
+                (Instant::from_secs(2), 2),
+                (Instant::from_secs(3), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn drop_fault_drops_everything_at_p1() {
+        let cfg = LinkConfig {
+            fault: FaultConfig { drop_chance: 1.0, ..FaultConfig::NONE },
+            ..LinkConfig::ethernet_100m()
+        };
+        let (mut sim, a, b) = two_node_sim(cfg);
+        sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(0), vec![1, 2, 3]));
+        sim.run_until_idle(100);
+        assert!(sim.node_ref::<Echo>(b).received.is_empty());
+        assert_eq!(sim.link(LinkId(0)).stats(Dir::AtoB).drops_fault, 1);
+    }
+
+    #[test]
+    fn corrupt_fault_flips_exactly_one_bit() {
+        let cfg = LinkConfig {
+            fault: FaultConfig { corrupt_chance: 1.0, ..FaultConfig::NONE },
+            ..LinkConfig::ethernet_100m()
+        };
+        let (mut sim, a, b) = two_node_sim(cfg);
+        let original = vec![0u8; 64];
+        let sent = original.clone();
+        sim.with_node::<Echo, _>(a, move |_, ctx| ctx.send_frame(PortId(0), sent));
+        sim.run_until_idle(100);
+        let rx = &sim.node_ref::<Echo>(b).received;
+        assert_eq!(rx.len(), 1);
+        let diff_bits: u32 = rx[0].1.iter().zip(&original).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff_bits, 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.boot();
+        sim.run_until(Instant::from_secs(100));
+        assert_eq!(sim.now(), Instant::from_secs(100));
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    fn trace_captures_frames() {
+        let (mut sim, a, _b) = two_node_sim(LinkConfig::ethernet_100m());
+        sim.enable_trace(LinkId(0), Dir::AtoB);
+        sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(0), vec![9, 9]));
+        sim.run_until_idle(100);
+        let trace = sim.take_trace(LinkId(0), Dir::AtoB);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].1, vec![9, 9]);
+        // Drained.
+        assert!(sim.take_trace(LinkId(0), Dir::AtoB).is_empty());
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |_seed: u64| {
+            let cfg = LinkConfig {
+                fault: FaultConfig {
+                    drop_chance: 0.3,
+                    corrupt_chance: 0.2,
+                    ..FaultConfig::NONE
+                },
+                ..LinkConfig::ethernet_100m()
+            };
+            let (mut sim, a, b) = two_node_sim(cfg);
+            sim.with_node::<Echo, _>(a, |_, ctx| {
+                for i in 0..100u8 {
+                    ctx.send_frame(PortId(0), vec![i; 50]);
+                }
+            });
+            sim.run_until_idle(10_000);
+            sim.node_ref::<Echo>(b).received.clone()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn unrouted_frames_are_counted_not_fatal() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new(false)));
+        sim.boot();
+        sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(5), vec![1]));
+        sim.run_until_idle(10);
+        assert_eq!(sim.stats().unrouted_frames, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_connect_panics() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new(false)));
+        let b = sim.add_node(Box::new(Echo::new(false)));
+        let c = sim.add_node(Box::new(Echo::new(false)));
+        sim.connect(a, PortId(0), b, PortId(0), LinkConfig::ideal());
+        sim.connect(a, PortId(0), c, PortId(0), LinkConfig::ideal());
+    }
+}

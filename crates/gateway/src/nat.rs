@@ -1,0 +1,596 @@
+//! The NAPT binding table: creation, translation, traffic-pattern-dependent
+//! timeouts, port assignment, filtering, capacity limits, and expiry — the
+//! mechanisms behind UDP-1..5, TCP-1, TCP-4 and the UDP-4 observations.
+
+use std::net::Ipv4Addr;
+
+use hgw_core::{Duration, Instant};
+
+use crate::policy::{EndpointScope, GatewayPolicy, PortAssignment, TrafficPattern};
+
+/// The transports the NAT keeps per-flow state for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NatProto {
+    /// UDP flows.
+    Udp,
+    /// TCP connections.
+    Tcp,
+    /// ICMP query flows (echo ident acts as the "port").
+    IcmpQuery,
+}
+
+/// An endpoint (address, port) pair.
+pub type Endpoint = (Ipv4Addr, u16);
+
+/// One NAT binding (a translated session).
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Transport.
+    pub proto: NatProto,
+    /// Internal (LAN) endpoint.
+    pub internal: Endpoint,
+    /// Remote (WAN) endpoint of the flow.
+    pub remote: Endpoint,
+    /// The external port (or ICMP ident) chosen for this binding.
+    pub external_port: u16,
+    /// Traffic pattern seen so far.
+    pub pattern: TrafficPattern,
+    /// Absolute expiry time.
+    pub expires_at: Instant,
+    /// Creation time.
+    pub created_at: Instant,
+    /// FIN observed from the LAN side (TCP only).
+    pub fin_from_lan: bool,
+    /// FIN observed from the WAN side (TCP only).
+    pub fin_from_wan: bool,
+}
+
+/// Result of translating an outbound packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutboundVerdict {
+    /// Translate the source to (external address, this port).
+    Translated {
+        /// External port to use.
+        external_port: u16,
+        /// True if this packet created a fresh binding.
+        created: bool,
+    },
+    /// The binding table is full; the packet is dropped.
+    NoCapacity,
+}
+
+/// Result of translating an inbound packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InboundVerdict {
+    /// Deliver to this internal endpoint.
+    Accept {
+        /// The internal endpoint.
+        internal: Endpoint,
+    },
+    /// A binding exists but the filtering policy rejects this remote.
+    Filtered,
+    /// No binding for this external port.
+    NoBinding,
+}
+
+/// The NAPT table.
+#[derive(Debug)]
+pub struct NatTable {
+    bindings: Vec<Binding>,
+    /// Recently expired bindings, kept so the same flow can be recognized
+    /// (reuse vs. quarantine — the UDP-4 behaviors).
+    expired: Vec<Binding>,
+    next_seq_port: u16,
+}
+
+/// Base of the sequential allocation range.
+const SEQ_BASE: u16 = 61_000;
+/// How long an expired binding is remembered.
+const EXPIRED_MEMORY: Duration = Duration::from_hours(2);
+/// Linger time for a TCP binding after both FINs are seen.
+const TCP_FIN_LINGER: Duration = Duration::from_secs(10);
+
+impl NatTable {
+    /// An empty table.
+    pub fn new() -> NatTable {
+        NatTable { bindings: Vec::new(), expired: Vec::new(), next_seq_port: SEQ_BASE }
+    }
+
+    /// Live bindings (diagnostics).
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Number of live bindings for one transport.
+    pub fn count(&self, proto: NatProto) -> usize {
+        self.bindings.iter().filter(|b| b.proto == proto).count()
+    }
+
+    /// Moves expired bindings to the expired list. Call with the current
+    /// time before any lookup.
+    pub fn sweep(&mut self, now: Instant) {
+        let mut i = 0;
+        while i < self.bindings.len() {
+            if self.bindings[i].expires_at <= now {
+                let b = self.bindings.swap_remove(i);
+                self.expired.push(b);
+            } else {
+                i += 1;
+            }
+        }
+        self.expired.retain(|b| now.duration_since(b.expires_at.min(now)) < EXPIRED_MEMORY);
+    }
+
+    fn quantize(now: Instant, timeout: Duration, granularity: Duration) -> Instant {
+        let raw = now + timeout;
+        let g = granularity.as_nanos().max(1);
+        let q = raw.as_nanos().div_ceil(g) * g;
+        Instant::from_nanos(q)
+    }
+
+    fn port_in_use(&self, proto: NatProto, port: u16) -> bool {
+        self.bindings.iter().any(|b| b.proto == proto && b.external_port == port)
+    }
+
+    fn next_sequential(&mut self, proto: NatProto) -> u16 {
+        loop {
+            let p = self.next_seq_port;
+            self.next_seq_port = if self.next_seq_port == u16::MAX {
+                SEQ_BASE
+            } else {
+                self.next_seq_port + 1
+            };
+            if !self.port_in_use(proto, p) {
+                return p;
+            }
+        }
+    }
+
+    /// Chooses the external port for a new binding.
+    fn assign_port(
+        &mut self,
+        policy: &GatewayPolicy,
+        proto: NatProto,
+        internal: Endpoint,
+        remote: Endpoint,
+    ) -> u16 {
+        // Mapping behavior (RFC 4787 §4.1): how far an existing mapping for
+        // the same internal endpoint is reused for a new remote.
+        let reusable = |b: &&Binding| match policy.mapping {
+            EndpointScope::EndpointIndependent => true,
+            EndpointScope::AddressDependent => b.remote.0 == remote.0,
+            EndpointScope::AddressAndPortDependent => false,
+        };
+        if policy.mapping != EndpointScope::AddressAndPortDependent {
+            if let Some(b) = self
+                .bindings
+                .iter()
+                .filter(|b| b.proto == proto && b.internal == internal)
+                .find(reusable)
+            {
+                return b.external_port;
+            }
+        }
+        match policy.port_assignment {
+            PortAssignment::Preserve { reuse_expired } => {
+                let candidate = internal.1;
+                let quarantined = !reuse_expired
+                    && self.expired.iter().any(|b| {
+                        b.proto == proto
+                            && b.internal == internal
+                            && b.remote == remote
+                            && b.external_port == candidate
+                    });
+                if !self.port_in_use(proto, candidate) && !quarantined {
+                    candidate
+                } else {
+                    self.next_sequential(proto)
+                }
+            }
+            PortAssignment::Sequential => self.next_sequential(proto),
+        }
+    }
+
+    /// Translates an outbound (LAN→WAN) flow, creating or refreshing a
+    /// binding. `tcp_fin`/`tcp_rst` mark teardown segments for TCP flows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn outbound(
+        &mut self,
+        now: Instant,
+        policy: &GatewayPolicy,
+        proto: NatProto,
+        internal: Endpoint,
+        remote: Endpoint,
+        tcp_fin: bool,
+        tcp_rst: bool,
+    ) -> OutboundVerdict {
+        self.sweep(now);
+        // Session match: exact 5-tuple.
+        if let Some(b) = self
+            .bindings
+            .iter_mut()
+            .find(|b| b.proto == proto && b.internal == internal && b.remote == remote)
+        {
+            // Pattern transition on outbound traffic.
+            if b.pattern == TrafficPattern::InboundSeen {
+                b.pattern = TrafficPattern::Bidirectional;
+            }
+            let external_port = b.external_port;
+            match proto {
+                NatProto::Tcp => {
+                    if tcp_rst {
+                        b.expires_at = now; // removed on next sweep
+                    } else {
+                        if tcp_fin {
+                            b.fin_from_lan = true;
+                        }
+                        b.expires_at = if b.fin_from_lan && b.fin_from_wan {
+                            now + TCP_FIN_LINGER
+                        } else {
+                            NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity)
+                        };
+                    }
+                }
+                _ => {
+                    let t = policy.udp_timeout(b.pattern, remote.1);
+                    b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
+                }
+            }
+            return OutboundVerdict::Translated { external_port, created: false };
+        }
+        // New binding.
+        if self.count(proto) >= policy.max_bindings {
+            return OutboundVerdict::NoCapacity;
+        }
+        let external_port = self.assign_port(policy, proto, internal, remote);
+        let expires_at = match proto {
+            NatProto::Tcp => NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity),
+            _ => NatTable::quantize(
+                now,
+                policy.udp_timeout(TrafficPattern::OutboundOnly, remote.1),
+                policy.timer_granularity,
+            ),
+        };
+        self.bindings.push(Binding {
+            proto,
+            internal,
+            remote,
+            external_port,
+            pattern: TrafficPattern::OutboundOnly,
+            expires_at,
+            created_at: now,
+            fin_from_lan: tcp_fin,
+            fin_from_wan: false,
+        });
+        OutboundVerdict::Translated { external_port, created: true }
+    }
+
+    /// Translates an inbound (WAN→LAN) packet addressed to `external_port`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inbound(
+        &mut self,
+        now: Instant,
+        policy: &GatewayPolicy,
+        proto: NatProto,
+        external_port: u16,
+        remote: Endpoint,
+        tcp_fin: bool,
+        tcp_rst: bool,
+    ) -> InboundVerdict {
+        self.sweep(now);
+        // Collect candidate bindings on this external port.
+        let mut session: Option<usize> = None;
+        let mut filter_pass: Option<usize> = None;
+        let mut any = false;
+        for (i, b) in self.bindings.iter().enumerate() {
+            if b.proto != proto || b.external_port != external_port {
+                continue;
+            }
+            any = true;
+            if b.remote == remote {
+                session = Some(i);
+                break;
+            }
+            // A mapping exists but this remote has no exact session: the
+            // filtering policy decides, judged against every session that
+            // shares the mapping (RFC 4787 filtering is per-mapping).
+            let pass = match policy.filtering {
+                EndpointScope::EndpointIndependent => true,
+                EndpointScope::AddressDependent => b.remote.0 == remote.0,
+                EndpointScope::AddressAndPortDependent => false,
+            };
+            if pass {
+                filter_pass.get_or_insert(i);
+            }
+        }
+        let idx = match session.or(filter_pass) {
+            Some(i) => i,
+            None => {
+                return if any { InboundVerdict::Filtered } else { InboundVerdict::NoBinding };
+            }
+        };
+        let b = &mut self.bindings[idx];
+        let internal = b.internal;
+        if b.pattern == TrafficPattern::OutboundOnly {
+            b.pattern = TrafficPattern::InboundSeen;
+        }
+        match proto {
+            NatProto::Tcp => {
+                if tcp_rst {
+                    b.expires_at = now;
+                } else {
+                    if tcp_fin {
+                        b.fin_from_wan = true;
+                    }
+                    b.expires_at = if b.fin_from_lan && b.fin_from_wan {
+                        now + TCP_FIN_LINGER
+                    } else {
+                        NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity)
+                    };
+                }
+            }
+            _ => {
+                let t = policy.udp_timeout(b.pattern, b.remote.1);
+                b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
+            }
+        }
+        InboundVerdict::Accept { internal }
+    }
+
+    /// Finds the internal endpoint for an ICMP error whose embedded packet
+    /// left the gateway from `external_port` toward `remote` (the remote
+    /// match is relaxed, as errors may come from intermediate routers).
+    pub fn find_for_embedded(&self, proto: NatProto, external_port: u16) -> Option<&Binding> {
+        self.bindings.iter().find(|b| b.proto == proto && b.external_port == external_port)
+    }
+}
+
+impl Default for NatTable {
+    fn default() -> Self {
+        NatTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pol() -> GatewayPolicy {
+        GatewayPolicy::well_behaved()
+    }
+
+    fn internal() -> Endpoint {
+        (Ipv4Addr::new(192, 168, 1, 100), 5000)
+    }
+
+    fn remote() -> Endpoint {
+        (Ipv4Addr::new(10, 0, 1, 1), 7000)
+    }
+
+    fn t(secs: u64) -> Instant {
+        Instant::from_secs(secs)
+    }
+
+    #[test]
+    fn preserves_source_port() {
+        let mut nat = NatTable::new();
+        let v = nat.outbound(t(0), &pol(), NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(v, OutboundVerdict::Translated { external_port: 5000, created: true });
+    }
+
+    #[test]
+    fn sequential_assignment_when_configured() {
+        let mut nat = NatTable::new();
+        let mut p = pol();
+        p.port_assignment = PortAssignment::Sequential;
+        p.mapping = EndpointScope::AddressAndPortDependent;
+        let v = nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(v, OutboundVerdict::Translated { external_port: SEQ_BASE, created: true });
+        let v2 = nat.outbound(t(0), &p, NatProto::Udp, (internal().0, 5001), remote(), false, false);
+        assert_eq!(v2, OutboundVerdict::Translated { external_port: SEQ_BASE + 1, created: true });
+    }
+
+    #[test]
+    fn port_collision_falls_back_to_sequential() {
+        let mut nat = NatTable::new();
+        let p = pol();
+        let other_host = (Ipv4Addr::new(192, 168, 1, 101), 5000);
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        let v = nat.outbound(t(0), &p, NatProto::Udp, other_host, remote(), false, false);
+        assert_eq!(v, OutboundVerdict::Translated { external_port: SEQ_BASE, created: true });
+    }
+
+    #[test]
+    fn solitary_binding_expires_at_solitary_timeout() {
+        let mut nat = NatTable::new();
+        let p = pol(); // solitary 30s
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        // At t=29 the binding still admits inbound traffic.
+        let v = nat.inbound(t(29), &p, NatProto::Udp, 5000, remote(), false, false);
+        assert!(matches!(v, InboundVerdict::Accept { .. }));
+        // A fresh solitary binding dies at 30s.
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        let v = nat.inbound(t(31), &p, NatProto::Udp, 5000, remote(), false, false);
+        assert_eq!(v, InboundVerdict::NoBinding);
+    }
+
+    #[test]
+    fn inbound_traffic_extends_timeout() {
+        let mut nat = NatTable::new();
+        let p = pol(); // solitary 30, inbound 180
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        // Inbound at t=10 switches the binding to the inbound timeout.
+        assert!(matches!(
+            nat.inbound(t(10), &p, NatProto::Udp, 5000, remote(), false, false),
+            InboundVerdict::Accept { .. }
+        ));
+        // Alive at t=10+179, dead at t=10+181.
+        assert!(matches!(
+            nat.inbound(t(189), &p, NatProto::Udp, 5000, remote(), false, false),
+            InboundVerdict::Accept { .. }
+        ));
+        let mut nat2 = NatTable::new();
+        nat2.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        nat2.inbound(t(10), &p, NatProto::Udp, 5000, remote(), false, false);
+        assert_eq!(
+            nat2.inbound(t(192), &p, NatProto::Udp, 5000, remote(), false, false),
+            InboundVerdict::NoBinding
+        );
+    }
+
+    #[test]
+    fn bidirectional_pattern_uses_third_timeout() {
+        let mut nat = NatTable::new();
+        let mut p = pol();
+        p.udp_timeout_bidirectional = Duration::from_secs(400);
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        nat.inbound(t(1), &p, NatProto::Udp, 5000, remote(), false, false);
+        // Outbound after inbound → Bidirectional, 400 s timeout.
+        nat.outbound(t(2), &p, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(nat.bindings()[0].pattern, TrafficPattern::Bidirectional);
+        assert!(matches!(
+            nat.inbound(t(2 + 399), &p, NatProto::Udp, 5000, remote(), false, false),
+            InboundVerdict::Accept { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_binding_reuse_vs_quarantine() {
+        // reuse_expired = true: same flow after expiry gets the same port.
+        let mut nat = NatTable::new();
+        let p = pol();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        let v = nat.outbound(t(100), &p, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(v, OutboundVerdict::Translated { external_port: 5000, created: true });
+
+        // reuse_expired = false: the expired port is quarantined.
+        let mut nat = NatTable::new();
+        let mut p2 = pol();
+        p2.port_assignment = PortAssignment::Preserve { reuse_expired: false };
+        nat.outbound(t(0), &p2, NatProto::Udp, internal(), remote(), false, false);
+        let v = nat.outbound(t(100), &p2, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(v, OutboundVerdict::Translated { external_port: SEQ_BASE, created: true });
+    }
+
+    #[test]
+    fn filtering_modes() {
+        let strange = (Ipv4Addr::new(10, 0, 9, 9), 1234);
+        let same_addr = (remote().0, 4321);
+        for (mode, from_strange, from_same_addr) in [
+            (EndpointScope::EndpointIndependent, true, true),
+            (EndpointScope::AddressDependent, false, true),
+            (EndpointScope::AddressAndPortDependent, false, false),
+        ] {
+            let mut p = pol();
+            p.filtering = mode;
+            let mut nat = NatTable::new();
+            nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+            let vs = nat.inbound(t(1), &p, NatProto::Udp, 5000, strange, false, false);
+            assert_eq!(matches!(vs, InboundVerdict::Accept { .. }), from_strange, "{mode:?}");
+            let va = nat.inbound(t(1), &p, NatProto::Udp, 5000, same_addr, false, false);
+            assert_eq!(matches!(va, InboundVerdict::Accept { .. }), from_same_addr, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn capacity_limit_rejects_new_bindings() {
+        let mut p = pol();
+        p.max_bindings = 3;
+        p.mapping = EndpointScope::AddressAndPortDependent;
+        let mut nat = NatTable::new();
+        for i in 0..3 {
+            let v = nat.outbound(
+                t(0),
+                &p,
+                NatProto::Tcp,
+                (internal().0, 6000 + i),
+                remote(),
+                false,
+                false,
+            );
+            assert!(matches!(v, OutboundVerdict::Translated { .. }));
+        }
+        let v = nat.outbound(t(0), &p, NatProto::Tcp, (internal().0, 6999), remote(), false, false);
+        assert_eq!(v, OutboundVerdict::NoCapacity);
+        // Existing sessions still translate.
+        let v = nat.outbound(t(1), &p, NatProto::Tcp, (internal().0, 6000), remote(), false, false);
+        assert!(matches!(v, OutboundVerdict::Translated { created: false, .. }));
+    }
+
+    #[test]
+    fn tcp_idle_timeout_applies() {
+        let mut p = pol();
+        p.tcp_timeout = Duration::from_secs(239); // the be1 value
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
+        assert!(matches!(
+            nat.inbound(t(238), &p, NatProto::Tcp, 5000, remote(), false, false),
+            InboundVerdict::Accept { .. }
+        ));
+        let mut nat2 = NatTable::new();
+        nat2.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
+        assert_eq!(
+            nat2.inbound(t(240), &p, NatProto::Tcp, 5000, remote(), false, false),
+            InboundVerdict::NoBinding
+        );
+    }
+
+    #[test]
+    fn tcp_fin_fin_tears_down_quickly() {
+        let p = pol();
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
+        nat.outbound(t(1), &p, NatProto::Tcp, internal(), remote(), true, false); // FIN out
+        nat.inbound(t(2), &p, NatProto::Tcp, 5000, remote(), true, false); // FIN in
+        // Long before the 2 h idle timeout, the binding is gone.
+        assert_eq!(
+            nat.inbound(t(60), &p, NatProto::Tcp, 5000, remote(), false, false),
+            InboundVerdict::NoBinding
+        );
+    }
+
+    #[test]
+    fn tcp_rst_removes_binding() {
+        let p = pol();
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
+        nat.outbound(t(1), &p, NatProto::Tcp, internal(), remote(), false, true); // RST
+        assert_eq!(
+            nat.inbound(t(2), &p, NatProto::Tcp, 5000, remote(), false, false),
+            InboundVerdict::NoBinding
+        );
+    }
+
+    #[test]
+    fn coarse_timer_quantizes_expiry() {
+        let mut p = pol();
+        p.timer_granularity = Duration::from_secs(60);
+        p.udp_timeout_solitary = Duration::from_secs(90);
+        let mut nat = NatTable::new();
+        // Created at t=10: raw expiry 100 → quantized up to 120.
+        nat.outbound(t(10), &p, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(nat.bindings()[0].expires_at, t(120));
+    }
+
+    #[test]
+    fn endpoint_independent_mapping_reuses_external_port() {
+        let p = pol(); // mapping: EndpointIndependent
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        let other_remote = (Ipv4Addr::new(10, 0, 2, 2), 9999);
+        let v = nat.outbound(t(0), &p, NatProto::Udp, internal(), other_remote, false, false);
+        assert_eq!(v, OutboundVerdict::Translated { external_port: 5000, created: true });
+        assert_eq!(nat.count(NatProto::Udp), 2);
+    }
+
+    #[test]
+    fn find_for_embedded_locates_binding() {
+        let p = pol();
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        let b = nat.find_for_embedded(NatProto::Udp, 5000).unwrap();
+        assert_eq!(b.internal, internal());
+        assert!(nat.find_for_embedded(NatProto::Udp, 1234).is_none());
+    }
+}

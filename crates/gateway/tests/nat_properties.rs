@@ -1,0 +1,190 @@
+//! Property-based tests of the NAT table's invariants.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use hgw_core::{Duration, Instant};
+use hgw_gateway::nat::{NatProto, NatTable, OutboundVerdict};
+use hgw_gateway::{EndpointScope, GatewayPolicy, PortAssignment};
+
+fn arb_policy() -> impl Strategy<Value = GatewayPolicy> {
+    (
+        1u64..600,
+        1u64..600,
+        1u64..600,
+        prop_oneof![
+            Just(PortAssignment::Preserve { reuse_expired: true }),
+            Just(PortAssignment::Preserve { reuse_expired: false }),
+            Just(PortAssignment::Sequential),
+        ],
+        prop_oneof![
+            Just(EndpointScope::EndpointIndependent),
+            Just(EndpointScope::AddressDependent),
+            Just(EndpointScope::AddressAndPortDependent),
+        ],
+        prop_oneof![
+            Just(EndpointScope::EndpointIndependent),
+            Just(EndpointScope::AddressDependent),
+            Just(EndpointScope::AddressAndPortDependent),
+        ],
+        1usize..64,
+    )
+        .prop_map(|(t1, t2, t3, port, mapping, filtering, cap)| {
+            let mut p = GatewayPolicy::well_behaved();
+            p.udp_timeout_solitary = Duration::from_secs(t1);
+            p.udp_timeout_inbound = Duration::from_secs(t2);
+            p.udp_timeout_bidirectional = Duration::from_secs(t3);
+            p.port_assignment = port;
+            p.mapping = mapping;
+            p.filtering = filtering;
+            p.max_bindings = cap;
+            p
+        })
+}
+
+#[derive(Debug, Clone)]
+struct FlowOp {
+    internal_port: u16,
+    remote_last: u8,
+    remote_port: u16,
+    at_secs: u64,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<FlowOp>> {
+    proptest::collection::vec(
+        (1024u16..1100, 1u8..5, 80u16..85, 0u64..2000).prop_map(
+            |(internal_port, remote_last, remote_port, at_secs)| FlowOp {
+                internal_port,
+                remote_last,
+                remote_port,
+                at_secs,
+            },
+        ),
+        1..60,
+    )
+}
+
+proptest! {
+    /// No two live bindings of one transport ever share an external tuple
+    /// unless they belong to the same internal endpoint (mapping reuse).
+    #[test]
+    fn no_conflicting_external_ports(policy in arb_policy(), ops in arb_ops()) {
+        let mut nat = NatTable::new();
+        let mut ops = ops;
+        ops.sort_by_key(|o| o.at_secs);
+        for op in &ops {
+            let internal = (Ipv4Addr::new(192, 168, 1, 100), op.internal_port);
+            let remote = (Ipv4Addr::new(10, 0, 1, op.remote_last), op.remote_port);
+            let _ = nat.outbound(
+                Instant::from_secs(op.at_secs),
+                &policy,
+                NatProto::Udp,
+                internal,
+                remote,
+                false,
+                false,
+            );
+            // Invariant check after every operation.
+            let bindings = nat.bindings();
+            for (i, a) in bindings.iter().enumerate() {
+                for b in bindings.iter().skip(i + 1) {
+                    if a.proto == b.proto && a.external_port == b.external_port {
+                        prop_assert_eq!(
+                            a.internal, b.internal,
+                            "external port {} shared by different internal endpoints",
+                            a.external_port
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The binding count never exceeds the policy's capacity, and a
+    /// translated verdict always implies a live binding.
+    #[test]
+    fn capacity_respected(policy in arb_policy(), ops in arb_ops()) {
+        let mut nat = NatTable::new();
+        let mut ops = ops;
+        ops.sort_by_key(|o| o.at_secs);
+        for op in &ops {
+            let internal = (Ipv4Addr::new(192, 168, 1, 100), op.internal_port);
+            let remote = (Ipv4Addr::new(10, 0, 1, op.remote_last), op.remote_port);
+            let v = nat.outbound(
+                Instant::from_secs(op.at_secs),
+                &policy,
+                NatProto::Udp,
+                internal,
+                remote,
+                false,
+                false,
+            );
+            prop_assert!(nat.count(NatProto::Udp) <= policy.max_bindings);
+            if let OutboundVerdict::Translated { external_port, .. } = v {
+                prop_assert!(
+                    nat.bindings()
+                        .iter()
+                        .any(|b| b.internal == internal && b.external_port == external_port),
+                    "translated flow must have a live binding"
+                );
+            }
+        }
+    }
+
+    /// An outbound translation is always reversible: an immediate reply
+    /// from the flow's remote endpoint maps back to the same internal
+    /// endpoint, regardless of policy.
+    #[test]
+    fn translation_roundtrip(policy in arb_policy(), ops in arb_ops()) {
+        let mut nat = NatTable::new();
+        let mut ops = ops;
+        ops.sort_by_key(|o| o.at_secs);
+        for op in &ops {
+            let internal = (Ipv4Addr::new(192, 168, 1, 100), op.internal_port);
+            let remote = (Ipv4Addr::new(10, 0, 1, op.remote_last), op.remote_port);
+            let now = Instant::from_secs(op.at_secs);
+            let v = nat.outbound(now, &policy, NatProto::Udp, internal, remote, false, false);
+            if let OutboundVerdict::Translated { external_port, .. } = v {
+                let back = nat.inbound(
+                    now + Duration::from_millis(1),
+                    &policy,
+                    NatProto::Udp,
+                    external_port,
+                    remote,
+                    false,
+                    false,
+                );
+                prop_assert_eq!(
+                    back,
+                    hgw_gateway::InboundVerdict::Accept { internal },
+                    "reply on a fresh binding must reach its creator"
+                );
+            }
+        }
+    }
+
+    /// Expiry is monotone: once a binding is gone, it stays gone until new
+    /// outbound traffic recreates it.
+    #[test]
+    fn expiry_is_final(timeout in 5u64..100, gap in 1u64..400) {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.udp_timeout_solitary = Duration::from_secs(timeout);
+        let mut nat = NatTable::new();
+        let internal = (Ipv4Addr::new(192, 168, 1, 100), 4000);
+        let remote = (Ipv4Addr::new(10, 0, 1, 1), 80);
+        nat.outbound(Instant::ZERO, &policy, NatProto::Udp, internal, remote, false, false);
+        let probe_at = Instant::from_secs(gap);
+        let alive = matches!(
+            nat.inbound(probe_at, &policy, NatProto::Udp, 4000, remote, false, false),
+            hgw_gateway::InboundVerdict::Accept { .. }
+        );
+        // Quantization may extend life by up to one granule (1 s default).
+        if gap > timeout + 1 {
+            prop_assert!(!alive, "binding must be gone after {gap} s (timeout {timeout})");
+        }
+        if gap < timeout {
+            prop_assert!(alive, "binding must survive {gap} s (timeout {timeout})");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Binding-creation rate (§5 future work: "measure the rate at which NATs
+//! are capable of creating new bindings").
+//!
+//! The client opens a burst of fresh UDP flows back to back; each flow's
+//! first packet pays the device's binding-setup cost, so the burst drains
+//! at the setup rate. The rate is the count of distinct flows the server
+//! observed divided by the interval between the first and last arrival.
+
+use std::collections::HashSet;
+use std::net::SocketAddrV4;
+
+use hgw_core::Duration;
+use hgw_testbed::Testbed;
+
+/// Result of a binding-rate burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BindingRateResult {
+    /// Distinct flows observed at the server.
+    pub flows_observed: usize,
+    /// New bindings created per second, from first to last arrival.
+    pub bindings_per_sec: f64,
+}
+
+/// Sends `flows` one-packet flows as one burst and measures the rate at
+/// which they emerge from the gateway.
+pub fn measure_binding_rate(tb: &mut Testbed, flows: usize) -> BindingRateResult {
+    let server_addr = tb.server_addr;
+    let server_port = 31_000;
+    let srv = tb.with_server(|h, _| {
+        h.sniff_enable();
+        h.sniff_take();
+        h.udp_bind(server_port)
+    });
+    // A burst of fresh flows, all offered at the same instant.
+    tb.with_client(|h, ctx| {
+        for _ in 0..flows {
+            let s = h.udp_bind_ephemeral();
+            h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), b"rate");
+            h.udp_close(s);
+        }
+    });
+    tb.run_for(Duration::from_secs(5));
+    let mut seen: HashSet<u16> = HashSet::new();
+    let mut first = None;
+    let mut last = None;
+    for (at, f) in tb.with_server(|h, _| h.sniff_take()) {
+        let Ok(ip) = hgw_wire::Ipv4Packet::new_checked(&f[..]) else { continue };
+        if ip.protocol() != hgw_wire::Protocol::Udp {
+            continue;
+        }
+        let Ok(udp) = hgw_wire::UdpPacket::new_checked(ip.payload()) else { continue };
+        if udp.dst_port() != server_port {
+            continue;
+        }
+        if seen.insert(udp.src_port()) {
+            first.get_or_insert(at);
+            last = Some(at);
+        }
+    }
+    tb.with_server(|h, _| h.udp_close(srv));
+    let flows_observed = seen.len();
+    let bindings_per_sec = match (first, last) {
+        (Some(a), Some(b)) if flows_observed > 1 && b > a => {
+            (flows_observed as f64 - 1.0) / (b - a).as_secs_f64()
+        }
+        _ => 0.0,
+    };
+    BindingRateResult { flows_observed, bindings_per_sec }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::GatewayPolicy;
+
+    #[test]
+    fn rate_tracks_the_setup_cost() {
+        // 1 ms per binding → ~1000 bindings/s.
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.binding_setup_cost = Duration::from_millis(1);
+        let mut tb = Testbed::new("rate", policy, 1, 3);
+        let r = measure_binding_rate(&mut tb, 100);
+        assert_eq!(r.flows_observed, 100);
+        assert!(
+            (r.bindings_per_sec - 1000.0).abs() < 150.0,
+            "expected ~1000/s, got {}",
+            r.bindings_per_sec
+        );
+    }
+
+    #[test]
+    fn faster_setup_means_higher_rate() {
+        let rate_for = |cost_us: u64, idx: u8| {
+            let mut policy = GatewayPolicy::well_behaved();
+            policy.binding_setup_cost = Duration::from_micros(cost_us);
+            let mut tb = Testbed::new("rate", policy, idx, 5);
+            measure_binding_rate(&mut tb, 80).bindings_per_sec
+        };
+        let fast = rate_for(100, 2);
+        let slow = rate_for(2000, 3);
+        assert!(fast > slow * 4.0, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn capacity_limits_observed_flows() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.max_bindings = 25;
+        let mut tb = Testbed::new("rate-cap", policy, 4, 7);
+        let r = measure_binding_rate(&mut tb, 100);
+        assert_eq!(r.flows_observed, 25, "only the first 25 flows get bindings");
+    }
+}

@@ -1,0 +1,225 @@
+//! NAT classification probes — the STUN (RFC 3489 / RFC 5389) and
+//! RFC 4787 characterization the paper lists as future work (§5:
+//! "measuring the success rates of STUN, TURN and ICE").
+//!
+//! Determines, from the outside, the mapping behavior, the filtering
+//! behavior, port preservation and hairpinning support — and derives the
+//! classic RFC 3489 cone/symmetric label and a hole-punching prognosis
+//! (Ford et al., USENIX ATC 2005, reference 10 of the paper).
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use hgw_core::Duration;
+use hgw_gateway::EndpointScope;
+use hgw_testbed::Testbed;
+
+/// The externally observed NAT characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatClassification {
+    /// Mapping (external port allocation) behavior.
+    pub mapping: EndpointScope,
+    /// Inbound filtering behavior.
+    pub filtering: EndpointScope,
+    /// The external port equalled the internal source port.
+    pub port_preservation: bool,
+    /// LAN→external-address→LAN forwarding works.
+    pub hairpinning: bool,
+}
+
+impl NatClassification {
+    /// The RFC 3489 label for this NAT.
+    pub fn rfc3489_label(&self) -> &'static str {
+        if self.mapping != EndpointScope::EndpointIndependent {
+            return "Symmetric";
+        }
+        match self.filtering {
+            EndpointScope::EndpointIndependent => "Full Cone",
+            EndpointScope::AddressDependent => "Restricted Cone",
+            EndpointScope::AddressAndPortDependent => "Port Restricted Cone",
+        }
+    }
+
+    /// Whether UDP hole punching between two hosts behind these two NATs is
+    /// expected to succeed (Ford et al.: both endpoint-independent mappings
+    /// suffice; symmetric NATs on both sides defeat the technique).
+    pub fn hole_punching_works(&self, peer: &NatClassification) -> bool {
+        self.mapping == EndpointScope::EndpointIndependent
+            || peer.mapping == EndpointScope::EndpointIndependent
+    }
+}
+
+const PROBE_A: u16 = 34_001;
+const PROBE_B: u16 = 34_002;
+const PROBE_C: u16 = 34_003;
+const SETTLE: Duration = Duration::from_millis(300);
+
+/// Runs the classification battery.
+pub fn classify_nat(tb: &mut Testbed) -> NatClassification {
+    let server_addr = tb.server_addr;
+    // A second server identity, one final octet up (e.g. 10.0.n.2).
+    let alias = {
+        let o = server_addr.octets();
+        Ipv4Addr::new(o[0], o[1], o[2], o[3] + 1)
+    };
+    tb.with_server(|h, _| {
+        h.add_alias(hgw_core::PortId(0), alias);
+    });
+
+    // --- Mapping behavior: one client socket, three remote endpoints. ---
+    let sa = tb.with_server(|h, _| h.udp_bind(PROBE_A));
+    let sb = tb.with_server(|h, _| h.udp_bind(PROBE_B));
+    let s_alias = tb.with_server(|h, _| h.udp_bind_at(alias, PROBE_A));
+    let client_port = 41_777;
+    let cli = tb.with_client(|h, ctx| {
+        let s = h.udp_bind(client_port);
+        h.udp_send(ctx, s, SocketAddrV4::new(server_addr, PROBE_A), b"m1");
+        s
+    });
+    tb.run_for(SETTLE);
+    tb.with_client(|h, ctx| {
+        h.udp_send(ctx, cli, SocketAddrV4::new(server_addr, PROBE_B), b"m2");
+    });
+    tb.run_for(SETTLE);
+    tb.with_client(|h, ctx| {
+        h.udp_send(ctx, cli, SocketAddrV4::new(alias, PROBE_A), b"m3");
+    });
+    tb.run_for(SETTLE);
+    let ext_a = tb.with_server(|h, _| h.udp_recv(sa)).map(|(f, _)| f.port());
+    let ext_b = tb.with_server(|h, _| h.udp_recv(sb)).map(|(f, _)| f.port());
+    let ext_alias = tb.with_server(|h, _| h.udp_recv(s_alias)).map(|(f, _)| f.port());
+    let (ext_a, ext_b, ext_alias) =
+        (ext_a.expect("probe A"), ext_b.expect("probe B"), ext_alias.expect("probe C"));
+    let mapping = if ext_a == ext_b && ext_a == ext_alias {
+        EndpointScope::EndpointIndependent
+    } else if ext_a == ext_b {
+        EndpointScope::AddressDependent
+    } else {
+        EndpointScope::AddressAndPortDependent
+    };
+    let port_preservation = ext_a == client_port;
+
+    // --- Filtering behavior: responses from unsolicited endpoints. ---
+    // Fresh binding to (server, PROBE_C).
+    let sc = tb.with_server(|h, _| h.udp_bind(PROBE_C));
+    let fcli = tb.with_client(|h, ctx| {
+        let s = h.udp_bind_ephemeral();
+        h.udp_send(ctx, s, SocketAddrV4::new(server_addr, PROBE_C), b"f0");
+        s
+    });
+    tb.run_for(SETTLE);
+    let ext = tb.with_server(|h, _| h.udp_recv(sc)).map(|(f, _)| f).expect("filter probe");
+    // From the same address, different port.
+    tb.with_server(|h, ctx| {
+        let s = h.udp_bind(PROBE_C + 10);
+        h.udp_send(ctx, s, ext, b"same-addr-other-port");
+        h.udp_close(s);
+    });
+    tb.run_for(SETTLE);
+    let same_addr_ok = tb.with_client(|h, _| h.udp_recv(fcli)).is_some();
+    // From the alias address (different address).
+    tb.with_server(|h, ctx| {
+        let s = h.udp_bind_at(alias, PROBE_C + 11);
+        h.udp_send(ctx, s, ext, b"other-addr");
+        h.udp_close(s);
+    });
+    tb.run_for(SETTLE);
+    let other_addr_ok = tb.with_client(|h, _| h.udp_recv(fcli)).is_some();
+    let filtering = match (other_addr_ok, same_addr_ok) {
+        (true, _) => EndpointScope::EndpointIndependent,
+        (false, true) => EndpointScope::AddressDependent,
+        (false, false) => EndpointScope::AddressAndPortDependent,
+    };
+
+    // --- Hairpinning: a second client socket sends to (WAN, ext_a). ---
+    let wan = tb.gateway_wan_addr();
+    tb.with_client(|h, ctx| {
+        let s = h.udp_bind_ephemeral();
+        h.udp_send(ctx, s, SocketAddrV4::new(wan, ext_a), b"hairpin");
+    });
+    tb.run_for(SETTLE);
+    let hairpinning = tb
+        .with_client(|h, _| h.udp_recv(cli))
+        .map(|(_, data)| data == b"hairpin")
+        .unwrap_or(false);
+
+    NatClassification { mapping, filtering, port_preservation, hairpinning }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::{GatewayPolicy, PortAssignment};
+
+    #[test]
+    fn well_behaved_is_port_restricted_cone() {
+        let mut tb = Testbed::new("classify", GatewayPolicy::well_behaved(), 1, 51);
+        let c = classify_nat(&mut tb);
+        assert_eq!(c.mapping, EndpointScope::EndpointIndependent);
+        assert_eq!(c.filtering, EndpointScope::AddressAndPortDependent);
+        assert!(c.port_preservation);
+        assert_eq!(c.rfc3489_label(), "Port Restricted Cone");
+    }
+
+    #[test]
+    fn symmetric_nat_detected() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.mapping = EndpointScope::AddressAndPortDependent;
+        policy.port_assignment = PortAssignment::Sequential;
+        let mut tb = Testbed::new("classify-sym", policy, 2, 53);
+        let c = classify_nat(&mut tb);
+        assert_eq!(c.mapping, EndpointScope::AddressAndPortDependent);
+        assert!(!c.port_preservation);
+        assert_eq!(c.rfc3489_label(), "Symmetric");
+    }
+
+    #[test]
+    fn full_cone_detected() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.filtering = EndpointScope::EndpointIndependent;
+        let mut tb = Testbed::new("classify-fc", policy, 3, 57);
+        let c = classify_nat(&mut tb);
+        assert_eq!(c.rfc3489_label(), "Full Cone");
+    }
+
+    #[test]
+    fn restricted_cone_detected() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.filtering = EndpointScope::AddressDependent;
+        let mut tb = Testbed::new("classify-rc", policy, 4, 59);
+        let c = classify_nat(&mut tb);
+        assert_eq!(c.rfc3489_label(), "Restricted Cone");
+    }
+
+    #[test]
+    fn hairpinning_detected_when_enabled() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.hairpinning = true;
+        policy.filtering = EndpointScope::EndpointIndependent;
+        let mut tb = Testbed::new("classify-hp", policy, 5, 61);
+        let c = classify_nat(&mut tb);
+        assert!(c.hairpinning);
+
+        let mut tb2 = Testbed::new("classify-nohp", GatewayPolicy::well_behaved(), 6, 61);
+        let c2 = classify_nat(&mut tb2);
+        assert!(!c2.hairpinning);
+    }
+
+    #[test]
+    fn hole_punching_prognosis() {
+        let cone = NatClassification {
+            mapping: EndpointScope::EndpointIndependent,
+            filtering: EndpointScope::AddressAndPortDependent,
+            port_preservation: true,
+            hairpinning: false,
+        };
+        let symmetric = NatClassification {
+            mapping: EndpointScope::AddressAndPortDependent,
+            filtering: EndpointScope::AddressAndPortDependent,
+            port_preservation: false,
+            hairpinning: false,
+        };
+        assert!(cone.hole_punching_works(&cone));
+        assert!(cone.hole_punching_works(&symmetric));
+        assert!(!symmetric.hole_punching_works(&symmetric));
+    }
+}

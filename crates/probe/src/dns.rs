@@ -1,0 +1,147 @@
+//! The DNS proxy tests (§3.2.3): query each gateway's DNS proxy over UDP
+//! and over TCP port 53 (the paper uses `dig` from BIND), and observe on
+//! the server side which transport the proxy uses upstream — the detail
+//! that exposed ap's TCP→UDP forwarding.
+
+use std::net::SocketAddrV4;
+
+use hgw_core::Duration;
+use hgw_stack::tcp::TcpState;
+use hgw_testbed::Testbed;
+use hgw_wire::dns::DnsMessage;
+use hgw_wire::ip::Protocol;
+use hgw_wire::Ipv4Packet;
+
+/// DNS proxy observations for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DnsReport {
+    /// A UDP query to the proxy was answered (Table 2 "DNS over UDP").
+    pub udp_answered: bool,
+    /// A TCP connection to port 53 was accepted.
+    pub tcp_accepted: bool,
+    /// A TCP query was answered (Table 2 "DNS over TCP").
+    pub tcp_answered: bool,
+    /// The upstream transport used for the TCP query, observed at the
+    /// server: `Some(true)` = UDP (the ap behavior), `Some(false)` = TCP,
+    /// `None` = no upstream query seen.
+    pub tcp_upstream_via_udp: Option<bool>,
+}
+
+const QUERY_NAME: &str = "server.hiit.fi";
+
+/// Runs the DNS proxy experiment.
+pub fn measure_dns(tb: &mut Testbed) -> DnsReport {
+    let proxy = tb.gateway_lan_addr();
+
+    // --- UDP query ---
+    let sock = tb.with_client(|h, ctx| {
+        let s = h.udp_bind_ephemeral();
+        let q = DnsMessage::query_a(0x0D15, QUERY_NAME);
+        h.udp_send(ctx, s, SocketAddrV4::new(proxy, 53), &q.emit());
+        s
+    });
+    tb.run_for(Duration::from_secs(2));
+    let udp_answered = tb
+        .with_client(|h, _| h.udp_recv(sock))
+        .and_then(|(_, data)| DnsMessage::parse(&data).ok())
+        .map(|m| m.is_response && !m.answers.is_empty())
+        .unwrap_or(false);
+    tb.with_client(|h, _| h.udp_close(sock));
+
+    // --- TCP query, with the upstream transport observed at the server ---
+    tb.with_server(|h, _| {
+        h.sniff_enable();
+        h.sniff_take();
+    });
+    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
+    tb.run_for(Duration::from_secs(2));
+    let tcp_accepted = tb.with_client(|h, _| h.tcp(conn).state() == TcpState::Established);
+    let mut tcp_answered = false;
+    let mut tcp_upstream_via_udp = None;
+    if tcp_accepted {
+        tb.with_client(|h, ctx| {
+            let q = DnsMessage::query_a(0x0D16, QUERY_NAME).emit_tcp();
+            h.tcp_send(ctx, conn, &q);
+        });
+        tb.run_for(Duration::from_secs(5));
+        let data = tb.with_client(|h, _| h.tcp_recv(conn, 4096));
+        tcp_answered = DnsMessage::parse_tcp(&data)
+            .map(|(m, _)| m.is_response && !m.answers.is_empty())
+            .unwrap_or(false);
+        // What did the server see on port 53?
+        let frames = tb.with_server(|h, _| h.sniff_take());
+        for (_, f) in frames {
+            let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
+            let l4 = ip.payload();
+            if l4.len() < 4 {
+                continue;
+            }
+            let dst_port = u16::from_be_bytes([l4[2], l4[3]]);
+            if dst_port != 53 {
+                continue;
+            }
+            match ip.protocol() {
+                Protocol::Udp => {
+                    tcp_upstream_via_udp = Some(true);
+                    break;
+                }
+                Protocol::Tcp => {
+                    tcp_upstream_via_udp = Some(false);
+                    // Keep looking: a UDP hit would be more specific, but a
+                    // proxy uses one or the other; first hit decides.
+                    break;
+                }
+                _ => {}
+            }
+        }
+        tb.with_client(|h, ctx| h.tcp_close(ctx, conn));
+        tb.run_for(Duration::from_millis(500));
+    }
+
+    DnsReport { udp_answered, tcp_accepted, tcp_answered, tcp_upstream_via_udp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::{DnsTcpMode, GatewayPolicy};
+
+    fn run(mode: DnsTcpMode, idx: u8) -> DnsReport {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.dns_proxy.tcp = mode;
+        let mut tb = Testbed::new("dns", policy, idx, 41);
+        measure_dns(&mut tb)
+    }
+
+    #[test]
+    fn refuse_mode() {
+        let r = run(DnsTcpMode::Refuse, 1);
+        assert!(r.udp_answered);
+        assert!(!r.tcp_accepted);
+        assert!(!r.tcp_answered);
+        assert_eq!(r.tcp_upstream_via_udp, None);
+    }
+
+    #[test]
+    fn blackhole_mode() {
+        let r = run(DnsTcpMode::AcceptNoAnswer, 2);
+        assert!(r.tcp_accepted);
+        assert!(!r.tcp_answered);
+    }
+
+    #[test]
+    fn answer_via_tcp_mode() {
+        let r = run(DnsTcpMode::AnswerViaTcp, 3);
+        assert!(r.tcp_accepted);
+        assert!(r.tcp_answered);
+        assert_eq!(r.tcp_upstream_via_udp, Some(false), "upstream should be TCP");
+    }
+
+    #[test]
+    fn ap_mode_forwards_upstream_over_udp() {
+        let r = run(DnsTcpMode::AnswerViaUdp, 4);
+        assert!(r.tcp_accepted);
+        assert!(r.tcp_answered);
+        assert_eq!(r.tcp_upstream_via_udp, Some(true), "the ap behavior");
+    }
+}

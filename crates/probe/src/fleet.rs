@@ -1,0 +1,86 @@
+//! Running a measurement across the whole device fleet of Table 1.
+//!
+//! The paper runs most measurements "in parallel across all home gateways"
+//! — except throughput, which is serialized "to avoid overloading the test
+//! network". Here every device owns an isolated [`Testbed`], so fleet runs
+//! are embarrassingly parallel with identical observable semantics; this
+//! module provides the sequential driver (the bench harness adds threads).
+
+use hgw_devices::DeviceProfile;
+use hgw_testbed::Testbed;
+
+/// Builds the testbed for one device (stable per-device slot index and a
+/// seed derived from the experiment seed and the device tag).
+pub fn testbed_for(device: &DeviceProfile, slot: usize, seed: u64) -> Testbed {
+    let index = (slot + 1) as u8;
+    let tag_hash: u64 = device.tag.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    Testbed::new(device.tag, device.policy.clone(), index, seed ^ tag_hash)
+}
+
+/// Runs `probe` against every device sequentially, returning
+/// `(tag, result)` pairs in Table 1 order.
+pub fn run_fleet<R>(
+    devices: &[DeviceProfile],
+    seed: u64,
+    mut probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
+) -> Vec<(String, R)> {
+    devices
+        .iter()
+        .enumerate()
+        .map(|(slot, device)| {
+            let mut tb = testbed_for(device, slot, seed);
+            let result = probe(&mut tb, device);
+            (device.tag.to_string(), result)
+        })
+        .collect()
+}
+
+/// Orders `(tag, value)` results along a published figure's x-axis order.
+///
+/// # Panics
+/// Panics if `order` mentions a tag that has no result.
+pub fn order_results<R: Clone>(results: &[(String, R)], order: &[&str]) -> Vec<(String, R)> {
+    order
+        .iter()
+        .map(|tag| {
+            results
+                .iter()
+                .find(|(t, _)| t == tag)
+                .unwrap_or_else(|| panic!("no result for device {tag}"))
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_devices::all_devices;
+
+    #[test]
+    fn fleet_builds_every_testbed() {
+        // Bring-up alone exercises DHCP on both sides of all 34 devices.
+        let devices = all_devices();
+        let results = run_fleet(&devices[..4], 7, |tb, d| {
+            assert_eq!(tb.tag(), d.tag);
+            tb.client_addr().octets()[2]
+        });
+        assert_eq!(results.len(), 4);
+        // Each device gets its own subnet slot.
+        let subnets: std::collections::HashSet<u8> = results.iter().map(|(_, s)| *s).collect();
+        assert_eq!(subnets.len(), 4);
+    }
+
+    #[test]
+    fn order_results_reorders() {
+        let results = vec![("a".to_string(), 1), ("b".to_string(), 2), ("c".to_string(), 3)];
+        let ordered = order_results(&results, &["c", "a", "b"]);
+        assert_eq!(ordered, vec![("c".to_string(), 3), ("a".to_string(), 1), ("b".to_string(), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no result for device")]
+    fn order_results_panics_on_missing_tag() {
+        order_results(&[("a".to_string(), 1)], &["zz"]);
+    }
+}

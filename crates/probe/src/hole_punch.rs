@@ -1,0 +1,161 @@
+//! UDP hole punching, actually performed (not just predicted): the
+//! rendezvous exchange and simultaneous punch of Ford et al. (the paper's
+//! reference 10 of the paper), run between two clients behind two simulated gateways.
+//!
+//! This is the §5 future-work item "measuring the success rates of STUN,
+//! TURN and ICE" made concrete: the rendezvous server reports each peer's
+//! external endpoint (STUN's role), the driver relays them (the signaling
+//! channel), and both peers punch simultaneously.
+
+use std::net::SocketAddrV4;
+
+use hgw_core::Duration;
+use hgw_testbed::{DualNatTestbed, Side};
+
+/// Result of one hole-punching attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HolePunchResult {
+    /// A's punches reached B.
+    pub a_to_b: bool,
+    /// B's punches reached A.
+    pub b_to_a: bool,
+    /// A's external endpoint as seen by the rendezvous.
+    pub external_a: SocketAddrV4,
+    /// B's external endpoint as seen by the rendezvous.
+    pub external_b: SocketAddrV4,
+}
+
+impl HolePunchResult {
+    /// Full bidirectional connectivity was established.
+    pub fn succeeded(&self) -> bool {
+        self.a_to_b && self.b_to_a
+    }
+}
+
+/// The rendezvous port (STUN's 3478).
+const RENDEZVOUS_PORT: u16 = 3478;
+
+/// Performs the three-phase hole punch:
+/// 1. both peers register with the rendezvous (which learns their external
+///    endpoints),
+/// 2. endpoints are exchanged out of band,
+/// 3. both peers send punches to each other's external endpoint and then
+///    confirm bidirectional delivery.
+pub fn attempt_hole_punch(tb: &mut DualNatTestbed) -> HolePunchResult {
+    // Phase 1: registration.
+    let srv = tb.with_server(|h, _| h.udp_bind(RENDEZVOUS_PORT));
+    let rendezvous_a = SocketAddrV4::new(tb.rendezvous_addr(Side::A), RENDEZVOUS_PORT);
+    let rendezvous_b = SocketAddrV4::new(tb.rendezvous_addr(Side::B), RENDEZVOUS_PORT);
+    let sock_a = tb.with_client(Side::A, |h, ctx| {
+        let s = h.udp_bind(40_500);
+        h.udp_send(ctx, s, rendezvous_a, b"register-a");
+        s
+    });
+    let sock_b = tb.with_client(Side::B, |h, ctx| {
+        let s = h.udp_bind(40_600);
+        h.udp_send(ctx, s, rendezvous_b, b"register-b");
+        s
+    });
+    tb.run_for(Duration::from_millis(200));
+    let mut external_a = None;
+    let mut external_b = None;
+    while let Some((from, data)) = tb.with_server(|h, _| h.udp_recv(srv)) {
+        match data.as_slice() {
+            b"register-a" => external_a = Some(from),
+            b"register-b" => external_b = Some(from),
+            _ => {}
+        }
+    }
+    let external_a = external_a.expect("A registered");
+    let external_b = external_b.expect("B registered");
+
+    // Phase 2 is the driver itself (out-of-band signaling).
+
+    // Phase 3: simultaneous punches, ICE-style: a few rounds, and each
+    // side re-targets the *observed* source of anything it receives —
+    // that is what defeats a symmetric NAT's port prediction problem when
+    // the other side is a cone.
+    let mut target_for_a = external_b;
+    let mut target_for_b = external_a;
+    let mut a_to_b = false;
+    let mut b_to_a = false;
+    for _ in 0..5 {
+        tb.with_client(Side::A, |h, ctx| h.udp_send(ctx, sock_a, target_for_a, b"punch-a"));
+        tb.with_client(Side::B, |h, ctx| h.udp_send(ctx, sock_b, target_for_b, b"punch-b"));
+        tb.run_for(Duration::from_millis(150));
+        while let Some((from, data)) = tb.with_client(Side::B, |h, _| h.udp_recv(sock_b)) {
+            if data == b"punch-a" {
+                a_to_b = true;
+                target_for_b = from;
+            }
+        }
+        while let Some((from, data)) = tb.with_client(Side::A, |h, _| h.udp_recv(sock_a)) {
+            if data == b"punch-b" {
+                b_to_a = true;
+                target_for_a = from;
+            }
+        }
+        if a_to_b && b_to_a {
+            break;
+        }
+    }
+    tb.with_server(|h, _| h.udp_close(srv));
+    HolePunchResult { a_to_b, b_to_a, external_a, external_b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::{EndpointScope, GatewayPolicy, PortAssignment};
+
+    fn cone() -> GatewayPolicy {
+        GatewayPolicy::well_behaved() // EI mapping, addr+port filtering
+    }
+
+    fn symmetric() -> GatewayPolicy {
+        let mut p = GatewayPolicy::well_behaved();
+        p.mapping = EndpointScope::AddressAndPortDependent;
+        p.port_assignment = PortAssignment::Sequential;
+        p
+    }
+
+    fn addr_restricted() -> GatewayPolicy {
+        let mut p = GatewayPolicy::well_behaved();
+        p.filtering = EndpointScope::AddressDependent;
+        p
+    }
+
+    #[test]
+    fn cone_to_cone_succeeds() {
+        let mut tb = DualNatTestbed::new("a", cone(), "b", cone(), 11);
+        let r = attempt_hole_punch(&mut tb);
+        assert!(r.succeeded(), "{r:?}");
+        // Port preservation visible at the rendezvous.
+        assert_eq!(r.external_a.port(), 40_500);
+        assert_eq!(r.external_b.port(), 40_600);
+    }
+
+    #[test]
+    fn symmetric_to_symmetric_fails() {
+        let mut tb = DualNatTestbed::new("a", symmetric(), "b", symmetric(), 13);
+        let r = attempt_hole_punch(&mut tb);
+        assert!(!r.succeeded(), "{r:?}");
+    }
+
+    #[test]
+    fn symmetric_to_address_restricted_cone_succeeds() {
+        // Ford et al.: a symmetric NAT can punch to an address-restricted
+        // cone (the port prediction problem only defeats port-sensitive
+        // filters).
+        let mut tb = DualNatTestbed::new("sym", symmetric(), "arc", addr_restricted(), 17);
+        let r = attempt_hole_punch(&mut tb);
+        assert!(r.succeeded(), "{r:?}");
+    }
+
+    #[test]
+    fn symmetric_to_port_restricted_cone_fails() {
+        let mut tb = DualNatTestbed::new("sym", symmetric(), "prc", cone(), 19);
+        let r = attempt_hole_punch(&mut tb);
+        assert!(!r.succeeded(), "{r:?}");
+    }
+}

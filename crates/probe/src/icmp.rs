@@ -1,0 +1,384 @@
+//! The ICMP translation experiment (§3.2.3): "hijack" packets coming from
+//! the NAT, generate ICMP errors of the desired kind that are sent back to
+//! the NAT, and inspect what arrives at the test client.
+//!
+//! Produces one row of Table 2 per device (the TCP: and UDP: column groups
+//! plus "ICMP: Host Unreach."), and additionally the fidelity observations
+//! the paper reports in prose: whether embedded transport headers were
+//! rewritten and whether embedded checksums were fixed.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use hgw_core::Duration;
+use hgw_gateway::IcmpErrorKind;
+use hgw_stack::host::ListenerApp;
+use hgw_testbed::Testbed;
+use hgw_wire::icmp::{IcmpRepr, TimeExceededCode, UnreachCode};
+use hgw_wire::ip::{Ipv4Repr, Protocol};
+use hgw_wire::{Ipv4Packet, TcpPacket};
+
+/// What the client observed for one injected error kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpOutcome {
+    /// The ICMP error arrived at the client.
+    Forwarded {
+        /// The embedded header was rewritten to the internal endpoint.
+        embedded_rewritten: bool,
+        /// The embedded IP header checksum verifies.
+        embedded_ip_checksum_ok: bool,
+        /// The embedded transport checksum verifies (false also when it
+        /// could not be checked).
+        embedded_l4_checksum_ok: bool,
+    },
+    /// The gateway fabricated a TCP RST instead (the ls2 behavior).
+    InvalidRst,
+    /// Nothing arrived.
+    Dropped,
+}
+
+impl IcmpOutcome {
+    /// The Table 2 bullet: did a correctly-typed ICMP error arrive?
+    pub fn is_translated(&self) -> bool {
+        matches!(self, IcmpOutcome::Forwarded { .. })
+    }
+}
+
+/// The full per-device ICMP matrix.
+#[derive(Debug, Clone)]
+pub struct IcmpMatrix {
+    /// Outcome per kind for TCP flows (Table 2 "TCP:" columns).
+    pub tcp: Vec<(IcmpErrorKind, IcmpOutcome)>,
+    /// Outcome per kind for UDP flows (Table 2 "UDP:" columns).
+    pub udp: Vec<(IcmpErrorKind, IcmpOutcome)>,
+    /// "ICMP: Host Unreach." — a Host Unreachable about a ping flow.
+    pub icmp_host_unreach: bool,
+}
+
+impl IcmpMatrix {
+    /// Bullets in this row (for the Table 2 aggregate).
+    pub fn translated_count(&self) -> usize {
+        self.tcp.iter().filter(|(_, o)| o.is_translated()).count()
+            + self.udp.iter().filter(|(_, o)| o.is_translated()).count()
+            + usize::from(self.icmp_host_unreach)
+    }
+}
+
+fn craft(kind: IcmpErrorKind, invoking: Vec<u8>) -> IcmpRepr {
+    match kind {
+        IcmpErrorKind::ReassemblyTimeExceeded => {
+            IcmpRepr::TimeExceeded { code: TimeExceededCode::ReassemblyExceeded, invoking }
+        }
+        IcmpErrorKind::TtlExceeded => {
+            IcmpRepr::TimeExceeded { code: TimeExceededCode::TtlExceeded, invoking }
+        }
+        IcmpErrorKind::FragNeeded => {
+            IcmpRepr::DestUnreachable { code: UnreachCode::FragNeeded, mtu: 576, invoking }
+        }
+        IcmpErrorKind::ParamProblem => IcmpRepr::ParamProblem { pointer: 0, invoking },
+        IcmpErrorKind::SourceRouteFailed => {
+            IcmpRepr::DestUnreachable { code: UnreachCode::SourceRouteFailed, mtu: 0, invoking }
+        }
+        IcmpErrorKind::SourceQuench => IcmpRepr::SourceQuench { invoking },
+        IcmpErrorKind::HostUnreachable => {
+            IcmpRepr::DestUnreachable { code: UnreachCode::HostUnreachable, mtu: 0, invoking }
+        }
+        IcmpErrorKind::NetUnreachable => {
+            IcmpRepr::DestUnreachable { code: UnreachCode::NetUnreachable, mtu: 0, invoking }
+        }
+        IcmpErrorKind::PortUnreachable => {
+            IcmpRepr::DestUnreachable { code: UnreachCode::PortUnreachable, mtu: 0, invoking }
+        }
+        IcmpErrorKind::ProtoUnreachable => {
+            IcmpRepr::DestUnreachable { code: UnreachCode::ProtoUnreachable, mtu: 0, invoking }
+        }
+    }
+}
+
+fn kind_matches(kind: IcmpErrorKind, msg: &IcmpRepr) -> bool {
+    let got = match msg {
+        IcmpRepr::DestUnreachable { code, .. } => match code {
+            UnreachCode::NetUnreachable => IcmpErrorKind::NetUnreachable,
+            UnreachCode::HostUnreachable => IcmpErrorKind::HostUnreachable,
+            UnreachCode::ProtoUnreachable => IcmpErrorKind::ProtoUnreachable,
+            UnreachCode::PortUnreachable => IcmpErrorKind::PortUnreachable,
+            UnreachCode::FragNeeded => IcmpErrorKind::FragNeeded,
+            UnreachCode::SourceRouteFailed => IcmpErrorKind::SourceRouteFailed,
+            UnreachCode::Other(_) => return false,
+        },
+        IcmpRepr::TimeExceeded { code: TimeExceededCode::TtlExceeded, .. } => {
+            IcmpErrorKind::TtlExceeded
+        }
+        IcmpRepr::TimeExceeded { code: TimeExceededCode::ReassemblyExceeded, .. } => {
+            IcmpErrorKind::ReassemblyTimeExceeded
+        }
+        IcmpRepr::ParamProblem { .. } => IcmpErrorKind::ParamProblem,
+        IcmpRepr::SourceQuench { .. } => IcmpErrorKind::SourceQuench,
+        _ => return false,
+    };
+    got == kind
+}
+
+/// Captures the most recent packet the gateway emitted toward the server
+/// for the given protocol and destination port.
+fn hijack(tb: &mut Testbed, proto: Protocol, dst_port: u16) -> Option<Vec<u8>> {
+    let frames = tb.with_server(|h, _| h.sniff_take());
+    frames
+        .into_iter()
+        .rev()
+        .map(|(_, f)| f)
+        .find(|f| {
+            let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { return false };
+            if ip.protocol() != proto {
+                return false;
+            }
+            let l4 = ip.payload();
+            l4.len() >= 4 && u16::from_be_bytes([l4[2], l4[3]]) == dst_port
+        })
+}
+
+/// Injects `msg` from the server toward the gateway's WAN address and
+/// returns the client's observation.
+fn inject_and_observe(
+    tb: &mut Testbed,
+    kind: IcmpErrorKind,
+    msg: IcmpRepr,
+    client_addr: Ipv4Addr,
+    client_port: u16,
+    watch_rst: Option<u16>,
+) -> IcmpOutcome {
+    let wan = tb.gateway_wan_addr();
+    let server_addr = tb.server_addr;
+    tb.with_client(|h, _| {
+        h.sniff_enable();
+        h.sniff_take();
+        h.icmp_take_events();
+    });
+    let packet = Ipv4Repr::new(server_addr, wan, Protocol::Icmp).emit_with_payload(&msg.emit());
+    tb.with_server(|h, ctx| h.raw_send(ctx, packet));
+    tb.run_for(Duration::from_secs(2));
+
+    let events = tb.with_client(|h, _| h.icmp_take_events());
+    for ev in &events {
+        if !kind_matches(kind, &ev.message) {
+            continue;
+        }
+        let Some(embedded) = &ev.embedded else {
+            return IcmpOutcome::Forwarded {
+                embedded_rewritten: false,
+                embedded_ip_checksum_ok: false,
+                embedded_l4_checksum_ok: false,
+            };
+        };
+        return IcmpOutcome::Forwarded {
+            embedded_rewritten: embedded.src == client_addr && embedded.src_port == client_port,
+            embedded_ip_checksum_ok: embedded.ip_checksum_ok,
+            embedded_l4_checksum_ok: embedded.l4_checksum_ok == Some(true),
+        };
+    }
+    // No ICMP: did a fabricated RST show up instead?
+    if let Some(local_port) = watch_rst {
+        let frames = tb.with_client(|h, _| h.sniff_take());
+        for (_, f) in frames {
+            let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
+            if ip.protocol() != Protocol::Tcp {
+                continue;
+            }
+            let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { continue };
+            if tcp.dst_port() == local_port
+                && tcp.flags().contains(hgw_wire::TcpFlags::RST)
+            {
+                return IcmpOutcome::InvalidRst;
+            }
+        }
+    }
+    IcmpOutcome::Dropped
+}
+
+/// Runs the full ICMP experiment against one device.
+pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
+    let server_addr = tb.server_addr;
+    let client_addr = tb.client_addr();
+    tb.with_server(|h, _| h.sniff_enable());
+
+    // ---- UDP flows ----
+    let mut udp = Vec::new();
+    for (i, kind) in IcmpErrorKind::ALL.into_iter().enumerate() {
+        let server_port = 27_000 + i as u16;
+        let srv = tb.with_server(|h, _| h.udp_bind(server_port));
+        let cli = tb.with_client(|h, ctx| {
+            let s = h.udp_bind_ephemeral();
+            h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), b"icmp-probe");
+            s
+        });
+        let client_port = tb.with_client(|h, _| h.udp_local_port(cli));
+        tb.run_for(Duration::from_millis(200));
+        let outcome = match hijack(tb, Protocol::Udp, server_port) {
+            Some(captured) => {
+                let msg = craft(kind, captured);
+                inject_and_observe(tb, kind, msg, client_addr, client_port, None)
+            }
+            None => IcmpOutcome::Dropped,
+        };
+        udp.push((kind, outcome));
+        tb.with_client(|h, _| h.udp_close(cli));
+        tb.with_server(|h, _| h.udp_recv(srv));
+        tb.with_server(|h, _| h.udp_close(srv));
+    }
+
+    // ---- TCP flows ----
+    let mut tcp = Vec::new();
+    for (i, kind) in IcmpErrorKind::ALL.into_iter().enumerate() {
+        let server_port = 28_000 + i as u16;
+        tb.with_server(|h, _| h.tcp_listen(server_port, ListenerApp::Manual));
+        let conn =
+            tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, server_port)));
+        tb.run_for(Duration::from_millis(300));
+        let client_port = tb.with_client(|h, _| h.tcp(conn).local.port());
+        let outcome = match hijack(tb, Protocol::Tcp, server_port) {
+            Some(captured) => {
+                let msg = craft(kind, captured);
+                inject_and_observe(tb, kind, msg, client_addr, client_port, Some(client_port))
+            }
+            None => IcmpOutcome::Dropped,
+        };
+        tcp.push((kind, outcome));
+        tb.with_client(|h, ctx| {
+            h.tcp_mut(conn).abort();
+            h.kick(ctx);
+            h.tcp_remove(conn);
+        });
+        tb.run_for(Duration::from_millis(100));
+    }
+
+    // ---- ICMP (ping) flow: Host Unreachable about an echo request ----
+    tb.with_server(|h, _| {
+        h.respond_to_echo = false; // we want the request captured, not answered
+        h.sniff_take();
+    });
+    tb.with_client(|h, ctx| h.ping(ctx, server_addr, 0x7777, 1));
+    tb.run_for(Duration::from_millis(200));
+    // Hijack the translated echo request (the last ICMP frame the server
+    // received).
+    let frames = tb.with_server(|h, _| h.sniff_take());
+    let captured_echo = frames.into_iter().rev().map(|(_, f)| f).find(|f| {
+        Ipv4Packet::new_checked(&f[..])
+            .map(|ip| ip.protocol() == Protocol::Icmp)
+            .unwrap_or(false)
+    });
+    let icmp_host_unreach = match captured_echo {
+        Some(captured) => {
+            let msg = craft(IcmpErrorKind::HostUnreachable, captured);
+            inject_and_observe(tb, IcmpErrorKind::HostUnreachable, msg, client_addr, 0, None)
+                .is_translated()
+        }
+        None => false,
+    };
+    tb.with_server(|h, _| h.respond_to_echo = true);
+
+    IcmpMatrix { tcp, udp, icmp_host_unreach }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::{GatewayPolicy, IcmpKindSet, IcmpPolicy};
+
+    #[test]
+    fn full_translator_passes_everything_with_fidelity() {
+        let mut tb = Testbed::new("icmp-full", GatewayPolicy::well_behaved(), 1, 31);
+        let m = measure_icmp_matrix(&mut tb);
+        assert_eq!(m.translated_count(), 21, "10 TCP + 10 UDP + ping");
+        for (kind, out) in m.udp.iter().chain(m.tcp.iter()) {
+            match out {
+                IcmpOutcome::Forwarded {
+                    embedded_rewritten,
+                    embedded_ip_checksum_ok,
+                    ..
+                } => {
+                    assert!(embedded_rewritten, "{kind:?} should be rewritten");
+                    assert!(embedded_ip_checksum_ok, "{kind:?} checksum should be fixed");
+                }
+                other => panic!("{kind:?} should be forwarded, got {other:?}"),
+            }
+        }
+        assert!(m.icmp_host_unreach);
+    }
+
+    #[test]
+    fn nw1_like_device_translates_nothing() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.icmp = IcmpPolicy::none();
+        let mut tb = Testbed::new("icmp-none", policy, 2, 31);
+        let m = measure_icmp_matrix(&mut tb);
+        assert_eq!(m.translated_count(), 0);
+        assert!(m.udp.iter().all(|(_, o)| *o == IcmpOutcome::Dropped));
+    }
+
+    #[test]
+    fn baseline_device_passes_only_port_unreach_and_ttl() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.icmp.tcp_kinds = IcmpKindSet::baseline();
+        policy.icmp.udp_kinds = IcmpKindSet::baseline();
+        policy.icmp.icmp_query_host_unreach = false;
+        let mut tb = Testbed::new("icmp-base", policy, 3, 31);
+        let m = measure_icmp_matrix(&mut tb);
+        assert_eq!(m.translated_count(), 4);
+        for (kind, out) in m.udp.iter().chain(m.tcp.iter()) {
+            let expect = matches!(
+                kind,
+                IcmpErrorKind::PortUnreachable | IcmpErrorKind::TtlExceeded
+            );
+            assert_eq!(out.is_translated(), expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ls2_like_device_fabricates_invalid_rsts_for_tcp() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.icmp.tcp_errors_as_rst = true;
+        let mut tb = Testbed::new("icmp-rst", policy, 4, 31);
+        let m = measure_icmp_matrix(&mut tb);
+        for (kind, out) in &m.tcp {
+            assert_eq!(*out, IcmpOutcome::InvalidRst, "{kind:?}");
+        }
+        // UDP side unaffected.
+        assert!(m.udp.iter().all(|(_, o)| o.is_translated()));
+    }
+
+    #[test]
+    fn stale_embedded_checksums_detected() {
+        // The zy1/ls1 bug: rewrite without fixing the embedded IP checksum.
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.icmp.fix_embedded_ip_checksum = false;
+        let mut tb = Testbed::new("icmp-ck", policy, 5, 31);
+        let m = measure_icmp_matrix(&mut tb);
+        for (kind, out) in &m.udp {
+            match out {
+                IcmpOutcome::Forwarded {
+                    embedded_rewritten, embedded_ip_checksum_ok, ..
+                } => {
+                    assert!(embedded_rewritten, "{kind:?}");
+                    assert!(!embedded_ip_checksum_ok, "{kind:?} checksum must be stale");
+                }
+                other => panic!("{kind:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unrewritten_embedded_headers_detected() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.icmp.rewrite_embedded = false;
+        policy.icmp.fix_embedded_l4_checksum = false;
+        let mut tb = Testbed::new("icmp-norw", policy, 6, 31);
+        let m = measure_icmp_matrix(&mut tb);
+        for (kind, out) in &m.udp {
+            match out {
+                IcmpOutcome::Forwarded { embedded_rewritten, .. } => {
+                    assert!(!embedded_rewritten, "{kind:?} must keep external header");
+                }
+                other => panic!("{kind:?}: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Keepalive planning — the §4.4 discussion turned into a tool.
+//!
+//! The paper observes that 15-second UDP keepalives are "perhaps overly
+//! aggressive" given the lowest bidirectional timeout of ~1 minute, and
+//! that the standard 2-hour TCP keepalive cannot hold connections through
+//! half the devices. Given measured timeouts, this module computes the
+//! keepalive interval an application should use to survive a device set.
+
+/// A per-device measured timeout pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTimeouts {
+    /// Device tag.
+    pub tag: String,
+    /// UDP binding timeout under bidirectional traffic (UDP-3), seconds.
+    pub udp_bidirectional_secs: f64,
+    /// TCP binding timeout, minutes (1440 = beyond the 24 h cutoff).
+    pub tcp_mins: f64,
+}
+
+/// The computed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeepalivePlan {
+    /// Safety factor applied (interval = timeout × factor).
+    pub safety_factor: f64,
+    /// UDP keepalive interval that survives *every* device, seconds.
+    pub udp_interval_secs: f64,
+    /// TCP keepalive interval that survives every device, minutes.
+    pub tcp_interval_mins: f64,
+    /// Devices that the standard 2-hour TCP keepalive (RFC 1122) would
+    /// *not* survive.
+    pub tcp_2h_casualties: Vec<String>,
+    /// Devices a 15-second UDP keepalive over-services by 4× or more (the
+    /// paper's "overly aggressive" observation).
+    pub udp_15s_overkill: Vec<String>,
+}
+
+/// Computes the plan. `safety_factor` in `(0, 1)`, typically 0.5.
+///
+/// # Panics
+/// Panics on an empty device list or a non-positive safety factor.
+pub fn plan_keepalives(devices: &[DeviceTimeouts], safety_factor: f64) -> KeepalivePlan {
+    assert!(!devices.is_empty(), "no devices");
+    assert!(safety_factor > 0.0 && safety_factor <= 1.0, "bad safety factor");
+    let min_udp = devices.iter().map(|d| d.udp_bidirectional_secs).fold(f64::INFINITY, f64::min);
+    let min_tcp = devices.iter().map(|d| d.tcp_mins).fold(f64::INFINITY, f64::min);
+    KeepalivePlan {
+        safety_factor,
+        udp_interval_secs: min_udp * safety_factor,
+        tcp_interval_mins: min_tcp * safety_factor,
+        tcp_2h_casualties: devices
+            .iter()
+            .filter(|d| d.tcp_mins < 120.0)
+            .map(|d| d.tag.clone())
+            .collect(),
+        udp_15s_overkill: devices
+            .iter()
+            .filter(|d| d.udp_bidirectional_secs >= 15.0 * 4.0)
+            .map(|d| d.tag.clone())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(tag: &str, udp: f64, tcp: f64) -> DeviceTimeouts {
+        DeviceTimeouts { tag: tag.into(), udp_bidirectional_secs: udp, tcp_mins: tcp }
+    }
+
+    #[test]
+    fn plan_tracks_the_weakest_device() {
+        let plan = plan_keepalives(
+            &[dev("fast", 500.0, 1440.0), dev("weak", 60.0, 4.0), dev("mid", 181.0, 60.0)],
+            0.5,
+        );
+        assert_eq!(plan.udp_interval_secs, 30.0);
+        assert_eq!(plan.tcp_interval_mins, 2.0);
+    }
+
+    #[test]
+    fn two_hour_keepalive_casualties_listed() {
+        let plan = plan_keepalives(
+            &[dev("ok", 200.0, 1440.0), dev("short", 180.0, 60.0), dev("vshort", 60.0, 4.0)],
+            0.5,
+        );
+        assert_eq!(plan.tcp_2h_casualties, vec!["short".to_string(), "vshort".to_string()]);
+    }
+
+    #[test]
+    fn fifteen_second_overkill_matches_papers_point() {
+        // Lowest bidirectional timeout in the paper is ~60 s: a 15 s
+        // keepalive over-services everything at or above 60 s.
+        let plan = plan_keepalives(&[dev("a", 60.0, 120.0), dev("b", 59.0, 120.0)], 0.5);
+        assert_eq!(plan.udp_15s_overkill, vec!["a".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no devices")]
+    fn empty_input_rejected() {
+        plan_keepalives(&[], 0.5);
+    }
+}

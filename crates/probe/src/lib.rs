@@ -1,0 +1,27 @@
+//! # hgw-probe — the measurement suite of §3.2
+//!
+//! Black-box probes that reproduce every experiment in the paper against a
+//! [`Testbed`](hgw_testbed::Testbed): UDP binding timeouts (UDP-1..5), TCP
+//! binding timeouts (TCP-1), throughput (TCP-2), queuing delay (TCP-3),
+//! binding capacity (TCP-4), ICMP translation, SCTP/DCCP support and the
+//! DNS proxy tests — plus the NAT classification probes the paper lists as
+//! future work (§5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod udp_timeout;
+pub mod port_reuse;
+pub mod tcp_timeout;
+pub mod throughput;
+pub mod dns;
+pub mod icmp;
+pub mod max_bindings;
+pub mod transport;
+pub mod classify;
+pub mod fleet;
+pub mod keepalive;
+pub mod quirks;
+pub mod hole_punch;
+pub mod stun;
+pub mod binding_rate;

@@ -1,0 +1,109 @@
+//! UDP-4: external-port preservation and expired-binding reuse (§3.2.1).
+//!
+//! Observed entirely from the server side: the client sends from a fixed
+//! source port, the server records the external (translated) source port;
+//! after the binding expires the client sends again on the same 5-tuple
+//! and the server checks whether the external port changed.
+
+use std::net::SocketAddrV4;
+
+use hgw_core::Duration;
+use hgw_testbed::Testbed;
+
+/// The UDP-4 observations for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortReuseObservation {
+    /// The gateway used the original source port as the external port.
+    pub preserves_port: bool,
+    /// A recurrence of the same flow after expiry got the same external
+    /// port again.
+    pub reuses_expired_binding: bool,
+    /// External port of the first binding.
+    pub first_external: u16,
+    /// External port after expiry.
+    pub second_external: u16,
+}
+
+/// Runs the UDP-4 observation. `expiry_hint` must exceed the device's
+/// solitary (UDP-1) timeout — use the UDP-1 measurement plus margin.
+pub fn observe_port_reuse(
+    tb: &mut Testbed,
+    server_port: u16,
+    client_port: u16,
+    expiry_hint: Duration,
+) -> PortReuseObservation {
+    let server_addr = tb.server_addr;
+    let srv = tb.with_server(|h, _| h.udp_bind(server_port));
+    let cli = tb.with_client(|h, ctx| {
+        let s = h.udp_bind(client_port);
+        h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), b"udp4-first");
+        s
+    });
+    tb.run_for(Duration::from_millis(200));
+    let first = tb
+        .with_server(|h, _| h.udp_recv(srv))
+        .map(|(from, _)| from.port())
+        .expect("first packet traverses");
+
+    // Wait for the binding to expire, then send on the same 5-tuple.
+    tb.run_for(expiry_hint);
+    tb.with_client(|h, ctx| {
+        h.udp_send(ctx, cli, SocketAddrV4::new(server_addr, server_port), b"udp4-second");
+    });
+    tb.run_for(Duration::from_millis(200));
+    let second = tb
+        .with_server(|h, _| h.udp_recv(srv))
+        .map(|(from, _)| from.port())
+        .expect("second packet traverses");
+
+    tb.with_client(|h, _| h.udp_close(cli));
+    tb.with_server(|h, _| h.udp_close(srv));
+
+    PortReuseObservation {
+        preserves_port: first == client_port,
+        reuses_expired_binding: second == first,
+        first_external: first,
+        second_external: second,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::{GatewayPolicy, PortAssignment};
+
+    fn run(policy: GatewayPolicy, idx: u8) -> PortReuseObservation {
+        let mut tb = Testbed::new("udp4", policy, idx, 5);
+        // well_behaved solitary timeout is 30 s; wait well past it.
+        observe_port_reuse(&mut tb, 26_000, 40_000, Duration::from_secs(60))
+    }
+
+    #[test]
+    fn preserve_and_reuse() {
+        let policy = GatewayPolicy::well_behaved(); // Preserve { reuse_expired: true }
+        let obs = run(policy, 1);
+        assert!(obs.preserves_port);
+        assert!(obs.reuses_expired_binding);
+        assert_eq!(obs.first_external, 40_000);
+    }
+
+    #[test]
+    fn preserve_with_quarantine_changes_port_after_expiry() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.port_assignment = PortAssignment::Preserve { reuse_expired: false };
+        let obs = run(policy, 2);
+        assert!(obs.preserves_port);
+        assert!(!obs.reuses_expired_binding);
+        assert_ne!(obs.second_external, obs.first_external);
+    }
+
+    #[test]
+    fn sequential_never_preserves() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.port_assignment = PortAssignment::Sequential;
+        policy.mapping = hgw_gateway::EndpointScope::AddressAndPortDependent;
+        let obs = run(policy, 3);
+        assert!(!obs.preserves_port);
+        assert!(!obs.reuses_expired_binding);
+    }
+}

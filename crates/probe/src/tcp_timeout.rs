@@ -1,0 +1,166 @@
+//! TCP-1: binding timeouts of idle TCP connections (§3.2.2).
+//!
+//! Each trial opens a connection through the NAT, leaves it idle (no
+//! keepalives — they are disabled in the socket config, as in the paper),
+//! then has the *server* push data. If the NAT binding expired, the push
+//! never reaches the client. The search stops at the paper's 24-hour
+//! cutoff.
+
+use std::net::SocketAddrV4;
+
+use hgw_core::Duration;
+use hgw_stack::host::ListenerApp;
+use hgw_stack::tcp::TcpState;
+use hgw_testbed::Testbed;
+
+/// Grace period for segments to cross the testbed. Kept short: the idle
+/// period is measured from the last handshake segment, so this wait is
+/// measurement skew.
+const PROPAGATION: Duration = Duration::from_millis(300);
+/// The 24-hour cutoff of the paper.
+pub const CUTOFF: Duration = Duration::from_hours(24);
+/// Convergence bound. TCP timeouts are minutes to hours; the paper plots
+/// minutes, so one second of precision is ample.
+const CONVERGENCE: Duration = Duration::from_secs(1);
+
+/// Result of the TCP-1 search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpTimeoutMeasurement {
+    /// Measured timeout in minutes, or `None` if the binding outlived the
+    /// 24-hour cutoff.
+    pub timeout_mins: Option<f64>,
+    /// Trials performed.
+    pub trials: u32,
+}
+
+impl TcpTimeoutMeasurement {
+    /// The value plotted in Figure 7: cutoff survivors count as 1440 min.
+    pub fn plotted_mins(&self) -> f64 {
+        self.timeout_mins.unwrap_or(1440.0)
+    }
+}
+
+/// The server port the TCP-1 listener uses.
+const PROBE_PORT: u16 = 6100;
+
+/// One trial: is the binding still alive after `idle`?
+fn trial(tb: &mut Testbed, idle: Duration) -> bool {
+    let server_addr = tb.server_addr;
+    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, PROBE_PORT)));
+    tb.run_for(PROPAGATION);
+    if tb.with_client(|h, _| h.tcp(conn).state()) != TcpState::Established {
+        // Could not even connect — treat as dead and clean up.
+        tb.with_client(|h, ctx| {
+            h.tcp_mut(conn).abort();
+            h.kick(ctx);
+            h.tcp_remove(conn);
+        });
+        return false;
+    }
+    let accepted = tb.with_server(|h, _| h.tcp_accepted());
+    let srv_conn = *accepted.last().expect("server accepted the connection");
+
+    tb.run_for(idle);
+
+    // Server pushes a probe message over the idle connection.
+    tb.with_server(|h, ctx| {
+        h.tcp_send(ctx, srv_conn, b"binding-probe");
+    });
+    tb.run_for(PROPAGATION);
+    let alive = tb.with_client(|h, _| h.tcp_mut(conn).recv(64) == b"binding-probe");
+
+    // Tear down (aborting avoids FIN exchanges keeping expired state warm).
+    tb.with_client(|h, ctx| {
+        h.tcp_mut(conn).abort();
+        h.kick(ctx);
+        h.tcp_remove(conn);
+    });
+    tb.with_server(|h, ctx| {
+        h.tcp_mut(srv_conn).abort();
+        h.kick(ctx);
+        h.tcp_remove(srv_conn);
+    });
+    // Let any stray retransmissions drain before the next trial.
+    tb.run_for(Duration::from_secs(120));
+    alive
+}
+
+/// Measures the TCP binding timeout with exponential bounding followed by
+/// bisection, stopping at the 24-hour cutoff.
+pub fn measure_tcp1(tb: &mut Testbed) -> TcpTimeoutMeasurement {
+    tb.with_server(|h, _| h.tcp_listen(PROBE_PORT, ListenerApp::Manual));
+    let mut trials = 0;
+    let mut lo = Duration::ZERO;
+    let mut hi = None;
+    let mut t = Duration::from_secs(120);
+    while hi.is_none() {
+        if t >= CUTOFF {
+            trials += 1;
+            if trial(tb, CUTOFF) {
+                return TcpTimeoutMeasurement { timeout_mins: None, trials };
+            }
+            hi = Some(CUTOFF);
+            break;
+        }
+        trials += 1;
+        if trial(tb, t) {
+            lo = t;
+            t = t * 2;
+        } else {
+            hi = Some(t);
+        }
+    }
+    let mut hi = hi.expect("bounded");
+    while hi.saturating_sub(lo) > CONVERGENCE {
+        trials += 1;
+        let mid = lo + (hi - lo) / 2;
+        if trial(tb, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let secs = (lo + (hi - lo) / 2).as_secs_f64();
+    TcpTimeoutMeasurement { timeout_mins: Some(secs / 60.0), trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::GatewayPolicy;
+
+    #[test]
+    fn recovers_short_tcp_timeout() {
+        // The be1 value: 239 s.
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.tcp_timeout = Duration::from_secs(239);
+        let mut tb = Testbed::new("tcp1", policy, 1, 11);
+        let m = measure_tcp1(&mut tb);
+        let mins = m.timeout_mins.expect("below cutoff");
+        assert!(
+            (mins * 60.0 - 239.0).abs() <= 2.0,
+            "measured {} s for ground truth 239 s",
+            mins * 60.0
+        );
+    }
+
+    #[test]
+    fn cutoff_detected_for_very_long_timeouts() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.tcp_timeout = Duration::from_hours(7 * 24);
+        let mut tb = Testbed::new("tcp1-long", policy, 2, 13);
+        let m = measure_tcp1(&mut tb);
+        assert_eq!(m.timeout_mins, None, "binding should outlive the cutoff");
+        assert_eq!(m.plotted_mins(), 1440.0);
+    }
+
+    #[test]
+    fn hour_scale_timeout_recovered() {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.tcp_timeout = Duration::from_secs(3600);
+        let mut tb = Testbed::new("tcp1-hour", policy, 3, 17);
+        let m = measure_tcp1(&mut tb);
+        let mins = m.timeout_mins.expect("below cutoff");
+        assert!((mins - 60.0).abs() <= 0.2, "measured {mins} min for 60 min truth");
+    }
+}

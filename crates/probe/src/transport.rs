@@ -1,0 +1,145 @@
+//! SCTP and DCCP support tests (§3.2.3): "we attempt to create a single
+//! connection and exchange data. If this succeeds, a home gateway supports
+//! the respective transport."
+
+use std::net::SocketAddrV4;
+
+use hgw_core::Duration;
+use hgw_stack::dccp::DccpState;
+use hgw_stack::sctp::SctpState;
+use hgw_testbed::Testbed;
+use hgw_wire::ip::Protocol;
+use hgw_wire::Ipv4Packet;
+
+/// The level of gateway involvement observed for an unknown transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationObservation {
+    /// Nothing arrived at the server.
+    NothingArrived,
+    /// Packets arrived with the source rewritten to the gateway's WAN
+    /// address ("attempt to simply translate the IP source address").
+    IpRewritten,
+    /// Packets arrived entirely untranslated, private source and all
+    /// (the dl4/dl9/dl10/ls1 behavior).
+    PassedThrough,
+}
+
+/// Result of the SCTP/DCCP connectivity probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportSupport {
+    /// SCTP: association established and data echoed.
+    pub sctp_works: bool,
+    /// DCCP: connection established and data echoed.
+    pub dccp_works: bool,
+    /// What the server-side trace shows the gateway did to SCTP packets.
+    pub sctp_observation: TranslationObservation,
+    /// What the server-side trace shows the gateway did to DCCP packets.
+    pub dccp_observation: TranslationObservation,
+}
+
+/// The SCTP port used by the probe.
+const SCTP_PORT: u16 = 9899;
+/// The DCCP port used by the probe.
+const DCCP_PORT: u16 = 5009;
+/// How long to wait for the handshake + data exchange (includes the
+/// endpoints' retransmission schedule).
+const WAIT: Duration = Duration::from_secs(15);
+
+fn observe(tb: &mut Testbed, proto: Protocol, client_addr: std::net::Ipv4Addr) -> TranslationObservation {
+    let frames = tb.with_server(|h, _| h.sniff_take());
+    let mut obs = TranslationObservation::NothingArrived;
+    for (_, f) in frames {
+        let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
+        if ip.protocol() != proto {
+            continue;
+        }
+        if ip.src_addr() == client_addr {
+            return TranslationObservation::PassedThrough;
+        }
+        obs = TranslationObservation::IpRewritten;
+    }
+    obs
+}
+
+/// Runs both transport probes.
+pub fn measure_transport_support(tb: &mut Testbed) -> TransportSupport {
+    let server_addr = tb.server_addr;
+    let client_addr = tb.client_addr();
+    tb.with_server(|h, _| {
+        h.sctp_listen(SCTP_PORT);
+        h.dccp_listen(DCCP_PORT);
+        h.sniff_enable();
+        h.sniff_take();
+    });
+
+    // SCTP.
+    let sctp = tb.with_client(|h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(server_addr, SCTP_PORT)));
+    tb.run_for(Duration::from_secs(2));
+    tb.with_client(|h, ctx| h.sctp_send(ctx, sctp, b"sctp-data".to_vec()));
+    tb.run_for(WAIT);
+    let sctp_works = tb.with_client(|h, _| {
+        h.sctp(sctp).state() == SctpState::Established && !h.sctp(sctp).received.is_empty()
+    });
+    let sctp_observation = observe(tb, Protocol::Sctp, client_addr);
+
+    // DCCP.
+    let dccp = tb.with_client(|h, ctx| {
+        h.dccp_connect(ctx, SocketAddrV4::new(server_addr, DCCP_PORT), 0x4847_5750)
+    });
+    tb.run_for(Duration::from_secs(2));
+    tb.with_client(|h, ctx| h.dccp_send(ctx, dccp, b"dccp-data".to_vec()));
+    tb.run_for(WAIT);
+    let dccp_works = tb.with_client(|h, _| {
+        h.dccp(dccp).state() == DccpState::Established && !h.dccp(dccp).received.is_empty()
+    });
+    let dccp_observation = observe(tb, Protocol::Dccp, client_addr);
+
+    TransportSupport { sctp_works, dccp_works, sctp_observation, dccp_observation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_gateway::{GatewayPolicy, UnknownProtoPolicy};
+
+    fn run(unknown: UnknownProtoPolicy, idx: u8) -> TransportSupport {
+        let mut policy = GatewayPolicy::well_behaved();
+        policy.unknown_proto = unknown;
+        let mut tb = Testbed::new("transport", policy, idx, 37);
+        measure_transport_support(&mut tb)
+    }
+
+    #[test]
+    fn ip_rewrite_passes_sctp_but_never_dccp() {
+        let s = run(UnknownProtoPolicy::IpRewrite { allow_inbound: true }, 1);
+        assert!(s.sctp_works, "SCTP survives an IP-only rewrite (no pseudo-header)");
+        assert!(!s.dccp_works, "DCCP's pseudo-header checksum breaks");
+        assert_eq!(s.sctp_observation, TranslationObservation::IpRewritten);
+        assert_eq!(s.dccp_observation, TranslationObservation::IpRewritten);
+    }
+
+    #[test]
+    fn ip_rewrite_without_inbound_fails_sctp() {
+        let s = run(UnknownProtoPolicy::IpRewrite { allow_inbound: false }, 2);
+        assert!(!s.sctp_works, "replies are filtered");
+        assert_eq!(s.sctp_observation, TranslationObservation::IpRewritten);
+    }
+
+    #[test]
+    fn drop_policy_blocks_everything() {
+        let s = run(UnknownProtoPolicy::Drop, 3);
+        assert!(!s.sctp_works);
+        assert!(!s.dccp_works);
+        assert_eq!(s.sctp_observation, TranslationObservation::NothingArrived);
+        assert_eq!(s.dccp_observation, TranslationObservation::NothingArrived);
+    }
+
+    #[test]
+    fn passthrough_is_visible_in_the_trace_and_fails() {
+        let s = run(UnknownProtoPolicy::PassThrough, 4);
+        assert!(!s.sctp_works, "replies to a private address cannot return");
+        assert!(!s.dccp_works);
+        assert_eq!(s.sctp_observation, TranslationObservation::PassedThrough);
+        assert_eq!(s.dccp_observation, TranslationObservation::PassedThrough);
+    }
+}

@@ -1,0 +1,320 @@
+//! A minimal DCCP endpoint: Request/Response/Ack handshake and DataAck
+//! exchange — the connectivity probe of §3.2.3.
+//!
+//! The paper found no gateway that passes DCCP; this endpoint is what
+//! demonstrates that, because its packets' pseudo-header checksums break
+//! under IP-only rewriting and its protocol number (33) is unknown to
+//! every gateway's NAT engine.
+
+use hgw_core::{Duration, Instant};
+use hgw_wire::dccp::{DccpRepr, DccpType};
+
+/// Connection states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DccpState {
+    /// Nothing sent.
+    Closed,
+    /// REQUEST sent.
+    RequestSent,
+    /// Handshake complete.
+    Established,
+    /// CLOSE sent.
+    Closing,
+    /// Gracefully closed.
+    Done,
+    /// Setup gave up.
+    Failed,
+}
+
+const MAX_RETRIES: u32 = 4;
+const RTX_INTERVAL: Duration = Duration::from_secs(2);
+
+/// A client-side DCCP connection endpoint.
+#[derive(Debug)]
+pub struct DccpEndpoint {
+    /// Local port.
+    pub local_port: u16,
+    /// Remote port.
+    pub remote_port: u16,
+    /// Service code sent in REQUEST.
+    pub service_code: u32,
+    state: DccpState,
+    seq: u64,
+    peer_seq: u64,
+    /// Payloads received.
+    pub received: Vec<Vec<u8>>,
+    tx_queue: Vec<Vec<u8>>,
+    rtx_deadline: Option<Instant>,
+    retries: u32,
+    outbox: Vec<DccpRepr>,
+}
+
+impl DccpEndpoint {
+    /// Creates a client endpoint; call [`DccpEndpoint::start`] to emit the
+    /// REQUEST.
+    pub fn client(local_port: u16, remote_port: u16, service_code: u32, iss: u64) -> DccpEndpoint {
+        DccpEndpoint {
+            local_port,
+            remote_port,
+            service_code,
+            state: DccpState::Closed,
+            seq: iss & 0xFFFF_FFFF_FFFF,
+            peer_seq: 0,
+            received: Vec::new(),
+            tx_queue: Vec::new(),
+            rtx_deadline: None,
+            retries: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DccpState {
+        self.state
+    }
+
+    /// Begins the handshake.
+    pub fn start(&mut self, now: Instant) {
+        debug_assert_eq!(self.state, DccpState::Closed);
+        self.state = DccpState::RequestSent;
+        self.push_request();
+        self.rtx_deadline = Some(now + RTX_INTERVAL);
+    }
+
+    fn push_request(&mut self) {
+        self.outbox.push(DccpRepr {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            packet_type: DccpType::Request,
+            seq: self.seq,
+            ack: None,
+            service_code: Some(self.service_code),
+            payload: Vec::new(),
+        });
+    }
+
+    /// Next deadline, if any.
+    pub fn poll_at(&self) -> Option<Instant> {
+        self.rtx_deadline
+    }
+
+    /// Handles timer expiry.
+    pub fn on_timer(&mut self, now: Instant) {
+        let Some(t) = self.rtx_deadline else { return };
+        if now < t {
+            return;
+        }
+        self.rtx_deadline = None;
+        self.retries += 1;
+        if self.retries > MAX_RETRIES {
+            if self.state == DccpState::RequestSent || self.state == DccpState::Closing {
+                self.state = DccpState::Failed;
+            }
+            return;
+        }
+        if self.state == DccpState::RequestSent {
+            self.push_request();
+            self.rtx_deadline = Some(now + RTX_INTERVAL);
+        }
+    }
+
+    /// Queues application data.
+    pub fn send(&mut self, data: Vec<u8>) {
+        self.tx_queue.push(data);
+        if self.state == DccpState::Established {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        while let Some(data) = if self.tx_queue.is_empty() {
+            None
+        } else {
+            Some(self.tx_queue.remove(0))
+        } {
+            self.seq = (self.seq + 1) & 0xFFFF_FFFF_FFFF;
+            self.outbox.push(DccpRepr {
+                src_port: self.local_port,
+                dst_port: self.remote_port,
+                packet_type: DccpType::DataAck,
+                seq: self.seq,
+                ack: Some(self.peer_seq),
+                service_code: None,
+                payload: data,
+            });
+        }
+    }
+
+    /// Processes a packet addressed to this connection.
+    pub fn process(&mut self, _now: Instant, packet: &DccpRepr) {
+        match packet.packet_type {
+            DccpType::Response
+                if self.state == DccpState::RequestSent && packet.ack == Some(self.seq) => {
+                    self.peer_seq = packet.seq;
+                    self.state = DccpState::Established;
+                    self.rtx_deadline = None;
+                    // Complete the three-way handshake with an ACK.
+                    self.seq = (self.seq + 1) & 0xFFFF_FFFF_FFFF;
+                    self.outbox.push(DccpRepr {
+                        src_port: self.local_port,
+                        dst_port: self.remote_port,
+                        packet_type: DccpType::Ack,
+                        seq: self.seq,
+                        ack: Some(self.peer_seq),
+                        service_code: None,
+                        payload: Vec::new(),
+                    });
+                    self.flush();
+                }
+            DccpType::Data | DccpType::DataAck
+                if self.state == DccpState::Established => {
+                    self.peer_seq = packet.seq;
+                    self.received.push(packet.payload.clone());
+                }
+            DccpType::Reset => {
+                self.state = DccpState::Failed;
+                self.rtx_deadline = None;
+            }
+            DccpType::CloseReq | DccpType::Close => {
+                self.state = DccpState::Done;
+                self.rtx_deadline = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Drains packets ready for transmission.
+    pub fn dispatch(&mut self) -> Vec<DccpRepr> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// Server-side connection bookkeeping for a listening host.
+#[derive(Debug)]
+pub struct DccpServerConn {
+    /// Our next sequence number.
+    pub seq: u64,
+    /// Peer's last sequence number.
+    pub peer_seq: u64,
+    /// Fully established (three-way handshake done).
+    pub established: bool,
+    /// Data received.
+    pub received: Vec<Vec<u8>>,
+    /// Echo received data back.
+    pub echo: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_react(pkt: &DccpRepr, conn: &mut Option<DccpServerConn>) -> Vec<DccpRepr> {
+        let mut out = Vec::new();
+        match pkt.packet_type {
+            DccpType::Request => {
+                let c = conn.get_or_insert(DccpServerConn {
+                    seq: 900,
+                    peer_seq: pkt.seq,
+                    established: false,
+                    received: Vec::new(),
+                    echo: true,
+                });
+                out.push(DccpRepr {
+                    src_port: pkt.dst_port,
+                    dst_port: pkt.src_port,
+                    packet_type: DccpType::Response,
+                    seq: c.seq,
+                    ack: Some(pkt.seq),
+                    service_code: pkt.service_code,
+                    payload: Vec::new(),
+                });
+            }
+            DccpType::Ack => {
+                if let Some(c) = conn {
+                    c.established = true;
+                    c.peer_seq = pkt.seq;
+                }
+            }
+            DccpType::Data | DccpType::DataAck => {
+                if let Some(c) = conn {
+                    c.established = true;
+                    c.peer_seq = pkt.seq;
+                    c.received.push(pkt.payload.clone());
+                    if c.echo {
+                        c.seq += 1;
+                        out.push(DccpRepr {
+                            src_port: pkt.dst_port,
+                            dst_port: pkt.src_port,
+                            packet_type: DccpType::DataAck,
+                            seq: c.seq,
+                            ack: Some(c.peer_seq),
+                            service_code: None,
+                            payload: pkt.payload.clone(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    #[test]
+    fn handshake_and_echo() {
+        let now = Instant::ZERO;
+        let mut client = DccpEndpoint::client(40000, 5001, 0x68677770, 10);
+        let mut conn = None;
+        client.start(now);
+        client.send(b"dccp probe".to_vec());
+        for _ in 0..8 {
+            let out = client.dispatch();
+            if out.is_empty() {
+                break;
+            }
+            for pkt in out {
+                for reply in server_react(&pkt, &mut conn) {
+                    client.process(now, &reply);
+                }
+            }
+        }
+        assert_eq!(client.state(), DccpState::Established);
+        assert!(conn.as_ref().unwrap().established);
+        assert_eq!(conn.as_ref().unwrap().received, vec![b"dccp probe".to_vec()]);
+        assert_eq!(client.received, vec![b"dccp probe".to_vec()]);
+    }
+
+    #[test]
+    fn blackholed_request_fails() {
+        let mut client = DccpEndpoint::client(40000, 5001, 1, 10);
+        let mut now = Instant::ZERO;
+        client.start(now);
+        client.dispatch();
+        for _ in 0..=MAX_RETRIES {
+            now = client.poll_at().unwrap_or(now + RTX_INTERVAL);
+            client.on_timer(now);
+            client.dispatch();
+        }
+        assert_eq!(client.state(), DccpState::Failed);
+    }
+
+    #[test]
+    fn reset_fails_connection() {
+        let now = Instant::ZERO;
+        let mut client = DccpEndpoint::client(40000, 5001, 1, 10);
+        client.start(now);
+        client.dispatch();
+        client.process(
+            now,
+            &DccpRepr {
+                src_port: 5001,
+                dst_port: 40000,
+                packet_type: DccpType::Reset,
+                seq: 1,
+                ack: Some(10),
+                service_code: None,
+                payload: Vec::new(),
+            },
+        );
+        assert_eq!(client.state(), DccpState::Failed);
+    }
+}

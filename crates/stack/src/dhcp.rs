@@ -1,0 +1,350 @@
+//! DHCP server and client state machines.
+//!
+//! Figure 1 of the paper: the test server leases each gateway its WAN
+//! address from a per-VLAN private block, and each gateway's built-in DHCP
+//! server configures the test client's VLAN interface. Both sides are
+//! implemented here and reused by hosts and gateways.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use hgw_core::{Duration, Instant};
+use hgw_wire::dhcp::{DhcpMessage, DhcpMessageType};
+
+/// Configuration of a DHCP server instance.
+#[derive(Debug, Clone)]
+pub struct DhcpServerConfig {
+    /// The server's own address (also offered as router unless overridden).
+    pub server_addr: Ipv4Addr,
+    /// First address of the lease pool.
+    pub pool_start: Ipv4Addr,
+    /// Number of addresses in the pool.
+    pub pool_size: u32,
+    /// Subnet mask to hand out.
+    pub subnet_mask: Ipv4Addr,
+    /// Router option; defaults to `server_addr` when `None`.
+    pub router: Option<Ipv4Addr>,
+    /// DNS servers to hand out.
+    pub dns_servers: Vec<Ipv4Addr>,
+    /// Lease duration in seconds.
+    pub lease_secs: u32,
+}
+
+/// A DHCP server: answers DISCOVER with OFFER and REQUEST with ACK.
+#[derive(Debug)]
+pub struct DhcpServer {
+    /// Server configuration.
+    pub config: DhcpServerConfig,
+    leases: HashMap<[u8; 6], Ipv4Addr>,
+    next_index: u32,
+}
+
+impl DhcpServer {
+    /// Creates a server.
+    pub fn new(config: DhcpServerConfig) -> DhcpServer {
+        DhcpServer { config, leases: HashMap::new(), next_index: 0 }
+    }
+
+    /// Currently held leases.
+    pub fn leases(&self) -> &HashMap<[u8; 6], Ipv4Addr> {
+        &self.leases
+    }
+
+    fn allocate(&mut self, chaddr: [u8; 6]) -> Option<Ipv4Addr> {
+        if let Some(addr) = self.leases.get(&chaddr) {
+            return Some(*addr);
+        }
+        if self.next_index >= self.config.pool_size {
+            return None;
+        }
+        let base = u32::from(self.config.pool_start);
+        let addr = Ipv4Addr::from(base + self.next_index);
+        self.next_index += 1;
+        self.leases.insert(chaddr, addr);
+        Some(addr)
+    }
+
+    /// Processes a client message, returning the reply (if any).
+    pub fn process(&mut self, msg: &DhcpMessage) -> Option<DhcpMessage> {
+        if !msg.is_request_op {
+            return None;
+        }
+        let reply_type = match msg.message_type {
+            DhcpMessageType::Discover => DhcpMessageType::Offer,
+            DhcpMessageType::Request => {
+                // Only answer requests addressed to us (or with no server id).
+                if let Some(sid) = msg.server_id {
+                    if sid != self.config.server_addr {
+                        return None;
+                    }
+                }
+                DhcpMessageType::Ack
+            }
+            DhcpMessageType::Release => {
+                self.leases.remove(&msg.chaddr);
+                return None;
+            }
+            _ => return None,
+        };
+        let addr = match self.allocate(msg.chaddr) {
+            Some(a) => a,
+            None => {
+                let mut nak = DhcpMessage::discover(msg.xid, msg.chaddr);
+                nak.message_type = DhcpMessageType::Nak;
+                nak.is_request_op = false;
+                nak.server_id = Some(self.config.server_addr);
+                return Some(nak);
+            }
+        };
+        let mut reply = DhcpMessage::discover(msg.xid, msg.chaddr);
+        reply.message_type = reply_type;
+        reply.is_request_op = false;
+        reply.your_addr = addr;
+        reply.server_addr = self.config.server_addr;
+        reply.server_id = Some(self.config.server_addr);
+        reply.lease_secs = Some(self.config.lease_secs);
+        reply.subnet_mask = Some(self.config.subnet_mask);
+        reply.router = Some(self.config.router.unwrap_or(self.config.server_addr));
+        reply.dns_servers = self.config.dns_servers.clone();
+        Some(reply)
+    }
+}
+
+/// DHCP client states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhcpClientState {
+    /// Sending DISCOVER.
+    Selecting,
+    /// Sending REQUEST for an offer.
+    Requesting,
+    /// Lease acquired.
+    Bound,
+}
+
+/// The lease a client obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhcpLease {
+    /// Our address.
+    pub addr: Ipv4Addr,
+    /// Subnet mask.
+    pub subnet_mask: Ipv4Addr,
+    /// Default router, if offered.
+    pub router: Option<Ipv4Addr>,
+    /// DNS servers offered.
+    pub dns_servers: Vec<Ipv4Addr>,
+    /// Lease duration.
+    pub lease_secs: u32,
+    /// The server that granted the lease.
+    pub server: Ipv4Addr,
+}
+
+/// A DHCP client state machine.
+#[derive(Debug)]
+pub struct DhcpClient {
+    /// Our hardware address.
+    pub chaddr: [u8; 6],
+    xid: u32,
+    state: DhcpClientState,
+    offer: Option<DhcpMessage>,
+    /// The acquired lease once bound.
+    pub lease: Option<DhcpLease>,
+    rtx_deadline: Option<Instant>,
+    outbox: Vec<DhcpMessage>,
+}
+
+const RTX_INTERVAL: Duration = Duration::from_secs(3);
+
+impl DhcpClient {
+    /// Creates a client; call [`DhcpClient::start`] to begin.
+    pub fn new(chaddr: [u8; 6], xid: u32) -> DhcpClient {
+        DhcpClient {
+            chaddr,
+            xid,
+            state: DhcpClientState::Selecting,
+            offer: None,
+            lease: None,
+            rtx_deadline: None,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DhcpClientState {
+        self.state
+    }
+
+    /// Begins address acquisition.
+    pub fn start(&mut self, now: Instant) {
+        self.outbox.push(DhcpMessage::discover(self.xid, self.chaddr));
+        self.rtx_deadline = Some(now + RTX_INTERVAL);
+    }
+
+    /// Next deadline, if any.
+    pub fn poll_at(&self) -> Option<Instant> {
+        self.rtx_deadline
+    }
+
+    /// Handles timer expiry: retransmit the current message.
+    pub fn on_timer(&mut self, now: Instant) {
+        let Some(t) = self.rtx_deadline else { return };
+        if now < t {
+            return;
+        }
+        match self.state {
+            DhcpClientState::Selecting => {
+                self.outbox.push(DhcpMessage::discover(self.xid, self.chaddr));
+                self.rtx_deadline = Some(now + RTX_INTERVAL);
+            }
+            DhcpClientState::Requesting => {
+                if let Some(offer) = self.offer.clone() {
+                    self.push_request(&offer);
+                }
+                self.rtx_deadline = Some(now + RTX_INTERVAL);
+            }
+            DhcpClientState::Bound => self.rtx_deadline = None,
+        }
+    }
+
+    fn push_request(&mut self, offer: &DhcpMessage) {
+        let mut req = DhcpMessage::discover(self.xid, self.chaddr);
+        req.message_type = DhcpMessageType::Request;
+        req.requested_ip = Some(offer.your_addr);
+        req.server_id = offer.server_id;
+        self.outbox.push(req);
+    }
+
+    /// Processes a server message.
+    pub fn process(&mut self, now: Instant, msg: &DhcpMessage) {
+        if msg.is_request_op || msg.xid != self.xid || msg.chaddr != self.chaddr {
+            return;
+        }
+        match (self.state, msg.message_type) {
+            (DhcpClientState::Selecting, DhcpMessageType::Offer) => {
+                self.offer = Some(msg.clone());
+                self.state = DhcpClientState::Requesting;
+                let offer = msg.clone();
+                self.push_request(&offer);
+                self.rtx_deadline = Some(now + RTX_INTERVAL);
+            }
+            (DhcpClientState::Requesting, DhcpMessageType::Ack) => {
+                self.lease = Some(DhcpLease {
+                    addr: msg.your_addr,
+                    subnet_mask: msg.subnet_mask.unwrap_or(Ipv4Addr::new(255, 255, 255, 0)),
+                    router: msg.router,
+                    dns_servers: msg.dns_servers.clone(),
+                    lease_secs: msg.lease_secs.unwrap_or(3600),
+                    server: msg.server_id.unwrap_or(msg.server_addr),
+                });
+                self.state = DhcpClientState::Bound;
+                self.rtx_deadline = None;
+            }
+            (_, DhcpMessageType::Nak) => {
+                self.state = DhcpClientState::Selecting;
+                self.offer = None;
+                self.outbox.push(DhcpMessage::discover(self.xid, self.chaddr));
+                self.rtx_deadline = Some(now + RTX_INTERVAL);
+            }
+            _ => {}
+        }
+    }
+
+    /// Drains messages ready for transmission (sent to 255.255.255.255
+    /// until bound).
+    pub fn dispatch(&mut self) -> Vec<DhcpMessage> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> DhcpServer {
+        DhcpServer::new(DhcpServerConfig {
+            server_addr: Ipv4Addr::new(10, 0, 1, 1),
+            pool_start: Ipv4Addr::new(10, 0, 1, 100),
+            pool_size: 3,
+            subnet_mask: Ipv4Addr::new(255, 255, 255, 0),
+            router: None,
+            dns_servers: vec![Ipv4Addr::new(10, 0, 1, 1)],
+            lease_secs: 86_400,
+        })
+    }
+
+    #[test]
+    fn full_dora_exchange() {
+        let now = Instant::ZERO;
+        let mut srv = server();
+        let mut cli = DhcpClient::new([2, 0, 0, 0, 0, 1], 0x1234);
+        cli.start(now);
+        for _ in 0..4 {
+            let msgs = cli.dispatch();
+            if msgs.is_empty() {
+                break;
+            }
+            for m in msgs {
+                if let Some(reply) = srv.process(&m) {
+                    cli.process(now, &reply);
+                }
+            }
+        }
+        assert_eq!(cli.state(), DhcpClientState::Bound);
+        let lease = cli.lease.as_ref().unwrap();
+        assert_eq!(lease.addr, Ipv4Addr::new(10, 0, 1, 100));
+        assert_eq!(lease.router, Some(Ipv4Addr::new(10, 0, 1, 1)));
+        assert_eq!(lease.dns_servers, vec![Ipv4Addr::new(10, 0, 1, 1)]);
+    }
+
+    #[test]
+    fn same_client_gets_same_address() {
+        let mut srv = server();
+        let d = DhcpMessage::discover(1, [9; 6]);
+        let offer1 = srv.process(&d).unwrap();
+        let offer2 = srv.process(&d).unwrap();
+        assert_eq!(offer1.your_addr, offer2.your_addr);
+    }
+
+    #[test]
+    fn pool_exhaustion_naks() {
+        let mut srv = server();
+        for i in 0..3u8 {
+            let d = DhcpMessage::discover(1, [i; 6]);
+            assert_eq!(srv.process(&d).unwrap().message_type, DhcpMessageType::Offer);
+        }
+        let d = DhcpMessage::discover(1, [99; 6]);
+        assert_eq!(srv.process(&d).unwrap().message_type, DhcpMessageType::Nak);
+    }
+
+    #[test]
+    fn request_to_other_server_ignored() {
+        let mut srv = server();
+        let mut req = DhcpMessage::discover(1, [1; 6]);
+        req.message_type = DhcpMessageType::Request;
+        req.server_id = Some(Ipv4Addr::new(10, 9, 9, 9));
+        assert!(srv.process(&req).is_none());
+    }
+
+    #[test]
+    fn discover_retransmits_until_answered() {
+        let mut cli = DhcpClient::new([1; 6], 7);
+        let mut now = Instant::ZERO;
+        cli.start(now);
+        assert_eq!(cli.dispatch().len(), 1);
+        now = cli.poll_at().unwrap();
+        cli.on_timer(now);
+        assert_eq!(cli.dispatch().len(), 1, "DISCOVER should be retransmitted");
+        assert_eq!(cli.state(), DhcpClientState::Selecting);
+    }
+
+    #[test]
+    fn release_frees_nothing_but_removes_lease() {
+        let mut srv = server();
+        let d = DhcpMessage::discover(1, [5; 6]);
+        srv.process(&d).unwrap();
+        assert_eq!(srv.leases().len(), 1);
+        let mut rel = DhcpMessage::discover(1, [5; 6]);
+        rel.message_type = DhcpMessageType::Release;
+        assert!(srv.process(&rel).is_none());
+        assert!(srv.leases().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! DNS server zone data and query evaluation.
+//!
+//! The testbed's `hiit.fi` DNS server (Figure 1) is a [`DnsZone`] attached
+//! to the test-server host; it answers over UDP and TCP port 53. Gateways
+//! proxy queries to it — or fail to, which is what the DNS experiment
+//! records.
+
+use std::net::Ipv4Addr;
+
+use hgw_wire::dns::{DnsMessage, Rcode, Record, RecordData, RecordType};
+
+/// A static zone: name → address mappings.
+#[derive(Debug, Clone, Default)]
+pub struct DnsZone {
+    entries: Vec<(String, Ipv4Addr)>,
+    /// TTL for all answers.
+    pub ttl: u32,
+}
+
+impl DnsZone {
+    /// Creates an empty zone with a 300-second TTL.
+    pub fn new() -> DnsZone {
+        DnsZone { entries: Vec::new(), ttl: 300 }
+    }
+
+    /// The zone the testbed uses by default.
+    pub fn testbed_default(server_addr: Ipv4Addr) -> DnsZone {
+        let mut zone = DnsZone::new();
+        zone.insert("server.hiit.fi", server_addr);
+        zone.insert("www.hiit.fi", Ipv4Addr::new(10, 99, 0, 80));
+        zone.insert("ntp.hiit.fi", Ipv4Addr::new(10, 99, 0, 123));
+        zone
+    }
+
+    /// Adds a name → address mapping.
+    pub fn insert(&mut self, name: &str, addr: Ipv4Addr) {
+        self.entries.push((name.to_ascii_lowercase(), addr));
+    }
+
+    /// Looks up every address for `name`.
+    pub fn lookup(&self, name: &str) -> Vec<Ipv4Addr> {
+        let name = name.to_ascii_lowercase();
+        self.entries.iter().filter(|(n, _)| *n == name).map(|(_, a)| *a).collect()
+    }
+
+    /// Evaluates a query message into a response message.
+    pub fn answer(&self, query: &DnsMessage) -> DnsMessage {
+        if query.is_response || query.questions.is_empty() {
+            return DnsMessage::response_to(query, Vec::new(), Rcode::FormErr);
+        }
+        let mut answers = Vec::new();
+        let mut found_any = false;
+        for q in &query.questions {
+            let addrs = self.lookup(&q.name);
+            if !addrs.is_empty() {
+                found_any = true;
+            }
+            if q.rtype == RecordType::A {
+                for addr in addrs {
+                    answers.push(Record {
+                        name: q.name.clone(),
+                        ttl: self.ttl,
+                        data: RecordData::A(addr),
+                    });
+                }
+            }
+        }
+        let rcode = if found_any { Rcode::NoError } else { Rcode::NxDomain };
+        DnsMessage::response_to(query, answers, rcode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut zone = DnsZone::new();
+        zone.insert("WWW.Example.ORG", Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(zone.lookup("www.example.org"), vec![Ipv4Addr::new(1, 2, 3, 4)]);
+    }
+
+    #[test]
+    fn answers_a_query() {
+        let zone = DnsZone::testbed_default(Ipv4Addr::new(10, 0, 1, 1));
+        let q = DnsMessage::query_a(42, "server.hiit.fi");
+        let resp = zone.answer(&q);
+        assert!(resp.is_response);
+        assert_eq!(resp.id, 42);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].data, RecordData::A(Ipv4Addr::new(10, 0, 1, 1)));
+    }
+
+    #[test]
+    fn nxdomain_for_unknown_names() {
+        let zone = DnsZone::testbed_default(Ipv4Addr::new(10, 0, 1, 1));
+        let resp = zone.answer(&DnsMessage::query_a(1, "nosuch.example"));
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn multiple_a_records() {
+        let mut zone = DnsZone::new();
+        zone.insert("multi.example", Ipv4Addr::new(1, 1, 1, 1));
+        zone.insert("multi.example", Ipv4Addr::new(2, 2, 2, 2));
+        let resp = zone.answer(&DnsMessage::query_a(1, "multi.example"));
+        assert_eq!(resp.answers.len(), 2);
+    }
+
+    #[test]
+    fn rejects_response_as_query() {
+        let zone = DnsZone::new();
+        let mut q = DnsMessage::query_a(1, "x.y");
+        q.is_response = true;
+        assert_eq!(zone.answer(&q).rcode, Rcode::FormErr);
+    }
+}

@@ -1,0 +1,1152 @@
+//! The [`Host`] node: a complete endpoint stack on the simulated network.
+//!
+//! A `Host` plays both testbed roles of the paper (Figure 1): the *test
+//! client* behind each gateway and the *test server* on the WAN side. It
+//! integrates IPv4 input/output with routing, UDP sockets, full TCP, ICMP
+//! (echo + error recording + port-unreachable generation), the SCTP and
+//! DCCP probe endpoints, a DNS server (UDP and TCP), and DHCP client and
+//! server roles. Experiment drivers interact with it through
+//! [`Simulator::with_node`](hgw_core::Simulator::with_node).
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use hgw_core::{impl_node_downcast, Instant, Node, NodeCtx, PortId, TimerToken};
+use hgw_wire::dccp::DccpRepr;
+use hgw_wire::dhcp::{DhcpMessage, CLIENT_PORT, SERVER_PORT};
+use hgw_wire::dns::DnsMessage;
+use hgw_wire::icmp::{IcmpRepr, UnreachCode};
+use hgw_wire::ip::{Ipv4Repr, Protocol};
+use hgw_wire::sctp::{Chunk, SctpRepr};
+use hgw_wire::tcp::TcpRepr;
+use hgw_wire::{Ipv4Packet, SeqNumber, TcpFlags, TcpPacket, UdpPacket, UdpRepr};
+
+use crate::dccp::{DccpEndpoint, DccpServerConn};
+use crate::dhcp::{DhcpClient, DhcpServer, DhcpServerConfig};
+use crate::dns::DnsZone;
+use crate::icmp::{parse_embedded, IcmpEvent};
+use crate::iface::{Iface, IfaceConfig, RoutingTable};
+use crate::sctp::{SctpAssociation, SctpEndpoint};
+use crate::tcp::{TcpConfig, TcpSegment, TcpSocket};
+
+/// Handle to a UDP socket on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpHandle(pub usize);
+
+/// Handle to a TCP socket on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpHandle(pub usize);
+
+/// Handle to an SCTP endpoint on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SctpHandle(pub usize);
+
+/// Handle to a DCCP endpoint on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DccpHandle(pub usize);
+
+/// Application behavior attached to an accepted TCP socket.
+#[derive(Debug)]
+enum TcpApp {
+    /// Echo everything back.
+    Echo,
+    /// Serve length-framed DNS queries from the host's zone.
+    DnsTcp { inbuf: Vec<u8> },
+}
+
+/// Application attached to a TCP listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListenerApp {
+    /// Accept only; the driver reads/writes manually.
+    Manual,
+    /// Echo everything back (TCP-4's message-passing check).
+    Echo,
+    /// DNS-over-TCP service from the host zone.
+    Dns,
+}
+
+#[derive(Debug)]
+struct TcpListener {
+    port: u16,
+    app: ListenerApp,
+    config: TcpConfig,
+}
+
+#[derive(Debug)]
+struct UdpSocketState {
+    port: u16,
+    /// When set, the socket only receives datagrams addressed to this
+    /// address and sends with it as the source (alias support).
+    bound_addr: Option<Ipv4Addr>,
+    recv: Vec<(SocketAddrV4, Vec<u8>)>,
+    /// Echo datagrams back to the sender.
+    echo: bool,
+}
+
+/// A complete simulated endpoint.
+pub struct Host {
+    /// Hostname for diagnostics.
+    pub name: String,
+    ifaces: Vec<Option<Iface>>,
+    /// Extra addresses accepted (and usable as UDP source) per port.
+    aliases: Vec<(PortId, Ipv4Addr)>,
+    routes: RoutingTable,
+
+    udp_sockets: Vec<Option<UdpSocketState>>,
+    next_ephemeral: u16,
+
+    tcp_sockets: Vec<Option<TcpSocket>>,
+    tcp_apps: HashMap<usize, TcpApp>,
+    tcp_listeners: Vec<TcpListener>,
+    accepted: Vec<TcpHandle>,
+    /// Default configuration for new sockets.
+    pub tcp_config: TcpConfig,
+
+    icmp_events: Vec<IcmpEvent>,
+    echo_replies: Vec<(Instant, Ipv4Addr, u16, u16)>,
+    /// Reply to incoming echo requests.
+    pub respond_to_echo: bool,
+    /// Generate ICMP port unreachable for UDP to closed ports.
+    pub generate_port_unreachable: bool,
+
+    sniffed: Option<Vec<(Instant, Vec<u8>)>>,
+
+    sctp_endpoints: Vec<Option<SctpEndpoint>>,
+    sctp_assocs: HashMap<(Ipv4Addr, u16, u16), SctpAssociation>,
+    sctp_listen_ports: Vec<u16>,
+    next_sctp_remote: HashMap<usize, (Ipv4Addr, u16)>,
+
+    dccp_endpoints: Vec<Option<DccpEndpoint>>,
+    dccp_conns: HashMap<(Ipv4Addr, u16, u16), DccpServerConn>,
+    dccp_listen_ports: Vec<u16>,
+    next_dccp_remote: HashMap<usize, (Ipv4Addr, u16)>,
+
+    dns_zone: Option<DnsZone>,
+    dhcp_servers: Vec<(PortId, DhcpServer)>,
+    dhcp_client: Option<(PortId, DhcpClient)>,
+    /// Forward packets between interfaces (router mode). Off for
+    /// endpoints; the dual-NAT rendezvous server turns it on to play
+    /// "the Internet" between two gateways.
+    pub forwarding: bool,
+
+    /// Earliest armed wake-up (to avoid redundant timers).
+    armed_at: Option<Instant>,
+}
+
+impl Host {
+    /// Creates a host with no interfaces.
+    pub fn new(name: &str) -> Host {
+        Host {
+            name: name.to_string(),
+            ifaces: Vec::new(),
+            aliases: Vec::new(),
+            routes: RoutingTable::new(),
+            udp_sockets: Vec::new(),
+            next_ephemeral: 0,
+            tcp_sockets: Vec::new(),
+            tcp_apps: HashMap::new(),
+            tcp_listeners: Vec::new(),
+            accepted: Vec::new(),
+            tcp_config: TcpConfig::default(),
+            icmp_events: Vec::new(),
+            echo_replies: Vec::new(),
+            respond_to_echo: true,
+            generate_port_unreachable: true,
+            sniffed: None,
+            sctp_endpoints: Vec::new(),
+            sctp_assocs: HashMap::new(),
+            sctp_listen_ports: Vec::new(),
+            next_sctp_remote: HashMap::new(),
+            dccp_endpoints: Vec::new(),
+            dccp_conns: HashMap::new(),
+            dccp_listen_ports: Vec::new(),
+            next_dccp_remote: HashMap::new(),
+            dns_zone: None,
+            dhcp_servers: Vec::new(),
+            dhcp_client: None,
+            forwarding: false,
+            armed_at: None,
+        }
+    }
+
+    // ---------------- interfaces & routing ----------------
+
+    /// Configures an interface on `port` and installs its connected route.
+    pub fn add_iface(&mut self, port: PortId, config: IfaceConfig) {
+        if self.ifaces.len() <= port.0 {
+            self.ifaces.resize_with(port.0 + 1, || None);
+        }
+        self.ifaces[port.0] = Some(Iface { port, config });
+        if config.is_configured() {
+            self.routes.add(config.addr, config.prefix, port);
+        }
+    }
+
+    /// Adds a route.
+    pub fn add_route(&mut self, dest: Ipv4Addr, prefix: u8, port: PortId) {
+        self.routes.add(dest, prefix, port);
+    }
+
+    /// Adds a default route out of `port`.
+    pub fn add_default_route(&mut self, port: PortId) {
+        self.routes.add_default(port);
+    }
+
+    /// The address of the interface on `port`.
+    pub fn iface_addr(&self, port: PortId) -> Option<Ipv4Addr> {
+        self.ifaces
+            .get(port.0)
+            .and_then(|i| i.as_ref())
+            .filter(|i| i.config.is_configured())
+            .map(|i| i.config.addr)
+    }
+
+    /// Adds an alias address on `port`: accepted on receive and usable as
+    /// a UDP source via [`Host::udp_bind_at`]. Used by the classification
+    /// probes, which need a second server identity (two remote addresses).
+    pub fn add_alias(&mut self, port: PortId, addr: Ipv4Addr) {
+        self.aliases.push((port, addr));
+    }
+
+    fn owns_addr(&self, addr: Ipv4Addr) -> bool {
+        addr == Ipv4Addr::BROADCAST
+            || self.ifaces.iter().flatten().any(|i| i.config.addr == addr)
+            || self.aliases.iter().any(|(_, a)| *a == addr)
+    }
+
+    /// Routes and transmits an IP payload.
+    fn send_ip(&mut self, ctx: &mut NodeCtx, mut repr: Ipv4Repr, payload: &[u8]) {
+        let Some(port) = self.routes.lookup(repr.dst_addr) else {
+            return; // no route: drop (counted nowhere; hosts log via stats if needed)
+        };
+        if repr.src_addr == Ipv4Addr::UNSPECIFIED {
+            if let Some(addr) = self.iface_addr(port) {
+                repr.src_addr = addr;
+            }
+        }
+        ctx.send_frame(port, repr.emit_with_payload(payload));
+    }
+
+    /// Transmits an IP payload on an explicit port (broadcasts, DHCP).
+    fn send_ip_on(&mut self, ctx: &mut NodeCtx, port: PortId, mut repr: Ipv4Repr, payload: &[u8]) {
+        if repr.src_addr == Ipv4Addr::UNSPECIFIED {
+            if let Some(addr) = self.iface_addr(port) {
+                repr.src_addr = addr;
+            }
+        }
+        ctx.send_frame(port, repr.emit_with_payload(payload));
+    }
+
+    /// Sends a fully formed IP packet, routing by its destination (used by
+    /// the ICMP "hijack" prober to inject crafted packets).
+    pub fn raw_send(&mut self, ctx: &mut NodeCtx, packet: Vec<u8>) {
+        let Ok(view) = Ipv4Packet::new_checked(&packet[..]) else { return };
+        let Some(port) = self.routes.lookup(view.dst_addr()) else { return };
+        ctx.send_frame(port, packet);
+    }
+
+    fn forward_packet(&mut self, ctx: &mut NodeCtx, in_port: PortId, mut frame: Vec<u8>) {
+        let dst = Ipv4Packet::new_unchecked(&frame[..]).dst_addr();
+        let Some(out_port) = self.routes.lookup(dst) else { return };
+        if out_port == in_port {
+            return; // no U-turns on point-to-point links
+        }
+        let mut ip = Ipv4Packet::new_unchecked(&mut frame[..]);
+        let ttl = ip.ttl();
+        if ttl <= 1 {
+            return; // expired in transit; no diagnostics needed here
+        }
+        ip.set_ttl(ttl - 1);
+        ip.fill_checksum();
+        ctx.send_frame(out_port, frame);
+    }
+
+    // ---------------- sniffer ----------------
+
+    /// Enables recording of every received IP packet.
+    pub fn sniff_enable(&mut self) {
+        self.sniffed.get_or_insert_with(Vec::new);
+    }
+
+    /// Drains sniffed packets.
+    pub fn sniff_take(&mut self) -> Vec<(Instant, Vec<u8>)> {
+        self.sniffed.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    // ---------------- UDP ----------------
+
+    /// Binds a UDP socket on `port` (any local address).
+    pub fn udp_bind(&mut self, port: u16) -> UdpHandle {
+        let state = UdpSocketState { port, bound_addr: None, recv: Vec::new(), echo: false };
+        let idx = free_slot(&mut self.udp_sockets);
+        self.udp_sockets[idx] = Some(state);
+        UdpHandle(idx)
+    }
+
+    /// Binds a UDP socket to a specific local address (an interface address
+    /// or an alias) and port.
+    pub fn udp_bind_at(&mut self, addr: Ipv4Addr, port: u16) -> UdpHandle {
+        let state =
+            UdpSocketState { port, bound_addr: Some(addr), recv: Vec::new(), echo: false };
+        let idx = free_slot(&mut self.udp_sockets);
+        self.udp_sockets[idx] = Some(state);
+        UdpHandle(idx)
+    }
+
+    /// Binds a UDP socket on a fresh ephemeral port.
+    pub fn udp_bind_ephemeral(&mut self) -> UdpHandle {
+        let port = self.alloc_ephemeral();
+        self.udp_bind(port)
+    }
+
+    /// Marks a UDP socket as an echo service.
+    pub fn udp_set_echo(&mut self, h: UdpHandle, on: bool) {
+        self.udp_sockets[h.0].as_mut().expect("closed socket").echo = on;
+    }
+
+    /// The local port of a UDP socket.
+    pub fn udp_local_port(&self, h: UdpHandle) -> u16 {
+        self.udp_sockets[h.0].as_ref().expect("closed socket").port
+    }
+
+    /// Sends a datagram from socket `h` to `dst`.
+    pub fn udp_send(&mut self, ctx: &mut NodeCtx, h: UdpHandle, dst: SocketAddrV4, payload: &[u8]) {
+        let src_port = self.udp_local_port(h);
+        let bound = self.udp_sockets[h.0].as_ref().and_then(|s| s.bound_addr);
+        // The pseudo-header needs the source address: resolve the route now.
+        let Some(port) = self.routes.lookup(*dst.ip()) else { return };
+        let Some(src_addr) = bound.or_else(|| self.iface_addr(port)) else { return };
+        let datagram =
+            UdpRepr { src_port, dst_port: dst.port() }.emit_with_payload(src_addr, *dst.ip(), payload);
+        let repr = Ipv4Repr::new(src_addr, *dst.ip(), Protocol::Udp);
+        self.send_ip_on(ctx, port, repr, &datagram);
+        self.reschedule(ctx);
+    }
+
+    /// Receives a pending datagram, if any.
+    pub fn udp_recv(&mut self, h: UdpHandle) -> Option<(SocketAddrV4, Vec<u8>)> {
+        let s = self.udp_sockets[h.0].as_mut().expect("closed socket");
+        if s.recv.is_empty() {
+            None
+        } else {
+            Some(s.recv.remove(0))
+        }
+    }
+
+    /// Closes a UDP socket.
+    pub fn udp_close(&mut self, h: UdpHandle) {
+        self.udp_sockets[h.0] = None;
+    }
+
+    fn alloc_ephemeral(&mut self) -> u16 {
+        loop {
+            let port = 49_152 + (self.next_ephemeral % 16_384);
+            self.next_ephemeral = self.next_ephemeral.wrapping_add(1);
+            let in_use = self
+                .udp_sockets
+                .iter()
+                .flatten()
+                .any(|s| s.port == port)
+                || self.tcp_sockets.iter().flatten().any(|s| s.local.port() == port);
+            if !in_use {
+                return port;
+            }
+        }
+    }
+
+    // ---------------- TCP ----------------
+
+    /// Opens a TCP connection to `remote` from a fresh ephemeral port.
+    pub fn tcp_connect(&mut self, ctx: &mut NodeCtx, remote: SocketAddrV4) -> TcpHandle {
+        self.tcp_connect_with(ctx, remote, self.tcp_config)
+    }
+
+    /// Opens a TCP connection with an explicit socket configuration.
+    pub fn tcp_connect_with(
+        &mut self,
+        ctx: &mut NodeCtx,
+        remote: SocketAddrV4,
+        config: TcpConfig,
+    ) -> TcpHandle {
+        let local_port = self.alloc_ephemeral();
+        let local_addr = self
+            .routes
+            .lookup(*remote.ip())
+            .and_then(|p| self.iface_addr(p))
+            .unwrap_or(Ipv4Addr::UNSPECIFIED);
+        let iss = SeqNumber(ctx.rng().next_u32());
+        let socket = TcpSocket::client(
+            SocketAddrV4::new(local_addr, local_port),
+            remote,
+            iss,
+            config,
+            ctx.now(),
+        );
+        let idx = free_slot(&mut self.tcp_sockets);
+        self.tcp_sockets[idx] = Some(socket);
+        self.poll(ctx);
+        TcpHandle(idx)
+    }
+
+    /// Starts listening on `port` with the given accept-time application.
+    pub fn tcp_listen(&mut self, port: u16, app: ListenerApp) {
+        self.tcp_listen_with(port, app, self.tcp_config);
+    }
+
+    /// Starts listening with an explicit socket configuration.
+    pub fn tcp_listen_with(&mut self, port: u16, app: ListenerApp, config: TcpConfig) {
+        self.tcp_listeners.push(TcpListener { port, app, config });
+    }
+
+    /// Drains the list of newly accepted connections.
+    pub fn tcp_accepted(&mut self) -> Vec<TcpHandle> {
+        std::mem::take(&mut self.accepted)
+    }
+
+    /// Access to a TCP socket.
+    pub fn tcp(&self, h: TcpHandle) -> &TcpSocket {
+        self.tcp_sockets[h.0].as_ref().expect("closed socket")
+    }
+
+    /// Mutable access to a TCP socket (driver-side reads/writes); callers
+    /// should invoke [`Host::kick`] afterwards so output is flushed.
+    pub fn tcp_mut(&mut self, h: TcpHandle) -> &mut TcpSocket {
+        self.tcp_sockets[h.0].as_mut().expect("closed socket")
+    }
+
+    /// True if the handle still refers to a socket.
+    pub fn tcp_is_alive(&self, h: TcpHandle) -> bool {
+        self.tcp_sockets.get(h.0).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    /// Queues data on a connection and flushes output.
+    pub fn tcp_send(&mut self, ctx: &mut NodeCtx, h: TcpHandle, data: &[u8]) -> usize {
+        let n = self.tcp_mut(h).send(data);
+        self.poll(ctx);
+        n
+    }
+
+    /// Reads received data from a connection.
+    pub fn tcp_recv(&mut self, h: TcpHandle, max: usize) -> Vec<u8> {
+        self.tcp_mut(h).recv(max)
+    }
+
+    /// Closes a connection (FIN) and flushes output.
+    pub fn tcp_close(&mut self, ctx: &mut NodeCtx, h: TcpHandle) {
+        self.tcp_mut(h).close();
+        self.poll(ctx);
+    }
+
+    /// Releases a fully closed socket slot.
+    pub fn tcp_remove(&mut self, h: TcpHandle) {
+        self.tcp_sockets[h.0] = None;
+        self.tcp_apps.remove(&h.0);
+    }
+
+    /// Flushes pending socket output and re-arms timers. Call after
+    /// driver-side socket mutations.
+    pub fn kick(&mut self, ctx: &mut NodeCtx) {
+        self.poll(ctx);
+    }
+
+    // ---------------- ICMP ----------------
+
+    /// Sends an ICMP echo request.
+    pub fn ping(&mut self, ctx: &mut NodeCtx, dst: Ipv4Addr, ident: u16, seq: u16) {
+        let msg = IcmpRepr::EchoRequest { ident, seq, payload: b"hgw-ping".to_vec() };
+        let repr = Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, dst, Protocol::Icmp);
+        self.send_ip(ctx, repr, &msg.emit());
+    }
+
+    /// Drains recorded ICMP events (errors and informational).
+    pub fn icmp_take_events(&mut self) -> Vec<IcmpEvent> {
+        std::mem::take(&mut self.icmp_events)
+    }
+
+    /// Drains recorded echo replies `(at, from, ident, seq)`.
+    pub fn ping_take_replies(&mut self) -> Vec<(Instant, Ipv4Addr, u16, u16)> {
+        std::mem::take(&mut self.echo_replies)
+    }
+
+    // ---------------- SCTP ----------------
+
+    /// Opens an SCTP association to `remote`.
+    pub fn sctp_connect(&mut self, ctx: &mut NodeCtx, remote: SocketAddrV4) -> SctpHandle {
+        let local_port = self.alloc_ephemeral();
+        let vtag = ctx.rng().next_u32().max(1);
+        let tsn = ctx.rng().next_u32();
+        let mut ep = SctpEndpoint::client(local_port, remote.port(), vtag, tsn);
+        ep.start(ctx.now());
+        let idx = free_slot(&mut self.sctp_endpoints);
+        self.sctp_endpoints[idx] = Some(ep);
+        self.next_sctp_remote.insert(idx, (*remote.ip(), remote.port()));
+        self.poll(ctx);
+        SctpHandle(idx)
+    }
+
+    /// Listens for SCTP associations on `port` (echoing data).
+    pub fn sctp_listen(&mut self, port: u16) {
+        self.sctp_listen_ports.push(port);
+    }
+
+    /// Access to an SCTP endpoint.
+    pub fn sctp(&self, h: SctpHandle) -> &SctpEndpoint {
+        self.sctp_endpoints[h.0].as_ref().expect("closed endpoint")
+    }
+
+    /// Queues data on an association and flushes.
+    pub fn sctp_send(&mut self, ctx: &mut NodeCtx, h: SctpHandle, data: Vec<u8>) {
+        self.sctp_endpoints[h.0].as_mut().expect("closed endpoint").send(ctx.now(), data);
+        self.poll(ctx);
+    }
+
+    // ---------------- DCCP ----------------
+
+    /// Opens a DCCP connection to `remote`.
+    pub fn dccp_connect(&mut self, ctx: &mut NodeCtx, remote: SocketAddrV4, service: u32) -> DccpHandle {
+        let local_port = self.alloc_ephemeral();
+        let iss = ctx.rng().next_u64() & 0xFFFF_FFFF_FFFF;
+        let mut ep = DccpEndpoint::client(local_port, remote.port(), service, iss);
+        ep.start(ctx.now());
+        let idx = free_slot(&mut self.dccp_endpoints);
+        self.dccp_endpoints[idx] = Some(ep);
+        self.next_dccp_remote.insert(idx, (*remote.ip(), remote.port()));
+        self.poll(ctx);
+        DccpHandle(idx)
+    }
+
+    /// Listens for DCCP connections on `port` (echoing data).
+    pub fn dccp_listen(&mut self, port: u16) {
+        self.dccp_listen_ports.push(port);
+    }
+
+    /// Access to a DCCP endpoint.
+    pub fn dccp(&self, h: DccpHandle) -> &DccpEndpoint {
+        self.dccp_endpoints[h.0].as_ref().expect("closed endpoint")
+    }
+
+    /// Queues data on a DCCP connection and flushes.
+    pub fn dccp_send(&mut self, ctx: &mut NodeCtx, h: DccpHandle, data: Vec<u8>) {
+        self.dccp_endpoints[h.0].as_mut().expect("closed endpoint").send(data);
+        self.poll(ctx);
+    }
+
+    // ---------------- DNS / DHCP services ----------------
+
+    /// Serves the given zone on UDP and TCP port 53.
+    pub fn enable_dns_server(&mut self, zone: DnsZone) {
+        self.dns_zone = Some(zone);
+        self.tcp_listen(53, ListenerApp::Dns);
+    }
+
+    /// Runs a DHCP server on `port` (one instance per port is allowed).
+    pub fn enable_dhcp_server(&mut self, port: PortId, config: DhcpServerConfig) {
+        self.dhcp_servers.push((port, DhcpServer::new(config)));
+    }
+
+    /// Runs a DHCP client on `port`; once bound it configures the interface,
+    /// installs a default route, and remembers the offered DNS server.
+    pub fn enable_dhcp_client(&mut self, port: PortId, chaddr: [u8; 6]) {
+        self.dhcp_client = Some((port, DhcpClient::new(chaddr, u32::from_be_bytes(chaddr[2..6].try_into().unwrap()))));
+    }
+
+    /// The DHCP client's lease, once bound.
+    pub fn dhcp_lease(&self) -> Option<&crate::dhcp::DhcpLease> {
+        self.dhcp_client.as_ref().and_then(|(_, c)| c.lease.as_ref())
+    }
+
+    // ---------------- polling & timers ----------------
+
+    fn poll(&mut self, ctx: &mut NodeCtx) {
+        let now = ctx.now();
+
+        // DHCP client.
+        if self.dhcp_client.is_some() {
+            let (port, msgs, bound) = {
+                let (port, client) = self.dhcp_client.as_mut().unwrap();
+                client.on_timer(now);
+                (*port, client.dispatch(), client.lease.is_some())
+            };
+            let newly_bound = bound && self.iface_addr(port).is_none();
+            for msg in msgs {
+                let payload =
+                    UdpRepr { src_port: CLIENT_PORT, dst_port: SERVER_PORT }.emit_with_payload(
+                        Ipv4Addr::UNSPECIFIED,
+                        Ipv4Addr::BROADCAST,
+                        &msg.emit(),
+                    );
+                let mut repr =
+                    Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, Protocol::Udp);
+                repr.src_addr = Ipv4Addr::UNSPECIFIED;
+                ctx.send_frame(port, repr.emit_with_payload(&payload));
+            }
+            if newly_bound {
+                let lease = self.dhcp_client.as_ref().unwrap().1.lease.clone().unwrap();
+                let prefix = u32::from(lease.subnet_mask).leading_ones() as u8;
+                self.add_iface(port, IfaceConfig::new(lease.addr, prefix));
+                if lease.router.is_some() {
+                    self.add_default_route(port);
+                }
+            }
+        }
+
+        // TCP sockets.
+        for idx in 0..self.tcp_sockets.len() {
+            let Some(sock) = self.tcp_sockets[idx].as_mut() else { continue };
+            sock.on_timer(now);
+            // Application pumps.
+            match self.tcp_apps.get_mut(&idx) {
+                Some(TcpApp::Echo) => {
+                    loop {
+                        let data = self.tcp_sockets[idx].as_mut().unwrap().recv(4096);
+                        if data.is_empty() {
+                            break;
+                        }
+                        self.tcp_sockets[idx].as_mut().unwrap().send(&data);
+                    }
+                    // A well-behaved echo service closes when the peer does.
+                    let sock = self.tcp_sockets[idx].as_mut().unwrap();
+                    if sock.state() == crate::tcp::TcpState::CloseWait
+                        && sock.send_queue_len() == 0
+                    {
+                        sock.close();
+                    }
+                }
+                Some(TcpApp::DnsTcp { inbuf }) => {
+                    let sock = self.tcp_sockets[idx].as_mut().unwrap();
+                    let data = sock.recv(4096);
+                    inbuf.extend_from_slice(&data);
+                    let mut responses = Vec::new();
+                    while let Ok((query, consumed)) = DnsMessage::parse_tcp(inbuf) {
+                        inbuf.drain(..consumed);
+                        if let Some(zone) = &self.dns_zone {
+                            responses.push(zone.answer(&query).emit_tcp());
+                        }
+                    }
+                    let sock = self.tcp_sockets[idx].as_mut().unwrap();
+                    for resp in responses {
+                        sock.send(&resp);
+                    }
+                }
+                None => {}
+            }
+            let sock = self.tcp_sockets[idx].as_mut().unwrap();
+            let mut segs: Vec<TcpSegment> = Vec::new();
+            sock.dispatch(now, &mut segs);
+            let (local, remote) = (sock.local, sock.remote);
+            for seg in segs {
+                let bytes = seg.repr.emit_with_payload(*local.ip(), *remote.ip(), &seg.payload);
+                let repr = Ipv4Repr::new(*local.ip(), *remote.ip(), Protocol::Tcp);
+                self.send_ip(ctx, repr, &bytes);
+            }
+        }
+
+        // SCTP endpoints.
+        for idx in 0..self.sctp_endpoints.len() {
+            let Some(ep) = self.sctp_endpoints[idx].as_mut() else { continue };
+            ep.on_timer(now);
+            let pkts = ep.dispatch();
+            if let Some(&(raddr, _)) = self.next_sctp_remote.get(&idx) {
+                for pkt in pkts {
+                    let repr = Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, raddr, Protocol::Sctp);
+                    self.send_ip(ctx, repr, &pkt.emit());
+                }
+            }
+        }
+
+        // DCCP endpoints.
+        for idx in 0..self.dccp_endpoints.len() {
+            let Some(ep) = self.dccp_endpoints[idx].as_mut() else { continue };
+            ep.on_timer(now);
+            if let Some(&(raddr, _)) = self.next_dccp_remote.get(&idx) {
+                let Some(port) = self.routes.lookup(raddr) else { continue };
+                let Some(src) = self.iface_addr(port) else { continue };
+                let ep = self.dccp_endpoints[idx].as_mut().unwrap();
+                let pkts = ep.dispatch();
+                for pkt in pkts {
+                    let bytes = pkt.emit(src, raddr);
+                    let repr = Ipv4Repr::new(src, raddr, Protocol::Dccp);
+                    self.send_ip(ctx, repr, &bytes);
+                }
+            }
+        }
+
+        self.reschedule(ctx);
+    }
+
+    fn poll_at(&self) -> Option<Instant> {
+        let tcp = self.tcp_sockets.iter().flatten().filter_map(|s| s.poll_at()).min();
+        let sctp = self.sctp_endpoints.iter().flatten().filter_map(|s| s.poll_at()).min();
+        let dccp = self.dccp_endpoints.iter().flatten().filter_map(|s| s.poll_at()).min();
+        let dhcp = self.dhcp_client.as_ref().and_then(|(_, c)| c.poll_at());
+        [tcp, sctp, dccp, dhcp].into_iter().flatten().min()
+    }
+
+    fn reschedule(&mut self, ctx: &mut NodeCtx) {
+        if let Some(want) = self.poll_at() {
+            let need_arm = match self.armed_at {
+                Some(at) => want < at && at > ctx.now(),
+                None => true,
+            };
+            if need_arm || self.armed_at.is_some_and(|at| at <= ctx.now()) {
+                self.armed_at = Some(want);
+                ctx.set_timer_at(want, TimerToken(0));
+            }
+        }
+    }
+
+    // ---------------- input dispatch ----------------
+
+    fn handle_udp(&mut self, ctx: &mut NodeCtx, port: PortId, ip: &Ipv4Packet<&[u8]>, payload: &[u8]) {
+        let Ok(udp) = UdpPacket::new_checked(payload) else { return };
+        if !udp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
+            return;
+        }
+        let src = SocketAddrV4::new(ip.src_addr(), udp.src_port());
+        let dst_port = udp.dst_port();
+        let data = udp.payload().to_vec();
+
+        // DHCP server.
+        if dst_port == SERVER_PORT && self.dhcp_servers.iter().any(|(p, _)| *p == port) {
+            if let Ok(msg) = DhcpMessage::parse(&data) {
+                let server =
+                    self.dhcp_servers.iter_mut().find(|(p, _)| *p == port).map(|(_, s)| s);
+                let reply = server.and_then(|s| s.process(&msg));
+                if let Some(reply) = reply {
+                    let src_addr = self.iface_addr(port).unwrap_or(Ipv4Addr::UNSPECIFIED);
+                    let dgram = UdpRepr { src_port: SERVER_PORT, dst_port: CLIENT_PORT }
+                        .emit_with_payload(src_addr, Ipv4Addr::BROADCAST, &reply.emit());
+                    let repr = Ipv4Repr::new(src_addr, Ipv4Addr::BROADCAST, Protocol::Udp);
+                    self.send_ip_on(ctx, port, repr, &dgram);
+                }
+            }
+            return;
+        }
+        // DHCP client.
+        if dst_port == CLIENT_PORT {
+            if let Some((cport, client)) = &mut self.dhcp_client {
+                if *cport == port {
+                    if let Ok(msg) = DhcpMessage::parse(&data) {
+                        client.process(ctx.now(), &msg);
+                        self.poll(ctx);
+                    }
+                    return;
+                }
+            }
+        }
+        // DNS server over UDP.
+        if dst_port == 53 && self.dns_zone.is_some() {
+            if let Ok(query) = DnsMessage::parse(&data) {
+                if !query.is_response {
+                    let resp = self.dns_zone.as_ref().unwrap().answer(&query);
+                    let Some(eport) = self.routes.lookup(*src.ip()) else { return };
+                    let Some(src_addr) = self.iface_addr(eport) else { return };
+                    let dgram = UdpRepr { src_port: 53, dst_port: src.port() }
+                        .emit_with_payload(src_addr, *src.ip(), &resp.emit());
+                    let repr = Ipv4Repr::new(src_addr, *src.ip(), Protocol::Udp);
+                    self.send_ip(ctx, repr, &dgram);
+                    return;
+                }
+            }
+        }
+        // Regular sockets: prefer an address-specific bind, then wildcard.
+        let dst_addr = ip.dst_addr();
+        let idx = self
+            .udp_sockets
+            .iter()
+            .position(|s| {
+                s.as_ref()
+                    .map(|s| s.port == dst_port && s.bound_addr == Some(dst_addr))
+                    .unwrap_or(false)
+            })
+            .or_else(|| {
+                self.udp_sockets.iter().position(|s| {
+                    s.as_ref().map(|s| s.port == dst_port && s.bound_addr.is_none()).unwrap_or(false)
+                })
+            });
+        if let Some(s) = idx.map(|i| self.udp_sockets[i].as_mut().unwrap()) {
+            let echo = s.echo;
+            s.recv.push((src, data.clone()));
+            if echo {
+                let h = UdpHandle(
+                    self.udp_sockets
+                        .iter()
+                        .position(|s| s.as_ref().map(|x| x.port == dst_port).unwrap_or(false))
+                        .unwrap(),
+                );
+                self.udp_send(ctx, h, src, &data);
+            }
+            return;
+        }
+        // Closed port: ICMP port unreachable embedding the whole packet.
+        if self.generate_port_unreachable && ip.dst_addr() != Ipv4Addr::BROADCAST {
+            let invoking = ip.clone().into_inner().to_vec();
+            let msg = IcmpRepr::DestUnreachable {
+                code: UnreachCode::PortUnreachable,
+                mtu: 0,
+                invoking,
+            };
+            let repr = Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, ip.src_addr(), Protocol::Icmp);
+            self.send_ip(ctx, repr, &msg.emit());
+        }
+    }
+
+    fn handle_tcp(&mut self, ctx: &mut NodeCtx, ip: &Ipv4Packet<&[u8]>, payload: &[u8]) {
+        let Ok(tcp) = TcpPacket::new_checked(payload) else { return };
+        if !tcp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
+            return;
+        }
+        let Ok(repr) = TcpRepr::parse(&tcp, ip.src_addr(), ip.dst_addr()) else { return };
+        let data = tcp.payload().to_vec();
+        let remote = SocketAddrV4::new(ip.src_addr(), repr.src_port);
+        // Existing connection?
+        let found = self.tcp_sockets.iter().position(|s| {
+            s.as_ref()
+                .map(|s| {
+                    s.local.port() == repr.dst_port
+                        && s.remote == remote
+                        && s.local.ip() == &ip.dst_addr()
+                })
+                .unwrap_or(false)
+        });
+        if let Some(idx) = found {
+            self.tcp_sockets[idx].as_mut().unwrap().process(ctx.now(), &repr, &data);
+            self.poll(ctx);
+            return;
+        }
+        // Listener?
+        if repr.flags.contains(TcpFlags::SYN) && !repr.flags.contains(TcpFlags::ACK) {
+            if let Some(l) = self.tcp_listeners.iter().find(|l| l.port == repr.dst_port) {
+                let app = l.app;
+                let config = l.config;
+                let iss = SeqNumber(ctx.rng().next_u32());
+                let local = SocketAddrV4::new(ip.dst_addr(), repr.dst_port);
+                let socket = TcpSocket::server(local, remote, iss, config, &repr, ctx.now());
+                let idx = free_slot(&mut self.tcp_sockets);
+                self.tcp_sockets[idx] = Some(socket);
+                match app {
+                    ListenerApp::Echo => {
+                        self.tcp_apps.insert(idx, TcpApp::Echo);
+                    }
+                    ListenerApp::Dns => {
+                        self.tcp_apps.insert(idx, TcpApp::DnsTcp { inbuf: Vec::new() });
+                    }
+                    ListenerApp::Manual => {}
+                }
+                self.accepted.push(TcpHandle(idx));
+                self.poll(ctx);
+                return;
+            }
+        }
+        // No socket: RST (unless the segment itself is a RST).
+        if !repr.flags.contains(TcpFlags::RST) {
+            let mut rst = TcpRepr::new(repr.dst_port, repr.src_port, TcpFlags::RST);
+            if repr.flags.contains(TcpFlags::ACK) {
+                rst.seq = repr.ack;
+            } else {
+                rst.flags |= TcpFlags::ACK;
+                rst.ack = repr.seq.add(data.len() as u32 + 1);
+            }
+            rst.window = 0;
+            let bytes = rst.emit_with_payload(ip.dst_addr(), ip.src_addr(), &[]);
+            let ip_repr = Ipv4Repr::new(ip.dst_addr(), ip.src_addr(), Protocol::Tcp);
+            self.send_ip(ctx, ip_repr, &bytes);
+        }
+    }
+
+    fn handle_icmp(&mut self, ctx: &mut NodeCtx, ip: &Ipv4Packet<&[u8]>, payload: &[u8]) {
+        let Ok(msg) = IcmpRepr::parse(payload) else { return };
+        match &msg {
+            IcmpRepr::EchoRequest { ident, seq, payload } => {
+                if self.respond_to_echo {
+                    let reply = IcmpRepr::EchoReply {
+                        ident: *ident,
+                        seq: *seq,
+                        payload: payload.clone(),
+                    };
+                    let repr = Ipv4Repr::new(ip.dst_addr(), ip.src_addr(), Protocol::Icmp);
+                    self.send_ip(ctx, repr, &reply.emit());
+                }
+            }
+            IcmpRepr::EchoReply { ident, seq, .. } => {
+                self.echo_replies.push((ctx.now(), ip.src_addr(), *ident, *seq));
+            }
+            other => {
+                let embedded = other.invoking().and_then(parse_embedded);
+                self.icmp_events.push(IcmpEvent {
+                    at: ctx.now(),
+                    from: ip.src_addr(),
+                    message: msg.clone(),
+                    embedded,
+                });
+            }
+        }
+    }
+
+    fn handle_sctp(&mut self, ctx: &mut NodeCtx, ip: &Ipv4Packet<&[u8]>, payload: &[u8]) {
+        let Ok(pkt) = SctpRepr::parse(payload) else { return };
+        let from = ip.src_addr();
+        // Client endpoints.
+        for idx in 0..self.sctp_endpoints.len() {
+            let matches = self.sctp_endpoints[idx]
+                .as_ref()
+                .map(|ep| {
+                    ep.local_port == pkt.dst_port
+                        && self.next_sctp_remote.get(&idx).map(|(a, p)| *a == from && *p == pkt.src_port).unwrap_or(false)
+                })
+                .unwrap_or(false);
+            if matches {
+                self.sctp_endpoints[idx].as_mut().unwrap().process(ctx.now(), &pkt);
+                self.poll(ctx);
+                return;
+            }
+        }
+        // Server role.
+        if self.sctp_listen_ports.contains(&pkt.dst_port) {
+            let replies = self.sctp_server_react(ctx, from, &pkt);
+            for reply in replies {
+                let repr = Ipv4Repr::new(ip.dst_addr(), from, Protocol::Sctp);
+                self.send_ip(ctx, repr, &reply.emit());
+            }
+        }
+    }
+
+    fn sctp_server_react(&mut self, ctx: &mut NodeCtx, from: Ipv4Addr, pkt: &SctpRepr) -> Vec<SctpRepr> {
+        let key = (from, pkt.src_port, pkt.dst_port);
+        let mut out = Vec::new();
+        for chunk in &pkt.chunks {
+            match chunk {
+                Chunk::Init { init_tag, initial_tsn, .. } => {
+                    // Stateless INIT-ACK carrying the peer state in the cookie.
+                    let my_vtag = ctx.rng().next_u32().max(1);
+                    let cookie = [init_tag.to_be_bytes(), my_vtag.to_be_bytes(), initial_tsn.to_be_bytes()].concat();
+                    out.push(SctpRepr {
+                        src_port: pkt.dst_port,
+                        dst_port: pkt.src_port,
+                        verification_tag: *init_tag,
+                        chunks: vec![Chunk::InitAck {
+                            init_tag: my_vtag,
+                            a_rwnd: 65_536,
+                            outbound_streams: 1,
+                            inbound_streams: 1,
+                            initial_tsn: 1,
+                            cookie,
+                        }],
+                    });
+                }
+                Chunk::CookieEcho { cookie } if cookie.len() >= 12 => {
+                    let peer_vtag = u32::from_be_bytes(cookie[0..4].try_into().unwrap());
+                    let my_vtag = u32::from_be_bytes(cookie[4..8].try_into().unwrap());
+                    let peer_tsn = u32::from_be_bytes(cookie[8..12].try_into().unwrap());
+                    if pkt.verification_tag == my_vtag {
+                        self.sctp_assocs.entry(key).or_insert(SctpAssociation {
+                            peer_vtag,
+                            my_vtag,
+                            my_tsn: 1,
+                            peer_cum_tsn: peer_tsn.wrapping_sub(1),
+                            received: Vec::new(),
+                            echo: true,
+                        });
+                        out.push(SctpRepr {
+                            src_port: pkt.dst_port,
+                            dst_port: pkt.src_port,
+                            verification_tag: peer_vtag,
+                            chunks: vec![Chunk::CookieAck],
+                        });
+                    }
+                }
+                Chunk::Data { tsn, data, .. } => {
+                    if let Some(a) = self.sctp_assocs.get_mut(&key) {
+                        if pkt.verification_tag != a.my_vtag {
+                            continue;
+                        }
+                        let mut chunks = Vec::new();
+                        if *tsn == a.peer_cum_tsn.wrapping_add(1) {
+                            a.peer_cum_tsn = *tsn;
+                            a.received.push(data.clone());
+                            if a.echo {
+                                chunks.push(Chunk::Data {
+                                    tsn: a.my_tsn,
+                                    stream_id: 0,
+                                    stream_seq: 0,
+                                    ppid: 0,
+                                    data: data.clone(),
+                                });
+                                a.my_tsn = a.my_tsn.wrapping_add(1);
+                            }
+                        }
+                        chunks.insert(0, Chunk::Sack { cum_tsn: a.peer_cum_tsn, a_rwnd: 65_536 });
+                        out.push(SctpRepr {
+                            src_port: pkt.dst_port,
+                            dst_port: pkt.src_port,
+                            verification_tag: a.peer_vtag,
+                            chunks,
+                        });
+                    }
+                }
+                Chunk::Sack { .. } => {}
+                Chunk::Shutdown { .. } => {
+                    if let Some(a) = self.sctp_assocs.get(&key) {
+                        out.push(SctpRepr {
+                            src_port: pkt.dst_port,
+                            dst_port: pkt.src_port,
+                            verification_tag: a.peer_vtag,
+                            chunks: vec![Chunk::ShutdownAck],
+                        });
+                    }
+                }
+                Chunk::ShutdownComplete => {
+                    self.sctp_assocs.remove(&key);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn handle_dccp(&mut self, ctx: &mut NodeCtx, ip: &Ipv4Packet<&[u8]>, payload: &[u8]) {
+        let Ok(pkt) = DccpRepr::parse(payload, ip.src_addr(), ip.dst_addr()) else { return };
+        let from = ip.src_addr();
+        // Client endpoints.
+        for idx in 0..self.dccp_endpoints.len() {
+            let matches = self.dccp_endpoints[idx]
+                .as_ref()
+                .map(|ep| {
+                    ep.local_port == pkt.dst_port
+                        && self
+                            .next_dccp_remote
+                            .get(&idx)
+                            .map(|(a, p)| *a == from && *p == pkt.src_port)
+                            .unwrap_or(false)
+                })
+                .unwrap_or(false);
+            if matches {
+                self.dccp_endpoints[idx].as_mut().unwrap().process(ctx.now(), &pkt);
+                self.poll(ctx);
+                return;
+            }
+        }
+        // Server role.
+        if self.dccp_listen_ports.contains(&pkt.dst_port) {
+            let key = (from, pkt.src_port, pkt.dst_port);
+            let mut replies: Vec<DccpRepr> = Vec::new();
+            match pkt.packet_type {
+                hgw_wire::dccp::DccpType::Request => {
+                    let iss = ctx.rng().next_u64() & 0xFFFF_FFFF_FFFF;
+                    let conn = self.dccp_conns.entry(key).or_insert(DccpServerConn {
+                        seq: iss,
+                        peer_seq: pkt.seq,
+                        established: false,
+                        received: Vec::new(),
+                        echo: true,
+                    });
+                    replies.push(DccpRepr {
+                        src_port: pkt.dst_port,
+                        dst_port: pkt.src_port,
+                        packet_type: hgw_wire::dccp::DccpType::Response,
+                        seq: conn.seq,
+                        ack: Some(pkt.seq),
+                        service_code: pkt.service_code,
+                        payload: Vec::new(),
+                    });
+                }
+                hgw_wire::dccp::DccpType::Ack => {
+                    if let Some(c) = self.dccp_conns.get_mut(&key) {
+                        c.established = true;
+                        c.peer_seq = pkt.seq;
+                    }
+                }
+                hgw_wire::dccp::DccpType::Data | hgw_wire::dccp::DccpType::DataAck => {
+                    if let Some(c) = self.dccp_conns.get_mut(&key) {
+                        c.established = true;
+                        c.peer_seq = pkt.seq;
+                        c.received.push(pkt.payload.clone());
+                        if c.echo {
+                            c.seq = (c.seq + 1) & 0xFFFF_FFFF_FFFF;
+                            replies.push(DccpRepr {
+                                src_port: pkt.dst_port,
+                                dst_port: pkt.src_port,
+                                packet_type: hgw_wire::dccp::DccpType::DataAck,
+                                seq: c.seq,
+                                ack: Some(c.peer_seq),
+                                service_code: None,
+                                payload: pkt.payload.clone(),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for reply in replies {
+                let bytes = reply.emit(ip.dst_addr(), from);
+                let repr = Ipv4Repr::new(ip.dst_addr(), from, Protocol::Dccp);
+                self.send_ip(ctx, repr, &bytes);
+            }
+        }
+    }
+
+    /// Server-side DCCP connections observed (for the probe's pass/fail).
+    pub fn dccp_server_conns(&self) -> &HashMap<(Ipv4Addr, u16, u16), DccpServerConn> {
+        &self.dccp_conns
+    }
+
+    /// Server-side SCTP associations observed.
+    pub fn sctp_server_assocs(&self) -> &HashMap<(Ipv4Addr, u16, u16), SctpAssociation> {
+        &self.sctp_assocs
+    }
+}
+
+/// Finds or creates a free slot in a socket table.
+fn free_slot<T>(v: &mut Vec<Option<T>>) -> usize {
+    if let Some(i) = v.iter().position(|s| s.is_none()) {
+        i
+    } else {
+        v.push(None);
+        v.len() - 1
+    }
+}
+
+impl Node for Host {
+    fn start(&mut self, ctx: &mut NodeCtx) {
+        if let Some((_, client)) = &mut self.dhcp_client {
+            client.start(ctx.now());
+        }
+        self.poll(ctx);
+    }
+
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: Vec<u8>) {
+        if let Some(buf) = &mut self.sniffed {
+            buf.push((ctx.now(), frame.clone()));
+        }
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else { return };
+        if !ip.verify_checksum() {
+            return;
+        }
+        let dst = ip.dst_addr();
+        // Accept packets addressed to us or broadcast; an interface still
+        // waiting for DHCP accepts anything (it has no address to match).
+        if !self.owns_addr(dst) && self.iface_addr(port).is_some() {
+            if self.forwarding {
+                self.forward_packet(ctx, port, frame);
+            }
+            return;
+        }
+        let payload = ip.payload().to_vec();
+        match ip.protocol() {
+            Protocol::Udp => self.handle_udp(ctx, port, &ip, &payload),
+            Protocol::Tcp => self.handle_tcp(ctx, &ip, &payload),
+            Protocol::Icmp => self.handle_icmp(ctx, &ip, &payload),
+            Protocol::Sctp => self.handle_sctp(ctx, &ip, &payload),
+            Protocol::Dccp => self.handle_dccp(ctx, &ip, &payload),
+            Protocol::Unknown(_) => {}
+        }
+        self.reschedule(ctx);
+    }
+
+    fn handle_timer(&mut self, ctx: &mut NodeCtx, _token: TimerToken) {
+        self.armed_at = None;
+        self.poll(ctx);
+    }
+
+    impl_node_downcast!();
+}

@@ -1,0 +1,155 @@
+//! ICMP event records and embedded-packet analysis.
+//!
+//! The paper's ICMP experiment judges a gateway by what arrives at the test
+//! client: was the ICMP error forwarded at all, was the transport header
+//! inside its payload rewritten back to the private address/port, and are
+//! the embedded checksums still valid? [`EmbeddedPacket`] extracts exactly
+//! those observables.
+
+use std::net::Ipv4Addr;
+
+use hgw_core::Instant;
+use hgw_wire::icmp::IcmpRepr;
+use hgw_wire::ip::Protocol;
+use hgw_wire::{Ipv4Packet, TcpPacket, UdpPacket};
+
+/// The parsed view of the invoking packet embedded in an ICMP error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddedPacket {
+    /// Source address of the embedded header.
+    pub src: Ipv4Addr,
+    /// Destination address of the embedded header.
+    pub dst: Ipv4Addr,
+    /// Transport protocol of the embedded packet.
+    pub protocol: Protocol,
+    /// Embedded transport source port (0 when not parseable).
+    pub src_port: u16,
+    /// Embedded transport destination port (0 when not parseable).
+    pub dst_port: u16,
+    /// Whether the embedded IP header checksum verifies.
+    pub ip_checksum_ok: bool,
+    /// Whether the embedded transport checksum verifies; `None` when the
+    /// payload is too truncated to tell.
+    pub l4_checksum_ok: Option<bool>,
+}
+
+/// Parses the invoking packet from an ICMP error payload.
+pub fn parse_embedded(invoking: &[u8]) -> Option<EmbeddedPacket> {
+    if invoking.len() < 20 {
+        return None;
+    }
+    // The embedded packet may be truncated, so bypass total-length checks.
+    let packet = Ipv4Packet::new_unchecked(invoking);
+    if packet.version() != 4 || packet.header_len() < 20 || invoking.len() < packet.header_len() {
+        return None;
+    }
+    let hl = packet.header_len();
+    let ip_checksum_ok = packet.verify_checksum();
+    let src = packet.src_addr();
+    let dst = packet.dst_addr();
+    let protocol = packet.protocol();
+    let l4 = &invoking[hl..];
+    let (src_port, dst_port) = if l4.len() >= 4 {
+        (
+            u16::from_be_bytes([l4[0], l4[1]]),
+            u16::from_be_bytes([l4[2], l4[3]]),
+        )
+    } else {
+        (0, 0)
+    };
+    // Verify the transport checksum when the whole datagram is present
+    // (our testbed's ICMP generator embeds complete packets, so a NAT that
+    // forgets the fixup is detectable).
+    let l4_checksum_ok = match protocol {
+        Protocol::Udp => {
+            if let Ok(udp) = UdpPacket::new_checked(l4) {
+                Some(udp.verify_checksum(src, dst))
+            } else {
+                None
+            }
+        }
+        Protocol::Tcp => {
+            let claimed = packet.total_len();
+            if claimed >= hl && l4.len() >= claimed - hl && TcpPacket::new_checked(l4).is_ok() {
+                Some(TcpPacket::new_unchecked(&l4[..claimed - hl]).verify_checksum(src, dst))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    };
+    Some(EmbeddedPacket { src, dst, protocol, src_port, dst_port, ip_checksum_ok, l4_checksum_ok })
+}
+
+/// A received ICMP message, recorded for the measurement driver.
+#[derive(Debug, Clone)]
+pub struct IcmpEvent {
+    /// Arrival time.
+    pub at: Instant,
+    /// IP source of the ICMP packet.
+    pub from: Ipv4Addr,
+    /// The message itself.
+    pub message: IcmpRepr,
+    /// Parsed invoking packet for error messages.
+    pub embedded: Option<EmbeddedPacket>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_wire::ip::Ipv4Repr;
+    use hgw_wire::udp::UdpRepr;
+
+    fn udp_packet() -> Vec<u8> {
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let dst = Ipv4Addr::new(10, 0, 1, 1);
+        let udp = UdpRepr { src_port: 4321, dst_port: 53 }.emit_with_payload(src, dst, b"probe");
+        Ipv4Repr::new(src, dst, Protocol::Udp).emit_with_payload(&udp)
+    }
+
+    #[test]
+    fn parses_full_udp_invoking_packet() {
+        let pkt = udp_packet();
+        let e = parse_embedded(&pkt).unwrap();
+        assert_eq!(e.src, Ipv4Addr::new(192, 168, 1, 2));
+        assert_eq!(e.dst, Ipv4Addr::new(10, 0, 1, 1));
+        assert_eq!(e.protocol, Protocol::Udp);
+        assert_eq!(e.src_port, 4321);
+        assert_eq!(e.dst_port, 53);
+        assert!(e.ip_checksum_ok);
+        assert_eq!(e.l4_checksum_ok, Some(true));
+    }
+
+    #[test]
+    fn detects_stale_ip_checksum_after_rewrite() {
+        // Simulate the zy1/ls1 bug: rewrite the embedded source address
+        // without fixing the embedded header checksum.
+        let mut pkt = udp_packet();
+        pkt[12..16].copy_from_slice(&Ipv4Addr::new(10, 0, 1, 77).octets());
+        let e = parse_embedded(&pkt).unwrap();
+        assert!(!e.ip_checksum_ok);
+    }
+
+    #[test]
+    fn detects_unrewritten_ports() {
+        let pkt = udp_packet();
+        let e = parse_embedded(&pkt).unwrap();
+        // Whether these are "right" is the prober's judgment; parsing just
+        // exposes them faithfully.
+        assert_eq!((e.src_port, e.dst_port), (4321, 53));
+    }
+
+    #[test]
+    fn truncated_payload_yields_unknown_l4_state() {
+        let pkt = udp_packet();
+        let e = parse_embedded(&pkt[..24]).unwrap(); // header + 4 bytes only
+        assert_eq!(e.l4_checksum_ok, None);
+        assert_eq!(e.src_port, 4321);
+    }
+
+    #[test]
+    fn garbage_yields_none() {
+        assert!(parse_embedded(&[0u8; 8]).is_none());
+        assert!(parse_embedded(&[0xFFu8; 40]).is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # hgw-stack — the endpoint network stack
+//!
+//! Complete simulated hosts for the home-gateway testbed: IPv4 I/O with
+//! routing ([`iface`]), UDP sockets, a full TCP implementation with Reno
+//! congestion control ([`tcp`]), ICMP handling ([`icmp`]), minimal SCTP and
+//! DCCP endpoints ([`sctp`], [`dccp`]), a DNS server ([`dns`]) and DHCP
+//! client/server ([`dhcp`]) — all integrated in the [`Host`] node.
+//!
+//! The test client and test server of the paper's Figure 1 are both
+//! instances of [`Host`]; experiment drivers steer them through
+//! [`hgw_core::Simulator::with_node`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dccp;
+pub mod dhcp;
+pub mod dns;
+pub mod host;
+pub mod icmp;
+pub mod iface;
+pub mod sctp;
+pub mod tcp;
+
+pub use host::{DccpHandle, Host, ListenerApp, SctpHandle, TcpHandle, UdpHandle};
+pub use iface::{IfaceConfig, RoutingTable};
+pub use tcp::{TcpConfig, TcpError, TcpSocket, TcpState};

@@ -1,0 +1,433 @@
+//! A minimal single-homed SCTP endpoint: the four-way association setup
+//! (INIT / INIT-ACK / COOKIE-ECHO / COOKIE-ACK), DATA/SACK exchange and
+//! SHUTDOWN — exactly what the paper's SCTP connectivity probe needs
+//! (§3.2.3: "we attempt to create a single connection and exchange data").
+
+use hgw_core::{Duration, Instant};
+use hgw_wire::sctp::{Chunk, SctpRepr};
+
+/// Association states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SctpState {
+    /// Nothing sent yet.
+    Closed,
+    /// INIT sent, waiting for INIT-ACK.
+    CookieWait,
+    /// COOKIE-ECHO sent, waiting for COOKIE-ACK.
+    CookieEchoed,
+    /// Association up.
+    Established,
+    /// SHUTDOWN sent.
+    ShutdownSent,
+    /// Gracefully closed.
+    Done,
+    /// Setup or transfer gave up.
+    Failed,
+}
+
+/// Retransmission attempts for setup chunks.
+const MAX_RETRIES: u32 = 4;
+/// Interval between setup retransmissions.
+const RTX_INTERVAL: Duration = Duration::from_secs(2);
+
+/// A client-side SCTP association endpoint.
+///
+/// The server side is handled statelessly by the host (INIT → INIT-ACK with
+/// cookie, COOKIE-ECHO → association), mirroring RFC 4960's
+/// denial-of-service-resistant design.
+#[derive(Debug)]
+pub struct SctpEndpoint {
+    /// Local port.
+    pub local_port: u16,
+    /// Remote port.
+    pub remote_port: u16,
+    state: SctpState,
+    /// Our verification tag (peer puts it in packets to us).
+    pub my_vtag: u32,
+    /// Peer's verification tag (we put it in packets to them).
+    peer_vtag: u32,
+    my_tsn: u32,
+    peer_cum_tsn: u32,
+    cookie: Vec<u8>,
+    /// Data received in order of arrival.
+    pub received: Vec<Vec<u8>>,
+    /// Data queued for transmission once established.
+    tx_queue: Vec<Vec<u8>>,
+    /// TSNs in flight awaiting SACK.
+    unacked: u32,
+    rtx_deadline: Option<Instant>,
+    retries: u32,
+    /// Packets ready to transmit.
+    outbox: Vec<SctpRepr>,
+}
+
+impl SctpEndpoint {
+    /// Creates a client endpoint; call [`SctpEndpoint::start`] to emit INIT.
+    pub fn client(local_port: u16, remote_port: u16, my_vtag: u32, initial_tsn: u32) -> SctpEndpoint {
+        SctpEndpoint {
+            local_port,
+            remote_port,
+            state: SctpState::Closed,
+            my_vtag,
+            peer_vtag: 0,
+            my_tsn: initial_tsn,
+            peer_cum_tsn: 0,
+            cookie: Vec::new(),
+            received: Vec::new(),
+            tx_queue: Vec::new(),
+            unacked: 0,
+            rtx_deadline: None,
+            retries: 0,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SctpState {
+        self.state
+    }
+
+    /// Begins association setup.
+    pub fn start(&mut self, now: Instant) {
+        debug_assert_eq!(self.state, SctpState::Closed);
+        self.state = SctpState::CookieWait;
+        self.push_init();
+        self.arm(now);
+    }
+
+    fn arm(&mut self, now: Instant) {
+        self.rtx_deadline = Some(now + RTX_INTERVAL);
+    }
+
+    /// Next deadline, if any.
+    pub fn poll_at(&self) -> Option<Instant> {
+        self.rtx_deadline
+    }
+
+    /// Handles timer expiry: retransmit the current setup chunk or fail.
+    pub fn on_timer(&mut self, now: Instant) {
+        let Some(t) = self.rtx_deadline else { return };
+        if now < t {
+            return;
+        }
+        self.rtx_deadline = None;
+        self.retries += 1;
+        if self.retries > MAX_RETRIES {
+            if !matches!(self.state, SctpState::Established | SctpState::Done) {
+                self.state = SctpState::Failed;
+            }
+            return;
+        }
+        match self.state {
+            SctpState::CookieWait => {
+                self.push_init();
+                self.arm(now);
+            }
+            SctpState::CookieEchoed => {
+                self.push_cookie_echo();
+                self.arm(now);
+            }
+            SctpState::Established if self.unacked > 0 => {
+                // Data retransmission is not needed for the connectivity
+                // probe (loss-free testbed); treat persistent loss as
+                // failure so a silently dropping NAT is detected.
+                self.state = SctpState::Failed;
+            }
+            _ => {}
+        }
+    }
+
+    fn push_init(&mut self) {
+        self.outbox.push(SctpRepr {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            verification_tag: 0, // INIT always carries vtag 0
+            chunks: vec![Chunk::Init {
+                init_tag: self.my_vtag,
+                a_rwnd: 65_536,
+                outbound_streams: 1,
+                inbound_streams: 1,
+                initial_tsn: self.my_tsn,
+            }],
+        });
+    }
+
+    fn push_cookie_echo(&mut self) {
+        self.outbox.push(SctpRepr {
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            verification_tag: self.peer_vtag,
+            chunks: vec![Chunk::CookieEcho { cookie: self.cookie.clone() }],
+        });
+    }
+
+    /// Queues application data, transmitting immediately when established.
+    pub fn send(&mut self, now: Instant, data: Vec<u8>) {
+        self.tx_queue.push(data);
+        if self.state == SctpState::Established {
+            self.flush_data(now);
+        }
+    }
+
+    /// Initiates shutdown.
+    pub fn shutdown(&mut self, now: Instant) {
+        if self.state == SctpState::Established {
+            self.state = SctpState::ShutdownSent;
+            self.outbox.push(SctpRepr {
+                src_port: self.local_port,
+                dst_port: self.remote_port,
+                verification_tag: self.peer_vtag,
+                chunks: vec![Chunk::Shutdown { cum_tsn: self.peer_cum_tsn }],
+            });
+            self.retries = 0;
+            self.arm(now);
+        }
+    }
+
+    /// Processes a packet addressed to this association.
+    pub fn process(&mut self, now: Instant, packet: &SctpRepr) {
+        // Verification-tag check: packets for us must carry my_vtag (except
+        // nothing the client receives legitimately carries 0 here).
+        if packet.verification_tag != self.my_vtag {
+            return;
+        }
+        for chunk in &packet.chunks {
+            match chunk {
+                Chunk::InitAck { init_tag, initial_tsn, cookie, .. }
+                    if self.state == SctpState::CookieWait => {
+                        self.peer_vtag = *init_tag;
+                        self.peer_cum_tsn = initial_tsn.wrapping_sub(1);
+                        self.cookie = cookie.clone();
+                        self.state = SctpState::CookieEchoed;
+                        self.retries = 0;
+                        self.push_cookie_echo();
+                        self.arm(now);
+                    }
+                Chunk::CookieAck
+                    if self.state == SctpState::CookieEchoed => {
+                        self.state = SctpState::Established;
+                        self.rtx_deadline = None;
+                        self.retries = 0;
+                        self.flush_data(now);
+                    }
+                Chunk::Data { tsn, data, .. } => {
+                    if *tsn == self.peer_cum_tsn.wrapping_add(1) {
+                        self.peer_cum_tsn = *tsn;
+                        self.received.push(data.clone());
+                    }
+                    self.outbox.push(SctpRepr {
+                        src_port: self.local_port,
+                        dst_port: self.remote_port,
+                        verification_tag: self.peer_vtag,
+                        chunks: vec![Chunk::Sack { cum_tsn: self.peer_cum_tsn, a_rwnd: 65_536 }],
+                    });
+                }
+                Chunk::Sack { cum_tsn, .. }
+                    if self.unacked > 0 && *cum_tsn == self.my_tsn.wrapping_sub(1) => {
+                        self.unacked = 0;
+                        self.rtx_deadline = None;
+                    }
+                Chunk::ShutdownAck
+                    if self.state == SctpState::ShutdownSent => {
+                        self.state = SctpState::Done;
+                        self.rtx_deadline = None;
+                        self.outbox.push(SctpRepr {
+                            src_port: self.local_port,
+                            dst_port: self.remote_port,
+                            verification_tag: self.peer_vtag,
+                            chunks: vec![Chunk::ShutdownComplete],
+                        });
+                    }
+                Chunk::Abort => {
+                    self.state = SctpState::Failed;
+                    self.rtx_deadline = None;
+                }
+                _ => {}
+            }
+        }
+        if self.state == SctpState::Established {
+            self.flush_data(now);
+        }
+    }
+
+    fn flush_data(&mut self, now: Instant) {
+        if self.unacked > 0 {
+            return;
+        }
+        if let Some(data) = if self.tx_queue.is_empty() { None } else { Some(self.tx_queue.remove(0)) } {
+            self.outbox.push(SctpRepr {
+                src_port: self.local_port,
+                dst_port: self.remote_port,
+                verification_tag: self.peer_vtag,
+                chunks: vec![Chunk::Data {
+                    tsn: self.my_tsn,
+                    stream_id: 0,
+                    stream_seq: 0,
+                    ppid: 0,
+                    data,
+                }],
+            });
+            self.my_tsn = self.my_tsn.wrapping_add(1);
+            self.unacked = 1;
+            self.retries = 0;
+            self.arm(now);
+        }
+    }
+
+    /// Drains packets ready for transmission.
+    pub fn dispatch(&mut self) -> Vec<SctpRepr> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// Server-side association bookkeeping kept by a listening host.
+#[derive(Debug)]
+pub struct SctpAssociation {
+    /// Peer's verification tag (goes into packets we send).
+    pub peer_vtag: u32,
+    /// Our verification tag (peer puts it in packets to us).
+    pub my_vtag: u32,
+    /// Our next TSN.
+    pub my_tsn: u32,
+    /// Highest in-order TSN received.
+    pub peer_cum_tsn: u32,
+    /// Data received.
+    pub received: Vec<Vec<u8>>,
+    /// Echo received data back to the sender.
+    pub echo: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny in-test server implementing the stateless side.
+    fn server_react(pkt: &SctpRepr, server_vtag: u32, assoc: &mut Option<SctpAssociation>) -> Vec<SctpRepr> {
+        let mut out = Vec::new();
+        for chunk in &pkt.chunks {
+            match chunk {
+                Chunk::Init { init_tag, initial_tsn, .. } => {
+                    out.push(SctpRepr {
+                        src_port: pkt.dst_port,
+                        dst_port: pkt.src_port,
+                        verification_tag: *init_tag,
+                        chunks: vec![Chunk::InitAck {
+                            init_tag: server_vtag,
+                            a_rwnd: 65_536,
+                            outbound_streams: 1,
+                            inbound_streams: 1,
+                            initial_tsn: 500,
+                            cookie: [init_tag.to_be_bytes(), initial_tsn.to_be_bytes()]
+                                .concat(),
+                        }],
+                    });
+                }
+                Chunk::CookieEcho { cookie } => {
+                    let peer_vtag = u32::from_be_bytes(cookie[0..4].try_into().unwrap());
+                    *assoc = Some(SctpAssociation {
+                        peer_vtag,
+                        my_vtag: server_vtag,
+                        my_tsn: 500,
+                        peer_cum_tsn: u32::from_be_bytes(cookie[4..8].try_into().unwrap())
+                            .wrapping_sub(1),
+                        received: Vec::new(),
+                        echo: true,
+                    });
+                    out.push(SctpRepr {
+                        src_port: pkt.dst_port,
+                        dst_port: pkt.src_port,
+                        verification_tag: peer_vtag,
+                        chunks: vec![Chunk::CookieAck],
+                    });
+                }
+                Chunk::Data { tsn, data, .. } => {
+                    let a = assoc.as_mut().unwrap();
+                    if *tsn == a.peer_cum_tsn.wrapping_add(1) {
+                        a.peer_cum_tsn = *tsn;
+                        a.received.push(data.clone());
+                    }
+                    out.push(SctpRepr {
+                        src_port: pkt.dst_port,
+                        dst_port: pkt.src_port,
+                        verification_tag: a.peer_vtag,
+                        chunks: vec![Chunk::Sack { cum_tsn: a.peer_cum_tsn, a_rwnd: 65_536 }],
+                    });
+                }
+                Chunk::Shutdown { .. } => {
+                    let a = assoc.as_ref().unwrap();
+                    out.push(SctpRepr {
+                        src_port: pkt.dst_port,
+                        dst_port: pkt.src_port,
+                        verification_tag: a.peer_vtag,
+                        chunks: vec![Chunk::ShutdownAck],
+                    });
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_association_data_and_shutdown() {
+        let now = Instant::ZERO;
+        let mut client = SctpEndpoint::client(5000, 7000, 0xAAAA, 100);
+        let mut assoc = None;
+        client.start(now);
+        client.send(now, b"hello sctp".to_vec());
+        // Pump packets both ways until quiescent.
+        for _ in 0..10 {
+            let out = client.dispatch();
+            if out.is_empty() {
+                break;
+            }
+            for pkt in out {
+                for reply in server_react(&pkt, 0xBBBB, &mut assoc) {
+                    client.process(now, &reply);
+                }
+            }
+        }
+        assert_eq!(client.state(), SctpState::Established);
+        let a = assoc.as_ref().unwrap();
+        assert_eq!(a.received, vec![b"hello sctp".to_vec()]);
+        // Shutdown.
+        client.shutdown(now);
+        for pkt in client.dispatch() {
+            for reply in server_react(&pkt, 0xBBBB, &mut assoc) {
+                client.process(now, &reply);
+            }
+        }
+        assert_eq!(client.state(), SctpState::Done);
+    }
+
+    #[test]
+    fn init_retransmits_then_fails_when_blackholed() {
+        let mut client = SctpEndpoint::client(5000, 7000, 1, 1);
+        let mut now = Instant::ZERO;
+        client.start(now);
+        let mut inits = client.dispatch().len();
+        for _ in 0..=MAX_RETRIES {
+            now = client.poll_at().unwrap_or(now + RTX_INTERVAL);
+            client.on_timer(now);
+            inits += client.dispatch().len();
+        }
+        assert_eq!(client.state(), SctpState::Failed);
+        assert_eq!(inits as u32, 1 + MAX_RETRIES);
+    }
+
+    #[test]
+    fn wrong_vtag_packets_ignored() {
+        let now = Instant::ZERO;
+        let mut client = SctpEndpoint::client(5000, 7000, 0xAAAA, 100);
+        client.start(now);
+        client.dispatch();
+        let bogus = SctpRepr {
+            src_port: 7000,
+            dst_port: 5000,
+            verification_tag: 0xDEAD, // not our vtag
+            chunks: vec![Chunk::Abort],
+        };
+        client.process(now, &bogus);
+        assert_eq!(client.state(), SctpState::CookieWait);
+    }
+}

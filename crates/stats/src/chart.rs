@@ -1,0 +1,226 @@
+//! Terminal rendering of the paper's figures: per-device series along the
+//! x-axis, values (optionally log-scaled) on the y-axis, multiple series
+//! per chart, quartile error bars.
+//!
+//! The goal is to regenerate the *content* of Figures 2–10 — same devices,
+//! same ordering, same series — in a form `cargo run --bin fig3` can print.
+
+use std::fmt::Write as _;
+
+/// One series of per-device values (may contain gaps).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Glyph used for this series' points.
+    pub glyph: char,
+    /// One value per x position; `None` leaves a gap.
+    pub values: Vec<Option<f64>>,
+}
+
+/// A figure: labeled x positions and one or more series.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Chart title (e.g. `UDP-1: Single packet, outbound only`).
+    pub title: String,
+    /// Y-axis caption (e.g. `Binding Timeout [sec]`).
+    pub y_label: String,
+    /// X-axis tick labels (device tags).
+    pub x_labels: Vec<String>,
+    /// The data series.
+    pub series: Vec<Series>,
+    /// Log-scale the y axis (Figures 7 and 10).
+    pub log_y: bool,
+    /// Chart body height in rows.
+    pub height: usize,
+}
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, y_label: &str, x_labels: Vec<String>) -> Chart {
+        Chart {
+            title: title.to_string(),
+            y_label: y_label.to_string(),
+            x_labels,
+            series: Vec::new(),
+            log_y: false,
+            height: 18,
+        }
+    }
+
+    /// Adds a series; its length must match the x labels.
+    pub fn add_series(&mut self, name: &str, glyph: char, values: Vec<Option<f64>>) -> &mut Chart {
+        assert_eq!(values.len(), self.x_labels.len(), "series length mismatch");
+        self.series.push(Series { name: name.to_string(), glyph, values });
+        self
+    }
+
+    fn transform(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.max(1e-9).log10()
+        } else {
+            v
+        }
+    }
+
+    /// Renders the chart to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let all: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().flatten().copied())
+            .collect();
+        if all.is_empty() || self.x_labels.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+        let tmin = all.iter().map(|&v| self.transform(v)).fold(f64::INFINITY, f64::min);
+        let tmax = all.iter().map(|&v| self.transform(v)).fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if self.log_y {
+            (tmin.floor(), tmax.ceil().max(tmin.floor() + 1.0))
+        } else {
+            let span = (tmax - tmin).max(1e-9);
+            ((tmin - 0.05 * span).min(0.0).max(if tmin >= 0.0 { 0.0 } else { tmin }), tmax + 0.05 * span)
+        };
+        let rows = self.height.max(4);
+        // Column width per device: 4 chars.
+        let col_w = 4usize;
+        let width = self.x_labels.len() * col_w;
+        let mut grid = vec![vec![' '; width]; rows];
+        for s in &self.series {
+            for (x, v) in s.values.iter().enumerate() {
+                let Some(v) = v else { continue };
+                let t = self.transform(*v);
+                let frac = ((t - lo) / (hi - lo)).clamp(0.0, 1.0);
+                let row = ((1.0 - frac) * (rows - 1) as f64).round() as usize;
+                let col = x * col_w + col_w / 2;
+                let cell = &mut grid[row][col];
+                *cell = if *cell == ' ' || *cell == s.glyph { s.glyph } else { '*' };
+            }
+        }
+        // Y-axis ticks: 5 evenly spaced.
+        let tick_rows: Vec<usize> = (0..5).map(|i| i * (rows - 1) / 4).collect();
+        for (r, row) in grid.iter().enumerate() {
+            let label = if let Some(i) = tick_rows.iter().position(|&tr| tr == r) {
+                let frac = 1.0 - r as f64 / (rows - 1) as f64;
+                let t = lo + frac * (hi - lo);
+                let v = if self.log_y { 10f64.powf(t) } else { t };
+                let _ = i;
+                format!("{v:>9.1}")
+            } else {
+                " ".repeat(9)
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label} |{}", line.trim_end());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(width));
+        // X labels, rotated into up to 5-char columns.
+        let max_label = self.x_labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        for i in 0..max_label {
+            let mut line = String::new();
+            for l in &self.x_labels {
+                let ch = l.chars().nth(i).unwrap_or(' ');
+                let pad = col_w / 2;
+                line.push_str(&" ".repeat(pad));
+                line.push(ch);
+                line.push_str(&" ".repeat(col_w - pad - 1));
+            }
+            let _ = writeln!(out, "{} {}", " ".repeat(9), line.trim_end());
+        }
+        // Legend.
+        for s in &self.series {
+            let _ = writeln!(out, "{}   {} {}", " ".repeat(9), s.glyph, s.name);
+        }
+        let _ = writeln!(out, "{}   y: {}{}", " ".repeat(9), self.y_label, if self.log_y { " (log scale)" } else { "" });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        let mut c = Chart::new(
+            "UDP-1: Single packet, outbound only",
+            "Binding Timeout [sec]",
+            vec!["je".into(), "owrt".into(), "ls1".into()],
+        );
+        c.add_series("Result", 'o', vec![Some(30.0), Some(30.0), Some(691.0)]);
+        c
+    }
+
+    #[test]
+    fn renders_title_labels_and_legend() {
+        let out = chart().render();
+        assert!(out.contains("UDP-1"));
+        assert!(out.contains("o Result"));
+        assert!(out.contains("Binding Timeout [sec]"));
+        // Device tags appear vertically; the first characters do.
+        assert!(out.contains('j'));
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn highest_value_sits_above_lowest() {
+        let out = chart().render();
+        let lines: Vec<&str> = out.lines().collect();
+        // Grid starts after the 9-char y label, a space and '|' (11 cols).
+        let grid_start = 11;
+        let ls1_col = grid_start + 2 * 4 + 2;
+        let je_col = grid_start + 2;
+        let mut ls1_row = None;
+        let mut je_row = None;
+        for (i, l) in lines.iter().enumerate() {
+            let chars: Vec<char> = l.chars().collect();
+            if chars.get(ls1_col) == Some(&'o') {
+                ls1_row.get_or_insert(i);
+            }
+            if chars.get(je_col) == Some(&'o') {
+                je_row.get_or_insert(i);
+            }
+        }
+        let (ls1, je) = (ls1_row.expect("ls1 plotted"), je_row.expect("je plotted"));
+        assert!(ls1 < je, "691 must render above 30 (rows {ls1} vs {je})");
+    }
+
+    #[test]
+    fn log_scale_handles_wide_ranges() {
+        let mut c = Chart::new("TCP-1", "Binding Timeout [min]", vec!["a".into(), "b".into()]);
+        c.log_y = true;
+        c.add_series("Result", 'x', vec![Some(4.0), Some(1440.0)]);
+        let out = c.render();
+        assert!(out.contains("log scale"));
+    }
+
+    #[test]
+    fn multi_series_collision_marks_star() {
+        let mut c = Chart::new("t", "y", vec!["a".into()]);
+        c.add_series("s1", '1', vec![Some(5.0)]);
+        c.add_series("s2", '2', vec![Some(5.0)]);
+        let out = c.render();
+        assert!(out.contains('*'), "overlapping points should render as *");
+    }
+
+    #[test]
+    fn empty_chart_renders_no_data() {
+        let c = Chart::new("t", "y", vec![]);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_must_match() {
+        let mut c = Chart::new("t", "y", vec!["a".into(), "b".into()]);
+        c.add_series("s", 'o', vec![Some(1.0)]);
+    }
+
+    #[test]
+    fn gaps_are_allowed() {
+        let mut c = Chart::new("t", "y", vec!["a".into(), "b".into()]);
+        c.add_series("s", 'o', vec![Some(1.0), None]);
+        let _ = c.render();
+    }
+}

@@ -1,0 +1,17 @@
+//! # hgw-stats — statistics and reporting for the measurement suite
+//!
+//! Medians/quartiles/population summaries ([`summary`]), terminal figure
+//! rendering ([`chart`]) and text/CSV tables ([`table`]) — the reporting
+//! conventions of the paper's §4 ("each data point is the median of many
+//! repetitions", quartile error bars, population median/mean in legends).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod summary;
+pub mod table;
+
+pub use chart::{Chart, Series};
+pub use summary::{mean, median, Population, Summary};
+pub use table::{fmt_value, TextTable};

@@ -1,0 +1,166 @@
+//! Order statistics used throughout the paper's reporting: medians,
+//! quartiles and population summaries.
+//!
+//! Every data point in the paper's figures is "the median of many
+//! repetitions", with quartiles as error bars; figure legends also print
+//! population medians and means across the 34 devices. These helpers
+//! implement exactly those reductions.
+
+/// The five-number summary plus mean of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Lower quartile (median of the lower half).
+    pub q1: f64,
+    /// Median (average of the two middle values for even counts).
+    pub median: f64,
+    /// Upper quartile (median of the upper half).
+    pub q3: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty sample set or if any
+    /// sample is NaN.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let n = sorted.len();
+        let median = median_sorted(&sorted);
+        // Moore/McCabe quartiles: medians of the halves, excluding the
+        // overall median for odd counts.
+        let (lower, upper) = if n.is_multiple_of(2) {
+            (&sorted[..n / 2], &sorted[n / 2..])
+        } else {
+            (&sorted[..n / 2], &sorted[n / 2 + 1..])
+        };
+        let q1 = if lower.is_empty() { sorted[0] } else { median_sorted(lower) };
+        let q3 = if upper.is_empty() { sorted[n - 1] } else { median_sorted(upper) };
+        Some(Summary {
+            n,
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Median of a pre-sorted slice.
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    debug_assert!(n > 0);
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median of an unsorted slice; `None` when empty or NaN-contaminated.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    Summary::of(samples).map(|s| s.median)
+}
+
+/// Mean of a slice; `None` when empty.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// The population line printed in the paper's figure legends:
+/// `Pop. Median = X, Pop. Mean = Y` over the per-device medians.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Population {
+    /// Median across devices.
+    pub median: f64,
+    /// Mean across devices.
+    pub mean: f64,
+}
+
+impl Population {
+    /// Computes the population statistics of per-device values.
+    pub fn of(values: &[f64]) -> Option<Population> {
+        Some(Population { median: median(values)?, mean: mean(values)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn quartiles_moore_mccabe() {
+        // Classic example: 1..=9 → Q1 = 2.5? lower half = [1,2,3,4] → 2.5.
+        let s = Summary::of(&[1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.q1, 2.5);
+        assert_eq!(s.q3, 7.5);
+        assert_eq!(s.iqr(), 5.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 40.0);
+        assert_eq!(s.median, 25.0);
+        assert_eq!(s.mean, 25.0);
+        assert_eq!(s.q1, 15.0);
+        assert_eq!(s.q3, 35.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_iqr() {
+        let s = Summary::of(&[90.0; 100]).unwrap();
+        assert_eq!(s.iqr(), 0.0);
+        assert_eq!(s.median, 90.0);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn population_line() {
+        // The UDP-1 shape: median 90, mean higher because of outliers.
+        let p = Population::of(&[30.0, 90.0, 90.0, 691.0]).unwrap();
+        assert_eq!(p.median, 90.0);
+        assert!((p.mean - 225.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!((s.min, s.q1, s.median, s.q3, s.max), (42.0, 42.0, 42.0, 42.0, 42.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text and CSV table emitters for the paper's tables and the
+//! per-figure data dumps.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; its length must match the headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut TextTable {
+        assert_eq!(cells.len(), self.headers.len(), "row length mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..cols {
+                let _ = write!(line, "{:<w$}", cells[i], w = widths[i]);
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish quoting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with a sensible number of decimals for reporting.
+pub fn fmt_value(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["tag", "timeout [s]"]);
+        t.row(vec!["je".into(), "30".into()]);
+        t.row(vec!["ls1".into(), "691".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("tag"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(out.contains("ls1  691"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn row_length_checked() {
+        TextTable::new(&["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("hgw-stats-test").join("nested");
+        let path = dir.join("out.csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("a\n1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(160.411), "160.4");
+        assert_eq!(fmt_value(59.98), "59.98");
+        assert_eq!(fmt_value(0.12345), "0.1235");
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests of the statistics used for every reported number.
+
+use proptest::prelude::*;
+
+use hgw_stats::{median, Population, Summary};
+
+proptest! {
+    #[test]
+    fn five_number_summary_is_ordered(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert_eq!(s.n, samples.len());
+    }
+
+    #[test]
+    fn median_is_permutation_invariant(
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let mut shuffled = samples.clone();
+        // Cheap deterministic shuffle.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(median(&samples), median(&shuffled));
+    }
+
+    #[test]
+    fn median_bounded_by_extremes(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = median(&samples).unwrap();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo <= m && m <= hi);
+    }
+
+    #[test]
+    fn translation_scales_summary(
+        samples in proptest::collection::vec(-1e3f64..1e3, 2..50),
+        shift in -1e3f64..1e3,
+    ) {
+        let shifted: Vec<f64> = samples.iter().map(|v| v + shift).collect();
+        let a = Summary::of(&samples).unwrap();
+        let b = Summary::of(&shifted).unwrap();
+        prop_assert!((b.median - (a.median + shift)).abs() < 1e-6);
+        prop_assert!((b.iqr() - a.iqr()).abs() < 1e-6, "IQR is shift-invariant");
+    }
+
+    #[test]
+    fn population_of_constant_is_that_constant(v in -1e6f64..1e6, n in 1usize..50) {
+        let p = Population::of(&vec![v; n]).unwrap();
+        prop_assert_eq!(p.median, v);
+        prop_assert!((p.mean - v).abs() <= v.abs() * 1e-12 + 1e-9, "mean {} vs {}", p.mean, v);
+    }
+}

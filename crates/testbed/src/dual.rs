@@ -1,0 +1,224 @@
+//! A dual-NAT topology for peer-to-peer traversal experiments — the STUN /
+//! hole-punching measurements the paper schedules as future work (§5).
+//!
+//! ```text
+//!   client A ──(LAN)── gateway A ──(WAN)──┐
+//!                                         ├── rendezvous server (routes
+//!   client B ──(LAN)── gateway B ──(WAN)──┘    between its two subnets)
+//! ```
+//!
+//! The rendezvous server plays both the STUN server (it reports each
+//! client's external endpoint) and "the Internet" (it forwards packets
+//! between the two gateway subnets).
+
+use std::net::Ipv4Addr;
+
+use hgw_core::{Duration, LinkConfig, NodeCtx, NodeId, PortId, Simulator};
+use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
+use hgw_stack::dhcp::DhcpServerConfig;
+use hgw_stack::host::Host;
+use hgw_stack::iface::IfaceConfig;
+
+/// Which side of the dual topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Client/gateway A (subnets 192.168.101.0/24 and 10.0.101.0/24).
+    A,
+    /// Client/gateway B (subnets 192.168.102.0/24 and 10.0.102.0/24).
+    B,
+}
+
+/// Two clients behind two (possibly different) gateways, joined by a
+/// routing rendezvous server.
+pub struct DualNatTestbed {
+    /// The simulator owning all five nodes.
+    pub sim: Simulator,
+    /// Client behind gateway A.
+    pub client_a: NodeId,
+    /// Client behind gateway B.
+    pub client_b: NodeId,
+    /// Gateway A.
+    pub gateway_a: NodeId,
+    /// Gateway B.
+    pub gateway_b: NodeId,
+    /// The rendezvous/router node.
+    pub server: NodeId,
+    /// The server's address on the A side (`10.0.101.1`).
+    pub server_addr_a: Ipv4Addr,
+    /// The server's address on the B side (`10.0.102.1`).
+    pub server_addr_b: Ipv4Addr,
+}
+
+const IDX_A: u8 = 101;
+const IDX_B: u8 = 102;
+
+impl DualNatTestbed {
+    /// Builds and boots the topology; panics if bring-up fails.
+    pub fn new(
+        tag_a: &str,
+        policy_a: GatewayPolicy,
+        tag_b: &str,
+        policy_b: GatewayPolicy,
+        seed: u64,
+    ) -> DualNatTestbed {
+        let mut sim = Simulator::new(seed);
+        let server_addr_a = Ipv4Addr::new(10, 0, IDX_A, 1);
+        let server_addr_b = Ipv4Addr::new(10, 0, IDX_B, 1);
+
+        let mut server = Host::new("rendezvous");
+        server.forwarding = true;
+        for (port, addr, idx) in
+            [(PortId(0), server_addr_a, IDX_A), (PortId(1), server_addr_b, IDX_B)]
+        {
+            server.add_iface(port, IfaceConfig::new(addr, 24));
+            server.enable_dhcp_server(
+                port,
+                DhcpServerConfig {
+                    server_addr: addr,
+                    pool_start: Ipv4Addr::new(10, 0, idx, 50),
+                    pool_size: 16,
+                    subnet_mask: Ipv4Addr::new(255, 255, 255, 0),
+                    router: Some(addr),
+                    dns_servers: vec![addr],
+                    lease_secs: 7 * 24 * 3600,
+                },
+            );
+        }
+
+        let mut client_a = Host::new("client-a");
+        client_a.enable_dhcp_client(PortId(0), [0x02, 0xAA, 0, 0, 0, IDX_A]);
+        let mut client_b = Host::new("client-b");
+        client_b.enable_dhcp_client(PortId(0), [0x02, 0xBB, 0, 0, 0, IDX_B]);
+        let gw_a = Gateway::new(tag_a, policy_a, IDX_A);
+        let gw_b = Gateway::new(tag_b, policy_b, IDX_B);
+
+        let client_a = sim.add_node(Box::new(client_a));
+        let client_b = sim.add_node(Box::new(client_b));
+        let gateway_a = sim.add_node(Box::new(gw_a));
+        let gateway_b = sim.add_node(Box::new(gw_b));
+        let server = sim.add_node(Box::new(server));
+        sim.connect(client_a, PortId(0), gateway_a, LAN_PORT, LinkConfig::ethernet_100m());
+        sim.connect(gateway_a, WAN_PORT, server, PortId(0), LinkConfig::ethernet_100m());
+        sim.connect(client_b, PortId(0), gateway_b, LAN_PORT, LinkConfig::ethernet_100m());
+        sim.connect(gateway_b, WAN_PORT, server, PortId(1), LinkConfig::ethernet_100m());
+        sim.boot();
+
+        let mut tb = DualNatTestbed {
+            sim,
+            client_a,
+            client_b,
+            gateway_a,
+            gateway_b,
+            server,
+            server_addr_a,
+            server_addr_b,
+        };
+        tb.bring_up();
+        tb
+    }
+
+    fn bring_up(&mut self) {
+        for _ in 0..60 {
+            self.sim.run_for(Duration::from_millis(500));
+            let ready = self.sim.with_node::<Host, _>(self.client_a, |h, _| h.dhcp_lease().is_some())
+                && self.sim.with_node::<Host, _>(self.client_b, |h, _| h.dhcp_lease().is_some());
+            if ready {
+                return;
+            }
+        }
+        panic!("dual-NAT bring-up failed");
+    }
+
+    /// Runs the simulation for `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Drives one of the clients.
+    pub fn with_client<R>(
+        &mut self,
+        side: Side,
+        f: impl FnOnce(&mut Host, &mut NodeCtx) -> R,
+    ) -> R {
+        let id = match side {
+            Side::A => self.client_a,
+            Side::B => self.client_b,
+        };
+        self.sim.with_node::<Host, _>(id, f)
+    }
+
+    /// Drives the rendezvous server.
+    pub fn with_server<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
+        self.sim.with_node::<Host, _>(self.server, f)
+    }
+
+    /// The rendezvous address a given side should talk to.
+    pub fn rendezvous_addr(&self, side: Side) -> Ipv4Addr {
+        match side {
+            Side::A => self.server_addr_a,
+            Side::B => self.server_addr_b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddrV4;
+
+    #[test]
+    fn both_clients_reach_the_rendezvous() {
+        let mut tb = DualNatTestbed::new(
+            "a",
+            GatewayPolicy::well_behaved(),
+            "b",
+            GatewayPolicy::well_behaved(),
+            7,
+        );
+        let srv = tb.with_server(|h, _| {
+            let s = h.udp_bind(3478);
+            h.udp_set_echo(s, true);
+            s
+        });
+        for side in [Side::A, Side::B] {
+            let dst = SocketAddrV4::new(tb.rendezvous_addr(side), 3478);
+            let sock = tb.with_client(side, |h, ctx| {
+                let s = h.udp_bind_ephemeral();
+                h.udp_send(ctx, s, dst, b"stun");
+                s
+            });
+            tb.run_for(Duration::from_millis(100));
+            assert!(
+                tb.with_client(side, |h, _| h.udp_recv(sock)).is_some(),
+                "{side:?} echo failed"
+            );
+        }
+        let _ = srv;
+    }
+
+    #[test]
+    fn server_routes_between_subnets() {
+        // A packet from client A to gateway B's WAN address must transit
+        // the rendezvous router (even if gateway B then filters it).
+        let mut tb = DualNatTestbed::new(
+            "a",
+            GatewayPolicy::well_behaved(),
+            "b",
+            GatewayPolicy::well_behaved(),
+            9,
+        );
+        let gw_b_wan =
+            tb.sim.with_node::<hgw_gateway::Gateway, _>(tb.gateway_b, |g, _| g.wan_addr().unwrap());
+        tb.with_client(Side::A, |h, ctx| {
+            let s = h.udp_bind_ephemeral();
+            h.udp_send(ctx, s, SocketAddrV4::new(gw_b_wan, 12345), b"x");
+        });
+        tb.run_for(Duration::from_millis(100));
+        // The packet reached gateway B (and was dropped for lack of a
+        // binding — visible in its stats).
+        let drops = tb
+            .sim
+            .with_node::<hgw_gateway::Gateway, _>(tb.gateway_b, |g, _| g.stats.dropped_no_binding);
+        assert!(drops > 0, "packet should have transited the router to gateway B");
+    }
+}

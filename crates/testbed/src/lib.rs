@@ -1,0 +1,175 @@
+//! # hgw-testbed — the experimental testbed of Figure 1
+//!
+//! Assembles, per device under test, the paper's topology:
+//!
+//! ```text
+//!   test client ──(LAN, 100 Mb/s)── gateway ──(WAN, 100 Mb/s)── test server
+//!        │                             │                            │
+//!   DHCP client                 NAT + DHCP both sides        DHCP server,
+//!                                + DNS proxy                 DNS (hiit.fi),
+//!                                                            echo services
+//! ```
+//!
+//! Each gateway gets its own VLAN pair in the paper; here each device gets
+//! its own [`Testbed`] (an isolated simulator), which has the same
+//! observable semantics and lets the fleet run embarrassingly parallel.
+//! The management link of Figure 1 is the experiment driver itself: probes
+//! steer both hosts directly through
+//! [`Simulator::with_node`](hgw_core::Simulator::with_node), out of band by
+//! construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dual;
+
+pub use dual::{DualNatTestbed, Side};
+
+use std::net::Ipv4Addr;
+
+use hgw_core::{Duration, Instant, LinkConfig, LinkId, NodeCtx, NodeId, PortId, Simulator};
+use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
+use hgw_stack::dhcp::DhcpServerConfig;
+use hgw_stack::dns::DnsZone;
+use hgw_stack::host::Host;
+use hgw_stack::iface::IfaceConfig;
+
+/// A single device-under-test testbed: client, gateway, server.
+pub struct Testbed {
+    /// The simulator owning all three nodes.
+    pub sim: Simulator,
+    /// Test client node (behind the NAT).
+    pub client: NodeId,
+    /// Test server node (WAN side).
+    pub server: NodeId,
+    /// The gateway under test.
+    pub gateway: NodeId,
+    /// The client–gateway link.
+    pub lan_link: LinkId,
+    /// The gateway–server link.
+    pub wan_link: LinkId,
+    /// The test server's address (`10.0.<index>.1`).
+    pub server_addr: Ipv4Addr,
+    /// Testbed slot index (selects the address plan).
+    pub index: u8,
+}
+
+/// How long the bring-up phase (double DHCP) is allowed to take.
+const BRINGUP_LIMIT: Duration = Duration::from_secs(30);
+
+impl Testbed {
+    /// Builds and boots a testbed for one gateway model, then runs DHCP on
+    /// both sides until the client is configured.
+    ///
+    /// # Panics
+    /// Panics if bring-up does not complete — a testbed that cannot even
+    /// DHCP is a bug, not a measurement.
+    pub fn new(tag: &str, policy: GatewayPolicy, index: u8, seed: u64) -> Testbed {
+        let mut sim = Simulator::new(seed);
+        let server_addr = Ipv4Addr::new(10, 0, index, 1);
+
+        // Test server: static address, DHCP service for the gateway's WAN
+        // side, the hiit.fi DNS zone, and echo responders.
+        let mut server = Host::new("test-server");
+        server.add_iface(PortId(0), IfaceConfig::new(server_addr, 24));
+        server.enable_dhcp_server(
+            PortId(0),
+            DhcpServerConfig {
+                server_addr,
+                pool_start: Ipv4Addr::new(10, 0, index, 50),
+                pool_size: 32,
+                subnet_mask: Ipv4Addr::new(255, 255, 255, 0),
+                router: Some(server_addr),
+                dns_servers: vec![server_addr],
+                lease_secs: 7 * 24 * 3600,
+            },
+        );
+        server.enable_dns_server(DnsZone::testbed_default(server_addr));
+
+        // Test client: everything via DHCP from the gateway.
+        let mut client = Host::new("test-client");
+        client.enable_dhcp_client(PortId(0), [0x02, 0xC1, 0x1E, 0x47, 0, index]);
+
+        let gateway = Gateway::new(tag, policy, index);
+
+        let client = sim.add_node(Box::new(client));
+        let gateway = sim.add_node(Box::new(gateway));
+        let server = sim.add_node(Box::new(server));
+        let lan_link =
+            sim.connect(client, PortId(0), gateway, LAN_PORT, LinkConfig::ethernet_100m());
+        let wan_link =
+            sim.connect(gateway, WAN_PORT, server, PortId(0), LinkConfig::ethernet_100m());
+        sim.boot();
+
+        let mut tb =
+            Testbed { sim, client, server, gateway, lan_link, wan_link, server_addr, index };
+        tb.bring_up();
+        tb
+    }
+
+    fn bring_up(&mut self) {
+        let deadline = self.sim.now() + BRINGUP_LIMIT;
+        while self.sim.now() < deadline {
+            self.sim.run_for(Duration::from_millis(500));
+            let client_ready =
+                self.sim.with_node::<Host, _>(self.client, |h, _| h.dhcp_lease().is_some());
+            let gw_ready =
+                self.sim.with_node::<Gateway, _>(self.gateway, |g, _| g.wan_addr().is_some());
+            if client_ready && gw_ready {
+                return;
+            }
+        }
+        panic!("testbed bring-up failed for device {}", self.tag());
+    }
+
+    /// The device tag.
+    pub fn tag(&self) -> String {
+        self.sim.node_ref::<Gateway>(self.gateway).tag.clone()
+    }
+
+    /// The client's DHCP-assigned address.
+    pub fn client_addr(&self) -> Ipv4Addr {
+        self.sim.node_ref::<Host>(self.client).dhcp_lease().expect("client bound").addr
+    }
+
+    /// The gateway's LAN-side address (the client's router and DNS proxy).
+    pub fn gateway_lan_addr(&self) -> Ipv4Addr {
+        self.sim.node_ref::<Gateway>(self.gateway).lan_addr()
+    }
+
+    /// The gateway's DHCP-acquired WAN address.
+    pub fn gateway_wan_addr(&self) -> Ipv4Addr {
+        self.sim.node_ref::<Gateway>(self.gateway).wan_addr().expect("gateway bound")
+    }
+
+    /// Runs the simulation for `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        self.sim.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.sim.now()
+    }
+
+    /// Drives the test client.
+    pub fn with_client<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
+        self.sim.with_node::<Host, _>(self.client, f)
+    }
+
+    /// Drives the test server.
+    pub fn with_server<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
+        self.sim.with_node::<Host, _>(self.server, f)
+    }
+
+    /// Inspects the gateway (diagnostics only — measurements must observe
+    /// from the hosts).
+    pub fn with_gateway<R>(&mut self, f: impl FnOnce(&mut Gateway, &mut NodeCtx) -> R) -> R {
+        self.sim.with_node::<Gateway, _>(self.gateway, f)
+    }
+}

@@ -1,0 +1,167 @@
+//! Internet checksum (RFC 1071) and CRC-32c (RFC 4960 Appendix B).
+//!
+//! Correct checksum handling is itself one of the paper's measured
+//! behaviors: Table 2 records devices (zy1, ls1) that fail to fix up the
+//! checksums of transport headers *embedded in ICMP payloads*, and SCTP's
+//! CRC-32c — which does not cover a network pseudo-header — is the reason
+//! some NATs pass SCTP with a plain IP-address rewrite (§4.3).
+
+use std::net::Ipv4Addr;
+
+/// Computes the one's-complement Internet checksum over `data`.
+///
+/// Returns the value ready to be stored in a header checksum field (i.e.,
+/// already complemented). Odd-length data is virtually zero-padded.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum(data, 0))
+}
+
+/// Running one's-complement sum, resumable via `acc`.
+fn sum(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += (*last as u32) << 8;
+    }
+    acc
+}
+
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// The IPv4 pseudo-header sum used by UDP, TCP and DCCP checksums.
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u32) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    let mut acc = 0u32;
+    acc += u16::from_be_bytes([s[0], s[1]]) as u32;
+    acc += u16::from_be_bytes([s[2], s[3]]) as u32;
+    acc += u16::from_be_bytes([d[0], d[1]]) as u32;
+    acc += u16::from_be_bytes([d[2], d[3]]) as u32;
+    acc += protocol as u32;
+    acc += length >> 16;
+    acc += length & 0xFFFF;
+    acc
+}
+
+/// Computes the checksum of a transport segment (`data` with its checksum
+/// field zeroed) covered by the IPv4 pseudo-header.
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, data: &[u8]) -> u16 {
+    let acc = sum(data, pseudo_header_sum(src, dst, protocol, data.len() as u32));
+    let folded = !fold(acc);
+    // Per RFC 768, a transmitted UDP checksum of zero means "no checksum";
+    // an all-zero result is sent as 0xFFFF instead. Harmless for TCP.
+    if folded == 0 {
+        0xFFFF
+    } else {
+        folded
+    }
+}
+
+/// Verifies a transport segment whose checksum field is still in place.
+pub fn verify_transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, data: &[u8]) -> bool {
+    let acc = sum(data, pseudo_header_sum(src, dst, protocol, data.len() as u32));
+    fold(acc) == 0xFFFF
+}
+
+/// CRC-32c (Castagnoli), as used by SCTP. Bit-reflected, table-driven.
+pub fn crc32c(data: &[u8]) -> u32 {
+    // Table generated at first use; 1 KiB, cheap.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82F6_3B78 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Computes the SCTP packet checksum: CRC-32c over the packet with the
+/// checksum field zeroed, stored little-endian per RFC 4960 — we return the
+/// value to store with [`crate::field::write_u32`] big-endian, so we
+/// byte-swap here.
+pub fn sctp_checksum(packet_with_zeroed_checksum: &[u8]) -> u32 {
+    crc32c(packet_with_zeroed_checksum).swap_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 0001 f203 f4f5 f6f7 → sum 0xddf2, checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        // 0x01 alone contributes 0x0100.
+        assert_eq!(internet_checksum(&[0x01]), !0x0100);
+    }
+
+    #[test]
+    fn checksum_of_data_with_own_checksum_verifies() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(fold(sum(&data, 0)), 0xFFFF);
+    }
+
+    #[test]
+    fn transport_checksum_roundtrip() {
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let dst = Ipv4Addr::new(10, 0, 1, 1);
+        // A fake UDP segment: ports 4000→53, len 12, zero checksum, 4 payload bytes.
+        let mut seg = vec![0x0F, 0xA0, 0x00, 0x35, 0x00, 0x0C, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF];
+        let ck = transport_checksum(src, dst, 17, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify_transport_checksum(src, dst, 17, &seg));
+        // Any single-byte corruption must break it.
+        seg[9] ^= 0x01;
+        assert!(!verify_transport_checksum(src, dst, 17, &seg));
+    }
+
+    #[test]
+    fn transport_checksum_depends_on_addresses() {
+        let seg = [0u8; 8];
+        let a = transport_checksum(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 6, &seg);
+        let b = transport_checksum(Ipv4Addr::new(1, 2, 3, 5), Ipv4Addr::new(5, 6, 7, 8), 6, &seg);
+        assert_ne!(a, b, "pseudo-header must cover the source address");
+    }
+
+    #[test]
+    fn crc32c_test_vectors() {
+        // Well-known CRC-32c vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0x0000_0000);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn sctp_checksum_is_address_independent() {
+        // The property the paper leans on in §4.3: rewriting IP addresses
+        // does not invalidate the SCTP checksum because it has no
+        // pseudo-header. Trivially true by construction; assert the checksum
+        // only depends on packet bytes.
+        let pkt = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+        assert_eq!(sctp_checksum(&pkt), sctp_checksum(&pkt));
+    }
+}

@@ -1,0 +1,462 @@
+//! DNS message codec (RFC 1035, the subset a home-gateway DNS proxy
+//! touches): header, QDCOUNT questions, A/CNAME answers, name compression
+//! on parse, and the 2-octet length framing used by DNS-over-TCP.
+//!
+//! The paper's DNS experiment (§3.2.3/§4.3) queries each gateway's DNS
+//! proxy over TCP port 53 with `dig`; 14/34 accepted the connection, 10
+//! answered, and one (ap) forwarded the query upstream over UDP.
+
+use std::net::Ipv4Addr;
+
+use crate::error::{WireError, WireResult};
+use crate::field::{read_u16, read_u32, write_u16};
+
+/// Maximum label length.
+const MAX_LABEL: usize = 63;
+/// Maximum encoded name length.
+const MAX_NAME: usize = 255;
+
+/// DNS record types used by the testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordType {
+    /// IPv4 address record.
+    A,
+    /// Canonical name.
+    Cname,
+    /// Name server.
+    Ns,
+    /// Any other type (kept numeric).
+    Other(u16),
+}
+
+impl RecordType {
+    fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Other(c) => c,
+        }
+    }
+
+    fn from_code(c: u16) -> RecordType {
+        match c {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            other => RecordType::Other(other),
+        }
+    }
+}
+
+/// DNS response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Other code.
+    Other(u8),
+}
+
+impl Rcode {
+    fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::Other(c) => c,
+        }
+    }
+
+    fn from_code(c: u8) -> Rcode {
+        match c {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name, dotted form without trailing dot (e.g. `www.hiit.fi`).
+    pub name: String,
+    /// Queried record type.
+    pub rtype: RecordType,
+}
+
+/// A resource record (answer/authority sections).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: String,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// The record data.
+    pub data: RecordData,
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordData {
+    /// An A record.
+    A(Ipv4Addr),
+    /// A CNAME record.
+    Cname(String),
+    /// Anything else, raw.
+    Other {
+        /// Numeric record type.
+        rtype: u16,
+        /// RDATA bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl RecordData {
+    fn rtype(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Cname(_) => RecordType::Cname,
+            RecordData::Other { rtype, .. } => RecordType::Other(*rtype),
+        }
+    }
+}
+
+/// A whole DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction id.
+    pub id: u16,
+    /// True for responses, false for queries.
+    pub is_response: bool,
+    /// Recursion desired flag.
+    pub recursion_desired: bool,
+    /// Recursion available flag (responses).
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+}
+
+impl DnsMessage {
+    /// Builds a standard recursive query for an A record.
+    pub fn query_a(id: u16, name: &str) -> DnsMessage {
+        DnsMessage {
+            id,
+            is_response: false,
+            recursion_desired: true,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name: name.to_string(), rtype: RecordType::A }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds a response to `query` with the given answers.
+    pub fn response_to(query: &DnsMessage, answers: Vec<Record>, rcode: Rcode) -> DnsMessage {
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            recursion_desired: query.recursion_desired,
+            recursion_available: true,
+            rcode,
+            questions: query.questions.clone(),
+            answers,
+        }
+    }
+
+    /// Encodes the message (UDP payload form, no TCP length prefix).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; 12];
+        write_u16(&mut buf, 0, self.id);
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.recursion_available {
+            flags |= 0x0080;
+        }
+        flags |= self.rcode.code() as u16 & 0x000F;
+        write_u16(&mut buf, 2, flags);
+        write_u16(&mut buf, 4, self.questions.len() as u16);
+        write_u16(&mut buf, 6, self.answers.len() as u16);
+        for q in &self.questions {
+            emit_name(&q.name, &mut buf);
+            buf.extend_from_slice(&q.rtype.code().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        }
+        for r in &self.answers {
+            emit_name(&r.name, &mut buf);
+            buf.extend_from_slice(&r.data.rtype().code().to_be_bytes());
+            buf.extend_from_slice(&1u16.to_be_bytes());
+            buf.extend_from_slice(&r.ttl.to_be_bytes());
+            match &r.data {
+                RecordData::A(addr) => {
+                    buf.extend_from_slice(&4u16.to_be_bytes());
+                    buf.extend_from_slice(&addr.octets());
+                }
+                RecordData::Cname(target) => {
+                    let mut rdata = Vec::new();
+                    emit_name(target, &mut rdata);
+                    buf.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+                    buf.extend_from_slice(&rdata);
+                }
+                RecordData::Other { data, .. } => {
+                    buf.extend_from_slice(&(data.len() as u16).to_be_bytes());
+                    buf.extend_from_slice(data);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Encodes with the 2-octet length prefix used over TCP (RFC 1035 §4.2.2).
+    pub fn emit_tcp(&self) -> Vec<u8> {
+        let body = self.emit();
+        let mut framed = Vec::with_capacity(body.len() + 2);
+        framed.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        framed.extend_from_slice(&body);
+        framed
+    }
+
+    /// Parses a message (UDP payload form).
+    pub fn parse(data: &[u8]) -> WireResult<DnsMessage> {
+        if data.len() < 12 {
+            return Err(WireError::Truncated);
+        }
+        let id = read_u16(data, 0);
+        let flags = read_u16(data, 2);
+        let qdcount = read_u16(data, 4) as usize;
+        let ancount = read_u16(data, 6) as usize;
+        let mut off = 12;
+        let mut questions = Vec::with_capacity(qdcount);
+        for _ in 0..qdcount {
+            let (name, next) = parse_name(data, off)?;
+            if data.len() < next + 4 {
+                return Err(WireError::Truncated);
+            }
+            questions.push(Question { name, rtype: RecordType::from_code(read_u16(data, next)) });
+            off = next + 4;
+        }
+        let mut answers = Vec::with_capacity(ancount);
+        for _ in 0..ancount {
+            let (name, next) = parse_name(data, off)?;
+            if data.len() < next + 10 {
+                return Err(WireError::Truncated);
+            }
+            let rtype = read_u16(data, next);
+            let ttl = read_u32(data, next + 4);
+            let rdlen = read_u16(data, next + 8) as usize;
+            let rdata_start = next + 10;
+            if data.len() < rdata_start + rdlen {
+                return Err(WireError::Truncated);
+            }
+            let rdata = &data[rdata_start..rdata_start + rdlen];
+            let record_data = match RecordType::from_code(rtype) {
+                RecordType::A if rdlen == 4 => {
+                    RecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]))
+                }
+                RecordType::Cname => {
+                    let (target, _) = parse_name(data, rdata_start)?;
+                    RecordData::Cname(target)
+                }
+                _ => RecordData::Other { rtype, data: rdata.to_vec() },
+            };
+            answers.push(Record { name, ttl, data: record_data });
+            off = rdata_start + rdlen;
+        }
+        Ok(DnsMessage {
+            id,
+            is_response: flags & 0x8000 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            rcode: Rcode::from_code((flags & 0x000F) as u8),
+            questions,
+            answers,
+        })
+    }
+
+    /// Parses a TCP-framed message; returns the message and octets consumed.
+    pub fn parse_tcp(data: &[u8]) -> WireResult<(DnsMessage, usize)> {
+        if data.len() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let len = read_u16(data, 0) as usize;
+        if data.len() < 2 + len {
+            return Err(WireError::Truncated);
+        }
+        Ok((DnsMessage::parse(&data[2..2 + len])?, 2 + len))
+    }
+}
+
+fn emit_name(name: &str, out: &mut Vec<u8>) {
+    if !name.is_empty() {
+        for label in name.split('.') {
+            let bytes = label.as_bytes();
+            debug_assert!(!bytes.is_empty() && bytes.len() <= MAX_LABEL, "bad DNS label");
+            out.push(bytes.len() as u8);
+            out.extend_from_slice(bytes);
+        }
+    }
+    out.push(0);
+}
+
+/// Parses a (possibly compressed) name at `off`; returns the name and the
+/// offset just past it in the *original* position.
+fn parse_name(data: &[u8], mut off: usize) -> WireResult<(String, usize)> {
+    let mut name = String::new();
+    let mut jumped = false;
+    let mut after = off;
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > 128 || name.len() > MAX_NAME {
+            return Err(WireError::Malformed); // compression loop
+        }
+        let len = *data.get(off).ok_or(WireError::Truncated)? as usize;
+        if len == 0 {
+            if !jumped {
+                after = off + 1;
+            }
+            break;
+        }
+        if len & 0xC0 == 0xC0 {
+            let b2 = *data.get(off + 1).ok_or(WireError::Truncated)? as usize;
+            let ptr = ((len & 0x3F) << 8) | b2;
+            if !jumped {
+                after = off + 2;
+                jumped = true;
+            }
+            if ptr >= off {
+                return Err(WireError::Malformed); // forward pointer
+            }
+            off = ptr;
+            continue;
+        }
+        if len > MAX_LABEL {
+            return Err(WireError::Malformed);
+        }
+        let label = data.get(off + 1..off + 1 + len).ok_or(WireError::Truncated)?;
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(core::str::from_utf8(label).map_err(|_| WireError::Malformed)?);
+        off += 1 + len;
+    }
+    Ok((name, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query_a(0x1234, "www.hiit.fi");
+        let parsed = DnsMessage::parse(&q.emit()).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn response_roundtrip_with_a_and_cname() {
+        let q = DnsMessage::query_a(7, "mail.example.org");
+        let resp = DnsMessage::response_to(
+            &q,
+            vec![
+                Record {
+                    name: "mail.example.org".into(),
+                    ttl: 300,
+                    data: RecordData::Cname("mx.example.org".into()),
+                },
+                Record {
+                    name: "mx.example.org".into(),
+                    ttl: 300,
+                    data: RecordData::A(Ipv4Addr::new(93, 184, 216, 34)),
+                },
+            ],
+            Rcode::NoError,
+        );
+        let parsed = DnsMessage::parse(&resp.emit()).unwrap();
+        assert_eq!(parsed, resp);
+        assert!(parsed.is_response);
+        assert!(parsed.recursion_available);
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let q = DnsMessage::query_a(9, "nosuch.hiit.fi");
+        let resp = DnsMessage::response_to(&q, vec![], Rcode::NxDomain);
+        assert_eq!(DnsMessage::parse(&resp.emit()).unwrap().rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn tcp_framing_roundtrip() {
+        let q = DnsMessage::query_a(0xBEEF, "hiit.fi");
+        let framed = q.emit_tcp();
+        assert_eq!(read_u16(&framed, 0) as usize, framed.len() - 2);
+        let (parsed, consumed) = DnsMessage::parse_tcp(&framed).unwrap();
+        assert_eq!(parsed, q);
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn tcp_partial_frame_is_truncated() {
+        let framed = DnsMessage::query_a(1, "a.b").emit_tcp();
+        assert_eq!(DnsMessage::parse_tcp(&framed[..framed.len() - 1]), Err(WireError::Truncated));
+        assert_eq!(DnsMessage::parse_tcp(&framed[..1]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn parses_compressed_names() {
+        // Hand-built response with a compression pointer in the answer name.
+        let q = DnsMessage::query_a(3, "ab.cd");
+        let mut buf = q.emit();
+        // ANCOUNT = 1
+        buf[7] = 1;
+        // Answer: pointer to offset 12 (the question name), type A, class IN,
+        // TTL 60, RDLEN 4, 1.2.3.4.
+        buf.extend_from_slice(&[0xC0, 12, 0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 1, 2, 3, 4]);
+        let parsed = DnsMessage::parse(&buf).unwrap();
+        assert_eq!(parsed.answers.len(), 1);
+        assert_eq!(parsed.answers[0].name, "ab.cd");
+        assert_eq!(parsed.answers[0].data, RecordData::A(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn rejects_pointer_loops() {
+        // A name that points at itself.
+        let mut buf = DnsMessage::query_a(3, "x").emit();
+        let qname_off = 12;
+        buf[qname_off] = 0xC0;
+        buf[qname_off + 1] = qname_off as u8;
+        assert!(DnsMessage::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert_eq!(DnsMessage::parse(&[0u8; 5]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn root_name_emits_single_zero() {
+        let mut out = Vec::new();
+        emit_name("", &mut out);
+        assert_eq!(out, vec![0]);
+    }
+}

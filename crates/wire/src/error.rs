@@ -1,0 +1,31 @@
+//! Error type shared by all wire-format parsers.
+
+use core::fmt;
+
+/// Why a buffer failed to parse as a given protocol header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header, or shorter than a length
+    /// field inside the header claims.
+    Truncated,
+    /// A checksum did not verify.
+    Checksum,
+    /// A field holds a value the parser cannot represent (bad version, bad
+    /// header length, unknown mandatory option...).
+    Malformed,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::Checksum => write!(f, "checksum mismatch"),
+            WireError::Malformed => write!(f, "malformed packet"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire parsing.
+pub type WireResult<T> = Result<T, WireError>;

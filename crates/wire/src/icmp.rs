@@ -1,0 +1,358 @@
+//! ICMPv4 codec (RFC 792) covering every message type in Table 2 of the
+//! paper.
+//!
+//! Error messages carry the *invoking packet* — the IP header plus at least
+//! the first 8 octets of the offending datagram. Whether a NAT correctly
+//! finds, rewrites and re-checksums the transport header inside that
+//! payload is precisely what the paper's ICMP experiment measures.
+
+use crate::checksum::internet_checksum;
+use crate::error::{WireError, WireResult};
+use crate::field::{read_u16, write_u16};
+
+/// Destination Unreachable codes (type 3) probed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnreachCode {
+    /// Code 0.
+    NetUnreachable,
+    /// Code 1.
+    HostUnreachable,
+    /// Code 2.
+    ProtoUnreachable,
+    /// Code 3.
+    PortUnreachable,
+    /// Code 4 — "fragmentation needed and DF set"; carries the next-hop MTU
+    /// and is what PMTU discovery depends on (RFC 1191).
+    FragNeeded,
+    /// Code 5.
+    SourceRouteFailed,
+    /// Any other code.
+    Other(u8),
+}
+
+impl UnreachCode {
+    /// Wire code value.
+    pub fn code(self) -> u8 {
+        match self {
+            UnreachCode::NetUnreachable => 0,
+            UnreachCode::HostUnreachable => 1,
+            UnreachCode::ProtoUnreachable => 2,
+            UnreachCode::PortUnreachable => 3,
+            UnreachCode::FragNeeded => 4,
+            UnreachCode::SourceRouteFailed => 5,
+            UnreachCode::Other(c) => c,
+        }
+    }
+}
+
+impl From<u8> for UnreachCode {
+    fn from(c: u8) -> UnreachCode {
+        match c {
+            0 => UnreachCode::NetUnreachable,
+            1 => UnreachCode::HostUnreachable,
+            2 => UnreachCode::ProtoUnreachable,
+            3 => UnreachCode::PortUnreachable,
+            4 => UnreachCode::FragNeeded,
+            5 => UnreachCode::SourceRouteFailed,
+            other => UnreachCode::Other(other),
+        }
+    }
+}
+
+/// Time Exceeded codes (type 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeExceededCode {
+    /// Code 0: TTL exceeded in transit.
+    TtlExceeded,
+    /// Code 1: fragment reassembly time exceeded.
+    ReassemblyExceeded,
+}
+
+/// A parsed ICMPv4 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpRepr {
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Identifier (used like a "port" by NATs translating ICMP query
+        /// messages).
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Echo payload.
+        payload: Vec<u8>,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier.
+        ident: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Echo payload.
+        payload: Vec<u8>,
+    },
+    /// Destination unreachable (type 3).
+    DestUnreachable {
+        /// The specific code.
+        code: UnreachCode,
+        /// Next-hop MTU; only meaningful for [`UnreachCode::FragNeeded`].
+        mtu: u16,
+        /// The invoking packet: original IP header + ≥8 payload octets.
+        invoking: Vec<u8>,
+    },
+    /// Time exceeded (type 11).
+    TimeExceeded {
+        /// TTL or reassembly.
+        code: TimeExceededCode,
+        /// The invoking packet.
+        invoking: Vec<u8>,
+    },
+    /// Parameter problem (type 12).
+    ParamProblem {
+        /// Octet offset of the problem.
+        pointer: u8,
+        /// The invoking packet.
+        invoking: Vec<u8>,
+    },
+    /// Source quench (type 4, deprecated but probed by the paper).
+    SourceQuench {
+        /// The invoking packet.
+        invoking: Vec<u8>,
+    },
+}
+
+impl IcmpRepr {
+    /// True for error messages (those that embed an invoking packet).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, IcmpRepr::EchoRequest { .. } | IcmpRepr::EchoReply { .. })
+    }
+
+    /// The embedded invoking packet of an error message.
+    pub fn invoking(&self) -> Option<&[u8]> {
+        match self {
+            IcmpRepr::DestUnreachable { invoking, .. }
+            | IcmpRepr::TimeExceeded { invoking, .. }
+            | IcmpRepr::ParamProblem { invoking, .. }
+            | IcmpRepr::SourceQuench { invoking } => Some(invoking),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the embedded invoking packet.
+    pub fn invoking_mut(&mut self) -> Option<&mut Vec<u8>> {
+        match self {
+            IcmpRepr::DestUnreachable { invoking, .. }
+            | IcmpRepr::TimeExceeded { invoking, .. }
+            | IcmpRepr::ParamProblem { invoking, .. }
+            | IcmpRepr::SourceQuench { invoking } => Some(invoking),
+            _ => None,
+        }
+    }
+
+    /// Parses an ICMP message, verifying the checksum.
+    pub fn parse(data: &[u8]) -> WireResult<IcmpRepr> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        if internet_checksum(data) != 0 {
+            return Err(WireError::Checksum);
+        }
+        let ty = data[0];
+        let code = data[1];
+        let rest = &data[8..];
+        match ty {
+            0 | 8 => {
+                let ident = read_u16(data, 4);
+                let seq = read_u16(data, 6);
+                let payload = rest.to_vec();
+                Ok(if ty == 8 {
+                    IcmpRepr::EchoRequest { ident, seq, payload }
+                } else {
+                    IcmpRepr::EchoReply { ident, seq, payload }
+                })
+            }
+            3 => Ok(IcmpRepr::DestUnreachable {
+                code: UnreachCode::from(code),
+                mtu: read_u16(data, 6),
+                invoking: rest.to_vec(),
+            }),
+            4 => Ok(IcmpRepr::SourceQuench { invoking: rest.to_vec() }),
+            11 => Ok(IcmpRepr::TimeExceeded {
+                code: if code == 1 {
+                    TimeExceededCode::ReassemblyExceeded
+                } else {
+                    TimeExceededCode::TtlExceeded
+                },
+                invoking: rest.to_vec(),
+            }),
+            12 => Ok(IcmpRepr::ParamProblem { pointer: data[4], invoking: rest.to_vec() }),
+            _ => Err(WireError::Malformed),
+        }
+    }
+
+    /// Builds the complete message with a valid checksum.
+    pub fn emit(&self) -> Vec<u8> {
+        let (ty, code, word, body): (u8, u8, [u8; 4], &[u8]) = match self {
+            IcmpRepr::EchoRequest { ident, seq, payload } => {
+                let mut w = [0u8; 4];
+                w[..2].copy_from_slice(&ident.to_be_bytes());
+                w[2..].copy_from_slice(&seq.to_be_bytes());
+                (8, 0, w, payload)
+            }
+            IcmpRepr::EchoReply { ident, seq, payload } => {
+                let mut w = [0u8; 4];
+                w[..2].copy_from_slice(&ident.to_be_bytes());
+                w[2..].copy_from_slice(&seq.to_be_bytes());
+                (0, 0, w, payload)
+            }
+            IcmpRepr::DestUnreachable { code, mtu, invoking } => {
+                let mut w = [0u8; 4];
+                w[2..].copy_from_slice(&mtu.to_be_bytes());
+                (3, code.code(), w, invoking)
+            }
+            IcmpRepr::SourceQuench { invoking } => (4, 0, [0; 4], invoking),
+            IcmpRepr::TimeExceeded { code, invoking } => {
+                let c = match code {
+                    TimeExceededCode::TtlExceeded => 0,
+                    TimeExceededCode::ReassemblyExceeded => 1,
+                };
+                (11, c, [0; 4], invoking)
+            }
+            IcmpRepr::ParamProblem { pointer, invoking } => {
+                (12, 0, [*pointer, 0, 0, 0], invoking)
+            }
+        };
+        let mut buf = vec![0u8; 8 + body.len()];
+        buf[0] = ty;
+        buf[1] = code;
+        buf[4..8].copy_from_slice(&word);
+        buf[8..].copy_from_slice(body);
+        let ck = internet_checksum(&buf);
+        write_u16(&mut buf, 2, ck);
+        buf
+    }
+
+    /// A short human-readable name matching the column labels of Table 2.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            IcmpRepr::EchoRequest { .. } => "Echo Request",
+            IcmpRepr::EchoReply { .. } => "Echo Reply",
+            IcmpRepr::DestUnreachable { code, .. } => match code {
+                UnreachCode::NetUnreachable => "Net Unreach.",
+                UnreachCode::HostUnreachable => "Host Unreach.",
+                UnreachCode::ProtoUnreachable => "Proto. Unreach.",
+                UnreachCode::PortUnreachable => "Port Unreach.",
+                UnreachCode::FragNeeded => "Frag. Needed",
+                UnreachCode::SourceRouteFailed => "Src. Route Fail.",
+                UnreachCode::Other(_) => "Dest. Unreach.",
+            },
+            IcmpRepr::TimeExceeded { code: TimeExceededCode::TtlExceeded, .. } => "TTL Exceeded",
+            IcmpRepr::TimeExceeded { code: TimeExceededCode::ReassemblyExceeded, .. } => {
+                "Reass. Time Ex."
+            }
+            IcmpRepr::ParamProblem { .. } => "Param. Prob.",
+            IcmpRepr::SourceQuench { .. } => "Source Quench",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invoking_stub() -> Vec<u8> {
+        // A plausible 20-byte IP header + 8 transport octets.
+        let mut v = vec![0x45u8; 1];
+        v.extend_from_slice(&[0; 27]);
+        v
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let msg = IcmpRepr::EchoRequest { ident: 0x1234, seq: 7, payload: b"ping".to_vec() };
+        let buf = msg.emit();
+        assert_eq!(IcmpRepr::parse(&buf).unwrap(), msg);
+        let reply = IcmpRepr::EchoReply { ident: 0x1234, seq: 7, payload: b"ping".to_vec() };
+        assert_eq!(IcmpRepr::parse(&reply.emit()).unwrap(), reply);
+    }
+
+    #[test]
+    fn every_error_kind_roundtrips() {
+        let inv = invoking_stub();
+        let messages = vec![
+            IcmpRepr::DestUnreachable { code: UnreachCode::NetUnreachable, mtu: 0, invoking: inv.clone() },
+            IcmpRepr::DestUnreachable { code: UnreachCode::HostUnreachable, mtu: 0, invoking: inv.clone() },
+            IcmpRepr::DestUnreachable { code: UnreachCode::ProtoUnreachable, mtu: 0, invoking: inv.clone() },
+            IcmpRepr::DestUnreachable { code: UnreachCode::PortUnreachable, mtu: 0, invoking: inv.clone() },
+            IcmpRepr::DestUnreachable { code: UnreachCode::FragNeeded, mtu: 576, invoking: inv.clone() },
+            IcmpRepr::DestUnreachable { code: UnreachCode::SourceRouteFailed, mtu: 0, invoking: inv.clone() },
+            IcmpRepr::TimeExceeded { code: TimeExceededCode::TtlExceeded, invoking: inv.clone() },
+            IcmpRepr::TimeExceeded { code: TimeExceededCode::ReassemblyExceeded, invoking: inv.clone() },
+            IcmpRepr::ParamProblem { pointer: 9, invoking: inv.clone() },
+            IcmpRepr::SourceQuench { invoking: inv.clone() },
+        ];
+        for msg in messages {
+            let buf = msg.emit();
+            let parsed = IcmpRepr::parse(&buf).unwrap();
+            assert_eq!(parsed, msg, "roundtrip failed for {}", msg.kind_name());
+            assert!(parsed.is_error());
+            assert_eq!(parsed.invoking(), Some(&inv[..]));
+        }
+    }
+
+    #[test]
+    fn frag_needed_carries_mtu() {
+        let msg = IcmpRepr::DestUnreachable {
+            code: UnreachCode::FragNeeded,
+            mtu: 1400,
+            invoking: invoking_stub(),
+        };
+        match IcmpRepr::parse(&msg.emit()).unwrap() {
+            IcmpRepr::DestUnreachable { code: UnreachCode::FragNeeded, mtu, .. } => {
+                assert_eq!(mtu, 1400)
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = IcmpRepr::SourceQuench { invoking: invoking_stub() }.emit();
+        buf[12] ^= 0x01;
+        assert_eq!(IcmpRepr::parse(&buf), Err(WireError::Checksum));
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_short_buffer() {
+        let mut buf = IcmpRepr::SourceQuench { invoking: invoking_stub() }.emit();
+        buf[0] = 42;
+        let ck = internet_checksum(&{
+            let mut b = buf.clone();
+            b[2] = 0;
+            b[3] = 0;
+            b
+        });
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(IcmpRepr::parse(&buf), Err(WireError::Malformed));
+        assert_eq!(IcmpRepr::parse(&[0u8; 4]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn invoking_mut_allows_nat_rewrite() {
+        let mut msg = IcmpRepr::DestUnreachable {
+            code: UnreachCode::PortUnreachable,
+            mtu: 0,
+            invoking: invoking_stub(),
+        };
+        msg.invoking_mut().unwrap()[12] = 99;
+        assert_eq!(msg.invoking().unwrap()[12], 99);
+        let echo = IcmpRepr::EchoRequest { ident: 1, seq: 1, payload: vec![] };
+        assert!(matches!(echo, IcmpRepr::EchoRequest { .. }));
+    }
+
+    #[test]
+    fn unreach_code_conversion_total() {
+        for c in 0..=10u8 {
+            assert_eq!(UnreachCode::from(c).code(), c);
+        }
+    }
+}

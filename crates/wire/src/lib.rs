@@ -1,0 +1,38 @@
+//! # hgw-wire — wire formats for the home-gateway testbed
+//!
+//! smoltcp-style packet codecs for every protocol the IMC 2010 home-gateway
+//! study exercises: IPv4 (with options), UDP, TCP (with options), ICMPv4
+//! (all of Table 2's message types), SCTP, DCCP, DNS (UDP and TCP framing)
+//! and DHCP.
+//!
+//! Two layers per protocol, following smoltcp:
+//!
+//! * a checked **packet view** (`Ipv4Packet`, `UdpPacket`, `TcpPacket`) that
+//!   reads/writes fields in place — what a NAT uses to rewrite headers, and
+//! * a parsed **representation** (`*Repr`) that owns its fields — what
+//!   endpoint stacks use.
+//!
+//! Checksums are first-class: the Internet checksum's pseudo-header
+//! coverage (UDP/TCP/DCCP) versus SCTP's self-contained CRC-32c is the
+//! mechanism behind one of the paper's most interesting findings (§4.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod dccp;
+pub mod dhcp;
+pub mod dns;
+pub mod error;
+pub mod field;
+pub mod icmp;
+pub mod ip;
+pub mod sctp;
+pub mod stun;
+pub mod tcp;
+pub mod udp;
+
+pub use error::{WireError, WireResult};
+pub use ip::{Ipv4Packet, Ipv4Repr, Protocol};
+pub use tcp::{SeqNumber, TcpFlags, TcpPacket, TcpRepr};
+pub use udp::{UdpPacket, UdpRepr};

@@ -1,0 +1,229 @@
+//! STUN codec (RFC 5389, Binding method) — the protocol behind the NAT
+//! classification and traversal measurements the paper schedules as future
+//! work (§5: "measuring the success rates of STUN, TURN and ICE").
+//!
+//! Implements Binding Request/Response with MAPPED-ADDRESS and
+//! XOR-MAPPED-ADDRESS attributes, which is the subset a classification
+//! client needs.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use crate::error::{WireError, WireResult};
+use crate::field::{read_u16, read_u32, write_u16, write_u32};
+
+/// The RFC 5389 magic cookie.
+pub const MAGIC_COOKIE: u32 = 0x2112_A442;
+/// STUN header length.
+pub const HEADER_LEN: usize = 20;
+
+/// Message class+method combinations used here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StunKind {
+    /// Binding request (0x0001).
+    BindingRequest,
+    /// Binding success response (0x0101).
+    BindingResponse,
+    /// Binding error response (0x0111).
+    BindingError,
+}
+
+impl StunKind {
+    fn type_code(self) -> u16 {
+        match self {
+            StunKind::BindingRequest => 0x0001,
+            StunKind::BindingResponse => 0x0101,
+            StunKind::BindingError => 0x0111,
+        }
+    }
+
+    fn from_code(c: u16) -> WireResult<StunKind> {
+        Ok(match c {
+            0x0001 => StunKind::BindingRequest,
+            0x0101 => StunKind::BindingResponse,
+            0x0111 => StunKind::BindingError,
+            _ => return Err(WireError::Malformed),
+        })
+    }
+}
+
+/// A parsed STUN message (Binding method subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StunMessage {
+    /// Class + method.
+    pub kind: StunKind,
+    /// 96-bit transaction id.
+    pub transaction_id: [u8; 12],
+    /// MAPPED-ADDRESS attribute (0x0001), if present.
+    pub mapped_address: Option<SocketAddrV4>,
+    /// XOR-MAPPED-ADDRESS attribute (0x0020), if present (already
+    /// un-XORed).
+    pub xor_mapped_address: Option<SocketAddrV4>,
+}
+
+impl StunMessage {
+    /// A Binding request with the given transaction id.
+    pub fn binding_request(transaction_id: [u8; 12]) -> StunMessage {
+        StunMessage {
+            kind: StunKind::BindingRequest,
+            transaction_id,
+            mapped_address: None,
+            xor_mapped_address: None,
+        }
+    }
+
+    /// A Binding success response reporting `mapped` via both attribute
+    /// forms (as real servers do).
+    pub fn binding_response(transaction_id: [u8; 12], mapped: SocketAddrV4) -> StunMessage {
+        StunMessage {
+            kind: StunKind::BindingResponse,
+            transaction_id,
+            mapped_address: Some(mapped),
+            xor_mapped_address: Some(mapped),
+        }
+    }
+
+    /// The address a client should trust: XOR-MAPPED-ADDRESS if present
+    /// (immune to NATs that rewrite literal addresses in payloads), else
+    /// MAPPED-ADDRESS.
+    pub fn reported_address(&self) -> Option<SocketAddrV4> {
+        self.xor_mapped_address.or(self.mapped_address)
+    }
+
+    /// Encodes the message.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut attrs = Vec::new();
+        if let Some(addr) = self.mapped_address {
+            attrs.extend_from_slice(&0x0001u16.to_be_bytes());
+            attrs.extend_from_slice(&8u16.to_be_bytes());
+            attrs.push(0);
+            attrs.push(0x01); // family IPv4
+            attrs.extend_from_slice(&addr.port().to_be_bytes());
+            attrs.extend_from_slice(&addr.ip().octets());
+        }
+        if let Some(addr) = self.xor_mapped_address {
+            attrs.extend_from_slice(&0x0020u16.to_be_bytes());
+            attrs.extend_from_slice(&8u16.to_be_bytes());
+            attrs.push(0);
+            attrs.push(0x01);
+            let xport = addr.port() ^ (MAGIC_COOKIE >> 16) as u16;
+            attrs.extend_from_slice(&xport.to_be_bytes());
+            let xip = u32::from(*addr.ip()) ^ MAGIC_COOKIE;
+            attrs.extend_from_slice(&xip.to_be_bytes());
+        }
+        let mut buf = vec![0u8; HEADER_LEN];
+        write_u16(&mut buf, 0, self.kind.type_code());
+        write_u16(&mut buf, 2, attrs.len() as u16);
+        write_u32(&mut buf, 4, MAGIC_COOKIE);
+        buf[8..20].copy_from_slice(&self.transaction_id);
+        buf.extend_from_slice(&attrs);
+        buf
+    }
+
+    /// Parses a message.
+    pub fn parse(data: &[u8]) -> WireResult<StunMessage> {
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let type_code = read_u16(data, 0);
+        if type_code & 0xC000 != 0 {
+            return Err(WireError::Malformed); // top bits must be zero
+        }
+        let length = read_u16(data, 2) as usize;
+        if read_u32(data, 4) != MAGIC_COOKIE {
+            return Err(WireError::Malformed);
+        }
+        if data.len() < HEADER_LEN + length {
+            return Err(WireError::Truncated);
+        }
+        let mut transaction_id = [0u8; 12];
+        transaction_id.copy_from_slice(&data[8..20]);
+        let mut msg = StunMessage {
+            kind: StunKind::from_code(type_code)?,
+            transaction_id,
+            mapped_address: None,
+            xor_mapped_address: None,
+        };
+        let mut attrs = &data[HEADER_LEN..HEADER_LEN + length];
+        while attrs.len() >= 4 {
+            let atype = read_u16(attrs, 0);
+            let alen = read_u16(attrs, 2) as usize;
+            if attrs.len() < 4 + alen {
+                return Err(WireError::Truncated);
+            }
+            let value = &attrs[4..4 + alen];
+            match atype {
+                0x0001 if alen == 8 && value[1] == 0x01 => {
+                    let port = read_u16(value, 2);
+                    let ip = Ipv4Addr::from(read_u32(value, 4));
+                    msg.mapped_address = Some(SocketAddrV4::new(ip, port));
+                }
+                0x0020 if alen == 8 && value[1] == 0x01 => {
+                    let port = read_u16(value, 2) ^ (MAGIC_COOKIE >> 16) as u16;
+                    let ip = Ipv4Addr::from(read_u32(value, 4) ^ MAGIC_COOKIE);
+                    msg.xor_mapped_address = Some(SocketAddrV4::new(ip, port));
+                }
+                _ => {} // comprehension-optional attributes skipped
+            }
+            let padded = alen.div_ceil(4) * 4;
+            attrs = &attrs[(4 + padded).min(attrs.len())..];
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TID: [u8; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+
+    #[test]
+    fn request_roundtrip() {
+        let req = StunMessage::binding_request(TID);
+        let parsed = StunMessage::parse(&req.emit()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.kind, StunKind::BindingRequest);
+    }
+
+    #[test]
+    fn response_roundtrip_both_attributes() {
+        let mapped = SocketAddrV4::new(Ipv4Addr::new(10, 0, 1, 50), 45_678);
+        let resp = StunMessage::binding_response(TID, mapped);
+        let parsed = StunMessage::parse(&resp.emit()).unwrap();
+        assert_eq!(parsed.mapped_address, Some(mapped));
+        assert_eq!(parsed.xor_mapped_address, Some(mapped));
+        assert_eq!(parsed.reported_address(), Some(mapped));
+    }
+
+    #[test]
+    fn xor_encoding_obscures_literal_address() {
+        // The reason XOR-MAPPED-ADDRESS exists: the literal bytes of the
+        // address must not appear in the payload (some NATs rewrite them).
+        let mapped = SocketAddrV4::new(Ipv4Addr::new(10, 0, 1, 50), 45_678);
+        let wire = StunMessage::binding_response(TID, mapped).emit();
+        let xor_attr = &wire[wire.len() - 8..];
+        assert_ne!(&xor_attr[4..8], &mapped.ip().octets(), "address must be XORed");
+    }
+
+    #[test]
+    fn rejects_bad_cookie_and_truncation() {
+        let mut wire = StunMessage::binding_request(TID).emit();
+        wire[4] ^= 0xFF;
+        assert_eq!(StunMessage::parse(&wire), Err(WireError::Malformed));
+        let wire = StunMessage::binding_request(TID).emit();
+        assert_eq!(StunMessage::parse(&wire[..10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn unknown_attributes_skipped() {
+        let mut wire = StunMessage::binding_request(TID).emit();
+        // Append a SOFTWARE (0x8022) attribute with 5 bytes (padded to 8).
+        wire.extend_from_slice(&0x8022u16.to_be_bytes());
+        wire.extend_from_slice(&5u16.to_be_bytes());
+        wire.extend_from_slice(b"hgw\x00\x00\x00\x00\x00");
+        let len = (wire.len() - HEADER_LEN) as u16;
+        wire[2..4].copy_from_slice(&len.to_be_bytes());
+        let parsed = StunMessage::parse(&wire).unwrap();
+        assert_eq!(parsed.kind, StunKind::BindingRequest);
+    }
+}

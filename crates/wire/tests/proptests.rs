@@ -1,0 +1,289 @@
+//! Property-based tests: every codec must round-trip arbitrary valid
+//! representations, and checksums must detect arbitrary single-bit
+//! corruption.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use hgw_wire::checksum::{internet_checksum, transport_checksum, verify_transport_checksum};
+use hgw_wire::dccp::{DccpRepr, DccpType};
+use hgw_wire::dhcp::{DhcpMessage, DhcpMessageType};
+use hgw_wire::dns::{DnsMessage, Question, Rcode, Record, RecordData, RecordType};
+use hgw_wire::icmp::{IcmpRepr, TimeExceededCode, UnreachCode};
+use hgw_wire::ip::{Ipv4Option, Ipv4Repr};
+use hgw_wire::sctp::{Chunk, SctpRepr};
+use hgw_wire::tcp::{SeqNumber, TcpOption, TcpPacket, TcpRepr};
+use hgw_wire::udp::{UdpPacket, UdpRepr};
+use hgw_wire::{Ipv4Packet, Protocol, TcpFlags};
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<[u8; 4]>().prop_map(|b| Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+}
+
+proptest! {
+    #[test]
+    fn internet_checksum_zero_verifies(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Appending the checksum of `data` makes the sum verify (even-length
+        // inputs only — odd lengths shift the appended checksum's alignment,
+        // which real protocols never do).
+        prop_assume!(data.len() % 2 == 0);
+        let ck = internet_checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&ck.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&with), 0);
+    }
+
+    #[test]
+    fn transport_checksum_detects_bit_flips(
+        data in proptest::collection::vec(any::<u8>(), 9..128),
+        src in arb_addr(),
+        dst in arb_addr(),
+        bit in 0usize..8,
+    ) {
+        let mut seg = data.clone();
+        // Zero the "checksum field" (bytes 6..8 as in UDP), fill it in.
+        seg[6] = 0;
+        seg[7] = 0;
+        let ck = transport_checksum(src, dst, 17, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        prop_assert!(verify_transport_checksum(src, dst, 17, &seg));
+        let idx = data.len() % seg.len();
+        seg[idx] ^= 1 << bit;
+        // A flip may cancel only if it lands in the checksum field itself in
+        // a way that offsets... it cannot: one bit changes the sum.
+        prop_assert!(!verify_transport_checksum(src, dst, 17, &seg));
+    }
+
+    #[test]
+    fn ipv4_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        proto in any::<u8>(),
+        ttl in any::<u8>(),
+        ident in any::<u16>(),
+        dont_frag in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        rr in proptest::option::of((1u8..40, proptest::collection::vec(any::<u8>(), 0..8))),
+    ) {
+        let mut repr = Ipv4Repr::new(src, dst, Protocol::from(proto));
+        repr.ttl = ttl;
+        repr.ident = ident;
+        repr.dont_frag = dont_frag;
+        if let Some((pointer, data)) = rr {
+            repr.options.push(Ipv4Option::RecordRoute { pointer, data });
+        }
+        let buf = repr.emit_with_payload(&payload);
+        let packet = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum());
+        prop_assert_eq!(packet.payload(), &payload[..]);
+        prop_assert_eq!(Ipv4Repr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn udp_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let repr = UdpRepr { src_port: sport, dst_port: dport };
+        let buf = repr.emit_with_payload(src, dst, &payload);
+        let packet = UdpPacket::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum(src, dst));
+        prop_assert_eq!(packet.payload(), &payload[..]);
+        prop_assert_eq!(UdpRepr::parse(&packet, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn tcp_roundtrip(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in 0u8..64,
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        mss in proptest::option::of(any::<u16>()),
+        ts in proptest::option::of((any::<u32>(), any::<u32>())),
+    ) {
+        let mut options = Vec::new();
+        if let Some(m) = mss { options.push(TcpOption::MaxSegmentSize(m)); }
+        if let Some((v, e)) = ts { options.push(TcpOption::Timestamps(v, e)); }
+        let repr = TcpRepr {
+            src_port: sport,
+            dst_port: dport,
+            seq: SeqNumber(seq),
+            ack: SeqNumber(ack),
+            flags: TcpFlags(flags),
+            window,
+            options,
+        };
+        let buf = repr.emit_with_payload(src, dst, &payload);
+        let packet = TcpPacket::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum(src, dst));
+        prop_assert_eq!(packet.payload(), &payload[..]);
+        prop_assert_eq!(TcpRepr::parse(&packet, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn icmp_error_roundtrip(
+        kind in 0usize..10,
+        mtu in any::<u16>(),
+        pointer in any::<u8>(),
+        invoking in proptest::collection::vec(any::<u8>(), 28..64),
+    ) {
+        let msg = match kind {
+            0 => IcmpRepr::DestUnreachable { code: UnreachCode::NetUnreachable, mtu: 0, invoking },
+            1 => IcmpRepr::DestUnreachable { code: UnreachCode::HostUnreachable, mtu: 0, invoking },
+            2 => IcmpRepr::DestUnreachable { code: UnreachCode::ProtoUnreachable, mtu: 0, invoking },
+            3 => IcmpRepr::DestUnreachable { code: UnreachCode::PortUnreachable, mtu: 0, invoking },
+            4 => IcmpRepr::DestUnreachable { code: UnreachCode::FragNeeded, mtu, invoking },
+            5 => IcmpRepr::DestUnreachable { code: UnreachCode::SourceRouteFailed, mtu: 0, invoking },
+            6 => IcmpRepr::TimeExceeded { code: TimeExceededCode::TtlExceeded, invoking },
+            7 => IcmpRepr::TimeExceeded { code: TimeExceededCode::ReassemblyExceeded, invoking },
+            8 => IcmpRepr::ParamProblem { pointer, invoking },
+            _ => IcmpRepr::SourceQuench { invoking },
+        };
+        prop_assert_eq!(IcmpRepr::parse(&msg.emit()).unwrap(), msg);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        reply in any::<bool>(),
+    ) {
+        let msg = if reply {
+            IcmpRepr::EchoReply { ident, seq, payload }
+        } else {
+            IcmpRepr::EchoRequest { ident, seq, payload }
+        };
+        prop_assert_eq!(IcmpRepr::parse(&msg.emit()).unwrap(), msg);
+    }
+
+    #[test]
+    fn sctp_roundtrip(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        vtag in any::<u32>(),
+        tsn in any::<u32>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        cookie in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let repr = SctpRepr {
+            src_port: sport,
+            dst_port: dport,
+            verification_tag: vtag,
+            chunks: vec![
+                Chunk::InitAck {
+                    init_tag: vtag.wrapping_add(1),
+                    a_rwnd: 65535,
+                    outbound_streams: 1,
+                    inbound_streams: 1,
+                    initial_tsn: tsn,
+                    cookie,
+                },
+                Chunk::Data { tsn, stream_id: 0, stream_seq: 0, ppid: 0, data },
+                Chunk::Sack { cum_tsn: tsn, a_rwnd: 4096 },
+            ],
+        };
+        prop_assert_eq!(SctpRepr::parse(&repr.emit()).unwrap(), repr);
+    }
+
+    #[test]
+    fn dccp_roundtrip(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in 0u64..(1 << 48),
+        ack in 0u64..(1 << 48),
+        service in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        src in arb_addr(),
+        dst in arb_addr(),
+        ty in 0usize..4,
+    ) {
+        let packet_type = [DccpType::Request, DccpType::Response, DccpType::Data, DccpType::DataAck][ty];
+        let repr = DccpRepr {
+            src_port: sport,
+            dst_port: dport,
+            packet_type,
+            seq,
+            ack: packet_type.has_ack().then_some(ack),
+            service_code: packet_type.has_service_code().then_some(service),
+            payload,
+        };
+        prop_assert_eq!(DccpRepr::parse(&repr.emit(src, dst), src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn dns_roundtrip(
+        id in any::<u16>(),
+        labels in proptest::collection::vec("[a-z]{1,12}", 1..5),
+        addr in arb_addr(),
+        ttl in any::<u32>(),
+        is_response in any::<bool>(),
+    ) {
+        let name = labels.join(".");
+        let msg = DnsMessage {
+            id,
+            is_response,
+            recursion_desired: true,
+            recursion_available: is_response,
+            rcode: Rcode::NoError,
+            questions: vec![Question { name: name.clone(), rtype: RecordType::A }],
+            answers: if is_response {
+                vec![Record { name, ttl, data: RecordData::A(addr) }]
+            } else {
+                vec![]
+            },
+        };
+        prop_assert_eq!(DnsMessage::parse(&msg.emit()).unwrap(), msg.clone());
+        let (tcp_parsed, consumed) = DnsMessage::parse_tcp(&msg.emit_tcp()).unwrap();
+        prop_assert_eq!(tcp_parsed, msg.clone());
+        prop_assert_eq!(consumed, msg.emit_tcp().len());
+    }
+
+    #[test]
+    fn dhcp_roundtrip(
+        xid in any::<u32>(),
+        chaddr in any::<[u8; 6]>(),
+        your in arb_addr(),
+        router in arb_addr(),
+        lease in any::<u32>(),
+        n_dns in 0usize..4,
+    ) {
+        let mut msg = DhcpMessage::discover(xid, chaddr);
+        msg.message_type = DhcpMessageType::Ack;
+        msg.is_request_op = false;
+        msg.your_addr = your;
+        msg.router = Some(router);
+        msg.lease_secs = Some(lease);
+        msg.dns_servers = (0..n_dns).map(|i| Ipv4Addr::new(10, 0, 0, i as u8)).collect();
+        prop_assert_eq!(DhcpMessage::parse(&msg.emit()).unwrap(), msg);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        // Fuzz every parser entry point: errors are fine, panics are not.
+        let _ = Ipv4Packet::new_checked(&data[..]);
+        let _ = UdpPacket::new_checked(&data[..]);
+        let _ = TcpPacket::new_checked(&data[..]);
+        let _ = IcmpRepr::parse(&data);
+        let _ = SctpRepr::parse(&data);
+        let _ = DccpRepr::parse(&data, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let _ = DnsMessage::parse(&data);
+        let _ = DnsMessage::parse_tcp(&data);
+        let _ = DhcpMessage::parse(&data);
+        if let Ok(p) = Ipv4Packet::new_checked(&data[..]) {
+            let _ = p.options();
+        }
+        if let Ok(p) = TcpPacket::new_checked(&data[..]) {
+            let _ = p.options();
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Define your own gateway model and put it through the paper's
+//! measurement battery — the workflow for testing a hypothetical (or
+//! newly donated) device against the suite.
+//!
+//! ```sh
+//! cargo run --release --example custom_device
+//! ```
+
+use home_gateway_study::prelude::*;
+use hgw_gateway::{
+    DnsTcpMode, EndpointScope, ForwardingModel, IcmpKindSet, PortAssignment, UnknownProtoPolicy,
+};
+use hgw_probe::udp_timeout::{measure_refresh, measure_udp1, UdpScenario};
+
+fn main() {
+    // A hypothetical budget router: short timeouts, tiny binding table,
+    // mediocre forwarding, partial ICMP support, sequential ports.
+    let mut policy = GatewayPolicy::well_behaved();
+    policy.udp_timeout_solitary = Duration::from_secs(25);
+    policy.udp_timeout_inbound = Duration::from_secs(70);
+    policy.udp_timeout_bidirectional = Duration::from_secs(70);
+    policy.tcp_timeout = Duration::from_mins(10);
+    policy.max_bindings = 64;
+    policy.port_assignment = PortAssignment::Sequential;
+    policy.mapping = EndpointScope::AddressAndPortDependent;
+    policy.icmp.tcp_kinds = IcmpKindSet::baseline();
+    policy.icmp.udp_kinds = IcmpKindSet::baseline();
+    policy.unknown_proto = UnknownProtoPolicy::Drop;
+    policy.dns_proxy.tcp = DnsTcpMode::Refuse;
+    policy.forwarding = ForwardingModel {
+        up_bps: 18_000_000,
+        down_bps: 20_000_000,
+        aggregate_bps: 24_000_000,
+        buffer_up: 96 * 1024,
+        buffer_down: 96 * 1024,
+        per_packet_overhead: Duration::from_micros(30),
+    };
+
+    let mut tb = Testbed::new("custom", policy, 1, 2024);
+    println!("== Measurement battery against a custom device model ==\n");
+
+    let u1 = measure_udp1(&mut tb, 20_000);
+    println!("UDP-1 (solitary) timeout:        {:>7.1} s", u1.timeout_secs);
+    let u2 = measure_refresh(&mut tb, 21_000, UdpScenario::InboundRefresh, Duration::from_secs(1));
+    println!("UDP-2 (inbound-refresh) timeout: {:>7.1} s", u2.timeout_secs);
+    let u3 = measure_refresh(&mut tb, 22_000, UdpScenario::Bidirectional, Duration::from_secs(1));
+    println!("UDP-3 (bidirectional) timeout:   {:>7.1} s", u3.timeout_secs);
+
+    let t1 = hgw_probe::tcp_timeout::measure_tcp1(&mut tb);
+    println!(
+        "TCP-1 binding timeout:           {}",
+        t1.timeout_mins.map(|m| format!("{m:>7.1} min")).unwrap_or_else(|| "> 24 h".into())
+    );
+
+    let t4 = hgw_probe::max_bindings::measure_max_bindings(&mut tb, 16, 256);
+    println!("TCP-4 max bindings:              {:>7}", t4.max_bindings);
+
+    let thr = hgw_probe::throughput::run_transfer(
+        &mut tb,
+        5001,
+        hgw_probe::throughput::Direction::Download,
+        4 * 1024 * 1024,
+    );
+    println!(
+        "TCP-2 download:                  {:>7.1} Mb/s   (TCP-3 delay {:.1} ms)",
+        thr.throughput_mbps, thr.delay_ms
+    );
+
+    let transports = hgw_probe::transport::measure_transport_support(&mut tb);
+    println!("SCTP traversal:                  {:>7}", if transports.sctp_works { "works" } else { "fails" });
+    println!("DCCP traversal:                  {:>7}", if transports.dccp_works { "works" } else { "fails" });
+
+    let dns = hgw_probe::dns::measure_dns(&mut tb);
+    println!("DNS proxy over UDP:              {:>7}", if dns.udp_answered { "works" } else { "fails" });
+    println!("DNS proxy over TCP:              {:>7}", if dns.tcp_answered { "works" } else { "fails" });
+}

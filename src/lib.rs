@@ -1,0 +1,57 @@
+//! # home-gateway-study
+//!
+//! A full reproduction of *"An Experimental Study of Home Gateway
+//! Characteristics"* (Hätönen et al., IMC 2010) as a Rust library: a
+//! deterministic packet-level testbed, a behavioral model of 34 commercial
+//! home gateways, and the complete measurement suite of the paper —
+//! UDP/TCP NAT binding timeouts, throughput, queuing delay, binding
+//! capacity, ICMP translation, SCTP/DCCP support and DNS proxying — plus
+//! the NAT-classification probes the paper lists as future work.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use home_gateway_study::prelude::*;
+//!
+//! // Build the paper's testbed (Figure 1) around one device model.
+//! let device = devices::device("owrt").expect("OpenWRT profile");
+//! let mut tb = Testbed::new(device.tag, device.policy.clone(), 1, 42);
+//!
+//! // Measure its UDP-1 binding timeout exactly as §3.2.1 describes.
+//! let m = probe::udp_timeout::measure_udp1(&mut tb, 20_000);
+//! assert!((m.timeout_secs - device.expected.udp1_secs).abs() <= 1.5);
+//! ```
+//!
+//! The crates underneath:
+//!
+//! * [`core`] — deterministic discrete-event simulation (virtual time,
+//!   links, fault injection),
+//! * [`wire`] — packet codecs (IPv4, UDP, TCP, ICMP, SCTP, DCCP, DNS,
+//!   DHCP),
+//! * [`stack`] — endpoint hosts with a full TCP implementation,
+//! * [`gateway`] — the NAT/gateway behavioral model under test,
+//! * [`devices`] — the 34 calibrated profiles of Table 1,
+//! * [`testbed`] — the Figure 1 topology builder,
+//! * [`probe`] — the §3.2 measurement suite,
+//! * [`stats`] — medians/quartiles and figure rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hgw_core as core;
+pub use hgw_devices as devices;
+pub use hgw_gateway as gateway;
+pub use hgw_probe as probe;
+pub use hgw_stack as stack;
+pub use hgw_stats as stats;
+pub use hgw_testbed as testbed;
+pub use hgw_wire as wire;
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use hgw_core::{Duration, Instant};
+    pub use hgw_devices as devices;
+    pub use hgw_gateway::GatewayPolicy;
+    pub use hgw_probe as probe;
+    pub use hgw_testbed::Testbed;
+}

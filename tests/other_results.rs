@@ -1,0 +1,90 @@
+//! Fleet-wide reproduction of §4.3's "other results": the aggregates of
+//! Table 2 and the prose around it, measured end to end.
+
+use hgw_probe::dns::measure_dns;
+use hgw_probe::fleet::run_fleet;
+use hgw_probe::transport::measure_transport_support;
+use home_gateway_study::prelude::*;
+
+#[test]
+fn sctp_and_dccp_fleet_counts() {
+    // §4.3: SCTP associations succeed through 18 of 34 devices; DCCP
+    // through none.
+    let devices = devices::all_devices();
+    let results = run_fleet(&devices, 0x5C7,  |tb, _| measure_transport_support(tb));
+    let sctp = results.iter().filter(|(_, r)| r.sctp_works).count();
+    let dccp = results.iter().filter(|(_, r)| r.dccp_works).count();
+    assert_eq!(sctp, 18, "paper: 18/34 pass SCTP");
+    assert_eq!(dccp, 0, "paper: no device passes DCCP");
+    // dl4/dl9/dl10/ls1 pass packets entirely untranslated.
+    for tag in ["dl4", "dl9", "dl10", "ls1"] {
+        let (_, r) = results.iter().find(|(t, _)| t == tag).unwrap();
+        assert_eq!(
+            r.sctp_observation,
+            hgw_probe::transport::TranslationObservation::PassedThrough,
+            "{tag}"
+        );
+    }
+    // Every SCTP success came from an IP-rewriting device.
+    for (tag, r) in &results {
+        if r.sctp_works {
+            assert_eq!(
+                r.sctp_observation,
+                hgw_probe::transport::TranslationObservation::IpRewritten,
+                "{tag}: SCTP successes must be IP-rewriters"
+            );
+        }
+    }
+}
+
+#[test]
+fn dns_fleet_counts() {
+    // §4.3: 14 accept TCP/53, 10 answer, ap forwards upstream over UDP.
+    let devices = devices::all_devices();
+    let results = run_fleet(&devices, 0xD25, |tb, _| measure_dns(tb));
+    let accepts = results.iter().filter(|(_, r)| r.tcp_accepted).count();
+    let answers = results.iter().filter(|(_, r)| r.tcp_answered).count();
+    assert_eq!(accepts, 14, "paper: 14 accept connections on TCP 53");
+    assert_eq!(answers, 10, "paper: 10 answer queries on TCP 53");
+    let via_udp: Vec<&str> = results
+        .iter()
+        .filter(|(_, r)| r.tcp_upstream_via_udp == Some(true))
+        .map(|(t, _)| t.as_str())
+        .collect();
+    assert_eq!(via_udp, vec!["ap"], "paper: ap forwards TCP queries over UDP");
+    assert!(results.iter().all(|(_, r)| r.udp_answered), "every proxy answers over UDP");
+}
+
+#[test]
+fn no_device_dominates() {
+    // §4.4's closing observation: "no single home gateway consistently
+    // performs better than others across all tests". Verify on the
+    // calibrated profiles: no device is simultaneously in the top half for
+    // UDP-3 timeout, TCP-1 timeout, binding capacity AND wire-speed
+    // forwarding while also fully translating ICMP.
+    let devices = devices::all_devices();
+    let median_by = |f: &dyn Fn(&devices::DeviceProfile) -> f64| {
+        let mut v: Vec<f64> = devices.iter().map(f).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (v[16] + v[17]) / 2.0
+    };
+    let udp3_med = median_by(&|d| d.expected.udp3_secs);
+    let tcp1_med = median_by(&|d| d.expected.tcp1_mins);
+    let cap_med = median_by(&|d| d.expected.max_bindings as f64);
+    let champions: Vec<&str> = devices
+        .iter()
+        .filter(|d| {
+            d.expected.udp3_secs >= udp3_med
+                && d.expected.tcp1_mins >= tcp1_med
+                && (d.expected.max_bindings as f64) >= cap_med
+                && d.policy.forwarding.down_bps >= 100_000_000
+                && d.policy.icmp.udp_kinds.len() == 10
+                && d.policy.icmp.tcp_kinds.len() == 10
+        })
+        .map(|d| d.tag)
+        .collect();
+    assert!(
+        champions.is_empty(),
+        "no device should win everywhere, but {champions:?} do"
+    );
+}

@@ -1,0 +1,59 @@
+//! Fleet-wide population statistics, measured end to end: the numbers the
+//! paper prints in its figure legends.
+
+use hgw_probe::fleet::run_fleet;
+use hgw_probe::udp_timeout::{measure_udp1, measure_repeated, UdpScenario};
+use hgw_stats::Population;
+use home_gateway_study::prelude::*;
+
+#[test]
+fn udp1_population_median_and_mean() {
+    // Figure 3 legend: Pop. Median = 90.00, Pop. Mean = 160.41.
+    let devices = devices::all_devices();
+    let results = run_fleet(&devices, 0x90, |tb, _| measure_udp1(tb, 20_000).timeout_secs);
+    let values: Vec<f64> = results.iter().map(|(_, v)| *v).collect();
+    let pop = Population::of(&values).unwrap();
+    assert!((pop.median - 90.0).abs() <= 1.5, "median {}", pop.median);
+    assert!((pop.mean - 160.41).abs() <= 2.0, "mean {}", pop.mean);
+}
+
+#[test]
+fn udp1_ordering_matches_figure3_extremes() {
+    let devices = devices::all_devices();
+    let results = run_fleet(&devices, 0x91, |tb, _| measure_udp1(tb, 20_000).timeout_secs);
+    let get = |tag: &str| results.iter().find(|(t, _)| t == tag).unwrap().1;
+    // The 30-second cluster sits at the bottom, ls1 at the top.
+    for tag in ["je", "owrt", "te", "to", "ed"] {
+        assert!(get(tag) <= 36.0, "{tag} = {}", get(tag));
+    }
+    let max_tag = results
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(t, _)| t.clone())
+        .unwrap();
+    assert_eq!(max_tag, "ls1", "ls1 has the longest UDP-1 timeout");
+    // More than half the devices violate RFC 4787's 120 s minimum (§4.1).
+    let violators = results.iter().filter(|(_, v)| *v < 120.0).count();
+    assert!(violators > 17, "paper: more than half, got {violators}");
+    // Only ls1 reaches the recommended 600 s.
+    let compliant = results.iter().filter(|(_, v)| *v >= 600.0).count();
+    assert_eq!(compliant, 1);
+}
+
+#[test]
+fn udp3_never_shorter_than_udp2_in_measurement() {
+    // §4.1: "no devices shorten them" — verified by measurement on a
+    // representative subset (the named lengtheners plus controls).
+    let subset: Vec<_> = devices::all_devices()
+        .into_iter()
+        .filter(|d| ["be2", "ng5", "be1", "ed", "ap", "ls1"].contains(&d.tag))
+        .collect();
+    let results = run_fleet(&subset, 0x92, |tb, _| {
+        let u2 = measure_repeated(tb, UdpScenario::InboundRefresh, 21_000, 1, Duration::from_secs(2));
+        let u3 = measure_repeated(tb, UdpScenario::Bidirectional, 22_000, 1, Duration::from_secs(2));
+        (u2[0], u3[0])
+    });
+    for (tag, (u2, u3)) in &results {
+        assert!(u3 + 5.0 >= *u2, "{tag}: UDP-3 {} < UDP-2 {}", u3, u2);
+    }
+}

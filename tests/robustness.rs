@@ -1,0 +1,127 @@
+//! Robustness: determinism across runs, fault injection on the links, and
+//! measurement validity under adverse conditions.
+
+use hgw_core::FaultConfig;
+use hgw_probe::udp_timeout::measure_udp1;
+use hgw_stack::host::{Host, ListenerApp};
+use home_gateway_study::prelude::*;
+
+#[test]
+fn identical_seeds_give_identical_measurements() {
+    let run = |seed: u64| {
+        let d = devices::device("owrt").unwrap();
+        let mut tb = Testbed::new(d.tag, d.policy.clone(), 1, seed);
+        let u1 = measure_udp1(&mut tb, 20_000);
+        let class = hgw_probe::classify::classify_nat(&mut tb);
+        (u1.timeout_secs, u1.trials, class)
+    };
+    assert_eq!(run(1234), run(1234));
+}
+
+#[test]
+fn different_seeds_still_measure_the_same_timeout() {
+    // Randomness (ISS, idents, ports) must not leak into the measured
+    // policy values.
+    let d = devices::device("ed").unwrap();
+    let mut values = Vec::new();
+    for seed in [1, 2, 3] {
+        let mut tb = Testbed::new(d.tag, d.policy.clone(), 1, seed);
+        values.push(measure_udp1(&mut tb, 20_000).timeout_secs);
+    }
+    for v in &values {
+        assert!((v - values[0]).abs() <= 2.0, "seed variance too high: {values:?}");
+    }
+}
+
+#[test]
+fn tcp_bulk_transfer_survives_packet_loss() {
+    // smoltcp-style fault injection: 2% loss on the WAN link; the transfer
+    // must still complete (retransmissions) at reduced speed.
+    let d = devices::device("bu1").unwrap();
+    let mut tb = Testbed::new(d.tag, d.policy.clone(), 1, 77);
+    *tb.sim.link_config_mut(tb.wan_link) = hgw_core::LinkConfig {
+        fault: FaultConfig { drop_chance: 0.02, ..FaultConfig::NONE },
+        ..hgw_core::LinkConfig::ethernet_100m()
+    };
+    const MB: u64 = 1024 * 1024;
+    let r = hgw_probe::throughput::run_transfer(
+        &mut tb,
+        5001,
+        hgw_probe::throughput::Direction::Upload,
+        2 * MB,
+    );
+    assert!(r.completed, "transfer must complete under 2% loss (got {} bytes)", r.bytes);
+    assert!(r.throughput_mbps > 1.0);
+}
+
+#[test]
+fn tcp_transfer_survives_corruption_and_reordering() {
+    let d = devices::device("al").unwrap();
+    let mut tb = Testbed::new(d.tag, d.policy.clone(), 2, 78);
+    *tb.sim.link_config_mut(tb.lan_link) = hgw_core::LinkConfig {
+        fault: FaultConfig {
+            corrupt_chance: 0.01,
+            reorder_chance: 0.05,
+            reorder_window: Duration::from_micros(500),
+            ..FaultConfig::NONE
+        },
+        ..hgw_core::LinkConfig::ethernet_100m()
+    };
+    const MB: u64 = 1024 * 1024;
+    let r = hgw_probe::throughput::run_transfer(
+        &mut tb,
+        5001,
+        hgw_probe::throughput::Direction::Download,
+        MB,
+    );
+    assert!(r.completed, "transfer must complete under corruption+reorder (got {} bytes)", r.bytes);
+}
+
+#[test]
+fn udp_measurement_unaffected_by_background_tcp_noise() {
+    // A concurrent TCP connection must not perturb the UDP-1 result.
+    let d = devices::device("to").unwrap();
+    let mut tb = Testbed::new(d.tag, d.policy.clone(), 3, 79);
+    let server_addr = tb.server_addr;
+    tb.with_server(|h: &mut Host, _| h.tcp_listen(8080, ListenerApp::Echo));
+    let conn = tb.with_client(|h, ctx| {
+        h.tcp_connect(ctx, std::net::SocketAddrV4::new(server_addr, 8080))
+    });
+    tb.run_for(Duration::from_millis(100));
+    tb.with_client(|h, ctx| {
+        h.tcp_send(ctx, conn, b"background chatter");
+    });
+    let m = measure_udp1(&mut tb, 20_000);
+    assert!(
+        (m.timeout_secs - d.expected.udp1_secs).abs() <= 2.0,
+        "measured {} expected {}",
+        m.timeout_secs,
+        d.expected.udp1_secs
+    );
+}
+
+#[test]
+fn bringup_works_for_every_device_profile() {
+    // Double-DHCP bring-up and a UDP round trip for all 34 profiles.
+    for (i, d) in devices::all_devices().into_iter().enumerate() {
+        let mut tb = Testbed::new(d.tag, d.policy.clone(), (i + 1) as u8, 0xB00 + i as u64);
+        let server_addr = tb.server_addr;
+        let srv = tb.with_server(|h, _| {
+            let s = h.udp_bind(7777);
+            h.udp_set_echo(s, true);
+            s
+        });
+        let cli = tb.with_client(|h, ctx| {
+            let s = h.udp_bind_ephemeral();
+            h.udp_send(ctx, s, std::net::SocketAddrV4::new(server_addr, 7777), b"hello");
+            s
+        });
+        tb.run_for(Duration::from_millis(100));
+        assert!(
+            tb.with_client(|h, _| h.udp_recv(cli)).is_some(),
+            "{}: UDP round trip failed",
+            d.tag
+        );
+        let _ = srv;
+    }
+}
