@@ -1,12 +1,15 @@
-//! Criterion micro-benchmarks of the substrate: wire codecs, checksums,
-//! the NAT table, the discrete-event engine under a TCP bulk transfer, and
-//! a complete UDP-1 binding-timeout search.
+//! Micro-benchmarks of the substrate: wire codecs, checksums, the NAT
+//! table, the discrete-event engine under a TCP bulk transfer, and a
+//! complete UDP-1 binding-timeout search.
+//!
+//! Criterion is unavailable offline, so this is a plain `harness = false`
+//! timing loop: each benchmark is calibrated to run for roughly
+//! `HGW_BENCH_MS` milliseconds (default 300) and reports ns/iter plus
+//! throughput where a byte count is meaningful.
 
 use std::net::Ipv4Addr;
+use std::time::Instant as WallInstant;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
-use hgw_core::Duration;
 use hgw_gateway::{GatewayPolicy, NatProto, NatTable};
 use hgw_probe::throughput::{run_transfer, Direction};
 use hgw_probe::udp_timeout::measure_udp1;
@@ -16,139 +19,150 @@ use hgw_wire::ip::{Ipv4Repr, Protocol};
 use hgw_wire::tcp::TcpRepr;
 use hgw_wire::{Ipv4Packet, TcpFlags, TcpPacket};
 
-fn bench_checksums(c: &mut Criterion) {
-    let data = vec![0xA5u8; 1460];
-    let mut g = c.benchmark_group("checksum");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("internet_checksum_1460", |b| {
-        b.iter(|| internet_checksum(std::hint::black_box(&data)))
-    });
-    g.bench_function("crc32c_1460", |b| b.iter(|| crc32c(std::hint::black_box(&data))));
-    let src = Ipv4Addr::new(192, 168, 1, 2);
-    let dst = Ipv4Addr::new(10, 0, 1, 1);
-    g.bench_function("transport_checksum_1460", |b| {
-        b.iter(|| transport_checksum(src, dst, 6, std::hint::black_box(&data)))
-    });
-    g.finish();
+/// Times `f` for ~`budget_ms` wall-clock ms and prints one result line.
+fn bench<R>(group: &str, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut() -> R) {
+    let budget_ms = hgw_bench::env_u64("HGW_BENCH_MS", 300);
+    // Calibrate: double the batch until it takes at least 1 ms.
+    let mut batch = 1u64;
+    let per_iter_ns = loop {
+        let start = WallInstant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 1 || batch >= 1 << 30 {
+            break elapsed.as_nanos() as u64 / batch;
+        }
+        batch *= 2;
+    };
+    // Measure: run as many batches as fit the budget.
+    let iters = ((budget_ms * 1_000_000) / per_iter_ns.max(1)).clamp(1, 10_000_000);
+    let start = WallInstant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("{group}/{name:<32} {ns:>14.1} ns/iter  ({iters} iters)");
+    if let Some(b) = bytes_per_iter {
+        let mbps = b as f64 / (ns / 1e9) / 1e6;
+        line.push_str(&format!("  {mbps:>10.1} MB/s"));
+    }
+    println!("{line}");
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_checksums() {
+    let data = vec![0xA5u8; 1460];
+    let len = data.len() as u64;
+    bench("checksum", "internet_checksum_1460", Some(len), || {
+        internet_checksum(std::hint::black_box(&data))
+    });
+    bench("checksum", "crc32c_1460", Some(len), || crc32c(std::hint::black_box(&data)));
+    let src = Ipv4Addr::new(192, 168, 1, 2);
+    let dst = Ipv4Addr::new(10, 0, 1, 1);
+    bench("checksum", "transport_checksum_1460", Some(len), || {
+        transport_checksum(src, dst, 6, std::hint::black_box(&data))
+    });
+}
+
+fn bench_wire() {
     let src = Ipv4Addr::new(192, 168, 1, 2);
     let dst = Ipv4Addr::new(10, 0, 1, 1);
     let seg = TcpRepr::new(40_000, 80, TcpFlags::ACK).emit_with_payload(src, dst, &[7u8; 1400]);
     let pkt = Ipv4Repr::new(src, dst, Protocol::Tcp).emit_with_payload(&seg);
-    let mut g = c.benchmark_group("wire");
-    g.throughput(Throughput::Bytes(pkt.len() as u64));
-    g.bench_function("ipv4_tcp_parse", |b| {
-        b.iter(|| {
-            let ip = Ipv4Packet::new_checked(std::hint::black_box(&pkt[..])).unwrap();
-            let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
-            std::hint::black_box((ip.verify_checksum(), tcp.verify_checksum(src, dst)));
-        })
+    let len = pkt.len() as u64;
+    bench("wire", "ipv4_tcp_parse", Some(len), || {
+        let ip = Ipv4Packet::new_checked(std::hint::black_box(&pkt[..])).unwrap();
+        let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
+        (ip.verify_checksum(), tcp.verify_checksum(src, dst))
     });
-    g.bench_function("ipv4_tcp_emit", |b| {
-        b.iter(|| {
-            let seg = TcpRepr::new(40_000, 80, TcpFlags::ACK)
-                .emit_with_payload(src, dst, std::hint::black_box(&[7u8; 1400]));
-            Ipv4Repr::new(src, dst, Protocol::Tcp).emit_with_payload(&seg)
-        })
+    bench("wire", "ipv4_tcp_emit", Some(len), || {
+        let seg = TcpRepr::new(40_000, 80, TcpFlags::ACK).emit_with_payload(
+            src,
+            dst,
+            std::hint::black_box(&[7u8; 1400]),
+        );
+        Ipv4Repr::new(src, dst, Protocol::Tcp).emit_with_payload(&seg)
     });
-    // NAT-style in-place rewrite + checksum fixup.
-    g.bench_function("nat_rewrite_inplace", |b| {
-        b.iter_batched(
-            || pkt.clone(),
-            |mut frame| {
-                let hl = {
-                    let mut ip = Ipv4Packet::new_unchecked(&mut frame[..]);
-                    ip.set_src_addr(Ipv4Addr::new(10, 0, 1, 99));
-                    ip.fill_checksum();
-                    ip.header_len()
-                };
-                let mut tcp = TcpPacket::new_unchecked(&mut frame[hl..]);
-                tcp.set_src_port(61_111);
-                tcp.fill_checksum(Ipv4Addr::new(10, 0, 1, 99), dst);
-                frame
-            },
-            BatchSize::SmallInput,
+    bench("wire", "nat_rewrite_inplace", Some(len), || {
+        let mut frame = pkt.clone();
+        let hl = {
+            let mut ip = Ipv4Packet::new_unchecked(&mut frame[..]);
+            ip.set_src_addr(Ipv4Addr::new(10, 0, 1, 99));
+            ip.fill_checksum();
+            ip.header_len()
+        };
+        let mut tcp = TcpPacket::new_unchecked(&mut frame[hl..]);
+        tcp.set_src_port(61_111);
+        tcp.fill_checksum(Ipv4Addr::new(10, 0, 1, 99), dst);
+        frame
+    });
+}
+
+fn bench_nat_table() {
+    let policy = GatewayPolicy::well_behaved();
+    let mut nat = NatTable::new();
+    let internal = (Ipv4Addr::new(192, 168, 1, 100), 5000);
+    let remote = (Ipv4Addr::new(10, 0, 1, 1), 80);
+    nat.outbound(hgw_core::Instant::ZERO, &policy, NatProto::Udp, internal, remote, false, false);
+    bench("nat", "outbound_hit", None, || {
+        nat.outbound(
+            hgw_core::Instant::from_secs(1),
+            &policy,
+            NatProto::Udp,
+            internal,
+            remote,
+            false,
+            false,
         )
     });
-    g.finish();
+
+    let mut nat = NatTable::new();
+    let mut p = policy.clone();
+    p.max_bindings = 4096;
+    p.mapping = hgw_gateway::EndpointScope::AddressAndPortDependent;
+    for i in 0..512u16 {
+        nat.outbound(
+            hgw_core::Instant::ZERO,
+            &p,
+            NatProto::Tcp,
+            (Ipv4Addr::new(192, 168, 1, 100), 10_000 + i),
+            (Ipv4Addr::new(10, 0, 1, 1), 80),
+            false,
+            false,
+        );
+    }
+    bench("nat", "inbound_lookup_512_bindings", None, || {
+        nat.inbound(
+            hgw_core::Instant::from_secs(1),
+            &p,
+            NatProto::Tcp,
+            10_256,
+            (Ipv4Addr::new(10, 0, 1, 1), 80),
+            false,
+            false,
+        )
+    });
 }
 
-fn bench_nat_table(c: &mut Criterion) {
-    let policy = GatewayPolicy::well_behaved();
-    let mut g = c.benchmark_group("nat");
-    g.bench_function("outbound_hit", |b| {
-        let mut nat = NatTable::new();
-        let internal = (Ipv4Addr::new(192, 168, 1, 100), 5000);
-        let remote = (Ipv4Addr::new(10, 0, 1, 1), 80);
-        nat.outbound(hgw_core::Instant::ZERO, &policy, NatProto::Udp, internal, remote, false, false);
-        b.iter(|| {
-            nat.outbound(
-                hgw_core::Instant::from_secs(1),
-                &policy,
-                NatProto::Udp,
-                internal,
-                remote,
-                false,
-                false,
-            )
-        })
-    });
-    g.bench_function("inbound_lookup_512_bindings", |b| {
-        let mut nat = NatTable::new();
-        let mut p = policy.clone();
-        p.max_bindings = 4096;
-        p.mapping = hgw_gateway::EndpointScope::AddressAndPortDependent;
-        for i in 0..512u16 {
-            nat.outbound(
-                hgw_core::Instant::ZERO,
-                &p,
-                NatProto::Tcp,
-                (Ipv4Addr::new(192, 168, 1, 100), 10_000 + i),
-                (Ipv4Addr::new(10, 0, 1, 1), 80),
-                false,
-                false,
-            );
-        }
-        b.iter(|| {
-            nat.inbound(
-                hgw_core::Instant::from_secs(1),
-                &p,
-                NatProto::Tcp,
-                10_256,
-                (Ipv4Addr::new(10, 0, 1, 1), 80),
-                false,
-                false,
-            )
-        })
-    });
-    g.finish();
-}
-
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
-    g.sample_size(10);
+fn bench_simulation() {
     const MB: u64 = 1024 * 1024;
-    g.throughput(Throughput::Bytes(2 * MB));
-    g.bench_function("tcp_bulk_2mb_through_gateway", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 1, 7);
-            run_transfer(&mut tb, 5001, Direction::Upload, 2 * MB)
-        })
+    bench("simulation", "tcp_bulk_2mb_through_gateway", Some(2 * MB), || {
+        let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 1, 7);
+        run_transfer(&mut tb, 5001, Direction::Upload, 2 * MB)
     });
-    g.bench_function("udp1_full_binary_search", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 2, 9);
-            measure_udp1(&mut tb, 20_000)
-        })
+    bench("simulation", "udp1_full_binary_search", None, || {
+        let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 2, 9);
+        measure_udp1(&mut tb, 20_000)
     });
-    g.bench_function("testbed_bringup_double_dhcp", |b| {
-        b.iter(|| Testbed::new("bench", GatewayPolicy::well_behaved(), 3, 11))
+    bench("simulation", "testbed_bringup_double_dhcp", None, || {
+        Testbed::new("bench", GatewayPolicy::well_behaved(), 3, 11)
     });
-    g.finish();
-    let _ = Duration::ZERO;
 }
 
-criterion_group!(benches, bench_checksums, bench_wire, bench_nat_table, bench_simulation);
-criterion_main!(benches);
+fn main() {
+    bench_checksums();
+    bench_wire();
+    bench_nat_table();
+    bench_simulation();
+}

@@ -32,13 +32,17 @@ fn ablate_pattern_timeouts() {
     flat.udp_timeout_solitary = Duration::from_secs(180);
     flat.udp_timeout_inbound = Duration::from_secs(180);
     flat.udp_timeout_bidirectional = Duration::from_secs(180);
-    for (name, policy) in [("pattern-dependent (model)", modeled), ("single timeout (ablation)", flat)] {
+    for (name, policy) in
+        [("pattern-dependent (model)", modeled), ("single timeout (ablation)", flat)]
+    {
         let mut tb = Testbed::new("ablate", policy, 1, 3);
         let u1 = measure_udp1(&mut tb, 20_000).timeout_secs;
-        let u2 = measure_refresh(&mut tb, 21_000, UdpScenario::InboundRefresh, Duration::from_secs(2))
-            .timeout_secs;
-        let u3 = measure_refresh(&mut tb, 22_000, UdpScenario::Bidirectional, Duration::from_secs(2))
-            .timeout_secs;
+        let u2 =
+            measure_refresh(&mut tb, 21_000, UdpScenario::InboundRefresh, Duration::from_secs(2))
+                .timeout_secs;
+        let u3 =
+            measure_refresh(&mut tb, 22_000, UdpScenario::Bidirectional, Duration::from_secs(2))
+                .timeout_secs;
         println!("  {name:28} UDP-1 {u1:6.0}  UDP-2 {u2:6.0}  UDP-3 {u3:6.0}");
     }
 }

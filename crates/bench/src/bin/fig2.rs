@@ -21,19 +21,18 @@ fn main() {
             median(&u3).unwrap_or(f64::NAN),
         )
     });
-    let series1: Vec<(String, f64)> = results.iter().map(|(t, (a, _, _))| (t.clone(), *a)).collect();
-    let series2: Vec<(String, f64)> = results.iter().map(|(t, (_, b, _))| (t.clone(), *b)).collect();
-    let series3: Vec<(String, f64)> = results.iter().map(|(t, (_, _, c))| (t.clone(), *c)).collect();
+    let series1: Vec<(String, f64)> =
+        results.iter().map(|(t, (a, _, _))| (t.clone(), *a)).collect();
+    let series2: Vec<(String, f64)> =
+        results.iter().map(|(t, (_, b, _))| (t.clone(), *b)).collect();
+    let series3: Vec<(String, f64)> =
+        results.iter().map(|(t, (_, _, c))| (t.clone(), *c)).collect();
     emit_multi_series_figure(
         "fig2",
         "Figure 2: Median timeout results for UDP-1, 2 and 3 (ordered by UDP-1 result)",
         "Binding Timeout [sec]",
         &FIG3_ORDER,
-        &[
-            ("UDP-1", '1', series1),
-            ("UDP-2", '2', series2),
-            ("UDP-3", '3', series3),
-        ],
+        &[("UDP-1", '1', series1), ("UDP-2", '2', series2), ("UDP-3", '3', series3)],
         false,
     );
 }

@@ -20,7 +20,9 @@ fn main() {
     });
     emit_summary_figure(
         "fig4",
-        &format!("Figure 4 / UDP-2: Single packet out, multiple packets in (median of {repeats} iter.)"),
+        &format!(
+            "Figure 4 / UDP-2: Single packet out, multiple packets in (median of {repeats} iter.)"
+        ),
         "Binding Timeout [sec]",
         &FIG4_ORDER,
         &results,

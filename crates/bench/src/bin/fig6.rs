@@ -16,9 +16,7 @@ fn main() {
     let results = run_fleet_parallel(&devices, 0xF166, |tb, _| {
         UDP5_SERVICES.map(|(_, port)| {
             let vals: Vec<f64> = (0..repeats)
-                .map(|_| {
-                    measure_refresh(tb, port, UdpScenario::InboundRefresh, step).timeout_secs
-                })
+                .map(|_| measure_refresh(tb, port, UdpScenario::InboundRefresh, step).timeout_secs)
                 .collect();
             median(&vals).unwrap_or(f64::NAN)
         })

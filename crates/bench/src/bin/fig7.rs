@@ -12,10 +12,8 @@ fn main() {
         let m = measure_tcp1(tb);
         (m.plotted_mins(), m.timeout_mins.is_none())
     });
-    let summaries: Vec<(String, Summary)> = results
-        .iter()
-        .map(|(t, (mins, _))| (t.clone(), Summary::of(&[*mins]).unwrap()))
-        .collect();
+    let summaries: Vec<(String, Summary)> =
+        results.iter().map(|(t, (mins, _))| (t.clone(), Summary::of(&[*mins]).unwrap())).collect();
     emit_summary_figure(
         "fig7",
         "Figure 7 / TCP-1: TCP binding timeouts",
@@ -26,5 +24,9 @@ fn main() {
     );
     let beyond: Vec<&str> =
         results.iter().filter(|(_, (_, cutoff))| *cutoff).map(|(t, _)| t.as_str()).collect();
-    println!("\n{} devices still held their binding at the 24 h cutoff: {}", beyond.len(), beyond.join(" "));
+    println!(
+        "\n{} devices still held their binding at the 24 h cutoff: {}",
+        beyond.len(),
+        beyond.join(" ")
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
     };
     emit_multi_series_figure(
         "fig8",
-        &format!("Figure 8 / TCP-2: Medians of measured throughputs ({} MB transfers)", bytes / (1024 * 1024)),
+        &format!(
+            "Figure 8 / TCP-2: Medians of measured throughputs ({} MB transfers)",
+            bytes / (1024 * 1024)
+        ),
         "Throughput [Mb/sec]",
         &FIG8_ORDER,
         &[
@@ -36,6 +39,9 @@ fn main() {
         .map(|(t, _)| t.as_str())
         .collect();
     if !incomplete.is_empty() {
-        println!("\nwarning: transfers did not complete within budget on: {}", incomplete.join(" "));
+        println!(
+            "\nwarning: transfers did not complete within budget on: {}",
+            incomplete.join(" ")
+        );
     }
 }

@@ -1,0 +1,61 @@
+//! Instrumented fleet run: drives a fixed workload (one TCP upload plus a
+//! UDP-1 binding-timeout search) through every device of Table 1 with an
+//! observer attached, prints a per-device scorecard, and writes the
+//! machine-readable run manifests (`target/figures/manifest.json` and the
+//! repo-level `BENCH_fleet.json`).
+
+use std::path::Path;
+
+use hgw_bench::manifest::{render_fleet_manifest, write_manifest};
+use hgw_bench::{env_u64, figures_dir};
+use hgw_devices::all_devices;
+use hgw_probe::fleet::run_fleet_instrumented;
+use hgw_probe::throughput::{run_transfer, Direction};
+use hgw_probe::udp_timeout::measure_udp1;
+use hgw_stats::TextTable;
+
+fn main() {
+    let seed = env_u64("HGW_SEED", 7);
+    let bytes = env_u64("HGW_FLEET_BYTES", 256 * 1024);
+    let devices = all_devices();
+
+    let results = run_fleet_instrumented(&devices, seed, |tb, _| {
+        run_transfer(tb, 5001, Direction::Upload, bytes);
+        measure_udp1(tb, 20_000);
+    });
+
+    let mut table = TextTable::new(&[
+        "device",
+        "wall_ms",
+        "events",
+        "events/s",
+        "delivered",
+        "dropped",
+        "nat_created",
+        "nat_expired",
+        "nat_peak",
+    ]);
+    for (tag, _, m) in &results {
+        table.row(vec![
+            tag.clone(),
+            format!("{:.1}", m.wall_ms),
+            m.events.to_string(),
+            format!("{:.0}", m.events_per_sec),
+            m.frames_delivered.to_string(),
+            m.frames_dropped.total().to_string(),
+            m.nat_bindings_created.to_string(),
+            m.nat_bindings_expired.to_string(),
+            m.nat_bindings_peak.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let per_device: Vec<_> = results.into_iter().map(|(tag, _, m)| (tag, m)).collect();
+    let json = render_fleet_manifest(seed, &per_device);
+    for path in [figures_dir().join("manifest.json"), Path::new("BENCH_fleet.json").to_path_buf()] {
+        match write_manifest(&path, &json) {
+            Ok(()) => println!("[manifest written to {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}

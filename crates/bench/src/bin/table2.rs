@@ -84,24 +84,31 @@ fn main() {
     let no_rewrite = results
         .iter()
         .filter(|(_, r)| {
-            r.icmp.udp.iter().any(|(_, o)| matches!(
-                o,
-                hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_rewritten: false, .. }
-            ))
+            r.icmp.udp.iter().any(|(_, o)| {
+                matches!(
+                    o,
+                    hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_rewritten: false, .. }
+                )
+            })
         })
         .count();
     println!("Devices forwarding ICMP without rewriting embedded transport headers: {no_rewrite} (paper: 16).");
     let stale_ck: Vec<&str> = results
         .iter()
         .filter(|(_, r)| {
-            r.icmp.udp.iter().any(|(_, o)| matches!(
-                o,
-                hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_ip_checksum_ok: false, .. }
-            ))
+            r.icmp.udp.iter().any(|(_, o)| {
+                matches!(
+                    o,
+                    hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_ip_checksum_ok: false, .. }
+                )
+            })
         })
         .map(|(t, _)| t.as_str())
         .collect();
-    println!("Devices leaving stale embedded IP checksums: {} (paper: zy1 ls1).", stale_ck.join(" "));
+    println!(
+        "Devices leaving stale embedded IP checksums: {} (paper: zy1 ls1).",
+        stale_ck.join(" ")
+    );
     let rst: Vec<&str> = results
         .iter()
         .filter(|(_, r)| {

@@ -9,11 +9,11 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use hgw_devices::DeviceProfile;
 use hgw_probe::fleet::testbed_for;
 use hgw_testbed::Testbed;
-use parking_lot::Mutex;
 
 /// The x-axis device order of Figure 3 (and Figures 2/6, which reuse it).
 pub const FIG3_ORDER: [&str; 34] = [
@@ -24,44 +24,44 @@ pub const FIG3_ORDER: [&str; 34] = [
 
 /// The x-axis device order of Figure 4.
 pub const FIG4_ORDER: [&str; 34] = [
-    "ap", "ng2", "we", "je", "ls2", "nw1", "be1", "dl3", "dl5", "dl10", "ng3", "ng4", "ng5",
-    "as1", "bu1", "dl1", "dl2", "dl6", "dl7", "owrt", "te", "ed", "ls3", "ls5", "to", "be2",
-    "al", "dl4", "dl8", "dl9", "ng1", "smc", "zy1", "ls1",
+    "ap", "ng2", "we", "je", "ls2", "nw1", "be1", "dl3", "dl5", "dl10", "ng3", "ng4", "ng5", "as1",
+    "bu1", "dl1", "dl2", "dl6", "dl7", "owrt", "te", "ed", "ls3", "ls5", "to", "be2", "al", "dl4",
+    "dl8", "dl9", "ng1", "smc", "zy1", "ls1",
 ];
 
 /// The x-axis device order of Figure 5.
 pub const FIG5_ORDER: [&str; 34] = [
-    "ng2", "we", "je", "ls2", "nw1", "dl3", "dl5", "ap", "as1", "bu1", "dl1", "dl2", "dl6",
-    "dl7", "owrt", "te", "ed", "ls3", "ls5", "to", "be1", "al", "dl10", "dl4", "dl8", "dl9",
-    "ng1", "smc", "ng3", "ng4", "zy1", "be2", "ng5", "ls1",
+    "ng2", "we", "je", "ls2", "nw1", "dl3", "dl5", "ap", "as1", "bu1", "dl1", "dl2", "dl6", "dl7",
+    "owrt", "te", "ed", "ls3", "ls5", "to", "be1", "al", "dl10", "dl4", "dl8", "dl9", "ng1", "smc",
+    "ng3", "ng4", "zy1", "be2", "ng5", "ls1",
 ];
 
 /// The x-axis device order of Figure 7 (dl10 reconstructed beside dl9).
 pub const FIG7_ORDER: [&str; 34] = [
-    "be1", "ng5", "be2", "al", "ls2", "we", "ls1", "as1", "nw1", "ng2", "je", "ng3", "ng4",
-    "dl3", "dl5", "dl9", "dl10", "smc", "dl4", "dl1", "dl2", "dl7", "dl6", "dl8", "zy1", "to",
-    "owrt", "ap", "bu1", "ed", "ls3", "ls5", "ng1", "te",
+    "be1", "ng5", "be2", "al", "ls2", "we", "ls1", "as1", "nw1", "ng2", "je", "ng3", "ng4", "dl3",
+    "dl5", "dl9", "dl10", "smc", "dl4", "dl1", "dl2", "dl7", "dl6", "dl8", "zy1", "to", "owrt",
+    "ap", "bu1", "ed", "ls3", "ls5", "ng1", "te",
 ];
 
 /// The x-axis device order of Figure 8.
 pub const FIG8_ORDER: [&str; 34] = [
     "dl10", "ls1", "ap", "te", "owrt", "smc", "dl9", "ed", "zy1", "ng4", "ng5", "ng3", "nw1",
-    "ls3", "ls5", "to", "ls2", "ng2", "je", "dl2", "dl1", "we", "as1", "dl7", "be2", "be1",
-    "dl5", "ng1", "dl8", "al", "dl3", "dl6", "bu1", "dl4",
+    "ls3", "ls5", "to", "ls2", "ng2", "je", "dl2", "dl1", "we", "as1", "dl7", "be2", "be1", "dl5",
+    "ng1", "dl8", "al", "dl3", "dl6", "bu1", "dl4",
 ];
 
 /// The x-axis device order of Figure 9.
 pub const FIG9_ORDER: [&str; 34] = [
-    "ng1", "dl5", "dl7", "dl3", "we", "al", "be1", "be2", "dl4", "dl6", "as1", "bu1", "je",
-    "dl2", "dl1", "nw1", "to", "smc", "dl9", "ls2", "ng2", "ls3", "ls5", "ng3", "ng5", "zy1",
-    "ed", "owrt", "te", "dl8", "ap", "ng4", "dl10", "ls1",
+    "ng1", "dl5", "dl7", "dl3", "we", "al", "be1", "be2", "dl4", "dl6", "as1", "bu1", "je", "dl2",
+    "dl1", "nw1", "to", "smc", "dl9", "ls2", "ng2", "ls3", "ls5", "ng3", "ng5", "zy1", "ed",
+    "owrt", "te", "dl8", "ap", "ng4", "dl10", "ls1",
 ];
 
 /// The x-axis device order of Figure 10.
 pub const FIG10_ORDER: [&str; 34] = [
     "dl9", "smc", "dl10", "ls1", "dl4", "ng2", "ls5", "ng3", "to", "ls3", "ng5", "nw1", "be1",
-    "ls2", "be2", "te", "dl2", "dl6", "dl1", "dl8", "owrt", "zy1", "ng4", "ed", "je", "dl3",
-    "dl7", "as1", "dl5", "bu1", "al", "we", "ng1", "ap",
+    "ls2", "be2", "te", "dl2", "dl6", "dl1", "dl8", "owrt", "zy1", "ng4", "ed", "je", "dl3", "dl7",
+    "as1", "dl5", "bu1", "al", "we", "ng1", "ap",
 ];
 
 /// Reads a `usize` configuration knob from the environment.
@@ -90,9 +90,9 @@ pub fn run_fleet_parallel<R: Send>(
     let results: Mutex<Vec<(usize, String, R)>> = Mutex::new(Vec::new());
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(devices.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let slot = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                 if slot >= devices.len() {
                     break;
@@ -100,12 +100,11 @@ pub fn run_fleet_parallel<R: Send>(
                 let device = &devices[slot];
                 let mut tb = testbed_for(device, slot, seed);
                 let r = probe(&mut tb, device);
-                results.lock().push((slot, device.tag.to_string(), r));
+                results.lock().expect("fleet results lock").push((slot, device.tag.to_string(), r));
             });
         }
-    })
-    .expect("fleet threads");
-    let mut results = results.into_inner();
+    });
+    let mut results = results.into_inner().expect("fleet results lock");
     results.sort_by_key(|(slot, _, _)| *slot);
     results.into_iter().map(|(_, tag, r)| (tag, r)).collect()
 }
@@ -121,3 +120,6 @@ pub fn population_legend(values: &[f64]) -> String {
 
 /// Report helpers used by the figure binaries.
 pub mod report;
+
+/// Machine-readable run-manifest emission.
+pub mod manifest;

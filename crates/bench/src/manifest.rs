@@ -1,0 +1,127 @@
+//! Machine-readable run manifests.
+//!
+//! The build environment has no serde, so the JSON is emitted by hand; the
+//! schema is small and flat enough that this stays readable. Consumers are
+//! dashboards and regression diffs, so key order is deterministic.
+
+use std::io::Write;
+use std::path::Path;
+
+use hgw_probe::fleet::DeviceRunMetrics;
+
+/// Schema identifier stamped into every manifest.
+pub const SCHEMA: &str = "hgw-fleet-manifest/1";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn drops_json(metrics: &DeviceRunMetrics) -> String {
+    let fields: Vec<String> = metrics
+        .frames_dropped
+        .iter()
+        .map(|(reason, count)| format!("\"{}\": {count}", reason.name()))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn device_json(tag: &str, metrics: &DeviceRunMetrics) -> String {
+    format!(
+        concat!(
+            "    {{\"device\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, ",
+            "\"events_per_sec\": {:.0}, \"frames_delivered\": {}, ",
+            "\"frames_dropped_total\": {}, \"frames_dropped_by_reason\": {}, ",
+            "\"trace_events\": {}, \"nat_bindings_created\": {}, ",
+            "\"nat_bindings_expired\": {}, \"nat_bindings_peak\": {}}}"
+        ),
+        json_escape(tag),
+        metrics.wall_ms,
+        metrics.events,
+        metrics.events_per_sec,
+        metrics.frames_delivered,
+        metrics.frames_dropped.total(),
+        drops_json(metrics),
+        metrics.trace_events,
+        metrics.nat_bindings_created,
+        metrics.nat_bindings_expired,
+        metrics.nat_bindings_peak,
+    )
+}
+
+/// Renders the full fleet manifest as a JSON string.
+pub fn render_fleet_manifest(seed: u64, per_device: &[(String, DeviceRunMetrics)]) -> String {
+    let mut total = DeviceRunMetrics::default();
+    for (_, m) in per_device {
+        total.wall_ms += m.wall_ms;
+        total.events += m.events;
+        total.frames_delivered += m.frames_delivered;
+        total.frames_dropped.merge(&m.frames_dropped);
+        total.trace_events += m.trace_events;
+        total.nat_bindings_created += m.nat_bindings_created;
+        total.nat_bindings_expired += m.nat_bindings_expired;
+        total.nat_bindings_peak = total.nat_bindings_peak.max(m.nat_bindings_peak);
+    }
+    total.events_per_sec =
+        if total.wall_ms > 0.0 { total.events as f64 / (total.wall_ms / 1e3) } else { 0.0 };
+    let rows: Vec<String> = per_device.iter().map(|(tag, m)| device_json(tag, m)).collect();
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
+        SCHEMA,
+        seed,
+        per_device.len(),
+        device_json("*", &total).trim_start(),
+        rows.join(",\n"),
+    )
+}
+
+/// Writes `contents` to `path`, creating parent directories as needed.
+pub fn write_manifest(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_core::DropReason;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn manifest_names_every_drop_reason() {
+        let m = DeviceRunMetrics::default();
+        let json = render_fleet_manifest(7, &[("ls1".to_string(), m)]);
+        for reason in DropReason::ALL {
+            assert!(json.contains(reason.name()), "missing key {}", reason.name());
+        }
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/1\""));
+        assert!(json.contains("\"device\": \"ls1\""));
+        assert!(json.contains("\"nat_bindings_peak\": 0"));
+    }
+
+    #[test]
+    fn totals_aggregate_across_devices() {
+        let a = DeviceRunMetrics { events: 10, nat_bindings_peak: 3, ..Default::default() };
+        let b = DeviceRunMetrics { events: 5, nat_bindings_peak: 7, ..Default::default() };
+        let json = render_fleet_manifest(1, &[("a".to_string(), a), ("b".to_string(), b)]);
+        assert!(json.contains("\"devices\": 2"));
+        // The totals row carries the merged event count and max peak.
+        assert!(json.contains("\"device\": \"*\", \"wall_ms\": 0.000, \"events\": 15"));
+        assert!(json.contains("\"nat_bindings_peak\": 7}"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Shared reporting for the figure binaries: chart + table + CSV output in
 //! the paper's conventions.
 
+use hgw_probe::fleet::order_results;
 use hgw_stats::{Chart, Population, Summary, TextTable};
 
 /// Prints a per-device summary figure (one series of medians with
@@ -13,16 +14,13 @@ pub fn emit_summary_figure(
     results: &[(String, Summary)],
     log_y: bool,
 ) {
-    let ordered: Vec<(String, Summary)> = order
-        .iter()
-        .map(|tag| {
-            results
-                .iter()
-                .find(|(t, _)| t == tag)
-                .unwrap_or_else(|| panic!("missing result for {tag}"))
-                .clone()
-        })
-        .collect();
+    let ordered: Vec<(String, Summary)> = match order_results(results, order) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: cannot emit {name}: {e}");
+            return;
+        }
+    };
 
     let mut chart = Chart::new(title, y_label, ordered.iter().map(|(t, _)| t.clone()).collect());
     chart.log_y = log_y;

@@ -12,7 +12,7 @@
 //! ordinary function call.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod link;
 pub mod node;
@@ -20,10 +20,12 @@ pub mod pcap;
 pub mod rng;
 pub mod sim;
 pub mod time;
+pub mod trace;
 
 pub use link::{Dir, FaultConfig, Link, LinkConfig, LinkDirStats, LinkId};
-pub use pcap::{write_pcap, PcapWriter};
 pub use node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
+pub use pcap::{write_pcap, PcapWriter};
 pub use rng::SimRng;
 pub use sim::{SimStats, Simulator};
 pub use time::{serialization_time, Duration, Instant};
+pub use trace::{CountingObserver, DropCounts, DropReason, EventLog, SimObserver, TraceEvent};

@@ -296,11 +296,8 @@ mod tests {
 
     #[test]
     fn tx_time_uses_link_rate() {
-        let link = Link::new(
-            LinkConfig::ethernet_100m(),
-            (NodeId(0), PortId(0)),
-            (NodeId(1), PortId(0)),
-        );
+        let link =
+            Link::new(LinkConfig::ethernet_100m(), (NodeId(0), PortId(0)), (NodeId(1), PortId(0)));
         assert_eq!(link.tx_time(1500), Duration::from_micros(120));
         assert_eq!(link.sink(Dir::AtoB), (NodeId(1), PortId(0)));
         assert_eq!(link.sink(Dir::BtoA), (NodeId(0), PortId(0)));

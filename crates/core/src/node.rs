@@ -11,6 +11,7 @@ use core::any::Any;
 
 use crate::rng::SimRng;
 use crate::time::Instant;
+use crate::trace::TraceEvent;
 
 /// Identifies a node within a [`Simulator`](crate::sim::Simulator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,6 +45,9 @@ pub enum Action {
         /// Token handed back when the timer fires.
         token: TimerToken,
     },
+    /// Report a structured observability event. Forwarded to the attached
+    /// [`SimObserver`](crate::trace::SimObserver), if any; otherwise free.
+    Trace(TraceEvent),
 }
 
 /// Execution context passed to every node callback.
@@ -99,6 +103,15 @@ impl<'a> NodeCtx<'a> {
     pub fn set_timer_after(&mut self, delay: crate::time::Duration, token: TimerToken) {
         let at = self.now.saturating_add(delay);
         self.set_timer_at(at, token);
+    }
+
+    /// Reports a structured observability event on behalf of this node.
+    ///
+    /// The event reaches the simulator's attached observer (if any) after
+    /// the callback returns. Emitting is side-effect free with respect to
+    /// the simulation itself: no clocks, queues, or RNG streams move.
+    pub fn emit_trace(&mut self, event: TraceEvent) {
+        self.actions.push(Action::Trace(event));
     }
 }
 

@@ -13,6 +13,7 @@ use crate::link::{Dir, Link, LinkConfig, LinkId};
 use crate::node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
 use crate::rng::SimRng;
 use crate::time::{Duration, Instant};
+use crate::trace::{DropCounts, DropReason, SimObserver, TraceEvent};
 
 /// What an event does when it is dispatched.
 #[derive(Debug)]
@@ -59,12 +60,29 @@ struct NodeSlot {
 }
 
 /// Aggregate simulator statistics.
+///
+/// ```
+/// use hgw_core::{Simulator, DropReason};
+///
+/// let sim = Simulator::new(1);
+/// let stats = sim.stats();
+/// assert_eq!(stats.events, 0);
+/// assert_eq!(stats.frames_dropped.by(DropReason::QueueOverflow), 0);
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Events dispatched so far.
     pub events: u64,
     /// Frames emitted on ports with no link attached.
     pub unrouted_frames: u64,
+    /// Frames delivered to node ports.
+    pub frames_delivered: u64,
+    /// Frames dropped anywhere in the stack, by reason. Link-level reasons
+    /// are counted by the simulator itself; node-level reasons (NAT,
+    /// checksum, TTL, …) arrive via [`Action::Trace`](crate::node::Action).
+    pub frames_dropped: DropCounts,
+    /// High-water mark of bytes queued on any single link direction.
+    pub peak_queue_bytes: usize,
 }
 
 /// The discrete-event simulator: owns the clock, the event queue, all nodes
@@ -78,6 +96,7 @@ pub struct Simulator {
     root_rng: SimRng,
     stats: SimStats,
     booted: bool,
+    observer: Option<Box<dyn SimObserver>>,
 }
 
 impl Simulator {
@@ -93,6 +112,7 @@ impl Simulator {
             root_rng: SimRng::new(seed),
             stats: SimStats::default(),
             booted: false,
+            observer: None,
         }
     }
 
@@ -104,6 +124,32 @@ impl Simulator {
     /// Aggregate statistics.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Attaches an observer that receives every [`TraceEvent`]. Replaces any
+    /// previously attached observer. Observers are pure sinks: attaching one
+    /// never changes simulation behavior or statistics.
+    pub fn attach_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn SimObserver>> {
+        self.observer.take()
+    }
+
+    /// Updates aggregate statistics for `event` and forwards it to the
+    /// attached observer. The stats update happens whether or not an
+    /// observer is attached, so measurements never depend on observation.
+    fn emit(&mut self, node: NodeId, event: TraceEvent) {
+        match &event {
+            TraceEvent::FrameDropped { reason, .. } => self.stats.frames_dropped.add(*reason),
+            TraceEvent::FrameDelivered { .. } => self.stats.frames_delivered += 1,
+            TraceEvent::BindingCreated { .. } => {}
+        }
+        if let Some(obs) = &mut self.observer {
+            obs.on_event(self.now, node, &event);
+        }
     }
 
     /// Adds a node and returns its id. Each node gets an independent RNG
@@ -141,7 +187,12 @@ impl Simulator {
         if slot.ports.len() <= port.0 {
             slot.ports.resize(port.0 + 1, None);
         }
-        assert!(slot.ports[port.0].is_none(), "connect: port {:?} of {:?} already wired", port, node);
+        assert!(
+            slot.ports[port.0].is_none(),
+            "connect: port {:?} of {:?} already wired",
+            port,
+            node
+        );
         slot.ports[port.0] = Some((link, dir));
     }
 
@@ -199,7 +250,11 @@ impl Simulator {
     /// Runs `f` against a node with a full [`NodeCtx`], applying any actions
     /// the node emits. This is how experiment drivers inject work ("send a
     /// probe packet now") into a node from outside the event loop.
-    pub fn with_node<T: Node, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut NodeCtx) -> R) -> R {
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
+    ) -> R {
         let mut node = self.nodes[id.0].node.take().expect("with_node: node is mid-callback");
         let mut actions = Vec::new();
         let result = {
@@ -245,6 +300,7 @@ impl Simulator {
                     let at = at.max(self.now);
                     self.push_event(at, EventKind::Timer { node, token });
                 }
+                Action::Trace(event) => self.emit(node, event),
             }
         }
     }
@@ -254,6 +310,10 @@ impl Simulator {
     fn transmit(&mut self, node: NodeId, port: PortId, mut frame: Vec<u8>) {
         let Some(&Some((link_id, dir))) = self.nodes[node.0].ports.get(port.0) else {
             self.stats.unrouted_frames += 1;
+            self.emit(
+                node,
+                TraceEvent::FrameDropped { reason: DropReason::Unrouted, bytes: frame.len() },
+            );
             return;
         };
         let (drop, corrupt, duplicate) = {
@@ -272,6 +332,8 @@ impl Simulator {
         let link = &mut self.links[link_id.0];
         if drop {
             link.dirs[dir.index()].stats.drops_fault += 1;
+            let bytes = frame.len();
+            self.emit(node, TraceEvent::FrameDropped { reason: DropReason::FaultInjection, bytes });
             return;
         }
         if corrupt && !frame.is_empty() {
@@ -283,15 +345,22 @@ impl Simulator {
         }
         if duplicate {
             link.dirs[dir.index()].stats.duplicated += 1;
-            self.enqueue_on_link(link_id, dir, frame.clone());
+            self.enqueue_on_link(node, link_id, dir, frame.clone());
         }
-        self.enqueue_on_link(link_id, dir, frame);
+        self.enqueue_on_link(node, link_id, dir, frame);
     }
 
-    fn enqueue_on_link(&mut self, link_id: LinkId, dir: Dir, frame: Vec<u8>) {
+    fn enqueue_on_link(&mut self, src: NodeId, link_id: LinkId, dir: Dir, frame: Vec<u8>) {
         let cap = self.links[link_id.0].config.queue_bytes;
+        let bytes = frame.len();
         let accepted = self.links[link_id.0].dirs[dir.index()].enqueue(frame, cap);
-        if accepted && !self.links[link_id.0].dirs[dir.index()].is_transmitting() {
+        if !accepted {
+            self.emit(src, TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
+            return;
+        }
+        let queued = self.links[link_id.0].dirs[dir.index()].queued_bytes();
+        self.stats.peak_queue_bytes = self.stats.peak_queue_bytes.max(queued);
+        if !self.links[link_id.0].dirs[dir.index()].is_transmitting() {
             self.start_transmitter(link_id, dir);
         }
     }
@@ -317,6 +386,7 @@ impl Simulator {
         self.stats.events += 1;
         match event.kind {
             EventKind::Deliver { node, port, frame } => {
+                self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
                 let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
                 let mut boxed = slot.node.take().expect("deliver: node is mid-callback");
                 let mut actions = Vec::new();
@@ -336,9 +406,7 @@ impl Simulator {
                         // Use the sink node's RNG stream for determinism.
                         let rng = &mut self.nodes[sink_node.0].rng;
                         if rng.chance(fault.reorder_chance) {
-                            Duration::from_nanos(
-                                rng.below(fault.reorder_window.as_nanos().max(1)),
-                            )
+                            Duration::from_nanos(rng.below(fault.reorder_window.as_nanos().max(1)))
                         } else {
                             Duration::ZERO
                         }
@@ -618,11 +686,7 @@ mod tests {
     fn identical_seeds_identical_runs() {
         let run = |_seed: u64| {
             let cfg = LinkConfig {
-                fault: FaultConfig {
-                    drop_chance: 0.3,
-                    corrupt_chance: 0.2,
-                    ..FaultConfig::NONE
-                },
+                fault: FaultConfig { drop_chance: 0.3, corrupt_chance: 0.2, ..FaultConfig::NONE },
                 ..LinkConfig::ethernet_100m()
             };
             let (mut sim, a, b) = two_node_sim(cfg);
@@ -645,6 +709,87 @@ mod tests {
         sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(5), vec![1]));
         sim.run_until_idle(10);
         assert_eq!(sim.stats().unrouted_frames, 1);
+    }
+
+    #[test]
+    fn stats_count_delivered_and_dropped_by_reason() {
+        use crate::trace::DropReason;
+        let cfg = LinkConfig {
+            fault: FaultConfig { drop_chance: 1.0, ..FaultConfig::NONE },
+            ..LinkConfig::ethernet_100m()
+        };
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(0), vec![0u8; 100]));
+        sim.run_until_idle(100);
+        assert_eq!(sim.stats().frames_dropped.by(DropReason::FaultInjection), 1);
+        assert_eq!(sim.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn queue_overflow_counted_in_sim_stats() {
+        use crate::trace::DropReason;
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: 3000,
+            fault: FaultConfig::NONE,
+        };
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            for _ in 0..10 {
+                ctx.send_frame(PortId(0), vec![0u8; 1000]);
+            }
+        });
+        sim.run_until_idle(1000);
+        // Same run as `queue_overflow_tail_drops`: 6 tail drops, and the
+        // per-reason aggregate must agree with the per-link counter.
+        assert_eq!(
+            sim.stats().frames_dropped.by(DropReason::QueueOverflow),
+            sim.link(LinkId(0)).stats(Dir::AtoB).drops_queue
+        );
+        assert_eq!(sim.stats().frames_delivered, 4);
+        assert!(sim.stats().peak_queue_bytes >= 3000 - 1000);
+    }
+
+    #[test]
+    fn observer_sees_events_without_changing_stats() {
+        use crate::trace::{DropReason, EventLog, TraceEvent};
+        let run = |attach: bool| {
+            let cfg = LinkConfig {
+                fault: FaultConfig { drop_chance: 0.3, corrupt_chance: 0.2, ..FaultConfig::NONE },
+                ..LinkConfig::ethernet_100m()
+            };
+            let (mut sim, a, _b) = two_node_sim(cfg);
+            if attach {
+                sim.attach_observer(Box::new(EventLog::new()));
+            }
+            sim.with_node::<Echo, _>(a, |_, ctx| {
+                for i in 0..50u8 {
+                    ctx.send_frame(PortId(0), vec![i; 50]);
+                }
+            });
+            sim.run_until_idle(10_000);
+            let log = sim
+                .detach_observer()
+                .map(|o| o.as_any().downcast_ref::<EventLog>().expect("EventLog observer").drops());
+            (sim.stats(), log)
+        };
+        let (plain, none) = run(false);
+        let (observed, log) = run(true);
+        assert!(none.is_none());
+        // Observation is a pure sink: identical stats with and without it.
+        assert_eq!(plain, observed);
+        // And the log's aggregate agrees with the stats.
+        assert_eq!(log.expect("observer attached"), observed.frames_dropped);
+        assert!(observed.frames_dropped.by(DropReason::FaultInjection) > 0);
+        // Node-emitted traces flow through Action::Trace.
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo::new(false)));
+        sim.boot();
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::Checksum, bytes: 20 });
+        });
+        assert_eq!(sim.stats().frames_dropped.by(DropReason::Checksum), 1);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Structured observability for the simulator: a drop-reason taxonomy, a
+//! typed event stream, and the [`SimObserver`] sink trait.
+//!
+//! The paper infers every gateway behavior black-box from packet traces;
+//! the reproduction can also instrument the white-box side so divergences
+//! between measured and calibrated values are explainable. Observers are
+//! **pure sinks**: they receive events but cannot influence the simulation,
+//! so attaching one never changes any measurement (a property the test
+//! suite asserts bit-for-bit).
+//!
+//! ```
+//! use hgw_core::{EventLog, DropReason, Simulator};
+//!
+//! let mut sim = Simulator::new(42);
+//! sim.attach_observer(Box::new(EventLog::new()));
+//! // ... build a topology, run traffic ...
+//! let log = sim.detach_observer().unwrap();
+//! let log = log.as_any().downcast_ref::<EventLog>().unwrap();
+//! assert_eq!(log.drops().by(DropReason::QueueOverflow), 0);
+//! ```
+
+use core::any::Any;
+
+use crate::node::NodeId;
+use crate::time::Instant;
+
+/// Why a frame (or translated packet) was discarded, anywhere in the stack.
+///
+/// Link-level reasons (`QueueOverflow`, `FaultInjection`, `Unrouted`) are
+/// emitted by the simulator itself; the rest are emitted by nodes — in this
+/// project, the gateway model — through
+/// [`NodeCtx::emit_trace`](crate::node::NodeCtx::emit_trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// A bounded FIFO (link transmit queue or forwarding-engine buffer) was
+    /// full and the frame was tail-dropped.
+    QueueOverflow,
+    /// Link fault injection discarded the frame.
+    FaultInjection,
+    /// An inbound packet had no NAT binding on its external port.
+    NoBinding,
+    /// A NAT binding existed but the filtering policy rejected the remote.
+    Filtered,
+    /// The TTL reached zero at the gateway.
+    TtlExpired,
+    /// The NAT binding table was at capacity and refused a new flow.
+    Capacity,
+    /// A header checksum failed verification.
+    Checksum,
+    /// An unknown transport protocol was dropped by policy.
+    UnknownProto,
+    /// A frame was emitted on a port with no link attached.
+    Unrouted,
+}
+
+impl DropReason {
+    /// Every reason, in counter-index order.
+    pub const ALL: [DropReason; 9] = [
+        DropReason::QueueOverflow,
+        DropReason::FaultInjection,
+        DropReason::NoBinding,
+        DropReason::Filtered,
+        DropReason::TtlExpired,
+        DropReason::Capacity,
+        DropReason::Checksum,
+        DropReason::UnknownProto,
+        DropReason::Unrouted,
+    ];
+
+    /// Stable index of this reason in [`DropCounts`].
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::QueueOverflow => 0,
+            DropReason::FaultInjection => 1,
+            DropReason::NoBinding => 2,
+            DropReason::Filtered => 3,
+            DropReason::TtlExpired => 4,
+            DropReason::Capacity => 5,
+            DropReason::Checksum => 6,
+            DropReason::UnknownProto => 7,
+            DropReason::Unrouted => 8,
+        }
+    }
+
+    /// Machine-readable snake_case name (used as the manifest JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueOverflow => "queue_overflow",
+            DropReason::FaultInjection => "fault_injection",
+            DropReason::NoBinding => "no_binding",
+            DropReason::Filtered => "filtered",
+            DropReason::TtlExpired => "ttl_expired",
+            DropReason::Capacity => "capacity",
+            DropReason::Checksum => "checksum",
+            DropReason::UnknownProto => "unknown_proto",
+            DropReason::Unrouted => "unrouted",
+        }
+    }
+}
+
+/// Per-reason drop counters (one slot per [`DropReason`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounts([u64; DropReason::ALL.len()]);
+
+impl DropCounts {
+    /// All-zero counters.
+    pub const ZERO: DropCounts = DropCounts([0; DropReason::ALL.len()]);
+
+    /// The count for one reason.
+    pub fn by(&self, reason: DropReason) -> u64 {
+        self.0[reason.index()]
+    }
+
+    /// Increments the count for one reason.
+    pub fn add(&mut self, reason: DropReason) {
+        self.0[reason.index()] += 1;
+    }
+
+    /// Total drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates `(reason, count)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL.iter().map(move |&r| (r, self.by(r)))
+    }
+
+    /// Adds every counter of `other` into `self` (fleet aggregation).
+    pub fn merge(&mut self, other: &DropCounts) {
+        for (slot, v) in self.0.iter_mut().zip(other.0.iter()) {
+            *slot += v;
+        }
+    }
+}
+
+/// One structured observability event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame or packet was discarded.
+    FrameDropped {
+        /// Why it was discarded.
+        reason: DropReason,
+        /// Its length in bytes.
+        bytes: usize,
+    },
+    /// A frame was delivered to a node port.
+    FrameDelivered {
+        /// Its length in bytes.
+        bytes: usize,
+    },
+    /// The NAT created a fresh binding.
+    BindingCreated {
+        /// The external port (or ICMP ident) assigned.
+        external_port: u16,
+        /// True if the internal source port was preserved.
+        port_preserved: bool,
+    },
+}
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Implementations must be pure consumers: they see events but have no way
+/// to feed information back into the simulation, which is what keeps runs
+/// bit-for-bit identical whether or not an observer is attached.
+pub trait SimObserver {
+    /// Called once per event, in dispatch order.
+    fn on_event(&mut self, at: Instant, node: NodeId, event: &TraceEvent);
+
+    /// Downcast support for retrieving a concrete observer after a run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// An in-memory observer that records every event with its timestamp.
+///
+/// Suitable for tests and per-device scorecards; for multi-hour simulated
+/// workloads prefer [`CountingObserver`], which is O(1) in memory.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<(Instant, NodeId, TraceEvent)>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// The recorded events in dispatch order.
+    pub fn events(&self) -> &[(Instant, NodeId, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Aggregated drop counters over the whole log.
+    pub fn drops(&self) -> DropCounts {
+        let mut counts = DropCounts::ZERO;
+        for (_, _, ev) in &self.events {
+            if let TraceEvent::FrameDropped { reason, .. } = ev {
+                counts.add(*reason);
+            }
+        }
+        counts
+    }
+}
+
+impl SimObserver for EventLog {
+    fn on_event(&mut self, at: Instant, node: NodeId, event: &TraceEvent) {
+        self.events.push((at, node, event.clone()));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A constant-memory observer keeping only aggregate counters.
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    /// Total events seen.
+    pub events: u64,
+    /// Frames delivered to nodes.
+    pub delivered: u64,
+    /// Drops by reason.
+    pub drops: DropCounts,
+    /// NAT bindings created.
+    pub bindings_created: u64,
+}
+
+impl CountingObserver {
+    /// A zeroed counter set.
+    pub fn new() -> CountingObserver {
+        CountingObserver::default()
+    }
+}
+
+impl SimObserver for CountingObserver {
+    fn on_event(&mut self, _at: Instant, _node: NodeId, event: &TraceEvent) {
+        self.events += 1;
+        match event {
+            TraceEvent::FrameDropped { reason, .. } => self.drops.add(*reason),
+            TraceEvent::FrameDelivered { .. } => self.delivered += 1,
+            TraceEvent::BindingCreated { .. } => self.bindings_created += 1,
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_a_bijection() {
+        let mut seen = [false; DropReason::ALL.len()];
+        for r in DropReason::ALL {
+            assert!(!seen[r.index()], "duplicate index for {r:?}");
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_are_unique_snake_case() {
+        let names: std::collections::HashSet<&str> =
+            DropReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), DropReason::ALL.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn counts_accumulate_and_merge() {
+        let mut a = DropCounts::ZERO;
+        a.add(DropReason::NoBinding);
+        a.add(DropReason::NoBinding);
+        a.add(DropReason::Checksum);
+        assert_eq!(a.by(DropReason::NoBinding), 2);
+        assert_eq!(a.total(), 3);
+        let mut b = DropCounts::ZERO;
+        b.add(DropReason::Checksum);
+        b.merge(&a);
+        assert_eq!(b.by(DropReason::Checksum), 2);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn event_log_records_and_aggregates() {
+        let mut log = EventLog::new();
+        log.on_event(
+            Instant::from_secs(1),
+            NodeId(0),
+            &TraceEvent::FrameDropped { reason: DropReason::Filtered, bytes: 40 },
+        );
+        log.on_event(Instant::from_secs(2), NodeId(1), &TraceEvent::FrameDelivered { bytes: 64 });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.drops().by(DropReason::Filtered), 1);
+        assert_eq!(log.drops().total(), 1);
+    }
+
+    #[test]
+    fn counting_observer_counts() {
+        let mut c = CountingObserver::new();
+        c.on_event(
+            Instant::ZERO,
+            NodeId(0),
+            &TraceEvent::BindingCreated { external_port: 5000, port_preserved: true },
+        );
+        c.on_event(Instant::ZERO, NodeId(0), &TraceEvent::FrameDelivered { bytes: 1 });
+        assert_eq!(c.events, 2);
+        assert_eq!(c.delivered, 1);
+        assert_eq!(c.bindings_created, 1);
+    }
+}

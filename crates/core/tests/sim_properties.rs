@@ -47,17 +47,10 @@ fn arb_schedule() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
     )
 }
 
-fn run(
-    schedule: Vec<(u64, Vec<u8>)>,
-    cfg: LinkConfig,
-    seed: u64,
-) -> Vec<(Instant, Vec<u8>)> {
+fn run(schedule: Vec<(u64, Vec<u8>)>, cfg: LinkConfig, seed: u64) -> Vec<(Instant, Vec<u8>)> {
     let mut sim = Simulator::new(seed);
     let src = sim.add_node(Box::new(Source {
-        schedule: schedule
-            .iter()
-            .map(|(at, f)| (Instant::from_micros(*at), f.clone()))
-            .collect(),
+        schedule: schedule.iter().map(|(at, f)| (Instant::from_micros(*at), f.clone())).collect(),
     }));
     let dst = sim.add_node(Box::new(Sink { frames: Vec::new() }));
     sim.connect(src, PortId(0), dst, PortId(0), cfg);

@@ -202,19 +202,15 @@ mod tests {
         assert!(!device("zy1").unwrap().policy.icmp.fix_embedded_ip_checksum);
         assert!(!device("ls1").unwrap().policy.icmp.fix_embedded_ip_checksum);
         // 16 devices do not rewrite embedded transport headers.
-        let no_rewrite =
-            all_devices().iter().filter(|d| !d.policy.icmp.rewrite_embedded).count();
+        let no_rewrite = all_devices().iter().filter(|d| !d.policy.icmp.rewrite_embedded).count();
         assert_eq!(no_rewrite, 16);
     }
 
     #[test]
     fn tcp1_cutoff_devices() {
         // Seven devices outlast the 24 h cutoff (Figure 7).
-        let beyond: Vec<&str> = all_devices()
-            .iter()
-            .filter(|d| d.tcp_timeout_beyond_cutoff())
-            .map(|d| d.tag)
-            .collect();
+        let beyond: Vec<&str> =
+            all_devices().iter().filter(|d| d.tcp_timeout_beyond_cutoff()).map(|d| d.tag).collect();
         assert_eq!(beyond.len(), 7);
         for tag in ["ap", "bu1", "ed", "ls3", "ls5", "ng1", "te"] {
             assert!(beyond.contains(&tag), "{tag} should outlast the cutoff");
@@ -245,10 +241,8 @@ mod tests {
         let smc = device("smc").unwrap().policy.forwarding;
         assert!(smc.up_bps > smc.down_bps, "smc uploads faster than it downloads");
         // Thirteen wire-speed devices.
-        let wire = all_devices()
-            .iter()
-            .filter(|d| d.policy.forwarding.down_bps >= 100_000_000)
-            .count();
+        let wire =
+            all_devices().iter().filter(|d| d.policy.forwarding.down_bps >= 100_000_000).count();
         assert_eq!(wire, 13);
     }
 }

@@ -215,7 +215,8 @@ mod tests {
     #[test]
     fn aggregate_cpu_serializes_directions() {
         // Fast directions, slow shared CPU (1 ms per 1250 B packet).
-        let mut e = ForwardingEngine::new(model(u64::MAX - 1, u64::MAX - 1, 10_000_000, usize::MAX));
+        let mut e =
+            ForwardingEngine::new(model(u64::MAX - 1, u64::MAX - 1, 10_000_000, usize::MAX));
         e.enqueue(FwdDir::Up, vec![0; 1250]);
         e.enqueue(FwdDir::Down, vec![0; 1250]);
         let f_up = e.start_service(Instant::ZERO, FwdDir::Up).unwrap();

@@ -15,7 +15,9 @@
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 
-use hgw_core::{impl_node_downcast, Instant, Node, NodeCtx, PortId, TimerToken};
+use hgw_core::{
+    impl_node_downcast, DropReason, Instant, Node, NodeCtx, PortId, TimerToken, TraceEvent,
+};
 use hgw_stack::dhcp::{DhcpClient, DhcpServer, DhcpServerConfig};
 use hgw_stack::tcp::{TcpConfig, TcpSocket};
 use hgw_wire::dhcp::{DhcpMessage, CLIENT_PORT, SERVER_PORT};
@@ -160,6 +162,11 @@ impl Gateway {
         &self.nat
     }
 
+    /// Aggregate NAT counters (diagnostics).
+    pub fn nat_stats(&self) -> crate::nat::NatStats {
+        self.nat.stats()
+    }
+
     /// Forwarding-engine counters for one direction (diagnostics).
     pub fn engine_stats(&self, dir: FwdDir) -> crate::engine::EngineDirStats {
         self.engine.stats(dir)
@@ -183,20 +190,35 @@ impl Gateway {
     }
 
     fn forward(&mut self, ctx: &mut NodeCtx, dir: FwdDir, frame: Vec<u8>) {
-        self.engine.enqueue(dir, frame);
+        let bytes = frame.len();
+        if !self.engine.enqueue(dir, frame) {
+            ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
+        }
         self.kick_engine(ctx);
     }
 
     /// Forwards the first packet of a freshly created binding, paying the
     /// binding-setup processing cost.
     fn forward_created(&mut self, ctx: &mut NodeCtx, dir: FwdDir, frame: Vec<u8>, created: bool) {
-        let surcharge = if created {
-            self.policy.binding_setup_cost
-        } else {
-            hgw_core::Duration::ZERO
-        };
-        self.engine.enqueue_with_surcharge(dir, frame, surcharge);
+        let surcharge =
+            if created { self.policy.binding_setup_cost } else { hgw_core::Duration::ZERO };
+        let bytes = frame.len();
+        if !self.engine.enqueue_with_surcharge(dir, frame, surcharge) {
+            ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
+        }
         self.kick_engine(ctx);
+    }
+
+    /// Counts a drop in the local stats and reports it to the observer.
+    fn drop_frame(&mut self, ctx: &mut NodeCtx, reason: DropReason, bytes: usize) {
+        match reason {
+            DropReason::NoBinding => self.stats.dropped_no_binding += 1,
+            DropReason::Filtered => self.stats.dropped_filtered += 1,
+            DropReason::Capacity => self.stats.dropped_capacity += 1,
+            DropReason::UnknownProto => self.stats.dropped_unknown_proto += 1,
+            _ => {}
+        }
+        ctx.emit_trace(TraceEvent::FrameDropped { reason, bytes });
     }
 
     // ------------------------------------------------------ LAN ingress --
@@ -204,6 +226,8 @@ impl Gateway {
     fn lan_input(&mut self, ctx: &mut NodeCtx, frame: Vec<u8>) {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else { return };
         if !ip.verify_checksum() {
+            let bytes = frame.len();
+            self.drop_frame(ctx, DropReason::Checksum, bytes);
             return;
         }
         let dst = ip.dst_addr();
@@ -252,8 +276,11 @@ impl Gateway {
     fn lan_dhcp_input(&mut self, ctx: &mut NodeCtx, payload: &[u8]) {
         let Ok(msg) = DhcpMessage::parse(payload) else { return };
         if let Some(reply) = self.dhcp_server.process(&msg) {
-            let dgram = UdpRepr { src_port: SERVER_PORT, dst_port: CLIENT_PORT }
-                .emit_with_payload(self.lan_addr, Ipv4Addr::BROADCAST, &reply.emit());
+            let dgram = UdpRepr { src_port: SERVER_PORT, dst_port: CLIENT_PORT }.emit_with_payload(
+                self.lan_addr,
+                Ipv4Addr::BROADCAST,
+                &reply.emit(),
+            );
             let repr = Ipv4Repr::new(self.lan_addr, Ipv4Addr::BROADCAST, Protocol::Udp);
             ctx.send_frame(LAN_PORT, repr.emit_with_payload(&dgram));
         }
@@ -286,6 +313,8 @@ impl Gateway {
                     };
                     let repr = Ipv4Repr::new(self.lan_addr, src, Protocol::Icmp);
                     ctx.send_frame(LAN_PORT, repr.emit_with_payload(&msg.emit()));
+                    let bytes = frame.len();
+                    self.drop_frame(ctx, DropReason::TtlExpired, bytes);
                     return;
                 }
                 ip.set_ttl(ttl - 1);
@@ -324,9 +353,18 @@ impl Gateway {
                             udpm.set_src_port(external_port);
                             udpm.fill_checksum(wan_addr, dst_addr);
                         }
+                        if created {
+                            ctx.emit_trace(TraceEvent::BindingCreated {
+                                external_port,
+                                port_preserved: external_port == sport,
+                            });
+                        }
                         self.forward_created(ctx, FwdDir::Up, frame, created);
                     }
-                    OutboundVerdict::NoCapacity => self.stats.dropped_capacity += 1,
+                    OutboundVerdict::NoCapacity => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::Capacity, bytes);
+                    }
                 }
             }
             Protocol::Tcp => {
@@ -351,9 +389,18 @@ impl Gateway {
                             tcpm.set_src_port(external_port);
                             tcpm.fill_checksum(wan_addr, dst_addr);
                         }
+                        if created {
+                            ctx.emit_trace(TraceEvent::BindingCreated {
+                                external_port,
+                                port_preserved: external_port == sport,
+                            });
+                        }
                         self.forward_created(ctx, FwdDir::Up, frame, created);
                     }
-                    OutboundVerdict::NoCapacity => self.stats.dropped_capacity += 1,
+                    OutboundVerdict::NoCapacity => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::Capacity, bytes);
+                    }
                 }
             }
             Protocol::Icmp => {
@@ -369,7 +416,13 @@ impl Gateway {
                             false,
                             false,
                         ) {
-                            OutboundVerdict::Translated { external_port, .. } => {
+                            OutboundVerdict::Translated { external_port, created } => {
+                                if created {
+                                    ctx.emit_trace(TraceEvent::BindingCreated {
+                                        external_port,
+                                        port_preserved: external_port == ident,
+                                    });
+                                }
                                 let out =
                                     IcmpRepr::EchoRequest { ident: external_port, seq, payload };
                                 let mut repr = Ipv4Repr::new(wan_addr, dst_addr, Protocol::Icmp);
@@ -377,7 +430,10 @@ impl Gateway {
                                 let pkt = repr.emit_with_payload(&out.emit());
                                 self.forward(ctx, FwdDir::Up, pkt);
                             }
-                            OutboundVerdict::NoCapacity => self.stats.dropped_capacity += 1,
+                            OutboundVerdict::NoCapacity => {
+                                let bytes = frame.len();
+                                self.drop_frame(ctx, DropReason::Capacity, bytes);
+                            }
                         }
                     }
                     _ => {
@@ -392,7 +448,10 @@ impl Gateway {
             other => {
                 // Unknown transport: the §4.3 fallback behaviors.
                 match self.policy.unknown_proto {
-                    UnknownProtoPolicy::Drop => self.stats.dropped_unknown_proto += 1,
+                    UnknownProtoPolicy::Drop => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::UnknownProto, bytes);
+                    }
                     UnknownProtoPolicy::IpRewrite { .. } => {
                         let key = (other.number(), src_addr, dst_addr);
                         if !self.ip_assocs.contains(&key) {
@@ -456,8 +515,14 @@ impl Gateway {
                 let pkt = repr.emit_with_payload(&dgram);
                 self.forward(ctx, FwdDir::Down, pkt);
             }
-            InboundVerdict::Filtered => self.stats.dropped_filtered += 1,
-            InboundVerdict::NoBinding => self.stats.dropped_no_binding += 1,
+            InboundVerdict::Filtered => {
+                let bytes = frame.len();
+                self.drop_frame(ctx, DropReason::Filtered, bytes);
+            }
+            InboundVerdict::NoBinding => {
+                let bytes = frame.len();
+                self.drop_frame(ctx, DropReason::NoBinding, bytes);
+            }
         }
     }
 
@@ -504,6 +569,8 @@ impl Gateway {
     fn wan_input(&mut self, ctx: &mut NodeCtx, frame: Vec<u8>) {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else { return };
         if !ip.verify_checksum() {
+            let bytes = frame.len();
+            self.drop_frame(ctx, DropReason::Checksum, bytes);
             return;
         }
         let (src_addr, dst_addr) = (ip.src_addr(), ip.dst_addr());
@@ -533,6 +600,8 @@ impl Gateway {
             Protocol::Udp => {
                 let Ok(udp) = UdpPacket::new_checked(&payload[..]) else { return };
                 if !udp.verify_checksum(src_addr, dst_addr) {
+                    let bytes = frame.len();
+                    self.drop_frame(ctx, DropReason::Checksum, bytes);
                     return;
                 }
                 let (sport, dport) = (udp.src_port(), udp.dst_port());
@@ -564,6 +633,8 @@ impl Gateway {
                             if self.policy.decrement_ttl {
                                 let ttl = ipm.ttl();
                                 if ttl <= 1 {
+                                    let bytes = frame.len();
+                                    self.drop_frame(ctx, DropReason::TtlExpired, bytes);
                                     return;
                                 }
                                 ipm.set_ttl(ttl - 1);
@@ -575,13 +646,21 @@ impl Gateway {
                         }
                         self.forward(ctx, FwdDir::Down, frame);
                     }
-                    InboundVerdict::Filtered => self.stats.dropped_filtered += 1,
-                    InboundVerdict::NoBinding => self.stats.dropped_no_binding += 1,
+                    InboundVerdict::Filtered => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::Filtered, bytes);
+                    }
+                    InboundVerdict::NoBinding => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::NoBinding, bytes);
+                    }
                 }
             }
             Protocol::Tcp => {
                 let Ok(tcp) = TcpPacket::new_checked(&payload[..]) else { return };
                 if !tcp.verify_checksum(src_addr, dst_addr) {
+                    let bytes = frame.len();
+                    self.drop_frame(ctx, DropReason::Checksum, bytes);
                     return;
                 }
                 let (sport, dport) = (tcp.src_port(), tcp.dst_port());
@@ -607,6 +686,8 @@ impl Gateway {
                             if self.policy.decrement_ttl {
                                 let ttl = ipm.ttl();
                                 if ttl <= 1 {
+                                    let bytes = frame.len();
+                                    self.drop_frame(ctx, DropReason::TtlExpired, bytes);
                                     return;
                                 }
                                 ipm.set_ttl(ttl - 1);
@@ -619,8 +700,14 @@ impl Gateway {
                         }
                         self.forward(ctx, FwdDir::Down, frame);
                     }
-                    InboundVerdict::Filtered => self.stats.dropped_filtered += 1,
-                    InboundVerdict::NoBinding => self.stats.dropped_no_binding += 1,
+                    InboundVerdict::Filtered => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::Filtered, bytes);
+                    }
+                    InboundVerdict::NoBinding => {
+                        let bytes = frame.len();
+                        self.drop_frame(ctx, DropReason::NoBinding, bytes);
+                    }
                 }
             }
             Protocol::Icmp => {
@@ -652,8 +739,7 @@ impl Gateway {
             }
             other => {
                 // Unknown transports inbound.
-                if let UnknownProtoPolicy::IpRewrite { allow_inbound } = self.policy.unknown_proto
-                {
+                if let UnknownProtoPolicy::IpRewrite { allow_inbound } = self.policy.unknown_proto {
                     if allow_inbound {
                         if let Some(&(_, internal, _)) = self
                             .ip_assocs
@@ -669,7 +755,8 @@ impl Gateway {
                         }
                     }
                 }
-                self.stats.dropped_unknown_proto += 1;
+                let bytes = frame.len();
+                self.drop_frame(ctx, DropReason::UnknownProto, bytes);
             }
         }
     }
@@ -803,16 +890,14 @@ impl Gateway {
             }
             if policy_icmp.fix_embedded_l4_checksum {
                 match emb_proto {
-                    Protocol::Udp
-                        if UdpPacket::new_checked(&l4[..]).is_ok() => {
-                            let mut u = UdpPacket::new_unchecked(l4);
-                            u.fill_checksum(binding_internal.0, emb_dst);
-                        }
-                    Protocol::Tcp
-                        if TcpPacket::new_checked(&l4[..]).is_ok() => {
-                            let mut t = TcpPacket::new_unchecked(l4);
-                            t.fill_checksum(binding_internal.0, emb_dst);
-                        }
+                    Protocol::Udp if UdpPacket::new_checked(&l4[..]).is_ok() => {
+                        let mut u = UdpPacket::new_unchecked(l4);
+                        u.fill_checksum(binding_internal.0, emb_dst);
+                    }
+                    Protocol::Tcp if TcpPacket::new_checked(&l4[..]).is_ok() => {
+                        let mut t = TcpPacket::new_unchecked(l4);
+                        t.fill_checksum(binding_internal.0, emb_dst);
+                    }
                     _ => {}
                 }
             }
@@ -892,9 +977,11 @@ impl Gateway {
         }
         let remote = SocketAddrV4::new(src_addr, repr.src_port);
         // Existing proxy connection?
-        if let Some(idx) = self.proxy_conns.iter().position(|c| {
-            c.as_ref().map(|c| c.sock.remote == remote).unwrap_or(false)
-        }) {
+        if let Some(idx) = self
+            .proxy_conns
+            .iter()
+            .position(|c| c.as_ref().map(|c| c.sock.remote == remote).unwrap_or(false))
+        {
             let data = tcp.payload().to_vec();
             self.proxy_conns[idx].as_mut().unwrap().sock.process(ctx.now(), &repr, &data);
             self.pump_proxy_sockets(ctx);
@@ -920,11 +1007,8 @@ impl Gateway {
                         &repr,
                         ctx.now(),
                     );
-                    let idx = self
-                        .proxy_conns
-                        .iter()
-                        .position(|c| c.is_none())
-                        .unwrap_or_else(|| {
+                    let idx =
+                        self.proxy_conns.iter().position(|c| c.is_none()).unwrap_or_else(|| {
                             self.proxy_conns.push(None);
                             self.proxy_conns.len() - 1
                         });
@@ -1090,10 +1174,12 @@ impl Gateway {
         let now = ctx.now();
         self.dhcp_client.on_timer(now);
         for msg in self.dhcp_client.dispatch() {
-            let dgram = UdpRepr { src_port: CLIENT_PORT, dst_port: SERVER_PORT }
-                .emit_with_payload(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, &msg.emit());
-            let repr =
-                Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, Protocol::Udp);
+            let dgram = UdpRepr { src_port: CLIENT_PORT, dst_port: SERVER_PORT }.emit_with_payload(
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::BROADCAST,
+                &msg.emit(),
+            );
+            let repr = Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, Protocol::Udp);
             ctx.send_frame(WAN_PORT, repr.emit_with_payload(&dgram));
         }
         self.pump_proxy_sockets(ctx);

@@ -17,7 +17,7 @@ pub mod policy;
 
 pub use engine::{ForwardingEngine, FwdDir};
 pub use gateway::{Gateway, GatewayStats, LAN_PORT, WAN_PORT};
-pub use nat::{Binding, InboundVerdict, NatProto, NatTable, OutboundVerdict};
+pub use nat::{Binding, InboundVerdict, NatProto, NatStats, NatTable, OutboundVerdict};
 pub use policy::{
     DnsProxyPolicy, DnsTcpMode, EndpointScope, ForwardingModel, GatewayPolicy, IcmpErrorKind,
     IcmpKindSet, IcmpPolicy, PortAssignment, TrafficPattern, UnknownProtoPolicy,

@@ -73,6 +73,45 @@ pub enum InboundVerdict {
     NoBinding,
 }
 
+/// Aggregate NAT counters (diagnostics; probes observe externally).
+///
+/// ```
+/// use hgw_gateway::{GatewayPolicy, NatProto, NatTable};
+/// use hgw_core::Instant;
+/// use std::net::Ipv4Addr;
+///
+/// let mut nat = NatTable::new();
+/// let policy = GatewayPolicy::well_behaved();
+/// nat.outbound(
+///     Instant::ZERO, &policy, NatProto::Udp,
+///     (Ipv4Addr::new(192, 168, 1, 100), 5000),
+///     (Ipv4Addr::new(10, 0, 1, 1), 80),
+///     false, false,
+/// );
+/// let stats = nat.stats();
+/// assert_eq!(stats.bindings_created, 1);
+/// assert_eq!(stats.port_preservation_hits, 1);
+/// assert_eq!(stats.peak_bindings, 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NatStats {
+    /// Bindings created over the table's lifetime.
+    pub bindings_created: u64,
+    /// Bindings that reached their timeout (or teardown) and were swept.
+    pub bindings_expired: u64,
+    /// Outbound flows refused because the table was at capacity.
+    pub refusals: u64,
+    /// New bindings whose external port equals the internal source port.
+    pub port_preservation_hits: u64,
+    /// New bindings that fell back to another port.
+    pub port_preservation_misses: u64,
+    /// High-water mark of simultaneously live bindings.
+    pub peak_bindings: usize,
+}
+
+/// Upper bound on retained occupancy samples; older samples are decimated.
+const OCCUPANCY_LOG_CAP: usize = 2048;
+
 /// The NAPT table.
 #[derive(Debug)]
 pub struct NatTable {
@@ -81,6 +120,15 @@ pub struct NatTable {
     /// (reuse vs. quarantine — the UDP-4 behaviors).
     expired: Vec<Binding>,
     next_seq_port: u16,
+    stats: NatStats,
+    /// `(time, live bindings)` samples taken whenever occupancy changes,
+    /// decimated (every other sample dropped) beyond the cap so memory
+    /// stays bounded on long runs.
+    occupancy_log: Vec<(Instant, usize)>,
+    /// Record only every `occupancy_stride`-th change once decimation kicks
+    /// in; doubles on each decimation pass.
+    occupancy_stride: u32,
+    occupancy_skipped: u32,
 }
 
 /// Base of the sequential allocation range.
@@ -93,12 +141,49 @@ const TCP_FIN_LINGER: Duration = Duration::from_secs(10);
 impl NatTable {
     /// An empty table.
     pub fn new() -> NatTable {
-        NatTable { bindings: Vec::new(), expired: Vec::new(), next_seq_port: SEQ_BASE }
+        NatTable {
+            bindings: Vec::new(),
+            expired: Vec::new(),
+            next_seq_port: SEQ_BASE,
+            stats: NatStats::default(),
+            occupancy_log: Vec::new(),
+            occupancy_stride: 1,
+            occupancy_skipped: 0,
+        }
     }
 
     /// Live bindings (diagnostics).
     pub fn bindings(&self) -> &[Binding] {
         &self.bindings
+    }
+
+    /// Aggregate counters over the table's lifetime.
+    pub fn stats(&self) -> NatStats {
+        self.stats
+    }
+
+    /// `(time, live bindings)` samples recorded whenever occupancy changed.
+    /// Decimated beyond a fixed cap, so the series is a bounded sketch on
+    /// long runs rather than every transition.
+    pub fn occupancy_log(&self) -> &[(Instant, usize)] {
+        &self.occupancy_log
+    }
+
+    fn record_occupancy(&mut self, now: Instant) {
+        self.occupancy_skipped += 1;
+        if self.occupancy_skipped < self.occupancy_stride {
+            return;
+        }
+        self.occupancy_skipped = 0;
+        self.occupancy_log.push((now, self.bindings.len()));
+        if self.occupancy_log.len() > OCCUPANCY_LOG_CAP {
+            let mut keep = false;
+            self.occupancy_log.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.occupancy_stride *= 2;
+        }
     }
 
     /// Number of live bindings for one transport.
@@ -109,6 +194,7 @@ impl NatTable {
     /// Moves expired bindings to the expired list. Call with the current
     /// time before any lookup.
     pub fn sweep(&mut self, now: Instant) {
+        let before = self.bindings.len();
         let mut i = 0;
         while i < self.bindings.len() {
             if self.bindings[i].expires_at <= now {
@@ -117,6 +203,11 @@ impl NatTable {
             } else {
                 i += 1;
             }
+        }
+        let swept = before - self.bindings.len();
+        if swept > 0 {
+            self.stats.bindings_expired += swept as u64;
+            self.record_occupancy(now);
         }
         self.expired.retain(|b| now.duration_since(b.expires_at.min(now)) < EXPIRED_MEMORY);
     }
@@ -135,11 +226,8 @@ impl NatTable {
     fn next_sequential(&mut self, proto: NatProto) -> u16 {
         loop {
             let p = self.next_seq_port;
-            self.next_seq_port = if self.next_seq_port == u16::MAX {
-                SEQ_BASE
-            } else {
-                self.next_seq_port + 1
-            };
+            self.next_seq_port =
+                if self.next_seq_port == u16::MAX { SEQ_BASE } else { self.next_seq_port + 1 };
             if !self.port_in_use(proto, p) {
                 return p;
             }
@@ -240,9 +328,16 @@ impl NatTable {
         }
         // New binding.
         if self.count(proto) >= policy.max_bindings {
+            self.stats.refusals += 1;
             return OutboundVerdict::NoCapacity;
         }
         let external_port = self.assign_port(policy, proto, internal, remote);
+        self.stats.bindings_created += 1;
+        if external_port == internal.1 {
+            self.stats.port_preservation_hits += 1;
+        } else {
+            self.stats.port_preservation_misses += 1;
+        }
         let expires_at = match proto {
             NatProto::Tcp => NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity),
             _ => NatTable::quantize(
@@ -262,6 +357,8 @@ impl NatTable {
             fin_from_lan: tcp_fin,
             fin_from_wan: false,
         });
+        self.stats.peak_bindings = self.stats.peak_bindings.max(self.bindings.len());
+        self.record_occupancy(now);
         OutboundVerdict::Translated { external_port, created: true }
     }
 
@@ -386,7 +483,8 @@ mod tests {
         p.mapping = EndpointScope::AddressAndPortDependent;
         let v = nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
         assert_eq!(v, OutboundVerdict::Translated { external_port: SEQ_BASE, created: true });
-        let v2 = nat.outbound(t(0), &p, NatProto::Udp, (internal().0, 5001), remote(), false, false);
+        let v2 =
+            nat.outbound(t(0), &p, NatProto::Udp, (internal().0, 5001), remote(), false, false);
         assert_eq!(v2, OutboundVerdict::Translated { external_port: SEQ_BASE + 1, created: true });
     }
 
@@ -543,7 +641,7 @@ mod tests {
         nat.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
         nat.outbound(t(1), &p, NatProto::Tcp, internal(), remote(), true, false); // FIN out
         nat.inbound(t(2), &p, NatProto::Tcp, 5000, remote(), true, false); // FIN in
-        // Long before the 2 h idle timeout, the binding is gone.
+                                                                           // Long before the 2 h idle timeout, the binding is gone.
         assert_eq!(
             nat.inbound(t(60), &p, NatProto::Tcp, 5000, remote(), false, false),
             InboundVerdict::NoBinding
@@ -582,6 +680,62 @@ mod tests {
         let v = nat.outbound(t(0), &p, NatProto::Udp, internal(), other_remote, false, false);
         assert_eq!(v, OutboundVerdict::Translated { external_port: 5000, created: true });
         assert_eq!(nat.count(NatProto::Udp), 2);
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let p = pol();
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        // Second host collides on port 5000 → sequential fallback (a miss).
+        let other_host = (Ipv4Addr::new(192, 168, 1, 101), 5000);
+        nat.outbound(t(0), &p, NatProto::Udp, other_host, remote(), false, false);
+        let s = nat.stats();
+        assert_eq!(s.bindings_created, 2);
+        assert_eq!(s.port_preservation_hits, 1);
+        assert_eq!(s.port_preservation_misses, 1);
+        assert_eq!(s.peak_bindings, 2);
+        assert_eq!(s.bindings_expired, 0);
+        // Both solitary bindings expire by t=100.
+        nat.sweep(t(100));
+        assert_eq!(nat.stats().bindings_expired, 2);
+        // Occupancy log saw the rise and the fall.
+        let log = nat.occupancy_log();
+        assert_eq!(log.first(), Some(&(t(0), 1)));
+        assert_eq!(log.last(), Some(&(t(100), 0)));
+    }
+
+    #[test]
+    fn stats_count_refusals() {
+        let mut p = pol();
+        p.max_bindings = 1;
+        p.mapping = EndpointScope::AddressAndPortDependent;
+        let mut nat = NatTable::new();
+        nat.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
+        nat.outbound(t(0), &p, NatProto::Tcp, (internal().0, 6001), remote(), false, false);
+        assert_eq!(nat.stats().refusals, 1);
+    }
+
+    #[test]
+    fn occupancy_log_stays_bounded() {
+        let mut p = pol();
+        p.max_bindings = usize::MAX;
+        p.mapping = EndpointScope::AddressAndPortDependent;
+        p.port_assignment = PortAssignment::Sequential;
+        let mut nat = NatTable::new();
+        for i in 0..4000u16 {
+            nat.outbound(
+                t(0),
+                &p,
+                NatProto::Udp,
+                (internal().0, 1000 + (i % 4000)),
+                (remote().0, 7000 + i),
+                false,
+                false,
+            );
+        }
+        assert!(nat.occupancy_log().len() <= 2048 + 1);
+        assert_eq!(nat.stats().peak_bindings, 4000);
     }
 
     #[test]

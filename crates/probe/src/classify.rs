@@ -137,10 +137,8 @@ pub fn classify_nat(tb: &mut Testbed) -> NatClassification {
         h.udp_send(ctx, s, SocketAddrV4::new(wan, ext_a), b"hairpin");
     });
     tb.run_for(SETTLE);
-    let hairpinning = tb
-        .with_client(|h, _| h.udp_recv(cli))
-        .map(|(_, data)| data == b"hairpin")
-        .unwrap_or(false);
+    let hairpinning =
+        tb.with_client(|h, _| h.udp_recv(cli)).map(|(_, data)| data == b"hairpin").unwrap_or(false);
 
     NatClassification { mapping, filtering, port_preservation, hairpinning }
 }

@@ -4,16 +4,21 @@
 //! — except throughput, which is serialized "to avoid overloading the test
 //! network". Here every device owns an isolated [`Testbed`], so fleet runs
 //! are embarrassingly parallel with identical observable semantics; this
-//! module provides the sequential driver (the bench harness adds threads).
+//! module provides the sequential driver (the bench harness adds threads)
+//! plus an instrumented variant that captures per-device observability
+//! metrics for run manifests.
 
+use hgw_core::{CountingObserver, DropCounts};
 use hgw_devices::DeviceProfile;
+use hgw_gateway::Gateway;
 use hgw_testbed::Testbed;
 
 /// Builds the testbed for one device (stable per-device slot index and a
 /// seed derived from the experiment seed and the device tag).
 pub fn testbed_for(device: &DeviceProfile, slot: usize, seed: u64) -> Testbed {
     let index = (slot + 1) as u8;
-    let tag_hash: u64 = device.tag.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let tag_hash: u64 =
+        device.tag.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
     Testbed::new(device.tag, device.policy.clone(), index, seed ^ tag_hash)
 }
 
@@ -35,19 +40,118 @@ pub fn run_fleet<R>(
         .collect()
 }
 
+/// Observability metrics captured around one device's fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceRunMetrics {
+    /// Host wall-clock time spent on this device, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulator events dispatched during the run.
+    pub events: u64,
+    /// Simulator events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Frames delivered to nodes.
+    pub frames_delivered: u64,
+    /// Frames dropped anywhere in the stack, by reason.
+    pub frames_dropped: DropCounts,
+    /// Trace events seen by the attached observer. The observer attaches
+    /// after testbed bring-up, so this covers the probe workload only,
+    /// while the frame counters above span the testbed's whole lifetime.
+    pub trace_events: u64,
+    /// NAT bindings created over the run.
+    pub nat_bindings_created: u64,
+    /// NAT bindings expired over the run.
+    pub nat_bindings_expired: u64,
+    /// High-water mark of simultaneously live NAT bindings.
+    pub nat_bindings_peak: usize,
+}
+
+/// Like [`run_fleet`], but attaches a [`CountingObserver`] to each device's
+/// simulator and returns per-device [`DeviceRunMetrics`] alongside the
+/// probe's result. Observation is a pure sink, so `R` values are identical
+/// to what [`run_fleet`] would have produced for the same seed.
+pub fn run_fleet_instrumented<R>(
+    devices: &[DeviceProfile],
+    seed: u64,
+    mut probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
+) -> Vec<(String, R, DeviceRunMetrics)> {
+    devices
+        .iter()
+        .enumerate()
+        .map(|(slot, device)| {
+            let start = std::time::Instant::now();
+            let mut tb = testbed_for(device, slot, seed);
+            tb.sim.attach_observer(Box::new(CountingObserver::new()));
+            let result = probe(&mut tb, device);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let stats = tb.sim.stats();
+            let observer = tb.sim.detach_observer().expect("observer attached above");
+            let counts = observer
+                .as_any()
+                .downcast_ref::<CountingObserver>()
+                .expect("CountingObserver attached above");
+            let nat = tb.sim.node_ref::<Gateway>(tb.gateway).nat_stats();
+            let metrics = DeviceRunMetrics {
+                wall_ms,
+                events: stats.events,
+                events_per_sec: if wall_ms > 0.0 {
+                    stats.events as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+                frames_delivered: stats.frames_delivered,
+                frames_dropped: stats.frames_dropped,
+                trace_events: counts.events,
+                nat_bindings_created: nat.bindings_created,
+                nat_bindings_expired: nat.bindings_expired,
+                nat_bindings_peak: nat.peak_bindings,
+            };
+            (device.tag.to_string(), result, metrics)
+        })
+        .collect()
+}
+
+/// Error returned by [`order_results`] when a figure's x-axis mentions a
+/// device that has no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingDeviceError {
+    /// The tag with no matching result.
+    pub tag: String,
+}
+
+impl core::fmt::Display for MissingDeviceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "no result for device {}", self.tag)
+    }
+}
+
+impl std::error::Error for MissingDeviceError {}
+
 /// Orders `(tag, value)` results along a published figure's x-axis order.
 ///
-/// # Panics
-/// Panics if `order` mentions a tag that has no result.
-pub fn order_results<R: Clone>(results: &[(String, R)], order: &[&str]) -> Vec<(String, R)> {
+/// Returns an error naming the first tag in `order` that has no result, so
+/// figure binaries can report a usable message instead of panicking deep in
+/// a plotting helper.
+///
+/// ```
+/// use hgw_probe::fleet::order_results;
+///
+/// let results = vec![("a".to_string(), 1), ("b".to_string(), 2)];
+/// let ordered = order_results(&results, &["b", "a"]).unwrap();
+/// assert_eq!(ordered[0], ("b".to_string(), 2));
+/// assert!(order_results(&results, &["zz"]).is_err());
+/// ```
+pub fn order_results<R: Clone>(
+    results: &[(String, R)],
+    order: &[&str],
+) -> Result<Vec<(String, R)>, MissingDeviceError> {
     order
         .iter()
         .map(|tag| {
             results
                 .iter()
                 .find(|(t, _)| t == tag)
-                .unwrap_or_else(|| panic!("no result for device {tag}"))
-                .clone()
+                .cloned()
+                .ok_or_else(|| MissingDeviceError { tag: tag.to_string() })
         })
         .collect()
 }
@@ -74,13 +178,52 @@ mod tests {
     #[test]
     fn order_results_reorders() {
         let results = vec![("a".to_string(), 1), ("b".to_string(), 2), ("c".to_string(), 3)];
-        let ordered = order_results(&results, &["c", "a", "b"]);
+        let ordered = order_results(&results, &["c", "a", "b"]).unwrap();
         assert_eq!(ordered, vec![("c".to_string(), 3), ("a".to_string(), 1), ("b".to_string(), 2)]);
     }
 
     #[test]
-    #[should_panic(expected = "no result for device")]
-    fn order_results_panics_on_missing_tag() {
-        order_results(&[("a".to_string(), 1)], &["zz"]);
+    fn order_results_errors_on_missing_tag() {
+        let err = order_results(&[("a".to_string(), 1)], &["zz"]).unwrap_err();
+        assert_eq!(err.tag, "zz");
+        assert_eq!(err.to_string(), "no result for device zz");
+    }
+
+    #[test]
+    fn instrumented_fleet_reports_metrics() {
+        let devices = all_devices();
+        let results = run_fleet_instrumented(&devices[..2], 7, |tb, _| {
+            tb.run_for(hgw_core::Duration::from_secs(1));
+            tb.sim.stats().events
+        });
+        assert_eq!(results.len(), 2);
+        for (tag, events, m) in &results {
+            assert!(!tag.is_empty());
+            assert_eq!(m.events, *events, "stats snapshot matches probe result");
+            // Bring-up alone delivers DHCP traffic on both links.
+            assert!(m.frames_delivered > 0, "{tag}: no frames delivered");
+            // The observer attaches after bring-up, so it sees at most the
+            // lifetime totals.
+            assert!(
+                m.trace_events
+                    <= m.frames_delivered + m.frames_dropped.total() + m.nat_bindings_created
+            );
+            assert!(m.wall_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_results() {
+        let devices = all_devices();
+        let plain = run_fleet(&devices[..3], 42, |tb, _| {
+            tb.run_for(hgw_core::Duration::from_secs(2));
+            (tb.sim.stats().events, tb.sim.now())
+        });
+        let instrumented = run_fleet_instrumented(&devices[..3], 42, |tb, _| {
+            tb.run_for(hgw_core::Duration::from_secs(2));
+            (tb.sim.stats().events, tb.sim.now())
+        });
+        let stripped: Vec<_> = instrumented.into_iter().map(|(tag, r, _)| (tag, r)).collect();
+        assert_eq!(plain, stripped);
     }
 }

@@ -122,18 +122,14 @@ fn kind_matches(kind: IcmpErrorKind, msg: &IcmpRepr) -> bool {
 /// for the given protocol and destination port.
 fn hijack(tb: &mut Testbed, proto: Protocol, dst_port: u16) -> Option<Vec<u8>> {
     let frames = tb.with_server(|h, _| h.sniff_take());
-    frames
-        .into_iter()
-        .rev()
-        .map(|(_, f)| f)
-        .find(|f| {
-            let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { return false };
-            if ip.protocol() != proto {
-                return false;
-            }
-            let l4 = ip.payload();
-            l4.len() >= 4 && u16::from_be_bytes([l4[2], l4[3]]) == dst_port
-        })
+    frames.into_iter().rev().map(|(_, f)| f).find(|f| {
+        let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { return false };
+        if ip.protocol() != proto {
+            return false;
+        }
+        let l4 = ip.payload();
+        l4.len() >= 4 && u16::from_be_bytes([l4[2], l4[3]]) == dst_port
+    })
 }
 
 /// Injects `msg` from the server toward the gateway's WAN address and
@@ -184,9 +180,7 @@ fn inject_and_observe(
                 continue;
             }
             let Ok(tcp) = TcpPacket::new_checked(ip.payload()) else { continue };
-            if tcp.dst_port() == local_port
-                && tcp.flags().contains(hgw_wire::TcpFlags::RST)
-            {
+            if tcp.dst_port() == local_port && tcp.flags().contains(hgw_wire::TcpFlags::RST) {
                 return IcmpOutcome::InvalidRst;
             }
         }
@@ -230,8 +224,8 @@ pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
     for (i, kind) in IcmpErrorKind::ALL.into_iter().enumerate() {
         let server_port = 28_000 + i as u16;
         tb.with_server(|h, _| h.tcp_listen(server_port, ListenerApp::Manual));
-        let conn =
-            tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, server_port)));
+        let conn = tb
+            .with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, server_port)));
         tb.run_for(Duration::from_millis(300));
         let client_port = tb.with_client(|h, _| h.tcp(conn).local.port());
         let outcome = match hijack(tb, Protocol::Tcp, server_port) {
@@ -261,9 +255,7 @@ pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
     // received).
     let frames = tb.with_server(|h, _| h.sniff_take());
     let captured_echo = frames.into_iter().rev().map(|(_, f)| f).find(|f| {
-        Ipv4Packet::new_checked(&f[..])
-            .map(|ip| ip.protocol() == Protocol::Icmp)
-            .unwrap_or(false)
+        Ipv4Packet::new_checked(&f[..]).map(|ip| ip.protocol() == Protocol::Icmp).unwrap_or(false)
     });
     let icmp_host_unreach = match captured_echo {
         Some(captured) => {
@@ -290,11 +282,7 @@ mod tests {
         assert_eq!(m.translated_count(), 21, "10 TCP + 10 UDP + ping");
         for (kind, out) in m.udp.iter().chain(m.tcp.iter()) {
             match out {
-                IcmpOutcome::Forwarded {
-                    embedded_rewritten,
-                    embedded_ip_checksum_ok,
-                    ..
-                } => {
+                IcmpOutcome::Forwarded { embedded_rewritten, embedded_ip_checksum_ok, .. } => {
                     assert!(embedded_rewritten, "{kind:?} should be rewritten");
                     assert!(embedded_ip_checksum_ok, "{kind:?} checksum should be fixed");
                 }
@@ -324,10 +312,8 @@ mod tests {
         let m = measure_icmp_matrix(&mut tb);
         assert_eq!(m.translated_count(), 4);
         for (kind, out) in m.udp.iter().chain(m.tcp.iter()) {
-            let expect = matches!(
-                kind,
-                IcmpErrorKind::PortUnreachable | IcmpErrorKind::TtlExceeded
-            );
+            let expect =
+                matches!(kind, IcmpErrorKind::PortUnreachable | IcmpErrorKind::TtlExceeded);
             assert_eq!(out.is_translated(), expect, "{kind:?}");
         }
     }
@@ -354,9 +340,7 @@ mod tests {
         let m = measure_icmp_matrix(&mut tb);
         for (kind, out) in &m.udp {
             match out {
-                IcmpOutcome::Forwarded {
-                    embedded_rewritten, embedded_ip_checksum_ok, ..
-                } => {
+                IcmpOutcome::Forwarded { embedded_rewritten, embedded_ip_checksum_ok, .. } => {
                     assert!(embedded_rewritten, "{kind:?}");
                     assert!(!embedded_ip_checksum_ok, "{kind:?} checksum must be stale");
                 }

@@ -10,18 +10,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod udp_timeout;
+pub mod binding_rate;
+pub mod classify;
+pub mod dns;
+pub mod fleet;
+pub mod hole_punch;
+pub mod icmp;
+pub mod keepalive;
+pub mod max_bindings;
 pub mod port_reuse;
+pub mod quirks;
+pub mod stun;
 pub mod tcp_timeout;
 pub mod throughput;
-pub mod dns;
-pub mod icmp;
-pub mod max_bindings;
 pub mod transport;
-pub mod classify;
-pub mod fleet;
-pub mod keepalive;
-pub mod quirks;
-pub mod hole_punch;
-pub mod stun;
-pub mod binding_rate;
+pub mod udp_timeout;

@@ -61,11 +61,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
         tb.run_for(Duration::from_millis(2500));
         // Which of the fresh batch established?
         let established: Vec<TcpHandle> = tb.with_client(|h, _| {
-            fresh
-                .iter()
-                .copied()
-                .filter(|&c| h.tcp(c).state() == TcpState::Established)
-                .collect()
+            fresh.iter().copied().filter(|&c| h.tcp(c).state() == TcpState::Established).collect()
         });
         let connect_failed = established.len() < fresh.len();
         // Reap the failures.

@@ -3,7 +3,6 @@
 //! option — both of which "can interfere with network diagnostics and
 //! other uses of the TTL field".
 
-
 use hgw_core::Duration;
 use hgw_testbed::Testbed;
 use hgw_wire::ip::{Ipv4Option, Ipv4Repr, Protocol};
@@ -63,10 +62,8 @@ pub fn probe_ip_quirks(tb: &mut Testbed) -> IpQuirks {
         if let Ok(options) = ip.options() {
             for opt in options {
                 if let Ipv4Option::RecordRoute { pointer, data } = opt {
-                    let recorded = pointer > 4
-                        && data.chunks(4).any(|c| {
-                            c.len() == 4 && c == wan.octets()
-                        });
+                    let recorded =
+                        pointer > 4 && data.chunks(4).any(|c| c.len() == 4 && c == wan.octets());
                     honors_record_route = recorded;
                 }
             }

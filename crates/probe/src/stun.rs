@@ -64,10 +64,7 @@ pub fn stun_binding(tb: &mut Testbed, seed: u64) -> Option<StunResult> {
             return None;
         }
         let reflexive = resp.xor_mapped_address?;
-        Some(StunResult {
-            reflexive,
-            literal_matches: resp.mapped_address == Some(reflexive),
-        })
+        Some(StunResult { reflexive, literal_matches: resp.mapped_address == Some(reflexive) })
     });
     tb.with_client(|h, _| h.udp_close(cli));
     tb.with_server(|h, _| h.udp_close(srv));

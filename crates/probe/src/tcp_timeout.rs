@@ -46,7 +46,8 @@ const PROBE_PORT: u16 = 6100;
 /// One trial: is the binding still alive after `idle`?
 fn trial(tb: &mut Testbed, idle: Duration) -> bool {
     let server_addr = tb.server_addr;
-    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, PROBE_PORT)));
+    let conn =
+        tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, PROBE_PORT)));
     tb.run_for(PROPAGATION);
     if tb.with_client(|h, _| h.tcp(conn).state()) != TcpState::Established {
         // Could not even connect — treat as dead and clean up.

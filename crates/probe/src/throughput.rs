@@ -193,14 +193,19 @@ mod tests {
         let mut tb = Testbed::new("thr", GatewayPolicy::well_behaved(), 1, 3);
         let r = run_transfer(&mut tb, 5001, Direction::Upload, 4 * MB);
         assert!(r.completed);
-        assert!(r.throughput_mbps > 70.0 && r.throughput_mbps <= 100.0, "got {}", r.throughput_mbps);
+        assert!(
+            r.throughput_mbps > 70.0 && r.throughput_mbps <= 100.0,
+            "got {}",
+            r.throughput_mbps
+        );
         assert!(r.delay_ms < 30.0, "wire-speed delay should be small, got {}", r.delay_ms);
     }
 
     #[test]
     fn slow_device_caps_throughput_and_inflates_delay() {
         // A dl10-like device: ~6.5 Mb/s, 64 KB buffers.
-        let mut tb = Testbed::new("thr-slow", policy_with(6_500_000, 6_500_000, 7_000_000, 64 * 1024), 2, 3);
+        let mut tb =
+            Testbed::new("thr-slow", policy_with(6_500_000, 6_500_000, 7_000_000, 64 * 1024), 2, 3);
         let r = run_transfer(&mut tb, 5001, Direction::Download, 2 * MB);
         assert!(r.completed, "transfer stalled at {} bytes", r.bytes);
         assert!(r.throughput_mbps < 8.0, "got {}", r.throughput_mbps);
@@ -218,8 +223,12 @@ mod tests {
     #[test]
     fn shared_cpu_degrades_bidirectional_throughput() {
         // 60/60 uni but a 70 Mb/s CPU: bidirectional must split.
-        let mut tb =
-            Testbed::new("thr-bidir", policy_with(60_000_000, 60_000_000, 70_000_000, 96 * 1024), 4, 5);
+        let mut tb = Testbed::new(
+            "thr-bidir",
+            policy_with(60_000_000, 60_000_000, 70_000_000, 96 * 1024),
+            4,
+            5,
+        );
         let rep = run_battery(&mut tb, 2 * MB);
         assert!(rep.upload.throughput_mbps > 40.0, "uni up {}", rep.upload.throughput_mbps);
         assert!(rep.download.throughput_mbps > 40.0, "uni down {}", rep.download.throughput_mbps);

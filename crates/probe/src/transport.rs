@@ -45,7 +45,11 @@ const DCCP_PORT: u16 = 5009;
 /// endpoints' retransmission schedule).
 const WAIT: Duration = Duration::from_secs(15);
 
-fn observe(tb: &mut Testbed, proto: Protocol, client_addr: std::net::Ipv4Addr) -> TranslationObservation {
+fn observe(
+    tb: &mut Testbed,
+    proto: Protocol,
+    client_addr: std::net::Ipv4Addr,
+) -> TranslationObservation {
     let frames = tb.with_server(|h, _| h.sniff_take());
     let mut obs = TranslationObservation::NothingArrived;
     for (_, f) in frames {
@@ -73,7 +77,8 @@ pub fn measure_transport_support(tb: &mut Testbed) -> TransportSupport {
     });
 
     // SCTP.
-    let sctp = tb.with_client(|h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(server_addr, SCTP_PORT)));
+    let sctp =
+        tb.with_client(|h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(server_addr, SCTP_PORT)));
     tb.run_for(Duration::from_secs(2));
     tb.with_client(|h, ctx| h.sctp_send(ctx, sctp, b"sctp-data".to_vec()));
     tb.run_for(WAIT);

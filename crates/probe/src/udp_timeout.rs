@@ -46,10 +46,7 @@ pub struct TimeoutMeasurement {
 
 /// Opens a fresh flow through the NAT and returns the handles plus the
 /// server's view of the mapping (the external endpoint).
-fn open_flow(
-    tb: &mut Testbed,
-    server_port: u16,
-) -> (UdpHandle, UdpHandle, SocketAddrV4) {
+fn open_flow(tb: &mut Testbed, server_port: u16) -> (UdpHandle, UdpHandle, SocketAddrV4) {
     let server_addr = tb.server_addr;
     let srv = tb.with_server(|h, _| h.udp_bind(server_port));
     let cli = tb.with_client(|h, ctx| {
@@ -226,7 +223,8 @@ mod tests {
     #[test]
     fn udp2_recovers_inbound_timeout() {
         let mut tb = tb_with(30, 90, 90);
-        let m = measure_refresh(&mut tb, 21_000, UdpScenario::InboundRefresh, Duration::from_secs(2));
+        let m =
+            measure_refresh(&mut tb, 21_000, UdpScenario::InboundRefresh, Duration::from_secs(2));
         assert!(
             (m.timeout_secs - 90.0).abs() <= 3.0,
             "measured {} for ground truth 90",
@@ -238,8 +236,10 @@ mod tests {
     fn udp3_recovers_bidirectional_timeout() {
         // Bidirectional longer than inbound: only UDP-3 sees the long value.
         let mut tb = tb_with(30, 60, 150);
-        let m2 = measure_refresh(&mut tb, 22_000, UdpScenario::InboundRefresh, Duration::from_secs(2));
-        let m3 = measure_refresh(&mut tb, 23_000, UdpScenario::Bidirectional, Duration::from_secs(2));
+        let m2 =
+            measure_refresh(&mut tb, 22_000, UdpScenario::InboundRefresh, Duration::from_secs(2));
+        let m3 =
+            measure_refresh(&mut tb, 23_000, UdpScenario::Bidirectional, Duration::from_secs(2));
         assert!((m2.timeout_secs - 60.0).abs() <= 3.0, "udp2 got {}", m2.timeout_secs);
         assert!((m3.timeout_secs - 150.0).abs() <= 3.0, "udp3 got {}", m3.timeout_secs);
     }
@@ -251,7 +251,8 @@ mod tests {
         policy.udp_service_overrides.push((53, Duration::from_secs(40)));
         let mut tb = Testbed::new("probe-udp5", policy, 2, 7);
         let dns = measure_refresh(&mut tb, 53, UdpScenario::InboundRefresh, Duration::from_secs(2));
-        let http = measure_refresh(&mut tb, 80, UdpScenario::InboundRefresh, Duration::from_secs(2));
+        let http =
+            measure_refresh(&mut tb, 80, UdpScenario::InboundRefresh, Duration::from_secs(2));
         assert!((dns.timeout_secs - 40.0).abs() <= 3.0, "dns got {}", dns.timeout_secs);
         assert!((http.timeout_secs - 120.0).abs() <= 3.0, "http got {}", http.timeout_secs);
     }
@@ -259,7 +260,8 @@ mod tests {
     #[test]
     fn repeated_measurements_are_stable_for_fine_timers() {
         let mut tb = tb_with(40, 100, 100);
-        let vals = measure_repeated(&mut tb, UdpScenario::Solitary, 24_000, 3, Duration::from_secs(1));
+        let vals =
+            measure_repeated(&mut tb, UdpScenario::Solitary, 24_000, 3, Duration::from_secs(1));
         assert_eq!(vals.len(), 3);
         for v in &vals {
             assert!((v - 40.0).abs() <= 1.0, "got {v}");

@@ -127,11 +127,9 @@ impl DccpEndpoint {
     }
 
     fn flush(&mut self) {
-        while let Some(data) = if self.tx_queue.is_empty() {
-            None
-        } else {
-            Some(self.tx_queue.remove(0))
-        } {
+        while let Some(data) =
+            if self.tx_queue.is_empty() { None } else { Some(self.tx_queue.remove(0)) }
+        {
             self.seq = (self.seq + 1) & 0xFFFF_FFFF_FFFF;
             self.outbox.push(DccpRepr {
                 src_port: self.local_port,
@@ -149,28 +147,28 @@ impl DccpEndpoint {
     pub fn process(&mut self, _now: Instant, packet: &DccpRepr) {
         match packet.packet_type {
             DccpType::Response
-                if self.state == DccpState::RequestSent && packet.ack == Some(self.seq) => {
-                    self.peer_seq = packet.seq;
-                    self.state = DccpState::Established;
-                    self.rtx_deadline = None;
-                    // Complete the three-way handshake with an ACK.
-                    self.seq = (self.seq + 1) & 0xFFFF_FFFF_FFFF;
-                    self.outbox.push(DccpRepr {
-                        src_port: self.local_port,
-                        dst_port: self.remote_port,
-                        packet_type: DccpType::Ack,
-                        seq: self.seq,
-                        ack: Some(self.peer_seq),
-                        service_code: None,
-                        payload: Vec::new(),
-                    });
-                    self.flush();
-                }
-            DccpType::Data | DccpType::DataAck
-                if self.state == DccpState::Established => {
-                    self.peer_seq = packet.seq;
-                    self.received.push(packet.payload.clone());
-                }
+                if self.state == DccpState::RequestSent && packet.ack == Some(self.seq) =>
+            {
+                self.peer_seq = packet.seq;
+                self.state = DccpState::Established;
+                self.rtx_deadline = None;
+                // Complete the three-way handshake with an ACK.
+                self.seq = (self.seq + 1) & 0xFFFF_FFFF_FFFF;
+                self.outbox.push(DccpRepr {
+                    src_port: self.local_port,
+                    dst_port: self.remote_port,
+                    packet_type: DccpType::Ack,
+                    seq: self.seq,
+                    ack: Some(self.peer_seq),
+                    service_code: None,
+                    payload: Vec::new(),
+                });
+                self.flush();
+            }
+            DccpType::Data | DccpType::DataAck if self.state == DccpState::Established => {
+                self.peer_seq = packet.seq;
+                self.received.push(packet.payload.clone());
+            }
             DccpType::Reset => {
                 self.state = DccpState::Failed;
                 self.rtx_deadline = None;

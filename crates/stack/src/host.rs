@@ -286,8 +286,7 @@ impl Host {
     /// Binds a UDP socket to a specific local address (an interface address
     /// or an alias) and port.
     pub fn udp_bind_at(&mut self, addr: Ipv4Addr, port: u16) -> UdpHandle {
-        let state =
-            UdpSocketState { port, bound_addr: Some(addr), recv: Vec::new(), echo: false };
+        let state = UdpSocketState { port, bound_addr: Some(addr), recv: Vec::new(), echo: false };
         let idx = free_slot(&mut self.udp_sockets);
         self.udp_sockets[idx] = Some(state);
         UdpHandle(idx)
@@ -316,8 +315,11 @@ impl Host {
         // The pseudo-header needs the source address: resolve the route now.
         let Some(port) = self.routes.lookup(*dst.ip()) else { return };
         let Some(src_addr) = bound.or_else(|| self.iface_addr(port)) else { return };
-        let datagram =
-            UdpRepr { src_port, dst_port: dst.port() }.emit_with_payload(src_addr, *dst.ip(), payload);
+        let datagram = UdpRepr { src_port, dst_port: dst.port() }.emit_with_payload(
+            src_addr,
+            *dst.ip(),
+            payload,
+        );
         let repr = Ipv4Repr::new(src_addr, *dst.ip(), Protocol::Udp);
         self.send_ip_on(ctx, port, repr, &datagram);
         self.reschedule(ctx);
@@ -342,11 +344,7 @@ impl Host {
         loop {
             let port = 49_152 + (self.next_ephemeral % 16_384);
             self.next_ephemeral = self.next_ephemeral.wrapping_add(1);
-            let in_use = self
-                .udp_sockets
-                .iter()
-                .flatten()
-                .any(|s| s.port == port)
+            let in_use = self.udp_sockets.iter().flatten().any(|s| s.port == port)
                 || self.tcp_sockets.iter().flatten().any(|s| s.local.port() == port);
             if !in_use {
                 return port;
@@ -503,7 +501,12 @@ impl Host {
     // ---------------- DCCP ----------------
 
     /// Opens a DCCP connection to `remote`.
-    pub fn dccp_connect(&mut self, ctx: &mut NodeCtx, remote: SocketAddrV4, service: u32) -> DccpHandle {
+    pub fn dccp_connect(
+        &mut self,
+        ctx: &mut NodeCtx,
+        remote: SocketAddrV4,
+        service: u32,
+    ) -> DccpHandle {
         let local_port = self.alloc_ephemeral();
         let iss = ctx.rng().next_u64() & 0xFFFF_FFFF_FFFF;
         let mut ep = DccpEndpoint::client(local_port, remote.port(), service, iss);
@@ -547,7 +550,10 @@ impl Host {
     /// Runs a DHCP client on `port`; once bound it configures the interface,
     /// installs a default route, and remembers the offered DNS server.
     pub fn enable_dhcp_client(&mut self, port: PortId, chaddr: [u8; 6]) {
-        self.dhcp_client = Some((port, DhcpClient::new(chaddr, u32::from_be_bytes(chaddr[2..6].try_into().unwrap()))));
+        self.dhcp_client = Some((
+            port,
+            DhcpClient::new(chaddr, u32::from_be_bytes(chaddr[2..6].try_into().unwrap())),
+        ));
     }
 
     /// The DHCP client's lease, once bound.
@@ -569,12 +575,8 @@ impl Host {
             };
             let newly_bound = bound && self.iface_addr(port).is_none();
             for msg in msgs {
-                let payload =
-                    UdpRepr { src_port: CLIENT_PORT, dst_port: SERVER_PORT }.emit_with_payload(
-                        Ipv4Addr::UNSPECIFIED,
-                        Ipv4Addr::BROADCAST,
-                        &msg.emit(),
-                    );
+                let payload = UdpRepr { src_port: CLIENT_PORT, dst_port: SERVER_PORT }
+                    .emit_with_payload(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, &msg.emit());
                 let mut repr =
                     Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, Protocol::Udp);
                 repr.src_addr = Ipv4Addr::UNSPECIFIED;
@@ -606,8 +608,7 @@ impl Host {
                     }
                     // A well-behaved echo service closes when the peer does.
                     let sock = self.tcp_sockets[idx].as_mut().unwrap();
-                    if sock.state() == crate::tcp::TcpState::CloseWait
-                        && sock.send_queue_len() == 0
+                    if sock.state() == crate::tcp::TcpState::CloseWait && sock.send_queue_len() == 0
                     {
                         sock.close();
                     }
@@ -697,7 +698,13 @@ impl Host {
 
     // ---------------- input dispatch ----------------
 
-    fn handle_udp(&mut self, ctx: &mut NodeCtx, port: PortId, ip: &Ipv4Packet<&[u8]>, payload: &[u8]) {
+    fn handle_udp(
+        &mut self,
+        ctx: &mut NodeCtx,
+        port: PortId,
+        ip: &Ipv4Packet<&[u8]>,
+        payload: &[u8],
+    ) {
         let Ok(udp) = UdpPacket::new_checked(payload) else { return };
         if !udp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
             return;
@@ -709,8 +716,7 @@ impl Host {
         // DHCP server.
         if dst_port == SERVER_PORT && self.dhcp_servers.iter().any(|(p, _)| *p == port) {
             if let Ok(msg) = DhcpMessage::parse(&data) {
-                let server =
-                    self.dhcp_servers.iter_mut().find(|(p, _)| *p == port).map(|(_, s)| s);
+                let server = self.dhcp_servers.iter_mut().find(|(p, _)| *p == port).map(|(_, s)| s);
                 let reply = server.and_then(|s| s.process(&msg));
                 if let Some(reply) = reply {
                     let src_addr = self.iface_addr(port).unwrap_or(Ipv4Addr::UNSPECIFIED);
@@ -741,8 +747,11 @@ impl Host {
                     let resp = self.dns_zone.as_ref().unwrap().answer(&query);
                     let Some(eport) = self.routes.lookup(*src.ip()) else { return };
                     let Some(src_addr) = self.iface_addr(eport) else { return };
-                    let dgram = UdpRepr { src_port: 53, dst_port: src.port() }
-                        .emit_with_payload(src_addr, *src.ip(), &resp.emit());
+                    let dgram = UdpRepr { src_port: 53, dst_port: src.port() }.emit_with_payload(
+                        src_addr,
+                        *src.ip(),
+                        &resp.emit(),
+                    );
                     let repr = Ipv4Repr::new(src_addr, *src.ip(), Protocol::Udp);
                     self.send_ip(ctx, repr, &dgram);
                     return;
@@ -761,7 +770,9 @@ impl Host {
             })
             .or_else(|| {
                 self.udp_sockets.iter().position(|s| {
-                    s.as_ref().map(|s| s.port == dst_port && s.bound_addr.is_none()).unwrap_or(false)
+                    s.as_ref()
+                        .map(|s| s.port == dst_port && s.bound_addr.is_none())
+                        .unwrap_or(false)
                 })
             });
         if let Some(s) = idx.map(|i| self.udp_sockets[i].as_mut().unwrap()) {
@@ -781,11 +792,8 @@ impl Host {
         // Closed port: ICMP port unreachable embedding the whole packet.
         if self.generate_port_unreachable && ip.dst_addr() != Ipv4Addr::BROADCAST {
             let invoking = ip.clone().into_inner().to_vec();
-            let msg = IcmpRepr::DestUnreachable {
-                code: UnreachCode::PortUnreachable,
-                mtu: 0,
-                invoking,
-            };
+            let msg =
+                IcmpRepr::DestUnreachable { code: UnreachCode::PortUnreachable, mtu: 0, invoking };
             let repr = Ipv4Repr::new(Ipv4Addr::UNSPECIFIED, ip.src_addr(), Protocol::Icmp);
             self.send_ip(ctx, repr, &msg.emit());
         }
@@ -859,11 +867,8 @@ impl Host {
         match &msg {
             IcmpRepr::EchoRequest { ident, seq, payload } => {
                 if self.respond_to_echo {
-                    let reply = IcmpRepr::EchoReply {
-                        ident: *ident,
-                        seq: *seq,
-                        payload: payload.clone(),
-                    };
+                    let reply =
+                        IcmpRepr::EchoReply { ident: *ident, seq: *seq, payload: payload.clone() };
                     let repr = Ipv4Repr::new(ip.dst_addr(), ip.src_addr(), Protocol::Icmp);
                     self.send_ip(ctx, repr, &reply.emit());
                 }
@@ -892,7 +897,11 @@ impl Host {
                 .as_ref()
                 .map(|ep| {
                     ep.local_port == pkt.dst_port
-                        && self.next_sctp_remote.get(&idx).map(|(a, p)| *a == from && *p == pkt.src_port).unwrap_or(false)
+                        && self
+                            .next_sctp_remote
+                            .get(&idx)
+                            .map(|(a, p)| *a == from && *p == pkt.src_port)
+                            .unwrap_or(false)
                 })
                 .unwrap_or(false);
             if matches {
@@ -911,7 +920,12 @@ impl Host {
         }
     }
 
-    fn sctp_server_react(&mut self, ctx: &mut NodeCtx, from: Ipv4Addr, pkt: &SctpRepr) -> Vec<SctpRepr> {
+    fn sctp_server_react(
+        &mut self,
+        ctx: &mut NodeCtx,
+        from: Ipv4Addr,
+        pkt: &SctpRepr,
+    ) -> Vec<SctpRepr> {
         let key = (from, pkt.src_port, pkt.dst_port);
         let mut out = Vec::new();
         for chunk in &pkt.chunks {
@@ -919,7 +933,9 @@ impl Host {
                 Chunk::Init { init_tag, initial_tsn, .. } => {
                     // Stateless INIT-ACK carrying the peer state in the cookie.
                     let my_vtag = ctx.rng().next_u32().max(1);
-                    let cookie = [init_tag.to_be_bytes(), my_vtag.to_be_bytes(), initial_tsn.to_be_bytes()].concat();
+                    let cookie =
+                        [init_tag.to_be_bytes(), my_vtag.to_be_bytes(), initial_tsn.to_be_bytes()]
+                            .concat();
                     out.push(SctpRepr {
                         src_port: pkt.dst_port,
                         dst_port: pkt.src_port,

@@ -50,10 +50,7 @@ pub fn parse_embedded(invoking: &[u8]) -> Option<EmbeddedPacket> {
     let protocol = packet.protocol();
     let l4 = &invoking[hl..];
     let (src_port, dst_port) = if l4.len() >= 4 {
-        (
-            u16::from_be_bytes([l4[0], l4[1]]),
-            u16::from_be_bytes([l4[2], l4[3]]),
-        )
+        (u16::from_be_bytes([l4[0], l4[1]]), u16::from_be_bytes([l4[2], l4[3]]))
     } else {
         (0, 0)
     };

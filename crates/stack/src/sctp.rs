@@ -63,7 +63,12 @@ pub struct SctpEndpoint {
 
 impl SctpEndpoint {
     /// Creates a client endpoint; call [`SctpEndpoint::start`] to emit INIT.
-    pub fn client(local_port: u16, remote_port: u16, my_vtag: u32, initial_tsn: u32) -> SctpEndpoint {
+    pub fn client(
+        local_port: u16,
+        remote_port: u16,
+        my_vtag: u32,
+        initial_tsn: u32,
+    ) -> SctpEndpoint {
         SctpEndpoint {
             local_port,
             remote_port,
@@ -194,22 +199,22 @@ impl SctpEndpoint {
         for chunk in &packet.chunks {
             match chunk {
                 Chunk::InitAck { init_tag, initial_tsn, cookie, .. }
-                    if self.state == SctpState::CookieWait => {
-                        self.peer_vtag = *init_tag;
-                        self.peer_cum_tsn = initial_tsn.wrapping_sub(1);
-                        self.cookie = cookie.clone();
-                        self.state = SctpState::CookieEchoed;
-                        self.retries = 0;
-                        self.push_cookie_echo();
-                        self.arm(now);
-                    }
-                Chunk::CookieAck
-                    if self.state == SctpState::CookieEchoed => {
-                        self.state = SctpState::Established;
-                        self.rtx_deadline = None;
-                        self.retries = 0;
-                        self.flush_data(now);
-                    }
+                    if self.state == SctpState::CookieWait =>
+                {
+                    self.peer_vtag = *init_tag;
+                    self.peer_cum_tsn = initial_tsn.wrapping_sub(1);
+                    self.cookie = cookie.clone();
+                    self.state = SctpState::CookieEchoed;
+                    self.retries = 0;
+                    self.push_cookie_echo();
+                    self.arm(now);
+                }
+                Chunk::CookieAck if self.state == SctpState::CookieEchoed => {
+                    self.state = SctpState::Established;
+                    self.rtx_deadline = None;
+                    self.retries = 0;
+                    self.flush_data(now);
+                }
                 Chunk::Data { tsn, data, .. } => {
                     if *tsn == self.peer_cum_tsn.wrapping_add(1) {
                         self.peer_cum_tsn = *tsn;
@@ -223,21 +228,21 @@ impl SctpEndpoint {
                     });
                 }
                 Chunk::Sack { cum_tsn, .. }
-                    if self.unacked > 0 && *cum_tsn == self.my_tsn.wrapping_sub(1) => {
-                        self.unacked = 0;
-                        self.rtx_deadline = None;
-                    }
-                Chunk::ShutdownAck
-                    if self.state == SctpState::ShutdownSent => {
-                        self.state = SctpState::Done;
-                        self.rtx_deadline = None;
-                        self.outbox.push(SctpRepr {
-                            src_port: self.local_port,
-                            dst_port: self.remote_port,
-                            verification_tag: self.peer_vtag,
-                            chunks: vec![Chunk::ShutdownComplete],
-                        });
-                    }
+                    if self.unacked > 0 && *cum_tsn == self.my_tsn.wrapping_sub(1) =>
+                {
+                    self.unacked = 0;
+                    self.rtx_deadline = None;
+                }
+                Chunk::ShutdownAck if self.state == SctpState::ShutdownSent => {
+                    self.state = SctpState::Done;
+                    self.rtx_deadline = None;
+                    self.outbox.push(SctpRepr {
+                        src_port: self.local_port,
+                        dst_port: self.remote_port,
+                        verification_tag: self.peer_vtag,
+                        chunks: vec![Chunk::ShutdownComplete],
+                    });
+                }
                 Chunk::Abort => {
                     self.state = SctpState::Failed;
                     self.rtx_deadline = None;
@@ -254,7 +259,9 @@ impl SctpEndpoint {
         if self.unacked > 0 {
             return;
         }
-        if let Some(data) = if self.tx_queue.is_empty() { None } else { Some(self.tx_queue.remove(0)) } {
+        if let Some(data) =
+            if self.tx_queue.is_empty() { None } else { Some(self.tx_queue.remove(0)) }
+        {
             self.outbox.push(SctpRepr {
                 src_port: self.local_port,
                 dst_port: self.remote_port,
@@ -302,7 +309,11 @@ mod tests {
     use super::*;
 
     /// A tiny in-test server implementing the stateless side.
-    fn server_react(pkt: &SctpRepr, server_vtag: u32, assoc: &mut Option<SctpAssociation>) -> Vec<SctpRepr> {
+    fn server_react(
+        pkt: &SctpRepr,
+        server_vtag: u32,
+        assoc: &mut Option<SctpAssociation>,
+    ) -> Vec<SctpRepr> {
         let mut out = Vec::new();
         for chunk in &pkt.chunks {
             match chunk {
@@ -317,8 +328,7 @@ mod tests {
                             outbound_streams: 1,
                             inbound_streams: 1,
                             initial_tsn: 500,
-                            cookie: [init_tag.to_be_bytes(), initial_tsn.to_be_bytes()]
-                                .concat(),
+                            cookie: [init_tag.to_be_bytes(), initial_tsn.to_be_bytes()].concat(),
                         }],
                     });
                 }

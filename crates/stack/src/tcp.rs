@@ -186,8 +186,7 @@ impl SinkState {
                     if self.pending.len() == 16 {
                         let magic = u64::from_be_bytes(self.pending[0..8].try_into().unwrap());
                         if magic == STAMP_MAGIC {
-                            let sent =
-                                u64::from_be_bytes(self.pending[8..16].try_into().unwrap());
+                            let sent = u64::from_be_bytes(self.pending[8..16].try_into().unwrap());
                             self.stats.stamps.push((sent, now.as_nanos()));
                         }
                     }
@@ -272,7 +271,12 @@ pub struct TcpSocket {
 }
 
 impl TcpSocket {
-    fn base(local: SocketAddrV4, remote: SocketAddrV4, iss: SeqNumber, config: TcpConfig) -> TcpSocket {
+    fn base(
+        local: SocketAddrV4,
+        remote: SocketAddrV4,
+        iss: SeqNumber,
+        config: TcpConfig,
+    ) -> TcpSocket {
         TcpSocket {
             local,
             remote,
@@ -489,15 +493,10 @@ impl TcpSocket {
 
     /// The next instant this socket needs a poll, if any.
     pub fn poll_at(&self) -> Option<Instant> {
-        [
-            self.rto_deadline,
-            self.persist_deadline,
-            self.time_wait_deadline,
-            self.keepalive_deadline,
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+        [self.rto_deadline, self.persist_deadline, self.time_wait_deadline, self.keepalive_deadline]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Handles timer expiries at `now`. Call before [`TcpSocket::dispatch`].
@@ -586,8 +585,7 @@ impl TcpSocket {
 
         match self.state {
             TcpState::SynSent => {
-                if repr.flags.contains(TcpFlags::SYN | TcpFlags::ACK)
-                    && repr.ack == self.iss.add(1)
+                if repr.flags.contains(TcpFlags::SYN | TcpFlags::ACK) && repr.ack == self.iss.add(1)
                 {
                     self.rcv_nxt = repr.seq.add(1);
                     self.snd_una = repr.ack;
@@ -904,7 +902,8 @@ impl TcpSocket {
                 let seg = self.make_segment(TcpFlags::ACK | TcpFlags::PSH, self.snd_una, data);
                 out.push(seg);
             } else if self.fin_seq == Some(self.snd_una) {
-                let seg = self.make_segment(TcpFlags::FIN | TcpFlags::ACK, self.snd_una, Vec::new());
+                let seg =
+                    self.make_segment(TcpFlags::FIN | TcpFlags::ACK, self.snd_una, Vec::new());
                 out.push(seg);
             }
             self.retransmit_head = false;
@@ -932,7 +931,8 @@ impl TcpSocket {
                 break;
             }
             let len = data.len() as u32;
-            let flags = if data.len() < mss { TcpFlags::ACK | TcpFlags::PSH } else { TcpFlags::ACK };
+            let flags =
+                if data.len() < mss { TcpFlags::ACK | TcpFlags::PSH } else { TcpFlags::ACK };
             let seg = self.make_segment(flags, self.snd_nxt, data);
             out.push(seg);
             if self.rtt_sample.is_none() {
@@ -1059,14 +1059,27 @@ mod tests {
 
     fn established_pair() -> (TcpSocket, TcpSocket, Instant) {
         let now = Instant::from_millis(1);
-        let mut c = TcpSocket::client(addr(2, 4000), addr(1, 80), SeqNumber(1000), TcpConfig::default(), now);
+        let mut c = TcpSocket::client(
+            addr(2, 4000),
+            addr(1, 80),
+            SeqNumber(1000),
+            TcpConfig::default(),
+            now,
+        );
         // Drive the SYN out, hand it to a fresh server socket.
         let mut out = Vec::new();
         c.dispatch(now, &mut out);
         assert_eq!(out.len(), 1);
         let syn = &out[0];
         assert!(syn.repr.flags.contains(TcpFlags::SYN));
-        let mut s = TcpSocket::server(addr(1, 80), addr(2, 4000), SeqNumber(9000), TcpConfig::default(), &syn.repr, now);
+        let mut s = TcpSocket::server(
+            addr(1, 80),
+            addr(2, 4000),
+            SeqNumber(9000),
+            TcpConfig::default(),
+            &syn.repr,
+            now,
+        );
         pump(&mut c, &mut s, now, None);
         assert_eq!(c.state(), TcpState::Established);
         assert_eq!(s.state(), TcpState::Established);
@@ -1226,7 +1239,14 @@ mod tests {
         let mut out = Vec::new();
         c.dispatch(now, &mut out);
         let syn = out.pop().unwrap();
-        let mut s = TcpSocket::server(addr(1, 80), addr(2, 4000), SeqNumber(2000), TcpConfig::default(), &syn.repr, now);
+        let mut s = TcpSocket::server(
+            addr(1, 80),
+            addr(2, 4000),
+            SeqNumber(2000),
+            TcpConfig::default(),
+            &syn.repr,
+            now,
+        );
         pump(&mut c, &mut s, now, None);
         assert_eq!(c.state(), TcpState::Established);
         let ka_at = c.poll_at().expect("keepalive armed");
@@ -1243,11 +1263,18 @@ mod tests {
     fn zero_window_then_probe_recovers() {
         let now = Instant::from_millis(1);
         let small = TcpConfig { recv_buf: 2048, ..TcpConfig::default() };
-        let mut c = TcpSocket::client(addr(2, 4000), addr(1, 80), SeqNumber(1000), TcpConfig::default(), now);
+        let mut c = TcpSocket::client(
+            addr(2, 4000),
+            addr(1, 80),
+            SeqNumber(1000),
+            TcpConfig::default(),
+            now,
+        );
         let mut out = Vec::new();
         c.dispatch(now, &mut out);
         let syn = out.pop().unwrap();
-        let mut s = TcpSocket::server(addr(1, 80), addr(2, 4000), SeqNumber(2000), small, &syn.repr, now);
+        let mut s =
+            TcpSocket::server(addr(1, 80), addr(2, 4000), SeqNumber(2000), small, &syn.repr, now);
         pump(&mut c, &mut s, now, None);
         // Fill the tiny receive buffer without the app reading.
         c.send(&vec![7u8; 8000]);
@@ -1321,7 +1348,14 @@ mod tests {
         let mut out = Vec::new();
         c.dispatch(now, &mut out);
         let syn = out.pop().unwrap();
-        let mut s = TcpSocket::server(addr(1, 2), addr(2, 1), SeqNumber(0), TcpConfig::default(), &syn.repr, now);
+        let mut s = TcpSocket::server(
+            addr(1, 2),
+            addr(2, 1),
+            SeqNumber(0),
+            TcpConfig::default(),
+            &syn.repr,
+            now,
+        );
         pump(&mut c, &mut s, now, None);
         assert_eq!(s.effective_mss(), 500);
         assert_eq!(c.effective_mss(), 500);

@@ -76,7 +76,8 @@ fn udp_to_closed_port_generates_port_unreachable() {
 fn tcp_connect_transfer_close() {
     let (mut sim, a, b) = two_hosts();
     sim.with_node::<Host, _>(b, |h, _| h.tcp_listen(80, ListenerApp::Echo));
-    let ha = sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 80)));
+    let ha =
+        sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 80)));
     sim.run_for(Duration::from_millis(50));
     assert_eq!(sim.with_node::<Host, _>(a, |h, _| h.tcp(ha).state()), TcpState::Established);
     sim.with_node::<Host, _>(a, |h, ctx| {
@@ -96,7 +97,8 @@ fn tcp_connect_transfer_close() {
 fn tcp_bulk_transfer_saturates_link() {
     let (mut sim, a, b) = two_hosts();
     sim.with_node::<Host, _>(b, |h, _| h.tcp_listen(5001, ListenerApp::Manual));
-    let ha = sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 5001)));
+    let ha =
+        sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 5001)));
     sim.run_for(Duration::from_millis(20));
     let hb = sim.with_node::<Host, _>(b, |h, _| {
         let acc = h.tcp_accepted();
@@ -113,9 +115,8 @@ fn tcp_bulk_transfer_saturates_link() {
     // Run up to 10 simulated seconds; the transfer should finish well before.
     for _ in 0..100 {
         sim.run_for(Duration::from_millis(100));
-        let done = sim.with_node::<Host, _>(b, |h, _| {
-            h.tcp(hb).sink_stats().unwrap().bytes >= TOTAL
-        });
+        let done =
+            sim.with_node::<Host, _>(b, |h, _| h.tcp(hb).sink_stats().unwrap().bytes >= TOTAL);
         if done {
             break;
         }
@@ -147,7 +148,8 @@ fn ping_round_trip() {
 fn sctp_association_and_echo() {
     let (mut sim, a, b) = two_hosts();
     sim.with_node::<Host, _>(b, |h, _| h.sctp_listen(9899));
-    let ha = sim.with_node::<Host, _>(a, |h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(B_ADDR, 9899)));
+    let ha =
+        sim.with_node::<Host, _>(a, |h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(B_ADDR, 9899)));
     sim.run_for(Duration::from_millis(50));
     assert_eq!(sim.with_node::<Host, _>(a, |h, _| h.sctp(ha).state()), SctpState::Established);
     sim.with_node::<Host, _>(a, |h, ctx| h.sctp_send(ctx, ha, b"sctp data".to_vec()));
@@ -194,7 +196,8 @@ fn dns_over_udp_and_tcp() {
     assert_eq!(msg.answers.len(), 1);
 
     // TCP query.
-    let ht = sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 53)));
+    let ht =
+        sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 53)));
     sim.run_for(Duration::from_millis(20));
     sim.with_node::<Host, _>(a, |h, ctx| {
         let q = DnsMessage::query_a(0x7788, "www.hiit.fi").emit_tcp();
@@ -244,7 +247,8 @@ fn dhcp_configures_client_iface() {
 #[test]
 fn tcp_syn_to_closed_port_gets_rst() {
     let (mut sim, a, _b) = two_hosts();
-    let ha = sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 4444)));
+    let ha =
+        sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 4444)));
     sim.run_for(Duration::from_millis(20));
     let (state, err) = sim.with_node::<Host, _>(a, |h, _| (h.tcp(ha).state(), h.tcp(ha).error()));
     assert_eq!(state, TcpState::Closed);
@@ -257,7 +261,8 @@ fn many_parallel_tcp_connections() {
     sim.with_node::<Host, _>(b, |h, _| h.tcp_listen(6000, ListenerApp::Echo));
     let mut handles = Vec::new();
     for _ in 0..100 {
-        let h = sim.with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 6000)));
+        let h = sim
+            .with_node::<Host, _>(a, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(B_ADDR, 6000)));
         handles.push(h);
         sim.run_for(Duration::from_millis(2));
     }

@@ -67,11 +67,8 @@ impl Chart {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "## {}", self.title);
-        let all: Vec<f64> = self
-            .series
-            .iter()
-            .flat_map(|s| s.values.iter().flatten().copied())
-            .collect();
+        let all: Vec<f64> =
+            self.series.iter().flat_map(|s| s.values.iter().flatten().copied()).collect();
         if all.is_empty() || self.x_labels.is_empty() {
             let _ = writeln!(out, "(no data)");
             return out;
@@ -82,7 +79,10 @@ impl Chart {
             (tmin.floor(), tmax.ceil().max(tmin.floor() + 1.0))
         } else {
             let span = (tmax - tmin).max(1e-9);
-            ((tmin - 0.05 * span).min(0.0).max(if tmin >= 0.0 { 0.0 } else { tmin }), tmax + 0.05 * span)
+            (
+                (tmin - 0.05 * span).min(0.0).max(if tmin >= 0.0 { 0.0 } else { tmin }),
+                tmax + 0.05 * span,
+            )
         };
         let rows = self.height.max(4);
         // Column width per device: 4 chars.
@@ -133,7 +133,13 @@ impl Chart {
         for s in &self.series {
             let _ = writeln!(out, "{}   {} {}", " ".repeat(9), s.glyph, s.name);
         }
-        let _ = writeln!(out, "{}   y: {}{}", " ".repeat(9), self.y_label, if self.log_y { " (log scale)" } else { "" });
+        let _ = writeln!(
+            out,
+            "{}   y: {}{}",
+            " ".repeat(9),
+            self.y_label,
+            if self.log_y { " (log scale)" } else { "" }
+        );
         out
     }
 }

@@ -120,7 +120,9 @@ impl DualNatTestbed {
     fn bring_up(&mut self) {
         for _ in 0..60 {
             self.sim.run_for(Duration::from_millis(500));
-            let ready = self.sim.with_node::<Host, _>(self.client_a, |h, _| h.dhcp_lease().is_some())
+            let ready = self
+                .sim
+                .with_node::<Host, _>(self.client_a, |h, _| h.dhcp_lease().is_some())
                 && self.sim.with_node::<Host, _>(self.client_b, |h, _| h.dhcp_lease().is_some());
             if ready {
                 return;

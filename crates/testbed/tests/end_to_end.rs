@@ -156,8 +156,7 @@ fn dccp_fails_even_through_ip_rewrite() {
     let mut tb = testbed();
     let server_addr = tb.server_addr;
     tb.with_server(|h, _| h.dccp_listen(5002));
-    let ep =
-        tb.with_client(|h, ctx| h.dccp_connect(ctx, SocketAddrV4::new(server_addr, 5002), 1));
+    let ep = tb.with_client(|h, ctx| h.dccp_connect(ctx, SocketAddrV4::new(server_addr, 5002), 1));
     tb.run_for(Duration::from_secs(20));
     assert_eq!(tb.with_client(|h, _| h.dccp(ep).state()), hgw_stack::dccp::DccpState::Failed);
 }

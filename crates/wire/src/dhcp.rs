@@ -160,7 +160,8 @@ impl DhcpMessage {
         if read_u32(data, FIXED_LEN) != MAGIC {
             return Err(WireError::Malformed);
         }
-        let addr_at = |off: usize| Ipv4Addr::new(data[off], data[off + 1], data[off + 2], data[off + 3]);
+        let addr_at =
+            |off: usize| Ipv4Addr::new(data[off], data[off + 1], data[off + 2], data[off + 3]);
         let mut chaddr = [0u8; 6];
         chaddr.copy_from_slice(&data[28..34]);
         let mut msg = DhcpMessage {

@@ -217,9 +217,7 @@ impl IcmpRepr {
                 };
                 (11, c, [0; 4], invoking)
             }
-            IcmpRepr::ParamProblem { pointer, invoking } => {
-                (12, 0, [*pointer, 0, 0, 0], invoking)
-            }
+            IcmpRepr::ParamProblem { pointer, invoking } => (12, 0, [*pointer, 0, 0, 0], invoking),
         };
         let mut buf = vec![0u8; 8 + body.len()];
         buf[0] = ty;
@@ -279,14 +277,41 @@ mod tests {
     fn every_error_kind_roundtrips() {
         let inv = invoking_stub();
         let messages = vec![
-            IcmpRepr::DestUnreachable { code: UnreachCode::NetUnreachable, mtu: 0, invoking: inv.clone() },
-            IcmpRepr::DestUnreachable { code: UnreachCode::HostUnreachable, mtu: 0, invoking: inv.clone() },
-            IcmpRepr::DestUnreachable { code: UnreachCode::ProtoUnreachable, mtu: 0, invoking: inv.clone() },
-            IcmpRepr::DestUnreachable { code: UnreachCode::PortUnreachable, mtu: 0, invoking: inv.clone() },
-            IcmpRepr::DestUnreachable { code: UnreachCode::FragNeeded, mtu: 576, invoking: inv.clone() },
-            IcmpRepr::DestUnreachable { code: UnreachCode::SourceRouteFailed, mtu: 0, invoking: inv.clone() },
+            IcmpRepr::DestUnreachable {
+                code: UnreachCode::NetUnreachable,
+                mtu: 0,
+                invoking: inv.clone(),
+            },
+            IcmpRepr::DestUnreachable {
+                code: UnreachCode::HostUnreachable,
+                mtu: 0,
+                invoking: inv.clone(),
+            },
+            IcmpRepr::DestUnreachable {
+                code: UnreachCode::ProtoUnreachable,
+                mtu: 0,
+                invoking: inv.clone(),
+            },
+            IcmpRepr::DestUnreachable {
+                code: UnreachCode::PortUnreachable,
+                mtu: 0,
+                invoking: inv.clone(),
+            },
+            IcmpRepr::DestUnreachable {
+                code: UnreachCode::FragNeeded,
+                mtu: 576,
+                invoking: inv.clone(),
+            },
+            IcmpRepr::DestUnreachable {
+                code: UnreachCode::SourceRouteFailed,
+                mtu: 0,
+                invoking: inv.clone(),
+            },
             IcmpRepr::TimeExceeded { code: TimeExceededCode::TtlExceeded, invoking: inv.clone() },
-            IcmpRepr::TimeExceeded { code: TimeExceededCode::ReassemblyExceeded, invoking: inv.clone() },
+            IcmpRepr::TimeExceeded {
+                code: TimeExceededCode::ReassemblyExceeded,
+                invoking: inv.clone(),
+            },
             IcmpRepr::ParamProblem { pointer: 9, invoking: inv.clone() },
             IcmpRepr::SourceQuench { invoking: inv.clone() },
         ];

@@ -261,14 +261,12 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
 
     /// Sets the source address.
     pub fn set_src_addr(&mut self, addr: Ipv4Addr) {
-        self.buffer.as_mut()[field::SRC_ADDR..field::SRC_ADDR + 4]
-            .copy_from_slice(&addr.octets());
+        self.buffer.as_mut()[field::SRC_ADDR..field::SRC_ADDR + 4].copy_from_slice(&addr.octets());
     }
 
     /// Sets the destination address.
     pub fn set_dst_addr(&mut self, addr: Ipv4Addr) {
-        self.buffer.as_mut()[field::DST_ADDR..field::DST_ADDR + 4]
-            .copy_from_slice(&addr.octets());
+        self.buffer.as_mut()[field::DST_ADDR..field::DST_ADDR + 4].copy_from_slice(&addr.octets());
     }
 
     /// Sets the identification field.
@@ -482,7 +480,10 @@ mod tests {
         let mut bad = buf.clone();
         bad[8] = 13; // change TTL without fixing checksum
         assert!(!Ipv4Packet::new_unchecked(&bad[..]).verify_checksum());
-        assert_eq!(Ipv4Repr::parse(&Ipv4Packet::new_checked(&bad[..]).unwrap()), Err(WireError::Checksum));
+        assert_eq!(
+            Ipv4Repr::parse(&Ipv4Packet::new_checked(&bad[..]).unwrap()),
+            Err(WireError::Checksum)
+        );
     }
 
     #[test]

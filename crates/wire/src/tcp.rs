@@ -545,7 +545,8 @@ mod tests {
         let mut packet = TcpPacket::new_unchecked(buf);
         packet.set_seq_number(SeqNumber(999_000));
         packet.fill_checksum(SRC, DST);
-        let reparsed = TcpRepr::parse(&TcpPacket::new_checked(packet.buffer).unwrap(), SRC, DST).unwrap();
+        let reparsed =
+            TcpRepr::parse(&TcpPacket::new_checked(packet.buffer).unwrap(), SRC, DST).unwrap();
         assert_eq!(reparsed.seq, SeqNumber(999_000));
         // SACK edges unchanged — observably inconsistent with the new seq.
         assert_eq!(reparsed.options, vec![TcpOption::SackRange(vec![(1000, 2000)])]);

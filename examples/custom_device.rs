@@ -6,11 +6,11 @@
 //! cargo run --release --example custom_device
 //! ```
 
-use home_gateway_study::prelude::*;
 use hgw_gateway::{
     DnsTcpMode, EndpointScope, ForwardingModel, IcmpKindSet, PortAssignment, UnknownProtoPolicy,
 };
 use hgw_probe::udp_timeout::{measure_refresh, measure_udp1, UdpScenario};
+use home_gateway_study::prelude::*;
 
 fn main() {
     // A hypothetical budget router: short timeouts, tiny binding table,
@@ -67,10 +67,22 @@ fn main() {
     );
 
     let transports = hgw_probe::transport::measure_transport_support(&mut tb);
-    println!("SCTP traversal:                  {:>7}", if transports.sctp_works { "works" } else { "fails" });
-    println!("DCCP traversal:                  {:>7}", if transports.dccp_works { "works" } else { "fails" });
+    println!(
+        "SCTP traversal:                  {:>7}",
+        if transports.sctp_works { "works" } else { "fails" }
+    );
+    println!(
+        "DCCP traversal:                  {:>7}",
+        if transports.dccp_works { "works" } else { "fails" }
+    );
 
     let dns = hgw_probe::dns::measure_dns(&mut tb);
-    println!("DNS proxy over UDP:              {:>7}", if dns.udp_answered { "works" } else { "fails" });
-    println!("DNS proxy over TCP:              {:>7}", if dns.tcp_answered { "works" } else { "fails" });
+    println!(
+        "DNS proxy over UDP:              {:>7}",
+        if dns.udp_answered { "works" } else { "fails" }
+    );
+    println!(
+        "DNS proxy over TCP:              {:>7}",
+        if dns.tcp_answered { "works" } else { "fails" }
+    );
 }

@@ -84,9 +84,11 @@ fn main() {
     let mut tb = fresh();
     println!("\n-- Other protocols --");
     let transports = hgw_probe::transport::measure_transport_support(&mut tb);
-    println!("SCTP / DCCP traversal:      {} / {}",
+    println!(
+        "SCTP / DCCP traversal:      {} / {}",
         if transports.sctp_works { "works" } else { "fails" },
-        if transports.dccp_works { "works" } else { "fails" });
+        if transports.dccp_works { "works" } else { "fails" }
+    );
     let dns = hgw_probe::dns::measure_dns(&mut tb);
     println!(
         "DNS proxy UDP / TCP:        {} / {}",
@@ -106,7 +108,11 @@ fn main() {
     let list = |rows: &[(IcmpErrorKind, hgw_probe::icmp::IcmpOutcome)]| -> String {
         let ok: Vec<&str> =
             rows.iter().filter(|(_, o)| o.is_translated()).map(|(k, _)| k.label()).collect();
-        if ok.is_empty() { "(none)".into() } else { ok.join(", ") }
+        if ok.is_empty() {
+            "(none)".into()
+        } else {
+            ok.join(", ")
+        }
     };
     println!("TCP-flow errors passed:     {}", list(&icmp.tcp));
     println!("UDP-flow errors passed:     {}", list(&icmp.udp));

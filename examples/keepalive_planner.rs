@@ -7,9 +7,9 @@
 //! cargo run --release --example keepalive_planner -- je be1 owrt ls1
 //! ```
 
-use home_gateway_study::prelude::*;
 use hgw_probe::keepalive::{plan_keepalives, DeviceTimeouts};
 use hgw_probe::udp_timeout::{measure_refresh, UdpScenario};
+use home_gateway_study::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

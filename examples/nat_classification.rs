@@ -7,13 +7,16 @@
 //! cargo run --release --example nat_classification
 //! ```
 
-use home_gateway_study::prelude::*;
 use hgw_probe::classify::classify_nat;
+use home_gateway_study::prelude::*;
 
 fn main() {
     let tags = ["owrt", "ap", "be1", "nw1", "smc", "ls1", "zy1", "je"];
     let mut classified = Vec::new();
-    println!("{:6} {:22} {:22} {:10} {:9}", "device", "mapping", "filtering", "preserve", "hairpin");
+    println!(
+        "{:6} {:22} {:22} {:10} {:9}",
+        "device", "mapping", "filtering", "preserve", "hairpin"
+    );
     println!("{}", "-".repeat(75));
     for (i, tag) in tags.iter().enumerate() {
         let device = devices::device(tag).expect("known tag");

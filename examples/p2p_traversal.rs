@@ -46,8 +46,6 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "\n{successes}/{attempts} pairs established direct bidirectional UDP connectivity."
-    );
+    println!("\n{successes}/{attempts} pairs established direct bidirectional UDP connectivity.");
     println!("('half' = one direction only; '-' = punched packets never crossed)");
 }

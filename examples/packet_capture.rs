@@ -29,7 +29,12 @@ fn main() {
     let server = tb.server_addr;
     tb.with_client(|h, ctx| {
         let s = h.udp_bind_ephemeral();
-        h.udp_send(ctx, s, SocketAddrV4::new(proxy, 53), &DnsMessage::query_a(7, "www.hiit.fi").emit());
+        h.udp_send(
+            ctx,
+            s,
+            SocketAddrV4::new(proxy, 53),
+            &DnsMessage::query_a(7, "www.hiit.fi").emit(),
+        );
     });
     tb.with_server(|h, _| h.tcp_listen(80, ListenerApp::Echo));
     let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server, 80)));

@@ -11,9 +11,9 @@
 //! cargo run --release --example pmtu_blackhole
 //! ```
 
-use home_gateway_study::prelude::*;
 use hgw_gateway::IcmpErrorKind;
 use hgw_probe::icmp::{measure_icmp_matrix, IcmpOutcome};
+use home_gateway_study::prelude::*;
 
 fn main() {
     println!("PMTU discovery survival across the device fleet (ICMP Frag. Needed, TCP flows):\n");

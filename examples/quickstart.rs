@@ -13,7 +13,10 @@ fn main() {
         eprintln!("unknown device '{tag}'; known tags: {}", devices::all_tags().join(" "));
         std::process::exit(1);
     });
-    println!("Device under test: {} — {} {} (fw {})", device.tag, device.vendor, device.model, device.firmware);
+    println!(
+        "Device under test: {} — {} {} (fw {})",
+        device.tag, device.vendor, device.model, device.firmware
+    );
 
     // Assemble Figure 1: client ── gateway ── server, with DHCP on both
     // sides of the gateway.
@@ -33,7 +36,10 @@ fn main() {
     tb.with_client(|h, ctx| h.ping(ctx, server, 0x1234, 1));
     tb.run_for(Duration::from_millis(100));
     let replies = tb.with_client(|h, _| h.ping_take_replies());
-    println!("ICMP echo through the NAT: {}", if replies.is_empty() { "no reply" } else { "works" });
+    println!(
+        "ICMP echo through the NAT: {}",
+        if replies.is_empty() { "no reply" } else { "works" }
+    );
 
     // Is the NAT traversal-friendly?
     let class = probe::classify::classify_nat(&mut tb);

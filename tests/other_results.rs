@@ -11,7 +11,7 @@ fn sctp_and_dccp_fleet_counts() {
     // §4.3: SCTP associations succeed through 18 of 34 devices; DCCP
     // through none.
     let devices = devices::all_devices();
-    let results = run_fleet(&devices, 0x5C7,  |tb, _| measure_transport_support(tb));
+    let results = run_fleet(&devices, 0x5C7, |tb, _| measure_transport_support(tb));
     let sctp = results.iter().filter(|(_, r)| r.sctp_works).count();
     let dccp = results.iter().filter(|(_, r)| r.dccp_works).count();
     assert_eq!(sctp, 18, "paper: 18/34 pass SCTP");
@@ -83,8 +83,5 @@ fn no_device_dominates() {
         })
         .map(|d| d.tag)
         .collect();
-    assert!(
-        champions.is_empty(),
-        "no device should win everywhere, but {champions:?} do"
-    );
+    assert!(champions.is_empty(), "no device should win everywhere, but {champions:?} do");
 }

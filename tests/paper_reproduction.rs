@@ -2,12 +2,12 @@
 //! values the paper states explicitly (§4) — measured end to end through
 //! the simulated testbed, never read from gateway internals.
 
-use home_gateway_study::prelude::*;
 use hgw_probe::max_bindings::measure_max_bindings;
 use hgw_probe::port_reuse::observe_port_reuse;
 use hgw_probe::tcp_timeout::measure_tcp1;
 use hgw_probe::transport::measure_transport_support;
 use hgw_probe::udp_timeout::{measure_refresh, measure_udp1, UdpScenario};
+use home_gateway_study::prelude::*;
 
 fn testbed(tag: &str, slot: u8) -> Testbed {
     let d = devices::device(tag).unwrap_or_else(|| panic!("unknown device {tag}"));
@@ -117,10 +117,7 @@ fn sctp_and_dccp_stated_behaviors() {
     let s = measure_transport_support(&mut tb);
     assert!(s.sctp_works, "owrt passes SCTP");
     assert!(!s.dccp_works, "no device passes DCCP");
-    assert_eq!(
-        s.sctp_observation,
-        hgw_probe::transport::TranslationObservation::IpRewritten
-    );
+    assert_eq!(s.sctp_observation, hgw_probe::transport::TranslationObservation::IpRewritten);
 
     let mut tb = testbed("dl4", 14);
     let s = measure_transport_support(&mut tb);
@@ -158,18 +155,12 @@ fn icmp_stated_behaviors() {
 
     let mut tb = testbed("ls2", 18);
     let m = hgw_probe::icmp::measure_icmp_matrix(&mut tb);
-    assert!(m
-        .tcp
-        .iter()
-        .all(|(_, o)| *o == hgw_probe::icmp::IcmpOutcome::InvalidRst));
+    assert!(m.tcp.iter().all(|(_, o)| *o == hgw_probe::icmp::IcmpOutcome::InvalidRst));
 
     let mut tb = testbed("zy1", 19);
     let m = hgw_probe::icmp::measure_icmp_matrix(&mut tb);
     let stale = m.udp.iter().any(|(_, o)| {
-        matches!(
-            o,
-            hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_ip_checksum_ok: false, .. }
-        )
+        matches!(o, hgw_probe::icmp::IcmpOutcome::Forwarded { embedded_ip_checksum_ok: false, .. })
     });
     assert!(stale, "zy1 must leave a stale embedded checksum");
 }

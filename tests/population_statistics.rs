@@ -2,7 +2,7 @@
 //! paper prints in its figure legends.
 
 use hgw_probe::fleet::run_fleet;
-use hgw_probe::udp_timeout::{measure_udp1, measure_repeated, UdpScenario};
+use hgw_probe::udp_timeout::{measure_repeated, measure_udp1, UdpScenario};
 use hgw_stats::Population;
 use home_gateway_study::prelude::*;
 
@@ -49,8 +49,10 @@ fn udp3_never_shorter_than_udp2_in_measurement() {
         .filter(|d| ["be2", "ng5", "be1", "ed", "ap", "ls1"].contains(&d.tag))
         .collect();
     let results = run_fleet(&subset, 0x92, |tb, _| {
-        let u2 = measure_repeated(tb, UdpScenario::InboundRefresh, 21_000, 1, Duration::from_secs(2));
-        let u3 = measure_repeated(tb, UdpScenario::Bidirectional, 22_000, 1, Duration::from_secs(2));
+        let u2 =
+            measure_repeated(tb, UdpScenario::InboundRefresh, 21_000, 1, Duration::from_secs(2));
+        let u3 =
+            measure_repeated(tb, UdpScenario::Bidirectional, 22_000, 1, Duration::from_secs(2));
         (u2[0], u3[0])
     });
     for (tag, (u2, u3)) in &results {

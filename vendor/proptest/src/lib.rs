@@ -1,0 +1,272 @@
+//! # proptest (offline subset)
+//!
+//! A self-contained, dependency-free re-implementation of the slice of the
+//! [proptest](https://docs.rs/proptest) API this workspace uses. The build
+//! environment has no access to crates.io, so the real crate cannot be
+//! fetched; this shim keeps every property test source-compatible.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: the RNG is seeded from the test's name, so a failing
+//!   case reproduces on every run without a regression file.
+//! * **No shrinking**: a failing case reports the generated inputs verbatim
+//!   (via the panic message of the assertion that tripped) instead of
+//!   minimizing them.
+//! * Only the combinators the workspace uses exist: ranges, `any`, `Just`,
+//!   tuples, `prop_map`, `prop_oneof!`, `collection::vec`, `option::of`.
+
+pub mod strategy;
+
+pub use strategy::{any, Any, Just, Map, Strategy, TestRng, Union};
+
+/// Runner configuration (`cases` is the only knob this subset honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier simulation
+        // properties fast while still exploring a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// `Vec<T>` generation with a size drawn from a range.
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Size specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy producing vectors of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + (rng.below((self.size.hi - self.size.lo) as u64) as usize);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// `Option<T>` generation.
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+
+    /// A strategy producing `Option<T>` (`None` about a quarter of the time,
+    /// mirroring upstream's default `None` weight).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// Generates `Some` of the inner strategy's value, or `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Everything property tests import.
+pub mod prelude {
+    pub use super::strategy::{any, Any, Just, Strategy};
+    pub use super::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use super::strategy::TestRng;
+
+    /// Builds the per-test RNG from the test's name (deterministic).
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::new(h)
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::__rt::rng_for(stringify!($name));
+                let strat = ( $( $strat, )+ );
+                for _case in 0..config.cases {
+                    let ( $( $arg, )+ ) = strat.generate(&mut rng);
+                    // The case body runs in a closure so `prop_assume!` can
+                    // skip the case with an early return.
+                    let case = move || $body;
+                    case();
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( $strat ),+ ])
+    };
+}
+
+/// Property assertion (no shrinking: equivalent to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..3, f in -1.5f64..2.5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honored(_x in any::<u8>()) {
+            // Runs without panicking; case count is not observable here.
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2), Just(3)].prop_map(|v| v * 10);
+        let mut rng = crate::__rt::rng_for("oneof");
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 10 || v == 20 || v == 30);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = crate::collection::vec(any::<u64>(), 3..6);
+        let a: Vec<_> = {
+            let mut rng = crate::__rt::rng_for("det");
+            (0..10).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::__rt::rng_for("det");
+            (0..10).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,258 @@
+//! The [`Strategy`] trait and the generators this subset supports.
+
+use core::ops::Range;
+
+/// A deterministic splitmix64 generator driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below: bound must be positive");
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Unlike upstream proptest there is no intermediate `ValueTree`; without
+/// shrinking, a strategy simply produces values.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    branches: Vec<S>,
+}
+
+impl<S> Union<S> {
+    /// A union over `branches` (must be non-empty).
+    pub fn new(branches: Vec<S>) -> Union<S> {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union { branches }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.below(self.branches.len() as u64) as usize;
+        self.branches[i].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------- ranges ----
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ------------------------------------------------------------- tuples ----
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// -------------------------------------------------- regex-ish strings ----
+
+/// Upstream proptest treats `&str` as a regex strategy producing matching
+/// `String`s. This subset supports exactly the shape the workspace uses:
+/// a single character class with a bounded repetition, `[a-z]{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo_ch, hi_ch, min, max) = parse_class_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (shim supports [c-c]{{m,n}} only)")
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                let span = (hi_ch as u64) - (lo_ch as u64) + 1;
+                char::from_u32(lo_ch as u32 + rng.below(span) as u32).expect("valid char range")
+            })
+            .collect()
+    }
+}
+
+/// Parses `[a-z]{m,n}` into `(a, z, m, n)`.
+fn parse_class_repeat(pattern: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || hi < lo {
+        return None;
+    }
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = rest.split_once(',')?;
+    let (m, n) = (m.parse().ok()?, n.parse().ok()?);
+    if m > n {
+        return None;
+    }
+    Some((lo, hi, m, n))
+}
+
+// ---------------------------------------------------------------- any ----
+
+/// Generates any value of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// The full-range strategy for `T`: `any::<u16>()`, `any::<[u8; 4]>()`, ….
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any { _marker: core::marker::PhantomData }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Strategy for Any<[u8; N]> {
+    type Value = [u8; N];
+    fn generate(&self, rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
