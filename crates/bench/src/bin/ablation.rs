@@ -35,7 +35,7 @@ fn ablate_pattern_timeouts() {
     for (name, policy) in
         [("pattern-dependent (model)", modeled), ("single timeout (ablation)", flat)]
     {
-        let mut tb = Testbed::new("ablate", policy, 1, 3);
+        let mut tb = Testbed::builder("ablate", policy).index(1).seed(3).build();
         let u1 = measure_udp1(&mut tb, 20_000).timeout_secs;
         let u2 =
             measure_refresh(&mut tb, 21_000, UdpScenario::InboundRefresh, Duration::from_secs(2))
@@ -54,7 +54,7 @@ fn ablate_timer_granularity() {
         policy.udp_timeout_solitary =
             Duration::from_secs(180).saturating_sub(Duration::from_secs(granularity / 2));
         policy.timer_granularity = Duration::from_secs(granularity);
-        let mut tb = Testbed::new("ablate", policy, 2, 5);
+        let mut tb = Testbed::builder("ablate", policy).index(2).seed(5).build();
         let vals =
             measure_repeated(&mut tb, UdpScenario::Solitary, 21_000, 15, Duration::from_secs(1));
         let s = Summary::of(&vals).unwrap();
@@ -83,7 +83,7 @@ fn ablate_forwarding_rate() {
             buffer_down: 96 * 1024,
             per_packet_overhead: Duration::from_micros(20),
         };
-        let mut tb = Testbed::new("ablate", policy, 3, 7);
+        let mut tb = Testbed::builder("ablate", policy).index(3).seed(7).build();
         let r = run_transfer(&mut tb, 5001, Direction::Download, 4 * MB);
         println!(
             "  capacity {mbps:>3} Mb/s  →  throughput {:5.1} Mb/s, delay {:6.1} ms",
@@ -104,7 +104,7 @@ fn ablate_aggregate_capacity() {
             buffer_down: 96 * 1024,
             per_packet_overhead: Duration::from_micros(20),
         };
-        let mut tb = Testbed::new("ablate", policy, 4, 9);
+        let mut tb = Testbed::builder("ablate", policy).index(4).seed(9).build();
         let rep = run_battery(&mut tb, 2 * MB);
         println!(
             "  aggregate {:>9}  →  uni {:4.1}/{:4.1}  bidir {:4.1}/{:4.1} Mb/s",

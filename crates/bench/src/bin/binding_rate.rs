@@ -1,12 +1,12 @@
 //! Binding-creation rate across the fleet (§5 future work).
 
-use hgw_bench::run_fleet_parallel;
+use hgw_bench::fleet_results;
 use hgw_probe::binding_rate::measure_binding_rate;
 use hgw_stats::TextTable;
 
 fn main() {
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xBA7E, |tb, d| {
+    let results = fleet_results(&devices, 0xBA7E, |tb, d| {
         let flows = d.expected.max_bindings.min(200);
         measure_binding_rate(tb, flows)
     });

@@ -2,7 +2,7 @@
 //! characterization the paper lists as future work (§5), plus a pairwise
 //! UDP hole-punching prognosis in the spirit of Ford et al. (reference 10 of the paper).
 
-use hgw_bench::run_fleet_parallel;
+use hgw_bench::fleet_results;
 use hgw_gateway::EndpointScope;
 use hgw_probe::classify::classify_nat;
 use hgw_stats::TextTable;
@@ -17,7 +17,7 @@ fn scope_name(s: EndpointScope) -> &'static str {
 
 fn main() {
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xC1A5, |tb, _| classify_nat(tb));
+    let results = fleet_results(&devices, 0xC1A5, |tb, _| classify_nat(tb));
 
     let mut table = TextTable::new(&[
         "device",

@@ -2,7 +2,7 @@
 //! result (the paper's overview figure).
 
 use hgw_bench::report::emit_multi_series_figure;
-use hgw_bench::{env_u64, env_usize, run_fleet_parallel, FIG3_ORDER};
+use hgw_bench::{env_u64, env_usize, fleet_results, FIG3_ORDER};
 use hgw_core::Duration;
 use hgw_probe::udp_timeout::{measure_repeated, UdpScenario};
 use hgw_stats::median;
@@ -11,7 +11,7 @@ fn main() {
     let repeats = env_usize("HGW_REPEATS", 5);
     let step = Duration::from_secs(env_u64("HGW_STEP_SECS", 1));
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xF162, |tb, _| {
+    let results = fleet_results(&devices, 0xF162, |tb, _| {
         let u1 = measure_repeated(tb, UdpScenario::Solitary, 20_000, repeats, step);
         let u2 = measure_repeated(tb, UdpScenario::InboundRefresh, 21_000, repeats, step);
         let u3 = measure_repeated(tb, UdpScenario::Bidirectional, 22_000, repeats, step);

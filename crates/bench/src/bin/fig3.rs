@@ -6,7 +6,7 @@
 //! medians converge fast).
 
 use hgw_bench::report::emit_summary_figure;
-use hgw_bench::{env_usize, run_fleet_parallel, FIG3_ORDER};
+use hgw_bench::{env_usize, fleet_results, FIG3_ORDER};
 use hgw_core::Duration;
 use hgw_probe::udp_timeout::{measure_repeated, UdpScenario};
 use hgw_stats::Summary;
@@ -14,7 +14,7 @@ use hgw_stats::Summary;
 fn main() {
     let repeats = env_usize("HGW_REPEATS", 15);
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xF163, |tb, _| {
+    let results = fleet_results(&devices, 0xF163, |tb, _| {
         let vals =
             measure_repeated(tb, UdpScenario::Solitary, 20_000, repeats, Duration::from_secs(1));
         Summary::of(&vals).expect("measurements")

@@ -5,7 +5,7 @@
 //! convergence bound).
 
 use hgw_bench::report::emit_summary_figure;
-use hgw_bench::{env_u64, env_usize, run_fleet_parallel, FIG4_ORDER};
+use hgw_bench::{env_u64, env_usize, fleet_results, FIG4_ORDER};
 use hgw_core::Duration;
 use hgw_probe::udp_timeout::{measure_repeated, UdpScenario};
 use hgw_stats::Summary;
@@ -14,7 +14,7 @@ fn main() {
     let repeats = env_usize("HGW_REPEATS", 7);
     let step = Duration::from_secs(env_u64("HGW_STEP_SECS", 1));
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xF164, |tb, _| {
+    let results = fleet_results(&devices, 0xF164, |tb, _| {
         let vals = measure_repeated(tb, UdpScenario::InboundRefresh, 21_000, repeats, step);
         Summary::of(&vals).expect("measurements")
     });

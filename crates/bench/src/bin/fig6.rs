@@ -4,7 +4,7 @@
 //! dl8, whose DNS timeout is shorter.
 
 use hgw_bench::report::emit_multi_series_figure;
-use hgw_bench::{env_u64, env_usize, run_fleet_parallel, FIG3_ORDER};
+use hgw_bench::{env_u64, env_usize, fleet_results, FIG3_ORDER};
 use hgw_core::Duration;
 use hgw_probe::udp_timeout::{measure_refresh, UdpScenario, UDP5_SERVICES};
 use hgw_stats::median;
@@ -13,7 +13,7 @@ fn main() {
     let repeats = env_usize("HGW_REPEATS", 3);
     let step = Duration::from_secs(env_u64("HGW_STEP_SECS", 2));
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xF166, |tb, _| {
+    let results = fleet_results(&devices, 0xF166, |tb, _| {
         UDP5_SERVICES.map(|(_, port)| {
             let vals: Vec<f64> = (0..repeats)
                 .map(|_| measure_refresh(tb, port, UdpScenario::InboundRefresh, step).timeout_secs)

@@ -2,13 +2,13 @@
 //! whose bindings outlive the 24-hour cutoff plot at 1440 minutes.
 
 use hgw_bench::report::emit_summary_figure;
-use hgw_bench::{run_fleet_parallel, FIG7_ORDER};
+use hgw_bench::{fleet_results, FIG7_ORDER};
 use hgw_probe::tcp_timeout::measure_tcp1;
 use hgw_stats::Summary;
 
 fn main() {
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xF167, |tb, _| {
+    let results = fleet_results(&devices, 0xF167, |tb, _| {
         let m = measure_tcp1(tb);
         (m.plotted_mins(), m.timeout_mins.is_none())
     });

@@ -7,13 +7,13 @@
 //! proportionally longer).
 
 use hgw_bench::report::emit_multi_series_figure;
-use hgw_bench::{env_u64, run_fleet_parallel, FIG8_ORDER};
+use hgw_bench::{env_u64, fleet_results, FIG8_ORDER};
 use hgw_probe::throughput::run_battery;
 
 fn main() {
     let bytes = env_u64("HGW_BYTES", 25 * 1024 * 1024);
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0xF168, |tb, _| run_battery(tb, bytes));
+    let results = fleet_results(&devices, 0xF168, |tb, _| run_battery(tb, bytes));
     let pick = |f: fn(&hgw_probe::throughput::ThroughputReport) -> f64| -> Vec<(String, f64)> {
         results.iter().map(|(t, r)| (t.clone(), f(r))).collect()
     };

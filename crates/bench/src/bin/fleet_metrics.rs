@@ -1,28 +1,63 @@
 //! Instrumented fleet run: drives a fixed workload (one TCP upload plus a
 //! UDP-1 binding-timeout search) through every device of Table 1 with an
-//! observer attached, prints a per-device scorecard, and writes the
-//! machine-readable run manifests (`target/figures/manifest.json` and the
-//! repo-level `BENCH_fleet.json`).
+//! observer attached — once sequentially, once with the configured
+//! parallelism — verifies the two campaigns produced identical results,
+//! prints a per-device scorecard plus the measured wall-clock speedup, and
+//! writes the machine-readable run manifests
+//! (`target/figures/manifest.json` and the repo-level `BENCH_fleet.json`).
+//!
+//! `HGW_FLEET_PARALLELISM` picks the parallel leg's mode (default `auto`);
+//! `HGW_SEED` and `HGW_FLEET_BYTES` parameterize the workload.
 
 use std::path::Path;
 
 use hgw_bench::manifest::{render_fleet_manifest, write_manifest};
 use hgw_bench::{env_u64, figures_dir};
 use hgw_devices::all_devices;
-use hgw_probe::fleet::run_fleet_instrumented;
+use hgw_probe::fleet::{FleetError, FleetRunner, Parallelism};
 use hgw_probe::throughput::{run_transfer, Direction};
 use hgw_probe::udp_timeout::measure_udp1;
 use hgw_stats::TextTable;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fleet run failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), FleetError> {
     let seed = env_u64("HGW_SEED", 7);
     let bytes = env_u64("HGW_FLEET_BYTES", 256 * 1024);
+    let parallelism = Parallelism::from_env();
     let devices = all_devices();
 
-    let results = run_fleet_instrumented(&devices, seed, |tb, _| {
+    let probe = |tb: &mut hgw_testbed::Testbed, _: &hgw_devices::DeviceProfile| {
         run_transfer(tb, 5001, Direction::Upload, bytes);
-        measure_udp1(tb, 20_000);
-    });
+        measure_udp1(tb, 20_000).timeout_secs.to_bits()
+    };
+    let runner = FleetRunner::new(&devices).seed(seed).instrumented(true);
+
+    let sequential = runner.parallelism(Parallelism::Sequential).run(probe)?;
+    let sequential_wall_ms = sequential.scheduling.wall_ms;
+    let parallel = runner.parallelism(parallelism).run(probe)?;
+    let scheduling = parallel.scheduling.clone();
+
+    // The determinism guarantee, enforced on every metrics run: identical
+    // probe results and identical deterministic counters across modes.
+    let seq_results = sequential.into_instrumented_results()?;
+    let par_results = parallel.into_instrumented_results()?;
+    for ((seq_tag, seq_r, seq_m), (par_tag, par_r, par_m)) in
+        seq_results.iter().zip(par_results.iter())
+    {
+        assert_eq!(seq_tag, par_tag, "device order must not depend on scheduling");
+        assert_eq!(seq_r, par_r, "{seq_tag}: probe result changed under {parallelism}");
+        assert_eq!(
+            seq_m.deterministic(),
+            par_m.deterministic(),
+            "{seq_tag}: deterministic counters changed under {parallelism}"
+        );
+    }
 
     let mut table = TextTable::new(&[
         "device",
@@ -35,7 +70,7 @@ fn main() {
         "nat_expired",
         "nat_peak",
     ]);
-    for (tag, _, m) in &results {
+    for (tag, _, m) in &par_results {
         table.row(vec![
             tag.clone(),
             format!("{:.1}", m.wall_ms),
@@ -49,13 +84,23 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    println!(
+        "scheduling: mode {} → {} worker(s) on a {}-way host; wall {:.1} ms vs {:.1} ms sequential (speedup {:.2}x)",
+        scheduling.parallelism,
+        scheduling.workers,
+        scheduling.host_parallelism,
+        scheduling.wall_ms,
+        sequential_wall_ms,
+        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 },
+    );
 
-    let per_device: Vec<_> = results.into_iter().map(|(tag, _, m)| (tag, m)).collect();
-    let json = render_fleet_manifest(seed, &per_device);
+    let per_device: Vec<_> = par_results.into_iter().map(|(tag, _, m)| (tag, m)).collect();
+    let json = render_fleet_manifest(seed, &per_device, &scheduling, Some(sequential_wall_ms));
     for path in [figures_dir().join("manifest.json"), Path::new("BENCH_fleet.json").to_path_buf()] {
         match write_manifest(&path, &json) {
             Ok(()) => println!("[manifest written to {}]", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
+    Ok(())
 }

@@ -1,13 +1,13 @@
 //! §4.4's "other interesting behaviors", measured fleet-wide: TTL
 //! decrementing and Record Route handling.
 
-use hgw_bench::run_fleet_parallel;
+use hgw_bench::fleet_results;
 use hgw_probe::quirks::probe_ip_quirks;
 use hgw_stats::TextTable;
 
 fn main() {
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0x0404, |tb, _| probe_ip_quirks(tb));
+    let results = fleet_results(&devices, 0x0404, |tb, _| probe_ip_quirks(tb));
     let mut table =
         TextTable::new(&["device", "decrements TTL", "TTL out/in", "Record Route", "TTL-1 → ICMP"]);
     let mut no_decrement = Vec::new();

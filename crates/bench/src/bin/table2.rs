@@ -2,7 +2,7 @@
 //! connectivity, DNS over UDP/TCP through the proxy, ICMP Host Unreachable
 //! for ping flows, and the ten ICMP error kinds per transport.
 
-use hgw_bench::run_fleet_parallel;
+use hgw_bench::fleet_results;
 use hgw_gateway::IcmpErrorKind;
 use hgw_probe::dns::measure_dns;
 use hgw_probe::icmp::{measure_icmp_matrix, IcmpMatrix};
@@ -17,7 +17,7 @@ struct Row {
 
 fn main() {
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0x7AB2, |tb, _| Row {
+    let results = fleet_results(&devices, 0x7AB2, |tb, _| Row {
         dns: measure_dns(tb),
         transport: measure_transport_support(tb),
         icmp: measure_icmp_matrix(tb),

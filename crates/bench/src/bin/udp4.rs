@@ -3,14 +3,14 @@
 //! (27/34 preserve the source port; 23 reuse an expired binding, 4 create
 //! a new one; 7 never preserve).
 
-use hgw_bench::run_fleet_parallel;
+use hgw_bench::fleet_results;
 use hgw_core::Duration;
 use hgw_probe::port_reuse::observe_port_reuse;
 use hgw_stats::TextTable;
 
 fn main() {
     let devices = hgw_devices::all_devices();
-    let results = run_fleet_parallel(&devices, 0x0D04, |tb, d| {
+    let results = fleet_results(&devices, 0x0D04, |tb, d| {
         // Wait past the device's solitary timeout (known from UDP-1) plus
         // its timer granularity and a margin.
         let hint = Duration::from_secs_f64(d.expected.udp1_secs)

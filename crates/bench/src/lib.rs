@@ -2,17 +2,20 @@
 //!
 //! One binary per artifact of the paper's evaluation (`fig2`..`fig10`,
 //! `table1`, `table2`, `udp4`, `classify`), plus Criterion micro-benchmarks
-//! of the engine. Shared here: the parallel fleet runner and the published
-//! x-axis orders of every figure.
+//! of the engine. Fleet execution lives in
+//! [`hgw_probe::fleet::FleetRunner`]; shared here: the published x-axis
+//! orders of every figure and small env/report helpers.
+//!
+//! Every figure binary honors `HGW_FLEET_PARALLELISM` (`seq`, `auto`, or a
+//! worker count; default `auto`) via [`fleet_results`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
-use std::sync::Mutex;
 
 use hgw_devices::DeviceProfile;
-use hgw_probe::fleet::testbed_for;
+use hgw_probe::fleet::{FleetRunner, Parallelism};
 use hgw_testbed::Testbed;
 
 /// The x-axis device order of Figure 3 (and Figures 2/6, which reuse it).
@@ -79,34 +82,28 @@ pub fn figures_dir() -> PathBuf {
     PathBuf::from("target/figures")
 }
 
-/// Runs `probe` for every device on a thread pool (the paper runs devices
-/// in parallel on the real testbed, too). Results come back in Table 1
-/// order.
-pub fn run_fleet_parallel<R: Send>(
+/// Runs a figure campaign through [`FleetRunner`] with the
+/// environment-selected [`Parallelism`] (the paper runs devices in
+/// parallel on the real testbed, too) and collapses the report into
+/// `(tag, result)` pairs in Table 1 order. Exits with a readable message
+/// on a fleet failure — figure binaries have no use for a partial plot.
+pub fn fleet_results<R: Send>(
     devices: &[DeviceProfile],
     seed: u64,
     probe: impl Fn(&mut Testbed, &DeviceProfile) -> R + Sync,
 ) -> Vec<(String, R)> {
-    let results: Mutex<Vec<(usize, String, R)>> = Mutex::new(Vec::new());
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(devices.len()) {
-            scope.spawn(|| loop {
-                let slot = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if slot >= devices.len() {
-                    break;
-                }
-                let device = &devices[slot];
-                let mut tb = testbed_for(device, slot, seed);
-                let r = probe(&mut tb, device);
-                results.lock().expect("fleet results lock").push((slot, device.tag.to_string(), r));
-            });
+    let outcome = FleetRunner::new(devices)
+        .seed(seed)
+        .parallelism(Parallelism::from_env())
+        .run(probe)
+        .and_then(|report| report.into_results());
+    match outcome {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            std::process::exit(1);
         }
-    });
-    let mut results = results.into_inner().expect("fleet results lock");
-    results.sort_by_key(|(slot, _, _)| *slot);
-    results.into_iter().map(|(_, tag, r)| (tag, r)).collect()
+    }
 }
 
 /// Formats the `Pop. Median = X / Pop. Mean = Y` legend line of the

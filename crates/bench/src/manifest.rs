@@ -7,10 +7,14 @@
 use std::io::Write;
 use std::path::Path;
 
-use hgw_probe::fleet::DeviceRunMetrics;
+use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 
 /// Schema identifier stamped into every manifest.
-pub const SCHEMA: &str = "hgw-fleet-manifest/1";
+///
+/// `/2` adds the `scheduling` block: parallelism mode, resolved worker
+/// count, host parallelism, per-worker scheduling counters, and the
+/// measured wall-clock speedup over a sequential run of the same campaign.
+pub const SCHEMA: &str = "hgw-fleet-manifest/2";
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -57,8 +61,49 @@ fn device_json(tag: &str, metrics: &DeviceRunMetrics) -> String {
     )
 }
 
+fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64>) -> String {
+    let workers: Vec<String> = scheduling
+        .per_worker
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"worker\": {}, \"devices_run\": {}, \"busy_ms\": {:.3}}}",
+                w.worker, w.devices_run, w.busy_ms
+            )
+        })
+        .collect();
+    let speedup = sequential_wall_ms
+        .filter(|seq| scheduling.wall_ms > 0.0 && *seq > 0.0)
+        .map(|seq| format!("{:.2}", seq / scheduling.wall_ms))
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        concat!(
+            "{{\"mode\": \"{}\", \"workers\": {}, \"host_parallelism\": {}, ",
+            "\"wall_ms\": {:.3}, \"sequential_wall_ms\": {}, ",
+            "\"speedup_vs_sequential\": {}, \"per_worker\": [{}]}}"
+        ),
+        scheduling.parallelism,
+        scheduling.workers,
+        scheduling.host_parallelism,
+        scheduling.wall_ms,
+        sequential_wall_ms.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string()),
+        speedup,
+        workers.join(", "),
+    )
+}
+
 /// Renders the full fleet manifest as a JSON string.
-pub fn render_fleet_manifest(seed: u64, per_device: &[(String, DeviceRunMetrics)]) -> String {
+///
+/// `scheduling` is the parallel (or only) campaign's scheduling metadata;
+/// `sequential_wall_ms`, when present, is the measured wall-clock of the
+/// same campaign under `Parallelism::Sequential` and yields the manifest's
+/// `speedup_vs_sequential` field.
+pub fn render_fleet_manifest(
+    seed: u64,
+    per_device: &[(String, DeviceRunMetrics)],
+    scheduling: &SchedulingReport,
+    sequential_wall_ms: Option<f64>,
+) -> String {
     let mut total = DeviceRunMetrics::default();
     for (_, m) in per_device {
         total.wall_ms += m.wall_ms;
@@ -74,10 +119,11 @@ pub fn render_fleet_manifest(seed: u64, per_device: &[(String, DeviceRunMetrics)
         if total.wall_ms > 0.0 { total.events as f64 / (total.wall_ms / 1e3) } else { 0.0 };
     let rows: Vec<String> = per_device.iter().map(|(tag, m)| device_json(tag, m)).collect();
     format!(
-        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
         SCHEMA,
         seed,
         per_device.len(),
+        scheduling_json(scheduling, sequential_wall_ms),
         device_json("*", &total).trim_start(),
         rows.join(",\n"),
     )
@@ -96,6 +142,20 @@ pub fn write_manifest(path: &Path, contents: &str) -> std::io::Result<()> {
 mod tests {
     use super::*;
     use hgw_core::DropReason;
+    use hgw_probe::fleet::{Parallelism, WorkerStats};
+
+    fn test_scheduling() -> SchedulingReport {
+        SchedulingReport {
+            parallelism: Parallelism::Fixed(4),
+            workers: 4,
+            host_parallelism: 8,
+            wall_ms: 100.0,
+            per_worker: vec![
+                WorkerStats { worker: 0, devices_run: 1, busy_ms: 90.0 },
+                WorkerStats { worker: 1, devices_run: 1, busy_ms: 80.0 },
+            ],
+        }
+    }
 
     #[test]
     fn escape_handles_quotes_and_controls() {
@@ -105,11 +165,11 @@ mod tests {
     #[test]
     fn manifest_names_every_drop_reason() {
         let m = DeviceRunMetrics::default();
-        let json = render_fleet_manifest(7, &[("ls1".to_string(), m)]);
+        let json = render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None);
         for reason in DropReason::ALL {
             assert!(json.contains(reason.name()), "missing key {}", reason.name());
         }
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/1\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/2\""));
         assert!(json.contains("\"device\": \"ls1\""));
         assert!(json.contains("\"nat_bindings_peak\": 0"));
     }
@@ -118,10 +178,43 @@ mod tests {
     fn totals_aggregate_across_devices() {
         let a = DeviceRunMetrics { events: 10, nat_bindings_peak: 3, ..Default::default() };
         let b = DeviceRunMetrics { events: 5, nat_bindings_peak: 7, ..Default::default() };
-        let json = render_fleet_manifest(1, &[("a".to_string(), a), ("b".to_string(), b)]);
+        let json = render_fleet_manifest(
+            1,
+            &[("a".to_string(), a), ("b".to_string(), b)],
+            &test_scheduling(),
+            None,
+        );
         assert!(json.contains("\"devices\": 2"));
         // The totals row carries the merged event count and max peak.
         assert!(json.contains("\"device\": \"*\", \"wall_ms\": 0.000, \"events\": 15"));
         assert!(json.contains("\"nat_bindings_peak\": 7}"));
+    }
+
+    #[test]
+    fn scheduling_block_reports_speedup() {
+        let json = render_fleet_manifest(
+            1,
+            &[("a".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            Some(250.0),
+        );
+        assert!(json.contains("\"mode\": \"fixed(4)\""), "{json}");
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"host_parallelism\": 8"));
+        assert!(json.contains("\"sequential_wall_ms\": 250.000"));
+        assert!(json.contains("\"speedup_vs_sequential\": 2.50"));
+        assert!(json.contains("{\"worker\": 0, \"devices_run\": 1, \"busy_ms\": 90.000}"));
+    }
+
+    #[test]
+    fn scheduling_block_without_baseline_is_null() {
+        let json = render_fleet_manifest(
+            1,
+            &[("a".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            None,
+        );
+        assert!(json.contains("\"sequential_wall_ms\": null"));
+        assert!(json.contains("\"speedup_vs_sequential\": null"));
     }
 }

@@ -3,10 +3,38 @@
 //! The paper runs most measurements "in parallel across all home gateways"
 //! — except throughput, which is serialized "to avoid overloading the test
 //! network". Here every device owns an isolated [`Testbed`], so fleet runs
-//! are embarrassingly parallel with identical observable semantics; this
-//! module provides the sequential driver (the bench harness adds threads)
-//! plus an instrumented variant that captures per-device observability
-//! metrics for run manifests.
+//! are embarrassingly parallel with identical observable semantics.
+//!
+//! [`FleetRunner`] is the single entry point for campaigns: a builder that
+//! picks the [`Parallelism`] mode, optionally attaches per-device
+//! observability instrumentation, isolates per-device panics as typed
+//! [`DeviceFailure`]s, and always assembles results in Table 1 order, no
+//! matter which worker finished first:
+//!
+//! ```
+//! use hgw_probe::fleet::{FleetRunner, Parallelism};
+//!
+//! let devices = hgw_devices::all_devices();
+//! let report = FleetRunner::new(&devices[..2])
+//!     .seed(7)
+//!     .parallelism(Parallelism::Fixed(2))
+//!     .run(|tb, _| tb.client_addr().octets()[2])
+//!     .unwrap();
+//! let results = report.into_results().unwrap();
+//! assert_eq!(results.len(), 2);
+//! ```
+//!
+//! **Determinism guarantee:** each device's simulator seed is derived from
+//! the campaign seed and the device *tag* (see
+//! [`TestbedBuilder::campaign_slot`](hgw_testbed::TestbedBuilder)), so probe
+//! results `R` and every deterministic [`DeviceRunMetrics`] counter are
+//! bit-for-bit identical across [`Parallelism`] modes. Only the host
+//! wall-clock fields (`wall_ms`, `events_per_sec`, and the
+//! [`SchedulingReport`]) depend on the execution schedule.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hgw_core::{CountingObserver, DropCounts};
 use hgw_devices::DeviceProfile;
@@ -15,39 +43,80 @@ use hgw_testbed::Testbed;
 
 /// Builds the testbed for one device (stable per-device slot index and a
 /// seed derived from the experiment seed and the device tag).
+///
+/// Thin wrapper over
+/// [`TestbedBuilder::campaign_slot`](hgw_testbed::TestbedBuilder::campaign_slot),
+/// where the derivation rules are documented.
 pub fn testbed_for(device: &DeviceProfile, slot: usize, seed: u64) -> Testbed {
-    let index = (slot + 1) as u8;
-    let tag_hash: u64 =
-        device.tag.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
-    Testbed::new(device.tag, device.policy.clone(), index, seed ^ tag_hash)
+    Testbed::builder(device.tag, device.policy.clone()).campaign_slot(slot, seed).build()
 }
 
-/// Runs `probe` against every device sequentially, returning
-/// `(tag, result)` pairs in Table 1 order.
-pub fn run_fleet<R>(
-    devices: &[DeviceProfile],
-    seed: u64,
-    mut probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
-) -> Vec<(String, R)> {
-    devices
-        .iter()
-        .enumerate()
-        .map(|(slot, device)| {
-            let mut tb = testbed_for(device, slot, seed);
-            let result = probe(&mut tb, device);
-            (device.tag.to_string(), result)
-        })
-        .collect()
+/// How many workers a [`FleetRunner`] campaign uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker per available CPU (capped at the fleet size).
+    Auto,
+    /// Exactly `n` workers (clamped to at least 1, at most the fleet size).
+    Fixed(usize),
+    /// Everything on the calling thread, in slot order.
+    Sequential,
+}
+
+impl Parallelism {
+    /// Reads the `HGW_FLEET_PARALLELISM` environment knob (`seq`,
+    /// `sequential`, `auto`, or a worker count), falling back to `default`
+    /// when unset or unparseable.
+    pub fn from_env_or(default: Parallelism) -> Parallelism {
+        match std::env::var("HGW_FLEET_PARALLELISM") {
+            Ok(v) => match v.trim() {
+                "seq" | "sequential" => Parallelism::Sequential,
+                "auto" => Parallelism::Auto,
+                n => n.parse().map(Parallelism::Fixed).unwrap_or(default),
+            },
+            Err(_) => default,
+        }
+    }
+
+    /// [`Parallelism::from_env_or`] with an [`Parallelism::Auto`] default —
+    /// what the figure binaries use.
+    pub fn from_env() -> Parallelism {
+        Parallelism::from_env_or(Parallelism::Auto)
+    }
+
+    /// The number of workers this mode resolves to for a fleet of
+    /// `devices` devices on this host.
+    pub fn worker_count(&self, devices: usize) -> usize {
+        let wanted = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        };
+        wanted.min(devices.max(1))
+    }
+}
+
+impl core::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Parallelism::Auto => write!(f, "auto"),
+            Parallelism::Fixed(n) => write!(f, "fixed({n})"),
+            Parallelism::Sequential => write!(f, "sequential"),
+        }
+    }
 }
 
 /// Observability metrics captured around one device's fleet run.
-#[derive(Debug, Clone, Default)]
+///
+/// All counters except `wall_ms` and `events_per_sec` are deterministic:
+/// they depend only on the campaign seed, never on the execution schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceRunMetrics {
     /// Host wall-clock time spent on this device, in milliseconds.
+    /// **Wall-clock-dependent** — varies across runs and parallelism modes.
     pub wall_ms: f64,
     /// Simulator events dispatched during the run.
     pub events: u64,
-    /// Simulator events per wall-clock second.
+    /// Simulator events per wall-clock second. **Wall-clock-dependent.**
     pub events_per_sec: f64,
     /// Frames delivered to nodes.
     pub frames_delivered: u64,
@@ -65,50 +134,32 @@ pub struct DeviceRunMetrics {
     pub nat_bindings_peak: usize,
 }
 
-/// Like [`run_fleet`], but attaches a [`CountingObserver`] to each device's
-/// simulator and returns per-device [`DeviceRunMetrics`] alongside the
-/// probe's result. Observation is a pure sink, so `R` values are identical
-/// to what [`run_fleet`] would have produced for the same seed.
-pub fn run_fleet_instrumented<R>(
-    devices: &[DeviceProfile],
-    seed: u64,
-    mut probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
-) -> Vec<(String, R, DeviceRunMetrics)> {
-    devices
-        .iter()
-        .enumerate()
-        .map(|(slot, device)| {
-            let start = std::time::Instant::now();
-            let mut tb = testbed_for(device, slot, seed);
-            tb.sim.attach_observer(Box::new(CountingObserver::new()));
-            let result = probe(&mut tb, device);
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            let stats = tb.sim.stats();
-            let observer = tb.sim.detach_observer().expect("observer attached above");
-            let counts = observer
-                .as_any()
-                .downcast_ref::<CountingObserver>()
-                .expect("CountingObserver attached above");
-            let nat = tb.sim.node_ref::<Gateway>(tb.gateway).nat_stats();
-            let metrics = DeviceRunMetrics {
-                wall_ms,
-                events: stats.events,
-                events_per_sec: if wall_ms > 0.0 {
-                    stats.events as f64 / (wall_ms / 1e3)
-                } else {
-                    0.0
-                },
-                frames_delivered: stats.frames_delivered,
-                frames_dropped: stats.frames_dropped,
-                trace_events: counts.events,
-                nat_bindings_created: nat.bindings_created,
-                nat_bindings_expired: nat.bindings_expired,
-                nat_bindings_peak: nat.peak_bindings,
-            };
-            (device.tag.to_string(), result, metrics)
-        })
-        .collect()
+impl DeviceRunMetrics {
+    /// A copy with the wall-clock-dependent fields zeroed — what the
+    /// sequential-vs-parallel equivalence tests compare.
+    pub fn deterministic(&self) -> DeviceRunMetrics {
+        DeviceRunMetrics { wall_ms: 0.0, events_per_sec: 0.0, ..self.clone() }
+    }
 }
+
+/// One device's probe panicked; the rest of the campaign kept running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceFailure {
+    /// Tag of the failed device.
+    pub tag: String,
+    /// Table 1 slot of the failed device.
+    pub slot: usize,
+    /// Rendered panic payload.
+    pub panic: String,
+}
+
+impl core::fmt::Display for DeviceFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "device {} (slot {}) panicked: {}", self.tag, self.slot, self.panic)
+    }
+}
+
+impl std::error::Error for DeviceFailure {}
 
 /// Error returned by [`order_results`] when a figure's x-axis mentions a
 /// device that has no result.
@@ -125,6 +176,457 @@ impl core::fmt::Display for MissingDeviceError {
 }
 
 impl std::error::Error for MissingDeviceError {}
+
+/// Typed failure modes of a fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A device probe panicked and the caller asked for plain results
+    /// (via [`FleetReport::into_results`] or a deprecated shim) instead of
+    /// inspecting per-device outcomes.
+    Device(DeviceFailure),
+    /// The instrumented path found no observer to detach after the probe —
+    /// the probe must have detached it itself.
+    ObserverMissing {
+        /// Device whose observer disappeared.
+        tag: String,
+    },
+    /// The detached observer was not the [`CountingObserver`] the runner
+    /// attached — the probe must have swapped it.
+    ObserverMismatch {
+        /// Device whose observer was replaced.
+        tag: String,
+    },
+    /// [`FleetReport::into_instrumented_results`] was called on a run that
+    /// was not configured with [`FleetRunner::instrumented`].
+    NotInstrumented,
+    /// A result ordering referenced a device with no result.
+    MissingDevice(MissingDeviceError),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Device(failure) => write!(f, "{failure}"),
+            FleetError::ObserverMissing { tag } => {
+                write!(f, "device {tag}: probe detached the fleet observer")
+            }
+            FleetError::ObserverMismatch { tag } => {
+                write!(f, "device {tag}: probe replaced the fleet observer")
+            }
+            FleetError::NotInstrumented => {
+                write!(f, "run was not instrumented; no metrics to return")
+            }
+            FleetError::MissingDevice(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Device(failure) => Some(failure),
+            FleetError::MissingDevice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MissingDeviceError> for FleetError {
+    fn from(e: MissingDeviceError) -> FleetError {
+        FleetError::MissingDevice(e)
+    }
+}
+
+impl From<DeviceFailure> for FleetError {
+    fn from(e: DeviceFailure) -> FleetError {
+        FleetError::Device(e)
+    }
+}
+
+/// One device's slice of a [`FleetReport`], in Table 1 order.
+#[derive(Debug)]
+pub struct DeviceReport<R> {
+    /// Device tag.
+    pub tag: String,
+    /// Table 1 slot (index into the campaign's device list).
+    pub slot: usize,
+    /// Which worker ran this device. **Schedule-dependent** under
+    /// parallel modes.
+    pub worker: usize,
+    /// The probe's result, or the isolated panic that replaced it.
+    pub outcome: Result<R, DeviceFailure>,
+    /// Observability metrics (`Some` iff the run was instrumented and the
+    /// probe completed).
+    pub metrics: Option<DeviceRunMetrics>,
+}
+
+/// Per-worker scheduling counters. **Schedule-dependent**: which worker
+/// picked up which device varies run to run under parallel modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Devices this worker ran.
+    pub devices_run: usize,
+    /// Wall-clock milliseconds this worker spent inside device runs.
+    pub busy_ms: f64,
+}
+
+/// How a campaign was scheduled — the wall-clock-dependent half of a
+/// [`FleetReport`], recorded into run manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulingReport {
+    /// The requested parallelism mode.
+    pub parallelism: Parallelism,
+    /// Worker count the mode resolved to.
+    pub workers: usize,
+    /// The host's available parallelism (what [`Parallelism::Auto`] would
+    /// resolve to before the fleet-size cap).
+    pub host_parallelism: usize,
+    /// Whole-campaign wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Per-worker scheduling counters, ordered by worker index.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// The outcome of one fleet campaign: per-device reports in Table 1 order
+/// plus the scheduling metadata.
+#[derive(Debug)]
+pub struct FleetReport<R> {
+    /// Per-device outcomes, in the same order as the device list handed to
+    /// [`FleetRunner::new`] — regardless of completion order.
+    pub devices: Vec<DeviceReport<R>>,
+    /// How the campaign was scheduled.
+    pub scheduling: SchedulingReport,
+}
+
+impl<R> FleetReport<R> {
+    /// The isolated per-device failures, in slot order (empty on a clean
+    /// campaign).
+    pub fn failures(&self) -> Vec<&DeviceFailure> {
+        self.devices.iter().filter_map(|d| d.outcome.as_ref().err()).collect()
+    }
+
+    /// Collapses the report into `(tag, result)` pairs in Table 1 order,
+    /// failing on the first [`DeviceFailure`].
+    pub fn into_results(self) -> Result<Vec<(String, R)>, FleetError> {
+        self.devices.into_iter().map(|d| Ok((d.tag, d.outcome?))).collect()
+    }
+
+    /// Collapses the report into `(tag, result, metrics)` triples in
+    /// Table 1 order; fails on the first [`DeviceFailure`] or if the run
+    /// was not instrumented.
+    pub fn into_instrumented_results(
+        self,
+    ) -> Result<Vec<(String, R, DeviceRunMetrics)>, FleetError> {
+        self.devices
+            .into_iter()
+            .map(|d| {
+                let result = d.outcome?;
+                let metrics = d.metrics.ok_or(FleetError::NotInstrumented)?;
+                Ok((d.tag, result, metrics))
+            })
+            .collect()
+    }
+}
+
+/// Builder-style fleet campaign driver — the one way to run a measurement
+/// across many devices (see the module docs for an example and the
+/// determinism guarantee).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRunner<'d> {
+    devices: &'d [DeviceProfile],
+    seed: u64,
+    parallelism: Parallelism,
+    instrumented: bool,
+}
+
+impl<'d> FleetRunner<'d> {
+    /// A runner over `devices` with seed 0, [`Parallelism::Auto`], and no
+    /// instrumentation.
+    pub fn new(devices: &'d [DeviceProfile]) -> FleetRunner<'d> {
+        FleetRunner { devices, seed: 0, parallelism: Parallelism::Auto, instrumented: false }
+    }
+
+    /// Sets the campaign seed every per-device seed is derived from.
+    pub fn seed(mut self, seed: u64) -> FleetRunner<'d> {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the execution mode (results are identical across modes).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> FleetRunner<'d> {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a [`CountingObserver`] to every device's simulator and
+    /// captures [`DeviceRunMetrics`]. Observation is a pure sink, so probe
+    /// results are unchanged.
+    pub fn instrumented(mut self, on: bool) -> FleetRunner<'d> {
+        self.instrumented = on;
+        self
+    }
+
+    /// Runs `probe` against every device and assembles a [`FleetReport`]
+    /// in Table 1 order.
+    ///
+    /// A panicking probe is isolated to its device and surfaced as a
+    /// [`DeviceFailure`] in that device's [`DeviceReport`]; the campaign
+    /// itself only fails on infrastructure errors ([`FleetError`]).
+    pub fn run<R: Send>(
+        &self,
+        probe: impl Fn(&mut Testbed, &DeviceProfile) -> R + Sync,
+    ) -> Result<FleetReport<R>, FleetError> {
+        let workers = self.parallelism.worker_count(self.devices.len());
+        if workers <= 1 {
+            let mut probe = probe;
+            return self.run_on_calling_thread(&mut probe);
+        }
+        self.run_on_pool(workers, &probe)
+    }
+
+    /// Sequential-only variant of [`FleetRunner::run`] for stateful
+    /// (`FnMut`) probes that fold results across devices. Ignores the
+    /// configured [`Parallelism`] and runs everything on the calling
+    /// thread in slot order.
+    pub fn run_mut<R>(
+        &self,
+        mut probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
+    ) -> Result<FleetReport<R>, FleetError> {
+        self.run_on_calling_thread(&mut probe)
+    }
+
+    fn run_on_calling_thread<R>(
+        &self,
+        probe: &mut dyn FnMut(&mut Testbed, &DeviceProfile) -> R,
+    ) -> Result<FleetReport<R>, FleetError> {
+        let start = std::time::Instant::now();
+        let mut reports = Vec::with_capacity(self.devices.len());
+        let mut busy_ms = 0.0;
+        for (slot, device) in self.devices.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            let (outcome, metrics) = run_device(device, slot, self.seed, self.instrumented, probe)?;
+            busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+            reports.push(DeviceReport {
+                tag: device.tag.to_string(),
+                slot,
+                worker: 0,
+                outcome,
+                metrics,
+            });
+        }
+        let per_worker = if self.devices.is_empty() {
+            Vec::new()
+        } else {
+            vec![WorkerStats { worker: 0, devices_run: self.devices.len(), busy_ms }]
+        };
+        Ok(FleetReport {
+            devices: reports,
+            scheduling: self.scheduling_report(1, start.elapsed().as_secs_f64() * 1e3, per_worker),
+        })
+    }
+
+    fn run_on_pool<R: Send>(
+        &self,
+        workers: usize,
+        probe: &(impl Fn(&mut Testbed, &DeviceProfile) -> R + Sync),
+    ) -> Result<FleetReport<R>, FleetError> {
+        type Slot<R> = Option<(
+            usize,
+            Result<(Result<R, DeviceFailure>, Option<DeviceRunMetrics>), FleetError>,
+        )>;
+        let start = std::time::Instant::now();
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Slot<R>>> =
+            Mutex::new((0..self.devices.len()).map(|_| None).collect());
+        let stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let (next, slots, stats) = (&next, &slots, &stats);
+                scope.spawn(move || {
+                    // Each worker gets its own `FnMut` adapter over the
+                    // shared probe so the per-device path is one code path
+                    // for all modes.
+                    let mut local = |tb: &mut Testbed, d: &DeviceProfile| probe(tb, d);
+                    let (mut busy_ms, mut devices_run) = (0.0, 0usize);
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= self.devices.len() {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let out = run_device(
+                            &self.devices[slot],
+                            slot,
+                            self.seed,
+                            self.instrumented,
+                            &mut local,
+                        );
+                        busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+                        devices_run += 1;
+                        slots.lock().expect("fleet slot lock")[slot] = Some((worker, out));
+                    }
+                    stats.lock().expect("fleet stats lock").push(WorkerStats {
+                        worker,
+                        devices_run,
+                        busy_ms,
+                    });
+                });
+            }
+        });
+        let mut per_worker = stats.into_inner().expect("fleet stats lock");
+        per_worker.sort_by_key(|w| w.worker);
+        let slots = slots.into_inner().expect("fleet slot lock");
+        let mut reports = Vec::with_capacity(self.devices.len());
+        for (slot, cell) in slots.into_iter().enumerate() {
+            let (worker, out) = cell.expect("every slot claimed by a worker");
+            let (outcome, metrics) = out?;
+            reports.push(DeviceReport {
+                tag: self.devices[slot].tag.to_string(),
+                slot,
+                worker,
+                outcome,
+                metrics,
+            });
+        }
+        Ok(FleetReport {
+            devices: reports,
+            scheduling: self.scheduling_report(
+                workers,
+                start.elapsed().as_secs_f64() * 1e3,
+                per_worker,
+            ),
+        })
+    }
+
+    fn scheduling_report(
+        &self,
+        workers: usize,
+        wall_ms: f64,
+        per_worker: Vec<WorkerStats>,
+    ) -> SchedulingReport {
+        SchedulingReport {
+            parallelism: self.parallelism,
+            workers,
+            host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            wall_ms,
+            per_worker,
+        }
+    }
+}
+
+/// Builds one device's testbed, runs the probe with panic isolation, and
+/// (when instrumented) harvests the observability counters.
+fn run_device<R>(
+    device: &DeviceProfile,
+    slot: usize,
+    seed: u64,
+    instrumented: bool,
+    probe: &mut dyn FnMut(&mut Testbed, &DeviceProfile) -> R,
+) -> Result<(Result<R, DeviceFailure>, Option<DeviceRunMetrics>), FleetError> {
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<_, FleetError> {
+        let start = std::time::Instant::now();
+        let mut tb = testbed_for(device, slot, seed);
+        if instrumented {
+            tb.sim.attach_observer(Box::new(CountingObserver::new()));
+        }
+        let result = probe(&mut tb, device);
+        let metrics = if instrumented {
+            Some(harvest_metrics(&mut tb, device.tag, start.elapsed().as_secs_f64() * 1e3)?)
+        } else {
+            None
+        };
+        Ok((result, metrics))
+    }));
+    match caught {
+        Ok(Ok((result, metrics))) => Ok((Ok(result), metrics)),
+        Ok(Err(fleet_err)) => Err(fleet_err),
+        Err(payload) => Ok((
+            Err(DeviceFailure { tag: device.tag.to_string(), slot, panic: panic_message(payload) }),
+            None,
+        )),
+    }
+}
+
+fn harvest_metrics(
+    tb: &mut Testbed,
+    tag: &str,
+    wall_ms: f64,
+) -> Result<DeviceRunMetrics, FleetError> {
+    let stats = tb.sim.stats();
+    let observer = tb
+        .sim
+        .detach_observer()
+        .ok_or_else(|| FleetError::ObserverMissing { tag: tag.to_string() })?;
+    let counts = observer
+        .as_any()
+        .downcast_ref::<CountingObserver>()
+        .ok_or_else(|| FleetError::ObserverMismatch { tag: tag.to_string() })?;
+    let nat = tb.sim.node_ref::<Gateway>(tb.gateway).nat_stats();
+    Ok(DeviceRunMetrics {
+        wall_ms,
+        events: stats.events,
+        events_per_sec: if wall_ms > 0.0 { stats.events as f64 / (wall_ms / 1e3) } else { 0.0 },
+        frames_delivered: stats.frames_delivered,
+        frames_dropped: stats.frames_dropped,
+        trace_events: counts.events,
+        nat_bindings_created: nat.bindings_created,
+        nat_bindings_expired: nat.bindings_expired,
+        nat_bindings_peak: nat.peak_bindings,
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `probe` against every device sequentially, returning
+/// `(tag, result)` pairs in Table 1 order.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FleetRunner::new(devices).seed(seed).parallelism(Parallelism::Sequential).run_mut(probe)"
+)]
+pub fn run_fleet<R>(
+    devices: &[DeviceProfile],
+    seed: u64,
+    probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
+) -> Vec<(String, R)> {
+    FleetRunner::new(devices)
+        .seed(seed)
+        .parallelism(Parallelism::Sequential)
+        .run_mut(probe)
+        .and_then(FleetReport::into_results)
+        .unwrap_or_else(|e| panic!("fleet run failed: {e}"))
+}
+
+/// Like [`run_fleet`], but attaches a [`CountingObserver`] to each device's
+/// simulator and returns per-device [`DeviceRunMetrics`] alongside the
+/// probe's result. Observation is a pure sink, so `R` values are identical
+/// to what [`run_fleet`] would have produced for the same seed.
+#[deprecated(
+    since = "0.1.0",
+    note = "use FleetRunner::new(devices).seed(seed).instrumented(true).run_mut(probe)"
+)]
+pub fn run_fleet_instrumented<R>(
+    devices: &[DeviceProfile],
+    seed: u64,
+    probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
+) -> Vec<(String, R, DeviceRunMetrics)> {
+    FleetRunner::new(devices)
+        .seed(seed)
+        .parallelism(Parallelism::Sequential)
+        .instrumented(true)
+        .run_mut(probe)
+        .and_then(FleetReport::into_instrumented_results)
+        .unwrap_or_else(|e| panic!("fleet run failed: {e}"))
+}
 
 /// Orders `(tag, value)` results along a published figure's x-axis order.
 ///
@@ -163,12 +665,17 @@ mod tests {
 
     #[test]
     fn fleet_builds_every_testbed() {
-        // Bring-up alone exercises DHCP on both sides of all 34 devices.
+        // Bring-up alone exercises DHCP on both sides of the devices.
         let devices = all_devices();
-        let results = run_fleet(&devices[..4], 7, |tb, d| {
-            assert_eq!(tb.tag(), d.tag);
-            tb.client_addr().octets()[2]
-        });
+        let report = FleetRunner::new(&devices[..4])
+            .seed(7)
+            .parallelism(Parallelism::Sequential)
+            .run(|tb, d| {
+                assert_eq!(tb.tag(), d.tag);
+                tb.client_addr().octets()[2]
+            })
+            .unwrap();
+        let results = report.into_results().unwrap();
         assert_eq!(results.len(), 4);
         // Each device gets its own subnet slot.
         let subnets: std::collections::HashSet<u8> = results.iter().map(|(_, s)| *s).collect();
@@ -187,15 +694,23 @@ mod tests {
         let err = order_results(&[("a".to_string(), 1)], &["zz"]).unwrap_err();
         assert_eq!(err.tag, "zz");
         assert_eq!(err.to_string(), "no result for device zz");
+        assert_eq!(FleetError::from(err).to_string(), "no result for device zz");
     }
 
     #[test]
     fn instrumented_fleet_reports_metrics() {
         let devices = all_devices();
-        let results = run_fleet_instrumented(&devices[..2], 7, |tb, _| {
-            tb.run_for(hgw_core::Duration::from_secs(1));
-            tb.sim.stats().events
-        });
+        let results = FleetRunner::new(&devices[..2])
+            .seed(7)
+            .parallelism(Parallelism::Sequential)
+            .instrumented(true)
+            .run(|tb, _| {
+                tb.run_for(hgw_core::Duration::from_secs(1));
+                tb.sim.stats().events
+            })
+            .unwrap()
+            .into_instrumented_results()
+            .unwrap();
         assert_eq!(results.len(), 2);
         for (tag, events, m) in &results {
             assert!(!tag.is_empty());
@@ -215,15 +730,130 @@ mod tests {
     #[test]
     fn instrumentation_does_not_change_results() {
         let devices = all_devices();
-        let plain = run_fleet(&devices[..3], 42, |tb, _| {
+        let runner = FleetRunner::new(&devices[..3]).seed(42).parallelism(Parallelism::Sequential);
+        let probe = |tb: &mut Testbed, _: &DeviceProfile| {
             tb.run_for(hgw_core::Duration::from_secs(2));
             (tb.sim.stats().events, tb.sim.now())
-        });
-        let instrumented = run_fleet_instrumented(&devices[..3], 42, |tb, _| {
-            tb.run_for(hgw_core::Duration::from_secs(2));
-            (tb.sim.stats().events, tb.sim.now())
-        });
+        };
+        let plain = runner.run(probe).unwrap().into_results().unwrap();
+        let instrumented =
+            runner.instrumented(true).run(probe).unwrap().into_instrumented_results().unwrap();
         let stripped: Vec<_> = instrumented.into_iter().map(|(tag, r, _)| (tag, r)).collect();
         assert_eq!(plain, stripped);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_runner() {
+        let devices = all_devices();
+        let shim = run_fleet(&devices[..2], 9, |tb, _| tb.sim.stats().events);
+        let runner = FleetRunner::new(&devices[..2])
+            .seed(9)
+            .run(|tb, _| tb.sim.stats().events)
+            .unwrap()
+            .into_results()
+            .unwrap();
+        assert_eq!(shim, runner);
+
+        let shim = run_fleet_instrumented(&devices[..2], 9, |tb, _| tb.sim.stats().events);
+        let via_runner = FleetRunner::new(&devices[..2])
+            .seed(9)
+            .instrumented(true)
+            .run(|tb, _| tb.sim.stats().events)
+            .unwrap()
+            .into_instrumented_results()
+            .unwrap();
+        let strip =
+            |v: Vec<(String, u64, DeviceRunMetrics)>| -> Vec<(String, u64, DeviceRunMetrics)> {
+                v.into_iter().map(|(t, r, m)| (t, r, m.deterministic())).collect()
+            };
+        assert_eq!(strip(shim), strip(via_runner));
+    }
+
+    #[test]
+    fn run_mut_supports_stateful_probes() {
+        let devices = all_devices();
+        let mut seen = Vec::new();
+        let report = FleetRunner::new(&devices[..3])
+            .seed(5)
+            .run_mut(|tb, d| {
+                seen.push(d.tag.to_string());
+                tb.index
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(report.scheduling.workers, 1);
+        let indices: Vec<u8> = report.into_results().unwrap().iter().map(|(_, i)| *i).collect();
+        assert_eq!(indices, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallelism_resolution_and_display() {
+        assert_eq!(Parallelism::Sequential.worker_count(34), 1);
+        assert_eq!(Parallelism::Fixed(4).worker_count(34), 4);
+        assert_eq!(Parallelism::Fixed(0).worker_count(34), 1, "Fixed(0) clamps to 1");
+        assert_eq!(Parallelism::Fixed(64).worker_count(34), 34, "capped at fleet size");
+        assert!(Parallelism::Auto.worker_count(34) >= 1);
+        assert_eq!(Parallelism::Fixed(4).to_string(), "fixed(4)");
+        assert_eq!(Parallelism::Auto.to_string(), "auto");
+        assert_eq!(Parallelism::Sequential.to_string(), "sequential");
+    }
+
+    #[test]
+    fn parallel_run_assembles_in_table_order() {
+        let devices = all_devices();
+        let report = FleetRunner::new(&devices[..6])
+            .seed(11)
+            .parallelism(Parallelism::Fixed(3))
+            .run(|tb, _| tb.index)
+            .unwrap();
+        assert_eq!(report.scheduling.workers, 3);
+        let ran: usize = report.scheduling.per_worker.iter().map(|w| w.devices_run).sum();
+        assert_eq!(ran, 6, "every device attributed to exactly one worker");
+        for (slot, d) in report.devices.iter().enumerate() {
+            assert_eq!(d.slot, slot);
+            assert_eq!(d.tag, devices[slot].tag);
+            assert!(d.worker < 3);
+        }
+        let indices: Vec<u8> = report.into_results().unwrap().iter().map(|(_, i)| *i).collect();
+        assert_eq!(indices, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_clean_noop() {
+        let report = FleetRunner::new(&[]).run(|_, _| 0u8).unwrap();
+        assert!(report.devices.is_empty());
+        assert!(report.scheduling.per_worker.is_empty());
+        assert!(report.into_results().unwrap().is_empty());
+    }
+
+    #[test]
+    fn uninstrumented_report_has_no_metrics() {
+        let devices = all_devices();
+        let report = FleetRunner::new(&devices[..1]).run(|_, _| ()).unwrap();
+        assert!(report.devices[0].metrics.is_none());
+        assert_eq!(report.into_instrumented_results().unwrap_err(), FleetError::NotInstrumented);
+    }
+
+    #[test]
+    fn observer_tampering_is_a_typed_error() {
+        let devices = all_devices();
+        let err = FleetRunner::new(&devices[..1])
+            .instrumented(true)
+            .run(|tb, _| {
+                tb.sim.detach_observer();
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::ObserverMissing { tag: devices[0].tag.to_string() });
+        assert!(err.to_string().contains("detached the fleet observer"));
+
+        let err = FleetRunner::new(&devices[..1])
+            .instrumented(true)
+            .run(|tb, _| {
+                tb.sim.detach_observer();
+                tb.sim.attach_observer(Box::new(hgw_core::EventLog::new()));
+            })
+            .unwrap_err();
+        assert_eq!(err, FleetError::ObserverMismatch { tag: devices[0].tag.to_string() });
     }
 }

@@ -57,6 +57,70 @@ pub struct Testbed {
 /// How long the bring-up phase (double DHCP) is allowed to take.
 const BRINGUP_LIMIT: Duration = Duration::from_secs(30);
 
+/// Builder for [`Testbed`] — the one documented place where slot and seed
+/// derivation for fleet campaigns lives.
+///
+/// [`Testbed::new`] takes the slot index and simulator seed positionally;
+/// the builder names them and adds [`TestbedBuilder::campaign_slot`], which
+/// derives both from a fleet-level `(slot, seed)` pair exactly the way the
+/// fleet runner does:
+///
+/// * **index** — `slot + 1`, so each device gets its own `10.0.<index>.0/24`
+///   address plan and slot 0 never collides with the `10.0.0.0/24` default.
+/// * **seed** — `campaign_seed ^ hash(tag)`, where `hash` is a simple
+///   31-multiplier fold over the tag bytes. Deriving from the *tag* rather
+///   than the slot keeps a device's randomness stable even if the fleet is
+///   filtered or reordered, and decorrelates devices within one campaign.
+///
+/// ```
+/// use hgw_gateway::GatewayPolicy;
+/// use hgw_testbed::Testbed;
+///
+/// let tb = Testbed::builder("owrt", GatewayPolicy::well_behaved())
+///     .campaign_slot(0, 42)
+///     .build();
+/// assert_eq!(tb.tag(), "owrt");
+/// assert_eq!(tb.index, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestbedBuilder {
+    tag: String,
+    policy: GatewayPolicy,
+    index: u8,
+    seed: u64,
+}
+
+impl TestbedBuilder {
+    /// Sets the testbed slot index (selects the `10.0.<index>.0/24` plan).
+    pub fn index(mut self, index: u8) -> TestbedBuilder {
+        self.index = index;
+        self
+    }
+
+    /// Sets the simulator seed directly.
+    pub fn seed(mut self, seed: u64) -> TestbedBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives index and seed from a campaign-level slot and seed (see the
+    /// type-level docs for the derivation rules).
+    pub fn campaign_slot(self, slot: usize, campaign_seed: u64) -> TestbedBuilder {
+        let tag_seed = campaign_seed ^ Self::tag_hash(&self.tag);
+        self.index((slot + 1) as u8).seed(tag_seed)
+    }
+
+    /// The per-tag hash folded into campaign seeds.
+    fn tag_hash(tag: &str) -> u64 {
+        tag.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64))
+    }
+
+    /// Builds and boots the testbed (see [`Testbed::new`] for panics).
+    pub fn build(self) -> Testbed {
+        Testbed::new(&self.tag, self.policy, self.index, self.seed)
+    }
+}
+
 impl Testbed {
     /// Builds and boots a testbed for one gateway model, then runs DHCP on
     /// both sides until the client is configured.
@@ -65,6 +129,8 @@ impl Testbed {
     /// Panics if bring-up does not complete — a testbed that cannot even
     /// DHCP is a bug, not a measurement.
     pub fn new(tag: &str, policy: GatewayPolicy, index: u8, seed: u64) -> Testbed {
+        // Kept as the positional primitive; prefer [`Testbed::builder`]
+        // for named parameters and campaign slot/seed derivation.
         let mut sim = Simulator::new(seed);
         let server_addr = Ipv4Addr::new(10, 0, index, 1);
 
@@ -105,6 +171,12 @@ impl Testbed {
             Testbed { sim, client, server, gateway, lan_link, wan_link, server_addr, index };
         tb.bring_up();
         tb
+    }
+
+    /// Starts a [`TestbedBuilder`] for `tag` (slot index 1, seed 0 until
+    /// overridden).
+    pub fn builder(tag: &str, policy: GatewayPolicy) -> TestbedBuilder {
+        TestbedBuilder { tag: tag.to_string(), policy, index: 1, seed: 0 }
     }
 
     fn bring_up(&mut self) {

@@ -53,5 +53,6 @@ pub mod prelude {
     pub use hgw_devices as devices;
     pub use hgw_gateway::GatewayPolicy;
     pub use hgw_probe as probe;
-    pub use hgw_testbed::Testbed;
+    pub use hgw_probe::fleet::{FleetRunner, Parallelism};
+    pub use hgw_testbed::{Testbed, TestbedBuilder};
 }

@@ -2,7 +2,6 @@
 //! Table 2 and the prose around it, measured end to end.
 
 use hgw_probe::dns::measure_dns;
-use hgw_probe::fleet::run_fleet;
 use hgw_probe::transport::measure_transport_support;
 use home_gateway_study::prelude::*;
 
@@ -11,7 +10,12 @@ fn sctp_and_dccp_fleet_counts() {
     // §4.3: SCTP associations succeed through 18 of 34 devices; DCCP
     // through none.
     let devices = devices::all_devices();
-    let results = run_fleet(&devices, 0x5C7, |tb, _| measure_transport_support(tb));
+    let results = FleetRunner::new(&devices)
+        .seed(0x5C7)
+        .run(|tb, _| measure_transport_support(tb))
+        .unwrap()
+        .into_results()
+        .unwrap();
     let sctp = results.iter().filter(|(_, r)| r.sctp_works).count();
     let dccp = results.iter().filter(|(_, r)| r.dccp_works).count();
     assert_eq!(sctp, 18, "paper: 18/34 pass SCTP");
@@ -41,7 +45,12 @@ fn sctp_and_dccp_fleet_counts() {
 fn dns_fleet_counts() {
     // §4.3: 14 accept TCP/53, 10 answer, ap forwards upstream over UDP.
     let devices = devices::all_devices();
-    let results = run_fleet(&devices, 0xD25, |tb, _| measure_dns(tb));
+    let results = FleetRunner::new(&devices)
+        .seed(0xD25)
+        .run(|tb, _| measure_dns(tb))
+        .unwrap()
+        .into_results()
+        .unwrap();
     let accepts = results.iter().filter(|(_, r)| r.tcp_accepted).count();
     let answers = results.iter().filter(|(_, r)| r.tcp_answered).count();
     assert_eq!(accepts, 14, "paper: 14 accept connections on TCP 53");

@@ -1,7 +1,6 @@
 //! Fleet-wide population statistics, measured end to end: the numbers the
 //! paper prints in its figure legends.
 
-use hgw_probe::fleet::run_fleet;
 use hgw_probe::udp_timeout::{measure_repeated, measure_udp1, UdpScenario};
 use hgw_stats::Population;
 use home_gateway_study::prelude::*;
@@ -10,7 +9,12 @@ use home_gateway_study::prelude::*;
 fn udp1_population_median_and_mean() {
     // Figure 3 legend: Pop. Median = 90.00, Pop. Mean = 160.41.
     let devices = devices::all_devices();
-    let results = run_fleet(&devices, 0x90, |tb, _| measure_udp1(tb, 20_000).timeout_secs);
+    let results = FleetRunner::new(&devices)
+        .seed(0x90)
+        .run(|tb, _| measure_udp1(tb, 20_000).timeout_secs)
+        .unwrap()
+        .into_results()
+        .unwrap();
     let values: Vec<f64> = results.iter().map(|(_, v)| *v).collect();
     let pop = Population::of(&values).unwrap();
     assert!((pop.median - 90.0).abs() <= 1.5, "median {}", pop.median);
@@ -20,7 +24,12 @@ fn udp1_population_median_and_mean() {
 #[test]
 fn udp1_ordering_matches_figure3_extremes() {
     let devices = devices::all_devices();
-    let results = run_fleet(&devices, 0x91, |tb, _| measure_udp1(tb, 20_000).timeout_secs);
+    let results = FleetRunner::new(&devices)
+        .seed(0x91)
+        .run(|tb, _| measure_udp1(tb, 20_000).timeout_secs)
+        .unwrap()
+        .into_results()
+        .unwrap();
     let get = |tag: &str| results.iter().find(|(t, _)| t == tag).unwrap().1;
     // The 30-second cluster sits at the bottom, ls1 at the top.
     for tag in ["je", "owrt", "te", "to", "ed"] {
@@ -48,13 +57,23 @@ fn udp3_never_shorter_than_udp2_in_measurement() {
         .into_iter()
         .filter(|d| ["be2", "ng5", "be1", "ed", "ap", "ls1"].contains(&d.tag))
         .collect();
-    let results = run_fleet(&subset, 0x92, |tb, _| {
-        let u2 =
-            measure_repeated(tb, UdpScenario::InboundRefresh, 21_000, 1, Duration::from_secs(2));
-        let u3 =
-            measure_repeated(tb, UdpScenario::Bidirectional, 22_000, 1, Duration::from_secs(2));
-        (u2[0], u3[0])
-    });
+    let results = FleetRunner::new(&subset)
+        .seed(0x92)
+        .run(|tb, _| {
+            let u2 = measure_repeated(
+                tb,
+                UdpScenario::InboundRefresh,
+                21_000,
+                1,
+                Duration::from_secs(2),
+            );
+            let u3 =
+                measure_repeated(tb, UdpScenario::Bidirectional, 22_000, 1, Duration::from_secs(2));
+            (u2[0], u3[0])
+        })
+        .unwrap()
+        .into_results()
+        .unwrap();
     for (tag, (u2, u3)) in &results {
         assert!(u3 + 5.0 >= *u2, "{tag}: UDP-3 {} < UDP-2 {}", u3, u2);
     }
