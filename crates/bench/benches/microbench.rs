@@ -6,10 +6,17 @@
 //! timing loop: each benchmark is calibrated to run for roughly
 //! `HGW_BENCH_MS` milliseconds (default 300) and reports ns/iter plus
 //! throughput where a byte count is meaningful.
+//!
+//! Set `HGW_BENCH_JSON=<path>` to append the run as a capture to a
+//! machine-readable `hgw-microbench/1` trajectory file (see
+//! `hgw_bench::micro`); `HGW_BENCH_LABEL` names the capture (default
+//! `run`). The committed `BENCH_micro.json` at the repo root tracks the
+//! before/after trajectory of every data-plane optimization.
 
 use std::net::Ipv4Addr;
 use std::time::Instant as WallInstant;
 
+use hgw_bench::micro::MicroResult;
 use hgw_gateway::{GatewayPolicy, NatProto, NatTable};
 use hgw_probe::throughput::{run_transfer, Direction};
 use hgw_probe::udp_timeout::measure_udp1;
@@ -19,8 +26,15 @@ use hgw_wire::ip::{Ipv4Repr, Protocol};
 use hgw_wire::tcp::TcpRepr;
 use hgw_wire::{Ipv4Packet, TcpFlags, TcpPacket};
 
-/// Times `f` for ~`budget_ms` wall-clock ms and prints one result line.
-fn bench<R>(group: &str, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut() -> R) {
+/// Times `f` for ~`budget_ms` wall-clock ms, prints one result line, and
+/// records the measurement into `results`.
+fn bench<R>(
+    results: &mut Vec<MicroResult>,
+    group: &str,
+    name: &str,
+    bytes_per_iter: Option<u64>,
+    mut f: impl FnMut() -> R,
+) {
     let budget_ms = hgw_bench::env_u64("HGW_BENCH_MS", 300);
     // Calibrate: double the batch until it takes at least 1 ms.
     let mut batch = 1u64;
@@ -44,39 +58,47 @@ fn bench<R>(group: &str, name: &str, bytes_per_iter: Option<u64>, mut f: impl Fn
     let elapsed = start.elapsed();
     let ns = elapsed.as_nanos() as f64 / iters as f64;
     let mut line = format!("{group}/{name:<32} {ns:>14.1} ns/iter  ({iters} iters)");
-    if let Some(b) = bytes_per_iter {
+    let mb_per_s = bytes_per_iter.map(|b| {
         let mbps = b as f64 / (ns / 1e9) / 1e6;
         line.push_str(&format!("  {mbps:>10.1} MB/s"));
-    }
+        mbps
+    });
     println!("{line}");
+    results.push(MicroResult {
+        group: group.to_string(),
+        name: name.to_string(),
+        ns_per_iter: ns,
+        mb_per_s,
+        iters,
+    });
 }
 
-fn bench_checksums() {
+fn bench_checksums(results: &mut Vec<MicroResult>) {
     let data = vec![0xA5u8; 1460];
     let len = data.len() as u64;
-    bench("checksum", "internet_checksum_1460", Some(len), || {
+    bench(results, "checksum", "internet_checksum_1460", Some(len), || {
         internet_checksum(std::hint::black_box(&data))
     });
-    bench("checksum", "crc32c_1460", Some(len), || crc32c(std::hint::black_box(&data)));
+    bench(results, "checksum", "crc32c_1460", Some(len), || crc32c(std::hint::black_box(&data)));
     let src = Ipv4Addr::new(192, 168, 1, 2);
     let dst = Ipv4Addr::new(10, 0, 1, 1);
-    bench("checksum", "transport_checksum_1460", Some(len), || {
+    bench(results, "checksum", "transport_checksum_1460", Some(len), || {
         transport_checksum(src, dst, 6, std::hint::black_box(&data))
     });
 }
 
-fn bench_wire() {
+fn bench_wire(results: &mut Vec<MicroResult>) {
     let src = Ipv4Addr::new(192, 168, 1, 2);
     let dst = Ipv4Addr::new(10, 0, 1, 1);
     let seg = TcpRepr::new(40_000, 80, TcpFlags::ACK).emit_with_payload(src, dst, &[7u8; 1400]);
     let pkt = Ipv4Repr::new(src, dst, Protocol::Tcp).emit_with_payload(&seg);
     let len = pkt.len() as u64;
-    bench("wire", "ipv4_tcp_parse", Some(len), || {
+    bench(results, "wire", "ipv4_tcp_parse", Some(len), || {
         let ip = Ipv4Packet::new_checked(std::hint::black_box(&pkt[..])).unwrap();
         let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
         (ip.verify_checksum(), tcp.verify_checksum(src, dst))
     });
-    bench("wire", "ipv4_tcp_emit", Some(len), || {
+    bench(results, "wire", "ipv4_tcp_emit", Some(len), || {
         let seg = TcpRepr::new(40_000, 80, TcpFlags::ACK).emit_with_payload(
             src,
             dst,
@@ -84,7 +106,7 @@ fn bench_wire() {
         );
         Ipv4Repr::new(src, dst, Protocol::Tcp).emit_with_payload(&seg)
     });
-    bench("wire", "nat_rewrite_inplace", Some(len), || {
+    bench(results, "wire", "nat_rewrite_inplace", Some(len), || {
         let mut frame = pkt.clone();
         let hl = {
             let mut ip = Ipv4Packet::new_unchecked(&mut frame[..]);
@@ -99,13 +121,34 @@ fn bench_wire() {
     });
 }
 
-fn bench_nat_table() {
+/// Builds a table holding `n` live TCP bindings from distinct internal
+/// ports (address-and-port-dependent mapping keeps them distinct).
+fn nat_with_bindings(n: u16) -> (NatTable, GatewayPolicy) {
+    let mut p = GatewayPolicy::well_behaved();
+    p.max_bindings = 8192;
+    p.mapping = hgw_gateway::EndpointScope::AddressAndPortDependent;
+    let mut nat = NatTable::new();
+    for i in 0..n {
+        nat.outbound(
+            hgw_core::Instant::ZERO,
+            &p,
+            NatProto::Tcp,
+            (Ipv4Addr::new(192, 168, 1, 100), 10_000 + i),
+            (Ipv4Addr::new(10, 0, 1, 1), 80),
+            false,
+            false,
+        );
+    }
+    (nat, p)
+}
+
+fn bench_nat_table(results: &mut Vec<MicroResult>) {
     let policy = GatewayPolicy::well_behaved();
     let mut nat = NatTable::new();
     let internal = (Ipv4Addr::new(192, 168, 1, 100), 5000);
     let remote = (Ipv4Addr::new(10, 0, 1, 1), 80);
     nat.outbound(hgw_core::Instant::ZERO, &policy, NatProto::Udp, internal, remote, false, false);
-    bench("nat", "outbound_hit", None, || {
+    bench(results, "nat", "outbound_hit", None, || {
         nat.outbound(
             hgw_core::Instant::from_secs(1),
             &policy,
@@ -117,22 +160,8 @@ fn bench_nat_table() {
         )
     });
 
-    let mut nat = NatTable::new();
-    let mut p = policy.clone();
-    p.max_bindings = 4096;
-    p.mapping = hgw_gateway::EndpointScope::AddressAndPortDependent;
-    for i in 0..512u16 {
-        nat.outbound(
-            hgw_core::Instant::ZERO,
-            &p,
-            NatProto::Tcp,
-            (Ipv4Addr::new(192, 168, 1, 100), 10_000 + i),
-            (Ipv4Addr::new(10, 0, 1, 1), 80),
-            false,
-            false,
-        );
-    }
-    bench("nat", "inbound_lookup_512_bindings", None, || {
+    let (mut nat, p) = nat_with_bindings(512);
+    bench(results, "nat", "inbound_lookup_512_bindings", None, || {
         nat.inbound(
             hgw_core::Instant::from_secs(1),
             &p,
@@ -143,26 +172,63 @@ fn bench_nat_table() {
             false,
         )
     });
+
+    // The TCP-4 regime: a thousand concurrent bindings. Every outbound and
+    // inbound packet pays the table's lookup + sweep costs at scale.
+    let (mut nat, p) = nat_with_bindings(1000);
+    bench(results, "nat", "outbound_hit_1k_bindings", None, || {
+        nat.outbound(
+            hgw_core::Instant::from_secs(1),
+            &p,
+            NatProto::Tcp,
+            (Ipv4Addr::new(192, 168, 1, 100), 10_500),
+            (Ipv4Addr::new(10, 0, 1, 1), 80),
+            false,
+            false,
+        )
+    });
+    let (mut nat, p) = nat_with_bindings(1000);
+    bench(results, "nat", "inbound_lookup_1k_bindings", None, || {
+        nat.inbound(
+            hgw_core::Instant::from_secs(1),
+            &p,
+            NatProto::Tcp,
+            10_500,
+            (Ipv4Addr::new(10, 0, 1, 1), 80),
+            false,
+            false,
+        )
+    });
 }
 
-fn bench_simulation() {
+fn bench_simulation(results: &mut Vec<MicroResult>) {
     const MB: u64 = 1024 * 1024;
-    bench("simulation", "tcp_bulk_2mb_through_gateway", Some(2 * MB), || {
+    bench(results, "simulation", "tcp_bulk_2mb_through_gateway", Some(2 * MB), || {
         let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 1, 7);
         run_transfer(&mut tb, 5001, Direction::Upload, 2 * MB)
     });
-    bench("simulation", "udp1_full_binary_search", None, || {
+    bench(results, "simulation", "udp1_full_binary_search", None, || {
         let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 2, 9);
         measure_udp1(&mut tb, 20_000)
     });
-    bench("simulation", "testbed_bringup_double_dhcp", None, || {
+    bench(results, "simulation", "testbed_bringup_double_dhcp", None, || {
         Testbed::new("bench", GatewayPolicy::well_behaved(), 3, 11)
     });
 }
 
 fn main() {
-    bench_checksums();
-    bench_wire();
-    bench_nat_table();
-    bench_simulation();
+    let mut results = Vec::new();
+    bench_checksums(&mut results);
+    bench_wire(&mut results);
+    bench_nat_table(&mut results);
+    bench_simulation(&mut results);
+    if let Ok(path) = std::env::var("HGW_BENCH_JSON") {
+        let label = std::env::var("HGW_BENCH_LABEL").unwrap_or_else(|_| "run".to_string());
+        let bench_ms = hgw_bench::env_u64("HGW_BENCH_MS", 300);
+        let path = std::path::PathBuf::from(path);
+        match hgw_bench::micro::append_capture(&path, &label, bench_ms, &results) {
+            Ok(()) => println!("capture '{label}' appended to {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
 }

@@ -120,3 +120,6 @@ pub mod report;
 
 /// Machine-readable run-manifest emission.
 pub mod manifest;
+
+/// Machine-readable micro-benchmark captures (`BENCH_micro.json`).
+pub mod micro;

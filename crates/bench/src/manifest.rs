@@ -16,7 +16,8 @@ use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 /// measured wall-clock speedup over a sequential run of the same campaign.
 pub const SCHEMA: &str = "hgw-fleet-manifest/2";
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in hand-emitted JSON.
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

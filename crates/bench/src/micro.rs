@@ -1,0 +1,160 @@
+//! Machine-readable micro-benchmark captures (`hgw-microbench/1`).
+//!
+//! The build environment has no serde (see [`crate::manifest`]), so the
+//! JSON is emitted by hand. A *capture* is one full run of the microbench
+//! suite; the trajectory file (`BENCH_micro.json` at the repo root) holds a
+//! list of captures so before/after numbers for an optimization land in the
+//! same machine-readable document.
+//!
+//! Schema `hgw-microbench/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "hgw-microbench/1",
+//!   "captures": [
+//!     {"label": "pre-optimization", "bench_ms": 300, "results": [
+//!       {"group": "nat", "name": "outbound_hit", "ns_per_iter": 141.2,
+//!        "mb_per_s": null, "iters": 1000000}
+//!     ]}
+//!   ]
+//! }
+//! ```
+//!
+//! `mb_per_s` is `null` for benchmarks without a meaningful byte count.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::manifest; // shared json_escape
+
+/// Schema identifier stamped into every capture file.
+pub const MICRO_SCHEMA: &str = "hgw-microbench/1";
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroResult {
+    /// Benchmark group (`checksum`, `wire`, `nat`, `simulation`, ...).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Mean nanoseconds per iteration over the measured batch.
+    pub ns_per_iter: f64,
+    /// Throughput in MB/s where a per-iteration byte count is meaningful.
+    pub mb_per_s: Option<f64>,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+fn result_json(r: &MicroResult) -> String {
+    let mbps = match r.mb_per_s {
+        Some(v) => format!("{v:.1}"),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"group\": \"{}\", \"name\": \"{}\", \"ns_per_iter\": {:.1}, ",
+            "\"mb_per_s\": {}, \"iters\": {}}}"
+        ),
+        manifest::json_escape(&r.group),
+        manifest::json_escape(&r.name),
+        r.ns_per_iter,
+        mbps,
+        r.iters,
+    )
+}
+
+fn capture_json(label: &str, bench_ms: u64, results: &[MicroResult]) -> String {
+    let body: Vec<String> = results.iter().map(result_json).collect();
+    format!(
+        "    {{\"label\": \"{}\", \"bench_ms\": {}, \"results\": [{}]}}",
+        manifest::json_escape(label),
+        bench_ms,
+        body.join(", "),
+    )
+}
+
+/// Renders a full trajectory document from whole captures.
+pub fn render_document(captures: &[String]) -> String {
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"captures\": [\n{}\n  ]\n}}\n",
+        MICRO_SCHEMA,
+        captures.join(",\n"),
+    )
+}
+
+/// Appends a capture to the trajectory file at `path`, creating the file
+/// (with the schema header) if it does not exist. The file must have been
+/// written by this module; anything else is rewritten from scratch with
+/// only the new capture.
+pub fn append_capture(
+    path: &Path,
+    label: &str,
+    bench_ms: u64,
+    results: &[MicroResult],
+) -> std::io::Result<()> {
+    let capture = capture_json(label, bench_ms, results);
+    let document = match std::fs::read_to_string(path) {
+        // `\n  ]` closes the captures array in our own writer; splice there.
+        Ok(existing) if existing.contains(MICRO_SCHEMA) => match existing.rfind("\n  ]\n}") {
+            Some(idx) => {
+                format!("{},\n{}{}", &existing[..idx], capture, &existing[idx..])
+            }
+            None => render_document(&[capture]),
+        },
+        _ => render_document(&[capture]),
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(document.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, mbps: Option<f64>) -> MicroResult {
+        MicroResult {
+            group: "nat".to_string(),
+            name: name.to_string(),
+            ns_per_iter: 123.45,
+            mb_per_s: mbps,
+            iters: 1000,
+        }
+    }
+
+    #[test]
+    fn result_json_handles_both_throughput_cases() {
+        let with = result_json(&sample("a", Some(99.95)));
+        assert!(with.contains("\"mb_per_s\": 100.0") || with.contains("\"mb_per_s\": 99.9"));
+        let without = result_json(&sample("b", None));
+        assert!(without.contains("\"mb_per_s\": null"));
+        assert!(without.contains("\"ns_per_iter\": 123.5") || without.contains("123.4"));
+    }
+
+    #[test]
+    fn append_creates_then_extends() {
+        let dir = std::env::temp_dir().join(format!("hgw_micro_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_micro.json");
+        let _ = std::fs::remove_file(&path);
+
+        append_capture(&path, "before", 300, &[sample("x", None)]).unwrap();
+        let one = std::fs::read_to_string(&path).unwrap();
+        assert!(one.contains(MICRO_SCHEMA));
+        assert_eq!(one.matches("\"label\"").count(), 1);
+
+        append_capture(&path, "after", 300, &[sample("x", Some(10.0))]).unwrap();
+        let two = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(two.matches("\"label\"").count(), 2);
+        assert!(two.contains("\"before\""));
+        assert!(two.contains("\"after\""));
+        // Still exactly one schema header and a well-formed tail.
+        assert_eq!(two.matches(MICRO_SCHEMA).count(), 1);
+        assert!(two.ends_with("  ]\n}\n"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -17,6 +17,7 @@
 pub mod link;
 pub mod node;
 pub mod pcap;
+pub mod pool;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -25,6 +26,7 @@ pub mod trace;
 pub use link::{Dir, FaultConfig, Link, LinkConfig, LinkDirStats, LinkId};
 pub use node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
 pub use pcap::{write_pcap, PcapWriter};
+pub use pool::FramePool;
 pub use rng::SimRng;
 pub use sim::{SimStats, Simulator};
 pub use time::{serialization_time, Duration, Instant};

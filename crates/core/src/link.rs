@@ -159,26 +159,36 @@ pub(crate) struct LinkDir {
     pub(crate) stats: LinkDirStats,
 }
 
+/// Assumed frame size when pre-sizing a queue from its byte capacity
+/// (standard Ethernet MTU plus framing).
+const TYPICAL_FRAME_BYTES: usize = 1514;
+/// Upper bound on pre-allocated queue slots for huge/unbounded queues.
+const MAX_PRESIZED_SLOTS: usize = 256;
+
 impl LinkDir {
-    fn new() -> LinkDir {
+    fn new(config: &LinkConfig) -> LinkDir {
+        // Pre-size the FIFO for the frames its byte budget can hold, so a
+        // saturated link never reallocates the ring mid-run.
+        let slots = (config.queue_bytes / TYPICAL_FRAME_BYTES).clamp(1, MAX_PRESIZED_SLOTS);
         LinkDir {
-            queue: VecDeque::new(),
+            queue: VecDeque::with_capacity(slots),
             queued_bytes: 0,
             transmitting: false,
             stats: LinkDirStats::default(),
         }
     }
 
-    /// Attempts to enqueue; returns false on tail drop.
-    pub(crate) fn enqueue(&mut self, frame: Vec<u8>, cap: usize) -> bool {
+    /// Attempts to enqueue; a tail drop hands the frame back so the caller
+    /// can recycle its buffer.
+    pub(crate) fn enqueue(&mut self, frame: Vec<u8>, cap: usize) -> Result<(), Vec<u8>> {
         if self.queued_bytes.saturating_add(frame.len()) > cap {
             self.stats.drops_queue += 1;
-            return false;
+            return Err(frame);
         }
         self.queued_bytes += frame.len();
         self.stats.queue_peak_bytes = self.stats.queue_peak_bytes.max(self.queued_bytes);
         self.queue.push_back(frame);
-        true
+        Ok(())
     }
 
     pub(crate) fn pop(&mut self) -> Option<Vec<u8>> {
@@ -218,7 +228,8 @@ pub struct Link {
 
 impl Link {
     pub(crate) fn new(config: LinkConfig, a: (NodeId, PortId), b: (NodeId, PortId)) -> Link {
-        Link { config, a, b, dirs: [LinkDir::new(), LinkDir::new()], trace: [None, None] }
+        let dirs = [LinkDir::new(&config), LinkDir::new(&config)];
+        Link { config, a, b, dirs, trace: [None, None] }
     }
 
     /// The endpoint a frame traveling in `dir` is delivered to.
@@ -264,9 +275,10 @@ mod tests {
 
     #[test]
     fn queue_tail_drops_and_counts() {
-        let mut d = LinkDir::new();
-        assert!(d.enqueue(vec![0; 600], 1000));
-        assert!(!d.enqueue(vec![0; 600], 1000), "second frame exceeds 1000 B cap");
+        let mut d = LinkDir::new(&LinkConfig::ethernet_100m());
+        assert!(d.enqueue(vec![0; 600], 1000).is_ok());
+        let rejected = d.enqueue(vec![0; 600], 1000);
+        assert_eq!(rejected, Err(vec![0; 600]), "tail drop hands the frame back");
         assert_eq!(d.stats.drops_queue, 1);
         assert_eq!(d.queued_bytes(), 600);
         assert_eq!(d.stats.queue_peak_bytes, 600);
@@ -274,9 +286,9 @@ mod tests {
 
     #[test]
     fn queue_conserves_bytes() {
-        let mut d = LinkDir::new();
+        let mut d = LinkDir::new(&LinkConfig::ethernet_100m());
         for len in [100usize, 200, 300] {
-            assert!(d.enqueue(vec![0; len], usize::MAX));
+            assert!(d.enqueue(vec![0; len], usize::MAX).is_ok());
         }
         assert_eq!(d.queued_bytes(), 600);
         assert_eq!(d.pop().unwrap().len(), 100);

@@ -9,6 +9,7 @@
 
 use core::any::Any;
 
+use crate::pool::FramePool;
 use crate::rng::SimRng;
 use crate::time::Instant;
 use crate::trace::TraceEvent;
@@ -58,6 +59,7 @@ pub struct NodeCtx<'a> {
     now: Instant,
     node: NodeId,
     rng: &'a mut SimRng,
+    pool: &'a mut FramePool,
     actions: &'a mut Vec<Action>,
 }
 
@@ -66,9 +68,10 @@ impl<'a> NodeCtx<'a> {
         now: Instant,
         node: NodeId,
         rng: &'a mut SimRng,
+        pool: &'a mut FramePool,
         actions: &'a mut Vec<Action>,
     ) -> NodeCtx<'a> {
-        NodeCtx { now, node, rng, actions }
+        NodeCtx { now, node, rng, pool, actions }
     }
 
     /// The current simulated time.
@@ -84,6 +87,19 @@ impl<'a> NodeCtx<'a> {
     /// The node's private RNG stream.
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// Takes a cleared frame buffer with at least `capacity` bytes of room
+    /// from the simulator's [`FramePool`]. Prefer this over a fresh `Vec`
+    /// when building frames to send: retired delivery buffers get recycled
+    /// instead of churning the allocator.
+    pub fn alloc_frame(&mut self, capacity: usize) -> Vec<u8> {
+        self.pool.get_with_capacity(capacity)
+    }
+
+    /// Returns a no-longer-needed buffer to the simulator's [`FramePool`].
+    pub fn recycle_frame(&mut self, buf: Vec<u8>) {
+        self.pool.put(buf);
     }
 
     /// Queues a frame for transmission on `port`. If the port is not
@@ -122,8 +138,10 @@ pub trait Node: Any {
     /// initial timers (DHCP, periodic maintenance) here.
     fn start(&mut self, _ctx: &mut NodeCtx) {}
 
-    /// A frame arrived on `port`.
-    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: Vec<u8>);
+    /// A frame arrived on `port`. The buffer is on loan from the simulator's
+    /// frame pool: take ownership with `std::mem::take(frame)` to keep it;
+    /// whatever is left in place is recycled after the callback returns.
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: &mut Vec<u8>);
 
     /// A timer armed earlier has fired.
     fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken);
@@ -155,7 +173,7 @@ mod tests {
 
     struct Probe;
     impl Node for Probe {
-        fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: Vec<u8>) {}
+        fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: &mut Vec<u8>) {}
         fn handle_timer(&mut self, _: &mut NodeCtx, _: TimerToken) {}
         impl_node_downcast!();
     }
@@ -163,8 +181,10 @@ mod tests {
     #[test]
     fn ctx_collects_actions() {
         let mut rng = SimRng::new(1);
+        let mut pool = FramePool::new();
         let mut actions = Vec::new();
-        let mut ctx = NodeCtx::new(Instant::from_secs(5), NodeId(3), &mut rng, &mut actions);
+        let mut ctx =
+            NodeCtx::new(Instant::from_secs(5), NodeId(3), &mut rng, &mut pool, &mut actions);
         assert_eq!(ctx.now(), Instant::from_secs(5));
         assert_eq!(ctx.node_id(), NodeId(3));
         ctx.send_frame(PortId(0), vec![1, 2, 3]);

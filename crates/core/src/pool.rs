@@ -1,0 +1,134 @@
+//! A reusable frame-buffer pool.
+//!
+//! Every frame in the simulator is a `Vec<u8>`. Without pooling, each
+//! delivered frame's buffer is freed at the end of its journey and every
+//! new frame (and every fault-injected duplicate) allocates afresh — on a
+//! multi-megabyte TCP transfer that is tens of thousands of short-lived
+//! heap round-trips. The [`FramePool`] keeps retired buffers and hands them
+//! back out, so steady-state traffic recycles a small working set instead.
+//!
+//! The pool is deterministic: hit/miss counters depend only on the event
+//! sequence, never on addresses or wall-clock state, so pooled runs remain
+//! bit-for-bit reproducible and the counters surface in
+//! [`SimStats`](crate::sim::SimStats).
+//!
+//! Recycled buffers are always handed out *cleared* (`len == 0`); a buffer
+//! can never alias one still in flight, because `put` consumes the only
+//! owner.
+
+/// Upper bound on retained buffers; beyond it, returned buffers are freed.
+/// Bounds worst-case held memory to roughly `cap × largest frame`.
+const DEFAULT_RETAIN_CAP: usize = 256;
+
+/// A LIFO pool of retired frame buffers.
+#[derive(Debug)]
+pub struct FramePool {
+    free: Vec<Vec<u8>>,
+    retain_cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl FramePool {
+    /// An empty pool with the default retention cap.
+    pub fn new() -> FramePool {
+        FramePool { free: Vec::new(), retain_cap: DEFAULT_RETAIN_CAP, hits: 0, misses: 0 }
+    }
+
+    /// Takes a cleared buffer from the pool, or allocates when empty.
+    pub fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.hits += 1;
+                debug_assert!(buf.is_empty());
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Takes a buffer guaranteed to hold `capacity` bytes without
+    /// reallocating; recycled buffers grow in place as needed.
+    pub fn get_with_capacity(&mut self, capacity: usize) -> Vec<u8> {
+        let mut buf = self.get();
+        buf.reserve(capacity);
+        buf
+    }
+
+    /// Returns a buffer to the pool. Buffers that never allocated, and
+    /// buffers beyond the retention cap, are simply dropped.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || self.free.len() >= self.retain_cap {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Times a `get` was served from a recycled buffer.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Times a `get` had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Buffers currently held.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for FramePool {
+    fn default() -> Self {
+        FramePool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_recycles_and_counts() {
+        let mut pool = FramePool::new();
+        let a = pool.get_with_capacity(100);
+        assert_eq!(pool.misses(), 1);
+        assert!(a.capacity() >= 100);
+        pool.put(a);
+        assert_eq!(pool.retained(), 1);
+        let b = pool.get();
+        assert_eq!(pool.hits(), 1);
+        assert!(b.is_empty(), "recycled buffers are handed out cleared");
+        assert!(b.capacity() >= 100, "recycled buffers keep their capacity");
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_retained() {
+        let mut pool = FramePool::new();
+        pool.put(Vec::new());
+        assert_eq!(pool.retained(), 0);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut pool = FramePool::new();
+        for _ in 0..2 * DEFAULT_RETAIN_CAP {
+            pool.put(vec![0u8; 64]);
+        }
+        assert_eq!(pool.retained(), DEFAULT_RETAIN_CAP);
+    }
+
+    #[test]
+    fn recycled_buffer_contents_never_leak() {
+        let mut pool = FramePool::new();
+        pool.put(vec![0xAA; 512]);
+        let buf = pool.get();
+        assert!(buf.is_empty());
+    }
+}

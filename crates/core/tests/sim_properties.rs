@@ -14,8 +14,8 @@ struct Sink {
 }
 
 impl Node for Sink {
-    fn handle_frame(&mut self, ctx: &mut NodeCtx, _port: PortId, frame: Vec<u8>) {
-        self.frames.push((ctx.now(), frame));
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, _port: PortId, frame: &mut Vec<u8>) {
+        self.frames.push((ctx.now(), std::mem::take(frame)));
     }
     fn handle_timer(&mut self, _: &mut NodeCtx, _: TimerToken) {}
     impl_node_downcast!();
@@ -32,7 +32,7 @@ impl Node for Source {
             ctx.set_timer_at(*at, TimerToken(i as u64));
         }
     }
-    fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: Vec<u8>) {}
+    fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: &mut Vec<u8>) {}
     fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken) {
         let frame = self.schedule[token.0 as usize].1.clone();
         ctx.send_frame(PortId(0), frame);

@@ -1212,7 +1212,8 @@ impl Node for Gateway {
         self.poll(ctx);
     }
 
-    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: Vec<u8>) {
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: &mut Vec<u8>) {
+        let frame = std::mem::take(frame);
         if port == LAN_PORT {
             self.lan_input(ctx, frame);
         } else {

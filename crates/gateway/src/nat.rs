@@ -1,7 +1,28 @@
 //! The NAPT binding table: creation, translation, traffic-pattern-dependent
 //! timeouts, port assignment, filtering, capacity limits, and expiry — the
 //! mechanisms behind UDP-1..5, TCP-1, TCP-4 and the UDP-4 observations.
+//!
+//! # Internal layout
+//!
+//! Live bindings sit in a dense `Vec` (the slab) whose order evolves through
+//! exactly the same push/`swap_remove` sequence as the original linear-scan
+//! implementation, so every "first match in table order" decision — mapping
+//! reuse, inbound filtering, embedded-packet lookup, and the diagnostic
+//! [`NatTable::bindings`] view — is reproduced bit-for-bit. Layered on top:
+//!
+//! - hash indices keyed by the exact session 5-tuple, by `(proto, internal)`
+//!   (mapping reuse), and by `(proto, external_port)` (inbound, collisions);
+//! - per-proto live counters replacing the `count()` filter scan;
+//! - a time-ordered expiry map so [`NatTable::sweep`] touches only bindings
+//!   that are actually due, instead of scanning the whole table;
+//! - an exact-match quarantine index over recently expired flows with its
+//!   own time-ordered pruning queue (the UDP-4 reuse-vs-quarantine memory).
+//!
+//! The pre-index implementation is retained under `reference` (test-only)
+//! and driven side-by-side over randomized policy/flow sequences to pin the
+//! equivalence.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use hgw_core::{Duration, Instant};
@@ -23,7 +44,7 @@ pub enum NatProto {
 pub type Endpoint = (Ipv4Addr, u16);
 
 /// One NAT binding (a translated session).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     /// Transport.
     pub proto: NatProto,
@@ -112,13 +133,86 @@ pub struct NatStats {
 /// Upper bound on retained occupancy samples; older samples are decimated.
 const OCCUPANCY_LOG_CAP: usize = 2048;
 
+/// The flow identity a quarantined (recently expired) binding is remembered
+/// by: `(proto, internal, remote, external_port)`. The quarantine check is
+/// exact equality on all four fields.
+type QuarantineKey = (NatProto, Endpoint, Endpoint, u16);
+
+/// Multiply-rotate hasher for the table indices. NAT keys are tiny
+/// fixed-size tuples of trusted simulator state, so SipHash's DoS
+/// resistance buys nothing here while costing more than the bucket probe
+/// itself; a fixed seed also keeps hashing deterministic across runs.
+#[derive(Default)]
+struct NatHasher(u64);
+
+impl NatHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        const SEED: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl std::hash::Hasher for NatHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64)
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64)
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64)
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.add(n)
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64)
+    }
+}
+
+/// A `HashMap` over [`NatHasher`]. Never iterated (all order-bearing walks
+/// go through the slab), so the bucket layout is unobservable.
+type NatMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<NatHasher>>;
+
 /// The NAPT table.
 #[derive(Debug)]
 pub struct NatTable {
+    /// Dense slab of live bindings; order evolves by push/`swap_remove`
+    /// exactly as in the reference linear implementation.
     bindings: Vec<Binding>,
-    /// Recently expired bindings, kept so the same flow can be recognized
-    /// (reuse vs. quarantine — the UDP-4 behaviors).
-    expired: Vec<Binding>,
+    /// Stable id of `bindings[i]` (parallel to `bindings`).
+    ids: Vec<u64>,
+    /// Current slab position of each live id.
+    pos_of: NatMap<u64, usize>,
+    /// Exact session index: `(proto, internal, remote)` → id. Unique —
+    /// outbound refreshes an existing session instead of creating a twin.
+    by_session: NatMap<(NatProto, Endpoint, Endpoint), u64>,
+    /// Mapping index: `(proto, internal)` → ids sharing that internal
+    /// endpoint (the RFC 4787 §4.1 mapping-reuse candidates).
+    by_internal: NatMap<(NatProto, Endpoint), Vec<u64>>,
+    /// External index: `(proto, external_port)` → ids sharing the mapping.
+    by_external: NatMap<(NatProto, u16), Vec<u64>>,
+    /// Time-ordered expiry queue over live bindings.
+    expiry: BTreeMap<(Instant, u64), ()>,
+    /// Live binding count per transport (indexed by [`proto_idx`]).
+    live: [usize; 3],
+    next_id: u64,
+    /// Recently expired flows, kept so the same flow can be recognized
+    /// (reuse vs. quarantine — the UDP-4 behaviors). Value counts how many
+    /// expired bindings share the key.
+    quarantine: NatMap<QuarantineKey, u32>,
+    /// Time-ordered pruning queue over quarantine entries, keyed by the
+    /// expiry instant of the underlying binding (id keeps keys unique).
+    quarantine_by_time: BTreeMap<(Instant, u64), QuarantineKey>,
     next_seq_port: u16,
     stats: NatStats,
     /// `(time, live bindings)` samples taken whenever occupancy changes,
@@ -133,17 +227,35 @@ pub struct NatTable {
 
 /// Base of the sequential allocation range.
 const SEQ_BASE: u16 = 61_000;
-/// How long an expired binding is remembered.
+/// How long an expired binding is remembered. A flow that expired exactly
+/// this long ago is *no longer* remembered (the boundary is exclusive).
 const EXPIRED_MEMORY: Duration = Duration::from_hours(2);
 /// Linger time for a TCP binding after both FINs are seen.
 const TCP_FIN_LINGER: Duration = Duration::from_secs(10);
+
+fn proto_idx(proto: NatProto) -> usize {
+    match proto {
+        NatProto::Udp => 0,
+        NatProto::Tcp => 1,
+        NatProto::IcmpQuery => 2,
+    }
+}
 
 impl NatTable {
     /// An empty table.
     pub fn new() -> NatTable {
         NatTable {
             bindings: Vec::new(),
-            expired: Vec::new(),
+            ids: Vec::new(),
+            pos_of: NatMap::default(),
+            by_session: NatMap::default(),
+            by_internal: NatMap::default(),
+            by_external: NatMap::default(),
+            expiry: BTreeMap::new(),
+            live: [0; 3],
+            next_id: 0,
+            quarantine: NatMap::default(),
+            quarantine_by_time: BTreeMap::new(),
             next_seq_port: SEQ_BASE,
             stats: NatStats::default(),
             occupancy_log: Vec::new(),
@@ -152,7 +264,9 @@ impl NatTable {
         }
     }
 
-    /// Live bindings (diagnostics).
+    /// Live bindings (diagnostics). Order is deterministic: it evolves
+    /// through the same push/`swap_remove` sequence regardless of the
+    /// index layout.
     pub fn bindings(&self) -> &[Binding] {
         &self.bindings
     }
@@ -188,28 +302,112 @@ impl NatTable {
 
     /// Number of live bindings for one transport.
     pub fn count(&self, proto: NatProto) -> usize {
-        self.bindings.iter().filter(|b| b.proto == proto).count()
+        self.live[proto_idx(proto)]
     }
 
-    /// Moves expired bindings to the expired list. Call with the current
-    /// time before any lookup.
-    pub fn sweep(&mut self, now: Instant) {
-        let before = self.bindings.len();
-        let mut i = 0;
-        while i < self.bindings.len() {
-            if self.bindings[i].expires_at <= now {
-                let b = self.bindings.swap_remove(i);
-                self.expired.push(b);
-            } else {
-                i += 1;
+    /// Inserts a new binding at the tail of the slab and indexes it.
+    fn push_binding(&mut self, b: Binding) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let pos = self.bindings.len();
+        self.pos_of.insert(id, pos);
+        self.by_session.insert((b.proto, b.internal, b.remote), id);
+        self.by_internal.entry((b.proto, b.internal)).or_default().push(id);
+        self.by_external.entry((b.proto, b.external_port)).or_default().push(id);
+        self.expiry.insert((b.expires_at, id), ());
+        self.live[proto_idx(b.proto)] += 1;
+        self.bindings.push(b);
+        self.ids.push(id);
+    }
+
+    /// `swap_remove`s the binding at `pos` and unindexes it, fixing up the
+    /// relocated tail element's position.
+    fn remove_at(&mut self, pos: usize) -> Binding {
+        let id = self.ids.swap_remove(pos);
+        let b = self.bindings.swap_remove(pos);
+        if pos < self.ids.len() {
+            self.pos_of.insert(self.ids[pos], pos);
+        }
+        self.pos_of.remove(&id);
+        self.by_session.remove(&(b.proto, b.internal, b.remote));
+        let ikey = (b.proto, b.internal);
+        if let Some(v) = self.by_internal.get_mut(&ikey) {
+            if let Some(i) = v.iter().position(|&x| x == id) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.by_internal.remove(&ikey);
             }
         }
-        let swept = before - self.bindings.len();
+        let ekey = (b.proto, b.external_port);
+        if let Some(v) = self.by_external.get_mut(&ekey) {
+            if let Some(i) = v.iter().position(|&x| x == id) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.by_external.remove(&ekey);
+            }
+        }
+        self.expiry.remove(&(b.expires_at, id));
+        self.live[proto_idx(b.proto)] -= 1;
+        b
+    }
+
+    /// Moves the binding at `pos` to a new expiry time, keeping the
+    /// time-ordered queue in sync.
+    fn set_expiry(&mut self, pos: usize, expires_at: Instant) {
+        let id = self.ids[pos];
+        let old = self.bindings[pos].expires_at;
+        if old == expires_at {
+            return;
+        }
+        self.expiry.remove(&(old, id));
+        self.expiry.insert((expires_at, id), ());
+        self.bindings[pos].expires_at = expires_at;
+    }
+
+    /// Moves expired bindings to the quarantine memory. Call with the
+    /// current time before any lookup. Cost is proportional to the number
+    /// of bindings actually due, not the table size.
+    pub fn sweep(&mut self, now: Instant) {
+        // Current slab positions of every binding that is due.
+        let mut due: BTreeSet<usize> =
+            self.expiry.range(..=(now, u64::MAX)).map(|(&(_, id), ())| self.pos_of[&id]).collect();
+        let swept = due.len();
+        // Replay the removals exactly as the reference ascending scan with
+        // `swap_remove` does: take the smallest due position; the relocated
+        // tail element, if itself due, is re-examined at its new position.
+        while let Some(pos) = due.pop_first() {
+            let last = self.bindings.len() - 1;
+            let id = self.ids[pos];
+            let b = self.remove_at(pos);
+            if pos != last && due.remove(&last) {
+                due.insert(pos);
+            }
+            let key = (b.proto, b.internal, b.remote, b.external_port);
+            *self.quarantine.entry(key).or_insert(0) += 1;
+            self.quarantine_by_time.insert((b.expires_at, id), key);
+        }
         if swept > 0 {
             self.stats.bindings_expired += swept as u64;
             self.record_occupancy(now);
         }
-        self.expired.retain(|b| now.duration_since(b.expires_at.min(now)) < EXPIRED_MEMORY);
+        // Prune quarantine entries past the memory horizon. A binding that
+        // expired exactly `EXPIRED_MEMORY` ago is dropped — the boundary is
+        // exclusive, which the old clamped `duration_since` formulation
+        // obscured (see `quarantine_drops_exactly_at_memory_horizon`).
+        while let Some((&(expired_at, _), _)) = self.quarantine_by_time.first_key_value() {
+            if expired_at.saturating_add(EXPIRED_MEMORY) > now {
+                break;
+            }
+            let (_, key) = self.quarantine_by_time.pop_first().expect("peeked entry");
+            if let Some(c) = self.quarantine.get_mut(&key) {
+                *c -= 1;
+                if *c == 0 {
+                    self.quarantine.remove(&key);
+                }
+            }
+        }
     }
 
     fn quantize(now: Instant, timeout: Duration, granularity: Duration) -> Instant {
@@ -220,7 +418,8 @@ impl NatTable {
     }
 
     fn port_in_use(&self, proto: NatProto, port: u16) -> bool {
-        self.bindings.iter().any(|b| b.proto == proto && b.external_port == port)
+        // Emptied buckets are removed eagerly, so presence means in use.
+        self.by_external.contains_key(&(proto, port))
     }
 
     fn next_sequential(&mut self, proto: NatProto) -> u16 {
@@ -243,32 +442,33 @@ impl NatTable {
         remote: Endpoint,
     ) -> u16 {
         // Mapping behavior (RFC 4787 §4.1): how far an existing mapping for
-        // the same internal endpoint is reused for a new remote.
-        let reusable = |b: &&Binding| match policy.mapping {
-            EndpointScope::EndpointIndependent => true,
-            EndpointScope::AddressDependent => b.remote.0 == remote.0,
-            EndpointScope::AddressAndPortDependent => false,
-        };
+        // the same internal endpoint is reused for a new remote. Among
+        // candidates, the first in table order wins (min slab position),
+        // matching the reference scan.
         if policy.mapping != EndpointScope::AddressAndPortDependent {
-            if let Some(b) = self
-                .bindings
-                .iter()
-                .filter(|b| b.proto == proto && b.internal == internal)
-                .find(reusable)
-            {
-                return b.external_port;
+            if let Some(ids) = self.by_internal.get(&(proto, internal)) {
+                let mut best: Option<usize> = None;
+                for id in ids {
+                    let pos = self.pos_of[id];
+                    let reusable = match policy.mapping {
+                        EndpointScope::EndpointIndependent => true,
+                        EndpointScope::AddressDependent => self.bindings[pos].remote.0 == remote.0,
+                        EndpointScope::AddressAndPortDependent => false,
+                    };
+                    if reusable {
+                        best = Some(best.map_or(pos, |b| b.min(pos)));
+                    }
+                }
+                if let Some(pos) = best {
+                    return self.bindings[pos].external_port;
+                }
             }
         }
         match policy.port_assignment {
             PortAssignment::Preserve { reuse_expired } => {
                 let candidate = internal.1;
                 let quarantined = !reuse_expired
-                    && self.expired.iter().any(|b| {
-                        b.proto == proto
-                            && b.internal == internal
-                            && b.remote == remote
-                            && b.external_port == candidate
-                    });
+                    && self.quarantine.contains_key(&(proto, internal, remote, candidate));
                 if !self.port_in_use(proto, candidate) && !quarantined {
                     candidate
                 } else {
@@ -294,36 +494,35 @@ impl NatTable {
     ) -> OutboundVerdict {
         self.sweep(now);
         // Session match: exact 5-tuple.
-        if let Some(b) = self
-            .bindings
-            .iter_mut()
-            .find(|b| b.proto == proto && b.internal == internal && b.remote == remote)
-        {
+        if let Some(&id) = self.by_session.get(&(proto, internal, remote)) {
+            let pos = self.pos_of[&id];
+            let b = &mut self.bindings[pos];
             // Pattern transition on outbound traffic.
             if b.pattern == TrafficPattern::InboundSeen {
                 b.pattern = TrafficPattern::Bidirectional;
             }
             let external_port = b.external_port;
-            match proto {
+            let expires_at = match proto {
                 NatProto::Tcp => {
                     if tcp_rst {
-                        b.expires_at = now; // removed on next sweep
+                        now // removed on next sweep
                     } else {
                         if tcp_fin {
                             b.fin_from_lan = true;
                         }
-                        b.expires_at = if b.fin_from_lan && b.fin_from_wan {
+                        if b.fin_from_lan && b.fin_from_wan {
                             now + TCP_FIN_LINGER
                         } else {
                             NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity)
-                        };
+                        }
                     }
                 }
                 _ => {
                     let t = policy.udp_timeout(b.pattern, remote.1);
-                    b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
+                    NatTable::quantize(now, t, policy.timer_granularity)
                 }
-            }
+            };
+            self.set_expiry(pos, expires_at);
             return OutboundVerdict::Translated { external_port, created: false };
         }
         // New binding.
@@ -346,7 +545,7 @@ impl NatTable {
                 policy.timer_granularity,
             ),
         };
-        self.bindings.push(Binding {
+        self.push_binding(Binding {
             proto,
             internal,
             remote,
@@ -375,62 +574,67 @@ impl NatTable {
         tcp_rst: bool,
     ) -> InboundVerdict {
         self.sweep(now);
-        // Collect candidate bindings on this external port.
+        // Candidate bindings on this external port: the sessions sharing one
+        // mapping. The exact session is unique (outbound never creates a
+        // 5-tuple twin); a filtering pass falls back to the candidate first
+        // in table order, matching the reference scan.
         let mut session: Option<usize> = None;
         let mut filter_pass: Option<usize> = None;
         let mut any = false;
-        for (i, b) in self.bindings.iter().enumerate() {
-            if b.proto != proto || b.external_port != external_port {
-                continue;
-            }
-            any = true;
-            if b.remote == remote {
-                session = Some(i);
-                break;
-            }
-            // A mapping exists but this remote has no exact session: the
-            // filtering policy decides, judged against every session that
-            // shares the mapping (RFC 4787 filtering is per-mapping).
-            let pass = match policy.filtering {
-                EndpointScope::EndpointIndependent => true,
-                EndpointScope::AddressDependent => b.remote.0 == remote.0,
-                EndpointScope::AddressAndPortDependent => false,
-            };
-            if pass {
-                filter_pass.get_or_insert(i);
+        if let Some(ids) = self.by_external.get(&(proto, external_port)) {
+            any = !ids.is_empty();
+            for id in ids {
+                let pos = self.pos_of[id];
+                let b = &self.bindings[pos];
+                if b.remote == remote {
+                    session = Some(pos);
+                    break;
+                }
+                // A mapping exists but this remote has no exact session: the
+                // filtering policy decides, judged against every session that
+                // shares the mapping (RFC 4787 filtering is per-mapping).
+                let pass = match policy.filtering {
+                    EndpointScope::EndpointIndependent => true,
+                    EndpointScope::AddressDependent => b.remote.0 == remote.0,
+                    EndpointScope::AddressAndPortDependent => false,
+                };
+                if pass {
+                    filter_pass = Some(filter_pass.map_or(pos, |f: usize| f.min(pos)));
+                }
             }
         }
-        let idx = match session.or(filter_pass) {
-            Some(i) => i,
+        let pos = match session.or(filter_pass) {
+            Some(p) => p,
             None => {
                 return if any { InboundVerdict::Filtered } else { InboundVerdict::NoBinding };
             }
         };
-        let b = &mut self.bindings[idx];
+        let b = &mut self.bindings[pos];
         let internal = b.internal;
         if b.pattern == TrafficPattern::OutboundOnly {
             b.pattern = TrafficPattern::InboundSeen;
         }
-        match proto {
+        let expires_at = match proto {
             NatProto::Tcp => {
                 if tcp_rst {
-                    b.expires_at = now;
+                    now
                 } else {
                     if tcp_fin {
                         b.fin_from_wan = true;
                     }
-                    b.expires_at = if b.fin_from_lan && b.fin_from_wan {
+                    if b.fin_from_lan && b.fin_from_wan {
                         now + TCP_FIN_LINGER
                     } else {
                         NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity)
-                    };
+                    }
                 }
             }
             _ => {
                 let t = policy.udp_timeout(b.pattern, b.remote.1);
-                b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
+                NatTable::quantize(now, t, policy.timer_granularity)
             }
-        }
+        };
+        self.set_expiry(pos, expires_at);
         InboundVerdict::Accept { internal }
     }
 
@@ -438,13 +642,314 @@ impl NatTable {
     /// left the gateway from `external_port` toward `remote` (the remote
     /// match is relaxed, as errors may come from intermediate routers).
     pub fn find_for_embedded(&self, proto: NatProto, external_port: u16) -> Option<&Binding> {
-        self.bindings.iter().find(|b| b.proto == proto && b.external_port == external_port)
+        let ids = self.by_external.get(&(proto, external_port))?;
+        let pos = ids.iter().map(|id| self.pos_of[id]).min()?;
+        Some(&self.bindings[pos])
     }
 }
 
 impl Default for NatTable {
     fn default() -> Self {
         NatTable::new()
+    }
+}
+
+/// The pre-index, linear-scan NAPT table, retained verbatim as the
+/// differential-testing oracle for [`NatTable`]. Every behavior-relevant
+/// line matches the implementation this module replaced; the randomized
+/// differential tests below drive both tables over identical op sequences
+/// and assert identical verdicts, table states, and stats.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    #[derive(Debug)]
+    pub struct LinearNatTable {
+        bindings: Vec<Binding>,
+        expired: Vec<Binding>,
+        next_seq_port: u16,
+        stats: NatStats,
+        occupancy_log: Vec<(Instant, usize)>,
+        occupancy_stride: u32,
+        occupancy_skipped: u32,
+    }
+
+    impl LinearNatTable {
+        pub fn new() -> LinearNatTable {
+            LinearNatTable {
+                bindings: Vec::new(),
+                expired: Vec::new(),
+                next_seq_port: SEQ_BASE,
+                stats: NatStats::default(),
+                occupancy_log: Vec::new(),
+                occupancy_stride: 1,
+                occupancy_skipped: 0,
+            }
+        }
+
+        pub fn bindings(&self) -> &[Binding] {
+            &self.bindings
+        }
+
+        pub fn stats(&self) -> NatStats {
+            self.stats
+        }
+
+        pub fn occupancy_log(&self) -> &[(Instant, usize)] {
+            &self.occupancy_log
+        }
+
+        fn record_occupancy(&mut self, now: Instant) {
+            self.occupancy_skipped += 1;
+            if self.occupancy_skipped < self.occupancy_stride {
+                return;
+            }
+            self.occupancy_skipped = 0;
+            self.occupancy_log.push((now, self.bindings.len()));
+            if self.occupancy_log.len() > OCCUPANCY_LOG_CAP {
+                let mut keep = false;
+                self.occupancy_log.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.occupancy_stride *= 2;
+            }
+        }
+
+        pub fn count(&self, proto: NatProto) -> usize {
+            self.bindings.iter().filter(|b| b.proto == proto).count()
+        }
+
+        pub fn sweep(&mut self, now: Instant) {
+            let before = self.bindings.len();
+            let mut i = 0;
+            while i < self.bindings.len() {
+                if self.bindings[i].expires_at <= now {
+                    let b = self.bindings.swap_remove(i);
+                    self.expired.push(b);
+                } else {
+                    i += 1;
+                }
+            }
+            let swept = before - self.bindings.len();
+            if swept > 0 {
+                self.stats.bindings_expired += swept as u64;
+                self.record_occupancy(now);
+            }
+            self.expired.retain(|b| now.duration_since(b.expires_at.min(now)) < EXPIRED_MEMORY);
+        }
+
+        fn port_in_use(&self, proto: NatProto, port: u16) -> bool {
+            self.bindings.iter().any(|b| b.proto == proto && b.external_port == port)
+        }
+
+        fn next_sequential(&mut self, proto: NatProto) -> u16 {
+            loop {
+                let p = self.next_seq_port;
+                self.next_seq_port =
+                    if self.next_seq_port == u16::MAX { SEQ_BASE } else { self.next_seq_port + 1 };
+                if !self.port_in_use(proto, p) {
+                    return p;
+                }
+            }
+        }
+
+        fn assign_port(
+            &mut self,
+            policy: &GatewayPolicy,
+            proto: NatProto,
+            internal: Endpoint,
+            remote: Endpoint,
+        ) -> u16 {
+            let reusable = |b: &&Binding| match policy.mapping {
+                EndpointScope::EndpointIndependent => true,
+                EndpointScope::AddressDependent => b.remote.0 == remote.0,
+                EndpointScope::AddressAndPortDependent => false,
+            };
+            if policy.mapping != EndpointScope::AddressAndPortDependent {
+                if let Some(b) = self
+                    .bindings
+                    .iter()
+                    .filter(|b| b.proto == proto && b.internal == internal)
+                    .find(reusable)
+                {
+                    return b.external_port;
+                }
+            }
+            match policy.port_assignment {
+                PortAssignment::Preserve { reuse_expired } => {
+                    let candidate = internal.1;
+                    let quarantined = !reuse_expired
+                        && self.expired.iter().any(|b| {
+                            b.proto == proto
+                                && b.internal == internal
+                                && b.remote == remote
+                                && b.external_port == candidate
+                        });
+                    if !self.port_in_use(proto, candidate) && !quarantined {
+                        candidate
+                    } else {
+                        self.next_sequential(proto)
+                    }
+                }
+                PortAssignment::Sequential => self.next_sequential(proto),
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        pub fn outbound(
+            &mut self,
+            now: Instant,
+            policy: &GatewayPolicy,
+            proto: NatProto,
+            internal: Endpoint,
+            remote: Endpoint,
+            tcp_fin: bool,
+            tcp_rst: bool,
+        ) -> OutboundVerdict {
+            self.sweep(now);
+            if let Some(b) = self
+                .bindings
+                .iter_mut()
+                .find(|b| b.proto == proto && b.internal == internal && b.remote == remote)
+            {
+                if b.pattern == TrafficPattern::InboundSeen {
+                    b.pattern = TrafficPattern::Bidirectional;
+                }
+                let external_port = b.external_port;
+                match proto {
+                    NatProto::Tcp => {
+                        if tcp_rst {
+                            b.expires_at = now;
+                        } else {
+                            if tcp_fin {
+                                b.fin_from_lan = true;
+                            }
+                            b.expires_at = if b.fin_from_lan && b.fin_from_wan {
+                                now + TCP_FIN_LINGER
+                            } else {
+                                NatTable::quantize(
+                                    now,
+                                    policy.tcp_timeout,
+                                    policy.timer_granularity,
+                                )
+                            };
+                        }
+                    }
+                    _ => {
+                        let t = policy.udp_timeout(b.pattern, remote.1);
+                        b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
+                    }
+                }
+                return OutboundVerdict::Translated { external_port, created: false };
+            }
+            if self.count(proto) >= policy.max_bindings {
+                self.stats.refusals += 1;
+                return OutboundVerdict::NoCapacity;
+            }
+            let external_port = self.assign_port(policy, proto, internal, remote);
+            self.stats.bindings_created += 1;
+            if external_port == internal.1 {
+                self.stats.port_preservation_hits += 1;
+            } else {
+                self.stats.port_preservation_misses += 1;
+            }
+            let expires_at = match proto {
+                NatProto::Tcp => {
+                    NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity)
+                }
+                _ => NatTable::quantize(
+                    now,
+                    policy.udp_timeout(TrafficPattern::OutboundOnly, remote.1),
+                    policy.timer_granularity,
+                ),
+            };
+            self.bindings.push(Binding {
+                proto,
+                internal,
+                remote,
+                external_port,
+                pattern: TrafficPattern::OutboundOnly,
+                expires_at,
+                created_at: now,
+                fin_from_lan: tcp_fin,
+                fin_from_wan: false,
+            });
+            self.stats.peak_bindings = self.stats.peak_bindings.max(self.bindings.len());
+            self.record_occupancy(now);
+            OutboundVerdict::Translated { external_port, created: true }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        pub fn inbound(
+            &mut self,
+            now: Instant,
+            policy: &GatewayPolicy,
+            proto: NatProto,
+            external_port: u16,
+            remote: Endpoint,
+            tcp_fin: bool,
+            tcp_rst: bool,
+        ) -> InboundVerdict {
+            self.sweep(now);
+            let mut session: Option<usize> = None;
+            let mut filter_pass: Option<usize> = None;
+            let mut any = false;
+            for (i, b) in self.bindings.iter().enumerate() {
+                if b.proto != proto || b.external_port != external_port {
+                    continue;
+                }
+                any = true;
+                if b.remote == remote {
+                    session = Some(i);
+                    break;
+                }
+                let pass = match policy.filtering {
+                    EndpointScope::EndpointIndependent => true,
+                    EndpointScope::AddressDependent => b.remote.0 == remote.0,
+                    EndpointScope::AddressAndPortDependent => false,
+                };
+                if pass {
+                    filter_pass.get_or_insert(i);
+                }
+            }
+            let idx = match session.or(filter_pass) {
+                Some(i) => i,
+                None => {
+                    return if any { InboundVerdict::Filtered } else { InboundVerdict::NoBinding };
+                }
+            };
+            let b = &mut self.bindings[idx];
+            let internal = b.internal;
+            if b.pattern == TrafficPattern::OutboundOnly {
+                b.pattern = TrafficPattern::InboundSeen;
+            }
+            match proto {
+                NatProto::Tcp => {
+                    if tcp_rst {
+                        b.expires_at = now;
+                    } else {
+                        if tcp_fin {
+                            b.fin_from_wan = true;
+                        }
+                        b.expires_at = if b.fin_from_lan && b.fin_from_wan {
+                            now + TCP_FIN_LINGER
+                        } else {
+                            NatTable::quantize(now, policy.tcp_timeout, policy.timer_granularity)
+                        };
+                    }
+                }
+                _ => {
+                    let t = policy.udp_timeout(b.pattern, b.remote.1);
+                    b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
+                }
+            }
+            InboundVerdict::Accept { internal }
+        }
+
+        pub fn find_for_embedded(&self, proto: NatProto, external_port: u16) -> Option<&Binding> {
+            self.bindings.iter().find(|b| b.proto == proto && b.external_port == external_port)
+        }
     }
 }
 
@@ -569,6 +1074,40 @@ mod tests {
         nat.outbound(t(0), &p2, NatProto::Udp, internal(), remote(), false, false);
         let v = nat.outbound(t(100), &p2, NatProto::Udp, internal(), remote(), false, false);
         assert_eq!(v, OutboundVerdict::Translated { external_port: SEQ_BASE, created: true });
+    }
+
+    #[test]
+    fn quarantine_drops_exactly_at_memory_horizon() {
+        // A flow that expired exactly EXPIRED_MEMORY ago must be forgotten:
+        // the boundary is exclusive. One nanosecond earlier it is still
+        // quarantined and the preserve candidate is refused.
+        let mut p = pol();
+        p.port_assignment = PortAssignment::Preserve { reuse_expired: false };
+        let build = |p: &GatewayPolicy| {
+            let mut nat = NatTable::new();
+            nat.outbound(t(0), p, NatProto::Udp, internal(), remote(), false, false);
+            let expires_at = nat.bindings()[0].expires_at;
+            (nat, expires_at)
+        };
+
+        let (mut nat, expires_at) = build(&p);
+        let just_inside =
+            Instant::from_nanos(expires_at.as_nanos() + EXPIRED_MEMORY.as_nanos() - 1);
+        let v = nat.outbound(just_inside, &p, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(
+            v,
+            OutboundVerdict::Translated { external_port: SEQ_BASE, created: true },
+            "one nanosecond inside the horizon the port must still be quarantined"
+        );
+
+        let (mut nat, expires_at) = build(&p);
+        let at_horizon = expires_at + EXPIRED_MEMORY;
+        let v = nat.outbound(at_horizon, &p, NatProto::Udp, internal(), remote(), false, false);
+        assert_eq!(
+            v,
+            OutboundVerdict::Translated { external_port: 5000, created: true },
+            "exactly at the horizon the quarantine memory must be gone"
+        );
     }
 
     #[test]
@@ -746,5 +1285,154 @@ mod tests {
         let b = nat.find_for_embedded(NatProto::Udp, 5000).unwrap();
         assert_eq!(b.internal, internal());
         assert!(nat.find_for_embedded(NatProto::Udp, 1234).is_none());
+    }
+}
+
+/// Randomized differential tests: the indexed [`NatTable`] against the
+/// retained linear-scan [`reference::LinearNatTable`], over every
+/// mapping × filtering × port-assignment combination. Both tables see the
+/// same op stream; verdicts must match op-for-op and the full table state
+/// (binding slab order included), stats, per-proto counts, and occupancy
+/// logs must match at every checkpoint.
+#[cfg(test)]
+mod differential {
+    use super::reference::LinearNatTable;
+    use super::*;
+    use hgw_core::SimRng;
+
+    const OPS_PER_COMBO: usize = 10_000;
+
+    const MAPPINGS: [EndpointScope; 3] = [
+        EndpointScope::EndpointIndependent,
+        EndpointScope::AddressDependent,
+        EndpointScope::AddressAndPortDependent,
+    ];
+    const FILTERINGS: [EndpointScope; 3] = MAPPINGS;
+    const ASSIGNMENTS: [PortAssignment; 3] = [
+        PortAssignment::Preserve { reuse_expired: true },
+        PortAssignment::Preserve { reuse_expired: false },
+        PortAssignment::Sequential,
+    ];
+    const PROTOS: [NatProto; 3] = [NatProto::Udp, NatProto::Tcp, NatProto::IcmpQuery];
+
+    fn pick<T: Copy>(rng: &mut SimRng, xs: &[T]) -> T {
+        xs[rng.below(xs.len() as u64) as usize]
+    }
+
+    fn internal_endpoint(rng: &mut SimRng) -> Endpoint {
+        // Two hosts sharing a small port pool provokes preserve collisions.
+        let host = Ipv4Addr::new(192, 168, 1, 100 + rng.below(2) as u8);
+        (host, 5000 + rng.below(6) as u16)
+    }
+
+    fn remote_endpoint(rng: &mut SimRng) -> Endpoint {
+        let addr = Ipv4Addr::new(10, 0, 1, 1 + rng.below(3) as u8);
+        (addr, 7000 + rng.below(3) as u16)
+    }
+
+    fn external_port(rng: &mut SimRng) -> u16 {
+        // Ports that can actually hold bindings: the preserve pool and the
+        // head of the sequential range (plus a few guaranteed misses).
+        match rng.below(3) {
+            0 => 5000 + rng.below(6) as u16,
+            1 => SEQ_BASE + rng.below(32) as u16,
+            _ => 1 + rng.below(64) as u16,
+        }
+    }
+
+    fn assert_same_state(new: &NatTable, oracle: &LinearNatTable, ctx: &str) {
+        assert_eq!(new.bindings(), oracle.bindings(), "binding slab diverged: {ctx}");
+        assert_eq!(new.stats(), oracle.stats(), "stats diverged: {ctx}");
+        assert_eq!(new.occupancy_log(), oracle.occupancy_log(), "occupancy diverged: {ctx}");
+        for proto in PROTOS {
+            assert_eq!(new.count(proto), oracle.count(proto), "count({proto:?}) diverged: {ctx}");
+        }
+    }
+
+    fn drive(policy: &GatewayPolicy, seed: u64) {
+        let mut rng = SimRng::new(seed);
+        let mut new = NatTable::new();
+        let mut oracle = LinearNatTable::new();
+        let mut now = Instant::ZERO;
+        for op in 0..OPS_PER_COMBO {
+            // Mostly small steps; occasionally jump past timeouts or the
+            // whole quarantine window so expiry and pruning both fire.
+            now += match rng.below(100) {
+                0..=1 => Duration::from_secs(7200 + rng.below(3600)),
+                2..=11 => Duration::from_secs(180 + rng.below(600)),
+                _ => Duration::from_millis(rng.below(40_000)),
+            };
+            let proto = pick(&mut rng, &PROTOS);
+            let fin = proto == NatProto::Tcp && rng.chance(0.15);
+            let rst = proto == NatProto::Tcp && rng.chance(0.05);
+            let ctx = format!("op {op} at {now:?} (seed {seed})");
+            match rng.below(10) {
+                0..=4 => {
+                    let internal = internal_endpoint(&mut rng);
+                    let remote = remote_endpoint(&mut rng);
+                    let a = new.outbound(now, policy, proto, internal, remote, fin, rst);
+                    let b = oracle.outbound(now, policy, proto, internal, remote, fin, rst);
+                    assert_eq!(a, b, "outbound verdict diverged: {ctx}");
+                }
+                5..=8 => {
+                    let port = external_port(&mut rng);
+                    let remote = remote_endpoint(&mut rng);
+                    let a = new.inbound(now, policy, proto, port, remote, fin, rst);
+                    let b = oracle.inbound(now, policy, proto, port, remote, fin, rst);
+                    assert_eq!(a, b, "inbound verdict diverged: {ctx}");
+                }
+                _ => {
+                    new.sweep(now);
+                    oracle.sweep(now);
+                    let port = external_port(&mut rng);
+                    let a = new.find_for_embedded(proto, port);
+                    let b = oracle.find_for_embedded(proto, port);
+                    assert_eq!(a, b, "find_for_embedded diverged: {ctx}");
+                }
+            }
+            if op % 64 == 0 {
+                assert_same_state(&new, &oracle, &ctx);
+            }
+        }
+        assert_same_state(&new, &oracle, &format!("final state (seed {seed})"));
+        assert!(
+            oracle.stats().bindings_created > 0 && oracle.stats().bindings_expired > 0,
+            "op stream failed to exercise the table (seed {seed})"
+        );
+    }
+
+    #[test]
+    fn indexed_table_matches_linear_reference_across_policies() {
+        let mut seed = 0xDA7A_5EED;
+        for mapping in MAPPINGS {
+            for assignment in ASSIGNMENTS {
+                for filtering in FILTERINGS {
+                    let mut p = GatewayPolicy::well_behaved();
+                    p.mapping = mapping;
+                    p.filtering = filtering;
+                    p.port_assignment = assignment;
+                    p.max_bindings = 24; // small enough to hit capacity
+                    seed += 1;
+                    drive(&p, seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_table_matches_linear_reference_with_coarse_timer() {
+        let mut seed = 0xC0A5_0E00;
+        for mapping in MAPPINGS {
+            for assignment in ASSIGNMENTS {
+                let mut p = GatewayPolicy::well_behaved();
+                p.mapping = mapping;
+                p.filtering = EndpointScope::AddressDependent;
+                p.port_assignment = assignment;
+                p.timer_granularity = Duration::from_secs(60);
+                p.max_bindings = 24;
+                seed += 1;
+                drive(&p, seed);
+            }
+        }
     }
 }

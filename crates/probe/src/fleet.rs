@@ -589,6 +589,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Runs `probe` against every device sequentially, returning
 /// `(tag, result)` pairs in Table 1 order.
+#[doc(hidden)]
 #[deprecated(
     since = "0.1.0",
     note = "use FleetRunner::new(devices).seed(seed).parallelism(Parallelism::Sequential).run_mut(probe)"
@@ -610,6 +611,7 @@ pub fn run_fleet<R>(
 /// simulator and returns per-device [`DeviceRunMetrics`] alongside the
 /// probe's result. Observation is a pure sink, so `R` values are identical
 /// to what [`run_fleet`] would have produced for the same seed.
+#[doc(hidden)]
 #[deprecated(
     since = "0.1.0",
     note = "use FleetRunner::new(devices).seed(seed).instrumented(true).run_mut(probe)"

@@ -224,7 +224,8 @@ impl Host {
                 repr.src_addr = addr;
             }
         }
-        ctx.send_frame(port, repr.emit_with_payload(payload));
+        let frame = repr.emit_with_payload_into(payload, ctx.alloc_frame(0));
+        ctx.send_frame(port, frame);
     }
 
     /// Transmits an IP payload on an explicit port (broadcasts, DHCP).
@@ -234,7 +235,8 @@ impl Host {
                 repr.src_addr = addr;
             }
         }
-        ctx.send_frame(port, repr.emit_with_payload(payload));
+        let frame = repr.emit_with_payload_into(payload, ctx.alloc_frame(0));
+        ctx.send_frame(port, frame);
     }
 
     /// Sends a fully formed IP packet, routing by its destination (used by
@@ -1130,7 +1132,7 @@ impl Node for Host {
         self.poll(ctx);
     }
 
-    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: Vec<u8>) {
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: &mut Vec<u8>) {
         if let Some(buf) = &mut self.sniffed {
             buf.push((ctx.now(), frame.clone()));
         }
@@ -1143,17 +1145,18 @@ impl Node for Host {
         // waiting for DHCP accepts anything (it has no address to match).
         if !self.owns_addr(dst) && self.iface_addr(port).is_some() {
             if self.forwarding {
+                let frame = std::mem::take(frame);
                 self.forward_packet(ctx, port, frame);
             }
             return;
         }
-        let payload = ip.payload().to_vec();
+        let payload = ip.payload();
         match ip.protocol() {
-            Protocol::Udp => self.handle_udp(ctx, port, &ip, &payload),
-            Protocol::Tcp => self.handle_tcp(ctx, &ip, &payload),
-            Protocol::Icmp => self.handle_icmp(ctx, &ip, &payload),
-            Protocol::Sctp => self.handle_sctp(ctx, &ip, &payload),
-            Protocol::Dccp => self.handle_dccp(ctx, &ip, &payload),
+            Protocol::Udp => self.handle_udp(ctx, port, &ip, payload),
+            Protocol::Tcp => self.handle_tcp(ctx, &ip, payload),
+            Protocol::Icmp => self.handle_icmp(ctx, &ip, payload),
+            Protocol::Sctp => self.handle_sctp(ctx, &ip, payload),
+            Protocol::Dccp => self.handle_dccp(ctx, &ip, payload),
             Protocol::Unknown(_) => {}
         }
         self.reschedule(ctx);

@@ -8,12 +8,14 @@
 //! byte stream with a virtual timestamp every 2 KB (TCP-2/TCP-3) and a
 //! *sink* that extracts those timestamps on arrival.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::net::SocketAddrV4;
 
 use hgw_core::{Duration, Instant};
 use hgw_wire::tcp::{TcpOption, TcpRepr};
 use hgw_wire::{SeqNumber, TcpFlags};
+
+use crate::bytes::ByteQueue;
 
 /// TCP connection states (RFC 793).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +131,7 @@ impl BulkSource {
     }
 
     /// Generates up to `space` bytes at time `now` into `out`.
-    fn generate(&mut self, now: Instant, space: usize, out: &mut VecDeque<u8>) {
+    fn generate(&mut self, now: Instant, space: usize, out: &mut ByteQueue) {
         let mut space = (space as u64).min(self.remaining());
         while space > 0 && self.remaining() > 0 {
             let pos = self.generated;
@@ -138,15 +140,13 @@ impl BulkSource {
                 if space < 16 || self.remaining() < 16 {
                     break; // wait for room for a whole record
                 }
-                out.extend(STAMP_MAGIC.to_be_bytes());
-                out.extend(now.as_nanos().to_be_bytes());
+                out.extend_from_slice(&STAMP_MAGIC.to_be_bytes());
+                out.extend_from_slice(&now.as_nanos().to_be_bytes());
                 self.generated += 16;
                 space -= 16;
             } else {
                 let run = (self.stamp_every - in_block).min(space).min(self.remaining());
-                for i in 0..run {
-                    out.push_back(((pos + i) & 0xFF) as u8);
-                }
+                out.extend_with(run, |i| ((pos + i) & 0xFF) as u8);
                 self.generated += run;
                 space -= run;
             }
@@ -178,11 +178,19 @@ impl SinkState {
         let start = self.stats.bytes;
         self.stats.bytes += data.len() as u64;
         self.stats.last_arrival = Some(now);
-        for (i, &b) in data.iter().enumerate() {
-            let pos = start + i as u64;
-            if pos % stamp_every < 16 {
-                self.pending.push(b);
-                if pos % stamp_every == 15 {
+        // Walk the stream in runs: only the 16 record bytes at the head of
+        // each `stamp_every` block matter; the payload between records is
+        // skipped in one step instead of byte by byte.
+        let end = start + data.len() as u64;
+        let mut pos = start;
+        while pos < end {
+            let in_block = pos % stamp_every;
+            if in_block < 16 {
+                let take = (16 - in_block).min(end - pos);
+                let off = (pos - start) as usize;
+                self.pending.extend_from_slice(&data[off..off + take as usize]);
+                pos += take;
+                if in_block + take == 16 {
                     if self.pending.len() == 16 {
                         let magic = u64::from_be_bytes(self.pending[0..8].try_into().unwrap());
                         if magic == STAMP_MAGIC {
@@ -192,6 +200,8 @@ impl SinkState {
                     }
                     self.pending.clear();
                 }
+            } else {
+                pos += (stamp_every - in_block).min(end - pos);
             }
         }
     }
@@ -228,7 +238,7 @@ pub struct TcpSocket {
     snd_wnd: u32,
     /// Peer MSS from its SYN.
     peer_mss: u32,
-    send_buf: VecDeque<u8>,
+    send_buf: ByteQueue,
     /// Sequence number of the first byte in `send_buf`.
     send_buf_seq: SeqNumber,
     fin_queued: bool,
@@ -236,7 +246,7 @@ pub struct TcpSocket {
 
     // ---- receive sequence space ----
     rcv_nxt: SeqNumber,
-    recv_buf: VecDeque<u8>,
+    recv_buf: ByteQueue,
     /// Out-of-order segments keyed by absolute starting sequence number.
     ooo: BTreeMap<u32, Vec<u8>>,
     ack_pending: bool,
@@ -289,12 +299,12 @@ impl TcpSocket {
             snd_max: iss,
             snd_wnd: 0,
             peer_mss: 536,
-            send_buf: VecDeque::new(),
+            send_buf: ByteQueue::new(),
             send_buf_seq: iss.add(1),
             fin_queued: false,
             fin_seq: None,
             rcv_nxt: SeqNumber(0),
-            recv_buf: VecDeque::new(),
+            recv_buf: ByteQueue::new(),
             ooo: BTreeMap::new(),
             ack_pending: false,
             cwnd: 2 * config.mss,
@@ -407,14 +417,13 @@ impl TcpSocket {
         }
         let space = self.config.send_buf.saturating_sub(self.send_buf.len());
         let n = space.min(data.len());
-        self.send_buf.extend(&data[..n]);
+        self.send_buf.extend_from_slice(&data[..n]);
         n
     }
 
     /// Reads up to `max` bytes of in-order received data.
     pub fn recv(&mut self, max: usize) -> Vec<u8> {
-        let n = max.min(self.recv_buf.len());
-        let out: Vec<u8> = self.recv_buf.drain(..n).collect();
+        let out = self.recv_buf.take_front(max);
         if !out.is_empty() {
             self.ack_pending = true; // window update
         }
@@ -725,7 +734,7 @@ impl TcpSocket {
         let acked_bytes = ack.dist(self.send_buf_seq);
         if acked_bytes > 0 {
             let n = (acked_bytes as usize).min(self.send_buf.len());
-            self.send_buf.drain(..n);
+            self.send_buf.consume(n);
             self.send_buf_seq = self.send_buf_seq.add(n as u32);
         }
         self.take_rtt_sample_on_ack(now, ack);
@@ -824,7 +833,7 @@ impl TcpSocket {
         if let Some(sink) = &mut self.sink {
             sink.consume(now, data, self.sink_stamp_every);
         } else {
-            self.recv_buf.extend(data);
+            self.recv_buf.extend_from_slice(data);
         }
     }
 
@@ -978,9 +987,9 @@ impl TcpSocket {
         if start < 0 || start as usize >= self.send_buf.len() {
             return Vec::new();
         }
-        let start = start as usize;
-        let end = (start + max).min(self.send_buf.len());
-        self.send_buf.range(start..end).copied().collect()
+        let mut out = Vec::new();
+        self.send_buf.copy_range_into(start as usize, max, &mut out);
+        out
     }
 
     fn unsent_from(&self, seq: SeqNumber) -> usize {

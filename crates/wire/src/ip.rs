@@ -408,10 +408,18 @@ impl Ipv4Repr {
     /// Builds the complete packet (header + `payload`) as a fresh buffer,
     /// with a valid checksum.
     pub fn emit_with_payload(&self, payload: &[u8]) -> Vec<u8> {
+        self.emit_with_payload_into(payload, Vec::new())
+    }
+
+    /// Like [`Ipv4Repr::emit_with_payload`], but reuses `buf` as the output
+    /// buffer (any previous contents are discarded). Lets hot paths build
+    /// packets in recycled frame-pool buffers instead of fresh allocations.
+    pub fn emit_with_payload_into(&self, payload: &[u8], mut buf: Vec<u8>) -> Vec<u8> {
         let hl = self.header_len();
         let total = hl + payload.len();
         assert!(total <= u16::MAX as usize, "IPv4 packet too large");
-        let mut buf = vec![0u8; total];
+        buf.clear();
+        buf.resize(total, 0);
         buf[field::VER_IHL] = 0x40 | (hl / 4) as u8;
         write_u16(&mut buf, field::LENGTH, total as u16);
         write_u16(&mut buf, field::IDENT, self.ident);

@@ -145,6 +145,17 @@ fn drop_accounting_sums_match_under_fault_injection() {
     assert_eq!(gw.stats.dropped_no_binding, stats.frames_dropped.by(DropReason::NoBinding));
     assert_eq!(gw.stats.dropped_filtered, stats.frames_dropped.by(DropReason::Filtered));
     assert_eq!(gw.stats.dropped_capacity, stats.frames_dropped.by(DropReason::Capacity));
+
+    // A megabyte of faulted traffic exercises the frame pool heavily: the
+    // steady-state hit rate must dominate, and dropped frames' buffers are
+    // recycled rather than leaked (misses stay bounded by the working set).
+    assert!(stats.pool_hits > 0, "frame pool never recycled a buffer");
+    assert!(
+        stats.pool_hits > stats.pool_misses,
+        "steady-state traffic should mostly reuse pooled buffers (hits {} misses {})",
+        stats.pool_hits,
+        stats.pool_misses
+    );
 }
 
 #[test]
