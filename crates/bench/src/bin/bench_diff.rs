@@ -1,0 +1,161 @@
+//! Warn-only micro-benchmark drift report for CI.
+//!
+//! Compares two `hgw-microbench/1` captures and prints a per-benchmark
+//! delta table. Shared CI runners make absolute timings meaningless, so
+//! this tool NEVER fails the build on drift — it renders the table (with
+//! a `DRIFT` marker past the threshold) and exits 0; the output is meant
+//! to be captured as a build artifact for humans to read. A non-zero exit
+//! means the tool itself could not run (missing file, bad schema).
+//!
+//! ```text
+//! bench_diff                         # last two captures of BENCH_micro.json
+//! bench_diff --candidate smoke.json  # smoke's latest vs the committed latest
+//! bench_diff --baseline-label pre-fastpath --candidate smoke.json
+//! ```
+//!
+//! `HGW_BENCH_DRIFT_PCT` sets the marker threshold (default 25%).
+
+use hgw_bench::micro::{parse_document, MicroCapture};
+use hgw_stats::TextTable;
+
+struct Options {
+    baseline_path: String,
+    candidate_path: Option<String>,
+    baseline_label: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline_path: "BENCH_micro.json".to_string(),
+        candidate_path: None,
+        baseline_label: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or(format!("{name} requires a value"));
+        match arg.as_str() {
+            "--baseline" => opts.baseline_path = take("--baseline")?,
+            "--candidate" => opts.candidate_path = Some(take("--candidate")?),
+            "--baseline-label" => opts.baseline_label = Some(take("--baseline-label")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load_captures(path: &str) -> Result<Vec<MicroCapture>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    parse_document(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Picks `(baseline, candidate)` according to the options: an explicit
+/// candidate file contributes its newest capture, otherwise the two most
+/// recent captures of the baseline trajectory are compared against each
+/// other.
+fn select(opts: &Options) -> Result<(MicroCapture, MicroCapture), String> {
+    let mut baseline_doc = load_captures(&opts.baseline_path)?;
+    let candidate = match &opts.candidate_path {
+        Some(path) => {
+            let mut doc = load_captures(path)?;
+            doc.pop().ok_or(format!("{path} holds no captures"))?
+        }
+        None => baseline_doc.pop().ok_or(format!("{} holds no captures", opts.baseline_path))?,
+    };
+    let baseline = match &opts.baseline_label {
+        Some(label) => baseline_doc
+            .into_iter()
+            .rev()
+            .find(|c| &c.label == label)
+            .ok_or(format!("no capture labelled {label:?} in {}", opts.baseline_path))?,
+        None => baseline_doc.pop().ok_or(format!(
+            "{} needs two captures to self-compare (or pass --candidate)",
+            opts.baseline_path
+        ))?,
+    };
+    Ok((baseline, candidate))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    match select(&opts) {
+        Ok((baseline, candidate)) => report(&baseline, &candidate),
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn report(baseline: &MicroCapture, candidate: &MicroCapture) {
+    let threshold = std::env::var("HGW_BENCH_DRIFT_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(25.0);
+
+    println!(
+        "microbench drift: {:?} (bench_ms {}) -> {:?} (bench_ms {}); warn threshold ±{:.0}%",
+        baseline.label, baseline.bench_ms, candidate.label, candidate.bench_ms, threshold
+    );
+    if baseline.bench_ms != candidate.bench_ms {
+        println!(
+            "note: captures used different measurement windows; treat deltas as indicative only"
+        );
+    }
+
+    let mut table =
+        TextTable::new(&["benchmark", "baseline ns/iter", "candidate ns/iter", "delta", "status"]);
+    let mut drifted = 0usize;
+    for r in &candidate.results {
+        let key = format!("{}/{}", r.group, r.name);
+        let prior = baseline.results.iter().find(|b| b.group == r.group && b.name == r.name);
+        let (base_cell, delta_cell, status) = match prior {
+            Some(b) if b.ns_per_iter > 0.0 => {
+                let pct = (r.ns_per_iter - b.ns_per_iter) / b.ns_per_iter * 100.0;
+                let status = if pct.abs() >= threshold {
+                    drifted += 1;
+                    if pct > 0.0 {
+                        "DRIFT (slower)"
+                    } else {
+                        "DRIFT (faster)"
+                    }
+                } else {
+                    "ok"
+                };
+                (format!("{:.1}", b.ns_per_iter), format!("{pct:+.1}%"), status)
+            }
+            Some(b) => (format!("{:.1}", b.ns_per_iter), "-".to_string(), "ok"),
+            None => ("-".to_string(), "-".to_string(), "new"),
+        };
+        table.row(vec![
+            key,
+            base_cell,
+            format!("{:.1}", r.ns_per_iter),
+            delta_cell,
+            status.to_string(),
+        ]);
+    }
+    for b in &baseline.results {
+        if !candidate.results.iter().any(|r| r.group == b.group && r.name == b.name) {
+            table.row(vec![
+                format!("{}/{}", b.group, b.name),
+                format!("{:.1}", b.ns_per_iter),
+                "-".to_string(),
+                "-".to_string(),
+                "missing".to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "{} of {} benchmarks past the ±{:.0}% threshold (warn-only; exit is always 0)",
+        drifted,
+        candidate.results.len(),
+        threshold
+    );
+}

@@ -6,8 +6,9 @@
 //! writes the machine-readable run manifests
 //! (`target/figures/manifest.json` and the repo-level `BENCH_fleet.json`).
 //!
-//! `HGW_FLEET_PARALLELISM` picks the parallel leg's mode (default `auto`);
-//! `HGW_SEED` and `HGW_FLEET_BYTES` parameterize the workload.
+//! `HGW_FLEET_PARALLELISM` picks the parallel leg's mode (default `4`, a
+//! fixed pool so the committed manifest is host-independent); `HGW_SEED`
+//! and `HGW_FLEET_BYTES` parameterize the workload.
 
 use std::path::Path;
 
@@ -29,7 +30,11 @@ fn main() {
 fn run() -> Result<(), FleetError> {
     let seed = env_u64("HGW_SEED", 7);
     let bytes = env_u64("HGW_FLEET_BYTES", 256 * 1024);
-    let parallelism = Parallelism::from_env();
+    // The parallel leg defaults to a fixed 4-worker pool so the committed
+    // BENCH_fleet.json scheduling block is reproducible across hosts with
+    // different core counts; `HGW_FLEET_PARALLELISM` still overrides. The
+    // host's actual parallelism is recorded alongside in the manifest.
+    let parallelism = Parallelism::from_env_or(Parallelism::Fixed(4));
     let devices = all_devices();
 
     let probe = |tb: &mut hgw_testbed::Testbed, _: &hgw_devices::DeviceProfile| {

@@ -112,6 +112,273 @@ pub fn append_capture(
     f.write_all(document.as_bytes())
 }
 
+/// One parsed capture out of a trajectory document: a labelled run of the
+/// whole microbench suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroCapture {
+    /// Capture label (`pre-optimization`, `post-fastpath`, `ci-<sha>`, ...).
+    pub label: String,
+    /// `HGW_BENCH_MS` the capture ran with.
+    pub bench_ms: u64,
+    /// Every benchmark measured in this capture, in suite order.
+    pub results: Vec<MicroResult>,
+}
+
+/// Parses a `hgw-microbench/1` trajectory document back into captures.
+///
+/// The inverse of [`render_document`]/[`append_capture`], used by the
+/// `bench_diff` drift tool. Serde is unavailable in this build environment,
+/// so this is a small recursive-descent parser over the JSON subset the
+/// writer emits (objects, arrays, strings, numbers, `null`).
+pub fn parse_document(text: &str) -> Result<Vec<MicroCapture>, String> {
+    let root = json::parse(text)?;
+    let obj = root.as_obj().ok_or("top level is not an object")?;
+    let schema = json::field(obj, "schema")?.as_str().ok_or("schema is not a string")?;
+    if schema != MICRO_SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (want {MICRO_SCHEMA:?})"));
+    }
+    let captures = json::field(obj, "captures")?.as_arr().ok_or("captures is not an array")?;
+    captures
+        .iter()
+        .map(|c| {
+            let c = c.as_obj().ok_or("capture is not an object")?;
+            let results = json::field(c, "results")?.as_arr().ok_or("results is not an array")?;
+            Ok(MicroCapture {
+                label: json::field(c, "label")?
+                    .as_str()
+                    .ok_or("label is not a string")?
+                    .to_string(),
+                bench_ms: json::field(c, "bench_ms")?.as_u64().ok_or("bench_ms not integral")?,
+                results: results.iter().map(parse_result).collect::<Result<_, String>>()?,
+            })
+        })
+        .collect()
+}
+
+fn parse_result(v: &json::Value) -> Result<MicroResult, String> {
+    let r = v.as_obj().ok_or("result is not an object")?;
+    Ok(MicroResult {
+        group: json::field(r, "group")?.as_str().ok_or("group is not a string")?.to_string(),
+        name: json::field(r, "name")?.as_str().ok_or("name is not a string")?.to_string(),
+        ns_per_iter: json::field(r, "ns_per_iter")?.as_f64().ok_or("ns_per_iter not numeric")?,
+        mb_per_s: json::field(r, "mb_per_s")?.as_f64_or_null(),
+        iters: json::field(r, "iters")?.as_u64().ok_or("iters not integral")?,
+    })
+}
+
+/// Minimal JSON reader for the subset this crate's writers emit. Private:
+/// callers go through [`parse_document`].
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(f) => Some(f),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_f64_or_null(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None, // includes Null, the only other value the writer emits
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", ch as char, *pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", *pos))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            fields.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        let push_char = |out: &mut Vec<u8>, c: char| {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        };
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| "invalid utf-8".to_string());
+                }
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            *pos += 4;
+                            push_char(&mut out, char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("unknown escape \\{}", esc as char)),
+                    }
+                }
+                // Raw bytes (including multi-byte UTF-8) pass through
+                // verbatim; validity is checked once at the closing quote.
+                _ => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +423,39 @@ mod tests {
         assert_eq!(two.matches(MICRO_SCHEMA).count(), 1);
         assert!(two.ends_with("  ]\n}\n"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let captures = [
+            capture_json("pre \"quoted\"", 300, &[sample("x", None), sample("y", Some(512.0))]),
+            capture_json("post", 20, &[sample("x", Some(0.5))]),
+        ];
+        let doc = render_document(&captures);
+        let parsed = parse_document(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "pre \"quoted\"");
+        assert_eq!(parsed[0].bench_ms, 300);
+        assert_eq!(parsed[0].results.len(), 2);
+        assert_eq!(parsed[0].results[0].group, "nat");
+        assert_eq!(parsed[0].results[0].name, "x");
+        assert_eq!(parsed[0].results[0].mb_per_s, None);
+        assert_eq!(parsed[0].results[1].mb_per_s, Some(512.0));
+        assert_eq!(parsed[0].results[0].iters, 1000);
+        assert!((parsed[0].results[0].ns_per_iter - 123.5).abs() < 0.11);
+        assert_eq!(parsed[1].label, "post");
+        assert_eq!(parsed[1].bench_ms, 20);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(parse_document("{\"schema\": \"other/9\", \"captures\": []}").is_err());
+        assert!(parse_document("not json at all").is_err());
+        assert!(parse_document("{\"captures\": []}").is_err());
+        // Trailing junk after a valid document must not be silently accepted.
+        let doc = render_document(&[capture_json("a", 1, &[])]);
+        assert!(parse_document(&format!("{doc}extra")).is_err());
+        // Empty captures list is valid.
+        assert_eq!(parse_document(&render_document(&[])).unwrap(), vec![]);
     }
 }

@@ -7,6 +7,7 @@
 //! seed.
 
 use std::cmp::Reverse;
+
 use std::collections::BinaryHeap;
 
 use crate::link::{Dir, Link, LinkConfig, LinkId};
@@ -107,6 +108,10 @@ pub struct Simulator {
     pool: FramePool,
     booted: bool,
     observer: Option<Box<dyn SimObserver>>,
+    /// Reused across every node callback so the steady-state event loop
+    /// allocates no action buffers. Taken (leaving an empty `Vec`) while a
+    /// callback runs, drained by `apply_actions`, then put back.
+    scratch_actions: Vec<Action>,
 }
 
 impl Simulator {
@@ -124,6 +129,7 @@ impl Simulator {
             pool: FramePool::new(),
             booted: false,
             observer: None,
+            scratch_actions: Vec::with_capacity(16),
         }
     }
 
@@ -222,7 +228,7 @@ impl Simulator {
 
     /// Enables frame capture on one direction of a link.
     pub fn enable_trace(&mut self, id: LinkId, dir: Dir) {
-        self.links[id.0].trace[dir.index()].get_or_insert_with(Vec::new);
+        self.links[id.0].trace[dir.index()].get_or_insert_with(|| Vec::with_capacity(128));
     }
 
     /// Takes (drains) the captured frames on one direction of a link.
@@ -270,7 +276,7 @@ impl Simulator {
         f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
     ) -> R {
         let mut node = self.nodes[id.0].node.take().expect("with_node: node is mid-callback");
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         let result = {
             let mut ctx =
                 NodeCtx::new(self.now, id, &mut self.nodes[id.0].rng, &mut self.pool, &mut actions);
@@ -278,7 +284,8 @@ impl Simulator {
             f(typed, &mut ctx)
         };
         self.nodes[id.0].node = Some(node);
-        self.apply_actions(id, actions);
+        self.apply_actions(id, &mut actions);
+        self.scratch_actions = actions;
         result
     }
 
@@ -290,7 +297,7 @@ impl Simulator {
         for i in 0..self.nodes.len() {
             let id = NodeId(i);
             let mut node = self.nodes[i].node.take().expect("boot: node missing");
-            let mut actions = Vec::new();
+            let mut actions = std::mem::take(&mut self.scratch_actions);
             {
                 let mut ctx = NodeCtx::new(
                     self.now,
@@ -302,7 +309,8 @@ impl Simulator {
                 node.start(&mut ctx);
             }
             self.nodes[i].node = Some(node);
-            self.apply_actions(id, actions);
+            self.apply_actions(id, &mut actions);
+            self.scratch_actions = actions;
         }
     }
 
@@ -312,9 +320,9 @@ impl Simulator {
         self.queue.push(Reverse(Event { at, seq, kind }));
     }
 
-    /// Applies the actions a node emitted during a callback.
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
-        for action in actions {
+    /// Applies (and drains) the actions a node emitted during a callback.
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::SendFrame { port, frame } => self.transmit(node, port, frame),
                 Action::SetTimer { at, token } => {
@@ -415,7 +423,7 @@ impl Simulator {
                 self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
                 let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
                 let mut boxed = slot.node.take().expect("deliver: node is mid-callback");
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.scratch_actions);
                 {
                     let mut ctx =
                         NodeCtx::new(self.now, node, &mut slot.rng, &mut self.pool, &mut actions);
@@ -424,7 +432,8 @@ impl Simulator {
                 // Whatever the node left in place goes back to the pool.
                 self.pool.put(frame);
                 self.nodes[node.0].node = Some(boxed);
-                self.apply_actions(node, actions);
+                self.apply_actions(node, &mut actions);
+                self.scratch_actions = actions;
             }
             EventKind::TxComplete { link, dir, frame } => {
                 let (sink_node, sink_port) = self.links[link.0].sink(dir);
@@ -445,12 +454,24 @@ impl Simulator {
                     (l.config.delay, extra)
                 };
                 {
+                    // Trace captures copy into pooled buffers so enabling a
+                    // trace does not reintroduce per-frame allocations.
+                    let traced = if self.links[link.0].trace[dir.index()].is_some() {
+                        let mut copy = self.pool.get_with_capacity(frame.len());
+                        copy.extend_from_slice(&frame);
+                        Some(copy)
+                    } else {
+                        None
+                    };
                     let l = &mut self.links[link.0];
                     let d = &mut l.dirs[dir.index()];
                     d.stats.tx_frames += 1;
                     d.stats.tx_bytes += frame.len() as u64;
-                    if let Some(buf) = &mut l.trace[dir.index()] {
-                        buf.push((self.now, frame.clone()));
+                    if let Some(copy) = traced {
+                        l.trace[dir.index()]
+                            .as_mut()
+                            .expect("trace enabled")
+                            .push((self.now, copy));
                     }
                 }
                 self.push_event(
@@ -462,14 +483,15 @@ impl Simulator {
             EventKind::Timer { node, token } => {
                 let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
                 let mut boxed = slot.node.take().expect("timer: node is mid-callback");
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.scratch_actions);
                 {
                     let mut ctx =
                         NodeCtx::new(self.now, node, &mut slot.rng, &mut self.pool, &mut actions);
                     boxed.handle_timer(&mut ctx, token);
                 }
                 self.nodes[node.0].node = Some(boxed);
-                self.apply_actions(node, actions);
+                self.apply_actions(node, &mut actions);
+                self.scratch_actions = actions;
             }
         }
         Some(self.now)

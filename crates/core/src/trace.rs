@@ -181,9 +181,10 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    /// An empty log.
+    /// An empty log, pre-sized so steady recording does not reallocate on
+    /// the first few hundred events.
     pub fn new() -> EventLog {
-        EventLog::default()
+        EventLog { events: Vec::with_capacity(256) }
     }
 
     /// The recorded events in dispatch order.

@@ -228,6 +228,37 @@ impl Host {
         ctx.send_frame(port, frame);
     }
 
+    /// Routes and transmits one TCP segment, emitting the IPv4 header and
+    /// the segment directly into a recycled frame buffer. This is the bulk
+    /// path: payload bytes are copied exactly once (send buffer → frame)
+    /// rather than transiting an intermediate segment allocation.
+    fn send_tcp_segment(
+        &mut self,
+        ctx: &mut NodeCtx,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        seg: &crate::tcp::TcpSegment,
+    ) {
+        let Some(port) = self.routes.lookup(dst) else {
+            return; // no route: drop, same as send_ip
+        };
+        // The pseudo-header checksum always uses the socket's local address;
+        // only the IP header source gets the unspecified-address fixup
+        // (matching the order of operations of the send_ip path).
+        let mut hdr_src = src;
+        if hdr_src == Ipv4Addr::UNSPECIFIED {
+            if let Some(addr) = self.iface_addr(port) {
+                hdr_src = addr;
+            }
+        }
+        let mut frame = ctx.alloc_frame(0);
+        frame.clear();
+        let repr = Ipv4Repr::new(hdr_src, dst, Protocol::Tcp);
+        repr.emit_header_into(seg.repr.segment_len(seg.payload.len()), &mut frame);
+        seg.repr.emit_with_payload_onto(src, dst, &seg.payload, &mut frame);
+        ctx.send_frame(port, frame);
+    }
+
     /// Transmits an IP payload on an explicit port (broadcasts, DHCP).
     fn send_ip_on(&mut self, ctx: &mut NodeCtx, port: PortId, mut repr: Ipv4Repr, payload: &[u8]) {
         if repr.src_addr == Ipv4Addr::UNSPECIFIED {
@@ -638,9 +669,7 @@ impl Host {
             sock.dispatch(now, &mut segs);
             let (local, remote) = (sock.local, sock.remote);
             for seg in segs {
-                let bytes = seg.repr.emit_with_payload(*local.ip(), *remote.ip(), &seg.payload);
-                let repr = Ipv4Repr::new(*local.ip(), *remote.ip(), Protocol::Tcp);
-                self.send_ip(ctx, repr, &bytes);
+                self.send_tcp_segment(ctx, *local.ip(), *remote.ip(), &seg);
             }
         }
 
@@ -807,7 +836,7 @@ impl Host {
             return;
         }
         let Ok(repr) = TcpRepr::parse(&tcp, ip.src_addr(), ip.dst_addr()) else { return };
-        let data = tcp.payload().to_vec();
+        let data = tcp.payload();
         let remote = SocketAddrV4::new(ip.src_addr(), repr.src_port);
         // Existing connection?
         let found = self.tcp_sockets.iter().position(|s| {
@@ -820,7 +849,7 @@ impl Host {
                 .unwrap_or(false)
         });
         if let Some(idx) = found {
-            self.tcp_sockets[idx].as_mut().unwrap().process(ctx.now(), &repr, &data);
+            self.tcp_sockets[idx].as_mut().unwrap().process(ctx.now(), &repr, data);
             self.poll(ctx);
             return;
         }

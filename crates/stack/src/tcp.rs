@@ -145,8 +145,26 @@ impl BulkSource {
                 self.generated += 16;
                 space -= 16;
             } else {
+                // The filler byte at stream position p is `p & 0xFF`, so any
+                // run is a window into a 256-periodic pattern: copy it from
+                // a static table in slices instead of generating per byte.
+                static PATTERN: [u8; 512] = {
+                    let mut t = [0u8; 512];
+                    let mut i = 0;
+                    while i < t.len() {
+                        t[i] = (i & 0xFF) as u8;
+                        i += 1;
+                    }
+                    t
+                };
                 let run = (self.stamp_every - in_block).min(space).min(self.remaining());
-                out.extend_with(run, |i| ((pos + i) & 0xFF) as u8);
+                let mut done = 0u64;
+                while done < run {
+                    let phase = ((pos + done) & 0xFF) as usize;
+                    let n = (run - done).min(256) as usize;
+                    out.extend_from_slice(&PATTERN[phase..phase + n]);
+                    done += n as u64;
+                }
                 self.generated += run;
                 space -= run;
             }
@@ -809,8 +827,7 @@ impl TcpSocket {
         }
         let skip = (-offset) as usize;
         if skip < payload.len() {
-            let data = payload[skip..].to_vec();
-            self.accept_in_order(now, &data);
+            self.accept_in_order(now, &payload[skip..]);
         }
         // Drain stashed segments that became contiguous.
         loop {

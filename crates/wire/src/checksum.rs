@@ -35,6 +35,72 @@ fn fold(mut acc: u32) -> u16 {
     acc as u16
 }
 
+/// An RFC 1624 incremental checksum update: the accumulated `~m + m'`
+/// contributions of every 16-bit word that changed in the covered data.
+///
+/// NAT rewrites touch a handful of header words (addresses, ports, TTL)
+/// inside segments that can carry 1460 bytes of payload; re-summing the
+/// whole segment on every hop is the dominant per-frame cost. A delta
+/// instead folds only the changed words into the stored checksum:
+/// `HC' = ~(~HC + ~m + m')` (RFC 1624 eqn. 3, avoiding the RFC 1141
+/// negative-zero bug). One delta can be applied to several checksums that
+/// cover the same words — e.g. an address change patches both the IPv4
+/// header checksum and the transport pseudo-header checksum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChecksumDelta {
+    acc: u32,
+}
+
+impl ChecksumDelta {
+    /// An empty delta (applying it leaves a checksum unchanged).
+    pub const fn new() -> ChecksumDelta {
+        ChecksumDelta { acc: 0 }
+    }
+
+    /// Records a 16-bit word changing from `old` to `new`.
+    pub fn update_word(&mut self, old: u16, new: u16) {
+        self.acc += (!old) as u32 + new as u32;
+    }
+
+    /// Records a 32-bit (two-word) field changing from `old` to `new`.
+    pub fn update_u32(&mut self, old: u32, new: u32) {
+        self.update_word((old >> 16) as u16, (new >> 16) as u16);
+        self.update_word(old as u16, new as u16);
+    }
+
+    /// Records an IPv4 address changing from `old` to `new`.
+    pub fn update_addr(&mut self, old: Ipv4Addr, new: Ipv4Addr) {
+        self.update_u32(u32::from(old), u32::from(new));
+    }
+
+    /// Applies the delta to a stored checksum value (e.g. the IPv4 header
+    /// checksum). Bit-identical to zeroing the field and re-summing, for
+    /// any packet whose stored checksum was produced by a full sum.
+    pub fn apply(self, checksum: u16) -> u16 {
+        !fold((!checksum) as u32 + self.acc)
+    }
+
+    /// Applies the delta to a stored *transport* checksum, reproducing the
+    /// RFC 768 mapping of [`transport_checksum`]: an all-zero result is
+    /// emitted as `0xFFFF`. Use for TCP and UDP checksum fields.
+    pub fn apply_transport(self, checksum: u16) -> u16 {
+        let ck = self.apply(checksum);
+        if ck == 0 {
+            0xFFFF
+        } else {
+            ck
+        }
+    }
+}
+
+/// One-shot RFC 1624 adjustment: patches `checksum` for a single 16-bit
+/// word changing from `old` to `new`.
+pub fn checksum_adjust(checksum: u16, old: u16, new: u16) -> u16 {
+    let mut delta = ChecksumDelta::new();
+    delta.update_word(old, new);
+    delta.apply(checksum)
+}
+
 /// The IPv4 pseudo-header sum used by UDP, TCP and DCCP checksums.
 fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u32) -> u32 {
     let s = src.octets();
@@ -70,24 +136,63 @@ pub fn verify_transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, dat
     fold(acc) == 0xFFFF
 }
 
-/// CRC-32c (Castagnoli), as used by SCTP. Bit-reflected, table-driven.
-pub fn crc32c(data: &[u8]) -> u32 {
-    // Table generated at first use; 1 KiB, cheap.
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+/// Slicing-by-8 lookup tables: `TABLES[0]` is the classic bytewise table,
+/// `TABLES[k]` advances a byte through `k` additional zero bytes. 8 KiB,
+/// generated at first use.
+fn crc32c_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: std::sync::OnceLock<Box<[[u32; 256]; 8]>> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; 8]);
+        for i in 0..256usize {
             let mut crc = i as u32;
             for _ in 0..8 {
                 crc = if crc & 1 != 0 { (crc >> 1) ^ 0x82F6_3B78 } else { crc >> 1 };
             }
-            *entry = crc;
+            t[0][i] = crc;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
-    });
+    })
+}
+
+/// CRC-32c (Castagnoli), as used by SCTP. Bit-reflected, slicing-by-8:
+/// eight bytes per step, each byte resolved through its own table so the
+/// lookups have no serial dependency. [`crc32c_bytewise`] is the reference
+/// implementation the tests check this against.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let t = crc32c_tables();
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// The straightforward one-byte-per-step CRC-32c. Kept as the differential
+/// oracle for [`crc32c`]; not used on any hot path.
+pub fn crc32c_bytewise(data: &[u8]) -> u32 {
+    let t = &crc32c_tables()[0];
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -153,6 +258,74 @@ mod tests {
         assert_eq!(crc32c(b"123456789"), 0xE306_9283);
         assert_eq!(crc32c(b""), 0x0000_0000);
         assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+
+    #[test]
+    fn crc32c_matches_bytewise_oracle_all_lengths() {
+        // Exercise every chunk remainder (0..8) and alignment phase.
+        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(167) ^ 0x5A) as u8).collect();
+        for len in 0..data.len() {
+            for start in 0..4.min(len + 1) {
+                let slice = &data[start..len];
+                assert_eq!(crc32c(slice), crc32c_bytewise(slice), "len={len} start={start}");
+            }
+        }
+        assert_eq!(crc32c_bytewise(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn checksum_adjust_matches_full_recompute() {
+        // An IPv4-like header: change one word, adjust vs re-sum.
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        // Rewrite the ident word 0x1234 -> 0xBEEF.
+        let adjusted = checksum_adjust(ck, 0x1234, 0xBEEF);
+        data[4..6].copy_from_slice(&0xBEEFu16.to_be_bytes());
+        data[10..12].copy_from_slice(&[0, 0]);
+        assert_eq!(adjusted, internet_checksum(&data));
+    }
+
+    #[test]
+    fn delta_applies_to_transport_with_zero_mapping() {
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let new_src = Ipv4Addr::new(10, 0, 1, 99);
+        let dst = Ipv4Addr::new(10, 0, 1, 1);
+        let mut seg = vec![0x0F, 0xA0, 0x00, 0x35, 0x00, 0x0C, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF];
+        let ck = transport_checksum(src, dst, 17, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        // NAT-style rewrite: source address and port change together.
+        let mut delta = ChecksumDelta::new();
+        delta.update_addr(src, new_src);
+        delta.update_word(0x0FA0, 61001);
+        let adjusted = delta.apply_transport(ck);
+        seg[0..2].copy_from_slice(&61001u16.to_be_bytes());
+        seg[6..8].copy_from_slice(&[0, 0]);
+        assert_eq!(adjusted, transport_checksum(new_src, dst, 17, &seg));
+    }
+
+    #[test]
+    fn delta_word_to_all_ones_and_back() {
+        // The RFC 1141 negative-zero trap: m = 0xFFFF and m' = 0x0000 are
+        // both representations of one's-complement zero; eqn. 3 must still
+        // agree with a full recompute in both directions.
+        for (old_word, new_word) in [(0xFFFFu16, 0x0000u16), (0x0000, 0xFFFF)] {
+            let mut data = vec![0x45, 0x00, 0, 0, 0, 0, 0, 0, 0x40, 0x06, 0x00, 0x00];
+            data[4..6].copy_from_slice(&old_word.to_be_bytes());
+            let ck = internet_checksum(&data);
+            let adjusted = checksum_adjust(ck, old_word, new_word);
+            data[4..6].copy_from_slice(&new_word.to_be_bytes());
+            assert_eq!(adjusted, internet_checksum(&data), "{old_word:04x}->{new_word:04x}");
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        for ck in [0x0000u16, 0x1234, 0xFFFE] {
+            assert_eq!(ChecksumDelta::new().apply(ck), ck);
+        }
+        // 0xFFFF stored: ~HC = 0, folds to 0, complements back to 0xFFFF.
+        assert_eq!(ChecksumDelta::new().apply(0xFFFF), 0xFFFF);
     }
 
     #[test]

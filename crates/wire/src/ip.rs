@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 
-use crate::checksum::internet_checksum;
+use crate::checksum::{checksum_adjust, internet_checksum, ChecksumDelta};
 use crate::error::{WireError, WireResult};
 use crate::field::{read_u16, write_u16};
 
@@ -274,6 +274,44 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
         write_u16(self.buffer.as_mut(), field::IDENT, ident);
     }
 
+    /// Sets the TTL and incrementally patches the header checksum per
+    /// RFC 1624, without re-summing the header.
+    pub fn set_ttl_adjusted(&mut self, ttl: u8) {
+        let buf = self.buffer.as_mut();
+        // The TTL shares a 16-bit word with the protocol octet.
+        let old = read_u16(buf, field::TTL);
+        buf[field::TTL] = ttl;
+        let new = read_u16(buf, field::TTL);
+        let ck = checksum_adjust(read_u16(buf, field::CHECKSUM), old, new);
+        write_u16(buf, field::CHECKSUM, ck);
+    }
+
+    /// Sets the source address and incrementally patches the header
+    /// checksum. Returns the address delta so the caller can apply the same
+    /// change to a transport checksum whose pseudo-header covers it.
+    pub fn set_src_addr_adjusted(&mut self, addr: Ipv4Addr) -> ChecksumDelta {
+        let old = self.src_addr();
+        self.set_src_addr(addr);
+        self.adjust_for_addr_change(old, addr)
+    }
+
+    /// Sets the destination address and incrementally patches the header
+    /// checksum. Returns the address delta for the transport checksum.
+    pub fn set_dst_addr_adjusted(&mut self, addr: Ipv4Addr) -> ChecksumDelta {
+        let old = self.dst_addr();
+        self.set_dst_addr(addr);
+        self.adjust_for_addr_change(old, addr)
+    }
+
+    fn adjust_for_addr_change(&mut self, old: Ipv4Addr, new: Ipv4Addr) -> ChecksumDelta {
+        let mut delta = ChecksumDelta::new();
+        delta.update_addr(old, new);
+        let buf = self.buffer.as_mut();
+        let ck = delta.apply(read_u16(buf, field::CHECKSUM));
+        write_u16(buf, field::CHECKSUM, ck);
+        delta
+    }
+
     /// Recomputes and stores the header checksum.
     pub fn fill_checksum(&mut self) {
         let hl = self.header_len();
@@ -415,31 +453,41 @@ impl Ipv4Repr {
     /// buffer (any previous contents are discarded). Lets hot paths build
     /// packets in recycled frame-pool buffers instead of fresh allocations.
     pub fn emit_with_payload_into(&self, payload: &[u8], mut buf: Vec<u8>) -> Vec<u8> {
-        let hl = self.header_len();
-        let total = hl + payload.len();
-        assert!(total <= u16::MAX as usize, "IPv4 packet too large");
         buf.clear();
-        buf.resize(total, 0);
-        buf[field::VER_IHL] = 0x40 | (hl / 4) as u8;
-        write_u16(&mut buf, field::LENGTH, total as u16);
-        write_u16(&mut buf, field::IDENT, self.ident);
+        self.emit_header_into(payload.len(), &mut buf);
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    /// Appends just the IPv4 header (with a valid header checksum) onto
+    /// `buf`, declaring a total length of `header + payload_len`. The caller
+    /// appends the payload afterwards — transports with an appending emit
+    /// path (see `TcpRepr::emit_with_payload_onto`) use this to build a
+    /// complete packet in one buffer with a single payload copy.
+    pub fn emit_header_into(&self, payload_len: usize, buf: &mut Vec<u8>) {
+        let hl = self.header_len();
+        let total = hl + payload_len;
+        assert!(total <= u16::MAX as usize, "IPv4 packet too large");
+        let base = buf.len();
+        buf.resize(base + hl, 0);
+        let hdr = &mut buf[base..];
+        hdr[field::VER_IHL] = 0x40 | (hl / 4) as u8;
+        write_u16(hdr, field::LENGTH, total as u16);
+        write_u16(hdr, field::IDENT, self.ident);
         if self.dont_frag {
-            buf[field::FLAGS_FRAG] = 0x40;
+            hdr[field::FLAGS_FRAG] = 0x40;
         }
-        buf[field::TTL] = self.ttl;
-        buf[field::PROTOCOL] = self.protocol.number();
-        buf[field::SRC_ADDR..field::SRC_ADDR + 4].copy_from_slice(&self.src_addr.octets());
-        buf[field::DST_ADDR..field::DST_ADDR + 4].copy_from_slice(&self.dst_addr.octets());
+        hdr[field::TTL] = self.ttl;
+        hdr[field::PROTOCOL] = self.protocol.number();
+        hdr[field::SRC_ADDR..field::SRC_ADDR + 4].copy_from_slice(&self.src_addr.octets());
+        hdr[field::DST_ADDR..field::DST_ADDR + 4].copy_from_slice(&self.dst_addr.octets());
         if !self.options.is_empty() {
             let mut opts = Vec::new();
             emit_options(&self.options, &mut opts);
-            buf[field::OPTIONS..field::OPTIONS + opts.len()].copy_from_slice(&opts);
+            hdr[field::OPTIONS..field::OPTIONS + opts.len()].copy_from_slice(&opts);
         }
-        buf[field::PROTOCOL] = self.protocol.number();
-        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
-        packet.fill_checksum();
-        buf[hl..].copy_from_slice(payload);
-        buf
+        let ck = internet_checksum(&hdr[..hl]);
+        write_u16(hdr, field::CHECKSUM, ck);
     }
 }
 

@@ -32,6 +32,7 @@ pub mod stun;
 pub mod tcp;
 pub mod udp;
 
+pub use checksum::{checksum_adjust, ChecksumDelta};
 pub use error::{WireError, WireResult};
 pub use ip::{Ipv4Packet, Ipv4Repr, Protocol};
 pub use tcp::{SeqNumber, TcpFlags, TcpPacket, TcpRepr};

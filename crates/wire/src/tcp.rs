@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 
-use crate::checksum::{transport_checksum, verify_transport_checksum};
+use crate::checksum::{transport_checksum, verify_transport_checksum, ChecksumDelta};
 use crate::error::{WireError, WireResult};
 use crate::field::{read_u16, read_u32, write_u16, write_u32};
 use crate::ip::Protocol;
@@ -258,6 +258,34 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
         write_u32(self.buffer.as_mut(), field::SEQ, seq.0);
     }
 
+    /// Sets the source port and incrementally patches the checksum per
+    /// RFC 1624, without re-summing the segment.
+    pub fn set_src_port_adjusted(&mut self, port: u16) {
+        let old = self.src_port();
+        self.set_src_port(port);
+        let mut delta = ChecksumDelta::new();
+        delta.update_word(old, port);
+        self.adjust_checksum(delta);
+    }
+
+    /// Sets the destination port and incrementally patches the checksum.
+    pub fn set_dst_port_adjusted(&mut self, port: u16) {
+        let old = self.dst_port();
+        self.set_dst_port(port);
+        let mut delta = ChecksumDelta::new();
+        delta.update_word(old, port);
+        self.adjust_checksum(delta);
+    }
+
+    /// Applies a checksum delta for covered words that changed *outside*
+    /// this segment — the pseudo-header addresses a NAT rewrites. Stores a
+    /// folded-to-zero result as `0xFFFF`, matching
+    /// [`TcpPacket::fill_checksum`].
+    pub fn adjust_checksum(&mut self, delta: ChecksumDelta) {
+        let ck = delta.apply_transport(self.checksum());
+        write_u16(self.buffer.as_mut(), field::CHECKSUM, ck);
+    }
+
     /// Recomputes the checksum under the pseudo-header.
     pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
         write_u16(self.buffer.as_mut(), field::CHECKSUM, 0);
@@ -401,25 +429,43 @@ impl TcpRepr {
     /// Builds the complete segment (header + payload) with a valid checksum
     /// under the given pseudo-header.
     pub fn emit_with_payload(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.header_len() + payload.len());
+        self.emit_with_payload_onto(src, dst, payload, &mut buf);
+        buf
+    }
+
+    /// Appends the complete segment (header + payload + valid checksum)
+    /// onto `buf`, which may already hold an IPv4 header built with
+    /// `Ipv4Repr::emit_header_into`. This is the bulk-transfer fast path:
+    /// the segment lands directly in the outgoing (pooled) frame instead of
+    /// transiting an intermediate allocation.
+    pub fn emit_with_payload_onto(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        buf: &mut Vec<u8>,
+    ) {
         let hl = self.header_len();
-        let mut buf = vec![0u8; hl + payload.len()];
-        write_u16(&mut buf, field::SRC_PORT, self.src_port);
-        write_u16(&mut buf, field::DST_PORT, self.dst_port);
-        write_u32(&mut buf, field::SEQ, self.seq.0);
-        write_u32(&mut buf, field::ACK, self.ack.0);
-        buf[field::DATA_OFF] = ((hl / 4) as u8) << 4;
-        buf[field::FLAGS] = self.flags.0;
-        write_u16(&mut buf, field::WINDOW, self.window);
-        write_u16(&mut buf, field::URGENT, 0);
+        let base = buf.len();
+        buf.resize(base + hl + payload.len(), 0);
+        let seg = &mut buf[base..];
+        write_u16(seg, field::SRC_PORT, self.src_port);
+        write_u16(seg, field::DST_PORT, self.dst_port);
+        write_u32(seg, field::SEQ, self.seq.0);
+        write_u32(seg, field::ACK, self.ack.0);
+        seg[field::DATA_OFF] = ((hl / 4) as u8) << 4;
+        seg[field::FLAGS] = self.flags.0;
+        write_u16(seg, field::WINDOW, self.window);
+        write_u16(seg, field::URGENT, 0);
         if !self.options.is_empty() {
             let mut opts = Vec::new();
             emit_options(&self.options, &mut opts);
-            buf[field::OPTIONS..field::OPTIONS + opts.len()].copy_from_slice(&opts);
+            seg[field::OPTIONS..field::OPTIONS + opts.len()].copy_from_slice(&opts);
         }
-        buf[hl..].copy_from_slice(payload);
-        let mut packet = TcpPacket::new_unchecked(&mut buf[..]);
+        seg[hl..].copy_from_slice(payload);
+        let mut packet = TcpPacket::new_unchecked(seg);
         packet.fill_checksum(src, dst);
-        buf
     }
 
     /// Total segment length for a given payload.

@@ -2,7 +2,7 @@
 
 use std::net::Ipv4Addr;
 
-use crate::checksum::{transport_checksum, verify_transport_checksum};
+use crate::checksum::{transport_checksum, verify_transport_checksum, ChecksumDelta};
 use crate::error::{WireError, WireResult};
 use crate::field::{read_u16, write_u16};
 use crate::ip::Protocol;
@@ -88,6 +88,40 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
     /// Sets the destination port (checksum not updated).
     pub fn set_dst_port(&mut self, port: u16) {
         write_u16(self.buffer.as_mut(), field::DST_PORT, port);
+    }
+
+    /// Sets the source port and incrementally patches the checksum per
+    /// RFC 1624. A stored checksum of zero means "not computed" (RFC 768)
+    /// and is left untouched.
+    pub fn set_src_port_adjusted(&mut self, port: u16) {
+        let old = self.src_port();
+        self.set_src_port(port);
+        let mut delta = ChecksumDelta::new();
+        delta.update_word(old, port);
+        self.adjust_checksum(delta);
+    }
+
+    /// Sets the destination port and incrementally patches the checksum
+    /// (zero checksum left untouched).
+    pub fn set_dst_port_adjusted(&mut self, port: u16) {
+        let old = self.dst_port();
+        self.set_dst_port(port);
+        let mut delta = ChecksumDelta::new();
+        delta.update_word(old, port);
+        self.adjust_checksum(delta);
+    }
+
+    /// Applies a checksum delta for covered words that changed *outside*
+    /// this datagram — the pseudo-header addresses a NAT rewrites. A stored
+    /// checksum of zero means "not computed" and is left untouched; a
+    /// folded-to-zero result is stored as `0xFFFF` like
+    /// [`UdpPacket::fill_checksum`] would.
+    pub fn adjust_checksum(&mut self, delta: ChecksumDelta) {
+        let ck = self.checksum();
+        if ck == 0 {
+            return;
+        }
+        write_u16(self.buffer.as_mut(), field::CHECKSUM, delta.apply_transport(ck));
     }
 
     /// Recomputes the checksum under the given pseudo-header.

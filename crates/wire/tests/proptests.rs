@@ -6,7 +6,10 @@ use std::net::Ipv4Addr;
 
 use proptest::prelude::*;
 
-use hgw_wire::checksum::{internet_checksum, transport_checksum, verify_transport_checksum};
+use hgw_wire::checksum::{
+    crc32c, crc32c_bytewise, internet_checksum, transport_checksum, verify_transport_checksum,
+    ChecksumDelta,
+};
 use hgw_wire::dccp::{DccpRepr, DccpType};
 use hgw_wire::dhcp::{DhcpMessage, DhcpMessageType};
 use hgw_wire::dns::{DnsMessage, Question, Rcode, Record, RecordData, RecordType};
@@ -265,6 +268,210 @@ proptest! {
         msg.lease_secs = Some(lease);
         msg.dns_servers = (0..n_dns).map(|i| Ipv4Addr::new(10, 0, 0, i as u8)).collect();
         prop_assert_eq!(DhcpMessage::parse(&msg.emit()).unwrap(), msg);
+    }
+
+    // Differential oracles for the RFC 1624 incremental NAT fast path: a
+    // randomized rewrite applied incrementally must produce a buffer that is
+    // byte-for-byte identical to setting the fields and recomputing every
+    // checksum from scratch (the `NatChecksumMode::FullRecompute` oracle).
+
+    #[test]
+    fn nat_tcp_rewrite_incremental_matches_full_recompute(
+        src in arb_addr(),
+        dst in arb_addr(),
+        wan in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        ext_port in any::<u16>(),
+        ttl in 2u8..255,
+        decrement in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let seg = TcpRepr::new(sport, dport, TcpFlags::ACK).emit_with_payload(src, dst, &payload);
+        let mut repr = Ipv4Repr::new(src, dst, Protocol::Tcp);
+        repr.ttl = ttl;
+        let pkt = repr.emit_with_payload(&seg);
+        let hl = Ipv4Packet::new_unchecked(&pkt[..]).header_len();
+
+        // Incremental path, in the gateway's outbound rewrite order.
+        let mut inc = pkt.clone();
+        let mut delta = {
+            let mut ip = Ipv4Packet::new_unchecked(&mut inc[..]);
+            if decrement {
+                let t = ip.ttl();
+                ip.set_ttl_adjusted(t - 1);
+            }
+            ip.set_src_addr_adjusted(wan)
+        };
+        let mut tcp = TcpPacket::new_unchecked(&mut inc[hl..]);
+        delta.update_word(sport, ext_port);
+        tcp.set_src_port(ext_port);
+        tcp.adjust_checksum(delta);
+
+        // Full-recompute oracle.
+        let mut full = pkt.clone();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut full[..]);
+            if decrement {
+                let t = ip.ttl();
+                ip.set_ttl(t - 1);
+            }
+            ip.set_src_addr(wan);
+            ip.fill_checksum();
+        }
+        let mut tcp = TcpPacket::new_unchecked(&mut full[hl..]);
+        tcp.set_src_port(ext_port);
+        tcp.fill_checksum(wan, dst);
+
+        prop_assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn nat_udp_rewrite_incremental_matches_full_recompute(
+        src in arb_addr(),
+        dst in arb_addr(),
+        internal in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        int_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Inbound-direction rewrite: destination address + destination port.
+        let dgram = UdpRepr { src_port: sport, dst_port: dport }
+            .emit_with_payload(src, dst, &payload);
+        let pkt = Ipv4Repr::new(src, dst, Protocol::Udp).emit_with_payload(&dgram);
+        let hl = Ipv4Packet::new_unchecked(&pkt[..]).header_len();
+
+        let mut inc = pkt.clone();
+        let mut delta = {
+            let mut ip = Ipv4Packet::new_unchecked(&mut inc[..]);
+            ip.set_dst_addr_adjusted(internal)
+        };
+        let mut udp = UdpPacket::new_unchecked(&mut inc[hl..]);
+        delta.update_word(dport, int_port);
+        udp.set_dst_port(int_port);
+        udp.adjust_checksum(delta);
+
+        let mut full = pkt.clone();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut full[..]);
+            ip.set_dst_addr(internal);
+            ip.fill_checksum();
+        }
+        let mut udp = UdpPacket::new_unchecked(&mut full[hl..]);
+        udp.set_dst_port(int_port);
+        udp.fill_checksum(src, internal);
+
+        prop_assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn nat_udp_zero_checksum_stays_zero_under_both_modes(
+        src in arb_addr(),
+        dst in arb_addr(),
+        wan in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        ext_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // RFC 768: an all-zero stored checksum means "no checksum". Neither
+        // mode may touch it — incremental skips the fixup, full recompute
+        // skips the refill — so the datagram stays checksum-less.
+        let dgram = UdpRepr { src_port: sport, dst_port: dport }
+            .emit_with_payload(src, dst, &payload);
+        let mut pkt = Ipv4Repr::new(src, dst, Protocol::Udp).emit_with_payload(&dgram);
+        let hl = Ipv4Packet::new_unchecked(&pkt[..]).header_len();
+        pkt[hl + 6] = 0; // zero the UDP checksum field
+        pkt[hl + 7] = 0;
+
+        let mut inc = pkt.clone();
+        let mut delta = {
+            let mut ip = Ipv4Packet::new_unchecked(&mut inc[..]);
+            ip.set_src_addr_adjusted(wan)
+        };
+        let mut udp = UdpPacket::new_unchecked(&mut inc[hl..]);
+        delta.update_word(sport, ext_port);
+        udp.set_src_port(ext_port);
+        udp.adjust_checksum(delta);
+        prop_assert_eq!(udp.checksum(), 0);
+
+        let mut full = pkt.clone();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut full[..]);
+            ip.set_src_addr(wan);
+            ip.fill_checksum();
+        }
+        let mut udp = UdpPacket::new_unchecked(&mut full[hl..]);
+        udp.set_src_port(ext_port);
+        // FullRecompute leaves a zero checksum alone (RFC 3022 §4.1).
+
+        prop_assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn dscp_and_ttl_word_adjustments_match_recompute(
+        src in arb_addr(),
+        dst in arb_addr(),
+        tos in any::<u8>(),
+        new_tos in any::<u8>(),
+        ttl in 1u8..255,
+        new_ttl in 1u8..255,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // The DSCP/TOS octet shares header word 0 with version/IHL, and TTL
+        // shares word 4 with the protocol number: RFC 1624 word updates must
+        // handle both shared-word rewrites.
+        let mut repr = Ipv4Repr::new(src, dst, Protocol::Udp);
+        repr.ttl = ttl;
+        let mut pkt = repr.emit_with_payload(&payload);
+        pkt[1] = tos;
+        Ipv4Packet::new_unchecked(&mut pkt[..]).fill_checksum();
+
+        let mut inc = pkt.clone();
+        let mut delta = ChecksumDelta::new();
+        let old0 = u16::from_be_bytes([inc[0], inc[1]]);
+        inc[1] = new_tos;
+        delta.update_word(old0, u16::from_be_bytes([inc[0], inc[1]]));
+        let old4 = u16::from_be_bytes([inc[8], inc[9]]);
+        inc[8] = new_ttl;
+        delta.update_word(old4, u16::from_be_bytes([inc[8], inc[9]]));
+        let ck = delta.apply(u16::from_be_bytes([inc[10], inc[11]]));
+        inc[10..12].copy_from_slice(&ck.to_be_bytes());
+
+        let mut full = pkt.clone();
+        full[1] = new_tos;
+        full[8] = new_ttl;
+        Ipv4Packet::new_unchecked(&mut full[..]).fill_checksum();
+
+        prop_assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn crc32c_slicing_matches_bytewise_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        prop_assert_eq!(crc32c(&data), crc32c_bytewise(&data));
+    }
+
+    #[test]
+    fn tcp_emit_onto_composes_identically_to_legacy_emit(
+        src in arb_addr(),
+        dst in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // The appending emit path (IP header, then segment in place) must
+        // produce the same bytes as emitting the segment separately and
+        // wrapping it.
+        let tcp = TcpRepr::new(sport, dport, TcpFlags::ACK | TcpFlags::PSH);
+        let ip = Ipv4Repr::new(src, dst, Protocol::Tcp);
+        let legacy = ip.emit_with_payload(&tcp.emit_with_payload(src, dst, &payload));
+        let mut onto = Vec::new();
+        ip.emit_header_into(tcp.segment_len(payload.len()), &mut onto);
+        tcp.emit_with_payload_onto(src, dst, &payload, &mut onto);
+        prop_assert_eq!(legacy, onto);
     }
 
     #[test]

@@ -166,6 +166,53 @@ fn icmp_stated_behaviors() {
 }
 
 #[test]
+fn tcp2_battery_completes_scaled_smoke() {
+    // Always-on smoke for the TCP-2/TCP-3 battery at 1/25 of the paper's
+    // transfer size: the four-series structure (upload, download, both
+    // bidirectional legs) must complete and show sane throughputs. The
+    // full-fidelity 100 MB run is `tcp2_battery_at_paper_scale_100mb`.
+    const MB: u64 = 1024 * 1024;
+    let mut tb = Testbed::new("tcp2-smoke", GatewayPolicy::well_behaved(), 21, 0xACE0 ^ 21);
+    let rep = hgw_probe::throughput::run_battery(&mut tb, 4 * MB);
+    for (name, r) in [
+        ("upload", rep.upload),
+        ("download", rep.download),
+        ("upload_during_bidir", rep.upload_during_bidir),
+        ("download_during_bidir", rep.download_during_bidir),
+    ] {
+        assert!(r.completed, "{name} stalled at {} bytes", r.bytes);
+        assert!(r.throughput_mbps > 10.0, "{name} measured {}", r.throughput_mbps);
+        assert!(r.throughput_mbps <= 100.0, "{name} exceeded link rate: {}", r.throughput_mbps);
+    }
+}
+
+#[test]
+#[ignore = "paper-fidelity 100 MB battery: ~4x100 MB simulated transfers; run in release"]
+fn tcp2_battery_at_paper_scale_100mb() {
+    // §3.2.2: "a 100 MB file transfer" per direction, then simultaneously.
+    // The budget audit in `run_transfer` guarantees the 510 s / 1020 s
+    // simulated-time budgets never truncate a healthy run at this size.
+    const MB: u64 = 1024 * 1024;
+    let mut tb = Testbed::new("tcp2-100mb", GatewayPolicy::well_behaved(), 22, 0xACE0 ^ 22);
+    let rep = hgw_probe::throughput::run_battery(&mut tb, 100 * MB);
+    for (name, r) in [
+        ("upload", rep.upload),
+        ("download", rep.download),
+        ("upload_during_bidir", rep.upload_during_bidir),
+        ("download_during_bidir", rep.download_during_bidir),
+    ] {
+        assert!(r.completed, "{name} stalled at {} bytes", r.bytes);
+        assert_eq!(r.bytes, 100 * MB, "{name} delivered byte count");
+        assert!(r.throughput_mbps > 10.0, "{name} measured {}", r.throughput_mbps);
+        assert!(r.throughput_mbps <= 100.0, "{name} exceeded link rate: {}", r.throughput_mbps);
+    }
+    // A wire-speed device saturates most of the 100 Mb/s link on the
+    // unidirectional legs at this scale (slow-start amortized away).
+    assert!(rep.upload.throughput_mbps > 70.0, "upload {}", rep.upload.throughput_mbps);
+    assert!(rep.download.throughput_mbps > 70.0, "download {}", rep.download.throughput_mbps);
+}
+
+#[test]
 fn throughput_worst_performers() {
     // §4.2: dl10 and ls1 are the worst performers (~6-8 Mb/s).
     const MB: u64 = 1024 * 1024;
