@@ -279,12 +279,33 @@ fn bench_simulation(results: &mut Vec<MicroResult>) {
     });
 }
 
+/// The telemetry layer's own costs: one histogram sample, one counter
+/// bump, and the per-event overhead of a telemetry-enabled simulator
+/// (compare against `simulation/sim_event_dispatch`, the disabled path).
+fn bench_telemetry(results: &mut Vec<MicroResult>) {
+    let mut h = hgw_core::Histogram::new();
+    let mut v = 1u64;
+    bench(results, "telemetry", "histogram_record", None, || {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(v >> 40);
+    });
+    let mut reg = hgw_core::MetricsRegistry::new();
+    let c = reg.counter("bench.counter");
+    bench(results, "telemetry", "counter_inc", None, || reg.inc(c));
+    let mut sim = Simulator::new(1);
+    sim.enable_telemetry(hgw_core::TelemetryConfig::default());
+    sim.add_node(Box::new(TimerPingPong));
+    sim.boot();
+    bench(results, "telemetry", "sim_event_dispatch_telemetry_on", None, || sim.step());
+}
+
 fn main() {
     let mut results = Vec::new();
     bench_checksums(&mut results);
     bench_wire(&mut results);
     bench_nat_table(&mut results);
     bench_simulation(&mut results);
+    bench_telemetry(&mut results);
     if let Ok(path) = std::env::var("HGW_BENCH_JSON") {
         let label = std::env::var("HGW_BENCH_LABEL").unwrap_or_else(|_| "run".to_string());
         let bench_ms = hgw_bench::env_u64("HGW_BENCH_MS", 300);

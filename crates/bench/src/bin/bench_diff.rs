@@ -48,31 +48,59 @@ fn load_captures(path: &str) -> Result<Vec<MicroCapture>, String> {
     parse_document(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// What [`select`] resolved the options to.
+enum Selection {
+    /// Both captures found; diff them.
+    Ready(Box<(MicroCapture, MicroCapture)>),
+    /// A capture is missing for a benign reason — a first run with no
+    /// history yet, or a label that has not been recorded. The tool warns
+    /// and exits 0: a fresh checkout must not fail CI for lacking history.
+    FirstRun(String),
+}
+
 /// Picks `(baseline, candidate)` according to the options: an explicit
 /// candidate file contributes its newest capture, otherwise the two most
 /// recent captures of the baseline trajectory are compared against each
-/// other.
-fn select(opts: &Options) -> Result<(MicroCapture, MicroCapture), String> {
+/// other. Unreadable or malformed documents are hard errors; *absent*
+/// captures resolve to [`Selection::FirstRun`].
+fn select(opts: &Options) -> Result<Selection, String> {
     let mut baseline_doc = load_captures(&opts.baseline_path)?;
     let candidate = match &opts.candidate_path {
-        Some(path) => {
-            let mut doc = load_captures(path)?;
-            doc.pop().ok_or(format!("{path} holds no captures"))?
-        }
-        None => baseline_doc.pop().ok_or(format!("{} holds no captures", opts.baseline_path))?,
+        Some(path) => match load_captures(path)?.pop() {
+            Some(c) => c,
+            None => return Ok(Selection::FirstRun(format!("{path} holds no captures yet"))),
+        },
+        None => match baseline_doc.pop() {
+            Some(c) => c,
+            None => {
+                return Ok(Selection::FirstRun(format!(
+                    "{} holds no captures yet",
+                    opts.baseline_path
+                )))
+            }
+        },
     };
     let baseline = match &opts.baseline_label {
-        Some(label) => baseline_doc
-            .into_iter()
-            .rev()
-            .find(|c| &c.label == label)
-            .ok_or(format!("no capture labelled {label:?} in {}", opts.baseline_path))?,
-        None => baseline_doc.pop().ok_or(format!(
-            "{} needs two captures to self-compare (or pass --candidate)",
-            opts.baseline_path
-        ))?,
+        Some(label) => match baseline_doc.into_iter().rev().find(|c| &c.label == label) {
+            Some(c) => c,
+            None => {
+                return Ok(Selection::FirstRun(format!(
+                    "no capture labelled {label:?} in {} yet",
+                    opts.baseline_path
+                )))
+            }
+        },
+        None => match baseline_doc.pop() {
+            Some(c) => c,
+            None => {
+                return Ok(Selection::FirstRun(format!(
+                    "{} has a single capture; nothing to self-compare against yet",
+                    opts.baseline_path
+                )))
+            }
+        },
     };
-    Ok((baseline, candidate))
+    Ok(Selection::Ready(Box::new((baseline, candidate))))
 }
 
 fn main() {
@@ -84,7 +112,10 @@ fn main() {
         }
     };
     match select(&opts) {
-        Ok((baseline, candidate)) => report(&baseline, &candidate),
+        Ok(Selection::Ready(pair)) => report(&pair.0, &pair.1),
+        Ok(Selection::FirstRun(why)) => {
+            println!("bench_diff: {why} — skipping drift report (first run is not a failure)");
+        }
         Err(e) => {
             eprintln!("bench_diff: {e}");
             std::process::exit(1);
@@ -158,4 +189,64 @@ fn report(baseline: &MicroCapture, candidate: &MicroCapture) {
         candidate.results.len(),
         threshold
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_bench::micro::render_document;
+
+    fn write_doc(name: &str, captures: &[String]) -> String {
+        let dir = std::env::temp_dir().join(format!("hgw_bench_diff_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, render_document(captures)).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn capture(label: &str) -> String {
+        format!("    {{\"label\": \"{label}\", \"bench_ms\": 1, \"results\": []}}")
+    }
+
+    fn opts(baseline: &str) -> Options {
+        Options { baseline_path: baseline.to_string(), candidate_path: None, baseline_label: None }
+    }
+
+    #[test]
+    fn missing_captures_resolve_to_first_run_not_error() {
+        // Empty trajectory: no candidate at all.
+        let empty = write_doc("empty.json", &[]);
+        assert!(matches!(select(&opts(&empty)), Ok(Selection::FirstRun(_))));
+
+        // Single capture: nothing to self-compare against.
+        let single = write_doc("single.json", &[capture("only")]);
+        assert!(matches!(select(&opts(&single)), Ok(Selection::FirstRun(_))));
+
+        // Label never recorded.
+        let two = write_doc("two.json", &[capture("a"), capture("b")]);
+        let mut o = opts(&two);
+        o.baseline_label = Some("never-recorded".to_string());
+        match select(&o) {
+            Ok(Selection::FirstRun(msg)) => assert!(msg.contains("never-recorded")),
+            other => panic!("expected FirstRun, got {:?}", other.map(|_| "selection")),
+        }
+
+        // Empty candidate file alongside a populated baseline.
+        let mut o = opts(&two);
+        o.candidate_path = Some(empty.clone());
+        assert!(matches!(select(&o), Ok(Selection::FirstRun(_))));
+    }
+
+    #[test]
+    fn two_captures_are_ready_and_read_errors_stay_fatal() {
+        let two = write_doc("ready.json", &[capture("pre"), capture("post")]);
+        match select(&opts(&two)) {
+            Ok(Selection::Ready(pair)) => {
+                assert_eq!(pair.0.label, "pre");
+                assert_eq!(pair.1.label, "post");
+            }
+            _ => panic!("expected Ready"),
+        }
+        assert!(select(&opts("/nonexistent/BENCH_micro.json")).is_err());
+    }
 }

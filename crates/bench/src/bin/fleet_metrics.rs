@@ -9,6 +9,11 @@
 //! `HGW_FLEET_PARALLELISM` picks the parallel leg's mode (default `4`, a
 //! fixed pool so the committed manifest is host-independent); `HGW_SEED`
 //! and `HGW_FLEET_BYTES` parameterize the workload.
+//!
+//! Both legs run with telemetry on, so the manifest's per-device `delay`
+//! blocks are populated and the parallel leg's span timelines are exported
+//! as a Chrome trace-event file (`target/figures/trace.json`) loadable in
+//! Perfetto or `chrome://tracing`.
 
 use std::path::Path;
 
@@ -41,12 +46,20 @@ fn run() -> Result<(), FleetError> {
         run_transfer(tb, 5001, Direction::Upload, bytes);
         measure_udp1(tb, 20_000).timeout_secs.to_bits()
     };
-    let runner = FleetRunner::new(&devices).seed(seed).instrumented(true);
+    let runner = FleetRunner::new(&devices).seed(seed).instrumented(true).telemetry(true);
 
     let sequential = runner.parallelism(Parallelism::Sequential).run(probe)?;
     let sequential_wall_ms = sequential.scheduling.wall_ms;
     let parallel = runner.parallelism(parallelism).run(probe)?;
     let scheduling = parallel.scheduling.clone();
+
+    // Span timelines, per device, for the Perfetto export (taken before
+    // into_instrumented_results consumes the report).
+    let timelines: Vec<(String, hgw_core::SpanTimeline)> = parallel
+        .devices
+        .iter()
+        .filter_map(|d| d.spans.as_ref().map(|s| (d.tag.clone(), s.clone())))
+        .collect();
 
     // The determinism guarantee, enforced on every metrics run: identical
     // probe results and identical deterministic counters across modes.
@@ -106,6 +119,17 @@ fn run() -> Result<(), FleetError> {
             Ok(()) => println!("[manifest written to {}]", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
+    }
+
+    let threads: Vec<(String, &hgw_core::SpanTimeline)> =
+        timelines.iter().map(|(tag, t)| (tag.clone(), t)).collect();
+    let trace = hgw_core::render_chrome_trace(&threads);
+    let trace_path = figures_dir().join("trace.json");
+    match write_manifest(&trace_path, &trace) {
+        Ok(()) => {
+            println!("[span timeline written to {} — load in Perfetto]", trace_path.display())
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", trace_path.display()),
     }
     Ok(())
 }

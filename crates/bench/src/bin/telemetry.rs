@@ -1,0 +1,287 @@
+//! Inspects `hgw-flight-recorder/1` JSON dumps written when a fleet probe
+//! panics (see `FleetRunner::dump_flight_recorder` in `hgw-probe`).
+//!
+//! ```text
+//! telemetry summarize <dump.json>              # event counts, time range, note
+//! telemetry filter <dump.json> [--kind K] [--node N] [--since NS] [--until NS]
+//! telemetry diff <a.json> <b.json>             # per-kind count deltas
+//! ```
+//!
+//! Exit codes: `0` success, `1` unreadable/malformed dump, `2` usage.
+
+use std::collections::BTreeMap;
+
+use hgw_bench::json::{self, Value};
+use hgw_stats::TextTable;
+
+/// One parsed flight-recorder event row.
+#[derive(Debug)]
+struct EventRow {
+    t_ns: u64,
+    node: u64,
+    kind: String,
+    /// The row's full JSON object, re-rendered for `filter` output.
+    raw: String,
+}
+
+#[derive(Debug)]
+struct Dump {
+    note: String,
+    frames: u64,
+    events: Vec<EventRow>,
+}
+
+fn load_dump(path: &str) -> Result<Dump, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let obj = root.as_obj().ok_or_else(|| format!("{path}: top level is not an object"))?;
+    let schema = json::field(obj, "schema")
+        .map_err(|e| format!("{path}: {e}"))?
+        .as_str()
+        .ok_or_else(|| format!("{path}: schema is not a string"))?;
+    if schema != "hgw-flight-recorder/1" {
+        return Err(format!("{path}: unsupported schema {schema:?}"));
+    }
+    let note = json::field(obj, "note")
+        .map_err(|e| format!("{path}: {e}"))?
+        .as_str()
+        .unwrap_or_default()
+        .to_string();
+    let frames = json::field(obj, "frames")
+        .map_err(|e| format!("{path}: {e}"))?
+        .as_u64()
+        .ok_or_else(|| format!("{path}: frames is not integral"))?;
+    let events = json::field(obj, "events")
+        .map_err(|e| format!("{path}: {e}"))?
+        .as_arr()
+        .ok_or_else(|| format!("{path}: events is not an array"))?
+        .iter()
+        .map(|row| parse_event(path, row))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Dump { note, frames, events })
+}
+
+fn parse_event(path: &str, row: &Value) -> Result<EventRow, String> {
+    let obj = row.as_obj().ok_or_else(|| format!("{path}: event is not an object"))?;
+    let get_u64 = |key: &str| {
+        json::field(obj, key)
+            .map_err(|e| format!("{path}: {e}"))?
+            .as_u64()
+            .ok_or_else(|| format!("{path}: {key} is not integral"))
+    };
+    Ok(EventRow {
+        t_ns: get_u64("t_ns")?,
+        node: get_u64("node")?,
+        kind: json::field(obj, "kind")
+            .map_err(|e| format!("{path}: {e}"))?
+            .as_str()
+            .ok_or_else(|| format!("{path}: kind is not a string"))?
+            .to_string(),
+        raw: render_value(row),
+    })
+}
+
+/// Re-renders a parsed value as compact JSON (the parser keeps field order).
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => format!("{}", *n as i64),
+        Value::Num(n) => format!("{n}"),
+        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Value::Arr(items) => {
+            let body: Vec<String> = items.iter().map(render_value).collect();
+            format!("[{}]", body.join(", "))
+        }
+        Value::Obj(fields) => {
+            let body: Vec<String> =
+                fields.iter().map(|(k, v)| format!("\"{k}\": {}", render_value(v))).collect();
+            format!("{{{}}}", body.join(", "))
+        }
+    }
+}
+
+fn kind_counts(dump: &Dump) -> BTreeMap<&str, usize> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &dump.events {
+        *counts.entry(e.kind.as_str()).or_default() += 1;
+    }
+    counts
+}
+
+fn summarize(path: &str) -> Result<(), String> {
+    let dump = load_dump(path)?;
+    println!("flight recorder dump: {path}");
+    println!("note: {}", dump.note);
+    println!("frames in companion pcap: {}", dump.frames);
+    println!("events retained: {}", dump.events.len());
+    if let (Some(first), Some(last)) = (dump.events.first(), dump.events.last()) {
+        println!(
+            "sim-time range: {} ns .. {} ns ({} ns window)",
+            first.t_ns,
+            last.t_ns,
+            last.t_ns.saturating_sub(first.t_ns)
+        );
+    }
+    let mut table = TextTable::new(&["event kind", "count"]);
+    for (kind, count) in kind_counts(&dump) {
+        table.row(vec![kind.to_string(), count.to_string()]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+struct Filter {
+    kind: Option<String>,
+    node: Option<u64>,
+    since: Option<u64>,
+    until: Option<u64>,
+}
+
+fn filter(path: &str, f: &Filter) -> Result<(), String> {
+    let dump = load_dump(path)?;
+    let mut matched = 0usize;
+    for e in &dump.events {
+        if f.kind.as_deref().is_some_and(|k| k != e.kind)
+            || f.node.is_some_and(|n| n != e.node)
+            || f.since.is_some_and(|s| e.t_ns < s)
+            || f.until.is_some_and(|u| e.t_ns > u)
+        {
+            continue;
+        }
+        matched += 1;
+        println!("{}", e.raw);
+    }
+    eprintln!("{} of {} events matched", matched, dump.events.len());
+    Ok(())
+}
+
+fn diff(path_a: &str, path_b: &str) -> Result<(), String> {
+    let a = load_dump(path_a)?;
+    let b = load_dump(path_b)?;
+    let ca = kind_counts(&a);
+    let cb = kind_counts(&b);
+    let mut table = TextTable::new(&["event kind", path_a, path_b, "delta"]);
+    let kinds: std::collections::BTreeSet<&str> = ca.keys().chain(cb.keys()).copied().collect();
+    for kind in kinds {
+        let na = *ca.get(kind).unwrap_or(&0) as i64;
+        let nb = *cb.get(kind).unwrap_or(&0) as i64;
+        table.row(vec![kind.to_string(), na.to_string(), nb.to_string(), format!("{:+}", nb - na)]);
+    }
+    println!("{}", table.render());
+    println!(
+        "events: {} -> {} ({:+}); pcap frames: {} -> {} ({:+})",
+        a.events.len(),
+        b.events.len(),
+        b.events.len() as i64 - a.events.len() as i64,
+        a.frames,
+        b.frames,
+        b.frames as i64 - a.frames as i64,
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage:
+  telemetry summarize <dump.json>
+  telemetry filter <dump.json> [--kind K] [--node N] [--since NS] [--until NS]
+  telemetry diff <a.json> <b.json>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args {
+        [cmd, path] if cmd == "summarize" => summarize(path),
+        [cmd, a, b] if cmd == "diff" => diff(a, b),
+        [cmd, path, rest @ ..] if cmd == "filter" => {
+            let mut f = Filter { kind: None, node: None, since: None, until: None };
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let value = it.next().ok_or_else(|| format!("usage: {flag} requires a value"))?;
+                let int =
+                    || value.parse::<u64>().map_err(|_| format!("usage: {flag} wants an integer"));
+                match flag.as_str() {
+                    "--kind" => f.kind = Some(value.clone()),
+                    "--node" => f.node = Some(int()?),
+                    "--since" => f.since = Some(int()?),
+                    "--until" => f.until = Some(int()?),
+                    other => return Err(format!("usage: unknown flag {other:?}")),
+                }
+            }
+            filter(path, &f)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("telemetry: {e}");
+        // `usage:`-prefixed errors are caller mistakes (exit 2); anything
+        // else is an unreadable or malformed dump (exit 1).
+        std::process::exit(if e.starts_with("usage") { 2 } else { 1 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "hgw-flight-recorder/1",
+  "note": "probe panicked",
+  "frames": 2,
+  "events": [
+    {"t_ns": 100, "node": 1, "kind": "frame_delivered", "bytes": 60},
+    {"t_ns": 250, "node": 2, "kind": "frame_dropped", "reason": "capacity", "bytes": 1500},
+    {"t_ns": 400, "node": 1, "kind": "frame_delivered", "bytes": 61}
+  ]
+}"#;
+
+    fn sample_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("hgw_telemetry_bin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, SAMPLE).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn loads_and_counts_the_dump() {
+        let dump = load_dump(&sample_path("a.json")).unwrap();
+        assert_eq!(dump.note, "probe panicked");
+        assert_eq!(dump.frames, 2);
+        assert_eq!(dump.events.len(), 3);
+        let counts = kind_counts(&dump);
+        assert_eq!(counts.get("frame_delivered"), Some(&2));
+        assert_eq!(counts.get("frame_dropped"), Some(&1));
+        assert!(dump.events[1].raw.contains("\"reason\": \"capacity\""));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_files() {
+        let dir = std::env::temp_dir().join(format!("hgw_telemetry_bin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"schema": "other/1", "note": "", "frames": 0, "events": []}"#)
+            .unwrap();
+        assert!(load_dump(&bad.to_string_lossy()).unwrap_err().contains("unsupported schema"));
+        assert!(load_dump("/nonexistent/dump.json").unwrap_err().contains("could not read"));
+    }
+
+    #[test]
+    fn subcommands_run_end_to_end() {
+        let path = sample_path("cmd.json");
+        assert!(run(&["summarize".to_string(), path.clone()]).is_ok());
+        assert!(run(&["diff".to_string(), path.clone(), path.clone()]).is_ok());
+        assert!(run(&[
+            "filter".to_string(),
+            path.clone(),
+            "--kind".to_string(),
+            "frame_dropped".to_string(),
+        ])
+        .is_ok());
+        assert!(run(&["filter".to_string(), path.clone(), "--node".to_string(), "x".to_string()])
+            .unwrap_err()
+            .starts_with("usage"));
+        assert!(run(&["bogus".to_string()]).unwrap_err().starts_with("usage"));
+    }
+}

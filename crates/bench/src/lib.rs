@@ -123,3 +123,6 @@ pub mod manifest;
 
 /// Machine-readable micro-benchmark captures (`BENCH_micro.json`).
 pub mod micro;
+
+/// Hand-rolled JSON reader for the documents the `hgw-*` writers emit.
+pub mod json;

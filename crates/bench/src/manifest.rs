@@ -7,6 +7,7 @@
 use std::io::Write;
 use std::path::Path;
 
+use hgw_core::HistogramSummary;
 use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 
 /// Schema identifier stamped into every manifest.
@@ -14,7 +15,13 @@ use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 /// `/2` adds the `scheduling` block: parallelism mode, resolved worker
 /// count, host parallelism, per-worker scheduling counters, and the
 /// measured wall-clock speedup over a sequential run of the same campaign.
-pub const SCHEMA: &str = "hgw-fleet-manifest/2";
+///
+/// `/3` adds the per-device `delay` block: `one_way`, `queue_residency`,
+/// and `nat_processing` latency summaries (`{count, p50_ns, p90_ns,
+/// p99_ns, max_ns}`), each `null` when the campaign ran without telemetry.
+/// The totals row's `delay` is always `null` — percentiles do not
+/// aggregate across devices.
+pub const SCHEMA: &str = "hgw-fleet-manifest/3";
 
 /// Escapes a string for embedding in hand-emitted JSON.
 pub(crate) fn json_escape(s: &str) -> String {
@@ -39,6 +46,31 @@ fn drops_json(metrics: &DeviceRunMetrics) -> String {
     format!("{{{}}}", fields.join(", "))
 }
 
+fn summary_json(s: &Option<HistogramSummary>) -> String {
+    match s {
+        Some(s) => format!(
+            "{{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            s.count, s.p50, s.p90, s.p99, s.max
+        ),
+        None => "null".to_string(),
+    }
+}
+
+fn delay_json(metrics: &DeviceRunMetrics) -> String {
+    if metrics.delay_one_way.is_none()
+        && metrics.delay_queue_residency.is_none()
+        && metrics.delay_nat_processing.is_none()
+    {
+        return "null".to_string();
+    }
+    format!(
+        "{{\"one_way\": {}, \"queue_residency\": {}, \"nat_processing\": {}}}",
+        summary_json(&metrics.delay_one_way),
+        summary_json(&metrics.delay_queue_residency),
+        summary_json(&metrics.delay_nat_processing),
+    )
+}
+
 fn device_json(tag: &str, metrics: &DeviceRunMetrics) -> String {
     format!(
         concat!(
@@ -46,7 +78,8 @@ fn device_json(tag: &str, metrics: &DeviceRunMetrics) -> String {
             "\"events_per_sec\": {:.0}, \"frames_delivered\": {}, ",
             "\"frames_dropped_total\": {}, \"frames_dropped_by_reason\": {}, ",
             "\"trace_events\": {}, \"nat_bindings_created\": {}, ",
-            "\"nat_bindings_expired\": {}, \"nat_bindings_peak\": {}}}"
+            "\"nat_bindings_expired\": {}, \"nat_bindings_peak\": {}, ",
+            "\"delay\": {}}}"
         ),
         json_escape(tag),
         metrics.wall_ms,
@@ -59,6 +92,7 @@ fn device_json(tag: &str, metrics: &DeviceRunMetrics) -> String {
         metrics.nat_bindings_created,
         metrics.nat_bindings_expired,
         metrics.nat_bindings_peak,
+        delay_json(metrics),
     )
 }
 
@@ -170,7 +204,7 @@ mod tests {
         for reason in DropReason::ALL {
             assert!(json.contains(reason.name()), "missing key {}", reason.name());
         }
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/2\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/3\""));
         assert!(json.contains("\"device\": \"ls1\""));
         assert!(json.contains("\"nat_bindings_peak\": 0"));
     }
@@ -188,7 +222,31 @@ mod tests {
         assert!(json.contains("\"devices\": 2"));
         // The totals row carries the merged event count and max peak.
         assert!(json.contains("\"device\": \"*\", \"wall_ms\": 0.000, \"events\": 15"));
-        assert!(json.contains("\"nat_bindings_peak\": 7}"));
+        assert!(json.contains("\"nat_bindings_peak\": 7, \"delay\": null}"));
+    }
+
+    #[test]
+    fn delay_block_renders_summaries_and_totals_stay_null() {
+        let summary = hgw_core::HistogramSummary { count: 4, p50: 10, p90: 20, p99: 30, max: 31 };
+        let m = DeviceRunMetrics {
+            delay_one_way: Some(summary),
+            delay_queue_residency: Some(summary),
+            delay_nat_processing: None,
+            ..Default::default()
+        };
+        let json = render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None);
+        assert!(
+            json.contains(
+                "\"delay\": {\"one_way\": {\"count\": 4, \"p50_ns\": 10, \"p90_ns\": 20, \
+                 \"p99_ns\": 30, \"max_ns\": 31}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"nat_processing\": null"));
+        // The totals row never aggregates percentiles.
+        assert!(json.contains("\"device\": \"*\""));
+        let totals_row = json.lines().find(|l| l.contains("\"device\": \"*\"")).unwrap();
+        assert!(totals_row.contains("\"delay\": null"), "{totals_row}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod pcap;
 pub mod pool;
 pub mod rng;
 pub mod sim;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -29,5 +30,9 @@ pub use pcap::{write_pcap, PcapWriter};
 pub use pool::FramePool;
 pub use rng::SimRng;
 pub use sim::{SimStats, Simulator};
+pub use telemetry::{
+    render_chrome_trace, DelaySummaries, FlightRecorder, Histogram, HistogramSummary,
+    MetricsRegistry, SpanId, SpanTimeline, Telemetry, TelemetryConfig,
+};
 pub use time::{serialization_time, Duration, Instant};
 pub use trace::{CountingObserver, DropCounts, DropReason, EventLog, SimObserver, TraceEvent};

@@ -149,10 +149,12 @@ pub struct LinkDirStats {
     pub queue_peak_bytes: usize,
 }
 
-/// One direction of a link: a bounded FIFO feeding a transmitter.
+/// One direction of a link: a bounded FIFO feeding a transmitter. Each
+/// queued frame carries its enqueue time so telemetry can attribute queue
+/// residency and one-way delay; the timestamp never influences scheduling.
 #[derive(Debug)]
 pub(crate) struct LinkDir {
-    queue: VecDeque<Vec<u8>>,
+    queue: VecDeque<(Vec<u8>, Instant)>,
     queued_bytes: usize,
     /// True while a TxComplete event is outstanding for this direction.
     transmitting: bool,
@@ -178,23 +180,29 @@ impl LinkDir {
         }
     }
 
-    /// Attempts to enqueue; a tail drop hands the frame back so the caller
-    /// can recycle its buffer.
-    pub(crate) fn enqueue(&mut self, frame: Vec<u8>, cap: usize) -> Result<(), Vec<u8>> {
+    /// Attempts to enqueue at time `now`; a tail drop hands the frame back
+    /// so the caller can recycle its buffer.
+    pub(crate) fn enqueue(
+        &mut self,
+        frame: Vec<u8>,
+        cap: usize,
+        now: Instant,
+    ) -> Result<(), Vec<u8>> {
         if self.queued_bytes.saturating_add(frame.len()) > cap {
             self.stats.drops_queue += 1;
             return Err(frame);
         }
         self.queued_bytes += frame.len();
         self.stats.queue_peak_bytes = self.stats.queue_peak_bytes.max(self.queued_bytes);
-        self.queue.push_back(frame);
+        self.queue.push_back((frame, now));
         Ok(())
     }
 
-    pub(crate) fn pop(&mut self) -> Option<Vec<u8>> {
-        let frame = self.queue.pop_front()?;
+    /// Pops the head frame together with the time it was enqueued.
+    pub(crate) fn pop(&mut self) -> Option<(Vec<u8>, Instant)> {
+        let (frame, enqueued_at) = self.queue.pop_front()?;
         self.queued_bytes -= frame.len();
-        Some(frame)
+        Some((frame, enqueued_at))
     }
 
     pub(crate) fn set_transmitting(&mut self, v: bool) {
@@ -276,8 +284,8 @@ mod tests {
     #[test]
     fn queue_tail_drops_and_counts() {
         let mut d = LinkDir::new(&LinkConfig::ethernet_100m());
-        assert!(d.enqueue(vec![0; 600], 1000).is_ok());
-        let rejected = d.enqueue(vec![0; 600], 1000);
+        assert!(d.enqueue(vec![0; 600], 1000, Instant::ZERO).is_ok());
+        let rejected = d.enqueue(vec![0; 600], 1000, Instant::ZERO);
         assert_eq!(rejected, Err(vec![0; 600]), "tail drop hands the frame back");
         assert_eq!(d.stats.drops_queue, 1);
         assert_eq!(d.queued_bytes(), 600);
@@ -285,16 +293,18 @@ mod tests {
     }
 
     #[test]
-    fn queue_conserves_bytes() {
+    fn queue_conserves_bytes_and_enqueue_times() {
         let mut d = LinkDir::new(&LinkConfig::ethernet_100m());
-        for len in [100usize, 200, 300] {
-            assert!(d.enqueue(vec![0; len], usize::MAX).is_ok());
+        for (i, len) in [100usize, 200, 300].into_iter().enumerate() {
+            assert!(d.enqueue(vec![0; len], usize::MAX, Instant::from_millis(i as u64)).is_ok());
         }
         assert_eq!(d.queued_bytes(), 600);
-        assert_eq!(d.pop().unwrap().len(), 100);
-        assert_eq!(d.pop().unwrap().len(), 200);
+        let (frame, at) = d.pop().unwrap();
+        assert_eq!((frame.len(), at), (100, Instant::ZERO));
+        let (frame, at) = d.pop().unwrap();
+        assert_eq!((frame.len(), at), (200, Instant::from_millis(1)));
         assert_eq!(d.queued_bytes(), 300);
-        assert_eq!(d.pop().unwrap().len(), 300);
+        assert_eq!(d.pop().unwrap().0.len(), 300);
         assert_eq!(d.queued_bytes(), 0);
         assert!(d.pop().is_none());
     }

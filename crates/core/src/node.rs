@@ -11,6 +11,7 @@ use core::any::Any;
 
 use crate::pool::FramePool;
 use crate::rng::SimRng;
+use crate::telemetry::Telemetry;
 use crate::time::Instant;
 use crate::trace::TraceEvent;
 
@@ -61,6 +62,7 @@ pub struct NodeCtx<'a> {
     rng: &'a mut SimRng,
     pool: &'a mut FramePool,
     actions: &'a mut Vec<Action>,
+    telemetry: Option<&'a mut Telemetry>,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -70,8 +72,9 @@ impl<'a> NodeCtx<'a> {
         rng: &'a mut SimRng,
         pool: &'a mut FramePool,
         actions: &'a mut Vec<Action>,
+        telemetry: Option<&'a mut Telemetry>,
     ) -> NodeCtx<'a> {
-        NodeCtx { now, node, rng, pool, actions }
+        NodeCtx { now, node, rng, pool, actions, telemetry }
     }
 
     /// The current simulated time.
@@ -129,6 +132,16 @@ impl<'a> NodeCtx<'a> {
     pub fn emit_trace(&mut self, event: TraceEvent) {
         self.actions.push(Action::Trace(event));
     }
+
+    /// The simulator's [`Telemetry`] instance, when telemetry is enabled.
+    ///
+    /// Nodes use this to record domain-specific latency samples (the
+    /// gateway records its NAT processing delay here). Like observers,
+    /// telemetry is a pure sink: nothing a node reads from or writes to it
+    /// can influence the simulation.
+    pub fn telemetry(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
+    }
 }
 
 /// A network element driven by the simulator.
@@ -184,7 +197,7 @@ mod tests {
         let mut pool = FramePool::new();
         let mut actions = Vec::new();
         let mut ctx =
-            NodeCtx::new(Instant::from_secs(5), NodeId(3), &mut rng, &mut pool, &mut actions);
+            NodeCtx::new(Instant::from_secs(5), NodeId(3), &mut rng, &mut pool, &mut actions, None);
         assert_eq!(ctx.now(), Instant::from_secs(5));
         assert_eq!(ctx.node_id(), NodeId(3));
         ctx.send_frame(PortId(0), vec![1, 2, 3]);

@@ -97,6 +97,49 @@ mod tests {
         assert_eq!(&rec[16..], &frame);
     }
 
+    /// Byte-exact golden file: two frames with known timestamps must
+    /// serialize to precisely these bytes. Any drift here breaks every
+    /// previously written capture, so this test is intentionally brittle.
+    #[test]
+    fn golden_capture_is_byte_exact() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(Instant::ZERO, &[0x45, 0x00]).unwrap();
+        w.write_frame(Instant::from_micros(2_000_001), &[0xAB]).unwrap();
+        let buf = w.finish().unwrap();
+        #[rustfmt::skip]
+        let golden: &[u8] = &[
+            // global header: magic, v2.4, thiszone 0, sigfigs 0,
+            // snaplen 65535, LINKTYPE_RAW 101 — all little-endian
+            0xD4, 0xC3, 0xB2, 0xA1, 0x02, 0x00, 0x04, 0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0xFF, 0xFF, 0x00, 0x00, 0x65, 0x00, 0x00, 0x00,
+            // record 1: t=0.000000, incl=orig=2, payload 45 00
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+            0x02, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+            0x45, 0x00,
+            // record 2: t=2.000001, incl=orig=1, payload AB
+            0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+            0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+            0xAB,
+        ];
+        assert_eq!(buf, golden);
+    }
+
+    /// The header fields read back as the constants they were written
+    /// from — the check a consumer (Wireshark, `tcpdump -r`) performs.
+    #[test]
+    fn header_constants_roundtrip() {
+        let buf = PcapWriter::new(Vec::new()).unwrap().finish().unwrap();
+        let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let u16_at = |o: usize| u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+        assert_eq!(u32_at(0), MAGIC);
+        assert_eq!((u16_at(4), u16_at(6)), (2, 4), "pcap version");
+        assert_eq!(u32_at(16), SNAPLEN);
+        assert_eq!(u32_at(16), 65_535);
+        assert_eq!(u32_at(20), LINKTYPE_RAW);
+        assert_eq!(u32_at(20), 101);
+    }
+
     #[test]
     fn write_pcap_roundtrip_on_disk() {
         let dir = std::env::temp_dir().join("hgw-pcap-test");

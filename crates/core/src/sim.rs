@@ -14,16 +14,23 @@ use crate::link::{Dir, Link, LinkConfig, LinkId};
 use crate::node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
 use crate::pool::FramePool;
 use crate::rng::SimRng;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::time::{Duration, Instant};
 use crate::trace::{DropCounts, DropReason, SimObserver, TraceEvent};
 
 /// What an event does when it is dispatched.
+///
+/// Frame-carrying events also carry the instant the frame entered its link
+/// queue (`enqueued_at`), which is what telemetry uses to attribute
+/// one-way delay. The timestamp rides along even when telemetry is off —
+/// a `Copy` field is cheaper than a second event shape — and never
+/// influences scheduling.
 #[derive(Debug)]
 enum EventKind {
     /// Deliver a frame to a node port.
-    Deliver { node: NodeId, port: PortId, frame: Vec<u8> },
+    Deliver { node: NodeId, port: PortId, frame: Vec<u8>, enqueued_at: Instant },
     /// The transmitter of a link direction finished clocking out a frame.
-    TxComplete { link: LinkId, dir: Dir, frame: Vec<u8> },
+    TxComplete { link: LinkId, dir: Dir, frame: Vec<u8>, enqueued_at: Instant },
     /// A node timer fired.
     Timer { node: NodeId, token: TimerToken },
 }
@@ -108,6 +115,10 @@ pub struct Simulator {
     pool: FramePool,
     booted: bool,
     observer: Option<Box<dyn SimObserver>>,
+    /// Present iff telemetry is enabled. Boxed so the disabled path costs
+    /// one null check per instrumentation site and the hot `Simulator`
+    /// layout stays small.
+    telemetry: Option<Box<Telemetry>>,
     /// Reused across every node callback so the steady-state event loop
     /// allocates no action buffers. Taken (leaving an empty `Vec`) while a
     /// callback runs, drained by `apply_actions`, then put back.
@@ -129,6 +140,7 @@ impl Simulator {
             pool: FramePool::new(),
             booted: false,
             observer: None,
+            telemetry: None,
             scratch_actions: Vec::with_capacity(16),
         }
     }
@@ -158,6 +170,33 @@ impl Simulator {
         self.observer.take()
     }
 
+    /// Enables telemetry: from here on the simulator records per-packet
+    /// one-way delay and link queue residency into histograms, feeds the
+    /// flight recorder, and hands nodes access to the
+    /// [`Telemetry`] instance through their [`NodeCtx`]. Telemetry is a
+    /// pure sink — enabling it never changes behavior or statistics.
+    /// Replaces any previous instance.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Some(Box::new(Telemetry::new(config)));
+    }
+
+    /// Shared access to the telemetry instance, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Exclusive access to the telemetry instance, if enabled. Drivers use
+    /// this to open experiment spans and read histograms mid-run.
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
+    }
+
+    /// Removes and returns the telemetry instance (disabling further
+    /// recording), typically at harvest time.
+    pub fn take_telemetry(&mut self) -> Option<Box<Telemetry>> {
+        self.telemetry.take()
+    }
+
     /// Updates aggregate statistics for `event` and forwards it to the
     /// attached observer. The stats update happens whether or not an
     /// observer is attached, so measurements never depend on observation.
@@ -166,6 +205,14 @@ impl Simulator {
             TraceEvent::FrameDropped { reason, .. } => self.stats.frames_dropped.add(*reason),
             TraceEvent::FrameDelivered { .. } => self.stats.frames_delivered += 1,
             TraceEvent::BindingCreated { .. } => {}
+        }
+        if let Some(t) = &mut self.telemetry {
+            match &event {
+                TraceEvent::FrameDropped { .. } => t.note_dropped(),
+                TraceEvent::FrameDelivered { .. } => t.note_delivered(),
+                TraceEvent::BindingCreated { .. } => {}
+            }
+            t.flight.record_event(self.now, node, event.clone());
         }
         if let Some(obs) = &mut self.observer {
             obs.on_event(self.now, node, &event);
@@ -278,8 +325,14 @@ impl Simulator {
         let mut node = self.nodes[id.0].node.take().expect("with_node: node is mid-callback");
         let mut actions = std::mem::take(&mut self.scratch_actions);
         let result = {
-            let mut ctx =
-                NodeCtx::new(self.now, id, &mut self.nodes[id.0].rng, &mut self.pool, &mut actions);
+            let mut ctx = NodeCtx::new(
+                self.now,
+                id,
+                &mut self.nodes[id.0].rng,
+                &mut self.pool,
+                &mut actions,
+                self.telemetry.as_deref_mut(),
+            );
             let typed = node.as_any_mut().downcast_mut::<T>().expect("with_node: wrong node type");
             f(typed, &mut ctx)
         };
@@ -305,6 +358,7 @@ impl Simulator {
                     &mut self.nodes[i].rng,
                     &mut self.pool,
                     &mut actions,
+                    self.telemetry.as_deref_mut(),
                 );
                 node.start(&mut ctx);
             }
@@ -387,7 +441,7 @@ impl Simulator {
     fn enqueue_on_link(&mut self, src: NodeId, link_id: LinkId, dir: Dir, frame: Vec<u8>) {
         let cap = self.links[link_id.0].config.queue_bytes;
         let bytes = frame.len();
-        if let Err(frame) = self.links[link_id.0].dirs[dir.index()].enqueue(frame, cap) {
+        if let Err(frame) = self.links[link_id.0].dirs[dir.index()].enqueue(frame, cap, self.now) {
             self.emit(src, TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
             self.pool.put(frame);
             return;
@@ -402,13 +456,16 @@ impl Simulator {
     /// Pops the head frame and schedules its TxComplete.
     fn start_transmitter(&mut self, link_id: LinkId, dir: Dir) {
         let link = &mut self.links[link_id.0];
-        let Some(frame) = link.dirs[dir.index()].pop() else {
+        let Some((frame, enqueued_at)) = link.dirs[dir.index()].pop() else {
             link.dirs[dir.index()].set_transmitting(false);
             return;
         };
+        if let Some(t) = &mut self.telemetry {
+            t.record_queue_residency(self.now - enqueued_at);
+        }
         link.dirs[dir.index()].set_transmitting(true);
         let tx_end = self.now + link.tx_time(frame.len());
-        self.push_event(tx_end, EventKind::TxComplete { link: link_id, dir, frame });
+        self.push_event(tx_end, EventKind::TxComplete { link: link_id, dir, frame, enqueued_at });
     }
 
     /// Dispatches the next event. Returns the time it ran at, or `None` if
@@ -419,14 +476,24 @@ impl Simulator {
         self.now = event.at;
         self.stats.events += 1;
         match event.kind {
-            EventKind::Deliver { node, port, mut frame } => {
+            EventKind::Deliver { node, port, mut frame, enqueued_at } => {
+                if let Some(t) = &mut self.telemetry {
+                    t.record_one_way_delay(self.now - enqueued_at);
+                    t.flight.record_frame(self.now, &frame);
+                }
                 self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
                 let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
                 let mut boxed = slot.node.take().expect("deliver: node is mid-callback");
                 let mut actions = std::mem::take(&mut self.scratch_actions);
                 {
-                    let mut ctx =
-                        NodeCtx::new(self.now, node, &mut slot.rng, &mut self.pool, &mut actions);
+                    let mut ctx = NodeCtx::new(
+                        self.now,
+                        node,
+                        &mut slot.rng,
+                        &mut self.pool,
+                        &mut actions,
+                        self.telemetry.as_deref_mut(),
+                    );
                     boxed.handle_frame(&mut ctx, port, &mut frame);
                 }
                 // Whatever the node left in place goes back to the pool.
@@ -435,7 +502,7 @@ impl Simulator {
                 self.apply_actions(node, &mut actions);
                 self.scratch_actions = actions;
             }
-            EventKind::TxComplete { link, dir, frame } => {
+            EventKind::TxComplete { link, dir, frame, enqueued_at } => {
                 let (sink_node, sink_port) = self.links[link.0].sink(dir);
                 let (delay, reorder_extra) = {
                     let l = &self.links[link.0];
@@ -476,7 +543,7 @@ impl Simulator {
                 }
                 self.push_event(
                     self.now + delay + reorder_extra,
-                    EventKind::Deliver { node: sink_node, port: sink_port, frame },
+                    EventKind::Deliver { node: sink_node, port: sink_port, frame, enqueued_at },
                 );
                 self.start_transmitter(link, dir);
             }
@@ -485,8 +552,14 @@ impl Simulator {
                 let mut boxed = slot.node.take().expect("timer: node is mid-callback");
                 let mut actions = std::mem::take(&mut self.scratch_actions);
                 {
-                    let mut ctx =
-                        NodeCtx::new(self.now, node, &mut slot.rng, &mut self.pool, &mut actions);
+                    let mut ctx = NodeCtx::new(
+                        self.now,
+                        node,
+                        &mut slot.rng,
+                        &mut self.pool,
+                        &mut actions,
+                        self.telemetry.as_deref_mut(),
+                    );
                     boxed.handle_timer(&mut ctx, token);
                 }
                 self.nodes[node.0].node = Some(boxed);
@@ -842,6 +915,117 @@ mod tests {
             ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::Checksum, bytes: 20 });
         });
         assert_eq!(sim.stats().frames_dropped.by(DropReason::Checksum), 1);
+    }
+
+    #[test]
+    fn telemetry_sees_delays_without_changing_stats() {
+        use crate::telemetry::TelemetryConfig;
+        // The analogue of `observer_sees_events_without_changing_stats` for
+        // the telemetry layer: identical stats and payload stream with and
+        // without telemetry, under the nastiest fault mix.
+        let run = |enable: bool| {
+            let cfg = LinkConfig {
+                fault: FaultConfig {
+                    drop_chance: 0.3,
+                    corrupt_chance: 0.2,
+                    duplicate_chance: 0.2,
+                    ..FaultConfig::NONE
+                },
+                ..LinkConfig::ethernet_100m()
+            };
+            let (mut sim, a, b) = two_node_sim(cfg);
+            if enable {
+                sim.enable_telemetry(TelemetryConfig::default());
+            }
+            sim.with_node::<Echo, _>(a, |_, ctx| {
+                for i in 0..50u8 {
+                    ctx.send_frame(PortId(0), vec![i; 50]);
+                }
+            });
+            sim.run_until_idle(10_000);
+            let summaries = sim.take_telemetry().map(|t| t.delay_summaries());
+            (sim.stats(), sim.node_ref::<Echo>(b).received.clone(), summaries)
+        };
+        let (plain_stats, plain_rx, none) = run(false);
+        let (tele_stats, tele_rx, summaries) = run(true);
+        assert!(none.is_none());
+        assert_eq!(plain_stats, tele_stats, "telemetry is a pure sink");
+        assert_eq!(plain_rx, tele_rx);
+        let s = summaries.expect("telemetry enabled");
+        assert_eq!(s.one_way.count, tele_stats.frames_delivered);
+        assert!(s.one_way.max > 0);
+        assert!(s.one_way.p50 <= s.one_way.p90 && s.one_way.p90 <= s.one_way.p99);
+        assert!(s.one_way.p99 <= s.one_way.max);
+        // Every transmitted frame left the queue exactly once.
+        assert!(s.queue_residency.count >= s.one_way.count);
+    }
+
+    #[test]
+    fn telemetry_one_way_delay_has_known_value() {
+        use crate::telemetry::TelemetryConfig;
+        // 1500 B at 100 Mb/s is 120 us serialization + 50 us propagation:
+        // the single delivered frame's one-way delay is exactly 170 us.
+        let cfg = LinkConfig {
+            rate_bps: 100_000_000,
+            delay: Duration::from_micros(50),
+            queue_bytes: usize::MAX,
+            fault: FaultConfig::NONE,
+        };
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        sim.enable_telemetry(TelemetryConfig::default());
+        sim.with_node::<Echo, _>(a, |_, ctx| ctx.send_frame(PortId(0), vec![0u8; 1500]));
+        sim.run_until_idle(100);
+        let t = sim.telemetry().expect("enabled");
+        assert_eq!(t.one_way_delay().count(), 1);
+        assert_eq!(t.one_way_delay().max(), 170_000, "exact max is tracked");
+        // The frame hit an idle transmitter, so it spent no time queued.
+        assert_eq!(t.queue_residency().max(), 0);
+        assert_eq!(t.metrics.counter_value("frames.delivered"), Some(1));
+    }
+
+    #[test]
+    fn telemetry_queue_residency_reflects_backlog() {
+        use crate::telemetry::TelemetryConfig;
+        // Same setup as `queuing_delay_emerges_from_backlog`: 10 frames of
+        // 1250 B at 1 Mb/s (10 ms each). The last frame waits 9 full
+        // serializations in the queue: 90 ms.
+        let cfg = LinkConfig {
+            rate_bps: 1_000_000,
+            delay: Duration::ZERO,
+            queue_bytes: usize::MAX,
+            fault: FaultConfig::NONE,
+        };
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        sim.enable_telemetry(TelemetryConfig::default());
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            for _ in 0..10 {
+                ctx.send_frame(PortId(0), vec![0u8; 1250]);
+            }
+        });
+        sim.run_until_idle(1000);
+        let t = sim.telemetry().expect("enabled");
+        assert_eq!(t.queue_residency().count(), 10);
+        assert_eq!(t.queue_residency().max(), 90_000_000);
+        // One-way delay of the last frame: 90 ms queued + 10 ms on the wire.
+        assert_eq!(t.one_way_delay().max(), 100_000_000);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_most_recent_frames() {
+        use crate::telemetry::TelemetryConfig;
+        let (mut sim, a, _b) = two_node_sim(LinkConfig::ethernet_100m());
+        sim.enable_telemetry(TelemetryConfig { flight_events: 4, flight_frames: 2 });
+        sim.with_node::<Echo, _>(a, |_, ctx| {
+            for i in 0..10u8 {
+                ctx.send_frame(PortId(0), vec![i; 32]);
+            }
+        });
+        sim.run_until_idle(1000);
+        let t = sim.telemetry().expect("enabled");
+        assert_eq!(t.flight.frame_count(), 2);
+        let firsts: Vec<u8> = t.flight.frames().map(|(_, f)| f[0]).collect();
+        assert_eq!(firsts, vec![8, 9], "ring holds the last two deliveries");
+        assert_eq!(t.flight.event_count(), 4);
     }
 
     #[test]

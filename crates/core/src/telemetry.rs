@@ -1,0 +1,1074 @@
+//! First-class telemetry: a metrics registry, HDR-style latency histograms,
+//! experiment span timelines, and a crash-scene flight recorder.
+//!
+//! The paper's TCP-3 experiment reconstructs queuing + processing delay
+//! inside the gateway from timestamps embedded in the bulk payload; this
+//! module gives the reproduction the same visibility from the white-box
+//! side. Everything here is **purely observational**: recording a sample
+//! never touches clocks, queues, or RNG streams, so a run with telemetry
+//! enabled is bit-for-bit identical to one without (the test suite asserts
+//! this, mirroring the `SimObserver` purity guarantee).
+//!
+//! Pieces:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and [`Histogram`]s with
+//!   index-based handles so the steady-state record path is an array slot
+//!   update, no hashing and no allocation.
+//! * [`Histogram`] — log-linear (HDR-style) bucketing over the full `u64`
+//!   range with 16 sub-buckets per octave (≤ 6.25% relative error), an
+//!   exact maximum, and associative merging across per-worker registries.
+//! * [`SpanTimeline`] — named begin/end spans over simulated time,
+//!   exportable as Chrome trace-event JSON ([`render_chrome_trace`]) that
+//!   loads directly in Perfetto or `chrome://tracing`.
+//! * [`FlightRecorder`] — bounded rings of the last N trace events and
+//!   delivered frames, dumped to a pcap + JSON pair when a device fails.
+//! * [`Telemetry`] — the umbrella the simulator owns when telemetry is
+//!   enabled, with the three well-known delay histograms pre-registered.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::node::NodeId;
+use crate::pcap::PcapWriter;
+use crate::time::{Duration, Instant};
+use crate::trace::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding relative error at
+/// `2^-SUB_BITS` (6.25%).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total buckets: values below `SUB_BUCKETS` get one exact bucket each;
+/// octaves `2^4 .. 2^63` get `SUB_BUCKETS` buckets apiece.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize) * SUB_BUCKETS;
+
+/// A log-linear latency histogram over `u64` values (nanoseconds, in this
+/// project), in the spirit of HdrHistogram.
+///
+/// Values below 16 are recorded exactly; larger values land in one of 16
+/// linear sub-buckets of their power-of-two octave, so any reported
+/// quantile is within 6.25% of the true value (and never above the exact
+/// recorded maximum). Recording is an increment of one array slot —
+/// no allocation, no branching beyond the bucket computation.
+///
+/// ```
+/// use hgw_core::telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100u64, 200, 300, 400] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 400);
+/// assert!(h.quantile(0.5) >= 200);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: Box::new([0u64; NUM_BUCKETS]), count: 0, sum: 0, max: 0 }
+    }
+
+    /// The bucket index a value lands in. Monotone in `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            v as usize
+        } else {
+            let k = 63 - v.leading_zeros(); // highest set bit, >= SUB_BITS
+            let sub = ((v >> (k - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+            SUB_BUCKETS + ((k - SUB_BITS) as usize) * SUB_BUCKETS + sub
+        }
+    }
+
+    /// The largest value bucket `index` can hold (its inclusive upper
+    /// bound). Monotone in `index`; every value maps into a bucket whose
+    /// bound is `>=` the value.
+    pub fn bucket_bound(index: usize) -> u64 {
+        assert!(index < NUM_BUCKETS, "bucket index out of range");
+        if index < SUB_BUCKETS {
+            index as u64
+        } else {
+            let octave = (index - SUB_BUCKETS) / SUB_BUCKETS;
+            let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+            let k = octave as u32 + SUB_BITS;
+            let width = 1u64 << (k - SUB_BITS);
+            let low = (1u64 << k) + sub * width;
+            low + (width - 1)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q · count)`-th smallest sample, clamped to the
+    /// exact maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`. Element-wise over buckets,
+    /// so merging is associative and commutative — per-worker histograms
+    /// can be combined in any order with identical results.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (slot, v) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += v;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The compact summary recorded into manifests.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+
+    /// Iterates non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_bound(i), n))
+    }
+}
+
+/// Percentile snapshot of a [`Histogram`] — the deterministic digest that
+/// travels through `DeviceRunMetrics` into fleet manifests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// 50th-percentile bucket bound, in the histogram's unit (ns).
+    pub p50: u64,
+    /// 90th-percentile bucket bound.
+    pub p90: u64,
+    /// 99th-percentile bucket bound.
+    pub p99: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Registration (cold path) does a linear name scan and may allocate; the
+/// returned id makes every subsequent update a direct slot access, so hot
+/// loops pay one bounds-checked array index per sample. Names are
+/// `&'static str` by design: metric names are code, not data.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, i64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or finds) a counter and returns its handle.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Increments a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Registers (or finds) a gauge and returns its handle.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name, 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Registers (or finds) a histogram and returns its handle.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| *n == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push((name, Histogram::new()));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Records a value into a histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        self.histograms[id.0].1.record(v);
+    }
+
+    /// Records a [`Duration`] (as nanoseconds) into a histogram.
+    #[inline]
+    pub fn record_duration(&mut self, id: HistogramId, d: Duration) {
+        self.histograms[id.0].1.record_duration(d);
+    }
+
+    /// Shared access to a histogram by handle.
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// A counter's value by name, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// A gauge's value by name, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// A histogram by name, if registered.
+    pub fn histogram_named(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Iterates `(name, value)` over all counters in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Iterates `(name, value)` over all gauges in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
+        self.gauges.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Iterates `(name, histogram)` in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// Folds another registry into this one by metric name (counters add,
+    /// gauges take the other's value, histograms merge). Names unknown to
+    /// `self` are registered. This is how per-worker registries combine
+    /// into a campaign-wide view.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *v);
+        }
+        for (name, v) in &other.gauges {
+            let id = self.gauge(name);
+            self.set(id, *v);
+        }
+        for (name, h) in &other.histograms {
+            let id = self.histogram(name);
+            self.histograms[id.0].1.merge(h);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span timeline
+// ---------------------------------------------------------------------------
+
+/// Handle to an open span. [`SpanId::DISABLED`] is a no-op sentinel so
+/// probes can open/close spans unconditionally whether or not telemetry is
+/// enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+impl SpanId {
+    /// The no-op span handle returned when telemetry is disabled.
+    pub const DISABLED: SpanId = SpanId(usize::MAX);
+}
+
+/// One recorded span: a named interval of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"tcp2-upload"` or `"udp1-trial"`.
+    pub name: String,
+    /// When the span opened (simulated time).
+    pub start: Instant,
+    /// When the span closed; `None` if it was still open at harvest.
+    pub end: Option<Instant>,
+    /// Free-form argument shown in the trace viewer (e.g. `"sleep=120s"`).
+    pub arg: Option<String>,
+}
+
+/// An append-only timeline of experiment phases over simulated time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTimeline {
+    spans: Vec<SpanRecord>,
+}
+
+impl SpanTimeline {
+    /// An empty timeline.
+    pub fn new() -> SpanTimeline {
+        SpanTimeline::default()
+    }
+
+    /// Opens a span at `now`.
+    pub fn begin(&mut self, name: &str, now: Instant) -> SpanId {
+        self.spans.push(SpanRecord { name: name.to_string(), start: now, end: None, arg: None });
+        SpanId(self.spans.len() - 1)
+    }
+
+    /// Opens a span at `now` with a viewer-visible argument.
+    pub fn begin_with_arg(&mut self, name: &str, arg: String, now: Instant) -> SpanId {
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            start: now,
+            end: None,
+            arg: Some(arg),
+        });
+        SpanId(self.spans.len() - 1)
+    }
+
+    /// Closes a span at `now`. No-op for [`SpanId::DISABLED`] or an
+    /// already-closed span.
+    pub fn end(&mut self, id: SpanId, now: Instant) {
+        if id == SpanId::DISABLED {
+            return;
+        }
+        if let Some(span) = self.spans.get_mut(id.0) {
+            if span.end.is_none() {
+                span.end = Some(now);
+            }
+        }
+    }
+
+    /// The recorded spans in open order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Nanoseconds rendered as fractional microseconds (Chrome trace `ts`/`dur`
+/// unit), with deterministic formatting.
+fn trace_us(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+fn trace_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one or more per-device span timelines as Chrome trace-event
+/// JSON. Each `(label, timeline)` pair becomes one named thread (`tid` =
+/// its index) of a single process; spans become `"ph": "X"` complete
+/// events with timestamps in simulated microseconds. The output loads
+/// directly in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn render_chrome_trace(threads: &[(String, &SpanTimeline)]) -> String {
+    let mut events = Vec::new();
+    for (tid, (label, _)) in threads.iter().enumerate() {
+        events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": 0, \"tid\": {}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            tid,
+            trace_escape(label)
+        ));
+    }
+    for (tid, (_, timeline)) in threads.iter().enumerate() {
+        for span in timeline.spans() {
+            let start = span.start.as_nanos();
+            let dur = span.end.map(|e| e.as_nanos().saturating_sub(start)).unwrap_or(0);
+            let args = match &span.arg {
+                Some(a) => format!(", \"args\": {{\"arg\": \"{}\"}}", trace_escape(a)),
+                None => String::new(),
+            };
+            events.push(format!(
+                "{{\"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"name\": \"{}\", \
+                 \"ts\": {}, \"dur\": {}{}}}",
+                tid,
+                trace_escape(&span.name),
+                trace_us(start),
+                trace_us(dur),
+                args
+            ));
+        }
+    }
+    format!("{{\"traceEvents\": [\n{}\n]}}\n", events.join(",\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Paths written by [`FlightRecorder::dump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// The pcap of the last captured frames.
+    pub pcap: PathBuf,
+    /// The JSON dump of the last trace events.
+    pub json: PathBuf,
+}
+
+/// Schema identifier stamped into flight-recorder JSON dumps.
+pub const FLIGHT_RECORDER_SCHEMA: &str = "hgw-flight-recorder/1";
+
+/// A bounded ring buffer of the most recent trace events and delivered
+/// frames — the crash scene preserved when a device's probe panics.
+///
+/// Frame copies reuse their own retired ring buffers (never the
+/// simulator's [`FramePool`](crate::pool::FramePool)), so enabling the
+/// recorder cannot perturb the pool-hit statistics.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    max_events: usize,
+    max_frames: usize,
+    events: VecDeque<(Instant, NodeId, TraceEvent)>,
+    frames: VecDeque<(Instant, Vec<u8>)>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `max_events` trace events and
+    /// `max_frames` delivered frames.
+    pub fn new(max_events: usize, max_frames: usize) -> FlightRecorder {
+        FlightRecorder {
+            max_events,
+            max_frames,
+            events: VecDeque::with_capacity(max_events.min(4096)),
+            frames: VecDeque::with_capacity(max_frames.min(4096)),
+        }
+    }
+
+    /// Records one trace event, evicting the oldest past capacity.
+    pub fn record_event(&mut self, at: Instant, node: NodeId, event: TraceEvent) {
+        if self.max_events == 0 {
+            return;
+        }
+        if self.events.len() >= self.max_events {
+            self.events.pop_front();
+        }
+        self.events.push_back((at, node, event));
+    }
+
+    /// Records a copy of a delivered frame, evicting (and reusing the
+    /// buffer of) the oldest past capacity.
+    pub fn record_frame(&mut self, at: Instant, frame: &[u8]) {
+        if self.max_frames == 0 {
+            return;
+        }
+        let mut buf = if self.frames.len() >= self.max_frames {
+            let (_, mut old) = self.frames.pop_front().expect("non-empty ring");
+            old.clear();
+            old
+        } else {
+            Vec::with_capacity(frame.len())
+        };
+        buf.extend_from_slice(frame);
+        self.frames.push_back((at, buf));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(Instant, NodeId, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// The retained frames, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &(Instant, Vec<u8>)> {
+        self.frames.iter()
+    }
+
+    /// Number of retained events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of retained frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Writes `<stem>.pcap` (the retained frames) and `<stem>.json` (the
+    /// retained events plus `note`, schema [`FLIGHT_RECORDER_SCHEMA`]) into
+    /// `dir`, creating it as needed.
+    pub fn dump(&self, dir: &Path, stem: &str, note: &str) -> io::Result<FlightDump> {
+        std::fs::create_dir_all(dir)?;
+        let pcap_path = dir.join(format!("{stem}.pcap"));
+        let json_path = dir.join(format!("{stem}.json"));
+
+        let mut pcap = PcapWriter::new(io::BufWriter::new(std::fs::File::create(&pcap_path)?))?;
+        for (at, frame) in &self.frames {
+            pcap.write_frame(*at, frame)?;
+        }
+        pcap.finish()?;
+
+        let mut rows = Vec::with_capacity(self.events.len());
+        for (at, node, event) in &self.events {
+            rows.push(event_json(*at, *node, event));
+        }
+        let json = format!(
+            "{{\n  \"schema\": \"{}\",\n  \"note\": \"{}\",\n  \"frames\": {},\n  \
+             \"events\": [\n{}\n  ]\n}}\n",
+            FLIGHT_RECORDER_SCHEMA,
+            trace_escape(note),
+            self.frames.len(),
+            rows.join(",\n"),
+        );
+        let mut f = std::fs::File::create(&json_path)?;
+        f.write_all(json.as_bytes())?;
+        Ok(FlightDump { pcap: pcap_path, json: json_path })
+    }
+}
+
+fn event_json(at: Instant, node: NodeId, event: &TraceEvent) -> String {
+    let body = match event {
+        TraceEvent::FrameDropped { reason, bytes } => {
+            format!(
+                "\"kind\": \"frame_dropped\", \"reason\": \"{}\", \"bytes\": {bytes}",
+                reason.name()
+            )
+        }
+        TraceEvent::FrameDelivered { bytes } => {
+            format!("\"kind\": \"frame_delivered\", \"bytes\": {bytes}")
+        }
+        TraceEvent::BindingCreated { external_port, port_preserved } => format!(
+            "\"kind\": \"binding_created\", \"external_port\": {external_port}, \
+             \"port_preserved\": {port_preserved}"
+        ),
+    };
+    format!("    {{\"t_ns\": {}, \"node\": {}, {}}}", at.as_nanos(), node.0, body)
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry umbrella
+// ---------------------------------------------------------------------------
+
+/// Sizing knobs for a [`Telemetry`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Flight-recorder trace-event ring capacity.
+    pub flight_events: usize,
+    /// Flight-recorder frame ring capacity.
+    pub flight_frames: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { flight_events: 256, flight_frames: 64 }
+    }
+}
+
+impl TelemetryConfig {
+    /// Reads `HGW_TELEMETRY_FLIGHT_EVENTS` / `HGW_TELEMETRY_FLIGHT_FRAMES`,
+    /// falling back to the defaults (256 events, 64 frames) when unset or
+    /// unparseable.
+    pub fn from_env() -> TelemetryConfig {
+        let read = |key: &str, default: usize| {
+            std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+        };
+        let d = TelemetryConfig::default();
+        TelemetryConfig {
+            flight_events: read("HGW_TELEMETRY_FLIGHT_EVENTS", d.flight_events),
+            flight_frames: read("HGW_TELEMETRY_FLIGHT_FRAMES", d.flight_frames),
+        }
+    }
+}
+
+/// True when the `HGW_TELEMETRY` environment toggle asks for telemetry
+/// (`1`, `true`, `on`, `yes`; anything else, or unset, is off).
+pub fn telemetry_enabled_from_env() -> bool {
+    matches!(
+        std::env::var("HGW_TELEMETRY").as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("on") | Ok("yes")
+    )
+}
+
+/// The flight-recorder dump directory: `HGW_TELEMETRY_DUMP_DIR`, or
+/// `target/flight-recorder` when unset.
+pub fn flight_dump_dir() -> PathBuf {
+    match std::env::var("HGW_TELEMETRY_DUMP_DIR") {
+        Ok(d) if !d.trim().is_empty() => PathBuf::from(d),
+        _ => PathBuf::from("target/flight-recorder"),
+    }
+}
+
+/// Compact per-device delay digest: the three built-in histograms
+/// summarized for `DeviceRunMetrics` and the fleet manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DelaySummaries {
+    /// Per-packet one-way delay (link enqueue → delivery), ns.
+    pub one_way: HistogramSummary,
+    /// Per-frame link transmit-queue residency (enqueue → head of line), ns.
+    pub queue_residency: HistogramSummary,
+    /// Per-packet gateway NAT/forwarding processing delay, ns.
+    pub nat_processing: HistogramSummary,
+}
+
+/// Everything the simulator owns when telemetry is enabled: the registry,
+/// the span timeline, the flight recorder, and handles to the three
+/// built-in delay histograms.
+///
+/// Boxed behind `Option` in the simulator, so the disabled path costs one
+/// pointer-null check per instrumentation site.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Named counters, gauges and histograms.
+    pub metrics: MetricsRegistry,
+    /// Experiment phase spans over simulated time.
+    pub spans: SpanTimeline,
+    /// Bounded crash-scene rings.
+    pub flight: FlightRecorder,
+    h_one_way: HistogramId,
+    h_residency: HistogramId,
+    h_nat: HistogramId,
+    c_delivered: CounterId,
+    c_dropped: CounterId,
+}
+
+/// Registry name of the one-way-delay histogram.
+pub const H_ONE_WAY_DELAY: &str = "delay.one_way_ns";
+/// Registry name of the link queue-residency histogram.
+pub const H_QUEUE_RESIDENCY: &str = "delay.queue_residency_ns";
+/// Registry name of the gateway NAT-processing-delay histogram.
+pub const H_NAT_PROCESSING: &str = "delay.nat_processing_ns";
+
+impl Telemetry {
+    /// A fresh telemetry instance with the built-in metrics registered.
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        let mut metrics = MetricsRegistry::new();
+        let h_one_way = metrics.histogram(H_ONE_WAY_DELAY);
+        let h_residency = metrics.histogram(H_QUEUE_RESIDENCY);
+        let h_nat = metrics.histogram(H_NAT_PROCESSING);
+        let c_delivered = metrics.counter("frames.delivered");
+        let c_dropped = metrics.counter("frames.dropped");
+        Telemetry {
+            metrics,
+            spans: SpanTimeline::new(),
+            flight: FlightRecorder::new(config.flight_events, config.flight_frames),
+            h_one_way,
+            h_residency,
+            h_nat,
+            c_delivered,
+            c_dropped,
+        }
+    }
+
+    /// Records one per-packet one-way delay sample (link enqueue →
+    /// delivery).
+    #[inline]
+    pub fn record_one_way_delay(&mut self, d: Duration) {
+        self.metrics.record_duration(self.h_one_way, d);
+    }
+
+    /// Records one link transmit-queue residency sample.
+    #[inline]
+    pub fn record_queue_residency(&mut self, d: Duration) {
+        self.metrics.record_duration(self.h_residency, d);
+    }
+
+    /// Records one gateway NAT/forwarding processing-delay sample.
+    #[inline]
+    pub fn record_nat_processing(&mut self, d: Duration) {
+        self.metrics.record_duration(self.h_nat, d);
+    }
+
+    /// Counts a delivered frame.
+    #[inline]
+    pub fn note_delivered(&mut self) {
+        self.metrics.inc(self.c_delivered);
+    }
+
+    /// Counts a dropped frame.
+    #[inline]
+    pub fn note_dropped(&mut self) {
+        self.metrics.inc(self.c_dropped);
+    }
+
+    /// The one-way-delay histogram.
+    pub fn one_way_delay(&self) -> &Histogram {
+        self.metrics.histogram_ref(self.h_one_way)
+    }
+
+    /// The queue-residency histogram.
+    pub fn queue_residency(&self) -> &Histogram {
+        self.metrics.histogram_ref(self.h_residency)
+    }
+
+    /// The NAT-processing-delay histogram.
+    pub fn nat_processing(&self) -> &Histogram {
+        self.metrics.histogram_ref(self.h_nat)
+    }
+
+    /// Summaries of the three built-in delay histograms.
+    pub fn delay_summaries(&self) -> DelaySummaries {
+        DelaySummaries {
+            one_way: self.one_way_delay().summary(),
+            queue_residency: self.queue_residency().summary(),
+            nat_processing: self.nat_processing().summary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DropReason;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..16u64 {
+            let i = Histogram::bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(Histogram::bucket_bound(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_continuous_across_octave_boundaries() {
+        // The first bucket of each octave follows directly after the last
+        // bucket of the previous one.
+        for v in [15u64, 16, 31, 32, 1 << 20, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_bound(i) >= v, "bound below value at {v}");
+            if v > 0 {
+                assert!(Histogram::bucket_index(v - 1) <= i, "index not monotone at {v}");
+            }
+        }
+        assert_eq!(Histogram::bucket_index(15), 15);
+        assert_eq!(Histogram::bucket_index(16), 16);
+        assert_eq!(Histogram::bucket_index(31), 31);
+        assert_eq!(Histogram::bucket_index(32), 32);
+        assert_eq!(Histogram::bucket_bound(Histogram::bucket_index(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for shift in 5..60 {
+            let v = (1u64 << shift) + (1u64 << (shift - 1)) + 7;
+            let bound = Histogram::bucket_bound(Histogram::bucket_index(v));
+            assert!(bound >= v);
+            let err = (bound - v) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64, "error {err} too large at {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_never_exceed_exact_max() {
+        let mut h = Histogram::new();
+        for v in [10u64, 1000, 100_000, 123_456_789] {
+            h.record(v);
+        }
+        assert_eq!(h.max(), 123_456_789);
+        assert_eq!(h.quantile(1.0), 123_456_789);
+        assert!(h.quantile(0.5) >= 1000);
+        assert!(h.quantile(0.25) >= 10);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_both_sides() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        b.record(50);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.max(), 1_000_000);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+    }
+
+    #[test]
+    fn registry_ids_are_stable_and_named_lookup_works() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("frames");
+        let c2 = r.counter("frames");
+        assert_eq!(c, c2, "re-registration returns the same handle");
+        r.inc(c);
+        r.add(c, 4);
+        assert_eq!(r.counter_value("frames"), Some(5));
+        let g = r.gauge("depth");
+        r.set(g, -3);
+        assert_eq!(r.gauge_value("depth"), Some(-3));
+        let h = r.histogram("lat");
+        r.record(h, 42);
+        r.record_duration(h, Duration::from_micros(1));
+        assert_eq!(r.histogram_named("lat").unwrap().count(), 2);
+        assert_eq!(r.histogram_named("lat").unwrap().max(), 1000);
+        assert_eq!(r.counters().count(), 1);
+        assert_eq!(r.histograms().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_folds_by_name() {
+        let mut a = MetricsRegistry::new();
+        let ca = a.counter("x");
+        a.add(ca, 2);
+        let mut b = MetricsRegistry::new();
+        let hb = b.histogram("lat");
+        b.record(hb, 7);
+        let cb = b.counter("x");
+        b.add(cb, 3);
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("x"), Some(5));
+        assert_eq!(a.histogram_named("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn span_timeline_records_intervals() {
+        let mut t = SpanTimeline::new();
+        let s = t.begin("phase", Instant::from_millis(1));
+        t.end(s, Instant::from_millis(5));
+        t.end(s, Instant::from_millis(9)); // second end is a no-op
+        t.end(SpanId::DISABLED, Instant::from_millis(9)); // sentinel no-op
+        let open = t.begin_with_arg("other", "n=3".into(), Instant::from_millis(6));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.spans()[0].end, Some(Instant::from_millis(5)));
+        assert_eq!(t.spans()[1].arg.as_deref(), Some("n=3"));
+        assert!(t.spans()[open.0].end.is_none());
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let mut t = SpanTimeline::new();
+        let s = t.begin_with_arg("tcp2-upload", "2 MB".into(), Instant::from_micros(10));
+        t.end(s, Instant::from_micros(2510));
+        let json = render_chrome_trace(&[("ls1".to_string(), &t)]);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\": \"ls1\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 10.000"));
+        assert!(json.contains("\"dur\": 2500.000"));
+        assert!(json.contains("\"arg\": \"2 MB\""));
+        // Balanced braces/brackets — cheap well-formedness proxy.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn flight_recorder_rings_are_bounded() {
+        let mut fr = FlightRecorder::new(3, 2);
+        for i in 0..10u64 {
+            fr.record_event(
+                Instant::from_micros(i),
+                NodeId(0),
+                TraceEvent::FrameDelivered { bytes: i as usize },
+            );
+            fr.record_frame(Instant::from_micros(i), &[i as u8; 8]);
+        }
+        assert_eq!(fr.event_count(), 3);
+        assert_eq!(fr.frame_count(), 2);
+        // Oldest evicted: the survivors are the last ones recorded.
+        let first = fr.events().next().unwrap();
+        assert_eq!(first.0, Instant::from_micros(7));
+        let frames: Vec<u8> = fr.frames().map(|(_, f)| f[0]).collect();
+        assert_eq!(frames, vec![8, 9]);
+    }
+
+    #[test]
+    fn flight_recorder_dump_writes_pcap_and_json() {
+        let dir = std::env::temp_dir().join("hgw-flight-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fr = FlightRecorder::new(8, 8);
+        fr.record_event(
+            Instant::from_millis(1),
+            NodeId(2),
+            TraceEvent::FrameDropped { reason: DropReason::Capacity, bytes: 40 },
+        );
+        fr.record_event(
+            Instant::from_millis(2),
+            NodeId(1),
+            TraceEvent::BindingCreated { external_port: 1024, port_preserved: true },
+        );
+        fr.record_frame(Instant::from_millis(1), &[0x45, 0, 0, 20]);
+        let dump = fr.dump(&dir, "ls1-slot0", "probe panicked: induced").unwrap();
+        let pcap = std::fs::read(&dump.pcap).unwrap();
+        assert_eq!(&pcap[0..4], &0xA1B2_C3D4u32.to_le_bytes(), "pcap magic");
+        assert_eq!(pcap.len(), 24 + 16 + 4);
+        let json = std::fs::read_to_string(&dump.json).unwrap();
+        assert!(json.contains(FLIGHT_RECORDER_SCHEMA));
+        assert!(json.contains("\"kind\": \"frame_dropped\""));
+        assert!(json.contains("\"reason\": \"capacity\""));
+        assert!(json.contains("\"external_port\": 1024"));
+        assert!(json.contains("probe panicked: induced"));
+        assert!(json.contains("\"frames\": 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_recorder_records_nothing() {
+        let mut fr = FlightRecorder::new(0, 0);
+        fr.record_event(Instant::ZERO, NodeId(0), TraceEvent::FrameDelivered { bytes: 1 });
+        fr.record_frame(Instant::ZERO, &[1, 2, 3]);
+        assert_eq!(fr.event_count(), 0);
+        assert_eq!(fr.frame_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_umbrella_prewires_delay_histograms() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.record_one_way_delay(Duration::from_micros(170));
+        t.record_queue_residency(Duration::from_micros(30));
+        t.record_nat_processing(Duration::from_micros(120));
+        t.note_delivered();
+        t.note_dropped();
+        let s = t.delay_summaries();
+        assert_eq!(s.one_way.count, 1);
+        assert_eq!(s.one_way.max, 170_000);
+        assert_eq!(s.queue_residency.count, 1);
+        assert_eq!(s.nat_processing.count, 1);
+        assert_eq!(t.metrics.counter_value("frames.delivered"), Some(1));
+        assert_eq!(t.metrics.counter_value("frames.dropped"), Some(1));
+        assert!(t.metrics.histogram_named(H_ONE_WAY_DELAY).is_some());
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = TelemetryConfig::default();
+        assert_eq!(c.flight_events, 256);
+        assert_eq!(c.flight_frames, 64);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the telemetry histogram: the bucket mapping is
+//! monotone and conservative (a value's bucket bound never under-reports
+//! it), and merge is associative so per-worker histograms can be folded
+//! in any order with identical results.
+
+use proptest::prelude::*;
+
+use hgw_core::Histogram;
+
+proptest! {
+    /// Every value maps into a bucket whose inclusive upper bound covers
+    /// it, and the bound stays within the histogram's documented relative
+    /// error (6.25%, i.e. one part in 2^SUB_BITS) of the true value.
+    #[test]
+    fn bucket_bound_covers_the_value(v in any::<u64>()) {
+        let bound = Histogram::bucket_bound(Histogram::bucket_index(v));
+        prop_assert!(bound >= v, "bound {bound} under-reports {v}");
+        // Relative error bound; the division form avoids overflow at the
+        // top of the u64 range (bound / v <= 1 + 1/16 => bound/17 <= v/16).
+        prop_assert!(bound / 17 <= v / 16 + 1, "bound {bound} too coarse for {v}");
+    }
+
+    /// `bucket_index` is monotone non-decreasing, and so is the bound of
+    /// the bucket a value lands in.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+        prop_assert!(
+            Histogram::bucket_bound(Histogram::bucket_index(lo))
+                <= Histogram::bucket_bound(Histogram::bucket_index(hi))
+        );
+    }
+
+    /// Merging is associative: (A ⊕ B) ⊕ C and A ⊕ (B ⊕ C) agree on
+    /// every summary statistic and on the total count.
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..50),
+        ys in proptest::collection::vec(any::<u64>(), 0..50),
+        zs in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let fill = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (fill(&xs), fill(&ys), fill(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.count(), (xs.len() + ys.len() + zs.len()) as u64);
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert_eq!(left.summary(), right.summary());
+    }
+
+    /// A merged histogram reports the exact max of its inputs, and its
+    /// percentiles never decrease when more large values are added.
+    #[test]
+    fn merge_preserves_exact_max(
+        xs in proptest::collection::vec(any::<u64>(), 1..50),
+        ys in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for &v in &ys {
+            b.record(v);
+        }
+        let expected = xs.iter().chain(&ys).copied().max().unwrap();
+        a.merge(&b);
+        prop_assert_eq!(a.max(), expected);
+    }
+}

@@ -49,10 +49,14 @@ pub struct EngineDirStats {
 
 #[derive(Debug)]
 struct DirState {
-    queue: VecDeque<(Vec<u8>, Duration)>,
+    /// Queued packets with their one-off surcharge and the time they
+    /// entered the engine. The timestamp exists purely so telemetry can
+    /// attribute per-packet processing delay; it never affects service.
+    queue: VecDeque<(Vec<u8>, Duration, Instant)>,
     buffered: usize,
-    /// A service completion is pending; the frame is held here.
-    in_service: Option<Vec<u8>>,
+    /// A service completion is pending; the frame (and its engine entry
+    /// time) is held here.
+    in_service: Option<(Vec<u8>, Instant)>,
     free_at: Instant,
     stats: EngineDirStats,
 }
@@ -102,10 +106,10 @@ impl ForwardingEngine {
         self.dirs[dir.index()].buffered
     }
 
-    /// Offers a translated packet to the engine. Returns false on tail
-    /// drop.
-    pub fn enqueue(&mut self, dir: FwdDir, frame: Vec<u8>) -> bool {
-        self.enqueue_with_surcharge(dir, frame, Duration::ZERO)
+    /// Offers a translated packet to the engine at time `now`. Returns
+    /// false on tail drop.
+    pub fn enqueue(&mut self, dir: FwdDir, frame: Vec<u8>, now: Instant) -> bool {
+        self.enqueue_with_surcharge(dir, frame, Duration::ZERO, now)
     }
 
     /// Like [`ForwardingEngine::enqueue`], with extra one-off processing
@@ -116,6 +120,7 @@ impl ForwardingEngine {
         dir: FwdDir,
         frame: Vec<u8>,
         surcharge: Duration,
+        now: Instant,
     ) -> bool {
         let cap = match dir {
             FwdDir::Up => self.model.buffer_up,
@@ -128,7 +133,7 @@ impl ForwardingEngine {
         }
         d.buffered += frame.len();
         d.stats.peak_buffered = d.stats.peak_buffered.max(d.buffered);
-        d.queue.push_back((frame, surcharge));
+        d.queue.push_back((frame, surcharge, now));
         true
     }
 
@@ -143,7 +148,7 @@ impl ForwardingEngine {
         if d.in_service.is_some() || d.queue.is_empty() {
             return None;
         }
-        let (frame, surcharge) = d.queue.pop_front().expect("non-empty");
+        let (frame, surcharge, entered_at) = d.queue.pop_front().expect("non-empty");
         d.buffered -= frame.len();
         let start = now.max(d.free_at).max(self.cpu_free_at);
         let dir_time = serialization_time(frame.len(), rate);
@@ -156,18 +161,19 @@ impl ForwardingEngine {
         let finish = start + service;
         self.cpu_free_at = start + cpu_time.max(surcharge);
         d.free_at = finish;
-        d.in_service = Some(frame);
+        d.in_service = Some((frame, entered_at));
         Some(finish)
     }
 
     /// Completes the in-flight service of a direction, returning the frame
-    /// to transmit.
-    pub fn complete(&mut self, dir: FwdDir) -> Option<Vec<u8>> {
+    /// to transmit together with the time it entered the engine (so the
+    /// caller can attribute the total buffering + processing delay).
+    pub fn complete(&mut self, dir: FwdDir) -> Option<(Vec<u8>, Instant)> {
         let d = &mut self.dirs[dir.index()];
-        let frame = d.in_service.take()?;
+        let (frame, entered_at) = d.in_service.take()?;
         d.stats.forwarded += 1;
         d.stats.forwarded_bytes += frame.len() as u64;
-        Some(frame)
+        Some((frame, entered_at))
     }
 }
 
@@ -190,7 +196,7 @@ mod tests {
     /// departure times of `n` packets of `len` bytes all enqueued at t=0.
     fn drain(engine: &mut ForwardingEngine, dir: FwdDir, n: usize, len: usize) -> Vec<Instant> {
         for _ in 0..n {
-            engine.enqueue(dir, vec![0; len]);
+            engine.enqueue(dir, vec![0; len], Instant::ZERO);
         }
         let mut now = Instant::ZERO;
         let mut out = Vec::new();
@@ -217,8 +223,8 @@ mod tests {
         // Fast directions, slow shared CPU (1 ms per 1250 B packet).
         let mut e =
             ForwardingEngine::new(model(u64::MAX - 1, u64::MAX - 1, 10_000_000, usize::MAX));
-        e.enqueue(FwdDir::Up, vec![0; 1250]);
-        e.enqueue(FwdDir::Down, vec![0; 1250]);
+        e.enqueue(FwdDir::Up, vec![0; 1250], Instant::ZERO);
+        e.enqueue(FwdDir::Down, vec![0; 1250], Instant::ZERO);
         let f_up = e.start_service(Instant::ZERO, FwdDir::Up).unwrap();
         let f_down = e.start_service(Instant::ZERO, FwdDir::Down).unwrap();
         // The CPU is busy until 1 ms with the up packet; the down packet
@@ -230,8 +236,8 @@ mod tests {
     #[test]
     fn infinite_aggregate_means_parallel_directions() {
         let mut e = ForwardingEngine::new(model(10_000_000, 10_000_000, u64::MAX, usize::MAX));
-        e.enqueue(FwdDir::Up, vec![0; 1250]);
-        e.enqueue(FwdDir::Down, vec![0; 1250]);
+        e.enqueue(FwdDir::Up, vec![0; 1250], Instant::ZERO);
+        e.enqueue(FwdDir::Down, vec![0; 1250], Instant::ZERO);
         let f_up = e.start_service(Instant::ZERO, FwdDir::Up).unwrap();
         let f_down = e.start_service(Instant::ZERO, FwdDir::Down).unwrap();
         assert_eq!(f_up, f_down, "directions should not contend");
@@ -240,9 +246,9 @@ mod tests {
     #[test]
     fn buffer_tail_drops() {
         let mut e = ForwardingEngine::new(model(1_000_000, 1_000_000, u64::MAX, 3000));
-        assert!(e.enqueue(FwdDir::Down, vec![0; 1500]));
-        assert!(e.enqueue(FwdDir::Down, vec![0; 1500]));
-        assert!(!e.enqueue(FwdDir::Down, vec![0; 1500]));
+        assert!(e.enqueue(FwdDir::Down, vec![0; 1500], Instant::ZERO));
+        assert!(e.enqueue(FwdDir::Down, vec![0; 1500], Instant::ZERO));
+        assert!(!e.enqueue(FwdDir::Down, vec![0; 1500], Instant::ZERO));
         assert_eq!(e.stats(FwdDir::Down).dropped, 1);
         assert_eq!(e.buffered(FwdDir::Down), 3000);
     }
@@ -260,7 +266,7 @@ mod tests {
         let mut m = model(u64::MAX - 1, u64::MAX - 1, u64::MAX, usize::MAX);
         m.per_packet_overhead = Duration::from_micros(100);
         let mut e = ForwardingEngine::new(m);
-        e.enqueue(FwdDir::Up, vec![0; 100]);
+        e.enqueue(FwdDir::Up, vec![0; 100], Instant::ZERO);
         let f = e.start_service(Instant::ZERO, FwdDir::Up).unwrap();
         assert_eq!(f, Instant::from_micros(100));
     }

@@ -193,7 +193,8 @@ impl Gateway {
 
     fn forward(&mut self, ctx: &mut NodeCtx, dir: FwdDir, frame: Vec<u8>) {
         let bytes = frame.len();
-        if !self.engine.enqueue(dir, frame) {
+        let now = ctx.now();
+        if !self.engine.enqueue(dir, frame, now) {
             ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
         }
         self.kick_engine(ctx);
@@ -205,7 +206,8 @@ impl Gateway {
         let surcharge =
             if created { self.policy.binding_setup_cost } else { hgw_core::Duration::ZERO };
         let bytes = frame.len();
-        if !self.engine.enqueue_with_surcharge(dir, frame, surcharge) {
+        let now = ctx.now();
+        if !self.engine.enqueue_with_surcharge(dir, frame, surcharge, now) {
             ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
         }
         self.kick_engine(ctx);
@@ -1305,13 +1307,21 @@ impl Node for Gateway {
     fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken) {
         match token {
             TOKEN_ENGINE_UP => {
-                if let Some(frame) = self.engine.complete(FwdDir::Up) {
+                if let Some((frame, entered_at)) = self.engine.complete(FwdDir::Up) {
+                    let delay = ctx.now() - entered_at;
+                    if let Some(t) = ctx.telemetry() {
+                        t.record_nat_processing(delay);
+                    }
                     ctx.send_frame(WAN_PORT, frame);
                 }
                 self.kick_engine(ctx);
             }
             TOKEN_ENGINE_DOWN => {
-                if let Some(frame) = self.engine.complete(FwdDir::Down) {
+                if let Some((frame, entered_at)) = self.engine.complete(FwdDir::Down) {
+                    let delay = ctx.now() - entered_at;
+                    if let Some(t) = ctx.telemetry() {
+                        t.record_nat_processing(delay);
+                    }
                     ctx.send_frame(LAN_PORT, frame);
                 }
                 self.kick_engine(ctx);

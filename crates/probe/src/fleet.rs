@@ -33,10 +33,12 @@
 //! [`SchedulingReport`]) depend on the execution schedule.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hgw_core::{CountingObserver, DropCounts};
+use hgw_core::telemetry::{flight_dump_dir, telemetry_enabled_from_env};
+use hgw_core::{CountingObserver, DropCounts, HistogramSummary, SpanTimeline, TelemetryConfig};
 use hgw_devices::DeviceProfile;
 use hgw_gateway::Gateway;
 use hgw_testbed::Testbed;
@@ -132,6 +134,15 @@ pub struct DeviceRunMetrics {
     pub nat_bindings_expired: u64,
     /// High-water mark of simultaneously live NAT bindings.
     pub nat_bindings_peak: usize,
+    /// Per-packet one-way delay distribution (link enqueue → delivery), in
+    /// nanoseconds. `Some` iff the run had [`FleetRunner::telemetry`] on.
+    pub delay_one_way: Option<HistogramSummary>,
+    /// Link transmit-queue residency distribution in nanoseconds. `Some`
+    /// iff the run had [`FleetRunner::telemetry`] on.
+    pub delay_queue_residency: Option<HistogramSummary>,
+    /// Gateway NAT/forwarding-engine processing delay distribution in
+    /// nanoseconds. `Some` iff the run had [`FleetRunner::telemetry`] on.
+    pub delay_nat_processing: Option<HistogramSummary>,
 }
 
 impl DeviceRunMetrics {
@@ -258,6 +269,10 @@ pub struct DeviceReport<R> {
     /// Observability metrics (`Some` iff the run was instrumented and the
     /// probe completed).
     pub metrics: Option<DeviceRunMetrics>,
+    /// Experiment span timeline over simulated time (`Some` iff the run had
+    /// [`FleetRunner::telemetry`] on and the probe completed). Render with
+    /// [`hgw_core::render_chrome_trace`] for Perfetto.
+    pub spans: Option<SpanTimeline>,
 }
 
 /// Per-worker scheduling counters. **Schedule-dependent**: which worker
@@ -339,13 +354,23 @@ pub struct FleetRunner<'d> {
     seed: u64,
     parallelism: Parallelism,
     instrumented: bool,
+    telemetry: bool,
+    dump_dir: Option<&'d Path>,
 }
 
 impl<'d> FleetRunner<'d> {
     /// A runner over `devices` with seed 0, [`Parallelism::Auto`], and no
-    /// instrumentation.
+    /// instrumentation. Telemetry defaults to the `HGW_TELEMETRY`
+    /// environment knob so figure binaries pick it up without code changes.
     pub fn new(devices: &'d [DeviceProfile]) -> FleetRunner<'d> {
-        FleetRunner { devices, seed: 0, parallelism: Parallelism::Auto, instrumented: false }
+        FleetRunner {
+            devices,
+            seed: 0,
+            parallelism: Parallelism::Auto,
+            instrumented: false,
+            telemetry: telemetry_enabled_from_env(),
+            dump_dir: None,
+        }
     }
 
     /// Sets the campaign seed every per-device seed is derived from.
@@ -365,6 +390,23 @@ impl<'d> FleetRunner<'d> {
     /// results are unchanged.
     pub fn instrumented(mut self, on: bool) -> FleetRunner<'d> {
         self.instrumented = on;
+        self
+    }
+
+    /// Enables per-device [`Telemetry`](hgw_core::Telemetry): latency
+    /// histograms (folded into [`DeviceRunMetrics`] when the run is also
+    /// instrumented), the span timeline in each [`DeviceReport`], and the
+    /// flight recorder dumped when a probe panics. Telemetry is a pure sink
+    /// — probe results and deterministic counters are unchanged.
+    pub fn telemetry(mut self, on: bool) -> FleetRunner<'d> {
+        self.telemetry = on;
+        self
+    }
+
+    /// Overrides the directory flight-recorder dumps are written to
+    /// (default: `HGW_TELEMETRY_DUMP_DIR` or `target/flight-recorder`).
+    pub fn dump_dir(mut self, dir: &'d Path) -> FleetRunner<'d> {
+        self.dump_dir = Some(dir);
         self
     }
 
@@ -406,7 +448,7 @@ impl<'d> FleetRunner<'d> {
         let mut busy_ms = 0.0;
         for (slot, device) in self.devices.iter().enumerate() {
             let t0 = std::time::Instant::now();
-            let (outcome, metrics) = run_device(device, slot, self.seed, self.instrumented, probe)?;
+            let (outcome, metrics, spans) = self.run_device(device, slot, probe)?;
             busy_ms += t0.elapsed().as_secs_f64() * 1e3;
             reports.push(DeviceReport {
                 tag: device.tag.to_string(),
@@ -414,6 +456,7 @@ impl<'d> FleetRunner<'d> {
                 worker: 0,
                 outcome,
                 metrics,
+                spans,
             });
         }
         let per_worker = if self.devices.is_empty() {
@@ -432,10 +475,7 @@ impl<'d> FleetRunner<'d> {
         workers: usize,
         probe: &(impl Fn(&mut Testbed, &DeviceProfile) -> R + Sync),
     ) -> Result<FleetReport<R>, FleetError> {
-        type Slot<R> = Option<(
-            usize,
-            Result<(Result<R, DeviceFailure>, Option<DeviceRunMetrics>), FleetError>,
-        )>;
+        type Slot<R> = Option<(usize, Result<DeviceOutcome<R>, FleetError>)>;
         let start = std::time::Instant::now();
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Slot<R>>> =
@@ -456,13 +496,7 @@ impl<'d> FleetRunner<'d> {
                             break;
                         }
                         let t0 = std::time::Instant::now();
-                        let out = run_device(
-                            &self.devices[slot],
-                            slot,
-                            self.seed,
-                            self.instrumented,
-                            &mut local,
-                        );
+                        let out = self.run_device(&self.devices[slot], slot, &mut local);
                         busy_ms += t0.elapsed().as_secs_f64() * 1e3;
                         devices_run += 1;
                         slots.lock().expect("fleet slot lock")[slot] = Some((worker, out));
@@ -481,13 +515,14 @@ impl<'d> FleetRunner<'d> {
         let mut reports = Vec::with_capacity(self.devices.len());
         for (slot, cell) in slots.into_iter().enumerate() {
             let (worker, out) = cell.expect("every slot claimed by a worker");
-            let (outcome, metrics) = out?;
+            let (outcome, metrics, spans) = out?;
             reports.push(DeviceReport {
                 tag: self.devices[slot].tag.to_string(),
                 slot,
                 worker,
                 outcome,
                 metrics,
+                spans,
             });
         }
         Ok(FleetReport {
@@ -514,40 +549,110 @@ impl<'d> FleetRunner<'d> {
             per_worker,
         }
     }
-}
 
-/// Builds one device's testbed, runs the probe with panic isolation, and
-/// (when instrumented) harvests the observability counters.
-fn run_device<R>(
-    device: &DeviceProfile,
-    slot: usize,
-    seed: u64,
-    instrumented: bool,
-    probe: &mut dyn FnMut(&mut Testbed, &DeviceProfile) -> R,
-) -> Result<(Result<R, DeviceFailure>, Option<DeviceRunMetrics>), FleetError> {
-    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<_, FleetError> {
+    /// Builds one device's testbed, runs the probe with panic isolation,
+    /// and harvests the observability counters and telemetry.
+    ///
+    /// Bring-up and probe run under separate `catch_unwind`s: a probe panic
+    /// leaves the testbed alive, so its flight recorder can be dumped
+    /// alongside the [`DeviceFailure`] before the campaign moves on.
+    fn run_device<R>(
+        &self,
+        device: &DeviceProfile,
+        slot: usize,
+        probe: &mut dyn FnMut(&mut Testbed, &DeviceProfile) -> R,
+    ) -> Result<DeviceOutcome<R>, FleetError> {
+        let failure = |payload| DeviceFailure {
+            tag: device.tag.to_string(),
+            slot,
+            panic: panic_message(payload),
+        };
         let start = std::time::Instant::now();
-        let mut tb = testbed_for(device, slot, seed);
-        if instrumented {
-            tb.sim.attach_observer(Box::new(CountingObserver::new()));
+        let brought_up = catch_unwind(AssertUnwindSafe(|| {
+            let mut tb = testbed_for(device, slot, self.seed);
+            if self.telemetry {
+                tb.sim.enable_telemetry(TelemetryConfig::from_env());
+            }
+            if self.instrumented {
+                tb.sim.attach_observer(Box::new(CountingObserver::new()));
+            }
+            tb
+        }));
+        let mut tb = match brought_up {
+            Ok(tb) => tb,
+            // A bring-up panic means no testbed exists — nothing to dump.
+            Err(payload) => return Ok((Err(failure(payload)), None, None)),
+        };
+        match catch_unwind(AssertUnwindSafe(|| probe(&mut tb, device))) {
+            Ok(result) => {
+                let (metrics, spans) =
+                    self.harvest(&mut tb, device.tag, start.elapsed().as_secs_f64() * 1e3)?;
+                Ok((Ok(result), metrics, spans))
+            }
+            Err(payload) => {
+                let failure = failure(payload);
+                self.dump_flight_recorder(&mut tb, &failure);
+                Ok((Err(failure), None, None))
+            }
         }
-        let result = probe(&mut tb, device);
-        let metrics = if instrumented {
-            Some(harvest_metrics(&mut tb, device.tag, start.elapsed().as_secs_f64() * 1e3)?)
+    }
+
+    /// Detaches telemetry and (when instrumented) the counting observer
+    /// from a completed device run.
+    fn harvest(
+        &self,
+        tb: &mut Testbed,
+        tag: &str,
+        wall_ms: f64,
+    ) -> Result<(Option<DeviceRunMetrics>, Option<SpanTimeline>), FleetError> {
+        let telemetry = tb.sim.take_telemetry();
+        let (delays, spans) = match telemetry {
+            Some(mut t) => (Some(t.delay_summaries()), Some(std::mem::take(&mut t.spans))),
+            None => (None, None),
+        };
+        let metrics = if self.instrumented {
+            let mut m = harvest_metrics(tb, tag, wall_ms)?;
+            if let Some(d) = &delays {
+                m.delay_one_way = Some(d.one_way);
+                m.delay_queue_residency = Some(d.queue_residency);
+                m.delay_nat_processing = Some(d.nat_processing);
+            }
+            Some(m)
         } else {
             None
         };
-        Ok((result, metrics))
-    }));
-    match caught {
-        Ok(Ok((result, metrics))) => Ok((Ok(result), metrics)),
-        Ok(Err(fleet_err)) => Err(fleet_err),
-        Err(payload) => Ok((
-            Err(DeviceFailure { tag: device.tag.to_string(), slot, panic: panic_message(payload) }),
-            None,
-        )),
+        Ok((metrics, spans))
+    }
+
+    /// Best-effort crash-scene dump for a panicked probe: writes the
+    /// device's flight-recorder rings as pcap + JSON next to the failure.
+    /// Dump errors are reported on stderr, never escalated — the campaign's
+    /// own outcome must not depend on dump I/O.
+    fn dump_flight_recorder(&self, tb: &mut Testbed, failure: &DeviceFailure) {
+        let Some(t) = tb.sim.take_telemetry() else { return };
+        if t.flight.event_count() == 0 && t.flight.frame_count() == 0 {
+            return;
+        }
+        let dir = match self.dump_dir {
+            Some(d) => d.to_path_buf(),
+            None => flight_dump_dir(),
+        };
+        let stem = format!("{}-slot{}", failure.tag, failure.slot);
+        match t.flight.dump(&dir, &stem, &failure.panic) {
+            Ok(dump) => eprintln!(
+                "fleet: {}: flight recorder dumped to {} / {}",
+                failure.tag,
+                dump.pcap.display(),
+                dump.json.display()
+            ),
+            Err(e) => eprintln!("fleet: {}: flight recorder dump failed: {e}", failure.tag),
+        }
     }
 }
+
+/// What [`FleetRunner::run_device`] produces for one device: the probe's
+/// outcome, the instrumented metrics, and the telemetry span timeline.
+type DeviceOutcome<R> = (Result<R, DeviceFailure>, Option<DeviceRunMetrics>, Option<SpanTimeline>);
 
 fn harvest_metrics(
     tb: &mut Testbed,
@@ -574,6 +679,7 @@ fn harvest_metrics(
         nat_bindings_created: nat.bindings_created,
         nat_bindings_expired: nat.bindings_expired,
         nat_bindings_peak: nat.peak_bindings,
+        ..DeviceRunMetrics::default()
     })
 }
 
@@ -585,49 +691,6 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
-}
-
-/// Runs `probe` against every device sequentially, returning
-/// `(tag, result)` pairs in Table 1 order.
-#[doc(hidden)]
-#[deprecated(
-    since = "0.1.0",
-    note = "use FleetRunner::new(devices).seed(seed).parallelism(Parallelism::Sequential).run_mut(probe)"
-)]
-pub fn run_fleet<R>(
-    devices: &[DeviceProfile],
-    seed: u64,
-    probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
-) -> Vec<(String, R)> {
-    FleetRunner::new(devices)
-        .seed(seed)
-        .parallelism(Parallelism::Sequential)
-        .run_mut(probe)
-        .and_then(FleetReport::into_results)
-        .unwrap_or_else(|e| panic!("fleet run failed: {e}"))
-}
-
-/// Like [`run_fleet`], but attaches a [`CountingObserver`] to each device's
-/// simulator and returns per-device [`DeviceRunMetrics`] alongside the
-/// probe's result. Observation is a pure sink, so `R` values are identical
-/// to what [`run_fleet`] would have produced for the same seed.
-#[doc(hidden)]
-#[deprecated(
-    since = "0.1.0",
-    note = "use FleetRunner::new(devices).seed(seed).instrumented(true).run_mut(probe)"
-)]
-pub fn run_fleet_instrumented<R>(
-    devices: &[DeviceProfile],
-    seed: u64,
-    probe: impl FnMut(&mut Testbed, &DeviceProfile) -> R,
-) -> Vec<(String, R, DeviceRunMetrics)> {
-    FleetRunner::new(devices)
-        .seed(seed)
-        .parallelism(Parallelism::Sequential)
-        .instrumented(true)
-        .run_mut(probe)
-        .and_then(FleetReport::into_instrumented_results)
-        .unwrap_or_else(|e| panic!("fleet run failed: {e}"))
 }
 
 /// Orders `(tag, value)` results along a published figure's x-axis order.
@@ -744,32 +807,92 @@ mod tests {
         assert_eq!(plain, stripped);
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_runner() {
-        let devices = all_devices();
-        let shim = run_fleet(&devices[..2], 9, |tb, _| tb.sim.stats().events);
-        let runner = FleetRunner::new(&devices[..2])
-            .seed(9)
-            .run(|tb, _| tb.sim.stats().events)
-            .unwrap()
-            .into_results()
-            .unwrap();
-        assert_eq!(shim, runner);
+    /// A probe that pushes real traffic through the NAT so the telemetry
+    /// histograms have something to measure.
+    fn dns_probe(tb: &mut Testbed, _: &DeviceProfile) -> u64 {
+        crate::dns::measure_dns(tb);
+        tb.sim.stats().events
+    }
 
-        let shim = run_fleet_instrumented(&devices[..2], 9, |tb, _| tb.sim.stats().events);
-        let via_runner = FleetRunner::new(&devices[..2])
-            .seed(9)
+    #[test]
+    fn telemetry_fleet_reports_delay_histograms_and_spans() {
+        let devices = all_devices();
+        let report = FleetRunner::new(&devices[..2])
+            .seed(7)
+            .parallelism(Parallelism::Sequential)
             .instrumented(true)
-            .run(|tb, _| tb.sim.stats().events)
-            .unwrap()
-            .into_instrumented_results()
+            .telemetry(true)
+            .run(dns_probe)
             .unwrap();
+        for d in &report.devices {
+            assert!(d.outcome.is_ok());
+            assert!(d.spans.is_some(), "{}: telemetry runs carry a span timeline", d.tag);
+            let m = d.metrics.as_ref().expect("instrumented");
+            let one_way = m.delay_one_way.expect("telemetry populates one-way delay");
+            assert!(one_way.count > 0, "{}: no delay samples", d.tag);
+            assert!(one_way.p50 <= one_way.p90 && one_way.p90 <= one_way.p99, "{}", d.tag);
+            assert!(one_way.p99 <= one_way.max, "{}", d.tag);
+            let residency = m.delay_queue_residency.expect("telemetry populates residency");
+            assert!(residency.count >= one_way.count, "{}: residency covers every tx", d.tag);
+            assert!(m.delay_nat_processing.is_some());
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results_or_counters() {
+        let devices = all_devices();
+        let runner = FleetRunner::new(&devices[..2])
+            .seed(42)
+            .parallelism(Parallelism::Sequential)
+            .instrumented(true)
+            .telemetry(false);
+        let plain = runner.run(dns_probe).unwrap().into_instrumented_results().unwrap();
+        let with_t =
+            runner.telemetry(true).run(dns_probe).unwrap().into_instrumented_results().unwrap();
         let strip =
             |v: Vec<(String, u64, DeviceRunMetrics)>| -> Vec<(String, u64, DeviceRunMetrics)> {
-                v.into_iter().map(|(t, r, m)| (t, r, m.deterministic())).collect()
+                v.into_iter()
+                    .map(|(t, r, m)| {
+                        let mut m = m.deterministic();
+                        m.delay_one_way = None;
+                        m.delay_queue_residency = None;
+                        m.delay_nat_processing = None;
+                        (t, r, m)
+                    })
+                    .collect()
             };
-        assert_eq!(strip(shim), strip(via_runner));
+        assert_eq!(strip(plain), strip(with_t), "telemetry must be a pure sink");
+    }
+
+    #[test]
+    fn panicking_probe_dumps_the_flight_recorder() {
+        let devices = all_devices();
+        let dir = std::env::temp_dir().join(format!("hgw-flight-{}", std::process::id()));
+        let report = FleetRunner::new(&devices[..2])
+            .seed(3)
+            .parallelism(Parallelism::Sequential)
+            .telemetry(true)
+            .dump_dir(&dir)
+            .run_mut(|tb, d| {
+                crate::dns::measure_dns(tb);
+                if d.tag == devices[1].tag {
+                    panic!("induced failure for the flight recorder test");
+                }
+                0u8
+            })
+            .unwrap();
+        assert!(report.devices[0].outcome.is_ok());
+        let failure = report.devices[1].outcome.as_ref().unwrap_err();
+        assert!(failure.panic.contains("induced failure"));
+        let stem = format!("{}-slot1", devices[1].tag);
+        let pcap = dir.join(format!("{stem}.pcap"));
+        let json = dir.join(format!("{stem}.json"));
+        let pcap_bytes = std::fs::read(&pcap).expect("flight recorder pcap written");
+        assert_eq!(&pcap_bytes[..4], &0xA1B2_C3D4u32.to_le_bytes(), "pcap magic");
+        let json_text = std::fs::read_to_string(&json).expect("flight recorder json written");
+        assert!(json_text.contains("hgw-flight-recorder/1"));
+        assert!(json_text.contains("induced failure"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
     let mut open: Vec<TcpHandle> = Vec::new();
     let result = loop {
         // Open one batch.
+        let batch_span =
+            tb.span_begin_arg("tcp4-ramp", format!("open={} target=+{}", open.len(), batch));
         let mut fresh: Vec<TcpHandle> = Vec::new();
         for _ in 0..batch {
             if open.len() + fresh.len() >= ceiling {
@@ -94,6 +96,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
         let message_failed = alive.len() < open.len();
         let count = alive.len();
         open = alive;
+        tb.span_end(batch_span);
 
         if connect_failed {
             break MaxBindingsResult {

@@ -144,6 +144,11 @@ fn finish(tb: &mut Testbed, flow: &Flow, bytes: u64, started_at_secs: f64) -> Tr
 /// that is 510 s of simulated time for a transfer a wire-speed device
 /// finishes in ~8.5 s, so the budget never truncates a healthy run.
 pub fn run_transfer(tb: &mut Testbed, port: u16, dir: Direction, bytes: u64) -> TransferResult {
+    let span_name = match dir {
+        Direction::Upload => "tcp2-upload",
+        Direction::Download => "tcp2-download",
+    };
+    let span = tb.span_begin_arg(span_name, format!("{bytes} B"));
     let start = tb.now().as_secs_f64();
     let flow = setup_flow(tb, port, dir, bytes);
     let budget = Duration::from_secs(60 * (bytes * 8 / 100_000_000).max(1) + 30);
@@ -154,7 +159,9 @@ pub fn run_transfer(tb: &mut Testbed, port: u16, dir: Direction, bytes: u64) -> 
             break;
         }
     }
-    finish(tb, &flow, bytes, start)
+    let result = finish(tb, &flow, bytes, start);
+    tb.span_end(span);
+    result
 }
 
 /// Runs the full TCP-2/TCP-3 battery: upload, download, then simultaneous
@@ -164,6 +171,7 @@ pub fn run_battery(tb: &mut Testbed, bytes: u64) -> ThroughputReport {
     let download = run_transfer(tb, 5002, Direction::Download, bytes);
 
     // Bidirectional: two flows at once.
+    let span = tb.span_begin_arg("tcp2-bidir", format!("2 x {bytes} B"));
     let start = tb.now().as_secs_f64();
     let up_flow = setup_flow(tb, 5003, Direction::Upload, bytes);
     let down_flow = setup_flow(tb, 5004, Direction::Download, bytes);
@@ -179,6 +187,7 @@ pub fn run_battery(tb: &mut Testbed, bytes: u64) -> ThroughputReport {
     }
     let upload_during_bidir = finish(tb, &up_flow, bytes, start);
     let download_during_bidir = finish(tb, &down_flow, bytes, start);
+    tb.span_end(span);
     ThroughputReport { upload, download, upload_during_bidir, download_during_bidir }
 }
 

@@ -70,12 +70,14 @@ fn close_flow(tb: &mut Testbed, cli: UdpHandle, srv: UdpHandle) {
 /// One UDP-1 trial: create a binding, sleep, have the server respond;
 /// returns true if the binding was still alive.
 fn udp1_trial(tb: &mut Testbed, server_port: u16, sleep: Duration) -> bool {
+    let span = tb.span_begin_arg("udp1-trial", format!("sleep={}s", sleep.as_secs()));
     let (cli, srv, external) = open_flow(tb, server_port);
     tb.run_for(sleep);
     tb.with_server(|h, ctx| h.udp_send(ctx, srv, external, PONG));
     tb.run_for(PROPAGATION);
     let alive = tb.with_client(|h, _| h.udp_recv(cli)).is_some();
     close_flow(tb, cli, srv);
+    tb.span_end(span);
     alive
 }
 
@@ -90,6 +92,7 @@ fn stagger(tb: &mut Testbed, trial: u32) {
 /// UDP-1: the paper's modified binary search. Every trial uses a fresh
 /// flow, so each search step starts from the same state as the first.
 pub fn measure_udp1(tb: &mut Testbed, server_port: u16) -> TimeoutMeasurement {
+    let search_span = tb.span_begin("udp1-search");
     let mut trials = 0;
     // Establish bounds by exponential probing.
     let mut lo = Duration::ZERO; // longest observed lifetime (alive)
@@ -117,6 +120,7 @@ pub fn measure_udp1(tb: &mut Testbed, server_port: u16) -> TimeoutMeasurement {
             hi = mid;
         }
     }
+    tb.span_end(search_span);
     TimeoutMeasurement { timeout_secs: (lo + (hi - lo) / 2).as_secs_f64(), trials }
 }
 

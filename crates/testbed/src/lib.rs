@@ -27,7 +27,7 @@ pub use dual::{DualNatTestbed, Side};
 
 use std::net::Ipv4Addr;
 
-use hgw_core::{Duration, Instant, LinkConfig, LinkId, NodeCtx, NodeId, PortId, Simulator};
+use hgw_core::{Duration, Instant, LinkConfig, LinkId, NodeCtx, NodeId, PortId, Simulator, SpanId};
 use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
 use hgw_stack::dhcp::DhcpServerConfig;
 use hgw_stack::dns::DnsZone;
@@ -243,5 +243,36 @@ impl Testbed {
     /// from the hosts).
     pub fn with_gateway<R>(&mut self, f: impl FnOnce(&mut Gateway, &mut NodeCtx) -> R) -> R {
         self.sim.with_node::<Gateway, _>(self.gateway, f)
+    }
+
+    /// Opens a telemetry span named `name` at the current simulated time.
+    ///
+    /// Returns [`SpanId::DISABLED`] (recording nothing) when telemetry is
+    /// off, so probes can mark their phases unconditionally at zero cost.
+    pub fn span_begin(&mut self, name: &str) -> SpanId {
+        let now = self.sim.now();
+        match self.sim.telemetry_mut() {
+            Some(t) => t.spans.begin(name, now),
+            None => SpanId::DISABLED,
+        }
+    }
+
+    /// Like [`Testbed::span_begin`], with a viewer-visible argument (shown
+    /// in the Perfetto detail pane).
+    pub fn span_begin_arg(&mut self, name: &str, arg: String) -> SpanId {
+        let now = self.sim.now();
+        match self.sim.telemetry_mut() {
+            Some(t) => t.spans.begin_with_arg(name, arg, now),
+            None => SpanId::DISABLED,
+        }
+    }
+
+    /// Closes a span opened by [`Testbed::span_begin`] at the current
+    /// simulated time. A no-op for [`SpanId::DISABLED`].
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.sim.now();
+        if let Some(t) = self.sim.telemetry_mut() {
+            t.spans.end(id, now);
+        }
     }
 }
