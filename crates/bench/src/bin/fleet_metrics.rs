@@ -14,19 +14,35 @@
 //! blocks are populated and the parallel leg's span timelines are exported
 //! as a Chrome trace-event file (`target/figures/trace.json`) loadable in
 //! Perfetto or `chrome://tracing`.
+//!
+//! # Mega-fleet mode
+//!
+//! `HGW_FLEET_DEVICES=N` (N > 0) switches to the mega-fleet campaign: `N`
+//! synthetic profiles drawn from the Table 1 profile space
+//! ([`hgw_devices::synthetic_fleet`]), a UDP-1-only probe, and streaming
+//! aggregation through [`FleetRunner::run_fold`] into
+//! [`FleetDistributions`] — no per-device rows are kept, so memory stays
+//! flat at any fleet size. Both legs (sequential, then the configured
+//! parallelism) must produce the bit-identical aggregate; the run prints
+//! the binding-timeout CDF and binding-cap histogram and writes
+//! `target/figures/megafleet.json`, `results/megafleet.json`, and the
+//! human-readable `results/megafleet.txt`.
 
 use std::path::Path;
 
-use hgw_bench::manifest::{render_fleet_manifest, write_manifest};
-use hgw_bench::{env_u64, figures_dir};
-use hgw_devices::all_devices;
-use hgw_probe::fleet::{FleetError, FleetRunner, Parallelism};
+use hgw_bench::manifest::{render_fleet_manifest, render_mega_manifest, write_manifest};
+use hgw_bench::{env_u64, env_usize, figures_dir};
+use hgw_devices::{all_devices, device, synthetic_fleet, DeviceProfile};
+use hgw_probe::distributions::{cdf_points, FleetDistributions};
+use hgw_probe::fleet::{FleetError, FleetRunner, FleetSample, Parallelism};
 use hgw_probe::throughput::{run_transfer, Direction};
 use hgw_probe::udp_timeout::measure_udp1;
 use hgw_stats::TextTable;
 
 fn main() {
-    if let Err(e) = run() {
+    let mega_devices = env_usize("HGW_FLEET_DEVICES", 0);
+    let result = if mega_devices > 0 { run_mega(mega_devices) } else { run() };
+    if let Err(e) = result {
         eprintln!("fleet run failed: {e}");
         std::process::exit(1);
     }
@@ -42,7 +58,7 @@ fn run() -> Result<(), FleetError> {
     let parallelism = Parallelism::from_env_or(Parallelism::Fixed(4));
     let devices = all_devices();
 
-    let probe = |tb: &mut hgw_testbed::Testbed, _: &hgw_devices::DeviceProfile| {
+    let probe = |tb: &mut hgw_testbed::Testbed, _: &DeviceProfile| {
         run_transfer(tb, 5001, Direction::Upload, bytes);
         measure_udp1(tb, 20_000).timeout_secs.to_bits()
     };
@@ -77,6 +93,14 @@ fn run() -> Result<(), FleetError> {
         );
     }
 
+    // Population view of the same campaign, for the /4 manifest's
+    // fleet_distributions block. Deterministic, so either leg would do.
+    let mut dist = FleetDistributions::new();
+    for (tag, bits, m) in &par_results {
+        let profile = device(tag).expect("fleet tags come from Table 1");
+        dist.record(&profile, f64::from_bits(*bits), Some(m));
+    }
+
     let mut table = TextTable::new(&[
         "device",
         "wall_ms",
@@ -102,18 +126,16 @@ fn run() -> Result<(), FleetError> {
         ]);
     }
     println!("{}", table.render());
-    println!(
-        "scheduling: mode {} → {} worker(s) on a {}-way host; wall {:.1} ms vs {:.1} ms sequential (speedup {:.2}x)",
-        scheduling.parallelism,
-        scheduling.workers,
-        scheduling.host_parallelism,
-        scheduling.wall_ms,
-        sequential_wall_ms,
-        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 },
-    );
+    print_scheduling(&scheduling, sequential_wall_ms);
 
     let per_device: Vec<_> = par_results.into_iter().map(|(tag, _, m)| (tag, m)).collect();
-    let json = render_fleet_manifest(seed, &per_device, &scheduling, Some(sequential_wall_ms));
+    let json = render_fleet_manifest(
+        seed,
+        &per_device,
+        &scheduling,
+        Some(sequential_wall_ms),
+        Some(&dist),
+    );
     for path in [figures_dir().join("manifest.json"), Path::new("BENCH_fleet.json").to_path_buf()] {
         match write_manifest(&path, &json) {
             Ok(()) => println!("[manifest written to {}]", path.display()),
@@ -132,4 +154,146 @@ fn run() -> Result<(), FleetError> {
         Err(e) => eprintln!("warning: could not write {}: {e}", trace_path.display()),
     }
     Ok(())
+}
+
+fn print_scheduling(scheduling: &hgw_probe::fleet::SchedulingReport, sequential_wall_ms: f64) {
+    println!(
+        "scheduling: mode {} → {} worker(s) on a {}-way host; batch {}; wall {:.1} ms vs {:.1} ms sequential (speedup {:.2}x)",
+        scheduling.parallelism,
+        scheduling.workers,
+        scheduling.host_parallelism,
+        scheduling.batch_size,
+        scheduling.wall_ms,
+        sequential_wall_ms,
+        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 },
+    );
+}
+
+/// The mega-fleet campaign: N sampled profiles, streaming fold, population
+/// report. See the module docs for the emitted artifacts.
+fn run_mega(n: usize) -> Result<(), FleetError> {
+    let seed = env_u64("HGW_SEED", 7);
+    let parallelism = Parallelism::from_env_or(Parallelism::Fixed(4));
+    let fleet = synthetic_fleet(seed, n);
+
+    // UDP-1 only: the binding-timeout search is the paper's headline
+    // measurement and keeps a 10 000-device campaign tractable.
+    let probe =
+        |tb: &mut hgw_testbed::Testbed, _: &DeviceProfile| measure_udp1(tb, 20_000).timeout_secs;
+    let init = FleetDistributions::new;
+    let fold = |acc: &mut FleetDistributions, s: FleetSample<'_, f64>| {
+        acc.record(s.device, s.result, s.metrics.as_ref());
+    };
+    let merge = |acc: &mut FleetDistributions, part: FleetDistributions| acc.merge(&part);
+    let runner = FleetRunner::new(&fleet).seed(seed).instrumented(true);
+
+    println!("mega-fleet: {n} synthetic devices (seed {seed}), sequential leg...");
+    let seq = runner.parallelism(Parallelism::Sequential).run_fold(probe, init, fold, merge)?;
+    println!("mega-fleet: parallel leg ({parallelism})...");
+    let par = runner.parallelism(parallelism).run_fold(probe, init, fold, merge)?;
+
+    assert!(seq.failures.is_empty(), "sequential failures: {:?}", seq.failures);
+    assert!(par.failures.is_empty(), "parallel failures: {:?}", par.failures);
+    assert_eq!(
+        seq.aggregate, par.aggregate,
+        "mega-fleet aggregate changed under {parallelism} — run_fold determinism broken"
+    );
+    let dist = &par.aggregate;
+
+    let report = render_mega_report(n, seed, dist, &par.scheduling, seq.scheduling.wall_ms);
+    println!("{report}");
+
+    let json = render_mega_manifest(seed, dist, &par.scheduling, Some(seq.scheduling.wall_ms));
+    for path in
+        [figures_dir().join("megafleet.json"), Path::new("results/megafleet.json").to_path_buf()]
+    {
+        match write_manifest(&path, &json) {
+            Ok(()) => println!("[manifest written to {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    let txt_path = Path::new("results/megafleet.txt");
+    match write_manifest(txt_path, &report) {
+        Ok(()) => println!("[report written to {}]", txt_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", txt_path.display()),
+    }
+    Ok(())
+}
+
+/// Renders the human-readable mega-fleet report: population summary,
+/// UDP-1 binding-timeout CDF, and binding-cap histogram.
+fn render_mega_report(
+    n: usize,
+    seed: u64,
+    dist: &FleetDistributions,
+    scheduling: &hgw_probe::fleet::SchedulingReport,
+    sequential_wall_ms: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "mega-fleet report: {n} devices sampled from the Table 1 profile space (seed {seed})\n"
+    ));
+    out.push_str(&format!(
+        "scheduling: mode {} → {} worker(s) on a {}-way host; batch {}; wall {:.1} ms vs {:.1} ms sequential (speedup {:.2}x)\n",
+        scheduling.parallelism,
+        scheduling.workers,
+        scheduling.host_parallelism,
+        scheduling.batch_size,
+        scheduling.wall_ms,
+        sequential_wall_ms,
+        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 },
+    ));
+    for w in &scheduling.per_worker {
+        out.push_str(&format!(
+            "  worker {}: {} devices in {} batches, {} warm-pool reuses, busy {:.1} ms\n",
+            w.worker, w.devices_run, w.batches, w.pool_reused, w.busy_ms
+        ));
+    }
+    out.push_str(&format!(
+        "totals: {} events, {} frames delivered, {} dropped, {} NAT bindings created\n\n",
+        dist.events,
+        dist.frames_delivered,
+        dist.frames_dropped.total(),
+        dist.nat_bindings_created,
+    ));
+
+    let t = &dist.udp1_timeout_ds;
+    out.push_str(&format!(
+        "UDP-1 binding timeout (population of {}): p50 {:.1} s, p90 {:.1} s, p99 {:.1} s, max {:.1} s\n",
+        t.count(),
+        t.quantile(0.50) as f64 / 10.0,
+        t.quantile(0.90) as f64 / 10.0,
+        t.quantile(0.99) as f64 / 10.0,
+        t.max() as f64 / 10.0,
+    ));
+    let mut cdf = TextTable::new(&["timeout <= (s)", "fraction of fleet"]);
+    for (bound, frac) in decimate(cdf_points(t), 16) {
+        cdf.row(vec![format!("{:.1}", bound as f64 / 10.0), format!("{frac:.4}")]);
+    }
+    out.push_str(&cdf.render());
+    out.push('\n');
+
+    out.push_str(&format!(
+        "binding cap (population of {}): p50 {}, p90 {}, max {}\n",
+        dist.max_bindings.count(),
+        dist.max_bindings.quantile(0.50),
+        dist.max_bindings.quantile(0.90),
+        dist.max_bindings.max(),
+    ));
+    let mut caps = TextTable::new(&["max bindings (bucket <=)", "devices"]);
+    for (bound, count) in dist.max_bindings.nonzero_buckets() {
+        caps.row(vec![bound.to_string(), count.to_string()]);
+    }
+    out.push_str(&caps.render());
+    out
+}
+
+/// Keeps at most `keep` evenly-spaced points (always including the last),
+/// so a 10 000-device CDF prints as a readable table.
+fn decimate(points: Vec<(u64, f64)>, keep: usize) -> Vec<(u64, f64)> {
+    if points.len() <= keep || keep < 2 {
+        return points;
+    }
+    let last = points.len() - 1;
+    (0..keep).map(|i| points[i * last / (keep - 1)]).collect()
 }

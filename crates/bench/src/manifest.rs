@@ -7,7 +7,9 @@
 use std::io::Write;
 use std::path::Path;
 
-use hgw_core::HistogramSummary;
+use hgw_core::telemetry::Histogram;
+use hgw_core::{DropCounts, HistogramSummary};
+use hgw_probe::distributions::{cdf_points, FleetDistributions};
 use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 
 /// Schema identifier stamped into every manifest.
@@ -21,7 +23,17 @@ use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 /// p99_ns, max_ns}`), each `null` when the campaign ran without telemetry.
 /// The totals row's `delay` is always `null` — percentiles do not
 /// aggregate across devices.
-pub const SCHEMA: &str = "hgw-fleet-manifest/3";
+///
+/// `/4` adds the mega-fleet scheduling and distribution fields:
+/// `scheduling.batch_size` (devices per work-queue handout) and per-worker
+/// `batches` / `pool_reused` counters, plus the optional top-level
+/// `fleet_distributions` block — population totals, the UDP-1
+/// binding-timeout CDF in deciseconds, the binding-cap histogram, and the
+/// across-device spread of per-device delay percentiles (`null` when the
+/// campaign did not aggregate distributions). Mega-fleet campaigns emit a
+/// manifest with `per_device: null` instead of thousands of rows; see
+/// [`render_mega_manifest`]. `EXPERIMENTS.md` documents the full lineage.
+pub const SCHEMA: &str = "hgw-fleet-manifest/4";
 
 /// Escapes a string for embedding in hand-emitted JSON.
 pub(crate) fn json_escape(s: &str) -> String {
@@ -37,13 +49,14 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
-fn drops_json(metrics: &DeviceRunMetrics) -> String {
-    let fields: Vec<String> = metrics
-        .frames_dropped
-        .iter()
-        .map(|(reason, count)| format!("\"{}\": {count}", reason.name()))
-        .collect();
+fn drop_counts_json(drops: &DropCounts) -> String {
+    let fields: Vec<String> =
+        drops.iter().map(|(reason, count)| format!("\"{}\": {count}", reason.name())).collect();
     format!("{{{}}}", fields.join(", "))
+}
+
+fn drops_json(metrics: &DeviceRunMetrics) -> String {
+    drop_counts_json(&metrics.frames_dropped)
 }
 
 fn summary_json(s: &Option<HistogramSummary>) -> String {
@@ -102,8 +115,9 @@ fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64
         .iter()
         .map(|w| {
             format!(
-                "{{\"worker\": {}, \"devices_run\": {}, \"busy_ms\": {:.3}}}",
-                w.worker, w.devices_run, w.busy_ms
+                "{{\"worker\": {}, \"devices_run\": {}, \"batches\": {}, \
+                 \"pool_reused\": {}, \"busy_ms\": {:.3}}}",
+                w.worker, w.devices_run, w.batches, w.pool_reused, w.busy_ms
             )
         })
         .collect();
@@ -114,16 +128,70 @@ fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64
     format!(
         concat!(
             "{{\"mode\": \"{}\", \"workers\": {}, \"host_parallelism\": {}, ",
+            "\"batch_size\": {}, ",
             "\"wall_ms\": {:.3}, \"sequential_wall_ms\": {}, ",
             "\"speedup_vs_sequential\": {}, \"per_worker\": [{}]}}"
         ),
         scheduling.parallelism,
         scheduling.workers,
         scheduling.host_parallelism,
+        scheduling.batch_size,
         scheduling.wall_ms,
         sequential_wall_ms.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string()),
         speedup,
         workers.join(", "),
+    )
+}
+
+/// Renders a [`Histogram`] as a distribution object: sample count,
+/// percentile digest, and the per-bucket CDF as `[upper_bound,
+/// cumulative_fraction]` pairs. Empty histograms render as `null`.
+fn histogram_json(h: &Histogram) -> String {
+    if h.is_empty() {
+        return "null".to_string();
+    }
+    let s = h.summary();
+    let cdf: Vec<String> =
+        cdf_points(h).into_iter().map(|(bound, frac)| format!("[{bound}, {frac:.6}]")).collect();
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \"cdf\": [{}]}}",
+        s.count,
+        s.p50,
+        s.p90,
+        s.p99,
+        s.max,
+        cdf.join(", "),
+    )
+}
+
+/// Renders the `fleet_distributions` block of a `/4` manifest.
+///
+/// All fields are deterministic: the block depends only on the campaign
+/// seed and fleet composition, never on scheduling, so it is byte-identical
+/// between a sequential and a parallel leg of the same campaign.
+pub fn distributions_json(dist: &FleetDistributions) -> String {
+    format!(
+        concat!(
+            "{{\"devices\": {}, \"events\": {}, \"frames_delivered\": {}, ",
+            "\"frames_dropped_total\": {}, \"frames_dropped_by_reason\": {}, ",
+            "\"trace_events\": {}, \"nat_bindings_created\": {}, ",
+            "\"nat_bindings_expired\": {}, \"nat_bindings_peak\": {}, ",
+            "\"udp1_timeout_ds\": {}, \"max_bindings\": {}, ",
+            "\"delay_p50_ns\": {}, \"delay_p99_ns\": {}}}"
+        ),
+        dist.devices,
+        dist.events,
+        dist.frames_delivered,
+        dist.frames_dropped.total(),
+        drop_counts_json(&dist.frames_dropped),
+        dist.trace_events,
+        dist.nat_bindings_created,
+        dist.nat_bindings_expired,
+        dist.nat_bindings_peak,
+        histogram_json(&dist.udp1_timeout_ds),
+        histogram_json(&dist.max_bindings),
+        histogram_json(&dist.delay_p50_ns),
+        histogram_json(&dist.delay_p99_ns),
     )
 }
 
@@ -132,12 +200,14 @@ fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64
 /// `scheduling` is the parallel (or only) campaign's scheduling metadata;
 /// `sequential_wall_ms`, when present, is the measured wall-clock of the
 /// same campaign under `Parallelism::Sequential` and yields the manifest's
-/// `speedup_vs_sequential` field.
+/// `speedup_vs_sequential` field. `distributions`, when present, becomes
+/// the `fleet_distributions` block (rendered as `null` otherwise).
 pub fn render_fleet_manifest(
     seed: u64,
     per_device: &[(String, DeviceRunMetrics)],
     scheduling: &SchedulingReport,
     sequential_wall_ms: Option<f64>,
+    distributions: Option<&FleetDistributions>,
 ) -> String {
     let mut total = DeviceRunMetrics::default();
     for (_, m) in per_device {
@@ -154,13 +224,33 @@ pub fn render_fleet_manifest(
         if total.wall_ms > 0.0 { total.events as f64 / (total.wall_ms / 1e3) } else { 0.0 };
     let rows: Vec<String> = per_device.iter().map(|(tag, m)| device_json(tag, m)).collect();
     format!(
-        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
         SCHEMA,
         seed,
         per_device.len(),
         scheduling_json(scheduling, sequential_wall_ms),
+        distributions.map(distributions_json).unwrap_or_else(|| "null".to_string()),
         device_json("*", &total).trim_start(),
         rows.join(",\n"),
+    )
+}
+
+/// Renders the mega-fleet manifest: scheduling plus the population
+/// [`FleetDistributions`] block, with `per_device: null` — a 10 000-device
+/// campaign is summarized by its distributions, not 10 000 rows.
+pub fn render_mega_manifest(
+    seed: u64,
+    distributions: &FleetDistributions,
+    scheduling: &SchedulingReport,
+    sequential_wall_ms: Option<f64>,
+) -> String {
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"per_device\": null\n}}\n",
+        SCHEMA,
+        seed,
+        distributions.devices,
+        scheduling_json(scheduling, sequential_wall_ms),
+        distributions_json(distributions),
     )
 }
 
@@ -184,10 +274,23 @@ mod tests {
             parallelism: Parallelism::Fixed(4),
             workers: 4,
             host_parallelism: 8,
+            batch_size: 2,
             wall_ms: 100.0,
             per_worker: vec![
-                WorkerStats { worker: 0, devices_run: 1, busy_ms: 90.0 },
-                WorkerStats { worker: 1, devices_run: 1, busy_ms: 80.0 },
+                WorkerStats {
+                    worker: 0,
+                    devices_run: 1,
+                    busy_ms: 90.0,
+                    batches: 1,
+                    pool_reused: 0,
+                },
+                WorkerStats {
+                    worker: 1,
+                    devices_run: 1,
+                    busy_ms: 80.0,
+                    batches: 1,
+                    pool_reused: 1,
+                },
             ],
         }
     }
@@ -200,11 +303,12 @@ mod tests {
     #[test]
     fn manifest_names_every_drop_reason() {
         let m = DeviceRunMetrics::default();
-        let json = render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None);
+        let json =
+            render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None, None);
         for reason in DropReason::ALL {
             assert!(json.contains(reason.name()), "missing key {}", reason.name());
         }
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/3\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/4\""));
         assert!(json.contains("\"device\": \"ls1\""));
         assert!(json.contains("\"nat_bindings_peak\": 0"));
     }
@@ -217,6 +321,7 @@ mod tests {
             1,
             &[("a".to_string(), a), ("b".to_string(), b)],
             &test_scheduling(),
+            None,
             None,
         );
         assert!(json.contains("\"devices\": 2"));
@@ -234,7 +339,8 @@ mod tests {
             delay_nat_processing: None,
             ..Default::default()
         };
-        let json = render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None);
+        let json =
+            render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None, None);
         assert!(
             json.contains(
                 "\"delay\": {\"one_way\": {\"count\": 4, \"p50_ns\": 10, \"p90_ns\": 20, \
@@ -256,13 +362,18 @@ mod tests {
             &[("a".to_string(), DeviceRunMetrics::default())],
             &test_scheduling(),
             Some(250.0),
+            None,
         );
         assert!(json.contains("\"mode\": \"fixed(4)\""), "{json}");
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"host_parallelism\": 8"));
         assert!(json.contains("\"sequential_wall_ms\": 250.000"));
         assert!(json.contains("\"speedup_vs_sequential\": 2.50"));
-        assert!(json.contains("{\"worker\": 0, \"devices_run\": 1, \"busy_ms\": 90.000}"));
+        assert!(json.contains("\"batch_size\": 2"));
+        assert!(json.contains(
+            "{\"worker\": 0, \"devices_run\": 1, \"batches\": 1, \"pool_reused\": 0, \
+             \"busy_ms\": 90.000}"
+        ));
     }
 
     #[test]
@@ -272,8 +383,48 @@ mod tests {
             &[("a".to_string(), DeviceRunMetrics::default())],
             &test_scheduling(),
             None,
+            None,
         );
         assert!(json.contains("\"sequential_wall_ms\": null"));
         assert!(json.contains("\"speedup_vs_sequential\": null"));
+        // No aggregate handed in → the block renders as null.
+        assert!(json.contains("\"fleet_distributions\": null"));
+    }
+
+    #[test]
+    fn fleet_distributions_block_renders_cdfs() {
+        let owrt = hgw_devices::device("owrt").unwrap();
+        let mut dist = FleetDistributions::new();
+        dist.record(&owrt, 30.5, Some(&DeviceRunMetrics { events: 9, ..Default::default() }));
+        let json = render_fleet_manifest(
+            7,
+            &[("owrt".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            None,
+            Some(&dist),
+        );
+        assert!(json.contains("\"fleet_distributions\": {\"devices\": 1, \"events\": 9"), "{json}");
+        // 30.5 s records as 305 ds; the lone sample is every percentile and
+        // the single CDF point at fraction 1.
+        let b = Histogram::bucket_bound(Histogram::bucket_index(305));
+        assert!(json.contains("\"udp1_timeout_ds\": {\"count\": 1, \"p50\": 305"));
+        assert!(json.contains(&format!("\"cdf\": [[{b}, 1.000000]]")), "{json}");
+        // No telemetry → delay spreads render as null.
+        assert!(json.contains("\"delay_p50_ns\": null, \"delay_p99_ns\": null"));
+    }
+
+    #[test]
+    fn mega_manifest_summarizes_without_per_device_rows() {
+        let owrt = hgw_devices::device("owrt").unwrap();
+        let mut dist = FleetDistributions::new();
+        dist.record(&owrt, 30.5, None);
+        dist.record(&owrt, 185.5, None);
+        let json = render_mega_manifest(11, &dist, &test_scheduling(), Some(400.0));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/4\""));
+        assert!(json.contains("\"seed\": 11"));
+        assert!(json.contains("\"devices\": 2"));
+        assert!(json.contains("\"speedup_vs_sequential\": 4.00"));
+        assert!(json.contains("\"per_device\": null"));
+        assert!(!json.contains("\"device\": \"owrt\""));
     }
 }

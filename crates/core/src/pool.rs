@@ -82,6 +82,25 @@ impl FramePool {
     pub fn retained(&self) -> usize {
         self.free.len()
     }
+
+    /// Moves the other pool's free buffers into this one, up to this pool's
+    /// retention cap (buffers beyond the cap are freed). Counters are left
+    /// untouched on both sides: absorption transfers *capacity*, not
+    /// history.
+    ///
+    /// This is the fleet runner's arena-reuse primitive: a worker drains a
+    /// finished device's warm buffers into its arena, then seeds the next
+    /// device's fresh pool from it, so a mega-fleet run stops paying the
+    /// per-device allocation ramp-up.
+    pub fn absorb(&mut self, other: &mut FramePool) {
+        while self.free.len() < self.retain_cap {
+            match other.free.pop() {
+                Some(buf) => self.free.push(buf),
+                None => return,
+            }
+        }
+        other.free.clear();
+    }
 }
 
 impl Default for FramePool {
@@ -130,5 +149,39 @@ mod tests {
         pool.put(vec![0xAA; 512]);
         let buf = pool.get();
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn absorb_transfers_buffers_but_not_counters() {
+        let mut donor = FramePool::new();
+        donor.put(vec![0u8; 64]);
+        donor.put(vec![0u8; 64]);
+        let _ = donor.get(); // donor earns a hit of its own
+        let mut pool = FramePool::new();
+        let _ = pool.get(); // pool earns a miss of its own
+        pool.absorb(&mut donor);
+        assert_eq!(pool.retained(), 1);
+        assert_eq!(donor.retained(), 0);
+        assert_eq!(pool.hits(), 0, "absorb transfers capacity, not history");
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(donor.hits(), 1);
+        let buf = pool.get();
+        assert!(buf.capacity() >= 64, "absorbed buffers serve later gets");
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn absorb_respects_the_retention_cap() {
+        let mut donor = FramePool::new();
+        for _ in 0..DEFAULT_RETAIN_CAP {
+            donor.put(vec![0u8; 8]);
+        }
+        let mut pool = FramePool::new();
+        for _ in 0..DEFAULT_RETAIN_CAP - 1 {
+            pool.put(vec![0u8; 8]);
+        }
+        pool.absorb(&mut donor);
+        assert_eq!(pool.retained(), DEFAULT_RETAIN_CAP);
+        assert_eq!(donor.retained(), 0, "overflow buffers are freed, not stranded");
     }
 }

@@ -93,8 +93,12 @@ pub struct SimStats {
     /// High-water mark of bytes queued on any single link direction.
     pub peak_queue_bytes: usize,
     /// Frame-buffer requests served from the recycling pool. Purely an
-    /// allocator-pressure metric: it never influences simulation behavior,
-    /// and it is deterministic for a given seed and topology.
+    /// allocator-pressure metric: it never influences simulation behavior.
+    /// Deterministic for a given seed and topology on a fresh pool; when a
+    /// fleet worker seeds the pool with buffers recycled from a previous
+    /// device ([`Simulator::seed_frame_pool`]), the hit/miss split also
+    /// depends on what ran before, so fleet equivalence checks must compare
+    /// event-sequence counters, not pool counters.
     pub pool_hits: u64,
     /// Frame-buffer requests that had to allocate because the pool was
     /// empty. `pool_hits + pool_misses` is the total number of pooled
@@ -156,6 +160,23 @@ impl Simulator {
         stats.pool_hits = self.pool.hits();
         stats.pool_misses = self.pool.misses();
         stats
+    }
+
+    /// Seeds the frame pool with warm buffers from `donor` (up to the
+    /// pool's retention cap). Buffer capacity is pure allocator state —
+    /// frames are always handed out cleared — so seeding never changes
+    /// event sequences or results, only the pool hit/miss split (see
+    /// [`SimStats::pool_hits`]).
+    pub fn seed_frame_pool(&mut self, donor: &mut FramePool) {
+        self.pool.absorb(donor);
+    }
+
+    /// Drains the frame pool's retained buffers into `into`, so a finished
+    /// simulator's warm working set can outlive it (the fleet runner's
+    /// per-worker arena reuse). Hit/miss counters stay behind with the
+    /// simulator.
+    pub fn drain_frame_pool(&mut self, into: &mut FramePool) {
+        into.absorb(&mut self.pool);
     }
 
     /// Attaches an observer that receives every [`TraceEvent`]. Replaces any

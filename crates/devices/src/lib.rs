@@ -12,8 +12,10 @@
 
 mod data;
 pub mod profile;
+pub mod sampler;
 
 pub use profile::{DeviceProfile, Expected};
+pub use sampler::{synthetic_fleet, ProfileSpace};
 
 /// Returns all 34 device profiles in Table 1 order.
 pub fn all_devices() -> Vec<DeviceProfile> {

@@ -31,6 +31,28 @@
 //! bit-for-bit identical across [`Parallelism`] modes. Only the host
 //! wall-clock fields (`wall_ms`, `events_per_sec`, and the
 //! [`SchedulingReport`]) depend on the execution schedule.
+//!
+//! # Mega-fleet scale
+//!
+//! Three mechanisms keep a 10 000-device synthetic campaign (see
+//! [`hgw_devices::sampler`]) scaling near-linearly with cores instead of
+//! serializing on the work queue:
+//!
+//! * **Batched handout** — workers claim devices in contiguous batches
+//!   ([`FleetRunner::batch_size`], auto-sized from fleet size and worker
+//!   count), so the per-device cost of the shared counter and the result
+//!   lock is amortized across the whole batch.
+//! * **Per-worker arena reuse** — each worker keeps a
+//!   [`FramePool`](hgw_core::FramePool) arena; a finished device's warm
+//!   frame buffers seed the next device's simulator
+//!   ([`Simulator::seed_frame_pool`](hgw_core::Simulator::seed_frame_pool)),
+//!   eliminating the per-device allocation ramp-up. Buffer capacity is
+//!   pure allocator state, so results stay bit-identical; only the
+//!   per-device pool hit/miss split becomes schedule-dependent.
+//! * **Streaming aggregation** — [`FleetRunner::run_fold`] folds each
+//!   device's result and metrics into a per-worker accumulator the moment
+//!   it completes, then merges the accumulators, so fleet-level
+//!   distributions never materialize 10 000 [`DeviceReport`]s.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -38,7 +60,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hgw_core::telemetry::{flight_dump_dir, telemetry_enabled_from_env};
-use hgw_core::{CountingObserver, DropCounts, HistogramSummary, SpanTimeline, TelemetryConfig};
+use hgw_core::{
+    CountingObserver, DropCounts, FramePool, HistogramSummary, SpanTimeline, TelemetryConfig,
+};
 use hgw_devices::DeviceProfile;
 use hgw_gateway::Gateway;
 use hgw_testbed::Testbed;
@@ -275,6 +299,36 @@ pub struct DeviceReport<R> {
     pub spans: Option<SpanTimeline>,
 }
 
+/// One completed device as seen by a [`FleetRunner::run_fold`] fold
+/// callback — everything a fleet-level aggregate can want, borrowed or
+/// moved, without the report-sized retention of [`DeviceReport`].
+#[derive(Debug)]
+pub struct FleetSample<'d, R> {
+    /// Slot of the device in the campaign's device list.
+    pub slot: usize,
+    /// Worker that ran the device. **Schedule-dependent.**
+    pub worker: usize,
+    /// The device that ran.
+    pub device: &'d DeviceProfile,
+    /// The probe's result.
+    pub result: R,
+    /// Observability metrics (`Some` iff the run was instrumented).
+    pub metrics: Option<DeviceRunMetrics>,
+}
+
+/// The outcome of a [`FleetRunner::run_fold`] campaign.
+#[derive(Debug)]
+pub struct FoldReport<A> {
+    /// The merged accumulator.
+    pub aggregate: A,
+    /// Devices successfully folded (fleet size minus failures).
+    pub folded: usize,
+    /// Isolated per-device panics, in slot order.
+    pub failures: Vec<DeviceFailure>,
+    /// How the campaign was scheduled.
+    pub scheduling: SchedulingReport,
+}
+
 /// Per-worker scheduling counters. **Schedule-dependent**: which worker
 /// picked up which device varies run to run under parallel modes.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,6 +339,12 @@ pub struct WorkerStats {
     pub devices_run: usize,
     /// Wall-clock milliseconds this worker spent inside device runs.
     pub busy_ms: f64,
+    /// Work-queue batches this worker claimed.
+    pub batches: usize,
+    /// Devices whose simulator was seeded with warm frame buffers recycled
+    /// from this worker's previous device (the arena-reuse hit count; the
+    /// first device of every worker always starts cold).
+    pub pool_reused: u64,
 }
 
 /// How a campaign was scheduled — the wall-clock-dependent half of a
@@ -298,6 +358,8 @@ pub struct SchedulingReport {
     /// The host's available parallelism (what [`Parallelism::Auto`] would
     /// resolve to before the fleet-size cap).
     pub host_parallelism: usize,
+    /// Devices per work-queue batch (see [`FleetRunner::batch_size`]).
+    pub batch_size: usize,
     /// Whole-campaign wall-clock time in milliseconds.
     pub wall_ms: f64,
     /// Per-worker scheduling counters, ordered by worker index.
@@ -353,20 +415,23 @@ pub struct FleetRunner<'d> {
     devices: &'d [DeviceProfile],
     seed: u64,
     parallelism: Parallelism,
+    batch_size: Option<usize>,
     instrumented: bool,
     telemetry: bool,
     dump_dir: Option<&'d Path>,
 }
 
 impl<'d> FleetRunner<'d> {
-    /// A runner over `devices` with seed 0, [`Parallelism::Auto`], and no
-    /// instrumentation. Telemetry defaults to the `HGW_TELEMETRY`
-    /// environment knob so figure binaries pick it up without code changes.
+    /// A runner over `devices` with seed 0, [`Parallelism::Auto`],
+    /// auto-sized batches, and no instrumentation. Telemetry defaults to
+    /// the `HGW_TELEMETRY` environment knob so figure binaries pick it up
+    /// without code changes.
     pub fn new(devices: &'d [DeviceProfile]) -> FleetRunner<'d> {
         FleetRunner {
             devices,
             seed: 0,
             parallelism: Parallelism::Auto,
+            batch_size: None,
             instrumented: false,
             telemetry: telemetry_enabled_from_env(),
             dump_dir: None,
@@ -383,6 +448,26 @@ impl<'d> FleetRunner<'d> {
     pub fn parallelism(mut self, parallelism: Parallelism) -> FleetRunner<'d> {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Sets the number of devices a worker claims from the work queue at a
+    /// time (clamped to at least 1). The default auto-sizes to
+    /// `clamp(devices / (workers × 8), 1, 256)` — one device per claim for
+    /// the 34-device Table 1 fleet (preserving its scheduling behavior),
+    /// growing toward 256 for mega-fleets so handout overhead amortizes
+    /// while each worker still claims ~8 batches for load balance.
+    /// Batching never affects results, only scheduling.
+    pub fn batch_size(mut self, batch: usize) -> FleetRunner<'d> {
+        self.batch_size = Some(batch.max(1));
+        self
+    }
+
+    /// The batch size a campaign with `workers` workers resolves to.
+    fn resolve_batch(&self, workers: usize) -> usize {
+        match self.batch_size {
+            Some(n) => n.max(1),
+            None => (self.devices.len() / (workers.max(1) * 8)).clamp(1, 256),
+        }
     }
 
     /// Attaches a [`CountingObserver`] to every device's simulator and
@@ -439,16 +524,181 @@ impl<'d> FleetRunner<'d> {
         self.run_on_calling_thread(&mut probe)
     }
 
+    /// Streaming aggregation: runs `probe` against every device and folds
+    /// each completed device straight into an accumulator instead of
+    /// collecting per-device reports — the mega-fleet path, where
+    /// materializing 10 000 [`DeviceReport`]s (and their span timelines)
+    /// would dwarf the aggregate the caller actually wants.
+    ///
+    /// Each worker builds its own accumulator with `init` and `fold`s its
+    /// devices into it as they finish; when the queue drains, the
+    /// per-worker accumulators are `merge`d in worker-index order. Panicked
+    /// devices are collected as [`FoldReport::failures`] (slot order), not
+    /// folded.
+    ///
+    /// **Determinism contract:** which devices a worker gets is
+    /// schedule-dependent, so the aggregate is bit-identical across
+    /// [`Parallelism`] modes iff `fold`/`merge` are commutative and
+    /// associative over devices — sums, counts, min/max, and
+    /// [`Histogram::merge`](hgw_core::telemetry::Histogram::merge) all
+    /// qualify. Order-sensitive folds (e.g. "first device that …") are
+    /// outside the contract; use [`FleetRunner::run`] for those.
+    pub fn run_fold<R, A>(
+        &self,
+        probe: impl Fn(&mut Testbed, &DeviceProfile) -> R + Sync,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, FleetSample<'_, R>) + Sync,
+        merge: impl Fn(&mut A, A),
+    ) -> Result<FoldReport<A>, FleetError>
+    where
+        R: Send,
+        A: Send,
+    {
+        let workers = self.parallelism.worker_count(self.devices.len());
+        let start = std::time::Instant::now();
+        if workers <= 1 {
+            let mut probe = probe;
+            let mut acc = init();
+            let mut failures = Vec::new();
+            let mut arena = FramePool::new();
+            let (mut busy_ms, mut pool_reused, mut folded) = (0.0, 0u64, 0usize);
+            for (slot, device) in self.devices.iter().enumerate() {
+                let t0 = std::time::Instant::now();
+                pool_reused += (arena.retained() > 0) as u64;
+                let (outcome, metrics, _spans) =
+                    self.run_device(device, slot, &mut probe, &mut arena)?;
+                busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+                match outcome {
+                    Ok(result) => {
+                        folded += 1;
+                        fold(&mut acc, FleetSample { slot, worker: 0, device, result, metrics });
+                    }
+                    Err(f) => failures.push(f),
+                }
+            }
+            let per_worker = if self.devices.is_empty() {
+                Vec::new()
+            } else {
+                vec![WorkerStats {
+                    worker: 0,
+                    devices_run: self.devices.len(),
+                    busy_ms,
+                    batches: 1,
+                    pool_reused,
+                }]
+            };
+            return Ok(FoldReport {
+                aggregate: acc,
+                folded,
+                failures,
+                scheduling: self.scheduling_report(
+                    1,
+                    self.devices.len().max(1),
+                    start.elapsed().as_secs_f64() * 1e3,
+                    per_worker,
+                ),
+            });
+        }
+
+        type WorkerOut<A> = Result<(A, Vec<DeviceFailure>, WorkerStats), FleetError>;
+        let batch = self.resolve_batch(workers);
+        let next = AtomicUsize::new(0);
+        let outs: Mutex<Vec<WorkerOut<A>>> = Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let (next, outs, probe, init, fold) = (&next, &outs, &probe, &init, &fold);
+                scope.spawn(move || {
+                    let mut local = |tb: &mut Testbed, d: &DeviceProfile| probe(tb, d);
+                    let mut arena = FramePool::new();
+                    let mut acc = init();
+                    let mut failures = Vec::new();
+                    let mut ws = WorkerStats {
+                        worker,
+                        devices_run: 0,
+                        busy_ms: 0.0,
+                        batches: 0,
+                        pool_reused: 0,
+                    };
+                    let run = loop {
+                        let lo = next.fetch_add(batch, Ordering::Relaxed);
+                        if lo >= self.devices.len() {
+                            break Ok(());
+                        }
+                        let hi = (lo + batch).min(self.devices.len());
+                        ws.batches += 1;
+                        let t0 = std::time::Instant::now();
+                        let mut err = None;
+                        for slot in lo..hi {
+                            let device = &self.devices[slot];
+                            ws.pool_reused += (arena.retained() > 0) as u64;
+                            match self.run_device(device, slot, &mut local, &mut arena) {
+                                Ok((Ok(result), metrics, _spans)) => {
+                                    fold(
+                                        &mut acc,
+                                        FleetSample { slot, worker, device, result, metrics },
+                                    );
+                                }
+                                Ok((Err(f), _, _)) => failures.push(f),
+                                Err(e) => {
+                                    err = Some(e);
+                                    break;
+                                }
+                            }
+                            ws.devices_run += 1;
+                        }
+                        ws.busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+                        if let Some(e) = err {
+                            break Err(e);
+                        }
+                    };
+                    outs.lock().expect("fleet fold lock").push(run.map(|()| (acc, failures, ws)));
+                });
+            }
+        });
+        let mut outs = outs.into_inner().expect("fleet fold lock");
+        // Merge in worker-index order so the only schedule dependence left
+        // is which devices each worker folded.
+        outs.sort_by_key(|o| o.as_ref().map(|(_, _, ws)| ws.worker).unwrap_or(usize::MAX));
+        let mut aggregate: Option<A> = None;
+        let mut failures = Vec::new();
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut folded = 0usize;
+        for out in outs {
+            let (acc, mut f, ws) = out?;
+            folded += ws.devices_run - f.len();
+            failures.append(&mut f);
+            per_worker.push(ws);
+            match &mut aggregate {
+                Some(total) => merge(total, acc),
+                None => aggregate = Some(acc),
+            }
+        }
+        failures.sort_by_key(|f| f.slot);
+        Ok(FoldReport {
+            aggregate: aggregate.unwrap_or_else(&init),
+            folded,
+            failures,
+            scheduling: self.scheduling_report(
+                workers,
+                batch,
+                start.elapsed().as_secs_f64() * 1e3,
+                per_worker,
+            ),
+        })
+    }
+
     fn run_on_calling_thread<R>(
         &self,
         probe: &mut dyn FnMut(&mut Testbed, &DeviceProfile) -> R,
     ) -> Result<FleetReport<R>, FleetError> {
         let start = std::time::Instant::now();
         let mut reports = Vec::with_capacity(self.devices.len());
-        let mut busy_ms = 0.0;
+        let mut arena = FramePool::new();
+        let (mut busy_ms, mut pool_reused) = (0.0, 0u64);
         for (slot, device) in self.devices.iter().enumerate() {
             let t0 = std::time::Instant::now();
-            let (outcome, metrics, spans) = self.run_device(device, slot, probe)?;
+            pool_reused += (arena.retained() > 0) as u64;
+            let (outcome, metrics, spans) = self.run_device(device, slot, probe, &mut arena)?;
             busy_ms += t0.elapsed().as_secs_f64() * 1e3;
             reports.push(DeviceReport {
                 tag: device.tag.to_string(),
@@ -462,11 +712,22 @@ impl<'d> FleetRunner<'d> {
         let per_worker = if self.devices.is_empty() {
             Vec::new()
         } else {
-            vec![WorkerStats { worker: 0, devices_run: self.devices.len(), busy_ms }]
+            vec![WorkerStats {
+                worker: 0,
+                devices_run: self.devices.len(),
+                busy_ms,
+                batches: 1,
+                pool_reused,
+            }]
         };
         Ok(FleetReport {
             devices: reports,
-            scheduling: self.scheduling_report(1, start.elapsed().as_secs_f64() * 1e3, per_worker),
+            scheduling: self.scheduling_report(
+                1,
+                self.devices.len().max(1),
+                start.elapsed().as_secs_f64() * 1e3,
+                per_worker,
+            ),
         })
     }
 
@@ -477,6 +738,7 @@ impl<'d> FleetRunner<'d> {
     ) -> Result<FleetReport<R>, FleetError> {
         type Slot<R> = Option<(usize, Result<DeviceOutcome<R>, FleetError>)>;
         let start = std::time::Instant::now();
+        let batch = self.resolve_batch(workers);
         let next = AtomicUsize::new(0);
         let slots: Mutex<Vec<Slot<R>>> =
             Mutex::new((0..self.devices.len()).map(|_| None).collect());
@@ -487,25 +749,42 @@ impl<'d> FleetRunner<'d> {
                 scope.spawn(move || {
                     // Each worker gets its own `FnMut` adapter over the
                     // shared probe so the per-device path is one code path
-                    // for all modes.
+                    // for all modes, plus a frame-buffer arena carried
+                    // across its devices.
                     let mut local = |tb: &mut Testbed, d: &DeviceProfile| probe(tb, d);
-                    let (mut busy_ms, mut devices_run) = (0.0, 0usize);
+                    let mut arena = FramePool::new();
+                    let mut ws = WorkerStats {
+                        worker,
+                        devices_run: 0,
+                        busy_ms: 0.0,
+                        batches: 0,
+                        pool_reused: 0,
+                    };
+                    let mut claimed: Vec<(usize, Result<DeviceOutcome<R>, FleetError>)> =
+                        Vec::with_capacity(batch);
                     loop {
-                        let slot = next.fetch_add(1, Ordering::Relaxed);
-                        if slot >= self.devices.len() {
+                        let lo = next.fetch_add(batch, Ordering::Relaxed);
+                        if lo >= self.devices.len() {
                             break;
                         }
+                        let hi = (lo + batch).min(self.devices.len());
+                        ws.batches += 1;
                         let t0 = std::time::Instant::now();
-                        let out = self.run_device(&self.devices[slot], slot, &mut local);
-                        busy_ms += t0.elapsed().as_secs_f64() * 1e3;
-                        devices_run += 1;
-                        slots.lock().expect("fleet slot lock")[slot] = Some((worker, out));
+                        for slot in lo..hi {
+                            ws.pool_reused += (arena.retained() > 0) as u64;
+                            let out =
+                                self.run_device(&self.devices[slot], slot, &mut local, &mut arena);
+                            claimed.push((slot, out));
+                        }
+                        ws.busy_ms += t0.elapsed().as_secs_f64() * 1e3;
+                        ws.devices_run += hi - lo;
+                        // One lock round-trip per *batch*, not per device.
+                        let mut locked = slots.lock().expect("fleet slot lock");
+                        for (slot, out) in claimed.drain(..) {
+                            locked[slot] = Some((worker, out));
+                        }
                     }
-                    stats.lock().expect("fleet stats lock").push(WorkerStats {
-                        worker,
-                        devices_run,
-                        busy_ms,
-                    });
+                    stats.lock().expect("fleet stats lock").push(ws);
                 });
             }
         });
@@ -529,6 +808,7 @@ impl<'d> FleetRunner<'d> {
             devices: reports,
             scheduling: self.scheduling_report(
                 workers,
+                batch,
                 start.elapsed().as_secs_f64() * 1e3,
                 per_worker,
             ),
@@ -538,6 +818,7 @@ impl<'d> FleetRunner<'d> {
     fn scheduling_report(
         &self,
         workers: usize,
+        batch_size: usize,
         wall_ms: f64,
         per_worker: Vec<WorkerStats>,
     ) -> SchedulingReport {
@@ -545,6 +826,7 @@ impl<'d> FleetRunner<'d> {
             parallelism: self.parallelism,
             workers,
             host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            batch_size,
             wall_ms,
             per_worker,
         }
@@ -561,6 +843,7 @@ impl<'d> FleetRunner<'d> {
         device: &DeviceProfile,
         slot: usize,
         probe: &mut dyn FnMut(&mut Testbed, &DeviceProfile) -> R,
+        arena: &mut FramePool,
     ) -> Result<DeviceOutcome<R>, FleetError> {
         let failure = |payload| DeviceFailure {
             tag: device.tag.to_string(),
@@ -583,18 +866,24 @@ impl<'d> FleetRunner<'d> {
             // A bring-up panic means no testbed exists — nothing to dump.
             Err(payload) => return Ok((Err(failure(payload)), None, None)),
         };
-        match catch_unwind(AssertUnwindSafe(|| probe(&mut tb, device))) {
+        // Warm the fresh simulator with the worker's recycled buffers.
+        // Capacity-only state: never affects results (see the module docs).
+        tb.sim.seed_frame_pool(arena);
+        let out = match catch_unwind(AssertUnwindSafe(|| probe(&mut tb, device))) {
             Ok(result) => {
                 let (metrics, spans) =
                     self.harvest(&mut tb, device.tag, start.elapsed().as_secs_f64() * 1e3)?;
-                Ok((Ok(result), metrics, spans))
+                (Ok(result), metrics, spans)
             }
             Err(payload) => {
                 let failure = failure(payload);
                 self.dump_flight_recorder(&mut tb, &failure);
-                Ok((Err(failure), None, None))
+                (Err(failure), None, None)
             }
-        }
+        };
+        // Reclaim the warm working set for the worker's next device.
+        tb.sim.drain_frame_pool(arena);
+        Ok(out)
     }
 
     /// Detaches telemetry and (when instrumented) the counting observer

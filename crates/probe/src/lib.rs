@@ -12,6 +12,7 @@
 
 pub mod binding_rate;
 pub mod classify;
+pub mod distributions;
 pub mod dns;
 pub mod fleet;
 pub mod hole_punch;

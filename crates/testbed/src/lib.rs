@@ -65,8 +65,10 @@ const BRINGUP_LIMIT: Duration = Duration::from_secs(30);
 /// derives both from a fleet-level `(slot, seed)` pair exactly the way the
 /// fleet runner does:
 ///
-/// * **index** — `slot + 1`, so each device gets its own `10.0.<index>.0/24`
-///   address plan and slot 0 never collides with the `10.0.0.0/24` default.
+/// * **index** — `slot % 255 + 1`, so each device gets its own
+///   `10.0.<index>.0/24` address plan, slot 0 never collides with the
+///   `10.0.0.0/24` default, and mega-fleet slots beyond 254 wrap instead
+///   of overflowing `u8`.
 /// * **seed** — `campaign_seed ^ hash(tag)`, where `hash` is a simple
 ///   31-multiplier fold over the tag bytes. Deriving from the *tag* rather
 ///   than the slot keeps a device's randomness stable even if the fleet is
@@ -105,9 +107,15 @@ impl TestbedBuilder {
 
     /// Derives index and seed from a campaign-level slot and seed (see the
     /// type-level docs for the derivation rules).
+    ///
+    /// The index wraps modulo 255 (`slot % 255 + 1`) so mega-fleet slots
+    /// beyond 254 stay inside `u8` without ever colliding with the
+    /// `10.0.0.0/24` default plan at index 0. Identical to `slot + 1` for
+    /// the 34-device Table 1 fleet. Testbeds are isolated simulators, so
+    /// two far-apart slots sharing an address plan never interact.
     pub fn campaign_slot(self, slot: usize, campaign_seed: u64) -> TestbedBuilder {
         let tag_seed = campaign_seed ^ Self::tag_hash(&self.tag);
-        self.index((slot + 1) as u8).seed(tag_seed)
+        self.index((slot % 255 + 1) as u8).seed(tag_seed)
     }
 
     /// The per-tag hash folded into campaign seeds.
