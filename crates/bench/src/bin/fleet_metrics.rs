@@ -27,6 +27,18 @@
 //! the binding-timeout CDF and binding-cap histogram and writes
 //! `target/figures/megafleet.json`, `results/megafleet.json`, and the
 //! human-readable `results/megafleet.txt`.
+//!
+//! # Household leg
+//!
+//! The standard (non-mega) run finishes with a household campaign: every
+//! device re-runs with `HGW_HOUSEHOLD_HOSTS` DHCP hosts (default 4) behind
+//! its gateway, each driving `HGW_HOUSEHOLD_FLOWS` concurrent flows
+//! (default 8) of the deterministic web/bulk/keepalive/DNS mixture for
+//! `HGW_HOUSEHOLD_SECS` of virtual time (default 30). The leg runs once
+//! sequentially and once with the configured parallelism, asserts the
+//! per-device [`HouseholdReport`]s are bit-identical, and folds them into
+//! the manifest's `/5` `household` block. Set `HGW_HOUSEHOLD_HOSTS=0` to
+//! skip the leg (the block renders as `null`).
 
 use std::path::Path;
 
@@ -35,6 +47,9 @@ use hgw_bench::{env_u64, env_usize, figures_dir};
 use hgw_devices::{all_devices, device, synthetic_fleet, DeviceProfile};
 use hgw_probe::distributions::{cdf_points, FleetDistributions};
 use hgw_probe::fleet::{FleetError, FleetRunner, FleetSample, Parallelism};
+use hgw_probe::household::{
+    measure_household, HouseholdFleetSummary, HouseholdReport, WorkloadConfig,
+};
 use hgw_probe::throughput::{run_transfer, Direction};
 use hgw_probe::udp_timeout::measure_udp1;
 use hgw_stats::TextTable;
@@ -128,6 +143,8 @@ fn run() -> Result<(), FleetError> {
     println!("{}", table.render());
     print_scheduling(&scheduling, sequential_wall_ms);
 
+    let household = run_household(&devices, seed, parallelism)?;
+
     let per_device: Vec<_> = par_results.into_iter().map(|(tag, _, m)| (tag, m)).collect();
     let json = render_fleet_manifest(
         seed,
@@ -135,6 +152,7 @@ fn run() -> Result<(), FleetError> {
         &scheduling,
         Some(sequential_wall_ms),
         Some(&dist),
+        household.as_ref(),
     );
     for path in [figures_dir().join("manifest.json"), Path::new("BENCH_fleet.json").to_path_buf()] {
         match write_manifest(&path, &json) {
@@ -154,6 +172,85 @@ fn run() -> Result<(), FleetError> {
         Err(e) => eprintln!("warning: could not write {}: {e}", trace_path.display()),
     }
     Ok(())
+}
+
+/// The household leg: a multi-host mixed workload on every device, run
+/// under both parallelism modes, checked for bit-identity, folded into the
+/// manifest's `household` block. Returns `None` when disabled via
+/// `HGW_HOUSEHOLD_HOSTS=0`.
+fn run_household(
+    devices: &[DeviceProfile],
+    seed: u64,
+    parallelism: Parallelism,
+) -> Result<Option<HouseholdFleetSummary>, FleetError> {
+    let hosts = env_usize("HGW_HOUSEHOLD_HOSTS", 4);
+    if hosts == 0 {
+        return Ok(None);
+    }
+    let cfg = WorkloadConfig {
+        flows_per_host: env_usize("HGW_HOUSEHOLD_FLOWS", 8),
+        duration: hgw_core::Duration::from_secs(env_u64("HGW_HOUSEHOLD_SECS", 30)),
+        ..WorkloadConfig::default()
+    };
+    println!(
+        "household: {hosts} hosts x {} flows x {} s on {} devices...",
+        cfg.flows_per_host,
+        cfg.duration.as_secs(),
+        devices.len()
+    );
+    let probe = |tb: &mut hgw_testbed::Testbed, _: &DeviceProfile| measure_household(tb, &cfg);
+    let runner = FleetRunner::new(devices).seed(seed).hosts(hosts);
+
+    let seq = runner.parallelism(Parallelism::Sequential).run(probe)?.into_results()?;
+    let par = runner.parallelism(parallelism).run(probe)?.into_results()?;
+    for ((seq_tag, seq_r), (par_tag, par_r)) in seq.iter().zip(par.iter()) {
+        assert_eq!(seq_tag, par_tag, "household device order must not depend on scheduling");
+        assert_eq!(seq_r, par_r, "{seq_tag}: household report changed under {parallelism}");
+    }
+
+    let mut agg = HouseholdFleetSummary::new();
+    for (_, r) in &par {
+        agg.record(r);
+    }
+    print_household(&agg, &par);
+    Ok(Some(agg))
+}
+
+fn print_household(agg: &HouseholdFleetSummary, per_device: &[(String, HouseholdReport)]) {
+    let mut table = TextTable::new(&[
+        "device",
+        "web s/d",
+        "bulk s/d",
+        "ka s/d",
+        "dns s/a",
+        "churn/min",
+        "exhaust_s",
+        "jain",
+    ]);
+    for (tag, r) in per_device {
+        table.row(vec![
+            tag.clone(),
+            format!("{}/{}", r.web_flows.0, r.web_flows.1),
+            format!("{}/{}", r.bulk_flows.0, r.bulk_flows.1),
+            format!("{}/{}", r.keepalive_sessions.0, r.keepalive_sessions.1),
+            format!("{}/{}", r.dns_queries.0, r.dns_queries.1),
+            format!("{:.1}", r.churn_per_min),
+            r.port_exhaustion_onset_secs.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+            if r.fairness_jain.is_finite() {
+                format!("{:.3}", r.fairness_jain)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "household totals: {} bytes moved, churn {:.1}/min mean, {} device(s) hit exhaustion{}",
+        agg.bytes_transferred,
+        agg.churn_per_min_mean(),
+        agg.exhausted_devices,
+        agg.earliest_onset_secs.map(|v| format!(" (earliest at {v:.1} s)")).unwrap_or_default(),
+    );
 }
 
 fn print_scheduling(scheduling: &hgw_probe::fleet::SchedulingReport, sequential_wall_ms: f64) {

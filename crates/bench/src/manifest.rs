@@ -11,6 +11,7 @@ use hgw_core::telemetry::Histogram;
 use hgw_core::{DropCounts, HistogramSummary};
 use hgw_probe::distributions::{cdf_points, FleetDistributions};
 use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
+use hgw_probe::household::HouseholdFleetSummary;
 
 /// Schema identifier stamped into every manifest.
 ///
@@ -33,7 +34,15 @@ use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
 /// campaign did not aggregate distributions). Mega-fleet campaigns emit a
 /// manifest with `per_device: null` instead of thousands of rows; see
 /// [`render_mega_manifest`]. `EXPERIMENTS.md` documents the full lineage.
-pub const SCHEMA: &str = "hgw-fleet-manifest/4";
+///
+/// `/5` adds the optional top-level `household` block — the multi-host
+/// workload campaign's fleet aggregate: flow mix counters, NAT
+/// binding-table churn (`created`/`expired`/`refreshed`, mean
+/// `churn_per_min`), port-exhaustion onset (`exhausted_devices`,
+/// `earliest_onset_secs`), merged per-flow goodput and delay
+/// distributions, and the mean Jain fairness index. `null` when the
+/// campaign ran without a household leg.
+pub const SCHEMA: &str = "hgw-fleet-manifest/5";
 
 /// Escapes a string for embedding in hand-emitted JSON.
 pub(crate) fn json_escape(s: &str) -> String {
@@ -195,19 +204,58 @@ pub fn distributions_json(dist: &FleetDistributions) -> String {
     )
 }
 
+/// Renders the `household` block of a `/5` manifest.
+pub fn household_json(h: &HouseholdFleetSummary) -> String {
+    let pair = |(started, done): (u64, u64)| format!("[{started}, {done}]");
+    format!(
+        concat!(
+            "{{\"devices\": {}, \"hosts\": {}, \"flows_per_host\": {}, ",
+            "\"web_flows\": {}, \"bulk_flows\": {}, \"keepalive_sessions\": {}, ",
+            "\"dns_queries\": {}, \"connect_failures\": {}, ",
+            "\"bytes_transferred\": {}, \"bindings_created\": {}, ",
+            "\"bindings_expired\": {}, \"bindings_refreshed\": {}, ",
+            "\"refusals\": {}, \"churn_per_min_mean\": {:.3}, ",
+            "\"exhausted_devices\": {}, \"earliest_onset_secs\": {}, ",
+            "\"flow_throughput_kbps\": {}, \"flow_delay_us\": {}, ",
+            "\"fairness_jain_mean\": {}}}"
+        ),
+        h.devices,
+        h.hosts,
+        h.flows_per_host,
+        pair(h.web_flows),
+        pair(h.bulk_flows),
+        pair(h.keepalive_sessions),
+        pair(h.dns_queries),
+        h.connect_failures,
+        h.bytes_transferred,
+        h.bindings_created,
+        h.bindings_expired,
+        h.bindings_refreshed,
+        h.refusals,
+        h.churn_per_min_mean(),
+        h.exhausted_devices,
+        h.earliest_onset_secs.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string()),
+        histogram_json(&h.flow_throughput_kbps),
+        histogram_json(&h.flow_delay_us),
+        h.fairness_jain_mean().map(|v| format!("{v:.4}")).unwrap_or_else(|| "null".to_string()),
+    )
+}
+
 /// Renders the full fleet manifest as a JSON string.
 ///
 /// `scheduling` is the parallel (or only) campaign's scheduling metadata;
 /// `sequential_wall_ms`, when present, is the measured wall-clock of the
 /// same campaign under `Parallelism::Sequential` and yields the manifest's
 /// `speedup_vs_sequential` field. `distributions`, when present, becomes
-/// the `fleet_distributions` block (rendered as `null` otherwise).
+/// the `fleet_distributions` block (rendered as `null` otherwise);
+/// `household`, when present, becomes the `/5` `household` block.
 pub fn render_fleet_manifest(
     seed: u64,
     per_device: &[(String, DeviceRunMetrics)],
     scheduling: &SchedulingReport,
     sequential_wall_ms: Option<f64>,
     distributions: Option<&FleetDistributions>,
+    household: Option<&HouseholdFleetSummary>,
 ) -> String {
     let mut total = DeviceRunMetrics::default();
     for (_, m) in per_device {
@@ -224,12 +272,13 @@ pub fn render_fleet_manifest(
         if total.wall_ms > 0.0 { total.events as f64 / (total.wall_ms / 1e3) } else { 0.0 };
     let rows: Vec<String> = per_device.iter().map(|(tag, m)| device_json(tag, m)).collect();
     format!(
-        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"household\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
         SCHEMA,
         seed,
         per_device.len(),
         scheduling_json(scheduling, sequential_wall_ms),
         distributions.map(distributions_json).unwrap_or_else(|| "null".to_string()),
+        household.map(household_json).unwrap_or_else(|| "null".to_string()),
         device_json("*", &total).trim_start(),
         rows.join(",\n"),
     )
@@ -303,12 +352,18 @@ mod tests {
     #[test]
     fn manifest_names_every_drop_reason() {
         let m = DeviceRunMetrics::default();
-        let json =
-            render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None, None);
+        let json = render_fleet_manifest(
+            7,
+            &[("ls1".to_string(), m)],
+            &test_scheduling(),
+            None,
+            None,
+            None,
+        );
         for reason in DropReason::ALL {
             assert!(json.contains(reason.name()), "missing key {}", reason.name());
         }
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/4\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/5\""));
         assert!(json.contains("\"device\": \"ls1\""));
         assert!(json.contains("\"nat_bindings_peak\": 0"));
     }
@@ -321,6 +376,7 @@ mod tests {
             1,
             &[("a".to_string(), a), ("b".to_string(), b)],
             &test_scheduling(),
+            None,
             None,
             None,
         );
@@ -339,8 +395,14 @@ mod tests {
             delay_nat_processing: None,
             ..Default::default()
         };
-        let json =
-            render_fleet_manifest(7, &[("ls1".to_string(), m)], &test_scheduling(), None, None);
+        let json = render_fleet_manifest(
+            7,
+            &[("ls1".to_string(), m)],
+            &test_scheduling(),
+            None,
+            None,
+            None,
+        );
         assert!(
             json.contains(
                 "\"delay\": {\"one_way\": {\"count\": 4, \"p50_ns\": 10, \"p90_ns\": 20, \
@@ -363,6 +425,7 @@ mod tests {
             &test_scheduling(),
             Some(250.0),
             None,
+            None,
         );
         assert!(json.contains("\"mode\": \"fixed(4)\""), "{json}");
         assert!(json.contains("\"workers\": 4"));
@@ -384,6 +447,7 @@ mod tests {
             &test_scheduling(),
             None,
             None,
+            None,
         );
         assert!(json.contains("\"sequential_wall_ms\": null"));
         assert!(json.contains("\"speedup_vs_sequential\": null"));
@@ -402,6 +466,7 @@ mod tests {
             &test_scheduling(),
             None,
             Some(&dist),
+            None,
         );
         assert!(json.contains("\"fleet_distributions\": {\"devices\": 1, \"events\": 9"), "{json}");
         // 30.5 s records as 305 ds; the lone sample is every percentile and
@@ -414,13 +479,54 @@ mod tests {
     }
 
     #[test]
+    fn household_block_renders_flow_mix_and_churn() {
+        let mut agg = HouseholdFleetSummary::new();
+        let mut tb =
+            hgw_testbed::Testbed::builder("owrt", hgw_devices::device("owrt").unwrap().policy)
+                .seed(3)
+                .hosts(2)
+                .build();
+        let cfg = hgw_probe::household::WorkloadConfig {
+            flows_per_host: 2,
+            duration: hgw_core::Duration::from_secs(8),
+            ..Default::default()
+        };
+        agg.record(&hgw_probe::household::measure_household(&mut tb, &cfg));
+        let json = render_fleet_manifest(
+            7,
+            &[("owrt".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            None,
+            None,
+            Some(&agg),
+        );
+        assert!(
+            json.contains("\"household\": {\"devices\": 1, \"hosts\": 2, \"flows_per_host\": 2"),
+            "{json}"
+        );
+        assert!(json.contains("\"churn_per_min_mean\": "));
+        assert!(json.contains("\"bindings_refreshed\": "));
+        assert!(json.contains("\"earliest_onset_secs\": null"));
+        // Without a household leg the block renders as null.
+        let json = render_fleet_manifest(
+            7,
+            &[("owrt".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            None,
+            None,
+            None,
+        );
+        assert!(json.contains("\"household\": null"), "{json}");
+    }
+
+    #[test]
     fn mega_manifest_summarizes_without_per_device_rows() {
         let owrt = hgw_devices::device("owrt").unwrap();
         let mut dist = FleetDistributions::new();
         dist.record(&owrt, 30.5, None);
         dist.record(&owrt, 185.5, None);
         let json = render_mega_manifest(11, &dist, &test_scheduling(), Some(400.0));
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/4\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/5\""));
         assert!(json.contains("\"seed\": 11"));
         assert!(json.contains("\"devices\": 2"));
         assert!(json.contains("\"speedup_vs_sequential\": 4.00"));

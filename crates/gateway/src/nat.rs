@@ -120,8 +120,16 @@ pub struct NatStats {
     pub bindings_created: u64,
     /// Bindings that reached their timeout (or teardown) and were swept.
     pub bindings_expired: u64,
+    /// Outbound packets that matched an existing session and refreshed its
+    /// timer instead of creating a binding. Together with
+    /// `bindings_created`/`bindings_expired` this gives the household-level
+    /// binding-table churn rate.
+    pub bindings_refreshed: u64,
     /// Outbound flows refused because the table was at capacity.
     pub refusals: u64,
+    /// Virtual time of the first capacity refusal, if any — the
+    /// port-exhaustion onset a household workload measures.
+    pub first_refusal_at: Option<Instant>,
     /// New bindings whose external port equals the internal source port.
     pub port_preservation_hits: u64,
     /// New bindings that fell back to another port.
@@ -523,11 +531,13 @@ impl NatTable {
                 }
             };
             self.set_expiry(pos, expires_at);
+            self.stats.bindings_refreshed += 1;
             return OutboundVerdict::Translated { external_port, created: false };
         }
         // New binding.
         if self.count(proto) >= policy.max_bindings {
             self.stats.refusals += 1;
+            self.stats.first_refusal_at.get_or_insert(now);
             return OutboundVerdict::NoCapacity;
         }
         let external_port = self.assign_port(policy, proto, internal, remote);
@@ -841,10 +851,12 @@ pub(crate) mod reference {
                         b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
                     }
                 }
+                self.stats.bindings_refreshed += 1;
                 return OutboundVerdict::Translated { external_port, created: false };
             }
             if self.count(proto) >= policy.max_bindings {
                 self.stats.refusals += 1;
+                self.stats.first_refusal_at.get_or_insert(now);
                 return OutboundVerdict::NoCapacity;
             }
             let external_port = self.assign_port(policy, proto, internal, remote);
@@ -1251,8 +1263,26 @@ mod tests {
         p.mapping = EndpointScope::AddressAndPortDependent;
         let mut nat = NatTable::new();
         nat.outbound(t(0), &p, NatProto::Tcp, internal(), remote(), false, false);
-        nat.outbound(t(0), &p, NatProto::Tcp, (internal().0, 6001), remote(), false, false);
+        nat.outbound(t(3), &p, NatProto::Tcp, (internal().0, 6001), remote(), false, false);
         assert_eq!(nat.stats().refusals, 1);
+        // Onset latches on the first refusal and never moves.
+        assert_eq!(nat.stats().first_refusal_at, Some(t(3)));
+        nat.outbound(t(9), &p, NatProto::Tcp, (internal().0, 6002), remote(), false, false);
+        assert_eq!(nat.stats().refusals, 2);
+        assert_eq!(nat.stats().first_refusal_at, Some(t(3)));
+    }
+
+    #[test]
+    fn stats_count_refreshes() {
+        let p = pol();
+        let mut nat = NatTable::new();
+        for i in 0..4 {
+            nat.outbound(t(i), &p, NatProto::Udp, internal(), remote(), false, false);
+        }
+        let s = nat.stats();
+        assert_eq!(s.bindings_created, 1);
+        assert_eq!(s.bindings_refreshed, 3);
+        assert_eq!(s.first_refusal_at, None);
     }
 
     #[test]

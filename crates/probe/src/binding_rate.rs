@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use std::net::SocketAddrV4;
 
 use hgw_core::Duration;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// Result of a binding-rate burst.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,13 +26,13 @@ pub struct BindingRateResult {
 pub fn measure_binding_rate(tb: &mut Testbed, flows: usize) -> BindingRateResult {
     let server_addr = tb.server_addr;
     let server_port = 31_000;
-    let srv = tb.with_server(|h, _| {
+    let srv = tb.with_host(HostId::Server, |h, _| {
         h.sniff_enable();
         h.sniff_take();
         h.udp_bind(server_port)
     });
     // A burst of fresh flows, all offered at the same instant.
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         for _ in 0..flows {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), b"rate");
@@ -43,7 +43,7 @@ pub fn measure_binding_rate(tb: &mut Testbed, flows: usize) -> BindingRateResult
     let mut seen: HashSet<u16> = HashSet::new();
     let mut first = None;
     let mut last = None;
-    for (at, f) in tb.with_server(|h, _| h.sniff_take()) {
+    for (at, f) in tb.with_host(HostId::Server, |h, _| h.sniff_take()) {
         let Ok(ip) = hgw_wire::Ipv4Packet::new_checked(&f[..]) else { continue };
         if ip.protocol() != hgw_wire::Protocol::Udp {
             continue;
@@ -57,7 +57,7 @@ pub fn measure_binding_rate(tb: &mut Testbed, flows: usize) -> BindingRateResult
             last = Some(at);
         }
     }
-    tb.with_server(|h, _| h.udp_close(srv));
+    tb.with_host(HostId::Server, |h, _| h.udp_close(srv));
     let flows_observed = seen.len();
     let bindings_per_sec = match (first, last) {
         (Some(a), Some(b)) if flows_observed > 1 && b > a => {

@@ -11,7 +11,7 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 
 use hgw_core::Duration;
 use hgw_gateway::EndpointScope;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// The externally observed NAT characteristics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,32 +61,32 @@ pub fn classify_nat(tb: &mut Testbed) -> NatClassification {
         let o = server_addr.octets();
         Ipv4Addr::new(o[0], o[1], o[2], o[3] + 1)
     };
-    tb.with_server(|h, _| {
+    tb.with_host(HostId::Server, |h, _| {
         h.add_alias(hgw_core::PortId(0), alias);
     });
 
     // --- Mapping behavior: one client socket, three remote endpoints. ---
-    let sa = tb.with_server(|h, _| h.udp_bind(PROBE_A));
-    let sb = tb.with_server(|h, _| h.udp_bind(PROBE_B));
-    let s_alias = tb.with_server(|h, _| h.udp_bind_at(alias, PROBE_A));
+    let sa = tb.with_host(HostId::Server, |h, _| h.udp_bind(PROBE_A));
+    let sb = tb.with_host(HostId::Server, |h, _| h.udp_bind(PROBE_B));
+    let s_alias = tb.with_host(HostId::Server, |h, _| h.udp_bind_at(alias, PROBE_A));
     let client_port = 41_777;
-    let cli = tb.with_client(|h, ctx| {
+    let cli = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind(client_port);
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, PROBE_A), b"m1");
         s
     });
     tb.run_for(SETTLE);
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.udp_send(ctx, cli, SocketAddrV4::new(server_addr, PROBE_B), b"m2");
     });
     tb.run_for(SETTLE);
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.udp_send(ctx, cli, SocketAddrV4::new(alias, PROBE_A), b"m3");
     });
     tb.run_for(SETTLE);
-    let ext_a = tb.with_server(|h, _| h.udp_recv(sa)).map(|(f, _)| f.port());
-    let ext_b = tb.with_server(|h, _| h.udp_recv(sb)).map(|(f, _)| f.port());
-    let ext_alias = tb.with_server(|h, _| h.udp_recv(s_alias)).map(|(f, _)| f.port());
+    let ext_a = tb.with_host(HostId::Server, |h, _| h.udp_recv(sa)).map(|(f, _)| f.port());
+    let ext_b = tb.with_host(HostId::Server, |h, _| h.udp_recv(sb)).map(|(f, _)| f.port());
+    let ext_alias = tb.with_host(HostId::Server, |h, _| h.udp_recv(s_alias)).map(|(f, _)| f.port());
     let (ext_a, ext_b, ext_alias) =
         (ext_a.expect("probe A"), ext_b.expect("probe B"), ext_alias.expect("probe C"));
     let mapping = if ext_a == ext_b && ext_a == ext_alias {
@@ -100,30 +100,31 @@ pub fn classify_nat(tb: &mut Testbed) -> NatClassification {
 
     // --- Filtering behavior: responses from unsolicited endpoints. ---
     // Fresh binding to (server, PROBE_C).
-    let sc = tb.with_server(|h, _| h.udp_bind(PROBE_C));
-    let fcli = tb.with_client(|h, ctx| {
+    let sc = tb.with_host(HostId::Server, |h, _| h.udp_bind(PROBE_C));
+    let fcli = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, PROBE_C), b"f0");
         s
     });
     tb.run_for(SETTLE);
-    let ext = tb.with_server(|h, _| h.udp_recv(sc)).map(|(f, _)| f).expect("filter probe");
+    let ext =
+        tb.with_host(HostId::Server, |h, _| h.udp_recv(sc)).map(|(f, _)| f).expect("filter probe");
     // From the same address, different port.
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         let s = h.udp_bind(PROBE_C + 10);
         h.udp_send(ctx, s, ext, b"same-addr-other-port");
         h.udp_close(s);
     });
     tb.run_for(SETTLE);
-    let same_addr_ok = tb.with_client(|h, _| h.udp_recv(fcli)).is_some();
+    let same_addr_ok = tb.with_host(HostId::Client, |h, _| h.udp_recv(fcli)).is_some();
     // From the alias address (different address).
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         let s = h.udp_bind_at(alias, PROBE_C + 11);
         h.udp_send(ctx, s, ext, b"other-addr");
         h.udp_close(s);
     });
     tb.run_for(SETTLE);
-    let other_addr_ok = tb.with_client(|h, _| h.udp_recv(fcli)).is_some();
+    let other_addr_ok = tb.with_host(HostId::Client, |h, _| h.udp_recv(fcli)).is_some();
     let filtering = match (other_addr_ok, same_addr_ok) {
         (true, _) => EndpointScope::EndpointIndependent,
         (false, true) => EndpointScope::AddressDependent,
@@ -132,13 +133,15 @@ pub fn classify_nat(tb: &mut Testbed) -> NatClassification {
 
     // --- Hairpinning: a second client socket sends to (WAN, ext_a). ---
     let wan = tb.gateway_wan_addr();
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         h.udp_send(ctx, s, SocketAddrV4::new(wan, ext_a), b"hairpin");
     });
     tb.run_for(SETTLE);
-    let hairpinning =
-        tb.with_client(|h, _| h.udp_recv(cli)).map(|(_, data)| data == b"hairpin").unwrap_or(false);
+    let hairpinning = tb
+        .with_host(HostId::Client, |h, _| h.udp_recv(cli))
+        .map(|(_, data)| data == b"hairpin")
+        .unwrap_or(false);
 
     NatClassification { mapping, filtering, port_preservation, hairpinning }
 }

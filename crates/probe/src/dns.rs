@@ -7,7 +7,7 @@ use std::net::SocketAddrV4;
 
 use hgw_core::Duration;
 use hgw_stack::tcp::TcpState;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::dns::DnsMessage;
 use hgw_wire::ip::Protocol;
 use hgw_wire::Ipv4Packet;
@@ -34,7 +34,7 @@ pub fn measure_dns(tb: &mut Testbed) -> DnsReport {
     let proxy = tb.gateway_lan_addr();
 
     // --- UDP query ---
-    let sock = tb.with_client(|h, ctx| {
+    let sock = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         let q = DnsMessage::query_a(0x0D15, QUERY_NAME);
         h.udp_send(ctx, s, SocketAddrV4::new(proxy, 53), &q.emit());
@@ -42,34 +42,36 @@ pub fn measure_dns(tb: &mut Testbed) -> DnsReport {
     });
     tb.run_for(Duration::from_secs(2));
     let udp_answered = tb
-        .with_client(|h, _| h.udp_recv(sock))
+        .with_host(HostId::Client, |h, _| h.udp_recv(sock))
         .and_then(|(_, data)| DnsMessage::parse(&data).ok())
         .map(|m| m.is_response && !m.answers.is_empty())
         .unwrap_or(false);
-    tb.with_client(|h, _| h.udp_close(sock));
+    tb.with_host(HostId::Client, |h, _| h.udp_close(sock));
 
     // --- TCP query, with the upstream transport observed at the server ---
-    tb.with_server(|h, _| {
+    tb.with_host(HostId::Server, |h, _| {
         h.sniff_enable();
         h.sniff_take();
     });
-    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
+    let conn =
+        tb.with_host(HostId::Client, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
     tb.run_for(Duration::from_secs(2));
-    let tcp_accepted = tb.with_client(|h, _| h.tcp(conn).state() == TcpState::Established);
+    let tcp_accepted =
+        tb.with_host(HostId::Client, |h, _| h.tcp(conn).state() == TcpState::Established);
     let mut tcp_answered = false;
     let mut tcp_upstream_via_udp = None;
     if tcp_accepted {
-        tb.with_client(|h, ctx| {
+        tb.with_host(HostId::Client, |h, ctx| {
             let q = DnsMessage::query_a(0x0D16, QUERY_NAME).emit_tcp();
             h.tcp_send(ctx, conn, &q);
         });
         tb.run_for(Duration::from_secs(5));
-        let data = tb.with_client(|h, _| h.tcp_recv(conn, 4096));
+        let data = tb.with_host(HostId::Client, |h, _| h.tcp_recv(conn, 4096));
         tcp_answered = DnsMessage::parse_tcp(&data)
             .map(|(m, _)| m.is_response && !m.answers.is_empty())
             .unwrap_or(false);
         // What did the server see on port 53?
-        let frames = tb.with_server(|h, _| h.sniff_take());
+        let frames = tb.with_host(HostId::Server, |h, _| h.sniff_take());
         for (_, f) in frames {
             let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
             let l4 = ip.payload();
@@ -94,7 +96,7 @@ pub fn measure_dns(tb: &mut Testbed) -> DnsReport {
                 _ => {}
             }
         }
-        tb.with_client(|h, ctx| h.tcp_close(ctx, conn));
+        tb.with_host(HostId::Client, |h, ctx| h.tcp_close(ctx, conn));
         tb.run_for(Duration::from_millis(500));
     }
 

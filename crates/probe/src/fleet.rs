@@ -43,7 +43,7 @@
 //!   count), so the per-device cost of the shared counter and the result
 //!   lock is amortized across the whole batch.
 //! * **Per-worker arena reuse** — each worker keeps a
-//!   [`FramePool`](hgw_core::FramePool) arena; a finished device's warm
+//!   [`FramePool`] arena; a finished device's warm
 //!   frame buffers seed the next device's simulator
 //!   ([`Simulator::seed_frame_pool`](hgw_core::Simulator::seed_frame_pool)),
 //!   eliminating the per-device allocation ramp-up. Buffer capacity is
@@ -416,6 +416,7 @@ pub struct FleetRunner<'d> {
     seed: u64,
     parallelism: Parallelism,
     batch_size: Option<usize>,
+    hosts: usize,
     instrumented: bool,
     telemetry: bool,
     dump_dir: Option<&'d Path>,
@@ -432,6 +433,7 @@ impl<'d> FleetRunner<'d> {
             seed: 0,
             parallelism: Parallelism::Auto,
             batch_size: None,
+            hosts: 1,
             instrumented: false,
             telemetry: telemetry_enabled_from_env(),
             dump_dir: None,
@@ -468,6 +470,15 @@ impl<'d> FleetRunner<'d> {
             Some(n) => n.max(1),
             None => (self.devices.len() / (workers.max(1) * 8)).clamp(1, 256),
         }
+    }
+
+    /// Puts `n` DHCP LAN hosts behind every device's gateway (default 1 —
+    /// the paper's Figure 1 testbed). Household campaigns pair this with
+    /// [`measure_household`](crate::household::measure_household); results
+    /// stay identical across [`Parallelism`] modes either way.
+    pub fn hosts(mut self, n: usize) -> FleetRunner<'d> {
+        self.hosts = n.max(1);
+        self
     }
 
     /// Attaches a [`CountingObserver`] to every device's simulator and
@@ -852,7 +863,10 @@ impl<'d> FleetRunner<'d> {
         };
         let start = std::time::Instant::now();
         let brought_up = catch_unwind(AssertUnwindSafe(|| {
-            let mut tb = testbed_for(device, slot, self.seed);
+            let mut tb = Testbed::builder(device.tag, device.policy.clone())
+                .campaign_slot(slot, self.seed)
+                .hosts(self.hosts)
+                .build();
             if self.telemetry {
                 tb.sim.enable_telemetry(TelemetryConfig::from_env());
             }

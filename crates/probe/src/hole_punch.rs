@@ -10,7 +10,7 @@
 use std::net::SocketAddrV4;
 
 use hgw_core::Duration;
-use hgw_testbed::{DualNatTestbed, Side};
+use hgw_testbed::{DualNatTestbed, HostId, Side};
 
 /// Result of one hole-punching attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,15 +43,15 @@ const RENDEZVOUS_PORT: u16 = 3478;
 ///    confirm bidirectional delivery.
 pub fn attempt_hole_punch(tb: &mut DualNatTestbed) -> HolePunchResult {
     // Phase 1: registration.
-    let srv = tb.with_server(|h, _| h.udp_bind(RENDEZVOUS_PORT));
+    let srv = tb.with_host(HostId::Server, |h, _| h.udp_bind(RENDEZVOUS_PORT));
     let rendezvous_a = SocketAddrV4::new(tb.rendezvous_addr(Side::A), RENDEZVOUS_PORT);
     let rendezvous_b = SocketAddrV4::new(tb.rendezvous_addr(Side::B), RENDEZVOUS_PORT);
-    let sock_a = tb.with_client(Side::A, |h, ctx| {
+    let sock_a = tb.with_host(Side::A.into(), |h, ctx| {
         let s = h.udp_bind(40_500);
         h.udp_send(ctx, s, rendezvous_a, b"register-a");
         s
     });
-    let sock_b = tb.with_client(Side::B, |h, ctx| {
+    let sock_b = tb.with_host(Side::B.into(), |h, ctx| {
         let s = h.udp_bind(40_600);
         h.udp_send(ctx, s, rendezvous_b, b"register-b");
         s
@@ -59,7 +59,7 @@ pub fn attempt_hole_punch(tb: &mut DualNatTestbed) -> HolePunchResult {
     tb.run_for(Duration::from_millis(200));
     let mut external_a = None;
     let mut external_b = None;
-    while let Some((from, data)) = tb.with_server(|h, _| h.udp_recv(srv)) {
+    while let Some((from, data)) = tb.with_host(HostId::Server, |h, _| h.udp_recv(srv)) {
         match data.as_slice() {
             b"register-a" => external_a = Some(from),
             b"register-b" => external_b = Some(from),
@@ -80,16 +80,16 @@ pub fn attempt_hole_punch(tb: &mut DualNatTestbed) -> HolePunchResult {
     let mut a_to_b = false;
     let mut b_to_a = false;
     for _ in 0..5 {
-        tb.with_client(Side::A, |h, ctx| h.udp_send(ctx, sock_a, target_for_a, b"punch-a"));
-        tb.with_client(Side::B, |h, ctx| h.udp_send(ctx, sock_b, target_for_b, b"punch-b"));
+        tb.with_host(Side::A.into(), |h, ctx| h.udp_send(ctx, sock_a, target_for_a, b"punch-a"));
+        tb.with_host(Side::B.into(), |h, ctx| h.udp_send(ctx, sock_b, target_for_b, b"punch-b"));
         tb.run_for(Duration::from_millis(150));
-        while let Some((from, data)) = tb.with_client(Side::B, |h, _| h.udp_recv(sock_b)) {
+        while let Some((from, data)) = tb.with_host(Side::B.into(), |h, _| h.udp_recv(sock_b)) {
             if data == b"punch-a" {
                 a_to_b = true;
                 target_for_b = from;
             }
         }
-        while let Some((from, data)) = tb.with_client(Side::A, |h, _| h.udp_recv(sock_a)) {
+        while let Some((from, data)) = tb.with_host(Side::A.into(), |h, _| h.udp_recv(sock_a)) {
             if data == b"punch-b" {
                 b_to_a = true;
                 target_for_a = from;
@@ -99,7 +99,7 @@ pub fn attempt_hole_punch(tb: &mut DualNatTestbed) -> HolePunchResult {
             break;
         }
     }
-    tb.with_server(|h, _| h.udp_close(srv));
+    tb.with_host(HostId::Server, |h, _| h.udp_close(srv));
     HolePunchResult { a_to_b, b_to_a, external_a, external_b }
 }
 

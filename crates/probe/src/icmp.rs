@@ -12,7 +12,7 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 use hgw_core::Duration;
 use hgw_gateway::IcmpErrorKind;
 use hgw_stack::host::ListenerApp;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::icmp::{IcmpRepr, TimeExceededCode, UnreachCode};
 use hgw_wire::ip::{Ipv4Repr, Protocol};
 use hgw_wire::{Ipv4Packet, TcpPacket};
@@ -121,7 +121,7 @@ fn kind_matches(kind: IcmpErrorKind, msg: &IcmpRepr) -> bool {
 /// Captures the most recent packet the gateway emitted toward the server
 /// for the given protocol and destination port.
 fn hijack(tb: &mut Testbed, proto: Protocol, dst_port: u16) -> Option<Vec<u8>> {
-    let frames = tb.with_server(|h, _| h.sniff_take());
+    let frames = tb.with_host(HostId::Server, |h, _| h.sniff_take());
     frames.into_iter().rev().map(|(_, f)| f).find(|f| {
         let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { return false };
         if ip.protocol() != proto {
@@ -144,16 +144,16 @@ fn inject_and_observe(
 ) -> IcmpOutcome {
     let wan = tb.gateway_wan_addr();
     let server_addr = tb.server_addr;
-    tb.with_client(|h, _| {
+    tb.with_host(HostId::Client, |h, _| {
         h.sniff_enable();
         h.sniff_take();
         h.icmp_take_events();
     });
     let packet = Ipv4Repr::new(server_addr, wan, Protocol::Icmp).emit_with_payload(&msg.emit());
-    tb.with_server(|h, ctx| h.raw_send(ctx, packet));
+    tb.with_host(HostId::Server, |h, ctx| h.raw_send(ctx, packet));
     tb.run_for(Duration::from_secs(2));
 
-    let events = tb.with_client(|h, _| h.icmp_take_events());
+    let events = tb.with_host(HostId::Client, |h, _| h.icmp_take_events());
     for ev in &events {
         if !kind_matches(kind, &ev.message) {
             continue;
@@ -173,7 +173,7 @@ fn inject_and_observe(
     }
     // No ICMP: did a fabricated RST show up instead?
     if let Some(local_port) = watch_rst {
-        let frames = tb.with_client(|h, _| h.sniff_take());
+        let frames = tb.with_host(HostId::Client, |h, _| h.sniff_take());
         for (_, f) in frames {
             let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
             if ip.protocol() != Protocol::Tcp {
@@ -192,19 +192,19 @@ fn inject_and_observe(
 pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
     let server_addr = tb.server_addr;
     let client_addr = tb.client_addr();
-    tb.with_server(|h, _| h.sniff_enable());
+    tb.with_host(HostId::Server, |h, _| h.sniff_enable());
 
     // ---- UDP flows ----
     let mut udp = Vec::new();
     for (i, kind) in IcmpErrorKind::ALL.into_iter().enumerate() {
         let server_port = 27_000 + i as u16;
-        let srv = tb.with_server(|h, _| h.udp_bind(server_port));
-        let cli = tb.with_client(|h, ctx| {
+        let srv = tb.with_host(HostId::Server, |h, _| h.udp_bind(server_port));
+        let cli = tb.with_host(HostId::Client, |h, ctx| {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), b"icmp-probe");
             s
         });
-        let client_port = tb.with_client(|h, _| h.udp_local_port(cli));
+        let client_port = tb.with_host(HostId::Client, |h, _| h.udp_local_port(cli));
         tb.run_for(Duration::from_millis(200));
         let outcome = match hijack(tb, Protocol::Udp, server_port) {
             Some(captured) => {
@@ -214,20 +214,21 @@ pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
             None => IcmpOutcome::Dropped,
         };
         udp.push((kind, outcome));
-        tb.with_client(|h, _| h.udp_close(cli));
-        tb.with_server(|h, _| h.udp_recv(srv));
-        tb.with_server(|h, _| h.udp_close(srv));
+        tb.with_host(HostId::Client, |h, _| h.udp_close(cli));
+        tb.with_host(HostId::Server, |h, _| h.udp_recv(srv));
+        tb.with_host(HostId::Server, |h, _| h.udp_close(srv));
     }
 
     // ---- TCP flows ----
     let mut tcp = Vec::new();
     for (i, kind) in IcmpErrorKind::ALL.into_iter().enumerate() {
         let server_port = 28_000 + i as u16;
-        tb.with_server(|h, _| h.tcp_listen(server_port, ListenerApp::Manual));
-        let conn = tb
-            .with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, server_port)));
+        tb.with_host(HostId::Server, |h, _| h.tcp_listen(server_port, ListenerApp::Manual));
+        let conn = tb.with_host(HostId::Client, |h, ctx| {
+            h.tcp_connect(ctx, SocketAddrV4::new(server_addr, server_port))
+        });
         tb.run_for(Duration::from_millis(300));
-        let client_port = tb.with_client(|h, _| h.tcp(conn).local.port());
+        let client_port = tb.with_host(HostId::Client, |h, _| h.tcp(conn).local.port());
         let outcome = match hijack(tb, Protocol::Tcp, server_port) {
             Some(captured) => {
                 let msg = craft(kind, captured);
@@ -236,7 +237,7 @@ pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
             None => IcmpOutcome::Dropped,
         };
         tcp.push((kind, outcome));
-        tb.with_client(|h, ctx| {
+        tb.with_host(HostId::Client, |h, ctx| {
             h.tcp_mut(conn).abort();
             h.kick(ctx);
             h.tcp_remove(conn);
@@ -245,15 +246,15 @@ pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
     }
 
     // ---- ICMP (ping) flow: Host Unreachable about an echo request ----
-    tb.with_server(|h, _| {
+    tb.with_host(HostId::Server, |h, _| {
         h.respond_to_echo = false; // we want the request captured, not answered
         h.sniff_take();
     });
-    tb.with_client(|h, ctx| h.ping(ctx, server_addr, 0x7777, 1));
+    tb.with_host(HostId::Client, |h, ctx| h.ping(ctx, server_addr, 0x7777, 1));
     tb.run_for(Duration::from_millis(200));
     // Hijack the translated echo request (the last ICMP frame the server
     // received).
-    let frames = tb.with_server(|h, _| h.sniff_take());
+    let frames = tb.with_host(HostId::Server, |h, _| h.sniff_take());
     let captured_echo = frames.into_iter().rev().map(|(_, f)| f).find(|f| {
         Ipv4Packet::new_checked(&f[..]).map(|ip| ip.protocol() == Protocol::Icmp).unwrap_or(false)
     });
@@ -265,7 +266,7 @@ pub fn measure_icmp_matrix(tb: &mut Testbed) -> IcmpMatrix {
         }
         None => false,
     };
-    tb.with_server(|h, _| h.respond_to_echo = true);
+    tb.with_host(HostId::Server, |h, _| h.respond_to_echo = true);
 
     IcmpMatrix { tcp, udp, icmp_host_unreach }
 }

@@ -16,6 +16,7 @@ pub mod distributions;
 pub mod dns;
 pub mod fleet;
 pub mod hole_punch;
+pub mod household;
 pub mod icmp;
 pub mod keepalive;
 pub mod max_bindings;

@@ -12,7 +12,7 @@ use std::net::SocketAddrV4;
 use hgw_core::Duration;
 use hgw_stack::host::{ListenerApp, TcpHandle};
 use hgw_stack::tcp::TcpState;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// Result of the TCP-4 probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,18 +42,18 @@ const PROBE_PORT: u16 = 6200;
 /// message passing on every open connection after each batch.
 pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> MaxBindingsResult {
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| h.tcp_listen(PROBE_PORT, ListenerApp::Echo));
+    tb.with_host(HostId::Server, |h, _| h.tcp_listen(PROBE_PORT, ListenerApp::Echo));
     let mut open: Vec<TcpHandle> = Vec::new();
     let result = loop {
         // Open one batch.
         let batch_span =
-            tb.span_begin_arg("tcp4-ramp", format!("open={} target=+{}", open.len(), batch));
+            tb.span("tcp4-ramp").arg(format!("open={} target=+{}", open.len(), batch)).begin();
         let mut fresh: Vec<TcpHandle> = Vec::new();
         for _ in 0..batch {
             if open.len() + fresh.len() >= ceiling {
                 break;
             }
-            let h = tb.with_client(|h, ctx| {
+            let h = tb.with_host(HostId::Client, |h, ctx| {
                 h.tcp_connect(ctx, SocketAddrV4::new(server_addr, PROBE_PORT))
             });
             fresh.push(h);
@@ -62,12 +62,12 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
         // Long enough for a lost SYN to be retransmitted once.
         tb.run_for(Duration::from_millis(2500));
         // Which of the fresh batch established?
-        let established: Vec<TcpHandle> = tb.with_client(|h, _| {
+        let established: Vec<TcpHandle> = tb.with_host(HostId::Client, |h, _| {
             fresh.iter().copied().filter(|&c| h.tcp(c).state() == TcpState::Established).collect()
         });
         let connect_failed = established.len() < fresh.len();
         // Reap the failures.
-        tb.with_client(|h, ctx| {
+        tb.with_host(HostId::Client, |h, ctx| {
             for &c in &fresh {
                 if h.tcp(c).state() != TcpState::Established {
                     h.tcp_mut(c).abort();
@@ -82,7 +82,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
         // groups, as the real testbed daemon would, so the synchronized
         // burst does not itself overflow slow devices' buffers.
         for chunk in open.chunks(32) {
-            tb.with_client(|h, ctx| {
+            tb.with_host(HostId::Client, |h, ctx| {
                 for &c in chunk {
                     h.tcp_send(ctx, c, b"k");
                 }
@@ -90,7 +90,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
             tb.run_for(Duration::from_millis(25));
         }
         tb.run_for(Duration::from_secs(3));
-        let alive: Vec<TcpHandle> = tb.with_client(|h, _| {
+        let alive: Vec<TcpHandle> = tb.with_host(HostId::Client, |h, _| {
             open.iter().copied().filter(|&c| h.tcp_mut(c).recv(4) == b"k").collect()
         });
         let message_failed = alive.len() < open.len();
@@ -121,7 +121,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
     // table (FIN-FIN teardown), so later experiments on the same testbed
     // start from an empty table.
     for chunk in open.chunks(64) {
-        tb.with_client(|h, ctx| {
+        tb.with_host(HostId::Client, |h, ctx| {
             for &c in chunk {
                 h.tcp_close(ctx, c);
             }
@@ -129,7 +129,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
         tb.run_for(Duration::from_millis(50));
     }
     tb.run_for(Duration::from_secs(45));
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         for &c in &open {
             if h.tcp_is_alive(c) {
                 h.tcp_mut(c).abort();
@@ -138,7 +138,7 @@ pub fn measure_max_bindings(tb: &mut Testbed, batch: usize, ceiling: usize) -> M
             }
         }
     });
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         for c in h.tcp_accepted() {
             h.tcp_mut(c).abort();
             h.kick(ctx);

@@ -8,7 +8,7 @@
 use std::net::SocketAddrV4;
 
 use hgw_core::Duration;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// The UDP-4 observations for one device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,31 +33,31 @@ pub fn observe_port_reuse(
     expiry_hint: Duration,
 ) -> PortReuseObservation {
     let server_addr = tb.server_addr;
-    let srv = tb.with_server(|h, _| h.udp_bind(server_port));
-    let cli = tb.with_client(|h, ctx| {
+    let srv = tb.with_host(HostId::Server, |h, _| h.udp_bind(server_port));
+    let cli = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind(client_port);
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), b"udp4-first");
         s
     });
     tb.run_for(Duration::from_millis(200));
     let first = tb
-        .with_server(|h, _| h.udp_recv(srv))
+        .with_host(HostId::Server, |h, _| h.udp_recv(srv))
         .map(|(from, _)| from.port())
         .expect("first packet traverses");
 
     // Wait for the binding to expire, then send on the same 5-tuple.
     tb.run_for(expiry_hint);
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.udp_send(ctx, cli, SocketAddrV4::new(server_addr, server_port), b"udp4-second");
     });
     tb.run_for(Duration::from_millis(200));
     let second = tb
-        .with_server(|h, _| h.udp_recv(srv))
+        .with_host(HostId::Server, |h, _| h.udp_recv(srv))
         .map(|(from, _)| from.port())
         .expect("second packet traverses");
 
-    tb.with_client(|h, _| h.udp_close(cli));
-    tb.with_server(|h, _| h.udp_close(srv));
+    tb.with_host(HostId::Client, |h, _| h.udp_close(cli));
+    tb.with_host(HostId::Server, |h, _| h.udp_close(srv));
 
     PortReuseObservation {
         preserves_port: first == client_port,

@@ -4,7 +4,7 @@
 //! other uses of the TTL field".
 
 use hgw_core::Duration;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::ip::{Ipv4Option, Ipv4Repr, Protocol};
 use hgw_wire::{Ipv4Packet, UdpRepr};
 
@@ -30,7 +30,7 @@ pub fn probe_ip_quirks(tb: &mut Testbed) -> IpQuirks {
     const SENT_TTL: u8 = 44;
 
     // --- TTL decrement + Record Route, observed at the server. ---
-    tb.with_server(|h, _| {
+    tb.with_host(HostId::Server, |h, _| {
         h.sniff_enable();
         h.sniff_take();
         h.udp_bind(30_100);
@@ -44,12 +44,12 @@ pub fn probe_ip_quirks(tb: &mut Testbed) -> IpQuirks {
     repr.ttl = SENT_TTL;
     repr.options.push(Ipv4Option::RecordRoute { pointer: 4, data: vec![0u8; 12] });
     let pkt = repr.emit_with_payload(&dgram);
-    tb.with_client(|h, ctx| h.raw_send(ctx, pkt));
+    tb.with_host(HostId::Client, |h, ctx| h.raw_send(ctx, pkt));
     tb.run_for(Duration::from_millis(200));
 
     let mut ttl_observed = (SENT_TTL, 0);
     let mut honors_record_route = false;
-    for (_, f) in tb.with_server(|h, _| h.sniff_take()) {
+    for (_, f) in tb.with_host(HostId::Server, |h, _| h.sniff_take()) {
         let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
         if ip.protocol() != Protocol::Udp {
             continue;
@@ -72,7 +72,7 @@ pub fn probe_ip_quirks(tb: &mut Testbed) -> IpQuirks {
     let decrements_ttl = ttl_observed.1 != 0 && ttl_observed.1 < SENT_TTL;
 
     // --- TTL-1 expiry: does the gateway answer like a router? ---
-    let sock = tb.with_client(|h, _| h.udp_bind(30_201));
+    let sock = tb.with_host(HostId::Client, |h, _| h.udp_bind(30_201));
     let dgram = UdpRepr { src_port: 30_201, dst_port: 30_100 }.emit_with_payload(
         client_addr,
         server_addr,
@@ -81,12 +81,12 @@ pub fn probe_ip_quirks(tb: &mut Testbed) -> IpQuirks {
     let mut repr = Ipv4Repr::new(client_addr, server_addr, Protocol::Udp);
     repr.ttl = 1;
     let pkt = repr.emit_with_payload(&dgram);
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.icmp_take_events();
         h.raw_send(ctx, pkt);
     });
     tb.run_for(Duration::from_millis(200));
-    let ttl_expiry_reported = tb.with_client(|h, _| {
+    let ttl_expiry_reported = tb.with_host(HostId::Client, |h, _| {
         h.icmp_take_events().iter().any(|e| {
             matches!(
                 e.message,
@@ -97,7 +97,7 @@ pub fn probe_ip_quirks(tb: &mut Testbed) -> IpQuirks {
             )
         })
     });
-    tb.with_client(|h, _| h.udp_close(sock));
+    tb.with_host(HostId::Client, |h, _| h.udp_close(sock));
 
     IpQuirks { decrements_ttl, ttl_observed, honors_record_route, ttl_expiry_reported }
 }

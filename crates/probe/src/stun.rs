@@ -7,7 +7,7 @@ use std::net::SocketAddrV4;
 
 use hgw_core::Duration;
 use hgw_stack::host::UdpHandle;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::stun::{StunKind, StunMessage};
 
 /// The standard STUN port.
@@ -26,7 +26,7 @@ pub struct StunResult {
 /// Ensures a STUN responder socket exists on the server and answers one
 /// queued request, if any. Returns true if a request was answered.
 fn server_answer_one(tb: &mut Testbed, srv: UdpHandle) -> bool {
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         if let Some((from, data)) = h.udp_recv(srv) {
             if let Ok(req) = StunMessage::parse(&data) {
                 if req.kind == StunKind::BindingRequest {
@@ -44,12 +44,12 @@ fn server_answer_one(tb: &mut Testbed, srv: UdpHandle) -> bool {
 /// result, or `None` if no response arrived (e.g. the NAT dropped it).
 pub fn stun_binding(tb: &mut Testbed, seed: u64) -> Option<StunResult> {
     let server_addr = tb.server_addr;
-    let srv = tb.with_server(|h, _| h.udp_bind(STUN_PORT));
+    let srv = tb.with_host(HostId::Server, |h, _| h.udp_bind(STUN_PORT));
     let mut tid = [0u8; 12];
     for (i, b) in tid.iter_mut().enumerate() {
         *b = (seed as u8).wrapping_add(i as u8).wrapping_mul(31);
     }
-    let cli = tb.with_client(|h, ctx| {
+    let cli = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         let req = StunMessage::binding_request(tid);
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, STUN_PORT), &req.emit());
@@ -58,7 +58,7 @@ pub fn stun_binding(tb: &mut Testbed, seed: u64) -> Option<StunResult> {
     tb.run_for(Duration::from_millis(100));
     server_answer_one(tb, srv);
     tb.run_for(Duration::from_millis(100));
-    let result = tb.with_client(|h, _| h.udp_recv(cli)).and_then(|(_, data)| {
+    let result = tb.with_host(HostId::Client, |h, _| h.udp_recv(cli)).and_then(|(_, data)| {
         let resp = StunMessage::parse(&data).ok()?;
         if resp.kind != StunKind::BindingResponse || resp.transaction_id != tid {
             return None;
@@ -66,8 +66,8 @@ pub fn stun_binding(tb: &mut Testbed, seed: u64) -> Option<StunResult> {
         let reflexive = resp.xor_mapped_address?;
         Some(StunResult { reflexive, literal_matches: resp.mapped_address == Some(reflexive) })
     });
-    tb.with_client(|h, _| h.udp_close(cli));
-    tb.with_server(|h, _| h.udp_close(srv));
+    tb.with_host(HostId::Client, |h, _| h.udp_close(cli));
+    tb.with_host(HostId::Server, |h, _| h.udp_close(srv));
     result
 }
 

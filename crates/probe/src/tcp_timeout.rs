@@ -11,7 +11,7 @@ use std::net::SocketAddrV4;
 use hgw_core::Duration;
 use hgw_stack::host::ListenerApp;
 use hgw_stack::tcp::TcpState;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// Grace period for segments to cross the testbed. Kept short: the idle
 /// period is measured from the last handshake segment, so this wait is
@@ -46,37 +46,38 @@ const PROBE_PORT: u16 = 6100;
 /// One trial: is the binding still alive after `idle`?
 fn trial(tb: &mut Testbed, idle: Duration) -> bool {
     let server_addr = tb.server_addr;
-    let conn =
-        tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, PROBE_PORT)));
+    let conn = tb.with_host(HostId::Client, |h, ctx| {
+        h.tcp_connect(ctx, SocketAddrV4::new(server_addr, PROBE_PORT))
+    });
     tb.run_for(PROPAGATION);
-    if tb.with_client(|h, _| h.tcp(conn).state()) != TcpState::Established {
+    if tb.with_host(HostId::Client, |h, _| h.tcp(conn).state()) != TcpState::Established {
         // Could not even connect — treat as dead and clean up.
-        tb.with_client(|h, ctx| {
+        tb.with_host(HostId::Client, |h, ctx| {
             h.tcp_mut(conn).abort();
             h.kick(ctx);
             h.tcp_remove(conn);
         });
         return false;
     }
-    let accepted = tb.with_server(|h, _| h.tcp_accepted());
+    let accepted = tb.with_host(HostId::Server, |h, _| h.tcp_accepted());
     let srv_conn = *accepted.last().expect("server accepted the connection");
 
     tb.run_for(idle);
 
     // Server pushes a probe message over the idle connection.
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         h.tcp_send(ctx, srv_conn, b"binding-probe");
     });
     tb.run_for(PROPAGATION);
-    let alive = tb.with_client(|h, _| h.tcp_mut(conn).recv(64) == b"binding-probe");
+    let alive = tb.with_host(HostId::Client, |h, _| h.tcp_mut(conn).recv(64) == b"binding-probe");
 
     // Tear down (aborting avoids FIN exchanges keeping expired state warm).
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.tcp_mut(conn).abort();
         h.kick(ctx);
         h.tcp_remove(conn);
     });
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         h.tcp_mut(srv_conn).abort();
         h.kick(ctx);
         h.tcp_remove(srv_conn);
@@ -89,7 +90,7 @@ fn trial(tb: &mut Testbed, idle: Duration) -> bool {
 /// Measures the TCP binding timeout with exponential bounding followed by
 /// bisection, stopping at the 24-hour cutoff.
 pub fn measure_tcp1(tb: &mut Testbed) -> TcpTimeoutMeasurement {
-    tb.with_server(|h, _| h.tcp_listen(PROBE_PORT, ListenerApp::Manual));
+    tb.with_host(HostId::Server, |h, _| h.tcp_listen(PROBE_PORT, ListenerApp::Manual));
     let mut trials = 0;
     let mut lo = Duration::ZERO;
     let mut hi = None;

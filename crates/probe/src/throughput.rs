@@ -12,7 +12,7 @@ use std::net::SocketAddrV4;
 use hgw_core::Duration;
 use hgw_stack::host::{ListenerApp, TcpHandle};
 use hgw_stack::tcp::SinkStats;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// Stamp interval (the paper embeds a timestamp every 2 KB).
 pub const STAMP_EVERY: usize = 2048;
@@ -77,26 +77,28 @@ struct Flow {
 /// establishment); for downloads the server side sends.
 fn setup_flow(tb: &mut Testbed, port: u16, dir: Direction, bytes: u64) -> Flow {
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| {
+    tb.with_host(HostId::Server, |h, _| {
         h.tcp_accepted(); // drain any stale backlog from earlier probes
         h.tcp_listen(port, ListenerApp::Manual);
     });
-    let cli = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, port)));
+    let cli = tb.with_host(HostId::Client, |h, ctx| {
+        h.tcp_connect(ctx, SocketAddrV4::new(server_addr, port))
+    });
     tb.run_for(Duration::from_millis(100));
-    let accepted = tb.with_server(|h, _| h.tcp_accepted());
+    let accepted = tb.with_host(HostId::Server, |h, _| h.tcp_accepted());
     let srv = *accepted.last().expect("bulk connection accepted");
     match dir {
         Direction::Upload => {
-            tb.with_server(|h, _| h.tcp_mut(srv).set_sink(STAMP_EVERY));
-            tb.with_client(|h, ctx| {
+            tb.with_host(HostId::Server, |h, _| h.tcp_mut(srv).set_sink(STAMP_EVERY));
+            tb.with_host(HostId::Client, |h, ctx| {
                 h.tcp_mut(cli).set_bulk_source(bytes, STAMP_EVERY);
                 h.kick(ctx);
             });
             Flow { sender_is_client: true, receiver: srv }
         }
         Direction::Download => {
-            tb.with_client(|h, _| h.tcp_mut(cli).set_sink(STAMP_EVERY));
-            tb.with_server(|h, ctx| {
+            tb.with_host(HostId::Client, |h, _| h.tcp_mut(cli).set_sink(STAMP_EVERY));
+            tb.with_host(HostId::Server, |h, ctx| {
                 h.tcp_mut(srv).set_bulk_source(bytes, STAMP_EVERY);
                 h.kick(ctx);
             });
@@ -108,9 +110,13 @@ fn setup_flow(tb: &mut Testbed, port: u16, dir: Direction, bytes: u64) -> Flow {
 fn receiver_stats(tb: &mut Testbed, flow: &Flow) -> SinkStats {
     let h = flow.receiver;
     if flow.sender_is_client {
-        tb.with_server(|host, _| host.tcp(h).sink_stats().expect("sink enabled").clone())
+        tb.with_host(HostId::Server, |host, _| {
+            host.tcp(h).sink_stats().expect("sink enabled").clone()
+        })
     } else {
-        tb.with_client(|host, _| host.tcp(h).sink_stats().expect("sink enabled").clone())
+        tb.with_host(HostId::Client, |host, _| {
+            host.tcp(h).sink_stats().expect("sink enabled").clone()
+        })
     }
 }
 
@@ -120,9 +126,13 @@ fn receiver_stats(tb: &mut Testbed, flow: &Flow) -> SinkStats {
 fn receiver_bytes(tb: &mut Testbed, flow: &Flow) -> u64 {
     let h = flow.receiver;
     if flow.sender_is_client {
-        tb.with_server(|host, _| host.tcp(h).sink_stats().expect("sink enabled").bytes)
+        tb.with_host(HostId::Server, |host, _| {
+            host.tcp(h).sink_stats().expect("sink enabled").bytes
+        })
     } else {
-        tb.with_client(|host, _| host.tcp(h).sink_stats().expect("sink enabled").bytes)
+        tb.with_host(HostId::Client, |host, _| {
+            host.tcp(h).sink_stats().expect("sink enabled").bytes
+        })
     }
 }
 
@@ -148,7 +158,7 @@ pub fn run_transfer(tb: &mut Testbed, port: u16, dir: Direction, bytes: u64) -> 
         Direction::Upload => "tcp2-upload",
         Direction::Download => "tcp2-download",
     };
-    let span = tb.span_begin_arg(span_name, format!("{bytes} B"));
+    let span = tb.span(span_name).arg(format!("{bytes} B")).begin();
     let start = tb.now().as_secs_f64();
     let flow = setup_flow(tb, port, dir, bytes);
     let budget = Duration::from_secs(60 * (bytes * 8 / 100_000_000).max(1) + 30);
@@ -171,7 +181,7 @@ pub fn run_battery(tb: &mut Testbed, bytes: u64) -> ThroughputReport {
     let download = run_transfer(tb, 5002, Direction::Download, bytes);
 
     // Bidirectional: two flows at once.
-    let span = tb.span_begin_arg("tcp2-bidir", format!("2 x {bytes} B"));
+    let span = tb.span("tcp2-bidir").arg(format!("2 x {bytes} B")).begin();
     let start = tb.now().as_secs_f64();
     let up_flow = setup_flow(tb, 5003, Direction::Upload, bytes);
     let down_flow = setup_flow(tb, 5004, Direction::Download, bytes);

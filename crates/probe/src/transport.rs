@@ -7,7 +7,7 @@ use std::net::SocketAddrV4;
 use hgw_core::Duration;
 use hgw_stack::dccp::DccpState;
 use hgw_stack::sctp::SctpState;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::ip::Protocol;
 use hgw_wire::Ipv4Packet;
 
@@ -50,7 +50,7 @@ fn observe(
     proto: Protocol,
     client_addr: std::net::Ipv4Addr,
 ) -> TranslationObservation {
-    let frames = tb.with_server(|h, _| h.sniff_take());
+    let frames = tb.with_host(HostId::Server, |h, _| h.sniff_take());
     let mut obs = TranslationObservation::NothingArrived;
     for (_, f) in frames {
         let Ok(ip) = Ipv4Packet::new_checked(&f[..]) else { continue };
@@ -69,7 +69,7 @@ fn observe(
 pub fn measure_transport_support(tb: &mut Testbed) -> TransportSupport {
     let server_addr = tb.server_addr;
     let client_addr = tb.client_addr();
-    tb.with_server(|h, _| {
+    tb.with_host(HostId::Server, |h, _| {
         h.sctp_listen(SCTP_PORT);
         h.dccp_listen(DCCP_PORT);
         h.sniff_enable();
@@ -77,24 +77,25 @@ pub fn measure_transport_support(tb: &mut Testbed) -> TransportSupport {
     });
 
     // SCTP.
-    let sctp =
-        tb.with_client(|h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(server_addr, SCTP_PORT)));
+    let sctp = tb.with_host(HostId::Client, |h, ctx| {
+        h.sctp_connect(ctx, SocketAddrV4::new(server_addr, SCTP_PORT))
+    });
     tb.run_for(Duration::from_secs(2));
-    tb.with_client(|h, ctx| h.sctp_send(ctx, sctp, b"sctp-data".to_vec()));
+    tb.with_host(HostId::Client, |h, ctx| h.sctp_send(ctx, sctp, b"sctp-data".to_vec()));
     tb.run_for(WAIT);
-    let sctp_works = tb.with_client(|h, _| {
+    let sctp_works = tb.with_host(HostId::Client, |h, _| {
         h.sctp(sctp).state() == SctpState::Established && !h.sctp(sctp).received.is_empty()
     });
     let sctp_observation = observe(tb, Protocol::Sctp, client_addr);
 
     // DCCP.
-    let dccp = tb.with_client(|h, ctx| {
+    let dccp = tb.with_host(HostId::Client, |h, ctx| {
         h.dccp_connect(ctx, SocketAddrV4::new(server_addr, DCCP_PORT), 0x4847_5750)
     });
     tb.run_for(Duration::from_secs(2));
-    tb.with_client(|h, ctx| h.dccp_send(ctx, dccp, b"dccp-data".to_vec()));
+    tb.with_host(HostId::Client, |h, ctx| h.dccp_send(ctx, dccp, b"dccp-data".to_vec()));
     tb.run_for(WAIT);
-    let dccp_works = tb.with_client(|h, _| {
+    let dccp_works = tb.with_host(HostId::Client, |h, _| {
         h.dccp(dccp).state() == DccpState::Established && !h.dccp(dccp).received.is_empty()
     });
     let dccp_observation = observe(tb, Protocol::Dccp, client_addr);

@@ -10,7 +10,7 @@ use std::net::SocketAddrV4;
 
 use hgw_core::Duration;
 use hgw_stack::host::UdpHandle;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 
 /// Probe payload for outbound packets.
 const PING: &[u8] = b"hgw-probe";
@@ -48,34 +48,34 @@ pub struct TimeoutMeasurement {
 /// server's view of the mapping (the external endpoint).
 fn open_flow(tb: &mut Testbed, server_port: u16) -> (UdpHandle, UdpHandle, SocketAddrV4) {
     let server_addr = tb.server_addr;
-    let srv = tb.with_server(|h, _| h.udp_bind(server_port));
-    let cli = tb.with_client(|h, ctx| {
+    let srv = tb.with_host(HostId::Server, |h, _| h.udp_bind(server_port));
+    let cli = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, server_port), PING);
         s
     });
     tb.run_for(PROPAGATION);
     let external = tb
-        .with_server(|h, _| h.udp_recv(srv))
+        .with_host(HostId::Server, |h, _| h.udp_recv(srv))
         .map(|(from, _)| from)
         .expect("probe packet must traverse a fresh binding");
     (cli, srv, external)
 }
 
 fn close_flow(tb: &mut Testbed, cli: UdpHandle, srv: UdpHandle) {
-    tb.with_client(|h, _| h.udp_close(cli));
-    tb.with_server(|h, _| h.udp_close(srv));
+    tb.with_host(HostId::Client, |h, _| h.udp_close(cli));
+    tb.with_host(HostId::Server, |h, _| h.udp_close(srv));
 }
 
 /// One UDP-1 trial: create a binding, sleep, have the server respond;
 /// returns true if the binding was still alive.
 fn udp1_trial(tb: &mut Testbed, server_port: u16, sleep: Duration) -> bool {
-    let span = tb.span_begin_arg("udp1-trial", format!("sleep={}s", sleep.as_secs()));
+    let span = tb.span("udp1-trial").arg(format!("sleep={}s", sleep.as_secs())).begin();
     let (cli, srv, external) = open_flow(tb, server_port);
     tb.run_for(sleep);
-    tb.with_server(|h, ctx| h.udp_send(ctx, srv, external, PONG));
+    tb.with_host(HostId::Server, |h, ctx| h.udp_send(ctx, srv, external, PONG));
     tb.run_for(PROPAGATION);
-    let alive = tb.with_client(|h, _| h.udp_recv(cli)).is_some();
+    let alive = tb.with_host(HostId::Client, |h, _| h.udp_recv(cli)).is_some();
     close_flow(tb, cli, srv);
     tb.span_end(span);
     alive
@@ -92,7 +92,7 @@ fn stagger(tb: &mut Testbed, trial: u32) {
 /// UDP-1: the paper's modified binary search. Every trial uses a fresh
 /// flow, so each search step starts from the same state as the first.
 pub fn measure_udp1(tb: &mut Testbed, server_port: u16) -> TimeoutMeasurement {
-    let search_span = tb.span_begin("udp1-search");
+    let search_span = tb.span("udp1-search").begin();
     let mut trials = 0;
     // Establish bounds by exponential probing.
     let mut lo = Duration::ZERO; // longest observed lifetime (alive)
@@ -142,22 +142,22 @@ pub fn measure_refresh(
     let mut trials = 0;
     loop {
         tb.run_for(gap);
-        tb.with_server(|h, ctx| h.udp_send(ctx, srv, external, PONG));
+        tb.with_host(HostId::Server, |h, ctx| h.udp_send(ctx, srv, external, PONG));
         tb.run_for(PROPAGATION);
         trials += 1;
-        let got = tb.with_client(|h, _| h.udp_recv(cli)).is_some();
+        let got = tb.with_host(HostId::Client, |h, _| h.udp_recv(cli)).is_some();
         if !got {
             break;
         }
         last_ok = gap;
         if scenario == UdpScenario::Bidirectional {
             // The response triggers another outbound packet (UDP-3).
-            tb.with_client(|h, ctx| {
+            tb.with_host(HostId::Client, |h, ctx| {
                 h.udp_send(ctx, cli, SocketAddrV4::new(server_addr, server_port), PING);
             });
             tb.run_for(PROPAGATION);
             // Drain the server side so mappings stay observable.
-            while tb.with_server(|h, _| h.udp_recv(srv)).is_some() {}
+            while tb.with_host(HostId::Server, |h, _| h.udp_recv(srv)).is_some() {}
         }
         gap += step;
         if gap > UDP_CAP {

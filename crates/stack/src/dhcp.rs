@@ -150,6 +150,9 @@ pub struct DhcpClient {
     pub lease: Option<DhcpLease>,
     rtx_deadline: Option<Instant>,
     outbox: Vec<DhcpMessage>,
+    auto_renew: bool,
+    /// Lease renewals completed (ACKs received while already bound).
+    pub renewals: u64,
 }
 
 const RTX_INTERVAL: Duration = Duration::from_secs(3);
@@ -165,12 +168,22 @@ impl DhcpClient {
             lease: None,
             rtx_deadline: None,
             outbox: Vec::new(),
+            auto_renew: false,
+            renewals: 0,
         }
     }
 
     /// Current state.
     pub fn state(&self) -> DhcpClientState {
         self.state
+    }
+
+    /// Enables lease renewal: once bound, the client re-REQUESTs its
+    /// address at T1 (half the lease), per RFC 2131 §4.4.5. Off by default
+    /// so the seed testbed's event sequence is untouched (its probes never
+    /// run a lease-length of virtual time, but household runs may).
+    pub fn set_auto_renew(&mut self, on: bool) {
+        self.auto_renew = on;
     }
 
     /// Begins address acquisition.
@@ -201,8 +214,37 @@ impl DhcpClient {
                 }
                 self.rtx_deadline = Some(now + RTX_INTERVAL);
             }
-            DhcpClientState::Bound => self.rtx_deadline = None,
+            DhcpClientState::Bound => {
+                if self.auto_renew && self.lease.is_some() {
+                    // T1 renewal: re-REQUEST our own address from the
+                    // granting server; retry on the DORA cadence until the
+                    // ACK pushes the deadline out to the next half-lease.
+                    self.push_renewal();
+                    self.rtx_deadline = Some(now + RTX_INTERVAL);
+                } else {
+                    self.rtx_deadline = None;
+                }
+            }
         }
+    }
+
+    fn push_renewal(&mut self) {
+        let Some(lease) = &self.lease else { return };
+        let mut req = DhcpMessage::discover(self.xid, self.chaddr);
+        req.message_type = DhcpMessageType::Request;
+        req.requested_ip = Some(lease.addr);
+        req.server_id = Some(lease.server);
+        self.outbox.push(req);
+    }
+
+    /// The renewal deadline the client will act on in the Bound state, if
+    /// auto-renew is enabled (half the lease, measured from the ACK).
+    fn renew_deadline(&self, now: Instant) -> Option<Instant> {
+        if !self.auto_renew {
+            return None;
+        }
+        let lease = self.lease.as_ref()?;
+        Some(now + Duration::from_secs(u64::from(lease.lease_secs) / 2))
     }
 
     fn push_request(&mut self, offer: &DhcpMessage) {
@@ -236,7 +278,16 @@ impl DhcpClient {
                     server: msg.server_id.unwrap_or(msg.server_addr),
                 });
                 self.state = DhcpClientState::Bound;
-                self.rtx_deadline = None;
+                self.rtx_deadline = self.renew_deadline(now);
+            }
+            (DhcpClientState::Bound, DhcpMessageType::Ack) => {
+                if let Some(lease) = &mut self.lease {
+                    // Renewal ACK: same address (the server allocates by
+                    // chaddr), refreshed clock.
+                    lease.lease_secs = msg.lease_secs.unwrap_or(lease.lease_secs);
+                    self.renewals += 1;
+                    self.rtx_deadline = self.renew_deadline(now);
+                }
             }
             (_, DhcpMessageType::Nak) => {
                 self.state = DhcpClientState::Selecting;
@@ -334,6 +385,57 @@ mod tests {
         cli.on_timer(now);
         assert_eq!(cli.dispatch().len(), 1, "DISCOVER should be retransmitted");
         assert_eq!(cli.state(), DhcpClientState::Selecting);
+    }
+
+    #[test]
+    fn auto_renew_rerequests_at_half_lease() {
+        let mut srv = server();
+        let mut cli = DhcpClient::new([2, 0, 0, 0, 0, 1], 0x99);
+        cli.set_auto_renew(true);
+        let mut now = Instant::ZERO;
+        cli.start(now);
+        for _ in 0..4 {
+            for m in cli.dispatch() {
+                if let Some(reply) = srv.process(&m) {
+                    cli.process(now, &reply);
+                }
+            }
+        }
+        assert_eq!(cli.state(), DhcpClientState::Bound);
+        let addr = cli.lease.as_ref().unwrap().addr;
+        // T1 = lease/2 from the ACK.
+        let t1 = cli.poll_at().expect("renewal timer armed");
+        assert_eq!(t1, Instant::ZERO + Duration::from_secs(86_400 / 2));
+        // Fire T1: a unicast-style REQUEST for our own address goes out.
+        now = t1;
+        cli.on_timer(now);
+        let msgs = cli.dispatch();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].message_type, DhcpMessageType::Request);
+        assert_eq!(msgs[0].requested_ip, Some(addr));
+        // The server ACKs the same address; the next T1 is re-armed.
+        let ack = srv.process(&msgs[0]).unwrap();
+        cli.process(now, &ack);
+        assert_eq!(cli.renewals, 1);
+        assert_eq!(cli.lease.as_ref().unwrap().addr, addr);
+        assert_eq!(cli.poll_at(), Some(now + Duration::from_secs(86_400 / 2)));
+    }
+
+    #[test]
+    fn without_auto_renew_bound_disarms_timers() {
+        let mut srv = server();
+        let mut cli = DhcpClient::new([2, 0, 0, 0, 0, 2], 0x77);
+        let now = Instant::ZERO;
+        cli.start(now);
+        for _ in 0..4 {
+            for m in cli.dispatch() {
+                if let Some(reply) = srv.process(&m) {
+                    cli.process(now, &reply);
+                }
+            }
+        }
+        assert_eq!(cli.state(), DhcpClientState::Bound);
+        assert_eq!(cli.poll_at(), None, "seed behavior: no timers once bound");
     }
 
     #[test]

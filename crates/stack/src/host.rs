@@ -594,6 +594,24 @@ impl Host {
         self.dhcp_client.as_ref().and_then(|(_, c)| c.lease.as_ref())
     }
 
+    /// Whether a DHCP client is configured on this host.
+    pub fn dhcp_client_enabled(&self) -> bool {
+        self.dhcp_client.is_some()
+    }
+
+    /// Turns lease auto-renewal on for the configured DHCP client (no-op
+    /// without one). See [`crate::dhcp::DhcpClient::set_auto_renew`].
+    pub fn dhcp_auto_renew(&mut self, on: bool) {
+        if let Some((_, c)) = &mut self.dhcp_client {
+            c.set_auto_renew(on);
+        }
+    }
+
+    /// Lease renewals the DHCP client has completed.
+    pub fn dhcp_renewals(&self) -> u64 {
+        self.dhcp_client.as_ref().map_or(0, |(_, c)| c.renewals)
+    }
+
     // ---------------- polling & timers ----------------
 
     fn poll(&mut self, ctx: &mut NodeCtx) {

@@ -21,8 +21,10 @@ pub mod host;
 pub mod icmp;
 pub mod iface;
 pub mod sctp;
+pub mod switch;
 pub mod tcp;
 
 pub use host::{DccpHandle, Host, ListenerApp, SctpHandle, TcpHandle, UdpHandle};
 pub use iface::{IfaceConfig, RoutingTable};
+pub use switch::Switch;
 pub use tcp::{TcpConfig, TcpError, TcpSocket, TcpState};

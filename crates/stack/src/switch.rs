@@ -1,0 +1,199 @@
+//! A learning LAN switch for multi-host topologies.
+//!
+//! The paper's Figure 1 wires exactly one client to each gateway, so the
+//! seed testbed used point-to-point links only. Household topologies put
+//! M hosts behind one gateway; since simulator links are strictly
+//! point-to-point, the fan-in is modelled by this switch node.
+//!
+//! Frames in this project are raw IPv4 packets (no Ethernet header), so
+//! the switch learns *source IP addresses* instead of MAC addresses:
+//!
+//! * a frame whose source is a real unicast address pins that address to
+//!   its ingress port (hosts can move; the latest sighting wins);
+//! * a frame to a learned unicast destination is forwarded on that port
+//!   alone;
+//! * broadcasts (`255.255.255.255`, e.g. DHCP) and frames to unknown
+//!   destinations flood every port except the ingress one — exactly a
+//!   real switch's behavior before its CAM table warms up.
+//!
+//! The switch is entirely deterministic: it draws no randomness and keeps
+//! its learning table keyed by exact addresses, so forwarding decisions
+//! depend only on the frame sequence.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use hgw_core::{impl_node_downcast, Node, NodeCtx, PortId};
+
+/// A learning, flooding LAN switch (see the module docs for semantics).
+#[derive(Debug)]
+pub struct Switch {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    ports: usize,
+    table: HashMap<Ipv4Addr, PortId>,
+    /// Frames forwarded to a single learned port.
+    pub forwarded: u64,
+    /// Frames flooded to all other ports (broadcast or unknown unicast).
+    pub flooded: u64,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports (`PortId(0)..PortId(ports)`).
+    pub fn new(name: &str, ports: usize) -> Switch {
+        Switch { name: name.to_string(), ports, table: HashMap::new(), forwarded: 0, flooded: 0 }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The port an address was last learned on, if any.
+    pub fn learned_port(&self, addr: Ipv4Addr) -> Option<PortId> {
+        self.table.get(&addr).copied()
+    }
+
+    /// Number of learned addresses.
+    pub fn learned_count(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Node for Switch {
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: &mut Vec<u8>) {
+        // A raw IPv4 header is at least 20 bytes; src/dst live at fixed
+        // offsets. Malformed runts are dropped silently (endpoints verify
+        // checksums themselves).
+        if frame.len() < 20 {
+            return;
+        }
+        let src = Ipv4Addr::new(frame[12], frame[13], frame[14], frame[15]);
+        let dst = Ipv4Addr::new(frame[16], frame[17], frame[18], frame[19]);
+        if !src.is_unspecified() && src != Ipv4Addr::BROADCAST {
+            self.table.insert(src, port);
+        }
+        match self.table.get(&dst) {
+            Some(&out) if dst != Ipv4Addr::BROADCAST => {
+                if out != port {
+                    self.forwarded += 1;
+                    ctx.send_frame(out, std::mem::take(frame));
+                }
+            }
+            _ => {
+                self.flooded += 1;
+                for p in 0..self.ports {
+                    if PortId(p) != port {
+                        let mut copy = ctx.alloc_frame(frame.len());
+                        copy.extend_from_slice(frame);
+                        ctx.send_frame(PortId(p), copy);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, _ctx: &mut NodeCtx, _token: hgw_core::TimerToken) {}
+
+    impl_node_downcast!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hgw_core::{Duration, LinkConfig, NodeId, Simulator, TimerToken};
+
+    /// Records every frame it receives; sends one prepared frame at boot.
+    struct Tap {
+        emit: Option<Vec<u8>>,
+        got: Vec<Vec<u8>>,
+    }
+
+    impl Node for Tap {
+        fn start(&mut self, ctx: &mut NodeCtx) {
+            if let Some(f) = self.emit.take() {
+                ctx.send_frame(PortId(0), f);
+            }
+        }
+        fn handle_frame(&mut self, _ctx: &mut NodeCtx, _port: PortId, frame: &mut Vec<u8>) {
+            self.got.push(std::mem::take(frame));
+        }
+        fn handle_timer(&mut self, _ctx: &mut NodeCtx, _token: TimerToken) {}
+        impl_node_downcast!();
+    }
+
+    fn frame(src: [u8; 4], dst: [u8; 4]) -> Vec<u8> {
+        let mut f = vec![0u8; 20];
+        f[12..16].copy_from_slice(&src);
+        f[16..20].copy_from_slice(&dst);
+        f
+    }
+
+    /// 3-port switch with a Tap on each port; `emits[i]` is sent by tap i.
+    fn wired(emits: [Option<Vec<u8>>; 3]) -> (Simulator, NodeId, [NodeId; 3]) {
+        let mut sim = Simulator::new(7);
+        let sw = sim.add_node(Box::new(Switch::new("sw", 3)));
+        let taps = emits.map(|emit| sim.add_node(Box::new(Tap { emit, got: Vec::new() })));
+        for (i, tap) in taps.iter().enumerate() {
+            sim.connect(sw, PortId(i), *tap, PortId(0), LinkConfig::ethernet_100m());
+        }
+        sim.boot();
+        sim.run_for(Duration::from_millis(10));
+        (sim, sw, taps)
+    }
+
+    fn got(sim: &mut Simulator, tap: NodeId) -> Vec<Vec<u8>> {
+        sim.with_node::<Tap, _>(tap, |t, _| std::mem::take(&mut t.got))
+    }
+
+    #[test]
+    fn floods_unknown_and_learns_source() {
+        let f = frame([10, 0, 0, 1], [10, 0, 0, 2]);
+        let (mut sim, sw, taps) = wired([Some(f), None, None]);
+        // Unknown destination: flooded to the two other ports only.
+        assert!(got(&mut sim, taps[0]).is_empty());
+        assert_eq!(got(&mut sim, taps[1]).len(), 1);
+        assert_eq!(got(&mut sim, taps[2]).len(), 1);
+        sim.with_node::<Switch, _>(sw, |s, _| {
+            assert_eq!(s.learned_port(Ipv4Addr::new(10, 0, 0, 1)), Some(PortId(0)));
+            assert_eq!(s.flooded, 1);
+        });
+        // A reply to the learned address goes out port 0 alone.
+        sim.with_node::<Tap, _>(taps[2], |_, ctx| {
+            ctx.send_frame(PortId(0), frame([10, 0, 0, 2], [10, 0, 0, 1]));
+        });
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(got(&mut sim, taps[0]).len(), 1);
+        assert!(got(&mut sim, taps[1]).is_empty());
+        sim.with_node::<Switch, _>(sw, |s, _| assert_eq!(s.forwarded, 1));
+    }
+
+    #[test]
+    fn broadcast_always_floods_and_unspecified_is_not_learned() {
+        let f = frame([0, 0, 0, 0], [255, 255, 255, 255]);
+        let (mut sim, sw, taps) = wired([None, Some(f), None]);
+        assert_eq!(got(&mut sim, taps[0]).len(), 1);
+        assert!(got(&mut sim, taps[1]).is_empty());
+        assert_eq!(got(&mut sim, taps[2]).len(), 1);
+        sim.with_node::<Switch, _>(sw, |s, _| assert_eq!(s.learned_count(), 0));
+    }
+
+    #[test]
+    fn runt_frames_are_dropped() {
+        let (mut sim, _, taps) = wired([Some(vec![1, 2, 3]), None, None]);
+        assert!(got(&mut sim, taps[1]).is_empty());
+        assert!(got(&mut sim, taps[2]).is_empty());
+    }
+
+    #[test]
+    fn relearning_moves_an_address() {
+        let f = frame([10, 0, 0, 1], [10, 0, 0, 9]);
+        let (mut sim, sw, _) = wired([Some(f.clone()), Some(f), None]);
+        sim.with_node::<Switch, _>(sw, |s, _| {
+            // Both taps emitted the same source; the later sighting wins.
+            // (Delivery order between equal-boot emissions is the node add
+            // order, so tap 1's copy arrives second.)
+            assert_eq!(s.learned_port(Ipv4Addr::new(10, 0, 0, 1)), Some(PortId(1)));
+        });
+    }
+}

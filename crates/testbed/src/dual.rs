@@ -10,14 +10,23 @@
 //! The rendezvous server plays both the STUN server (it reports each
 //! client's external endpoint) and "the Internet" (it forwards packets
 //! between the two gateway subnets).
+//!
+//! Since PR 7 this is a preset over
+//! [`TopologyBuilder`], not a parallel hand-rolled
+//! implementation: the node graph (and therefore every RNG stream and
+//! event sequence) is identical to the seed's, but nested-NAT variants are
+//! now one `link` call away. Hosts are addressed with
+//! [`HostId`] — `Side` converts via `side.into()`.
 
 use std::net::Ipv4Addr;
 
-use hgw_core::{Duration, LinkConfig, NodeCtx, NodeId, PortId, Simulator};
+use hgw_core::{LinkConfig, NodeCtx, NodeId, PortId};
 use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
 use hgw_stack::dhcp::DhcpServerConfig;
 use hgw_stack::host::Host;
 use hgw_stack::iface::IfaceConfig;
+
+use crate::topology::{HostId, Topology, TopologyBuilder};
 
 /// Which side of the dual topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,10 +38,11 @@ pub enum Side {
 }
 
 /// Two clients behind two (possibly different) gateways, joined by a
-/// routing rendezvous server.
+/// routing rendezvous server. Derefs to [`Topology`] for the generic
+/// surface (`sim`, `run_for`, `with_node`, …).
 pub struct DualNatTestbed {
-    /// The simulator owning all five nodes.
-    pub sim: Simulator,
+    /// The underlying topology.
+    pub topo: Topology,
     /// Client behind gateway A.
     pub client_a: NodeId,
     /// Client behind gateway B.
@@ -49,6 +59,19 @@ pub struct DualNatTestbed {
     pub server_addr_b: Ipv4Addr,
 }
 
+impl std::ops::Deref for DualNatTestbed {
+    type Target = Topology;
+    fn deref(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl std::ops::DerefMut for DualNatTestbed {
+    fn deref_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+}
+
 const IDX_A: u8 = 101;
 const IDX_B: u8 = 102;
 
@@ -61,7 +84,7 @@ impl DualNatTestbed {
         policy_b: GatewayPolicy,
         seed: u64,
     ) -> DualNatTestbed {
-        let mut sim = Simulator::new(seed);
+        let mut b = TopologyBuilder::new(seed);
         let server_addr_a = Ipv4Addr::new(10, 0, IDX_A, 1);
         let server_addr_b = Ipv4Addr::new(10, 0, IDX_B, 1);
 
@@ -89,69 +112,82 @@ impl DualNatTestbed {
         client_a.enable_dhcp_client(PortId(0), [0x02, 0xAA, 0, 0, 0, IDX_A]);
         let mut client_b = Host::new("client-b");
         client_b.enable_dhcp_client(PortId(0), [0x02, 0xBB, 0, 0, 0, IDX_B]);
-        let gw_a = Gateway::new(tag_a, policy_a, IDX_A);
-        let gw_b = Gateway::new(tag_b, policy_b, IDX_B);
 
-        let client_a = sim.add_node(Box::new(client_a));
-        let client_b = sim.add_node(Box::new(client_b));
-        let gateway_a = sim.add_node(Box::new(gw_a));
-        let gateway_b = sim.add_node(Box::new(gw_b));
-        let server = sim.add_node(Box::new(server));
-        sim.connect(client_a, PortId(0), gateway_a, LAN_PORT, LinkConfig::ethernet_100m());
-        sim.connect(gateway_a, WAN_PORT, server, PortId(0), LinkConfig::ethernet_100m());
-        sim.connect(client_b, PortId(0), gateway_b, LAN_PORT, LinkConfig::ethernet_100m());
-        sim.connect(gateway_b, WAN_PORT, server, PortId(1), LinkConfig::ethernet_100m());
-        sim.boot();
+        // Node and link order below is the seed repo's (clients, gateways,
+        // rendezvous) — part of the reproducibility contract.
+        let client_a = b.host("client-a", client_a);
+        let client_b = b.host("client-b", client_b);
+        let gateway_a = b.gateway("gateway-a", Gateway::new(tag_a, policy_a, IDX_A));
+        let gateway_b = b.gateway("gateway-b", Gateway::new(tag_b, policy_b, IDX_B));
+        let server = b.host("rendezvous", server);
+        b.link(client_a, PortId(0), gateway_a, LAN_PORT, LinkConfig::ethernet_100m());
+        b.link(gateway_a, WAN_PORT, server, PortId(0), LinkConfig::ethernet_100m());
+        b.link(client_b, PortId(0), gateway_b, LAN_PORT, LinkConfig::ethernet_100m());
+        b.link(gateway_b, WAN_PORT, server, PortId(1), LinkConfig::ethernet_100m());
+        let topo = b.build();
 
-        let mut tb = DualNatTestbed {
-            sim,
-            client_a,
-            client_b,
-            gateway_a,
-            gateway_b,
-            server,
+        DualNatTestbed {
+            client_a: topo.node_id("client-a"),
+            client_b: topo.node_id("client-b"),
+            gateway_a: topo.node_id("gateway-a"),
+            gateway_b: topo.node_id("gateway-b"),
+            server: topo.node_id("rendezvous"),
             server_addr_a,
             server_addr_b,
-        };
-        tb.bring_up();
-        tb
-    }
-
-    fn bring_up(&mut self) {
-        for _ in 0..60 {
-            self.sim.run_for(Duration::from_millis(500));
-            let ready = self
-                .sim
-                .with_node::<Host, _>(self.client_a, |h, _| h.dhcp_lease().is_some())
-                && self.sim.with_node::<Host, _>(self.client_b, |h, _| h.dhcp_lease().is_some());
-            if ready {
-                return;
-            }
+            topo,
         }
-        panic!("dual-NAT bring-up failed");
     }
 
-    /// Runs the simulation for `d`.
-    pub fn run_for(&mut self, d: Duration) {
-        self.sim.run_for(d);
+    /// Resolves a [`HostId`] to the underlying node (`Lan(0)` is client A,
+    /// `Lan(1)` client B, `Server` the rendezvous).
+    pub fn host_node(&self, host: HostId) -> NodeId {
+        match host {
+            HostId::Client | HostId::Lan(0) => self.client_a,
+            HostId::Lan(1) => self.client_b,
+            HostId::Lan(i) => panic!("dual-NAT testbed has 2 LAN hosts, no Lan({i})"),
+            HostId::Server => self.server,
+        }
+    }
+
+    /// Drives the host addressed by `host`; convert a [`Side`] with
+    /// `side.into()`.
+    pub fn with_host<R>(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut Host, &mut NodeCtx) -> R,
+    ) -> R {
+        let id = self.host_node(host);
+        self.topo.sim.with_node::<Host, _>(id, f)
+    }
+
+    /// Drives the node `id` as a `T` (panics if `id` is not a `T`).
+    ///
+    /// Also available through the [`Topology`] deref; this inherent copy
+    /// lets call sites pass a testbed field as the id
+    /// (`tb.with_node::<Gateway, _>(tb.gateway_b, f)`) without tripping
+    /// the borrow checker on the deref.
+    pub fn with_node<T: hgw_core::Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
+    ) -> R {
+        self.topo.sim.with_node::<T, _>(id, f)
     }
 
     /// Drives one of the clients.
+    #[deprecated(note = "use with_host(side.into(), f)")]
     pub fn with_client<R>(
         &mut self,
         side: Side,
         f: impl FnOnce(&mut Host, &mut NodeCtx) -> R,
     ) -> R {
-        let id = match side {
-            Side::A => self.client_a,
-            Side::B => self.client_b,
-        };
-        self.sim.with_node::<Host, _>(id, f)
+        self.with_host(side.into(), f)
     }
 
     /// Drives the rendezvous server.
+    #[deprecated(note = "use with_host(HostId::Server, f)")]
     pub fn with_server<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
-        self.sim.with_node::<Host, _>(self.server, f)
+        self.with_host(HostId::Server, f)
     }
 
     /// The rendezvous address a given side should talk to.
@@ -166,6 +202,7 @@ impl DualNatTestbed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hgw_core::Duration;
     use std::net::SocketAddrV4;
 
     #[test]
@@ -177,21 +214,21 @@ mod tests {
             GatewayPolicy::well_behaved(),
             7,
         );
-        let srv = tb.with_server(|h, _| {
+        let srv = tb.with_host(HostId::Server, |h, _| {
             let s = h.udp_bind(3478);
             h.udp_set_echo(s, true);
             s
         });
         for side in [Side::A, Side::B] {
             let dst = SocketAddrV4::new(tb.rendezvous_addr(side), 3478);
-            let sock = tb.with_client(side, |h, ctx| {
+            let sock = tb.with_host(side.into(), |h, ctx| {
                 let s = h.udp_bind_ephemeral();
                 h.udp_send(ctx, s, dst, b"stun");
                 s
             });
             tb.run_for(Duration::from_millis(100));
             assert!(
-                tb.with_client(side, |h, _| h.udp_recv(sock)).is_some(),
+                tb.with_host(side.into(), |h, _| h.udp_recv(sock)).is_some(),
                 "{side:?} echo failed"
             );
         }
@@ -210,8 +247,8 @@ mod tests {
             9,
         );
         let gw_b_wan =
-            tb.sim.with_node::<hgw_gateway::Gateway, _>(tb.gateway_b, |g, _| g.wan_addr().unwrap());
-        tb.with_client(Side::A, |h, ctx| {
+            tb.with_node::<hgw_gateway::Gateway, _>(tb.gateway_b, |g, _| g.wan_addr().unwrap());
+        tb.with_host(Side::A.into(), |h, ctx| {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, SocketAddrV4::new(gw_b_wan, 12345), b"x");
         });
@@ -219,8 +256,28 @@ mod tests {
         // The packet reached gateway B (and was dropped for lack of a
         // binding — visible in its stats).
         let drops = tb
-            .sim
             .with_node::<hgw_gateway::Gateway, _>(tb.gateway_b, |g, _| g.stats.dropped_no_binding);
         assert!(drops > 0, "packet should have transited the router to gateway B");
+    }
+
+    #[test]
+    fn side_converts_to_host_id() {
+        assert_eq!(HostId::from(Side::A), HostId::Lan(0));
+        assert_eq!(HostId::from(Side::B), HostId::Lan(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_still_delegate() {
+        let mut tb = DualNatTestbed::new(
+            "a",
+            GatewayPolicy::well_behaved(),
+            "b",
+            GatewayPolicy::well_behaved(),
+            11,
+        );
+        let via_shim = tb.with_client(Side::B, |h, _| h.dhcp_lease().unwrap().addr);
+        let via_host = tb.with_host(HostId::Lan(1), |h, _| h.dhcp_lease().unwrap().addr);
+        assert_eq!(via_shim, via_host);
     }
 }

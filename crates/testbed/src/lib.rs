@@ -1,4 +1,4 @@
-//! # hgw-testbed — the experimental testbed of Figure 1
+//! # hgw-testbed — the experimental testbed of Figure 1, generalized
 //!
 //! Assembles, per device under test, the paper's topology:
 //!
@@ -9,6 +9,23 @@
 //!                                + DNS proxy                 DNS (hiit.fi),
 //!                                                            echo services
 //! ```
+//!
+//! …and, beyond the paper, *household* variants of it: M DHCP-configured
+//! LAN hosts behind one gateway, fanned in through a learning
+//! [`Switch`](hgw_stack::switch::Switch):
+//!
+//! ```text
+//!   host 0 ──┐
+//!   host 1 ──┼──(LAN switch)── gateway ──(WAN)── test server
+//!   host M-1 ┘
+//! ```
+//!
+//! All presets are thin layers over [`TopologyBuilder`], the declarative
+//! node-graph API (named nodes, switches, per-node interfaces, DHCP
+//! bring-up). [`Testbed`] is the 1-host preset — bit-identical to the seed
+//! repo's hand-rolled triple — and [`DualNatTestbed`] is the nested-NAT
+//! preset. Hosts are addressed by [`HostId`] (`with_host`), arbitrary
+//! nodes by [`NodeId`] (`with_node`).
 //!
 //! Each gateway gets its own VLAN pair in the paper; here each device gets
 //! its own [`Testbed`] (an isolated simulator), which has the same
@@ -22,29 +39,37 @@
 #![warn(missing_docs)]
 
 pub mod dual;
+pub mod topology;
 
 pub use dual::{DualNatTestbed, Side};
+pub use topology::{HostId, LinkHandle, NodeHandle, Span, Topology, TopologyBuilder};
 
 use std::net::Ipv4Addr;
+use std::ops::{Deref, DerefMut};
 
-use hgw_core::{Duration, Instant, LinkConfig, LinkId, NodeCtx, NodeId, PortId, Simulator, SpanId};
+use hgw_core::{LinkConfig, LinkId, NodeCtx, NodeId, PortId, SpanId};
 use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
 use hgw_stack::dhcp::DhcpServerConfig;
 use hgw_stack::dns::DnsZone;
 use hgw_stack::host::Host;
 use hgw_stack::iface::IfaceConfig;
 
-/// A single device-under-test testbed: client, gateway, server.
+/// A single device-under-test testbed: M LAN hosts (1 in the paper's
+/// Figure 1), one gateway, one server. Derefs to [`Topology`] for the
+/// generic surface (`sim`, `run_for`, `with_node`, `span`, …).
 pub struct Testbed {
-    /// The simulator owning all three nodes.
-    pub sim: Simulator,
-    /// Test client node (behind the NAT).
+    /// The underlying topology.
+    pub topo: Topology,
+    /// The first LAN host — the paper's test client.
     pub client: NodeId,
     /// Test server node (WAN side).
     pub server: NodeId,
     /// The gateway under test.
     pub gateway: NodeId,
-    /// The client–gateway link.
+    /// All LAN hosts in index order (`hosts[0] == client`).
+    pub hosts: Vec<NodeId>,
+    /// The LAN uplink into the gateway (the client link in the 1-host
+    /// preset, the switch–gateway trunk in household presets).
     pub lan_link: LinkId,
     /// The gateway–server link.
     pub wan_link: LinkId,
@@ -54,8 +79,18 @@ pub struct Testbed {
     pub index: u8,
 }
 
-/// How long the bring-up phase (double DHCP) is allowed to take.
-const BRINGUP_LIMIT: Duration = Duration::from_secs(30);
+impl Deref for Testbed {
+    type Target = Topology;
+    fn deref(&self) -> &Topology {
+        &self.topo
+    }
+}
+
+impl DerefMut for Testbed {
+    fn deref_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+}
 
 /// Builder for [`Testbed`] — the one documented place where slot and seed
 /// derivation for fleet campaigns lives.
@@ -74,6 +109,10 @@ const BRINGUP_LIMIT: Duration = Duration::from_secs(30);
 ///   than the slot keeps a device's randomness stable even if the fleet is
 ///   filtered or reordered, and decorrelates devices within one campaign.
 ///
+/// [`TestbedBuilder::hosts`] widens the LAN side into a household: M
+/// DHCP-configured hosts behind a learning switch, all NATed by the one
+/// gateway under test.
+///
 /// ```
 /// use hgw_gateway::GatewayPolicy;
 /// use hgw_testbed::Testbed;
@@ -90,6 +129,7 @@ pub struct TestbedBuilder {
     policy: GatewayPolicy,
     index: u8,
     seed: u64,
+    hosts: usize,
 }
 
 impl TestbedBuilder {
@@ -102,6 +142,18 @@ impl TestbedBuilder {
     /// Sets the simulator seed directly.
     pub fn seed(mut self, seed: u64) -> TestbedBuilder {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the number of LAN hosts (default 1 — the paper's Figure 1).
+    ///
+    /// With `n > 1` the hosts fan in through a learning LAN switch and
+    /// every host runs DHCP with auto-renewal; with `n == 1` the topology
+    /// (and its event sequence) is exactly the seed testbed's. Clamped
+    /// range: 1–64 (the gateway's DHCP pool holds 100 addresses).
+    pub fn hosts(mut self, n: usize) -> TestbedBuilder {
+        assert!((1..=64).contains(&n), "TestbedBuilder::hosts: n must be in 1..=64, got {n}");
+        self.hosts = n;
         self
     }
 
@@ -125,22 +177,61 @@ impl TestbedBuilder {
 
     /// Builds and boots the testbed (see [`Testbed::new`] for panics).
     pub fn build(self) -> Testbed {
-        Testbed::new(&self.tag, self.policy, self.index, self.seed)
+        Testbed::assemble(&self.tag, self.policy, self.index, self.seed, self.hosts)
     }
 }
 
 impl Testbed {
-    /// Builds and boots a testbed for one gateway model, then runs DHCP on
-    /// both sides until the client is configured.
+    /// Builds and boots a 1-host testbed for one gateway model, then runs
+    /// DHCP on both sides until the client is configured.
     ///
     /// # Panics
     /// Panics if bring-up does not complete — a testbed that cannot even
     /// DHCP is a bug, not a measurement.
     pub fn new(tag: &str, policy: GatewayPolicy, index: u8, seed: u64) -> Testbed {
         // Kept as the positional primitive; prefer [`Testbed::builder`]
-        // for named parameters and campaign slot/seed derivation.
-        let mut sim = Simulator::new(seed);
+        // for named parameters, campaign slot/seed derivation, and
+        // household sizing.
+        Testbed::assemble(tag, policy, index, seed, 1)
+    }
+
+    /// Starts a [`TestbedBuilder`] for `tag` (slot index 1, seed 0, one
+    /// LAN host until overridden).
+    pub fn builder(tag: &str, policy: GatewayPolicy) -> TestbedBuilder {
+        TestbedBuilder { tag: tag.to_string(), policy, index: 1, seed: 0, hosts: 1 }
+    }
+
+    /// The preset over [`TopologyBuilder`]: M LAN hosts (direct link for
+    /// M = 1, learning switch for M > 1), the gateway under test, and the
+    /// WAN server. Node and link insertion order is part of the
+    /// reproducibility contract — for M = 1 it matches the seed repo's
+    /// hand-rolled testbed exactly (client, gateway, server), so per-node
+    /// RNG streams and event sequences are bit-identical.
+    fn assemble(tag: &str, policy: GatewayPolicy, index: u8, seed: u64, m: usize) -> Testbed {
+        assert!((1..=64).contains(&m), "Testbed: host count must be in 1..=64, got {m}");
+        let mut b = TopologyBuilder::new(seed);
         let server_addr = Ipv4Addr::new(10, 0, index, 1);
+        let ether = LinkConfig::ethernet_100m;
+
+        // LAN hosts: everything via DHCP from the gateway. Host 0 keeps
+        // the seed client's name and chaddr.
+        let hosts: Vec<NodeHandle> = (0..m)
+            .map(|i| {
+                let name =
+                    if i == 0 { "test-client".to_string() } else { format!("test-client-{i}") };
+                let mut host = Host::new(&name);
+                host.enable_dhcp_client(PortId(0), [0x02, 0xC1, 0x1E, 0x47, i as u8, index]);
+                if m > 1 {
+                    // Households run long enough in virtual time that
+                    // leases can come due; the 1-host preset keeps the
+                    // seed's renewal-free behavior.
+                    host.dhcp_auto_renew(true);
+                }
+                b.host(&name, host)
+            })
+            .collect();
+        let switch = (m > 1).then(|| b.switch("lan-switch"));
+        let gateway = b.gateway("gateway", Gateway::new(tag, policy, index));
 
         // Test server: static address, DHCP service for the gateway's WAN
         // side, the hiit.fi DNS zone, and echo responders.
@@ -159,128 +250,135 @@ impl Testbed {
             },
         );
         server.enable_dns_server(DnsZone::testbed_default(server_addr));
+        let server = b.host("test-server", server);
 
-        // Test client: everything via DHCP from the gateway.
-        let mut client = Host::new("test-client");
-        client.enable_dhcp_client(PortId(0), [0x02, 0xC1, 0x1E, 0x47, 0, index]);
-
-        let gateway = Gateway::new(tag, policy, index);
-
-        let client = sim.add_node(Box::new(client));
-        let gateway = sim.add_node(Box::new(gateway));
-        let server = sim.add_node(Box::new(server));
-        let lan_link =
-            sim.connect(client, PortId(0), gateway, LAN_PORT, LinkConfig::ethernet_100m());
-        let wan_link =
-            sim.connect(gateway, WAN_PORT, server, PortId(0), LinkConfig::ethernet_100m());
-        sim.boot();
-
-        let mut tb =
-            Testbed { sim, client, server, gateway, lan_link, wan_link, server_addr, index };
-        tb.bring_up();
-        tb
-    }
-
-    /// Starts a [`TestbedBuilder`] for `tag` (slot index 1, seed 0 until
-    /// overridden).
-    pub fn builder(tag: &str, policy: GatewayPolicy) -> TestbedBuilder {
-        TestbedBuilder { tag: tag.to_string(), policy, index: 1, seed: 0 }
-    }
-
-    fn bring_up(&mut self) {
-        let deadline = self.sim.now() + BRINGUP_LIMIT;
-        while self.sim.now() < deadline {
-            self.sim.run_for(Duration::from_millis(500));
-            let client_ready =
-                self.sim.with_node::<Host, _>(self.client, |h, _| h.dhcp_lease().is_some());
-            let gw_ready =
-                self.sim.with_node::<Gateway, _>(self.gateway, |g, _| g.wan_addr().is_some());
-            if client_ready && gw_ready {
-                return;
+        let lan_link = match switch {
+            None => b.link(hosts[0], PortId(0), gateway, LAN_PORT, ether()),
+            Some(sw) => {
+                for &h in &hosts {
+                    b.attach(sw, h, PortId(0), ether());
+                }
+                b.attach(sw, gateway, LAN_PORT, ether())
             }
+        };
+        let wan_link = b.link(gateway, WAN_PORT, server, PortId(0), ether());
+
+        let topo = b.build();
+        let host_ids: Vec<NodeId> = topo.lan_hosts();
+        Testbed {
+            client: host_ids[0],
+            server: topo.node_id("test-server"),
+            gateway: topo.node_id("gateway"),
+            hosts: host_ids,
+            lan_link: topo.link(lan_link),
+            wan_link: topo.link(wan_link),
+            server_addr,
+            index,
+            topo,
         }
-        panic!("testbed bring-up failed for device {}", self.tag());
     }
 
     /// The device tag.
     pub fn tag(&self) -> String {
-        self.sim.node_ref::<Gateway>(self.gateway).tag.clone()
+        self.topo.sim.node_ref::<Gateway>(self.gateway).tag.clone()
+    }
+
+    /// Resolves a [`HostId`] to the underlying node.
+    ///
+    /// # Panics
+    /// Panics if `Lan(i)` is out of range for this testbed's host count.
+    pub fn host_node(&self, host: HostId) -> NodeId {
+        match host {
+            HostId::Client => self.client,
+            HostId::Lan(i) => *self
+                .hosts
+                .get(i)
+                .unwrap_or_else(|| panic!("testbed has {} hosts, no Lan({i})", self.hosts.len())),
+            HostId::Server => self.server,
+        }
+    }
+
+    /// Drives the host addressed by `host` (see [`HostId`]).
+    pub fn with_host<R>(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut Host, &mut NodeCtx) -> R,
+    ) -> R {
+        let id = self.host_node(host);
+        self.topo.sim.with_node::<Host, _>(id, f)
+    }
+
+    /// Drives the node `id` as a `T` (panics if `id` is not a `T`).
+    ///
+    /// Also available through the [`Topology`] deref; this inherent copy
+    /// lets call sites pass a testbed field as the id
+    /// (`tb.with_node::<Gateway, _>(tb.gateway, f)`) without tripping the
+    /// borrow checker on the deref.
+    pub fn with_node<T: hgw_core::Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
+    ) -> R {
+        self.topo.sim.with_node::<T, _>(id, f)
+    }
+
+    /// Mutable access to a link's configuration (loss, delay, rate).
+    ///
+    /// Inherent for the same borrow-checker reason as [`Testbed::with_node`]:
+    /// `tb.link_config_mut(tb.wan_link)` must compile.
+    pub fn link_config_mut(&mut self, link: LinkId) -> &mut LinkConfig {
+        self.topo.sim.link_config_mut(link)
     }
 
     /// The client's DHCP-assigned address.
     pub fn client_addr(&self) -> Ipv4Addr {
-        self.sim.node_ref::<Host>(self.client).dhcp_lease().expect("client bound").addr
+        self.lan_addr(0)
     }
 
-    /// The gateway's LAN-side address (the client's router and DNS proxy).
+    /// The `i`-th LAN host's DHCP-assigned address.
+    pub fn lan_addr(&self, i: usize) -> Ipv4Addr {
+        self.topo.sim.node_ref::<Host>(self.hosts[i]).dhcp_lease().expect("host bound").addr
+    }
+
+    /// The gateway's LAN-side address (the clients' router and DNS proxy).
     pub fn gateway_lan_addr(&self) -> Ipv4Addr {
-        self.sim.node_ref::<Gateway>(self.gateway).lan_addr()
+        self.topo.sim.node_ref::<Gateway>(self.gateway).lan_addr()
     }
 
     /// The gateway's DHCP-acquired WAN address.
     pub fn gateway_wan_addr(&self) -> Ipv4Addr {
-        self.sim.node_ref::<Gateway>(self.gateway).wan_addr().expect("gateway bound")
-    }
-
-    /// Runs the simulation for `d`.
-    pub fn run_for(&mut self, d: Duration) {
-        self.sim.run_for(d);
-    }
-
-    /// Runs the simulation until `t`.
-    pub fn run_until(&mut self, t: Instant) {
-        self.sim.run_until(t);
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> Instant {
-        self.sim.now()
+        self.topo.sim.node_ref::<Gateway>(self.gateway).wan_addr().expect("gateway bound")
     }
 
     /// Drives the test client.
+    #[deprecated(note = "use with_host(HostId::Client, f)")]
     pub fn with_client<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
-        self.sim.with_node::<Host, _>(self.client, f)
+        self.with_host(HostId::Client, f)
     }
 
     /// Drives the test server.
+    #[deprecated(note = "use with_host(HostId::Server, f)")]
     pub fn with_server<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
-        self.sim.with_node::<Host, _>(self.server, f)
+        self.with_host(HostId::Server, f)
     }
 
     /// Inspects the gateway (diagnostics only — measurements must observe
     /// from the hosts).
+    #[deprecated(note = "use with_node::<Gateway, _>(tb.gateway, f)")]
     pub fn with_gateway<R>(&mut self, f: impl FnOnce(&mut Gateway, &mut NodeCtx) -> R) -> R {
-        self.sim.with_node::<Gateway, _>(self.gateway, f)
+        let gateway = self.gateway;
+        self.topo.with_node::<Gateway, _>(gateway, f)
     }
 
     /// Opens a telemetry span named `name` at the current simulated time.
-    ///
-    /// Returns [`SpanId::DISABLED`] (recording nothing) when telemetry is
-    /// off, so probes can mark their phases unconditionally at zero cost.
+    #[deprecated(note = "use span(name).begin()")]
     pub fn span_begin(&mut self, name: &str) -> SpanId {
-        let now = self.sim.now();
-        match self.sim.telemetry_mut() {
-            Some(t) => t.spans.begin(name, now),
-            None => SpanId::DISABLED,
-        }
+        self.topo.span(name).begin()
     }
 
-    /// Like [`Testbed::span_begin`], with a viewer-visible argument (shown
-    /// in the Perfetto detail pane).
+    /// Like `span_begin`, with a viewer-visible argument.
+    #[deprecated(note = "use span(name).arg(arg).begin()")]
     pub fn span_begin_arg(&mut self, name: &str, arg: String) -> SpanId {
-        let now = self.sim.now();
-        match self.sim.telemetry_mut() {
-            Some(t) => t.spans.begin_with_arg(name, arg, now),
-            None => SpanId::DISABLED,
-        }
-    }
-
-    /// Closes a span opened by [`Testbed::span_begin`] at the current
-    /// simulated time. A no-op for [`SpanId::DISABLED`].
-    pub fn span_end(&mut self, id: SpanId) {
-        let now = self.sim.now();
-        if let Some(t) = self.sim.telemetry_mut() {
-            t.spans.end(id, now);
-        }
+        self.topo.span(name).arg(arg).begin()
     }
 }

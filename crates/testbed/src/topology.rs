@@ -1,0 +1,412 @@
+//! General topology construction — the builder behind every testbed preset.
+//!
+//! The seed repo hard-coded the paper's Figure-1 triple (client, gateway,
+//! server) into [`Testbed`](crate::Testbed) and hand-rolled the dual-NAT
+//! variant next to it. [`TopologyBuilder`] replaces both with a declarative
+//! module graph in the PetrichorIT/inet style: named nodes are added in a
+//! deliberate order (the order fixes [`NodeId`]s and per-node RNG streams,
+//! so presets keep it stable for reproducibility), wired with
+//! point-to-point links or through learning [`Switch`]es, then built into a
+//! booted [`Topology`] whose DHCP clients and gateways are brought up in
+//! lock-step.
+//!
+//! ```
+//! use hgw_core::{LinkConfig, PortId};
+//! use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
+//! use hgw_stack::host::Host;
+//! use hgw_stack::iface::IfaceConfig;
+//! use hgw_testbed::TopologyBuilder;
+//! use std::net::Ipv4Addr;
+//!
+//! let mut b = TopologyBuilder::new(7);
+//! let mut laptop = Host::new("laptop");
+//! laptop.enable_dhcp_client(PortId(0), [2, 0, 0, 0, 0, 1]);
+//! let laptop = b.host("laptop", laptop);
+//! let gw = b.gateway("gateway", Gateway::new("dev", GatewayPolicy::well_behaved(), 1));
+//! let mut server = Host::new("server");
+//! server.add_iface(PortId(0), IfaceConfig::new(Ipv4Addr::new(10, 0, 1, 1), 24));
+//! server.enable_dhcp_server(PortId(0), hgw_stack::dhcp::DhcpServerConfig {
+//!     server_addr: Ipv4Addr::new(10, 0, 1, 1),
+//!     pool_start: Ipv4Addr::new(10, 0, 1, 50),
+//!     pool_size: 8,
+//!     subnet_mask: Ipv4Addr::new(255, 255, 255, 0),
+//!     router: None,
+//!     dns_servers: vec![],
+//!     lease_secs: 3600,
+//! });
+//! let server = b.host("server", server);
+//! b.link(laptop, PortId(0), gw, LAN_PORT, LinkConfig::ethernet_100m());
+//! b.link(gw, WAN_PORT, server, PortId(0), LinkConfig::ethernet_100m());
+//! let topo = b.build();
+//! assert_eq!(topo.node_id("laptop"), topo.lan_hosts()[0]);
+//! ```
+
+use std::net::Ipv4Addr;
+
+use hgw_core::{
+    Duration, Instant, LinkConfig, LinkId, Node, NodeCtx, NodeId, PortId, Simulator, SpanId,
+};
+use hgw_gateway::Gateway;
+use hgw_stack::host::Host;
+use hgw_stack::switch::Switch;
+
+use crate::dual::Side;
+
+/// How long a topology's bring-up phase (all DHCP clients bound, all
+/// gateway WAN sides configured) is allowed to take.
+const BRINGUP_LIMIT: Duration = Duration::from_secs(30);
+
+/// Bring-up polls the readiness predicate every half second of virtual
+/// time, matching the seed testbed's cadence bit for bit.
+const BRINGUP_STEP: Duration = Duration::from_millis(500);
+
+/// Handle to a node added to a [`TopologyBuilder`] (valid only for the
+/// builder that returned it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeHandle(usize);
+
+/// Handle to a link added to a [`TopologyBuilder`]; resolve it to the
+/// simulator's [`LinkId`] with [`Topology::link`] after building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkHandle(usize);
+
+/// Host-addressed node selector used by the preset accessors
+/// (`with_host` on [`Testbed`](crate::Testbed) and
+/// [`DualNatTestbed`](crate::DualNatTestbed)).
+///
+/// Replaces the positional `with_client` / `with_server` closure accessors:
+/// the address names *which* host, the preset maps it to the topology's
+/// [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostId {
+    /// The first (or only) LAN host — the paper's test client.
+    Client,
+    /// The `i`-th LAN host behind the gateway; `Lan(0)` is `Client`.
+    Lan(usize),
+    /// The WAN-side host (test server or rendezvous router).
+    Server,
+}
+
+impl From<Side> for HostId {
+    /// Maps a dual-NAT side to its LAN host (`A` → `Lan(0)`, `B` → `Lan(1)`).
+    fn from(side: Side) -> HostId {
+        match side {
+            Side::A => HostId::Lan(0),
+            Side::B => HostId::Lan(1),
+        }
+    }
+}
+
+/// What kind of node a topology slot holds (drives bring-up readiness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// A [`Host`] with a DHCP client — bring-up waits for its lease.
+    DhcpHost,
+    /// A statically configured [`Host`].
+    StaticHost,
+    /// A [`Gateway`] — bring-up waits for its WAN address.
+    Gateway,
+    /// A learning [`Switch`].
+    Switch,
+}
+
+enum Spec {
+    Ready(Box<dyn Node>),
+    /// Switches are materialized at build time, once their final port
+    /// count (one per [`TopologyBuilder::attach`]) is known.
+    Switch {
+        ports: usize,
+    },
+}
+
+/// Declarative builder for a [`Topology`] (see the module docs for the
+/// lifecycle and a worked example).
+pub struct TopologyBuilder {
+    seed: u64,
+    names: Vec<String>,
+    kinds: Vec<Kind>,
+    specs: Vec<Spec>,
+    links: Vec<(usize, PortId, usize, PortId, LinkConfig)>,
+}
+
+impl TopologyBuilder {
+    /// A builder whose simulator will be seeded with `seed`.
+    pub fn new(seed: u64) -> TopologyBuilder {
+        TopologyBuilder {
+            seed,
+            names: Vec::new(),
+            kinds: Vec::new(),
+            specs: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, kind: Kind, spec: Spec) -> NodeHandle {
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "TopologyBuilder: duplicate node name {name:?}"
+        );
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        self.specs.push(spec);
+        NodeHandle(self.specs.len() - 1)
+    }
+
+    /// Adds a [`Host`] endpoint. If the host has a DHCP client enabled,
+    /// [`TopologyBuilder::build`] waits for its lease during bring-up.
+    pub fn host(&mut self, name: &str, host: Host) -> NodeHandle {
+        let kind = if host.dhcp_client_enabled() { Kind::DhcpHost } else { Kind::StaticHost };
+        self.push(name, kind, Spec::Ready(Box::new(host)))
+    }
+
+    /// Adds a [`Gateway`]; bring-up waits for its DHCP-acquired WAN
+    /// address.
+    pub fn gateway(&mut self, name: &str, gateway: Gateway) -> NodeHandle {
+        self.push(name, Kind::Gateway, Spec::Ready(Box::new(gateway)))
+    }
+
+    /// Adds a learning LAN [`Switch`]. Its ports are allocated one per
+    /// [`TopologyBuilder::attach`] call, in call order.
+    pub fn switch(&mut self, name: &str) -> NodeHandle {
+        self.push(name, Kind::Switch, Spec::Switch { ports: 0 })
+    }
+
+    /// Wires `a`'s port `ap` to `b`'s port `bp` (links are bidirectional;
+    /// wiring order fixes [`LinkId`] assignment, so keep it stable in
+    /// presets).
+    pub fn link(
+        &mut self,
+        a: NodeHandle,
+        ap: PortId,
+        b: NodeHandle,
+        bp: PortId,
+        config: LinkConfig,
+    ) -> LinkHandle {
+        assert!(a.0 < self.specs.len() && b.0 < self.specs.len(), "link: unknown node handle");
+        self.links.push((a.0, ap, b.0, bp, config));
+        LinkHandle(self.links.len() - 1)
+    }
+
+    /// Wires `node`'s port `nport` to the next free port of `switch`.
+    pub fn attach(
+        &mut self,
+        switch: NodeHandle,
+        node: NodeHandle,
+        nport: PortId,
+        config: LinkConfig,
+    ) -> LinkHandle {
+        let port = match &mut self.specs[switch.0] {
+            Spec::Switch { ports } => {
+                let p = *ports;
+                *ports += 1;
+                PortId(p)
+            }
+            _ => panic!("attach: {} is not a switch", self.names[switch.0]),
+        };
+        self.link(switch, port, node, nport, config)
+    }
+
+    /// Builds the simulator, boots every node, and runs bring-up until all
+    /// DHCP clients hold leases and all gateways have WAN addresses.
+    ///
+    /// # Panics
+    /// Panics if bring-up does not complete within 30 s of virtual time —
+    /// a topology that cannot even DHCP is a bug, not a measurement.
+    pub fn build(self) -> Topology {
+        let mut sim = Simulator::new(self.seed);
+        let ids: Vec<NodeId> = self
+            .specs
+            .into_iter()
+            .zip(&self.names)
+            .map(|(spec, name)| match spec {
+                Spec::Ready(node) => sim.add_node(node),
+                Spec::Switch { ports } => sim.add_node(Box::new(Switch::new(name, ports))),
+            })
+            .collect();
+        let links: Vec<LinkId> = self
+            .links
+            .into_iter()
+            .map(|(a, ap, b, bp, cfg)| sim.connect(ids[a], ap, ids[b], bp, cfg))
+            .collect();
+        sim.boot();
+        let mut topo = Topology { sim, names: self.names, kinds: self.kinds, ids, links };
+        topo.bring_up();
+        topo
+    }
+}
+
+/// A booted, brought-up node graph: the simulator plus the name and role
+/// tables the builder recorded. Presets either embed one (and deref to it)
+/// or address nodes through it by name.
+pub struct Topology {
+    /// The simulator owning every node.
+    pub sim: Simulator,
+    names: Vec<String>,
+    kinds: Vec<Kind>,
+    ids: Vec<NodeId>,
+    links: Vec<LinkId>,
+}
+
+impl Topology {
+    /// Runs DHCP everywhere until every client/gateway is configured.
+    fn bring_up(&mut self) {
+        let deadline = self.sim.now() + BRINGUP_LIMIT;
+        while self.sim.now() < deadline {
+            self.sim.run_for(BRINGUP_STEP);
+            if self.unready_node().is_none() {
+                return;
+            }
+        }
+        let name = self.unready_node().map(|i| self.names[i].clone()).unwrap_or_default();
+        panic!("topology bring-up failed: {name} never configured");
+    }
+
+    /// Index of the first node still waiting on DHCP, if any.
+    fn unready_node(&mut self) -> Option<usize> {
+        (0..self.ids.len()).find(|&i| {
+            let id = self.ids[i];
+            match self.kinds[i] {
+                Kind::DhcpHost => {
+                    self.sim.with_node::<Host, _>(id, |h, _| h.dhcp_lease().is_none())
+                }
+                Kind::Gateway => {
+                    self.sim.with_node::<Gateway, _>(id, |g, _| g.wan_addr().is_none())
+                }
+                Kind::StaticHost | Kind::Switch => false,
+            }
+        })
+    }
+
+    /// The [`NodeId`] of the node named `name`.
+    ///
+    /// # Panics
+    /// Panics on an unknown name; use [`Topology::try_node_id`] to probe.
+    pub fn node_id(&self, name: &str) -> NodeId {
+        self.try_node_id(name).unwrap_or_else(|| panic!("topology: no node named {name:?}"))
+    }
+
+    /// The [`NodeId`] of the node named `name`, if it exists.
+    pub fn try_node_id(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(|i| self.ids[i])
+    }
+
+    /// The builder-given name of `id`, if the node exists.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.ids.iter().position(|&n| n == id).map(|i| self.names[i].as_str())
+    }
+
+    /// Every [`Host`] node in insertion order (LAN hosts and servers).
+    pub fn host_nodes(&self) -> Vec<NodeId> {
+        self.by_kind(&[Kind::DhcpHost, Kind::StaticHost])
+    }
+
+    /// Every DHCP-configured [`Host`] in insertion order — the LAN side of
+    /// the topology.
+    pub fn lan_hosts(&self) -> Vec<NodeId> {
+        self.by_kind(&[Kind::DhcpHost])
+    }
+
+    /// Every [`Gateway`] node in insertion order.
+    pub fn gateway_nodes(&self) -> Vec<NodeId> {
+        self.by_kind(&[Kind::Gateway])
+    }
+
+    fn by_kind(&self, kinds: &[Kind]) -> Vec<NodeId> {
+        (0..self.ids.len())
+            .filter(|&i| kinds.contains(&self.kinds[i]))
+            .map(|i| self.ids[i])
+            .collect()
+    }
+
+    /// Resolves a [`LinkHandle`] from the builder to the simulator's
+    /// [`LinkId`].
+    pub fn link(&self, handle: LinkHandle) -> LinkId {
+        self.links[handle.0]
+    }
+
+    /// Drives the node `id` as a `T` (panics if `id` is not a `T`).
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
+    ) -> R {
+        self.sim.with_node::<T, _>(id, f)
+    }
+
+    /// The DHCP-assigned address of the host node `id` (panics if unbound).
+    pub fn host_addr(&self, id: NodeId) -> Ipv4Addr {
+        self.sim.node_ref::<Host>(id).dhcp_lease().expect("host bound").addr
+    }
+
+    /// Runs the simulation for `d`.
+    pub fn run_for(&mut self, d: Duration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs the simulation until `t`.
+    pub fn run_until(&mut self, t: Instant) {
+        self.sim.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.sim.now()
+    }
+
+    /// Starts a telemetry span builder for `name`; attach a viewer-visible
+    /// argument with [`Span::arg`] and open it with [`Span::begin`]:
+    ///
+    /// ```no_run
+    /// # use hgw_gateway::GatewayPolicy;
+    /// # use hgw_testbed::Testbed;
+    /// # let mut tb = Testbed::builder("owrt", GatewayPolicy::well_behaved()).build();
+    /// let span = tb.span("udp1-trial").arg("sleep=30s").begin();
+    /// // ... probe phase ...
+    /// tb.span_end(span);
+    /// ```
+    ///
+    /// When telemetry is off, [`Span::begin`] returns [`SpanId::DISABLED`]
+    /// and records nothing, so probes mark their phases unconditionally at
+    /// zero cost.
+    pub fn span<'a>(&'a mut self, name: &'a str) -> Span<'a> {
+        Span { sim: &mut self.sim, name, arg: None }
+    }
+
+    /// Closes a span opened by [`Topology::span`] at the current simulated
+    /// time. A no-op for [`SpanId::DISABLED`].
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.sim.now();
+        if let Some(t) = self.sim.telemetry_mut() {
+            t.spans.end(id, now);
+        }
+    }
+}
+
+/// In-flight span builder returned by [`Topology::span`].
+#[must_use = "a span records nothing until begin() is called"]
+pub struct Span<'a> {
+    sim: &'a mut Simulator,
+    name: &'a str,
+    arg: Option<String>,
+}
+
+impl<'a> Span<'a> {
+    /// Attaches a viewer-visible argument (shown in the Perfetto detail
+    /// pane).
+    pub fn arg(mut self, arg: impl Into<String>) -> Span<'a> {
+        self.arg = Some(arg.into());
+        self
+    }
+
+    /// Opens the span at the current simulated time.
+    pub fn begin(self) -> SpanId {
+        let now = self.sim.now();
+        match self.sim.telemetry_mut() {
+            Some(t) => match self.arg {
+                Some(a) => t.spans.begin_with_arg(self.name, a, now),
+                None => t.spans.begin(self.name, now),
+            },
+            None => SpanId::DISABLED,
+        }
+    }
+}

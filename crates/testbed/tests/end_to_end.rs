@@ -7,7 +7,7 @@ use hgw_gateway::{DnsTcpMode, GatewayPolicy, UnknownProtoPolicy};
 use hgw_stack::host::ListenerApp;
 use hgw_stack::sctp::SctpState;
 use hgw_stack::tcp::TcpState;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::dns::DnsMessage;
 
 fn testbed() -> Testbed {
@@ -25,12 +25,12 @@ fn bring_up_assigns_addresses() {
 fn udp_through_nat_translates_and_returns() {
     let mut tb = testbed();
     let server_addr = tb.server_addr;
-    let srv_sock = tb.with_server(|h, _| {
+    let srv_sock = tb.with_host(HostId::Server, |h, _| {
         let s = h.udp_bind(7000);
         h.udp_set_echo(s, true);
         s
     });
-    let cli_sock = tb.with_client(|h, ctx| {
+    let cli_sock = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, 7000), b"through-the-nat");
         s
@@ -39,12 +39,14 @@ fn udp_through_nat_translates_and_returns() {
     // The server saw the gateway's WAN address, not the client's.
     let wan = tb.gateway_wan_addr();
     let client_addr = tb.client_addr();
-    let (from, data) = tb.with_server(|h, _| h.udp_recv(srv_sock)).expect("server rx");
+    let (from, data) =
+        tb.with_host(HostId::Server, |h, _| h.udp_recv(srv_sock)).expect("server rx");
     assert_eq!(*from.ip(), wan);
     assert_ne!(*from.ip(), client_addr);
     assert_eq!(data, b"through-the-nat");
     // The echo came back through the binding.
-    let (efrom, edata) = tb.with_client(|h, _| h.udp_recv(cli_sock)).expect("client rx");
+    let (efrom, edata) =
+        tb.with_host(HostId::Client, |h, _| h.udp_recv(cli_sock)).expect("client rx");
     assert_eq!(efrom, SocketAddrV4::new(server_addr, 7000));
     assert_eq!(edata, b"through-the-nat");
 }
@@ -53,13 +55,13 @@ fn udp_through_nat_translates_and_returns() {
 fn port_preservation_is_visible_to_server() {
     let mut tb = testbed();
     let server_addr = tb.server_addr;
-    let srv_sock = tb.with_server(|h, _| h.udp_bind(7001));
-    tb.with_client(|h, ctx| {
+    let srv_sock = tb.with_host(HostId::Server, |h, _| h.udp_bind(7001));
+    tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind(45_678);
         h.udp_send(ctx, s, SocketAddrV4::new(server_addr, 7001), b"x");
     });
     tb.run_for(Duration::from_millis(50));
-    let (from, _) = tb.with_server(|h, _| h.udp_recv(srv_sock)).expect("rx");
+    let (from, _) = tb.with_host(HostId::Server, |h, _| h.udp_recv(srv_sock)).expect("rx");
     assert_eq!(from.port(), 45_678, "well_behaved preserves the source port");
 }
 
@@ -67,11 +69,12 @@ fn port_preservation_is_visible_to_server() {
 fn tcp_through_nat_full_transfer() {
     let mut tb = testbed();
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| h.tcp_listen(80, ListenerApp::Echo));
-    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, 80)));
+    tb.with_host(HostId::Server, |h, _| h.tcp_listen(80, ListenerApp::Echo));
+    let conn = tb
+        .with_host(HostId::Client, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server_addr, 80)));
     tb.run_for(Duration::from_millis(100));
-    assert_eq!(tb.with_client(|h, _| h.tcp(conn).state()), TcpState::Established);
-    tb.with_client(|h, ctx| {
+    assert_eq!(tb.with_host(HostId::Client, |h, _| h.tcp(conn).state()), TcpState::Established);
+    tb.with_host(HostId::Client, |h, ctx| {
         h.tcp_send(ctx, conn, &vec![0x5A; 100_000]);
     });
     // Drain as we go: the receive buffer (64 KB) is smaller than the
@@ -79,7 +82,7 @@ fn tcp_through_nat_full_transfer() {
     let mut echoed = Vec::new();
     for _ in 0..100 {
         tb.run_for(Duration::from_millis(50));
-        let chunk = tb.with_client(|h, ctx| {
+        let chunk = tb.with_host(HostId::Client, |h, ctx| {
             let data = h.tcp_recv(conn, 200_000);
             h.kick(ctx); // flush the window update
             data
@@ -98,13 +101,13 @@ fn unsolicited_inbound_is_filtered() {
     let mut tb = testbed();
     let wan = tb.gateway_wan_addr();
     // The server sends UDP to the gateway's WAN address with no binding.
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         h.udp_send(ctx, s, SocketAddrV4::new(wan, 33_333), b"knock knock");
     });
     tb.run_for(Duration::from_millis(50));
     // Nothing must reach the client.
-    let got = tb.with_client(|h, _| {
+    let got = tb.with_host(HostId::Client, |h, _| {
         let s = h.udp_bind(33_333);
         h.udp_recv(s)
     });
@@ -115,9 +118,9 @@ fn unsolicited_inbound_is_filtered() {
 fn ping_through_nat() {
     let mut tb = testbed();
     let server_addr = tb.server_addr;
-    tb.with_client(|h, ctx| h.ping(ctx, server_addr, 0x1234, 1));
+    tb.with_host(HostId::Client, |h, ctx| h.ping(ctx, server_addr, 0x1234, 1));
     tb.run_for(Duration::from_millis(50));
-    let replies = tb.with_client(|h, _| h.ping_take_replies());
+    let replies = tb.with_host(HostId::Client, |h, _| h.ping_take_replies());
     assert_eq!(replies.len(), 1);
     assert_eq!(replies[0].1, server_addr);
     assert_eq!(replies[0].2, 0x1234, "ident translated back");
@@ -127,13 +130,15 @@ fn ping_through_nat() {
 fn sctp_works_through_ip_rewrite_fallback() {
     let mut tb = testbed(); // well_behaved: IpRewrite { allow_inbound: true }
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| h.sctp_listen(9899));
-    let ep = tb.with_client(|h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(server_addr, 9899)));
+    tb.with_host(HostId::Server, |h, _| h.sctp_listen(9899));
+    let ep = tb.with_host(HostId::Client, |h, ctx| {
+        h.sctp_connect(ctx, SocketAddrV4::new(server_addr, 9899))
+    });
     tb.run_for(Duration::from_secs(1));
-    assert_eq!(tb.with_client(|h, _| h.sctp(ep).state()), SctpState::Established);
-    tb.with_client(|h, ctx| h.sctp_send(ctx, ep, b"sctp through nat".to_vec()));
+    assert_eq!(tb.with_host(HostId::Client, |h, _| h.sctp(ep).state()), SctpState::Established);
+    tb.with_host(HostId::Client, |h, ctx| h.sctp_send(ctx, ep, b"sctp through nat".to_vec()));
     tb.run_for(Duration::from_secs(1));
-    let rx = tb.with_client(|h, _| h.sctp(ep).received.clone());
+    let rx = tb.with_host(HostId::Client, |h, _| h.sctp(ep).received.clone());
     assert_eq!(rx, vec![b"sctp through nat".to_vec()]);
 }
 
@@ -143,10 +148,12 @@ fn sctp_fails_when_unknown_protocols_are_dropped() {
     policy.unknown_proto = UnknownProtoPolicy::Drop;
     let mut tb = Testbed::new("droppy", policy, 2, 1);
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| h.sctp_listen(9899));
-    let ep = tb.with_client(|h, ctx| h.sctp_connect(ctx, SocketAddrV4::new(server_addr, 9899)));
+    tb.with_host(HostId::Server, |h, _| h.sctp_listen(9899));
+    let ep = tb.with_host(HostId::Client, |h, ctx| {
+        h.sctp_connect(ctx, SocketAddrV4::new(server_addr, 9899))
+    });
     tb.run_for(Duration::from_secs(20));
-    assert_eq!(tb.with_client(|h, _| h.sctp(ep).state()), SctpState::Failed);
+    assert_eq!(tb.with_host(HostId::Client, |h, _| h.sctp(ep).state()), SctpState::Failed);
 }
 
 #[test]
@@ -155,24 +162,29 @@ fn dccp_fails_even_through_ip_rewrite() {
     // checksum, so the server never sees a valid REQUEST.
     let mut tb = testbed();
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| h.dccp_listen(5002));
-    let ep = tb.with_client(|h, ctx| h.dccp_connect(ctx, SocketAddrV4::new(server_addr, 5002), 1));
+    tb.with_host(HostId::Server, |h, _| h.dccp_listen(5002));
+    let ep = tb.with_host(HostId::Client, |h, ctx| {
+        h.dccp_connect(ctx, SocketAddrV4::new(server_addr, 5002), 1)
+    });
     tb.run_for(Duration::from_secs(20));
-    assert_eq!(tb.with_client(|h, _| h.dccp(ep).state()), hgw_stack::dccp::DccpState::Failed);
+    assert_eq!(
+        tb.with_host(HostId::Client, |h, _| h.dccp(ep).state()),
+        hgw_stack::dccp::DccpState::Failed
+    );
 }
 
 #[test]
 fn dns_proxy_over_udp_resolves() {
     let mut tb = testbed();
     let proxy = tb.gateway_lan_addr();
-    let sock = tb.with_client(|h, ctx| {
+    let sock = tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         let q = DnsMessage::query_a(0xABCD, "server.hiit.fi");
         h.udp_send(ctx, s, SocketAddrV4::new(proxy, 53), &q.emit());
         s
     });
     tb.run_for(Duration::from_millis(200));
-    let (_, resp) = tb.with_client(|h, _| h.udp_recv(sock)).expect("proxied answer");
+    let (_, resp) = tb.with_host(HostId::Client, |h, _| h.udp_recv(sock)).expect("proxied answer");
     let msg = DnsMessage::parse(&resp).unwrap();
     assert_eq!(msg.id, 0xABCD);
     assert_eq!(msg.answers.len(), 1);
@@ -182,9 +194,10 @@ fn dns_proxy_over_udp_resolves() {
 fn dns_proxy_tcp_refused_by_default() {
     let mut tb = testbed(); // well_behaved: DnsTcpMode::Refuse
     let proxy = tb.gateway_lan_addr();
-    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
+    let conn =
+        tb.with_host(HostId::Client, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
     tb.run_for(Duration::from_millis(100));
-    let state = tb.with_client(|h, _| h.tcp(conn).state());
+    let state = tb.with_host(HostId::Client, |h, _| h.tcp(conn).state());
     assert_eq!(state, TcpState::Closed, "SYN to the proxy should be refused");
 }
 
@@ -195,15 +208,16 @@ fn dns_proxy_tcp_answers_when_enabled() {
         policy.dns_proxy.tcp = mode;
         let mut tb = Testbed::new("dnsy", policy, 3, 7);
         let proxy = tb.gateway_lan_addr();
-        let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
+        let conn =
+            tb.with_host(HostId::Client, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
         tb.run_for(Duration::from_millis(100));
-        assert_eq!(tb.with_client(|h, _| h.tcp(conn).state()), TcpState::Established);
-        tb.with_client(|h, ctx| {
+        assert_eq!(tb.with_host(HostId::Client, |h, _| h.tcp(conn).state()), TcpState::Established);
+        tb.with_host(HostId::Client, |h, ctx| {
             let q = DnsMessage::query_a(0x9999, "www.hiit.fi").emit_tcp();
             h.tcp_send(ctx, conn, &q);
         });
         tb.run_for(Duration::from_secs(1));
-        let data = tb.with_client(|h, _| h.tcp_recv(conn, 4096));
+        let data = tb.with_host(HostId::Client, |h, _| h.tcp_recv(conn, 4096));
         let (msg, _) = DnsMessage::parse_tcp(&data)
             .unwrap_or_else(|e| panic!("no framed answer for {mode:?}: {e} ({data:?})"));
         assert_eq!(msg.id, 0x9999);
@@ -217,15 +231,16 @@ fn dns_tcp_accept_no_answer_black_holes() {
     policy.dns_proxy.tcp = DnsTcpMode::AcceptNoAnswer;
     let mut tb = Testbed::new("hole", policy, 4, 9);
     let proxy = tb.gateway_lan_addr();
-    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
+    let conn =
+        tb.with_host(HostId::Client, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(proxy, 53)));
     tb.run_for(Duration::from_millis(100));
-    assert_eq!(tb.with_client(|h, _| h.tcp(conn).state()), TcpState::Established);
-    tb.with_client(|h, ctx| {
+    assert_eq!(tb.with_host(HostId::Client, |h, _| h.tcp(conn).state()), TcpState::Established);
+    tb.with_host(HostId::Client, |h, ctx| {
         let q = DnsMessage::query_a(1, "server.hiit.fi").emit_tcp();
         h.tcp_send(ctx, conn, &q);
     });
     tb.run_for(Duration::from_secs(2));
-    let data = tb.with_client(|h, _| h.tcp_recv(conn, 4096));
+    let data = tb.with_host(HostId::Client, |h, _| h.tcp_recv(conn, 4096));
     assert!(data.is_empty(), "black-hole proxy must not answer");
 }
 
@@ -234,13 +249,13 @@ fn deterministic_across_identical_seeds() {
     let run = || {
         let mut tb = Testbed::new("det", GatewayPolicy::well_behaved(), 5, 1234);
         let server_addr = tb.server_addr;
-        let sock = tb.with_client(|h, ctx| {
+        let sock = tb.with_host(HostId::Client, |h, ctx| {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, SocketAddrV4::new(server_addr, 9), b"det");
             s
         });
         tb.run_for(Duration::from_secs(1));
-        let events = tb.with_client(|h, _| h.icmp_take_events());
+        let events = tb.with_host(HostId::Client, |h, _| h.icmp_take_events());
         let _ = sock;
         (tb.client_addr(), tb.gateway_wan_addr(), events.len())
     };

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use hgw_core::{Duration, PortId};
 use hgw_gateway::GatewayPolicy;
 use hgw_stack::host::Host;
-use hgw_testbed::Testbed;
+use hgw_testbed::{HostId, Testbed};
 use hgw_wire::ip::{Ipv4Repr, Protocol};
 
 fn arb_frames() -> impl Strategy<Value = Vec<Vec<u8>>> {
@@ -25,11 +25,11 @@ proptest! {
         for (i, frame) in frames.iter().enumerate() {
             let frame = frame.clone();
             if i % 2 == 0 {
-                tb.sim.with_node::<Host, _>(tb.client, |_, ctx| {
+                tb.with_node::<Host, _>(tb.client, |_, ctx| {
                     ctx.send_frame(PortId(0), frame);
                 });
             } else {
-                tb.sim.with_node::<Host, _>(tb.server, |_, ctx| {
+                tb.with_node::<Host, _>(tb.server, |_, ctx| {
                     ctx.send_frame(PortId(0), frame);
                 });
             }
@@ -38,19 +38,19 @@ proptest! {
         tb.run_for(Duration::from_millis(100));
         // The path still works end to end.
         let server_addr = tb.server_addr;
-        let srv = tb.with_server(|h, _| {
+        let srv = tb.with_host(HostId::Server, |h, _| {
             let s = h.udp_bind(9_999);
             h.udp_set_echo(s, true);
             s
         });
-        let cli = tb.with_client(|h, ctx| {
+        let cli = tb.with_host(HostId::Client, |h, ctx| {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, std::net::SocketAddrV4::new(server_addr, 9_999), b"alive?");
             s
         });
         tb.run_for(Duration::from_millis(100));
         prop_assert!(
-            tb.with_client(|h, _| h.udp_recv(cli)).is_some(),
+            tb.with_host(HostId::Client, |h, _| h.udp_recv(cli)).is_some(),
             "testbed wedged after garbage input"
         );
         let _ = srv;
@@ -68,27 +68,27 @@ proptest! {
         let client_addr = tb.client_addr();
         let pkt = Ipv4Repr::new(client_addr, server_addr, Protocol::from(proto))
             .emit_with_payload(&payload);
-        tb.with_client(|h, ctx| h.raw_send(ctx, pkt));
+        tb.with_host(HostId::Client, |h, ctx| h.raw_send(ctx, pkt));
         tb.run_for(Duration::from_millis(50));
         // And from the WAN side, aimed at the gateway's external address.
         let wan = tb.gateway_wan_addr();
         let pkt = Ipv4Repr::new(server_addr, wan, Protocol::from(proto))
             .emit_with_payload(&payload);
-        tb.with_server(|h, ctx| h.raw_send(ctx, pkt));
+        tb.with_host(HostId::Server, |h, ctx| h.raw_send(ctx, pkt));
         tb.run_for(Duration::from_millis(50));
         // Gateway still forwards.
-        let srv = tb.with_server(|h, _| {
+        let srv = tb.with_host(HostId::Server, |h, _| {
             let s = h.udp_bind(9_998);
             h.udp_set_echo(s, true);
             s
         });
-        let cli = tb.with_client(|h, ctx| {
+        let cli = tb.with_host(HostId::Client, |h, ctx| {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, std::net::SocketAddrV4::new(server_addr, 9_998), b"ok?");
             s
         });
         tb.run_for(Duration::from_millis(100));
-        prop_assert!(tb.with_client(|h, _| h.udp_recv(cli)).is_some());
+        prop_assert!(tb.with_host(HostId::Client, |h, _| h.udp_recv(cli)).is_some());
         let _ = srv;
     }
 }

@@ -27,7 +27,7 @@ fn main() {
     // Workload: a DNS query through the proxy plus a small TCP exchange.
     let proxy = tb.gateway_lan_addr();
     let server = tb.server_addr;
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         let s = h.udp_bind_ephemeral();
         h.udp_send(
             ctx,
@@ -36,14 +36,15 @@ fn main() {
             &DnsMessage::query_a(7, "www.hiit.fi").emit(),
         );
     });
-    tb.with_server(|h, _| h.tcp_listen(80, ListenerApp::Echo));
-    let conn = tb.with_client(|h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server, 80)));
+    tb.with_host(HostId::Server, |h, _| h.tcp_listen(80, ListenerApp::Echo));
+    let conn =
+        tb.with_host(HostId::Client, |h, ctx| h.tcp_connect(ctx, SocketAddrV4::new(server, 80)));
     tb.run_for(Duration::from_millis(200));
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.tcp_send(ctx, conn, b"GET / HTTP/1.0\r\n\r\n");
     });
     tb.run_for(Duration::from_millis(500));
-    tb.with_client(|h, ctx| h.tcp_close(ctx, conn));
+    tb.with_host(HostId::Client, |h, ctx| h.tcp_close(ctx, conn));
     tb.run_for(Duration::from_secs(1));
 
     // Export. The LAN captures show private addresses; the WAN captures

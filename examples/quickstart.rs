@@ -33,9 +33,9 @@ fn main() {
 
     // Does a ping traverse the NAT?
     let server = tb.server_addr;
-    tb.with_client(|h, ctx| h.ping(ctx, server, 0x1234, 1));
+    tb.with_host(HostId::Client, |h, ctx| h.ping(ctx, server, 0x1234, 1));
     tb.run_for(Duration::from_millis(100));
-    let replies = tb.with_client(|h, _| h.ping_take_replies());
+    let replies = tb.with_host(HostId::Client, |h, _| h.ping_take_replies());
     println!(
         "ICMP echo through the NAT: {}",
         if replies.is_empty() { "no reply" } else { "works" }

@@ -54,5 +54,5 @@ pub mod prelude {
     pub use hgw_gateway::GatewayPolicy;
     pub use hgw_probe as probe;
     pub use hgw_probe::fleet::{FleetRunner, Parallelism};
-    pub use hgw_testbed::{Testbed, TestbedBuilder};
+    pub use hgw_testbed::{HostId, Testbed, TestbedBuilder, Topology, TopologyBuilder};
 }

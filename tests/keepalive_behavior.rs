@@ -15,19 +15,19 @@ fn survives_idle(tag: &str, slot: u8, keepalive: Option<Duration>, idle: Duratio
     let d = devices::device(tag).unwrap();
     let mut tb = Testbed::new(d.tag, d.policy.clone(), slot, 0xAA00 + slot as u64);
     let server_addr = tb.server_addr;
-    tb.with_server(|h, _| h.tcp_listen(7070, ListenerApp::Manual));
+    tb.with_host(HostId::Server, |h, _| h.tcp_listen(7070, ListenerApp::Manual));
     let config = TcpConfig { keepalive, ..TcpConfig::default() };
-    let conn = tb.with_client(|h, ctx| {
+    let conn = tb.with_host(HostId::Client, |h, ctx| {
         h.tcp_connect_with(ctx, SocketAddrV4::new(server_addr, 7070), config)
     });
     tb.run_for(Duration::from_millis(300));
-    let srv = *tb.with_server(|h, _| h.tcp_accepted()).last().expect("accepted");
+    let srv = *tb.with_host(HostId::Server, |h, _| h.tcp_accepted()).last().expect("accepted");
     tb.run_for(idle);
-    tb.with_server(|h, ctx| {
+    tb.with_host(HostId::Server, |h, ctx| {
         h.tcp_send(ctx, srv, b"still-there?");
     });
     tb.run_for(Duration::from_secs(2));
-    tb.with_client(|h, _| h.tcp_mut(conn).recv(64) == b"still-there?")
+    tb.with_host(HostId::Client, |h, _| h.tcp_mut(conn).recv(64) == b"still-there?")
 }
 
 #[test]

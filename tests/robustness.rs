@@ -39,7 +39,7 @@ fn tcp_bulk_transfer_survives_packet_loss() {
     // must still complete (retransmissions) at reduced speed.
     let d = devices::device("bu1").unwrap();
     let mut tb = Testbed::new(d.tag, d.policy.clone(), 1, 77);
-    *tb.sim.link_config_mut(tb.wan_link) = hgw_core::LinkConfig {
+    *tb.link_config_mut(tb.wan_link) = hgw_core::LinkConfig {
         fault: FaultConfig { drop_chance: 0.02, ..FaultConfig::NONE },
         ..hgw_core::LinkConfig::ethernet_100m()
     };
@@ -58,7 +58,7 @@ fn tcp_bulk_transfer_survives_packet_loss() {
 fn tcp_transfer_survives_corruption_and_reordering() {
     let d = devices::device("al").unwrap();
     let mut tb = Testbed::new(d.tag, d.policy.clone(), 2, 78);
-    *tb.sim.link_config_mut(tb.lan_link) = hgw_core::LinkConfig {
+    *tb.link_config_mut(tb.lan_link) = hgw_core::LinkConfig {
         fault: FaultConfig {
             corrupt_chance: 0.01,
             reorder_chance: 0.05,
@@ -83,11 +83,12 @@ fn udp_measurement_unaffected_by_background_tcp_noise() {
     let d = devices::device("to").unwrap();
     let mut tb = Testbed::new(d.tag, d.policy.clone(), 3, 79);
     let server_addr = tb.server_addr;
-    tb.with_server(|h: &mut Host, _| h.tcp_listen(8080, ListenerApp::Echo));
-    let conn =
-        tb.with_client(|h, ctx| h.tcp_connect(ctx, std::net::SocketAddrV4::new(server_addr, 8080)));
+    tb.with_host(HostId::Server, |h: &mut Host, _| h.tcp_listen(8080, ListenerApp::Echo));
+    let conn = tb.with_host(HostId::Client, |h, ctx| {
+        h.tcp_connect(ctx, std::net::SocketAddrV4::new(server_addr, 8080))
+    });
     tb.run_for(Duration::from_millis(100));
-    tb.with_client(|h, ctx| {
+    tb.with_host(HostId::Client, |h, ctx| {
         h.tcp_send(ctx, conn, b"background chatter");
     });
     let m = measure_udp1(&mut tb, 20_000);
@@ -107,7 +108,7 @@ fn drop_accounting_sums_match_under_fault_injection() {
     use hgw_core::DropReason;
     let d = devices::device("bu1").unwrap();
     let mut tb = Testbed::new(d.tag, d.policy.clone(), 1, 91);
-    *tb.sim.link_config_mut(tb.wan_link) = hgw_core::LinkConfig {
+    *tb.link_config_mut(tb.wan_link) = hgw_core::LinkConfig {
         fault: FaultConfig { drop_chance: 0.05, ..FaultConfig::NONE },
         ..hgw_core::LinkConfig::ethernet_100m()
     };
@@ -124,7 +125,7 @@ fn drop_accounting_sums_match_under_fault_injection() {
     assert!(r.completed, "transfer must complete under 5% loss");
     // Restore a clean link (so probes themselves survive), then probe an
     // expired binding so the gateway drops a late inbound packet.
-    *tb.sim.link_config_mut(tb.wan_link) = hgw_core::LinkConfig::ethernet_100m();
+    *tb.link_config_mut(tb.wan_link) = hgw_core::LinkConfig::ethernet_100m();
     let _ = measure_udp1(&mut tb, 20_000);
 
     let stats = tb.sim.stats();
@@ -183,19 +184,19 @@ fn bringup_works_for_every_device_profile() {
     for (i, d) in devices::all_devices().into_iter().enumerate() {
         let mut tb = Testbed::new(d.tag, d.policy.clone(), (i + 1) as u8, 0xB00 + i as u64);
         let server_addr = tb.server_addr;
-        let srv = tb.with_server(|h, _| {
+        let srv = tb.with_host(HostId::Server, |h, _| {
             let s = h.udp_bind(7777);
             h.udp_set_echo(s, true);
             s
         });
-        let cli = tb.with_client(|h, ctx| {
+        let cli = tb.with_host(HostId::Client, |h, ctx| {
             let s = h.udp_bind_ephemeral();
             h.udp_send(ctx, s, std::net::SocketAddrV4::new(server_addr, 7777), b"hello");
             s
         });
         tb.run_for(Duration::from_millis(100));
         assert!(
-            tb.with_client(|h, _| h.udp_recv(cli)).is_some(),
+            tb.with_host(HostId::Client, |h, _| h.udp_recv(cli)).is_some(),
             "{}: UDP round trip failed",
             d.tag
         );
