@@ -80,6 +80,18 @@ fn bench_checksums(results: &mut Vec<MicroResult>) {
     bench(results, "checksum", "internet_checksum_1460", Some(len), || {
         internet_checksum(std::hint::black_box(&data))
     });
+    // The wide-word path on MTU-sized pseudo-random content (the repeating
+    // 0xA5 fill above is friendly to value prediction; this one is not).
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let noisy: Vec<u8> = (0..1460)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect();
+    bench(results, "checksum", "checksum_1460B", Some(len), || {
+        internet_checksum(std::hint::black_box(&noisy))
+    });
     bench(results, "checksum", "crc32c_1460", Some(len), || crc32c(std::hint::black_box(&data)));
     let src = Ipv4Addr::new(192, 168, 1, 2);
     let dst = Ipv4Addr::new(10, 0, 1, 1);
@@ -251,12 +263,103 @@ impl Node for TimerPingPong {
     impl_node_downcast!();
 }
 
+/// How many frames [`BurstSender`] emits per timer firing.
+const BURST: usize = 32;
+
+/// Emits a [`BURST`]-frame train over an ideal (zero-delay, infinite-rate)
+/// link each time its timer fires, then re-arms. Every firing lands the
+/// whole train on the peer at one instant — the same-timestamp, same-node
+/// shape that `Simulator::step`'s batched dispatch drains in one pass.
+struct BurstSender;
+
+impl Node for BurstSender {
+    fn start(&mut self, ctx: &mut NodeCtx) {
+        ctx.set_timer_after(hgw_core::Duration::from_micros(1), TimerToken(0));
+    }
+    fn handle_frame(&mut self, _: &mut NodeCtx, _: PortId, _: &mut Vec<u8>) {}
+    fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken) {
+        for _ in 0..BURST {
+            let mut f = ctx.alloc_frame(64);
+            f.resize(64, 0);
+            ctx.send_frame(PortId(0), f);
+        }
+        ctx.set_timer_after(hgw_core::Duration::from_micros(1), token);
+    }
+    impl_node_downcast!();
+}
+
+/// Recycles every frame it receives, keeping the pool warm.
+struct FrameSink;
+
+impl Node for FrameSink {
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, _: PortId, frame: &mut Vec<u8>) {
+        ctx.recycle_frame(std::mem::take(frame));
+    }
+    fn handle_timer(&mut self, _: &mut NodeCtx, _: TimerToken) {}
+    impl_node_downcast!();
+}
+
+/// The timing wheel's own costs, isolated from the simulator: four inserts
+/// spanning every wheel level (µs to hour horizons, mimicking link
+/// serialization, TCP retransmit, NAT expiry, and UDP-timeout deadlines),
+/// then an advance that drains them. NAT-style lazy cancellation is free
+/// by construction (a cancelled entry is just popped and discarded), so
+/// the drain half *is* the cancel half.
+fn bench_timer(results: &mut Vec<MicroResult>) {
+    let mut wheel: hgw_core::TimerWheel<u32> = hgw_core::TimerWheel::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    bench(results, "timer", "timer_insert_cancel_advance", None, || {
+        for (i, dt) in [1_000u64, 100_000, 10_000_000, 1_000_000_000].into_iter().enumerate() {
+            seq += 1;
+            wheel.insert(now + dt, seq, i as u32);
+        }
+        now += 1_000_000_000;
+        let mut drained = 0u32;
+        while wheel.pop_due(now).is_some() {
+            drained += 1;
+        }
+        drained
+    });
+}
+
 fn bench_simulation(results: &mut Vec<MicroResult>) {
     const MB: u64 = 1024 * 1024;
     let mut sim = Simulator::new(1);
     sim.add_node(Box::new(TimerPingPong));
     sim.boot();
     bench(results, "simulation", "sim_event_dispatch", None, || sim.step());
+    // Headline gauge derived from the dispatch measurement just taken: how
+    // many engine events one core sustains per second. Recorded with the
+    // rate in `ns_per_iter` (the schema's only value slot) — read it as
+    // events/sec, not nanoseconds.
+    if let Some(d) =
+        results.iter().find(|r| r.group == "simulation" && r.name == "sim_event_dispatch")
+    {
+        let eps = 1e9 / d.ns_per_iter;
+        println!(
+            "simulation/{:<32} {eps:>14.0} events/s  (gauge; 1e9 / sim_event_dispatch)",
+            "sim_events_per_sec"
+        );
+        results.push(MicroResult {
+            group: "simulation".to_string(),
+            name: "sim_events_per_sec".to_string(),
+            ns_per_iter: eps,
+            mb_per_s: None,
+            iters: d.iters,
+        });
+    }
+    // One 32-frame same-instant train per iteration: the timer firing plus
+    // BURST deliveries drained by the batched-dispatch fast path.
+    let mut burst_sim = Simulator::new(1);
+    let a = burst_sim.add_node(Box::new(BurstSender));
+    let b = burst_sim.add_node(Box::new(FrameSink));
+    burst_sim.connect(a, PortId(0), b, PortId(0), hgw_core::LinkConfig::ideal());
+    burst_sim.boot();
+    let train = BURST as u64 + 2;
+    bench(results, "simulation", "batch_dispatch_same_link_train", Some(64 * BURST as u64), || {
+        burst_sim.run_until_idle(train)
+    });
     bench(results, "simulation", "tcp_bulk_2mb_through_gateway", Some(2 * MB), || {
         let mut tb = Testbed::new("bench", GatewayPolicy::well_behaved(), 1, 7);
         run_transfer(&mut tb, 5001, Direction::Upload, 2 * MB)
@@ -304,6 +407,7 @@ fn main() {
     bench_checksums(&mut results);
     bench_wire(&mut results);
     bench_nat_table(&mut results);
+    bench_timer(&mut results);
     bench_simulation(&mut results);
     bench_telemetry(&mut results);
     if let Ok(path) = std::env::var("HGW_BENCH_JSON") {

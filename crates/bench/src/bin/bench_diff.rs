@@ -11,9 +11,12 @@
 //! bench_diff                         # last two captures of BENCH_micro.json
 //! bench_diff --candidate smoke.json  # smoke's latest vs the committed latest
 //! bench_diff --baseline-label pre-fastpath --candidate smoke.json
+//! bench_diff --json                  # machine-readable delta table
 //! ```
 //!
 //! `HGW_BENCH_DRIFT_PCT` sets the marker threshold (default 25%).
+//! `--json` swaps the human table for a `hgw-bench-diff/1` JSON document so
+//! CI tooling can consume the same deltas it archives.
 
 use hgw_bench::micro::{parse_document, MicroCapture};
 use hgw_stats::TextTable;
@@ -22,6 +25,7 @@ struct Options {
     baseline_path: String,
     candidate_path: Option<String>,
     baseline_label: Option<String>,
+    json: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,6 +33,7 @@ fn parse_args() -> Result<Options, String> {
         baseline_path: "BENCH_micro.json".to_string(),
         candidate_path: None,
         baseline_label: None,
+        json: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +42,7 @@ fn parse_args() -> Result<Options, String> {
             "--baseline" => opts.baseline_path = take("--baseline")?,
             "--candidate" => opts.candidate_path = Some(take("--candidate")?),
             "--baseline-label" => opts.baseline_label = Some(take("--baseline-label")?),
+            "--json" => opts.json = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -112,9 +118,22 @@ fn main() {
         }
     };
     match select(&opts) {
-        Ok(Selection::Ready(pair)) => report(&pair.0, &pair.1),
+        Ok(Selection::Ready(pair)) => {
+            if opts.json {
+                report_json(&pair.0, &pair.1);
+            } else {
+                report(&pair.0, &pair.1);
+            }
+        }
         Ok(Selection::FirstRun(why)) => {
-            println!("bench_diff: {why} — skipping drift report (first run is not a failure)");
+            if opts.json {
+                println!(
+                    "{{\"schema\": \"{DIFF_SCHEMA}\", \"skipped\": \"{}\", \"rows\": []}}",
+                    json_escape(&why)
+                );
+            } else {
+                println!("bench_diff: {why} — skipping drift report (first run is not a failure)");
+            }
         }
         Err(e) => {
             eprintln!("bench_diff: {e}");
@@ -123,11 +142,78 @@ fn main() {
     }
 }
 
+/// Schema identifier stamped into `--json` output.
+const DIFF_SCHEMA: &str = "hgw-bench-diff/1";
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn drift_threshold() -> f64 {
+    std::env::var("HGW_BENCH_DRIFT_PCT").ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(25.0)
+}
+
+/// One benchmark's delta between two captures.
+struct DiffRow {
+    /// `group/name`.
+    key: String,
+    baseline_ns: Option<f64>,
+    candidate_ns: Option<f64>,
+    /// Percent change relative to the baseline; `None` for new / missing
+    /// benchmarks and zero-valued baselines.
+    delta_pct: Option<f64>,
+    /// `ok`, `new`, `missing`, `DRIFT (slower)` or `DRIFT (faster)`.
+    status: &'static str,
+}
+
+/// The threshold math shared by the text and JSON reports: a benchmark
+/// drifts when `|candidate - baseline| / baseline * 100 >= threshold`
+/// (inclusive — a delta landing exactly on the threshold is marked).
+fn diff_rows(baseline: &MicroCapture, candidate: &MicroCapture, threshold: f64) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    for r in &candidate.results {
+        let prior = baseline.results.iter().find(|b| b.group == r.group && b.name == r.name);
+        let (baseline_ns, delta_pct, status) = match prior {
+            Some(b) if b.ns_per_iter > 0.0 => {
+                let pct = (r.ns_per_iter - b.ns_per_iter) / b.ns_per_iter * 100.0;
+                let status = if pct.abs() >= threshold {
+                    if pct > 0.0 {
+                        "DRIFT (slower)"
+                    } else {
+                        "DRIFT (faster)"
+                    }
+                } else {
+                    "ok"
+                };
+                (Some(b.ns_per_iter), Some(pct), status)
+            }
+            Some(b) => (Some(b.ns_per_iter), None, "ok"),
+            None => (None, None, "new"),
+        };
+        rows.push(DiffRow {
+            key: format!("{}/{}", r.group, r.name),
+            baseline_ns,
+            candidate_ns: Some(r.ns_per_iter),
+            delta_pct,
+            status,
+        });
+    }
+    for b in &baseline.results {
+        if !candidate.results.iter().any(|r| r.group == b.group && r.name == b.name) {
+            rows.push(DiffRow {
+                key: format!("{}/{}", b.group, b.name),
+                baseline_ns: Some(b.ns_per_iter),
+                candidate_ns: None,
+                delta_pct: None,
+                status: "missing",
+            });
+        }
+    }
+    rows
+}
+
 fn report(baseline: &MicroCapture, candidate: &MicroCapture) {
-    let threshold = std::env::var("HGW_BENCH_DRIFT_PCT")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(25.0);
+    let threshold = drift_threshold();
 
     println!(
         "microbench drift: {:?} (bench_ms {}) -> {:?} (bench_ms {}); warn threshold ±{:.0}%",
@@ -139,55 +225,60 @@ fn report(baseline: &MicroCapture, candidate: &MicroCapture) {
         );
     }
 
+    let rows = diff_rows(baseline, candidate, threshold);
     let mut table =
         TextTable::new(&["benchmark", "baseline ns/iter", "candidate ns/iter", "delta", "status"]);
-    let mut drifted = 0usize;
-    for r in &candidate.results {
-        let key = format!("{}/{}", r.group, r.name);
-        let prior = baseline.results.iter().find(|b| b.group == r.group && b.name == r.name);
-        let (base_cell, delta_cell, status) = match prior {
-            Some(b) if b.ns_per_iter > 0.0 => {
-                let pct = (r.ns_per_iter - b.ns_per_iter) / b.ns_per_iter * 100.0;
-                let status = if pct.abs() >= threshold {
-                    drifted += 1;
-                    if pct > 0.0 {
-                        "DRIFT (slower)"
-                    } else {
-                        "DRIFT (faster)"
-                    }
-                } else {
-                    "ok"
-                };
-                (format!("{:.1}", b.ns_per_iter), format!("{pct:+.1}%"), status)
-            }
-            Some(b) => (format!("{:.1}", b.ns_per_iter), "-".to_string(), "ok"),
-            None => ("-".to_string(), "-".to_string(), "new"),
-        };
+    let fmt_ns = |v: Option<f64>| v.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".to_string());
+    for row in &rows {
         table.row(vec![
-            key,
-            base_cell,
-            format!("{:.1}", r.ns_per_iter),
-            delta_cell,
-            status.to_string(),
+            row.key.clone(),
+            fmt_ns(row.baseline_ns),
+            fmt_ns(row.candidate_ns),
+            row.delta_pct.map(|p| format!("{p:+.1}%")).unwrap_or_else(|| "-".to_string()),
+            row.status.to_string(),
         ]);
-    }
-    for b in &baseline.results {
-        if !candidate.results.iter().any(|r| r.group == b.group && r.name == b.name) {
-            table.row(vec![
-                format!("{}/{}", b.group, b.name),
-                format!("{:.1}", b.ns_per_iter),
-                "-".to_string(),
-                "-".to_string(),
-                "missing".to_string(),
-            ]);
-        }
     }
     println!("{}", table.render());
     println!(
         "{} of {} benchmarks past the ±{:.0}% threshold (warn-only; exit is always 0)",
-        drifted,
+        rows.iter().filter(|r| r.status.starts_with("DRIFT")).count(),
         candidate.results.len(),
         threshold
+    );
+}
+
+/// The machine-readable twin of [`report`]: same rows, same threshold
+/// math, rendered as one `hgw-bench-diff/1` document on stdout.
+fn report_json(baseline: &MicroCapture, candidate: &MicroCapture) {
+    let threshold = drift_threshold();
+    let rows = diff_rows(baseline, candidate, threshold);
+    let num = |v: Option<f64>| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string());
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"benchmark\": \"{}\", \"baseline_ns_per_iter\": {}, \
+                 \"candidate_ns_per_iter\": {}, \"delta_pct\": {}, \"status\": \"{}\"}}",
+                json_escape(&r.key),
+                num(r.baseline_ns),
+                num(r.candidate_ns),
+                num(r.delta_pct),
+                r.status,
+            )
+        })
+        .collect();
+    println!(
+        "{{\n  \"schema\": \"{}\",\n  \"baseline\": \"{}\",\n  \"candidate\": \"{}\",\n  \
+         \"baseline_bench_ms\": {},\n  \"candidate_bench_ms\": {},\n  \
+         \"threshold_pct\": {},\n  \"drifted\": {},\n  \"rows\": [\n{}\n  ]\n}}",
+        DIFF_SCHEMA,
+        json_escape(&baseline.label),
+        json_escape(&candidate.label),
+        baseline.bench_ms,
+        candidate.bench_ms,
+        threshold,
+        rows.iter().filter(|r| r.status.starts_with("DRIFT")).count(),
+        body.join(",\n"),
     );
 }
 
@@ -209,7 +300,12 @@ mod tests {
     }
 
     fn opts(baseline: &str) -> Options {
-        Options { baseline_path: baseline.to_string(), candidate_path: None, baseline_label: None }
+        Options {
+            baseline_path: baseline.to_string(),
+            candidate_path: None,
+            baseline_label: None,
+            json: false,
+        }
     }
 
     #[test]
@@ -248,5 +344,77 @@ mod tests {
             _ => panic!("expected Ready"),
         }
         assert!(select(&opts("/nonexistent/BENCH_micro.json")).is_err());
+    }
+
+    fn capture_with(label: &str, results: &[(&str, &str, f64)]) -> MicroCapture {
+        MicroCapture {
+            label: label.to_string(),
+            bench_ms: 1,
+            results: results
+                .iter()
+                .map(|(group, name, ns)| hgw_bench::micro::MicroResult {
+                    group: group.to_string(),
+                    name: name.to_string(),
+                    ns_per_iter: *ns,
+                    mb_per_s: None,
+                    iters: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn drift_threshold_math_is_inclusive_and_signed() {
+        let base = capture_with(
+            "pre",
+            &[
+                ("g", "exactly_at", 100.0),
+                ("g", "just_below", 100.0),
+                ("g", "faster", 100.0),
+                ("g", "zero_base", 0.0),
+                ("g", "gone", 10.0),
+            ],
+        );
+        let cand = capture_with(
+            "post",
+            &[
+                ("g", "exactly_at", 125.0), // +25.0% — lands ON the threshold
+                ("g", "just_below", 124.9), // +24.9% — under it
+                ("g", "faster", 75.0),      // -25.0% — inclusive on the fast side too
+                ("g", "zero_base", 5.0),    // undefined delta: never drifts
+                ("g", "brand_new", 1.0),
+            ],
+        );
+        let rows = diff_rows(&base, &cand, 25.0);
+        let status = |key: &str| {
+            rows.iter().find(|r| r.key == format!("g/{key}")).map(|r| r.status).unwrap()
+        };
+        assert_eq!(status("exactly_at"), "DRIFT (slower)");
+        assert_eq!(status("just_below"), "ok");
+        assert_eq!(status("faster"), "DRIFT (faster)");
+        assert_eq!(status("zero_base"), "ok");
+        assert_eq!(status("brand_new"), "new");
+        assert_eq!(status("gone"), "missing");
+        // The percentages themselves, to a rounding margin.
+        let pct =
+            |key: &str| rows.iter().find(|r| r.key == format!("g/{key}")).and_then(|r| r.delta_pct);
+        assert!((pct("exactly_at").unwrap() - 25.0).abs() < 1e-9);
+        assert!((pct("faster").unwrap() + 25.0).abs() < 1e-9);
+        assert_eq!(pct("zero_base"), None);
+        assert_eq!(pct("gone"), None);
+    }
+
+    #[test]
+    fn json_rows_carry_the_same_statuses() {
+        // The JSON path shares diff_rows, so a spot check that its cells
+        // serialize numeric-or-null is enough.
+        let base = capture_with("pre", &[("g", "a", 10.0)]);
+        let cand = capture_with("post", &[("g", "a", 20.0)]);
+        let rows = diff_rows(&base, &cand, 25.0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].status, "DRIFT (slower)");
+        assert_eq!(rows[0].baseline_ns, Some(10.0));
+        assert_eq!(rows[0].candidate_ns, Some(20.0));
+        assert!((rows[0].delta_pct.unwrap() - 100.0).abs() < 1e-9);
     }
 }

@@ -80,7 +80,7 @@ fn run() -> Result<(), FleetError> {
     let runner = FleetRunner::new(&devices).seed(seed).instrumented(true).telemetry(true);
 
     let sequential = runner.parallelism(Parallelism::Sequential).run(probe)?;
-    let sequential_wall_ms = sequential.scheduling.wall_ms;
+    let seq_scheduling = sequential.scheduling.clone();
     let parallel = runner.parallelism(parallelism).run(probe)?;
     let scheduling = parallel.scheduling.clone();
 
@@ -141,7 +141,7 @@ fn run() -> Result<(), FleetError> {
         ]);
     }
     println!("{}", table.render());
-    print_scheduling(&scheduling, sequential_wall_ms);
+    print_scheduling(&scheduling, seq_scheduling.wall_ms);
 
     let household = run_household(&devices, seed, parallelism)?;
 
@@ -150,7 +150,7 @@ fn run() -> Result<(), FleetError> {
         seed,
         &per_device,
         &scheduling,
-        Some(sequential_wall_ms),
+        Some(&seq_scheduling),
         Some(&dist),
         household.as_ref(),
     );
@@ -254,6 +254,8 @@ fn print_household(agg: &HouseholdFleetSummary, per_device: &[(String, Household
 }
 
 fn print_scheduling(scheduling: &hgw_probe::fleet::SchedulingReport, sequential_wall_ms: f64) {
+    let speedup =
+        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 };
     println!(
         "scheduling: mode {} → {} worker(s) on a {}-way host; batch {}; wall {:.1} ms vs {:.1} ms sequential (speedup {:.2}x)",
         scheduling.parallelism,
@@ -262,8 +264,29 @@ fn print_scheduling(scheduling: &hgw_probe::fleet::SchedulingReport, sequential_
         scheduling.batch_size,
         scheduling.wall_ms,
         sequential_wall_ms,
-        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 },
+        speedup,
     );
+    if let Some(w) = parallel_regression_warning(scheduling, speedup) {
+        eprintln!("{w}");
+    }
+}
+
+/// The scheduling honesty check: when a parallel leg comes in slower than
+/// the sequential baseline of the same campaign, say so out loud instead
+/// of leaving a `speedup_vs_sequential < 1` buried in the manifest JSON.
+fn parallel_regression_warning(
+    scheduling: &hgw_probe::fleet::SchedulingReport,
+    speedup: f64,
+) -> Option<String> {
+    if scheduling.workers > 1 && speedup > 0.0 && speedup < 1.0 {
+        Some(format!(
+            "warning: parallel leg ({} workers) LOST to sequential — speedup {speedup:.2}x < 1; \
+             per-device runs may be too short to amortize scheduling overhead",
+            scheduling.workers,
+        ))
+    } else {
+        None
+    }
 }
 
 /// The mega-fleet campaign: N sampled profiles, streaming fold, population
@@ -300,7 +323,7 @@ fn run_mega(n: usize) -> Result<(), FleetError> {
     let report = render_mega_report(n, seed, dist, &par.scheduling, seq.scheduling.wall_ms);
     println!("{report}");
 
-    let json = render_mega_manifest(seed, dist, &par.scheduling, Some(seq.scheduling.wall_ms));
+    let json = render_mega_manifest(seed, dist, &par.scheduling, Some(&seq.scheduling));
     for path in
         [figures_dir().join("megafleet.json"), Path::new("results/megafleet.json").to_path_buf()]
     {
@@ -330,6 +353,8 @@ fn render_mega_report(
     out.push_str(&format!(
         "mega-fleet report: {n} devices sampled from the Table 1 profile space (seed {seed})\n"
     ));
+    let speedup =
+        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 };
     out.push_str(&format!(
         "scheduling: mode {} → {} worker(s) on a {}-way host; batch {}; wall {:.1} ms vs {:.1} ms sequential (speedup {:.2}x)\n",
         scheduling.parallelism,
@@ -338,8 +363,12 @@ fn render_mega_report(
         scheduling.batch_size,
         scheduling.wall_ms,
         sequential_wall_ms,
-        if scheduling.wall_ms > 0.0 { sequential_wall_ms / scheduling.wall_ms } else { 0.0 },
+        speedup,
     ));
+    if let Some(w) = parallel_regression_warning(scheduling, speedup) {
+        out.push_str(&w);
+        out.push('\n');
+    }
     for w in &scheduling.per_worker {
         out.push_str(&format!(
             "  worker {}: {} devices in {} batches, {} warm-pool reuses, busy {:.1} ms\n",

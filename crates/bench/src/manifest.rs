@@ -42,7 +42,14 @@ use hgw_probe::household::HouseholdFleetSummary;
 /// `earliest_onset_secs`), merged per-flow goodput and delay
 /// distributions, and the mean Jain fairness index. `null` when the
 /// campaign ran without a household leg.
-pub const SCHEMA: &str = "hgw-fleet-manifest/5";
+///
+/// `/6` adds `scheduling.legs`: one entry per measured leg of the campaign
+/// (the sequential baseline first when one was run, then the recorded
+/// leg), each with its parallelism mode, resolved worker count, and
+/// wall-clock — so per-leg timing is explicit instead of being inferred
+/// from the `speedup_vs_sequential` scalar, and a parallel leg that loses
+/// to sequential is visible at a glance.
+pub const SCHEMA: &str = "hgw-fleet-manifest/6";
 
 /// Escapes a string for embedding in hand-emitted JSON.
 pub(crate) fn json_escape(s: &str) -> String {
@@ -118,7 +125,16 @@ fn device_json(tag: &str, metrics: &DeviceRunMetrics) -> String {
     )
 }
 
-fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64>) -> String {
+/// One `scheduling.legs` entry: the leg's mode, the worker count it
+/// resolved to, and its measured wall-clock.
+fn leg_json(leg: &SchedulingReport) -> String {
+    format!(
+        "{{\"mode\": \"{}\", \"workers\": {}, \"wall_ms\": {:.3}}}",
+        leg.parallelism, leg.workers, leg.wall_ms
+    )
+}
+
+fn scheduling_json(scheduling: &SchedulingReport, sequential: Option<&SchedulingReport>) -> String {
     let workers: Vec<String> = scheduling
         .per_worker
         .iter()
@@ -130,16 +146,20 @@ fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64
             )
         })
         .collect();
+    let sequential_wall_ms = sequential.map(|s| s.wall_ms);
     let speedup = sequential_wall_ms
         .filter(|seq| scheduling.wall_ms > 0.0 && *seq > 0.0)
         .map(|seq| format!("{:.2}", seq / scheduling.wall_ms))
         .unwrap_or_else(|| "null".to_string());
+    // The baseline leg (when run) comes first, then the recorded leg.
+    let legs: Vec<String> =
+        sequential.iter().chain(std::iter::once(&scheduling)).map(|s| leg_json(s)).collect();
     format!(
         concat!(
             "{{\"mode\": \"{}\", \"workers\": {}, \"host_parallelism\": {}, ",
             "\"batch_size\": {}, ",
             "\"wall_ms\": {:.3}, \"sequential_wall_ms\": {}, ",
-            "\"speedup_vs_sequential\": {}, \"per_worker\": [{}]}}"
+            "\"speedup_vs_sequential\": {}, \"legs\": [{}], \"per_worker\": [{}]}}"
         ),
         scheduling.parallelism,
         scheduling.workers,
@@ -148,6 +168,7 @@ fn scheduling_json(scheduling: &SchedulingReport, sequential_wall_ms: Option<f64
         scheduling.wall_ms,
         sequential_wall_ms.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string()),
         speedup,
+        legs.join(", "),
         workers.join(", "),
     )
 }
@@ -244,16 +265,17 @@ pub fn household_json(h: &HouseholdFleetSummary) -> String {
 /// Renders the full fleet manifest as a JSON string.
 ///
 /// `scheduling` is the parallel (or only) campaign's scheduling metadata;
-/// `sequential_wall_ms`, when present, is the measured wall-clock of the
-/// same campaign under `Parallelism::Sequential` and yields the manifest's
-/// `speedup_vs_sequential` field. `distributions`, when present, becomes
+/// `sequential`, when present, is the full scheduling report of the same
+/// campaign under `Parallelism::Sequential` and yields the manifest's
+/// `sequential_wall_ms` / `speedup_vs_sequential` fields plus the leading
+/// entry of the `/6` `legs` array. `distributions`, when present, becomes
 /// the `fleet_distributions` block (rendered as `null` otherwise);
 /// `household`, when present, becomes the `/5` `household` block.
 pub fn render_fleet_manifest(
     seed: u64,
     per_device: &[(String, DeviceRunMetrics)],
     scheduling: &SchedulingReport,
-    sequential_wall_ms: Option<f64>,
+    sequential: Option<&SchedulingReport>,
     distributions: Option<&FleetDistributions>,
     household: Option<&HouseholdFleetSummary>,
 ) -> String {
@@ -276,7 +298,7 @@ pub fn render_fleet_manifest(
         SCHEMA,
         seed,
         per_device.len(),
-        scheduling_json(scheduling, sequential_wall_ms),
+        scheduling_json(scheduling, sequential),
         distributions.map(distributions_json).unwrap_or_else(|| "null".to_string()),
         household.map(household_json).unwrap_or_else(|| "null".to_string()),
         device_json("*", &total).trim_start(),
@@ -291,14 +313,14 @@ pub fn render_mega_manifest(
     seed: u64,
     distributions: &FleetDistributions,
     scheduling: &SchedulingReport,
-    sequential_wall_ms: Option<f64>,
+    sequential: Option<&SchedulingReport>,
 ) -> String {
     format!(
         "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"per_device\": null\n}}\n",
         SCHEMA,
         seed,
         distributions.devices,
-        scheduling_json(scheduling, sequential_wall_ms),
+        scheduling_json(scheduling, sequential),
         distributions_json(distributions),
     )
 }
@@ -363,7 +385,7 @@ mod tests {
         for reason in DropReason::ALL {
             assert!(json.contains(reason.name()), "missing key {}", reason.name());
         }
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/5\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/6\""));
         assert!(json.contains("\"device\": \"ls1\""));
         assert!(json.contains("\"nat_bindings_peak\": 0"));
     }
@@ -417,13 +439,25 @@ mod tests {
         assert!(totals_row.contains("\"delay\": null"), "{totals_row}");
     }
 
+    /// The sequential-baseline leg paired with [`test_scheduling`].
+    fn test_sequential() -> SchedulingReport {
+        SchedulingReport {
+            parallelism: Parallelism::Sequential,
+            workers: 1,
+            host_parallelism: 8,
+            batch_size: 1,
+            wall_ms: 250.0,
+            per_worker: vec![],
+        }
+    }
+
     #[test]
     fn scheduling_block_reports_speedup() {
         let json = render_fleet_manifest(
             1,
             &[("a".to_string(), DeviceRunMetrics::default())],
             &test_scheduling(),
-            Some(250.0),
+            Some(&test_sequential()),
             None,
             None,
         );
@@ -437,6 +471,42 @@ mod tests {
             "{\"worker\": 0, \"devices_run\": 1, \"batches\": 1, \"pool_reused\": 0, \
              \"busy_ms\": 90.000}"
         ));
+    }
+
+    #[test]
+    fn scheduling_block_records_per_leg_wall_clock() {
+        let json = render_fleet_manifest(
+            1,
+            &[("a".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            Some(&test_sequential()),
+            None,
+            None,
+        );
+        // Sequential baseline first, recorded leg second, each with its own
+        // mode, worker count, and wall-clock.
+        assert!(
+            json.contains(
+                "\"legs\": [{\"mode\": \"sequential\", \"workers\": 1, \"wall_ms\": 250.000}, \
+                 {\"mode\": \"fixed(4)\", \"workers\": 4, \"wall_ms\": 100.000}]"
+            ),
+            "{json}"
+        );
+        // Without a baseline the array still names the one measured leg.
+        let json = render_fleet_manifest(
+            1,
+            &[("a".to_string(), DeviceRunMetrics::default())],
+            &test_scheduling(),
+            None,
+            None,
+            None,
+        );
+        assert!(
+            json.contains(
+                "\"legs\": [{\"mode\": \"fixed(4)\", \"workers\": 4, \"wall_ms\": 100.000}]"
+            ),
+            "{json}"
+        );
     }
 
     #[test]
@@ -525,8 +595,9 @@ mod tests {
         let mut dist = FleetDistributions::new();
         dist.record(&owrt, 30.5, None);
         dist.record(&owrt, 185.5, None);
-        let json = render_mega_manifest(11, &dist, &test_scheduling(), Some(400.0));
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/5\""));
+        let sequential = SchedulingReport { wall_ms: 400.0, ..test_sequential() };
+        let json = render_mega_manifest(11, &dist, &test_scheduling(), Some(&sequential));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/6\""));
         assert!(json.contains("\"seed\": 11"));
         assert!(json.contains("\"devices\": 2"));
         assert!(json.contains("\"speedup_vs_sequential\": 4.00"));

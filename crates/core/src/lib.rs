@@ -23,6 +23,7 @@ pub mod sim;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use link::{Dir, FaultConfig, Link, LinkConfig, LinkDirStats, LinkId};
 pub use node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
@@ -36,3 +37,4 @@ pub use telemetry::{
 };
 pub use time::{serialization_time, Duration, Instant};
 pub use trace::{CountingObserver, DropCounts, DropReason, EventLog, SimObserver, TraceEvent};
+pub use wheel::TimerWheel;

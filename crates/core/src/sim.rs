@@ -6,10 +6,6 @@
 //! virtual clock, which makes every run bit-for-bit reproducible from its
 //! seed.
 
-use std::cmp::Reverse;
-
-use std::collections::BinaryHeap;
-
 use crate::link::{Dir, Link, LinkConfig, LinkId};
 use crate::node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
 use crate::pool::FramePool;
@@ -17,6 +13,7 @@ use crate::rng::SimRng;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::time::{Duration, Instant};
 use crate::trace::{DropCounts, DropReason, SimObserver, TraceEvent};
+use crate::wheel::TimerWheel;
 
 /// What an event does when it is dispatched.
 ///
@@ -33,31 +30,6 @@ enum EventKind {
     TxComplete { link: LinkId, dir: Dir, frame: Vec<u8>, enqueued_at: Instant },
     /// A node timer fired.
     Timer { node: NodeId, token: TimerToken },
-}
-
-#[derive(Debug)]
-struct Event {
-    at: Instant,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // Ties broken by insertion order for determinism.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct NodeSlot {
@@ -111,7 +83,10 @@ pub struct SimStats {
 pub struct Simulator {
     now: Instant,
     seq: u64,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Pending events ordered by `(at, seq)`. The hierarchical timing
+    /// wheel replaced a `BinaryHeap<Reverse<Event>>` with an identical
+    /// pop order (proven against the heap oracle in `wheel::tests`).
+    queue: TimerWheel<EventKind>,
     nodes: Vec<NodeSlot>,
     links: Vec<Link>,
     root_rng: SimRng,
@@ -136,7 +111,7 @@ impl Simulator {
         Simulator {
             now: Instant::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             nodes: Vec::new(),
             links: Vec::new(),
             root_rng: SimRng::new(seed),
@@ -392,7 +367,7 @@ impl Simulator {
     fn push_event(&mut self, at: Instant, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.insert(at.as_nanos(), seq, kind);
     }
 
     /// Applies (and drains) the actions a node emitted during a callback.
@@ -489,38 +464,73 @@ impl Simulator {
         self.push_event(tx_end, EventKind::TxComplete { link: link_id, dir, frame, enqueued_at });
     }
 
-    /// Dispatches the next event. Returns the time it ran at, or `None` if
-    /// the queue is empty.
+    /// Dispatches the next event — plus, for frame deliveries, every
+    /// immediately following event that delivers to the same node at the
+    /// same instant (a bulk transfer produces long same-timestamp,
+    /// same-link trains; batching amortizes the node take/put and scratch
+    /// bookkeeping across the burst). Every dispatched event still counts
+    /// individually in [`SimStats::events`] and emits its own trace and
+    /// telemetry, so batching is observationally identical to stepping.
+    /// Returns the time the event(s) ran at, or `None` if the queue is
+    /// empty.
     pub fn step(&mut self) -> Option<Instant> {
-        let Reverse(event) = self.queue.pop()?;
-        debug_assert!(event.at >= self.now, "event queue went backwards");
-        self.now = event.at;
+        let (at, _seq, kind) = self.queue.pop()?;
+        let at = Instant::from_nanos(at);
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
         self.stats.events += 1;
-        match event.kind {
-            EventKind::Deliver { node, port, mut frame, enqueued_at } => {
-                if let Some(t) = &mut self.telemetry {
-                    t.record_one_way_delay(self.now - enqueued_at);
-                    t.flight.record_frame(self.now, &frame);
-                }
-                self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
-                let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
+        match kind {
+            EventKind::Deliver { node, port, frame, enqueued_at } => {
+                let Some(slot) = self.nodes.get_mut(node.0) else {
+                    self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
+                    return Some(self.now);
+                };
                 let mut boxed = slot.node.take().expect("deliver: node is mid-callback");
                 let mut actions = std::mem::take(&mut self.scratch_actions);
-                {
-                    let mut ctx = NodeCtx::new(
-                        self.now,
-                        node,
-                        &mut slot.rng,
-                        &mut self.pool,
-                        &mut actions,
-                        self.telemetry.as_deref_mut(),
-                    );
-                    boxed.handle_frame(&mut ctx, port, &mut frame);
+                let (mut port, mut frame, mut enqueued_at) = (port, frame, enqueued_at);
+                loop {
+                    if let Some(t) = &mut self.telemetry {
+                        t.record_one_way_delay(self.now - enqueued_at);
+                        t.flight.record_frame(self.now, &frame);
+                    }
+                    self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
+                    {
+                        let slot = &mut self.nodes[node.0];
+                        let mut ctx = NodeCtx::new(
+                            self.now,
+                            node,
+                            &mut slot.rng,
+                            &mut self.pool,
+                            &mut actions,
+                            self.telemetry.as_deref_mut(),
+                        );
+                        boxed.handle_frame(&mut ctx, port, &mut frame);
+                    }
+                    // Whatever the node left in place goes back to the pool.
+                    self.pool.put(frame);
+                    self.apply_actions(node, &mut actions);
+                    // Drain the rest of a same-instant delivery train to
+                    // this node. Events pushed by `apply_actions` above
+                    // carry larger seqs than anything already queued, so
+                    // this cannot overtake an older pending event.
+                    let next = self.queue.pop_if(|t, _, kind| {
+                        t == self.now.as_nanos()
+                            && matches!(kind, EventKind::Deliver { node: n, .. } if *n == node)
+                    });
+                    match next {
+                        Some((
+                            _,
+                            _,
+                            EventKind::Deliver { port: p, frame: f, enqueued_at: e, .. },
+                        )) => {
+                            self.stats.events += 1;
+                            (port, frame, enqueued_at) = (p, f, e);
+                        }
+                        Some(_) => unreachable!("pop_if matched a non-Deliver event"),
+                        None => break,
+                    }
                 }
-                // Whatever the node left in place goes back to the pool.
-                self.pool.put(frame);
                 self.nodes[node.0].node = Some(boxed);
-                self.apply_actions(node, &mut actions);
                 self.scratch_actions = actions;
             }
             EventKind::TxComplete { link, dir, frame, enqueued_at } => {
@@ -594,8 +604,8 @@ impl Simulator {
     /// Runs events until the clock reaches `deadline`. Events at exactly
     /// `deadline` are *not* dispatched; the clock is left at `deadline`.
     pub fn run_until(&mut self, deadline: Instant) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at >= deadline {
+        while let Some((at, _)) = self.queue.peek() {
+            if at >= deadline.as_nanos() {
                 break;
             }
             self.step();
@@ -611,14 +621,14 @@ impl Simulator {
         self.run_until(deadline);
     }
 
-    /// Runs until the event queue is empty or `max_events` more events have
-    /// been dispatched. Returns the number of events dispatched.
+    /// Runs until the event queue is empty or at least `max_events` more
+    /// events have been dispatched. Returns the number of events
+    /// dispatched; a batched delivery train at the limit may overshoot
+    /// `max_events` by the length of its tail.
     pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
-        let mut n = 0;
-        while n < max_events && self.step().is_some() {
-            n += 1;
-        }
-        n
+        let start = self.stats.events;
+        while self.stats.events - start < max_events && self.step().is_some() {}
+        self.stats.events - start
     }
 
     /// True if no events are pending.

@@ -274,8 +274,13 @@ pub fn serialization_time(bytes: usize, bits_per_sec: u64) -> Duration {
     if bits_per_sec == 0 {
         return Duration::ZERO;
     }
-    let bits = bytes as u128 * 8;
-    Duration::from_nanos(((bits * 1_000_000_000) / bits_per_sec as u128) as u64)
+    let bits = bytes as u64 * 8;
+    if let Some(ns) = bits.checked_mul(1_000_000_000) {
+        // Every real frame lands here; 128-bit division (a libcall) is
+        // reserved for pathological multi-gigabyte "frames".
+        return Duration::from_nanos(ns / bits_per_sec);
+    }
+    Duration::from_nanos(((bits as u128 * 1_000_000_000) / bits_per_sec as u128) as u64)
 }
 
 #[cfg(test)]

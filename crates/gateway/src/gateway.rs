@@ -245,10 +245,11 @@ impl Gateway {
     fn local_input_lan(&mut self, ctx: &mut NodeCtx, frame: &[u8]) {
         let ip = Ipv4Packet::new_unchecked(frame);
         let src_addr = ip.src_addr();
-        let payload = ip.payload().to_vec();
+        // Locally-addressed traffic is parsed in place; nothing below needs
+        // an owned copy of the IP payload.
         match ip.protocol() {
             Protocol::Udp => {
-                let Ok(udp) = UdpPacket::new_checked(&payload[..]) else { return };
+                let Ok(udp) = UdpPacket::new_checked(ip.payload()) else { return };
                 if !udp.verify_checksum(src_addr, ip.dst_addr()) {
                     return;
                 }
@@ -256,17 +257,17 @@ impl Gateway {
                     SERVER_PORT => self.lan_dhcp_input(ctx, udp.payload()),
                     53 if self.policy.dns_proxy.udp => {
                         let client = SocketAddrV4::new(src_addr, udp.src_port());
-                        let query = udp.payload().to_vec();
-                        self.proxy_udp_query(ctx, client, &query, None);
+                        self.proxy_udp_query(ctx, client, udp.payload(), None);
                     }
                     _ => {}
                 }
             }
             Protocol::Tcp => {
-                self.lan_tcp_input(ctx, src_addr, &payload);
+                self.lan_tcp_input(ctx, src_addr, ip.payload());
             }
             Protocol::Icmp => {
-                if let Ok(IcmpRepr::EchoRequest { ident, seq, payload }) = IcmpRepr::parse(&payload)
+                if let Ok(IcmpRepr::EchoRequest { ident, seq, payload }) =
+                    IcmpRepr::parse(ip.payload())
                 {
                     let reply = IcmpRepr::EchoReply { ident, seq, payload };
                     let repr = Ipv4Repr::new(self.lan_addr, src_addr, Protocol::Icmp);
@@ -535,7 +536,7 @@ impl Gateway {
         let Ok(udp) = UdpPacket::new_checked(ip.payload()) else { return };
         let (src_addr, dst_addr) = (ip.src_addr(), ip.dst_addr());
         let (sport, dport) = (udp.src_port(), udp.dst_port());
-        let payload = udp.payload().to_vec();
+        let payload = udp.payload();
         let now = ctx.now();
         let OutboundVerdict::Translated { external_port, .. } = self.nat.outbound(
             now,
@@ -559,7 +560,7 @@ impl Gateway {
         ) {
             InboundVerdict::Accept { internal } => {
                 let dgram = UdpRepr { src_port: external_port, dst_port: internal.1 }
-                    .emit_with_payload(wan_addr, internal.0, &payload);
+                    .emit_with_payload(wan_addr, internal.0, payload);
                 let repr = Ipv4Repr::new(wan_addr, internal.0, Protocol::Udp);
                 let pkt = repr.emit_with_payload(&dgram);
                 self.forward(ctx, FwdDir::Down, pkt);
@@ -615,7 +616,7 @@ impl Gateway {
 
     // ------------------------------------------------------ WAN ingress --
 
-    fn wan_input(&mut self, ctx: &mut NodeCtx, frame: Vec<u8>) {
+    fn wan_input(&mut self, ctx: &mut NodeCtx, mut frame: Vec<u8>) {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else { return };
         if !ip.verify_checksum() {
             let bytes = frame.len();
@@ -624,13 +625,15 @@ impl Gateway {
         }
         let (src_addr, dst_addr) = (ip.src_addr(), ip.dst_addr());
         let proto = ip.protocol();
-        let payload = ip.payload().to_vec();
+        // Zero-copy ingress: transport headers are parsed over a borrowed
+        // slice of the frame instead of a per-packet payload copy.
         let hl = ip.header_len();
+        let tl = ip.total_len();
         let now = ctx.now();
 
         // DHCP client traffic.
         if proto == Protocol::Udp {
-            if let Ok(udp) = UdpPacket::new_checked(&payload[..]) {
+            if let Ok(udp) = UdpPacket::new_checked(&frame[hl..tl]) {
                 if udp.dst_port() == CLIENT_PORT {
                     if let Ok(msg) = DhcpMessage::parse(udp.payload()) {
                         self.dhcp_client.process(now, &msg);
@@ -647,7 +650,7 @@ impl Gateway {
 
         match proto {
             Protocol::Udp => {
-                let Ok(udp) = UdpPacket::new_checked(&payload[..]) else { return };
+                let Ok(udp) = UdpPacket::new_checked(&frame[hl..tl]) else { return };
                 if !udp.verify_checksum(src_addr, dst_addr) {
                     let bytes = frame.len();
                     self.drop_frame(ctx, DropReason::Checksum, bytes);
@@ -660,12 +663,10 @@ impl Gateway {
                         self.udp_dns_pending.iter().position(|e| e.proxy_port == dport)
                     {
                         let entry = self.udp_dns_pending.remove(pos);
-                        let answer = udp.payload().to_vec();
-                        self.relay_dns_answer(ctx, entry, &answer);
+                        self.relay_dns_answer(ctx, entry, udp.payload());
                         return;
                     }
                 }
-                let mut frame = frame;
                 match self.nat.inbound(
                     now,
                     &self.policy,
@@ -723,19 +724,18 @@ impl Gateway {
                 }
             }
             Protocol::Tcp => {
-                let Ok(tcp) = TcpPacket::new_checked(&payload[..]) else { return };
+                let Ok(tcp) = TcpPacket::new_checked(&frame[hl..tl]) else { return };
                 if !tcp.verify_checksum(src_addr, dst_addr) {
                     let bytes = frame.len();
                     self.drop_frame(ctx, DropReason::Checksum, bytes);
                     return;
                 }
                 let (sport, dport) = (tcp.src_port(), tcp.dst_port());
+                let flags = tcp.flags();
                 // Upstream DNS-proxy connection?
-                if sport == 53 && self.upstream_conn_input(ctx, src_addr, dport, &payload) {
+                if sport == 53 && self.upstream_conn_input(ctx, src_addr, dport, &frame[hl..tl]) {
                     return;
                 }
-                let flags = tcp.flags();
-                let mut frame = frame;
                 match self.nat.inbound(
                     now,
                     &self.policy,
@@ -793,7 +793,7 @@ impl Gateway {
                 }
             }
             Protocol::Icmp => {
-                let Ok(msg) = IcmpRepr::parse(&payload) else { return };
+                let Ok(msg) = IcmpRepr::parse(&frame[hl..tl]) else { return };
                 match msg {
                     IcmpRepr::EchoRequest { ident, seq, payload } => {
                         let reply = IcmpRepr::EchoReply { ident, seq, payload };
@@ -828,7 +828,6 @@ impl Gateway {
                             .iter()
                             .find(|(p, _, r)| *p == other.number() && *r == src_addr)
                         {
-                            let mut frame = frame;
                             let mut ipm = Ipv4Packet::new_unchecked(&mut frame[..]);
                             ipm.set_dst_addr(internal);
                             ipm.fill_checksum();

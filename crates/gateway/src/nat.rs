@@ -13,19 +13,22 @@
 //! - hash indices keyed by the exact session 5-tuple, by `(proto, internal)`
 //!   (mapping reuse), and by `(proto, external_port)` (inbound, collisions);
 //! - per-proto live counters replacing the `count()` filter scan;
-//! - a time-ordered expiry map so [`NatTable::sweep`] touches only bindings
-//!   that are actually due, instead of scanning the whole table;
+//! - a time-ordered expiry queue — a [`TimerWheel`] with lazy
+//!   cancellation (see DESIGN.md §11) — so [`NatTable::sweep`] touches
+//!   only bindings that are actually due, instead of scanning the whole
+//!   table;
 //! - an exact-match quarantine index over recently expired flows with its
-//!   own time-ordered pruning queue (the UDP-4 reuse-vs-quarantine memory).
+//!   own wheel-backed, time-ordered pruning queue (the UDP-4
+//!   reuse-vs-quarantine memory).
 //!
 //! The pre-index implementation is retained under `reference` (test-only)
 //! and driven side-by-side over randomized policy/flow sequences to pin the
 //! equivalence.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
-use hgw_core::{Duration, Instant};
+use hgw_core::{Duration, Instant, TimerWheel};
 
 use crate::policy::{EndpointScope, GatewayPolicy, PortAssignment, TrafficPattern};
 
@@ -209,8 +212,14 @@ pub struct NatTable {
     by_internal: NatMap<(NatProto, Endpoint), Vec<u64>>,
     /// External index: `(proto, external_port)` → ids sharing the mapping.
     by_external: NatMap<(NatProto, u16), Vec<u64>>,
-    /// Time-ordered expiry queue over live bindings.
-    expiry: BTreeMap<(Instant, u64), ()>,
+    /// Time-ordered expiry queue over live bindings: a timing wheel of
+    /// `(expires_at, binding id)` entries with *lazy cancellation*. A
+    /// binding that is removed or re-timed leaves its old entry behind;
+    /// [`NatTable::sweep`] filters stale entries when they surface (an
+    /// entry is live iff its id still exists and the binding's current
+    /// `expires_at` matches the entry's deadline). Ids are never reused,
+    /// so a stale entry can never impersonate a live one.
+    expiry: TimerWheel<u64>,
     /// Live binding count per transport (indexed by [`proto_idx`]).
     live: [usize; 3],
     next_id: u64,
@@ -219,8 +228,12 @@ pub struct NatTable {
     /// expired bindings share the key.
     quarantine: NatMap<QuarantineKey, u32>,
     /// Time-ordered pruning queue over quarantine entries, keyed by the
-    /// expiry instant of the underlying binding (id keeps keys unique).
-    quarantine_by_time: BTreeMap<(Instant, u64), QuarantineKey>,
+    /// expiry instant of the underlying binding. Entries are never
+    /// cancelled, only pruned in order, so no lazy filtering is needed.
+    quarantine_by_time: TimerWheel<QuarantineKey>,
+    /// Monotonic insertion counter shared by both timing wheels (their
+    /// deterministic same-instant tie-break).
+    wheel_seq: u64,
     next_seq_port: u16,
     stats: NatStats,
     /// `(time, live bindings)` samples taken whenever occupancy changes,
@@ -259,11 +272,12 @@ impl NatTable {
             by_session: NatMap::default(),
             by_internal: NatMap::default(),
             by_external: NatMap::default(),
-            expiry: BTreeMap::new(),
+            expiry: TimerWheel::new(),
             live: [0; 3],
             next_id: 0,
             quarantine: NatMap::default(),
-            quarantine_by_time: BTreeMap::new(),
+            quarantine_by_time: TimerWheel::new(),
+            wheel_seq: 0,
             next_seq_port: SEQ_BASE,
             stats: NatStats::default(),
             occupancy_log: Vec::new(),
@@ -313,6 +327,13 @@ impl NatTable {
         self.live[proto_idx(proto)]
     }
 
+    /// Next tie-break seq for a wheel insert.
+    fn next_wheel_seq(&mut self) -> u64 {
+        let s = self.wheel_seq;
+        self.wheel_seq += 1;
+        s
+    }
+
     /// Inserts a new binding at the tail of the slab and indexes it.
     fn push_binding(&mut self, b: Binding) {
         let id = self.next_id;
@@ -322,7 +343,8 @@ impl NatTable {
         self.by_session.insert((b.proto, b.internal, b.remote), id);
         self.by_internal.entry((b.proto, b.internal)).or_default().push(id);
         self.by_external.entry((b.proto, b.external_port)).or_default().push(id);
-        self.expiry.insert((b.expires_at, id), ());
+        let seq = self.next_wheel_seq();
+        self.expiry.insert(b.expires_at.as_nanos(), seq, id);
         self.live[proto_idx(b.proto)] += 1;
         self.bindings.push(b);
         self.ids.push(id);
@@ -356,21 +378,24 @@ impl NatTable {
                 self.by_external.remove(&ekey);
             }
         }
-        self.expiry.remove(&(b.expires_at, id));
+        // The binding's expiry-wheel entry stays behind; `sweep` discards
+        // it as stale (lazy cancellation — the id no longer resolves).
         self.live[proto_idx(b.proto)] -= 1;
         b
     }
 
-    /// Moves the binding at `pos` to a new expiry time, keeping the
-    /// time-ordered queue in sync.
+    /// Moves the binding at `pos` to a new expiry time. The old wheel
+    /// entry is left behind (stale: its deadline no longer matches the
+    /// binding); only the entry matching the binding's current
+    /// `expires_at` is honored by `sweep`.
     fn set_expiry(&mut self, pos: usize, expires_at: Instant) {
         let id = self.ids[pos];
         let old = self.bindings[pos].expires_at;
         if old == expires_at {
             return;
         }
-        self.expiry.remove(&(old, id));
-        self.expiry.insert((expires_at, id), ());
+        let seq = self.next_wheel_seq();
+        self.expiry.insert(expires_at.as_nanos(), seq, id);
         self.bindings[pos].expires_at = expires_at;
     }
 
@@ -378,23 +403,33 @@ impl NatTable {
     /// current time before any lookup. Cost is proportional to the number
     /// of bindings actually due, not the table size.
     pub fn sweep(&mut self, now: Instant) {
-        // Current slab positions of every binding that is due.
-        let mut due: BTreeSet<usize> =
-            self.expiry.range(..=(now, u64::MAX)).map(|(&(_, id), ())| self.pos_of[&id]).collect();
+        // Current slab positions of every binding that is due. Stale wheel
+        // entries (the binding was removed, or re-timed so its live
+        // deadline differs from the entry's) surface here and are simply
+        // discarded; duplicate deadlines for one binding dedupe through
+        // the position set.
+        let mut due: BTreeSet<usize> = BTreeSet::new();
+        while let Some((at, _, id)) = self.expiry.pop_due(now.as_nanos()) {
+            if let Some(&pos) = self.pos_of.get(&id) {
+                if self.bindings[pos].expires_at.as_nanos() == at {
+                    due.insert(pos);
+                }
+            }
+        }
         let swept = due.len();
         // Replay the removals exactly as the reference ascending scan with
         // `swap_remove` does: take the smallest due position; the relocated
         // tail element, if itself due, is re-examined at its new position.
         while let Some(pos) = due.pop_first() {
             let last = self.bindings.len() - 1;
-            let id = self.ids[pos];
             let b = self.remove_at(pos);
             if pos != last && due.remove(&last) {
                 due.insert(pos);
             }
             let key = (b.proto, b.internal, b.remote, b.external_port);
             *self.quarantine.entry(key).or_insert(0) += 1;
-            self.quarantine_by_time.insert((b.expires_at, id), key);
+            let seq = self.next_wheel_seq();
+            self.quarantine_by_time.insert(b.expires_at.as_nanos(), seq, key);
         }
         if swept > 0 {
             self.stats.bindings_expired += swept as u64;
@@ -404,11 +439,18 @@ impl NatTable {
         // expired exactly `EXPIRED_MEMORY` ago is dropped — the boundary is
         // exclusive, which the old clamped `duration_since` formulation
         // obscured (see `quarantine_drops_exactly_at_memory_horizon`).
-        while let Some((&(expired_at, _), _)) = self.quarantine_by_time.first_key_value() {
-            if expired_at.saturating_add(EXPIRED_MEMORY) > now {
-                break;
+        // Prune everything with `expired_at <= now - EXPIRED_MEMORY`; at
+        // `now == FAR_FUTURE` the old saturating comparison dropped every
+        // entry, so the bound saturates to match.
+        let bound = if now == Instant::FAR_FUTURE {
+            u64::MAX
+        } else {
+            match now.as_nanos().checked_sub(EXPIRED_MEMORY.as_nanos()) {
+                Some(b) => b,
+                None => return, // the horizon predates the epoch
             }
-            let (_, key) = self.quarantine_by_time.pop_first().expect("peeked entry");
+        };
+        while let Some((_, _, key)) = self.quarantine_by_time.pop_due(bound) {
             if let Some(c) = self.quarantine.get_mut(&key) {
                 *c -= 1;
                 if *c == 0 {

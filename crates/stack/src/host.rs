@@ -131,6 +131,10 @@ pub struct Host {
 
     /// Earliest armed wake-up (to avoid redundant timers).
     armed_at: Option<Instant>,
+
+    /// Scratch for collecting dispatched TCP segments each poll; kept on
+    /// the host so the bulk-transfer hot path allocates nothing per poll.
+    tcp_segs: Vec<TcpSegment>,
 }
 
 impl Host {
@@ -166,6 +170,7 @@ impl Host {
             dhcp_client: None,
             forwarding: false,
             armed_at: None,
+            tcp_segs: Vec::new(),
         }
     }
 
@@ -683,12 +688,18 @@ impl Host {
                 None => {}
             }
             let sock = self.tcp_sockets[idx].as_mut().unwrap();
-            let mut segs: Vec<TcpSegment> = Vec::new();
+            let mut segs = std::mem::take(&mut self.tcp_segs);
             sock.dispatch(now, &mut segs);
             let (local, remote) = (sock.local, sock.remote);
-            for seg in segs {
+            for seg in segs.drain(..) {
                 self.send_tcp_segment(ctx, *local.ip(), *remote.ip(), &seg);
+                if seg.payload.capacity() > 0 {
+                    if let Some(sock) = self.tcp_sockets[idx].as_mut() {
+                        sock.recycle_payload(seg.payload);
+                    }
+                }
             }
+            self.tcp_segs = segs;
         }
 
         // SCTP endpoints.

@@ -296,6 +296,10 @@ pub struct TcpSocket {
     bulk: Option<BulkSource>,
     sink: Option<SinkState>,
     sink_stamp_every: u64,
+
+    /// Retired segment payload buffers awaiting reuse (allocation cache
+    /// for the bulk-transfer hot path; never affects TCP behavior).
+    spares: Vec<Vec<u8>>,
 }
 
 impl TcpSocket {
@@ -345,6 +349,7 @@ impl TcpSocket {
             bulk: None,
             sink: None,
             sink_stamp_every: 2048,
+            spares: Vec::new(),
         }
     }
 
@@ -999,14 +1004,25 @@ impl TcpSocket {
     }
 
     /// Bytes of the send buffer starting at absolute sequence `seq`.
-    fn buffered_range(&self, seq: SeqNumber, max: usize) -> Vec<u8> {
+    fn buffered_range(&mut self, seq: SeqNumber, max: usize) -> Vec<u8> {
         let start = seq.dist(self.send_buf_seq);
         if start < 0 || start as usize >= self.send_buf.len() {
             return Vec::new();
         }
-        let mut out = Vec::new();
+        let mut out = self.spares.pop().unwrap_or_default();
         self.send_buf.copy_range_into(start as usize, max, &mut out);
         out
+    }
+
+    /// Hands a retired segment payload buffer back for reuse by a later
+    /// [`TcpSocket::dispatch`]. Purely an allocation cache — dropping the
+    /// buffer instead is always correct, so callers that don't track
+    /// payload ownership simply skip this.
+    pub fn recycle_payload(&mut self, mut buf: Vec<u8>) {
+        if self.spares.len() < 8 && buf.capacity() > 0 {
+            buf.clear();
+            self.spares.push(buf);
+        }
     }
 
     fn unsent_from(&self, seq: SeqNumber) -> usize {

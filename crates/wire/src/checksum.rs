@@ -16,8 +16,20 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     !fold(sum(data, 0))
 }
 
-/// Running one's-complement sum, resumable via `acc`.
-fn sum(data: &[u8], mut acc: u32) -> u32 {
+/// Running one's-complement sum, resumable via `acc`. Dispatches long
+/// inputs to the wide-word path; `acc` and the result stay in the
+/// big-endian 16-bit-pair space the scalar loop uses.
+fn sum(data: &[u8], acc: u32) -> u32 {
+    if data.len() < 64 {
+        return sum_bytewise(data, acc);
+    }
+    sum_wide(data, acc)
+}
+
+/// The byte-pair reference loop: two bytes per step, big-endian pairs.
+/// Used directly for short inputs and block tails, and kept as the
+/// differential oracle the wide path is proven against (`wide_*` tests).
+fn sum_bytewise(data: &[u8], mut acc: u32) -> u32 {
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
         acc += u16::from_be_bytes([c[0], c[1]]) as u32;
@@ -26,6 +38,39 @@ fn sum(data: &[u8], mut acc: u32) -> u32 {
         acc += (*last as u32) << 8;
     }
     acc
+}
+
+/// Wide-word one's-complement sum: four independent u128 lanes each
+/// folding u64 loads, 32 bytes per step — straight-line integer adds the
+/// compiler auto-vectorizes. The lanes accumulate *little-endian* 16-bit
+/// words (a `u64` native load on LE hardware); because the one's-complement
+/// sum is byte-order independent (RFC 1071 §2.B), folding the LE total to
+/// 16 bits and byte-swapping it yields exactly the big-endian pair sum the
+/// scalar loop produces. The u128 lanes cannot overflow on any realistic
+/// input (that would take ~2^57 bytes), so unlike the u32 scalar
+/// accumulator this path is safe for arbitrarily large buffers.
+fn sum_wide(data: &[u8], acc: u32) -> u32 {
+    // Split at a multiple of 32 so every pair in the wide part sits at an
+    // even offset (byte-swap equivalence needs intact pairs).
+    let (wide, tail) = data.split_at(data.len() & !31);
+    let (mut l0, mut l1, mut l2, mut l3) = (0u128, 0u128, 0u128, 0u128);
+    for block in wide.chunks_exact(32) {
+        l0 += u64::from_le_bytes(block[0..8].try_into().unwrap()) as u128;
+        l1 += u64::from_le_bytes(block[8..16].try_into().unwrap()) as u128;
+        l2 += u64::from_le_bytes(block[16..24].try_into().unwrap()) as u128;
+        l3 += u64::from_le_bytes(block[24..32].try_into().unwrap()) as u128;
+    }
+    let le_total = fold_wide(l0 + l1 + l2 + l3);
+    sum_bytewise(tail, acc + (le_total.swap_bytes() as u32))
+}
+
+/// Folds a wide one's-complement accumulator to 16 bits with end-around
+/// carries.
+fn fold_wide(mut acc: u128) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
 }
 
 fn fold(mut acc: u32) -> u16 {
@@ -250,6 +295,108 @@ mod tests {
         let a = transport_checksum(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), 6, &seg);
         let b = transport_checksum(Ipv4Addr::new(1, 2, 3, 5), Ipv4Addr::new(5, 6, 7, 8), 6, &seg);
         assert_ne!(a, b, "pseudo-header must cover the source address");
+    }
+
+    /// Overflow-proof reference checksum: the RFC 1071 byte-pair sum with
+    /// a u64 accumulator, written independently of both production paths.
+    fn oracle_checksum(data: &[u8]) -> u16 {
+        let mut acc: u64 = 0;
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            acc += u16::from_be_bytes([c[0], c[1]]) as u64;
+        }
+        if let [last] = chunks.remainder() {
+            acc += (*last as u64) << 8;
+        }
+        while acc > 0xFFFF {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        !(acc as u16)
+    }
+
+    /// Deterministic pseudo-random fill (no rand dependency).
+    fn lcg_fill(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_matches_bytewise_all_lengths_and_offsets() {
+        // Every split phase around the 64-byte wide threshold and the
+        // 32-byte block size, at every alignment and odd/even length.
+        let data = lcg_fill(400, 7);
+        for start in 0..8 {
+            for len in 0..data.len() - start {
+                let slice = &data[start..start + len];
+                assert_eq!(
+                    internet_checksum(slice),
+                    oracle_checksum(slice),
+                    "len={len} start={start}"
+                );
+                // The resumable form must agree for a nonzero running acc.
+                assert_eq!(
+                    fold(sum(slice, 0x1234)),
+                    fold(sum_bytewise(slice, 0x1234)),
+                    "resumed len={len} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_handles_all_ones_carry_cascades() {
+        // All-0xFF input maximizes every lane and forces the longest
+        // end-around carry chains through fold_wide.
+        for len in [64, 65, 95, 96, 1460, 4096, 65535, 65536] {
+            let data = vec![0xFFu8; len];
+            assert_eq!(internet_checksum(&data), oracle_checksum(&data), "len={len}");
+        }
+        // A single 0x00FF word amid 0xFFFF words exercises partial carries.
+        let mut data = vec![0xFFu8; 1460];
+        data[730] = 0x00;
+        assert_eq!(internet_checksum(&data), oracle_checksum(&data));
+    }
+
+    #[test]
+    fn wide_matches_oracle_beyond_64k() {
+        // Buffers past 64 KiB would overflow a u32 byte-pair accumulator
+        // in the worst case; the wide path must stay exact.
+        for (len, seed) in [(65_537, 1u64), (100_000, 2), (196_608, 3)] {
+            let data = lcg_fill(len, seed);
+            assert_eq!(internet_checksum(&data), oracle_checksum(&data), "len={len}");
+        }
+        let ones = vec![0xFFu8; 196_608];
+        assert_eq!(internet_checksum(&ones), oracle_checksum(&ones));
+    }
+
+    #[test]
+    fn wide_transport_checksum_matches_scalar_segment() {
+        // The gateway-visible contract: a 1460-byte TCP segment's
+        // pseudo-header checksum via the wide path equals the bytewise sum.
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let dst = Ipv4Addr::new(10, 0, 1, 1);
+        // Segment with the trailing checksum field zeroed, as on emission.
+        let mut seg = lcg_fill(1460, 11);
+        seg[1458] = 0;
+        seg[1459] = 0;
+        let wide = transport_checksum(src, dst, 6, &seg);
+        let scalar = {
+            let acc = sum_bytewise(&seg, pseudo_header_sum(src, dst, 6, seg.len() as u32));
+            let folded = !fold(acc);
+            if folded == 0 {
+                0xFFFF
+            } else {
+                folded
+            }
+        };
+        assert_eq!(wide, scalar);
+        // And verification accepts the wide path's own emission.
+        seg[1458..].copy_from_slice(&wide.to_be_bytes());
+        assert!(verify_transport_checksum(src, dst, 6, &seg));
     }
 
     #[test]
