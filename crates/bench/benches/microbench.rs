@@ -17,12 +17,16 @@ use std::net::Ipv4Addr;
 use std::time::Instant as WallInstant;
 
 use hgw_bench::micro::MicroResult;
-use hgw_core::{impl_node_downcast, Node, NodeCtx, PortId, Simulator, TimerToken};
+use hgw_core::{
+    impl_node_downcast, Node, NodeCtx, PortId, SimCore, SimNode, Simulator, TimerToken,
+};
 use hgw_gateway::{GatewayPolicy, NatProto, NatTable};
 use hgw_probe::throughput::{run_transfer, Direction};
 use hgw_probe::udp_timeout::measure_udp1;
 use hgw_testbed::Testbed;
-use hgw_wire::checksum::{crc32c, internet_checksum, transport_checksum, ChecksumDelta};
+use hgw_wire::checksum::{
+    copy_and_checksum, crc32c, internet_checksum, transport_checksum, ChecksumDelta,
+};
 use hgw_wire::ip::{Ipv4Repr, Protocol};
 use hgw_wire::tcp::TcpRepr;
 use hgw_wire::{Ipv4Packet, TcpFlags, TcpPacket};
@@ -97,6 +101,21 @@ fn bench_checksums(results: &mut Vec<MicroResult>) {
     let dst = Ipv4Addr::new(10, 0, 1, 1);
     bench(results, "checksum", "transport_checksum_1460", Some(len), || {
         transport_checksum(src, dst, 6, std::hint::black_box(&data))
+    });
+    // The fused bulk-path kernel: append an MSS payload AND produce its
+    // pair sum in one pass, vs the pre-fusion strategy of copying first and
+    // re-reading everything to checksum it (kept as the oracle leg for the
+    // trajectory). Both legs report payload bytes per iteration, so the
+    // fused leg's higher MB/s is the single-pass win.
+    let mut out = Vec::with_capacity(4096);
+    bench(results, "checksum", "copy_and_checksum_1460B", Some(len), || {
+        out.clear();
+        copy_and_checksum(std::hint::black_box(&noisy), &mut out)
+    });
+    bench(results, "checksum", "copy_then_checksum_1460B", Some(len), || {
+        out.clear();
+        out.extend_from_slice(std::hint::black_box(&noisy));
+        internet_checksum(std::hint::black_box(&out))
     });
 }
 
@@ -299,6 +318,55 @@ impl Node for FrameSink {
     impl_node_downcast!();
 }
 
+/// The bench topology's closed node set, dispatched by match through
+/// [`SimNode`] — the same static-dispatch shape `hgw-testbed`'s `NodeKind`
+/// gives the real topologies. The headline `sim_event_dispatch` runs on
+/// `SimCore<BenchNode>`; the `_boxed` legs keep the `Box<dyn Node>` engine
+/// configuration alive as the differential baseline.
+enum BenchNode {
+    PingPong(TimerPingPong),
+    Burst(BurstSender),
+    Sink(FrameSink),
+}
+
+impl SimNode for BenchNode {
+    fn start(&mut self, ctx: &mut NodeCtx) {
+        match self {
+            BenchNode::PingPong(n) => Node::start(n, ctx),
+            BenchNode::Burst(n) => Node::start(n, ctx),
+            BenchNode::Sink(n) => Node::start(n, ctx),
+        }
+    }
+    fn handle_frame(&mut self, ctx: &mut NodeCtx, port: PortId, frame: &mut Vec<u8>) {
+        match self {
+            BenchNode::PingPong(n) => n.handle_frame(ctx, port, frame),
+            BenchNode::Burst(n) => n.handle_frame(ctx, port, frame),
+            BenchNode::Sink(n) => n.handle_frame(ctx, port, frame),
+        }
+    }
+    fn handle_timer(&mut self, ctx: &mut NodeCtx, token: TimerToken) {
+        match self {
+            BenchNode::PingPong(n) => n.handle_timer(ctx, token),
+            BenchNode::Burst(n) => n.handle_timer(ctx, token),
+            BenchNode::Sink(n) => n.handle_timer(ctx, token),
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        match self {
+            BenchNode::PingPong(n) => n,
+            BenchNode::Burst(n) => n,
+            BenchNode::Sink(n) => n,
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        match self {
+            BenchNode::PingPong(n) => n,
+            BenchNode::Burst(n) => n,
+            BenchNode::Sink(n) => n,
+        }
+    }
+}
+
 /// The timing wheel's own costs, isolated from the simulator: four inserts
 /// spanning every wheel level (µs to hour horizons, mimicking link
 /// serialization, TCP retransmit, NAT expiry, and UDP-timeout deadlines),
@@ -325,10 +393,18 @@ fn bench_timer(results: &mut Vec<MicroResult>) {
 
 fn bench_simulation(results: &mut Vec<MicroResult>) {
     const MB: u64 = 1024 * 1024;
-    let mut sim = Simulator::new(1);
-    sim.add_node(Box::new(TimerPingPong));
+    // Headline: static enum dispatch, the engine shape every topology runs
+    // since the NodeKind refactor. No vtable call, no Option dance.
+    let mut sim: SimCore<BenchNode> = SimCore::new(1);
+    sim.add_node(BenchNode::PingPong(TimerPingPong));
     sim.boot();
     bench(results, "simulation", "sim_event_dispatch", None, || sim.step());
+    // The retained boxed-trait engine configuration (`Simulator` =
+    // `SimCore<Box<dyn Node>>`), measured as the differential baseline.
+    let mut boxed_sim = Simulator::new(1);
+    boxed_sim.add_node(Box::new(TimerPingPong));
+    boxed_sim.boot();
+    bench(results, "simulation", "sim_event_dispatch_boxed", None, || boxed_sim.step());
     // Headline gauge derived from the dispatch measurement just taken: how
     // many engine events one core sustains per second. Recorded with the
     // rate in `ns_per_iter` (the schema's only value slot) — read it as
@@ -351,9 +427,9 @@ fn bench_simulation(results: &mut Vec<MicroResult>) {
     }
     // One 32-frame same-instant train per iteration: the timer firing plus
     // BURST deliveries drained by the batched-dispatch fast path.
-    let mut burst_sim = Simulator::new(1);
-    let a = burst_sim.add_node(Box::new(BurstSender));
-    let b = burst_sim.add_node(Box::new(FrameSink));
+    let mut burst_sim: SimCore<BenchNode> = SimCore::new(1);
+    let a = burst_sim.add_node(BenchNode::Burst(BurstSender));
+    let b = burst_sim.add_node(BenchNode::Sink(FrameSink));
     burst_sim.connect(a, PortId(0), b, PortId(0), hgw_core::LinkConfig::ideal());
     burst_sim.boot();
     let train = BURST as u64 + 2;

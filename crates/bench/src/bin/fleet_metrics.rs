@@ -266,8 +266,10 @@ fn print_scheduling(scheduling: &hgw_probe::fleet::SchedulingReport, sequential_
         sequential_wall_ms,
         speedup,
     );
+    // The warning belongs on stdout with the scorecard it qualifies —
+    // on stderr it vanished from piped/captured run logs.
     if let Some(w) = parallel_regression_warning(scheduling, speedup) {
-        eprintln!("{w}");
+        println!("{w}");
     }
 }
 
@@ -365,6 +367,9 @@ fn render_mega_report(
         sequential_wall_ms,
         speedup,
     ));
+    // The manifest field, surfaced by name so the txt report can be grepped
+    // the same way as the JSON.
+    out.push_str(&format!("scheduling.speedup_vs_sequential: {speedup:.2}\n"));
     if let Some(w) = parallel_regression_warning(scheduling, speedup) {
         out.push_str(&w);
         out.push('\n');

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod dispatch;
 pub mod link;
 pub mod node;
 pub mod pcap;
@@ -25,12 +26,13 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
+pub use dispatch::SimNode;
 pub use link::{Dir, FaultConfig, Link, LinkConfig, LinkDirStats, LinkId};
 pub use node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
 pub use pcap::{write_pcap, PcapWriter};
 pub use pool::FramePool;
 pub use rng::SimRng;
-pub use sim::{SimStats, Simulator};
+pub use sim::{SimCore, SimStats, Simulator};
 pub use telemetry::{
     render_chrome_trace, DelaySummaries, FlightRecorder, Histogram, HistogramSummary,
     MetricsRegistry, SpanId, SpanTimeline, Telemetry, TelemetryConfig,

@@ -5,7 +5,17 @@
 //! gateways acting "simultaneously") is interleaving of events on the
 //! virtual clock, which makes every run bit-for-bit reproducible from its
 //! seed.
+//!
+//! The engine is generic over its node slot type ([`SimCore<K>`], bounded by
+//! [`SimNode`]): a closed enum slot dispatches
+//! statically by match, while the [`Simulator`] alias keeps the historical
+//! `Box<dyn Node>` slots as the dynamic-dispatch oracle. Node bookkeeping is
+//! a split slab — the node values in one `Vec`, their per-node engine state
+//! (RNG stream, port wiring) in a parallel `Vec` — so a node callback
+//! borrows `nodes[i]` while the [`NodeCtx`] borrows disjoint fields, and no
+//! take/restore `Option` dance is needed anywhere in the event loop.
 
+use crate::dispatch::SimNode;
 use crate::link::{Dir, Link, LinkConfig, LinkId};
 use crate::node::{Action, Node, NodeCtx, NodeId, PortId, TimerToken};
 use crate::pool::FramePool;
@@ -22,19 +32,28 @@ use crate::wheel::TimerWheel;
 /// one-way delay. The timestamp rides along even when telemetry is off —
 /// a `Copy` field is cheaper than a second event shape — and never
 /// influences scheduling.
+///
+/// Node/port/link ids are stored as `u32` (not the public `usize` newtypes)
+/// so the enum packs to 48 bytes and a wheel entry — `(at, seq, kind)` —
+/// fits exactly one 64-byte cache line. Every insert, pop, and cascade of
+/// the event queue moves one line instead of two. Ids are converted at the
+/// push/dispatch boundary; simulations with more than 4 billion nodes or
+/// links are not a thing this engine supports.
 #[derive(Debug)]
 enum EventKind {
     /// Deliver a frame to a node port.
-    Deliver { node: NodeId, port: PortId, frame: Vec<u8>, enqueued_at: Instant },
+    Deliver { node: u32, port: u32, frame: Vec<u8>, enqueued_at: Instant },
     /// The transmitter of a link direction finished clocking out a frame.
-    TxComplete { link: LinkId, dir: Dir, frame: Vec<u8>, enqueued_at: Instant },
+    TxComplete { link: u32, dir: Dir, frame: Vec<u8>, enqueued_at: Instant },
     /// A node timer fired.
-    Timer { node: NodeId, token: TimerToken },
+    Timer { node: u32, token: TimerToken },
 }
 
-struct NodeSlot {
-    /// Taken out while the node's callback runs.
-    node: Option<Box<dyn Node>>,
+/// Per-node engine state, stored apart from the node value itself so the
+/// event loop can hand a callback `&mut nodes[i]` and a [`NodeCtx`] built
+/// from `meta[i]`/`pool`/`telemetry` simultaneously — the borrows are of
+/// disjoint struct fields, which the borrow checker accepts by construction.
+struct NodeMeta {
     rng: SimRng,
     /// Port → (link, direction frames *leave* on).
     ports: Vec<Option<(LinkId, Dir)>>,
@@ -68,7 +87,7 @@ pub struct SimStats {
     /// allocator-pressure metric: it never influences simulation behavior.
     /// Deterministic for a given seed and topology on a fresh pool; when a
     /// fleet worker seeds the pool with buffers recycled from a previous
-    /// device ([`Simulator::seed_frame_pool`]), the hit/miss split also
+    /// device ([`SimCore::seed_frame_pool`]), the hit/miss split also
     /// depends on what ran before, so fleet equivalence checks must compare
     /// event-sequence counters, not pool counters.
     pub pool_hits: u64,
@@ -80,14 +99,25 @@ pub struct SimStats {
 
 /// The discrete-event simulator: owns the clock, the event queue, all nodes
 /// and all links.
-pub struct Simulator {
+///
+/// Generic over the node slot type `K`. A closed enum slot (the testbed's
+/// `NodeKind`) makes every callback a static match dispatch; the
+/// [`Simulator`] alias (`K = Box<dyn Node>`) keeps the dynamic path alive as
+/// the differential oracle. Both produce bit-identical event streams for
+/// the same seed and topology — `K` only decides how the three `SimNode`
+/// callbacks are reached, never what they observe.
+pub struct SimCore<K> {
     now: Instant,
     seq: u64,
     /// Pending events ordered by `(at, seq)`. The hierarchical timing
     /// wheel replaced a `BinaryHeap<Reverse<Event>>` with an identical
     /// pop order (proven against the heap oracle in `wheel::tests`).
     queue: TimerWheel<EventKind>,
-    nodes: Vec<NodeSlot>,
+    /// Node values, indexed by [`NodeId`]. Split from `meta` so a node
+    /// borrow and a [`NodeCtx`] borrow are disjoint by construction.
+    nodes: Vec<K>,
+    /// Per-node engine state, parallel to `nodes`.
+    meta: Vec<NodeMeta>,
     links: Vec<Link>,
     root_rng: SimRng,
     stats: SimStats,
@@ -95,7 +125,7 @@ pub struct Simulator {
     booted: bool,
     observer: Option<Box<dyn SimObserver>>,
     /// Present iff telemetry is enabled. Boxed so the disabled path costs
-    /// one null check per instrumentation site and the hot `Simulator`
+    /// one null check per instrumentation site and the hot `SimCore`
     /// layout stays small.
     telemetry: Option<Box<Telemetry>>,
     /// Reused across every node callback so the steady-state event loop
@@ -104,15 +134,21 @@ pub struct Simulator {
     scratch_actions: Vec<Action>,
 }
 
-impl Simulator {
+/// The boxed-slot simulator: dynamic dispatch through `Box<dyn Node>`,
+/// exactly the engine as it was before static dispatch existed. Kept as the
+/// differential oracle and for drivers that box heterogeneous ad-hoc nodes.
+pub type Simulator = SimCore<Box<dyn Node>>;
+
+impl<K: SimNode> SimCore<K> {
     /// Creates an empty simulator. `seed` determines every random draw any
     /// node will ever make.
-    pub fn new(seed: u64) -> Simulator {
-        Simulator {
+    pub fn new(seed: u64) -> SimCore<K> {
+        SimCore {
             now: Instant::ZERO,
             seq: 0,
             queue: TimerWheel::new(),
             nodes: Vec::new(),
+            meta: Vec::new(),
             links: Vec::new(),
             root_rng: SimRng::new(seed),
             stats: SimStats::default(),
@@ -217,10 +253,11 @@ impl Simulator {
 
     /// Adds a node and returns its id. Each node gets an independent RNG
     /// stream forked from the simulator seed.
-    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+    pub fn add_node(&mut self, node: K) -> NodeId {
         let id = NodeId(self.nodes.len());
         let rng = self.root_rng.fork(id.0 as u64 + 1);
-        self.nodes.push(NodeSlot { node: Some(node), rng, ports: Vec::new() });
+        self.nodes.push(node);
+        self.meta.push(NodeMeta { rng, ports: Vec::new() });
         id
     }
 
@@ -246,17 +283,17 @@ impl Simulator {
     }
 
     fn bind_port(&mut self, node: NodeId, port: PortId, link: LinkId, dir: Dir) {
-        let slot = self.nodes.get_mut(node.0).expect("connect: unknown node");
-        if slot.ports.len() <= port.0 {
-            slot.ports.resize(port.0 + 1, None);
+        let meta = self.meta.get_mut(node.0).expect("connect: unknown node");
+        if meta.ports.len() <= port.0 {
+            meta.ports.resize(port.0 + 1, None);
         }
         assert!(
-            slot.ports[port.0].is_none(),
+            meta.ports[port.0].is_none(),
             "connect: port {:?} of {:?} already wired",
             port,
             node
         );
-        slot.ports[port.0] = Some((link, dir));
+        meta.ports[port.0] = Some((link, dir));
     }
 
     /// Read access to a link (for stats and traces).
@@ -287,27 +324,15 @@ impl Simulator {
     /// # Panics
     /// Panics if the id is unknown or the node is not a `T`.
     pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
-        self.nodes[id.0]
-            .node
-            .as_ref()
-            .expect("node_ref: node is mid-callback")
-            .as_any()
-            .downcast_ref::<T>()
-            .expect("node_ref: wrong node type")
+        self.nodes[id.0].as_any().downcast_ref::<T>().expect("node_ref: wrong node type")
     }
 
     /// Typed exclusive access to a node. Any actions the caller queues on
     /// the node itself are *not* collected — drivers should instead interact
     /// through node-provided command APIs and let the next event flush state,
-    /// or use [`Simulator::with_node`].
+    /// or use [`SimCore::with_node`].
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        self.nodes[id.0]
-            .node
-            .as_mut()
-            .expect("node_mut: node is mid-callback")
-            .as_any_mut()
-            .downcast_mut::<T>()
-            .expect("node_mut: wrong node type")
+        self.nodes[id.0].as_any_mut().downcast_mut::<T>().expect("node_mut: wrong node type")
     }
 
     /// Runs `f` against a node with a full [`NodeCtx`], applying any actions
@@ -318,21 +343,22 @@ impl Simulator {
         id: NodeId,
         f: impl FnOnce(&mut T, &mut NodeCtx) -> R,
     ) -> R {
-        let mut node = self.nodes[id.0].node.take().expect("with_node: node is mid-callback");
         let mut actions = std::mem::take(&mut self.scratch_actions);
         let result = {
             let mut ctx = NodeCtx::new(
                 self.now,
                 id,
-                &mut self.nodes[id.0].rng,
+                &mut self.meta[id.0].rng,
                 &mut self.pool,
                 &mut actions,
                 self.telemetry.as_deref_mut(),
             );
-            let typed = node.as_any_mut().downcast_mut::<T>().expect("with_node: wrong node type");
+            let typed = self.nodes[id.0]
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("with_node: wrong node type");
             f(typed, &mut ctx)
         };
-        self.nodes[id.0].node = Some(node);
         self.apply_actions(id, &mut actions);
         self.scratch_actions = actions;
         result
@@ -343,27 +369,26 @@ impl Simulator {
     pub fn boot(&mut self) {
         assert!(!self.booted, "boot: called twice");
         self.booted = true;
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         for i in 0..self.nodes.len() {
             let id = NodeId(i);
-            let mut node = self.nodes[i].node.take().expect("boot: node missing");
-            let mut actions = std::mem::take(&mut self.scratch_actions);
             {
                 let mut ctx = NodeCtx::new(
                     self.now,
                     id,
-                    &mut self.nodes[i].rng,
+                    &mut self.meta[i].rng,
                     &mut self.pool,
                     &mut actions,
                     self.telemetry.as_deref_mut(),
                 );
-                node.start(&mut ctx);
+                self.nodes[i].start(&mut ctx);
             }
-            self.nodes[i].node = Some(node);
             self.apply_actions(id, &mut actions);
-            self.scratch_actions = actions;
         }
+        self.scratch_actions = actions;
     }
 
+    #[inline]
     fn push_event(&mut self, at: Instant, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -371,13 +396,14 @@ impl Simulator {
     }
 
     /// Applies (and drains) the actions a node emitted during a callback.
+    #[inline]
     fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
                 Action::SendFrame { port, frame } => self.transmit(node, port, frame),
                 Action::SetTimer { at, token } => {
                     let at = at.max(self.now);
-                    self.push_event(at, EventKind::Timer { node, token });
+                    self.push_event(at, EventKind::Timer { node: node.0 as u32, token });
                 }
                 Action::Trace(event) => self.emit(node, event),
             }
@@ -387,7 +413,7 @@ impl Simulator {
     /// Entry point of a frame onto a link: fault injection, tail drop,
     /// transmitter scheduling.
     fn transmit(&mut self, node: NodeId, port: PortId, mut frame: Vec<u8>) {
-        let Some(&Some((link_id, dir))) = self.nodes[node.0].ports.get(port.0) else {
+        let Some(&Some((link_id, dir))) = self.meta[node.0].ports.get(port.0) else {
             self.stats.unrouted_frames += 1;
             self.emit(
                 node,
@@ -401,7 +427,7 @@ impl Simulator {
             if fault.is_none() {
                 (false, false, false)
             } else {
-                let rng = &mut self.nodes[node.0].rng;
+                let rng = &mut self.meta[node.0].rng;
                 (
                     rng.chance(fault.drop_chance),
                     rng.chance(fault.corrupt_chance),
@@ -418,7 +444,7 @@ impl Simulator {
             return;
         }
         if corrupt && !frame.is_empty() {
-            let rng = &mut self.nodes[node.0].rng;
+            let rng = &mut self.meta[node.0].rng;
             let idx = rng.below(frame.len() as u64) as usize;
             let bit = 1u8 << rng.below(8);
             frame[idx] ^= bit;
@@ -461,144 +487,179 @@ impl Simulator {
         }
         link.dirs[dir.index()].set_transmitting(true);
         let tx_end = self.now + link.tx_time(frame.len());
-        self.push_event(tx_end, EventKind::TxComplete { link: link_id, dir, frame, enqueued_at });
+        self.push_event(
+            tx_end,
+            EventKind::TxComplete { link: link_id.0 as u32, dir, frame, enqueued_at },
+        );
     }
 
     /// Dispatches the next event — plus, for frame deliveries, every
     /// immediately following event that delivers to the same node at the
     /// same instant (a bulk transfer produces long same-timestamp,
-    /// same-link trains; batching amortizes the node take/put and scratch
-    /// bookkeeping across the burst). Every dispatched event still counts
-    /// individually in [`SimStats::events`] and emits its own trace and
-    /// telemetry, so batching is observationally identical to stepping.
-    /// Returns the time the event(s) ran at, or `None` if the queue is
-    /// empty.
+    /// same-link trains; batching amortizes the scratch bookkeeping across
+    /// the burst). Every dispatched event still counts individually in
+    /// [`SimStats::events`] and emits its own trace and telemetry, so
+    /// batching is observationally identical to stepping. Returns the time
+    /// the event(s) ran at, or `None` if the queue is empty.
     pub fn step(&mut self) -> Option<Instant> {
         let (at, _seq, kind) = self.queue.pop()?;
         let at = Instant::from_nanos(at);
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.stats.events += 1;
+        // Each arm lives in its own function so every dispatch pays only
+        // the frame of the arm it takes; a merged body makes the compiler
+        // allocate (and spill across) the union of all three arms' frames
+        // on every event, which is measurable at the sub-25 ns scale.
         match kind {
             EventKind::Deliver { node, port, frame, enqueued_at } => {
-                let Some(slot) = self.nodes.get_mut(node.0) else {
-                    self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
-                    return Some(self.now);
-                };
-                let mut boxed = slot.node.take().expect("deliver: node is mid-callback");
-                let mut actions = std::mem::take(&mut self.scratch_actions);
-                let (mut port, mut frame, mut enqueued_at) = (port, frame, enqueued_at);
-                loop {
-                    if let Some(t) = &mut self.telemetry {
-                        t.record_one_way_delay(self.now - enqueued_at);
-                        t.flight.record_frame(self.now, &frame);
-                    }
-                    self.emit(node, TraceEvent::FrameDelivered { bytes: frame.len() });
-                    {
-                        let slot = &mut self.nodes[node.0];
-                        let mut ctx = NodeCtx::new(
-                            self.now,
-                            node,
-                            &mut slot.rng,
-                            &mut self.pool,
-                            &mut actions,
-                            self.telemetry.as_deref_mut(),
-                        );
-                        boxed.handle_frame(&mut ctx, port, &mut frame);
-                    }
-                    // Whatever the node left in place goes back to the pool.
-                    self.pool.put(frame);
-                    self.apply_actions(node, &mut actions);
-                    // Drain the rest of a same-instant delivery train to
-                    // this node. Events pushed by `apply_actions` above
-                    // carry larger seqs than anything already queued, so
-                    // this cannot overtake an older pending event.
-                    let next = self.queue.pop_if(|t, _, kind| {
-                        t == self.now.as_nanos()
-                            && matches!(kind, EventKind::Deliver { node: n, .. } if *n == node)
-                    });
-                    match next {
-                        Some((
-                            _,
-                            _,
-                            EventKind::Deliver { port: p, frame: f, enqueued_at: e, .. },
-                        )) => {
-                            self.stats.events += 1;
-                            (port, frame, enqueued_at) = (p, f, e);
-                        }
-                        Some(_) => unreachable!("pop_if matched a non-Deliver event"),
-                        None => break,
-                    }
-                }
-                self.nodes[node.0].node = Some(boxed);
-                self.scratch_actions = actions;
+                self.dispatch_deliver(node, port, frame, enqueued_at);
             }
             EventKind::TxComplete { link, dir, frame, enqueued_at } => {
-                let (sink_node, sink_port) = self.links[link.0].sink(dir);
-                let (delay, reorder_extra) = {
-                    let l = &self.links[link.0];
-                    let fault = l.config.fault;
-                    let extra = if fault.reorder_chance > 0.0 {
-                        // Use the sink node's RNG stream for determinism.
-                        let rng = &mut self.nodes[sink_node.0].rng;
-                        if rng.chance(fault.reorder_chance) {
-                            Duration::from_nanos(rng.below(fault.reorder_window.as_nanos().max(1)))
-                        } else {
-                            Duration::ZERO
-                        }
-                    } else {
-                        Duration::ZERO
-                    };
-                    (l.config.delay, extra)
-                };
-                {
-                    // Trace captures copy into pooled buffers so enabling a
-                    // trace does not reintroduce per-frame allocations.
-                    let traced = if self.links[link.0].trace[dir.index()].is_some() {
-                        let mut copy = self.pool.get_with_capacity(frame.len());
-                        copy.extend_from_slice(&frame);
-                        Some(copy)
-                    } else {
-                        None
-                    };
-                    let l = &mut self.links[link.0];
-                    let d = &mut l.dirs[dir.index()];
-                    d.stats.tx_frames += 1;
-                    d.stats.tx_bytes += frame.len() as u64;
-                    if let Some(copy) = traced {
-                        l.trace[dir.index()]
-                            .as_mut()
-                            .expect("trace enabled")
-                            .push((self.now, copy));
-                    }
-                }
-                self.push_event(
-                    self.now + delay + reorder_extra,
-                    EventKind::Deliver { node: sink_node, port: sink_port, frame, enqueued_at },
-                );
-                self.start_transmitter(link, dir);
+                self.dispatch_tx_complete(LinkId(link as usize), dir, frame, enqueued_at);
             }
-            EventKind::Timer { node, token } => {
-                let Some(slot) = self.nodes.get_mut(node.0) else { return Some(self.now) };
-                let mut boxed = slot.node.take().expect("timer: node is mid-callback");
-                let mut actions = std::mem::take(&mut self.scratch_actions);
-                {
-                    let mut ctx = NodeCtx::new(
-                        self.now,
-                        node,
-                        &mut slot.rng,
-                        &mut self.pool,
-                        &mut actions,
-                        self.telemetry.as_deref_mut(),
-                    );
-                    boxed.handle_timer(&mut ctx, token);
-                }
-                self.nodes[node.0].node = Some(boxed);
-                self.apply_actions(node, &mut actions);
-                self.scratch_actions = actions;
-            }
+            EventKind::Timer { node, token } => self.dispatch_timer(node, token),
         }
         Some(self.now)
+    }
+
+    /// The `Deliver` arm of [`SimCore::step`]: runs the node callback for
+    /// this frame plus every immediately following same-instant delivery to
+    /// the same node (see the `step` docs for why batching is sound).
+    #[inline(never)]
+    fn dispatch_deliver(&mut self, node: u32, port: u32, frame: Vec<u8>, enqueued_at: Instant) {
+        let id = NodeId(node as usize);
+        if node as usize >= self.nodes.len() {
+            self.emit(id, TraceEvent::FrameDelivered { bytes: frame.len() });
+            return;
+        }
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        let (mut port, mut frame, mut enqueued_at) = (port, frame, enqueued_at);
+        loop {
+            if let Some(t) = &mut self.telemetry {
+                t.record_one_way_delay(self.now - enqueued_at);
+                t.flight.record_frame(self.now, &frame);
+            }
+            self.emit(id, TraceEvent::FrameDelivered { bytes: frame.len() });
+            {
+                // `nodes[i]` and the ctx's `meta[i]`/`pool`/
+                // `telemetry` are disjoint fields: no take/restore.
+                let mut ctx = NodeCtx::new(
+                    self.now,
+                    id,
+                    &mut self.meta[node as usize].rng,
+                    &mut self.pool,
+                    &mut actions,
+                    self.telemetry.as_deref_mut(),
+                );
+                self.nodes[node as usize].handle_frame(&mut ctx, PortId(port as usize), &mut frame);
+            }
+            // Whatever the node left in place goes back to the pool.
+            self.pool.put(frame);
+            self.apply_actions(id, &mut actions);
+            // Drain the rest of a same-instant delivery train to
+            // this node. Events pushed by `apply_actions` above
+            // carry larger seqs than anything already queued, so
+            // this cannot overtake an older pending event.
+            let next = self.queue.pop_if(|t, _, kind| {
+                t == self.now.as_nanos()
+                    && matches!(kind, EventKind::Deliver { node: n, .. } if *n == node)
+            });
+            match next {
+                Some((_, _, EventKind::Deliver { port: p, frame: f, enqueued_at: e, .. })) => {
+                    self.stats.events += 1;
+                    (port, frame, enqueued_at) = (p, f, e);
+                }
+                Some(_) => unreachable!("pop_if matched a non-Deliver event"),
+                None => break,
+            }
+        }
+        self.scratch_actions = actions;
+    }
+
+    /// The `TxComplete` arm of [`SimCore::step`]: accounts the transmit,
+    /// schedules the delivery after the propagation delay, and starts the
+    /// next frame in the link queue.
+    #[inline(never)]
+    fn dispatch_tx_complete(
+        &mut self,
+        link: LinkId,
+        dir: Dir,
+        frame: Vec<u8>,
+        enqueued_at: Instant,
+    ) {
+        let (sink_node, sink_port) = self.links[link.0].sink(dir);
+        let (delay, reorder_extra) = {
+            let l = &self.links[link.0];
+            let fault = l.config.fault;
+            let extra = if fault.reorder_chance > 0.0 {
+                // Use the sink node's RNG stream for determinism.
+                let rng = &mut self.meta[sink_node.0].rng;
+                if rng.chance(fault.reorder_chance) {
+                    Duration::from_nanos(rng.below(fault.reorder_window.as_nanos().max(1)))
+                } else {
+                    Duration::ZERO
+                }
+            } else {
+                Duration::ZERO
+            };
+            (l.config.delay, extra)
+        };
+        {
+            // Trace captures copy into pooled buffers so enabling a
+            // trace does not reintroduce per-frame allocations.
+            let traced = if self.links[link.0].trace[dir.index()].is_some() {
+                let mut copy = self.pool.get_with_capacity(frame.len());
+                copy.extend_from_slice(&frame);
+                Some(copy)
+            } else {
+                None
+            };
+            let l = &mut self.links[link.0];
+            let d = &mut l.dirs[dir.index()];
+            d.stats.tx_frames += 1;
+            d.stats.tx_bytes += frame.len() as u64;
+            if let Some(copy) = traced {
+                l.trace[dir.index()].as_mut().expect("trace enabled").push((self.now, copy));
+            }
+        }
+        self.push_event(
+            self.now + delay + reorder_extra,
+            EventKind::Deliver {
+                node: sink_node.0 as u32,
+                port: sink_port.0 as u32,
+                frame,
+                enqueued_at,
+            },
+        );
+        self.start_transmitter(link, dir);
+    }
+
+    /// The `Timer` arm of [`SimCore::step`]: runs the node's timer callback.
+    #[inline(never)]
+    fn dispatch_timer(&mut self, node: u32, token: TimerToken) {
+        // One bounds check covers both slabs: `nodes` and `meta` grow in
+        // lockstep (see `add_node`).
+        let (Some(slot), Some(meta)) =
+            (self.nodes.get_mut(node as usize), self.meta.get_mut(node as usize))
+        else {
+            return;
+        };
+        let id = NodeId(node as usize);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        {
+            let mut ctx = NodeCtx::new(
+                self.now,
+                id,
+                &mut meta.rng,
+                &mut self.pool,
+                &mut actions,
+                self.telemetry.as_deref_mut(),
+            );
+            slot.handle_timer(&mut ctx, token);
+        }
+        self.apply_actions(id, &mut actions);
+        self.scratch_actions = actions;
     }
 
     /// Runs events until the clock reaches `deadline`. Events at exactly

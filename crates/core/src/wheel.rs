@@ -429,6 +429,68 @@ mod tests {
     }
 
     #[test]
+    fn pop_if_lazy_cancellation_at_level_boundaries() {
+        // The simulator's delivery-train drain uses pop_if as lazy
+        // cancellation: it repeatedly offers the minimum and rejects it the
+        // moment the tick or the target node changes. The risky deadlines
+        // are the level-boundary ticks (64 = first level-1 slot, 4096 =
+        // first level-2 slot, 64^3 ...): a rejected pop_if must not disturb
+        // entries whose refill required a cascade across those boundaries.
+        let boundaries = [63u64, 64, 65, 4095, 4096, 4097, 262_143, 262_144, 262_145];
+        let mut w = TimerWheel::new();
+        let mut seq = 0u64;
+        // Two "nodes" (0 and 1) with a same-tick train at every boundary.
+        for &at in &boundaries {
+            for node in [0u64, 1, 0] {
+                w.insert(at, seq, node);
+                seq += 1;
+            }
+        }
+        let total = w.len();
+        let mut drained = 0usize;
+        let mut last = (0u64, 0u64);
+        while let Some((at, s, node)) = w.pop() {
+            assert!((at, s) > last || drained == 0, "order violated at ({at},{s})");
+            last = (at, s);
+            drained += 1;
+            // Drain the same-tick train for this node only, rejecting the
+            // first entry of a different node or tick — the exact predicate
+            // shape Simulator::step uses.
+            while let Some((t2, s2, n2)) = w.pop_if(|t, _, &n| t == at && n == node) {
+                assert_eq!(t2, at);
+                assert_eq!(n2, node);
+                assert!(s2 > last.1);
+                last = (t2, s2);
+                drained += 1;
+            }
+            // The rejection must leave the true minimum intact.
+            if let Some((pt, ps)) = w.peek() {
+                assert!((pt, ps) > last, "rejected entry lost or reordered");
+            }
+        }
+        assert_eq!(drained, total);
+        assert!(w.is_empty());
+        // Nothing is lost and nothing pops twice across every cascade
+        // boundary, and every rejection left the minimum in place.
+    }
+
+    #[test]
+    fn pop_if_rejection_then_insert_behind_cursor_still_orders() {
+        // A peek/rejected-pop_if advances the cursor across a level
+        // boundary; an insert landing behind it must still pop first, and
+        // the previously rejected boundary entry must follow unharmed.
+        let mut w = TimerWheel::new();
+        w.insert(4096, 0, "boundary");
+        assert_eq!(w.pop_if(|at, _, _| at < 4096), None, "reject after cascade");
+        w.insert(64, 1, "behind-cursor");
+        w.insert(4096, 2, "tied-late");
+        assert_eq!(w.pop(), Some((64, 1, "behind-cursor")));
+        assert_eq!(w.pop(), Some((4096, 0, "boundary")));
+        assert_eq!(w.pop(), Some((4096, 2, "tied-late")));
+        assert!(w.is_empty());
+    }
+
+    #[test]
     fn pop_if_inspects_without_committing() {
         let mut w = TimerWheel::new();
         w.insert(7, 0, 42u32);

@@ -1052,7 +1052,9 @@ impl Gateway {
         if !tcp.verify_checksum(src_addr, self.lan_addr) {
             return;
         }
-        let Ok(repr) = TcpRepr::parse(&tcp, src_addr, self.lan_addr) else { return };
+        // Already verified above; parse_unverified avoids a second
+        // full-segment checksum pass.
+        let Ok(repr) = TcpRepr::parse_unverified(&tcp) else { return };
         if repr.dst_port != 53 {
             return; // the gateway itself serves nothing else over TCP
         }
@@ -1130,7 +1132,9 @@ impl Gateway {
         if !tcp.verify_checksum(src_addr, wan) {
             return true;
         }
-        let Ok(repr) = TcpRepr::parse(&tcp, src_addr, wan) else { return true };
+        // Already verified above; parse_unverified avoids a second
+        // full-segment checksum pass.
+        let Ok(repr) = TcpRepr::parse_unverified(&tcp) else { return true };
         let data = tcp.payload().to_vec();
         self.upstream_conns[idx].as_mut().unwrap().sock.process(ctx.now(), &repr, &data);
         self.pump_proxy_sockets(ctx);
@@ -1195,7 +1199,7 @@ impl Gateway {
             conn.sock.dispatch(now, &mut segs);
             let (local, remote) = (conn.sock.local, conn.sock.remote);
             for seg in segs {
-                let bytes = seg.repr.emit_with_payload(*local.ip(), *remote.ip(), &seg.payload);
+                let bytes = seg.repr.emit_with_payload(*local.ip(), *remote.ip(), seg.payload());
                 let ip = Ipv4Repr::new(*local.ip(), *remote.ip(), Protocol::Tcp);
                 ctx.send_frame(LAN_PORT, ip.emit_with_payload(&bytes));
             }
@@ -1209,7 +1213,7 @@ impl Gateway {
             conn.sock.dispatch(now, &mut segs);
             let (local, remote) = (conn.sock.local, conn.sock.remote);
             for seg in segs {
-                let bytes = seg.repr.emit_with_payload(*local.ip(), *remote.ip(), &seg.payload);
+                let bytes = seg.repr.emit_with_payload(*local.ip(), *remote.ip(), seg.payload());
                 let ip = Ipv4Repr::new(*local.ip(), *remote.ip(), Protocol::Tcp);
                 ctx.send_frame(WAN_PORT, ip.emit_with_payload(&bytes));
             }

@@ -45,7 +45,7 @@
 //! * **Per-worker arena reuse** — each worker keeps a
 //!   [`FramePool`] arena; a finished device's warm
 //!   frame buffers seed the next device's simulator
-//!   ([`Simulator::seed_frame_pool`](hgw_core::Simulator::seed_frame_pool)),
+//!   ([`SimCore::seed_frame_pool`](hgw_core::SimCore::seed_frame_pool)),
 //!   eliminating the per-device allocation ramp-up. Buffer capacity is
 //!   pure allocator state, so results stay bit-identical; only the
 //!   per-device pool hit/miss split becomes schedule-dependent.

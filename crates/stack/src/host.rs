@@ -233,16 +233,19 @@ impl Host {
         ctx.send_frame(port, frame);
     }
 
-    /// Routes and transmits one TCP segment, emitting the IPv4 header and
-    /// the segment directly into a recycled frame buffer. This is the bulk
-    /// path: payload bytes are copied exactly once (send buffer → frame)
-    /// rather than transiting an intermediate segment allocation.
+    /// Routes and transmits one TCP segment. This is the bulk zero-copy
+    /// path: the segment buffer already holds the payload at its final wire
+    /// offset behind [`SEGMENT_HEADROOM`](crate::tcp::SEGMENT_HEADROOM)
+    /// reserved bytes, so for option-less headers both headers are written
+    /// straight into that prefix and the buffer *becomes* the frame — the
+    /// payload is copied exactly once end to end (send buffer → segment
+    /// buffer, by the fused sum+copy pass that priced its checksum).
     fn send_tcp_segment(
         &mut self,
         ctx: &mut NodeCtx,
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        seg: &crate::tcp::TcpSegment,
+        seg: crate::tcp::TcpSegment,
     ) {
         let Some(port) = self.routes.lookup(dst) else {
             return; // no route: drop, same as send_ip
@@ -256,12 +259,37 @@ impl Host {
                 hdr_src = addr;
             }
         }
-        let mut frame = ctx.alloc_frame(0);
-        frame.clear();
-        let repr = Ipv4Repr::new(hdr_src, dst, Protocol::Tcp);
-        repr.emit_header_into(seg.repr.segment_len(seg.payload.len()), &mut frame);
-        seg.repr.emit_with_payload_onto(src, dst, &seg.payload, &mut frame);
-        ctx.send_frame(port, frame);
+        let ip_repr = Ipv4Repr::new(hdr_src, dst, Protocol::Tcp);
+        const IP_HDR: usize = 20;
+        let headroom = crate::tcp::SEGMENT_HEADROOM;
+        if seg.repr.header_len() == headroom - IP_HDR {
+            // In-place emit: headers land in the reserved prefix.
+            let (tcp_repr, mut frame, payload_sum) = seg.into_parts();
+            let payload_len = frame.len() - headroom;
+            ip_repr.write_header(frame.len() - IP_HDR, &mut frame[..IP_HDR]);
+            tcp_repr.write_header_with_sum(
+                src,
+                dst,
+                payload_len,
+                payload_sum,
+                &mut frame[IP_HDR..],
+            );
+            ctx.send_frame(port, frame);
+        } else {
+            // Option-bearing headers (SYN/SYN-ACK) don't fit the reserved
+            // prefix; build the frame by appending as before.
+            let mut frame = ctx.alloc_frame(0);
+            frame.clear();
+            ip_repr.emit_header_into(seg.repr.segment_len(seg.payload().len()), &mut frame);
+            seg.repr.emit_with_payload_sum_onto(
+                src,
+                dst,
+                seg.payload(),
+                seg.payload_sum(),
+                &mut frame,
+            );
+            ctx.send_frame(port, frame);
+        }
     }
 
     /// Transmits an IP payload on an explicit port (broadcasts, DHCP).
@@ -691,11 +719,22 @@ impl Host {
             let mut segs = std::mem::take(&mut self.tcp_segs);
             sock.dispatch(now, &mut segs);
             let (local, remote) = (sock.local, sock.remote);
+            let sent = segs.len();
             for seg in segs.drain(..) {
-                self.send_tcp_segment(ctx, *local.ip(), *remote.ip(), &seg);
-                if seg.payload.capacity() > 0 {
-                    if let Some(sock) = self.tcp_sockets[idx].as_mut() {
-                        sock.recycle_payload(seg.payload);
+                self.send_tcp_segment(ctx, *local.ip(), *remote.ip(), seg);
+            }
+            // Segment buffers leave as frames and come back through the
+            // simulator's frame pool once delivered; refill the socket's
+            // spares from that pool so the circulation stays closed and
+            // bulk transfers keep reusing one small buffer working set.
+            if sent > 0 {
+                if let Some(sock) = self.tcp_sockets[idx].as_mut() {
+                    for _ in 0..sent {
+                        if !sock.wants_spare() {
+                            break;
+                        }
+                        let buf = ctx.alloc_frame(crate::tcp::SEGMENT_HEADROOM + 1460);
+                        sock.recycle_payload(buf);
                     }
                 }
             }
@@ -864,7 +903,9 @@ impl Host {
         if !tcp.verify_checksum(ip.src_addr(), ip.dst_addr()) {
             return;
         }
-        let Ok(repr) = TcpRepr::parse(&tcp, ip.src_addr(), ip.dst_addr()) else { return };
+        // The checksum was just verified; parse_unverified skips the second
+        // full-payload re-read that TcpRepr::parse would perform.
+        let Ok(repr) = TcpRepr::parse_unverified(&tcp) else { return };
         let data = tcp.payload();
         let remote = SocketAddrV4::new(ip.src_addr(), repr.src_port);
         // Existing connection?

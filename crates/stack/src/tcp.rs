@@ -225,13 +225,55 @@ impl SinkState {
     }
 }
 
+/// Bytes reserved at the front of every [`TcpSegment`] buffer for the
+/// option-less IPv4 (20) and TCP (20) headers. The payload is copied out of
+/// the send buffer directly to its final wire offset, so a host can turn
+/// the segment buffer into a complete frame by writing headers into this
+/// prefix (`Ipv4Repr::write_header` + `TcpRepr::write_header_with_sum`) —
+/// zero further payload copies.
+pub const SEGMENT_HEADROOM: usize = 40;
+
 /// An outgoing segment produced by [`TcpSocket::dispatch`].
+///
+/// The payload rides in a buffer with [`SEGMENT_HEADROOM`] zeroed prefix
+/// bytes (see [`TcpSegment::payload`] / [`TcpSegment::into_parts`]), so the
+/// emit path never re-copies it.
 #[derive(Debug, Clone)]
 pub struct TcpSegment {
     /// The header.
     pub repr: TcpRepr,
-    /// The payload.
-    pub payload: Vec<u8>,
+    /// [`SEGMENT_HEADROOM`] zero bytes, then the payload.
+    buf: Vec<u8>,
+    /// RFC 1071 byte-pair sum of the payload, computed by the fused pass
+    /// that copied it out of the send buffer
+    /// (`ByteQueue::copy_range_into_with_sum`). Lets emission write the
+    /// transport checksum without re-reading the payload.
+    payload_sum: u32,
+}
+
+impl TcpSegment {
+    fn new(repr: TcpRepr, buf: Vec<u8>, payload_sum: u32) -> TcpSegment {
+        debug_assert!(buf.len() >= SEGMENT_HEADROOM);
+        TcpSegment { repr, buf, payload_sum }
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf[SEGMENT_HEADROOM..]
+    }
+
+    /// The pre-computed pair sum of [`TcpSegment::payload`] (see the `buf`
+    /// field docs); pass to `TcpRepr::emit_with_payload_sum_onto` or
+    /// `TcpRepr::write_header_with_sum`.
+    pub fn payload_sum(&self) -> u32 {
+        self.payload_sum
+    }
+
+    /// Decomposes into `(repr, buffer, payload_sum)`, yielding the headroom
+    /// buffer for in-place frame emission or recycling.
+    pub fn into_parts(self) -> (TcpRepr, Vec<u8>, u32) {
+        (self.repr, self.buf, self.payload_sum)
+    }
 }
 
 /// A full TCP endpoint for one connection.
@@ -885,7 +927,8 @@ impl TcpSocket {
             TcpState::Closed => return,
             TcpState::TimeWait => {
                 if self.ack_pending {
-                    out.push(self.make_segment(TcpFlags::ACK, self.snd_nxt, Vec::new()));
+                    let seg = self.make_segment(TcpFlags::ACK, self.snd_nxt);
+                    out.push(seg);
                     self.ack_pending = false;
                 }
                 return;
@@ -897,7 +940,8 @@ impl TcpSocket {
                     repr.options = vec![TcpOption::MaxSegmentSize(self.config.mss as u16)];
                     self.snd_nxt = self.iss.add(1);
                     self.track_snd_max();
-                    out.push(TcpSegment { repr, payload: Vec::new() });
+                    let buf = self.headroom_buf();
+                    out.push(TcpSegment::new(repr, buf, 0));
                     self.syn_pending = false;
                 }
                 return;
@@ -908,7 +952,8 @@ impl TcpSocket {
                     repr.options = vec![TcpOption::MaxSegmentSize(self.config.mss as u16)];
                     self.snd_nxt = self.iss.add(1);
                     self.track_snd_max();
-                    out.push(TcpSegment { repr, payload: Vec::new() });
+                    let buf = self.headroom_buf();
+                    out.push(TcpSegment::new(repr, buf, 0));
                     self.syn_pending = false;
                 }
                 return;
@@ -929,12 +974,11 @@ impl TcpSocket {
 
         if self.retransmit_head {
             let data = self.buffered_range(self.snd_una, mss);
-            if !data.is_empty() {
-                let seg = self.make_segment(TcpFlags::ACK | TcpFlags::PSH, self.snd_una, data);
+            if !data.0.is_empty() {
+                let seg = self.make_data_segment(TcpFlags::ACK | TcpFlags::PSH, self.snd_una, data);
                 out.push(seg);
             } else if self.fin_seq == Some(self.snd_una) {
-                let seg =
-                    self.make_segment(TcpFlags::FIN | TcpFlags::ACK, self.snd_una, Vec::new());
+                let seg = self.make_segment(TcpFlags::FIN | TcpFlags::ACK, self.snd_una);
                 out.push(seg);
             }
             self.retransmit_head = false;
@@ -952,19 +996,19 @@ impl TcpSocket {
             }
             let budget = ((wnd - flight) as usize).min(mss);
             let data = self.buffered_range(self.snd_nxt, budget);
-            if data.is_empty() {
+            if data.0.is_empty() {
                 break;
             }
+            let plen = data.0.len() - SEGMENT_HEADROOM;
             // Nagle-ish: defer a sub-MSS segment while more data waits and
             // earlier segments are in flight.
             let unsent = self.unsent_from(self.snd_nxt);
-            if data.len() < mss && data.len() < unsent && flight > 0 && !self.persist_probe_due {
+            if plen < mss && plen < unsent && flight > 0 && !self.persist_probe_due {
                 break;
             }
-            let len = data.len() as u32;
-            let flags =
-                if data.len() < mss { TcpFlags::ACK | TcpFlags::PSH } else { TcpFlags::ACK };
-            let seg = self.make_segment(flags, self.snd_nxt, data);
+            let len = plen as u32;
+            let flags = if plen < mss { TcpFlags::ACK | TcpFlags::PSH } else { TcpFlags::ACK };
+            let seg = self.make_data_segment(flags, self.snd_nxt, data);
             out.push(seg);
             if self.rtt_sample.is_none() {
                 self.rtt_sample = Some((self.snd_nxt.add(len), now));
@@ -980,7 +1024,7 @@ impl TcpSocket {
 
         // FIN once every buffered byte has been transmitted.
         if self.fin_queued && self.unsent_from(self.snd_nxt) == 0 && self.fin_seq.is_none() {
-            let seg = self.make_segment(TcpFlags::FIN | TcpFlags::ACK, self.snd_nxt, Vec::new());
+            let seg = self.make_segment(TcpFlags::FIN | TcpFlags::ACK, self.snd_nxt);
             out.push(seg);
             self.fin_seq = Some(self.snd_nxt);
             self.snd_nxt = self.snd_nxt.add(1);
@@ -992,7 +1036,8 @@ impl TcpSocket {
         }
 
         if self.ack_pending && !sent_any {
-            out.push(self.make_segment(TcpFlags::ACK, self.snd_nxt, Vec::new()));
+            let seg = self.make_segment(TcpFlags::ACK, self.snd_nxt);
+            out.push(seg);
         }
         self.ack_pending = false;
     }
@@ -1003,15 +1048,27 @@ impl TcpSocket {
         }
     }
 
-    /// Bytes of the send buffer starting at absolute sequence `seq`.
-    fn buffered_range(&mut self, seq: SeqNumber, max: usize) -> Vec<u8> {
-        let start = seq.dist(self.send_buf_seq);
-        if start < 0 || start as usize >= self.send_buf.len() {
-            return Vec::new();
-        }
+    /// A cleared spare buffer pre-filled with [`SEGMENT_HEADROOM`] zero
+    /// bytes, ready to receive payload at its final wire offset.
+    fn headroom_buf(&mut self) -> Vec<u8> {
         let mut out = self.spares.pop().unwrap_or_default();
-        self.send_buf.copy_range_into(start as usize, max, &mut out);
+        out.clear();
+        out.resize(SEGMENT_HEADROOM, 0);
         out
+    }
+
+    /// Bytes of the send buffer starting at absolute sequence `seq`, laid
+    /// out after [`SEGMENT_HEADROOM`] in a spare buffer, plus their pair
+    /// sum from the same fused copy pass. An empty range returns an empty
+    /// (headroom-less) buffer.
+    fn buffered_range(&mut self, seq: SeqNumber, max: usize) -> (Vec<u8>, u32) {
+        let start = seq.dist(self.send_buf_seq);
+        if start < 0 || start as usize >= self.send_buf.len() || max == 0 {
+            return (Vec::new(), 0);
+        }
+        let mut out = self.headroom_buf();
+        let sum = self.send_buf.copy_range_into_with_sum(start as usize, max, &mut out);
+        (out, sum)
     }
 
     /// Hands a retired segment payload buffer back for reuse by a later
@@ -1023,6 +1080,14 @@ impl TcpSocket {
             buf.clear();
             self.spares.push(buf);
         }
+    }
+
+    /// True while the spare-buffer cache has room — callers that own a
+    /// buffer source (e.g. a frame pool) can check before pulling a buffer
+    /// to [`TcpSocket::recycle_payload`], so no buffer is taken just to be
+    /// dropped.
+    pub fn wants_spare(&self) -> bool {
+        self.spares.len() < 8
     }
 
     fn unsent_from(&self, seq: SeqNumber) -> usize {
@@ -1042,8 +1107,18 @@ impl TcpSocket {
         }
     }
 
-    fn make_segment(&mut self, flags: TcpFlags, seq: SeqNumber, payload: Vec<u8>) -> TcpSegment {
-        TcpSegment { repr: self.header(flags, seq), payload }
+    fn make_segment(&mut self, flags: TcpFlags, seq: SeqNumber) -> TcpSegment {
+        let buf = self.headroom_buf();
+        TcpSegment::new(self.header(flags, seq), buf, 0)
+    }
+
+    fn make_data_segment(
+        &mut self,
+        flags: TcpFlags,
+        seq: SeqNumber,
+        (buf, payload_sum): (Vec<u8>, u32),
+    ) -> TcpSegment {
+        TcpSegment::new(self.header(flags, seq), buf, payload_sum)
     }
 }
 
@@ -1083,14 +1158,14 @@ mod tests {
                 if Some(n) == drop_nth {
                     continue;
                 }
-                b.process(now, &seg.repr, &seg.payload);
+                b.process(now, &seg.repr, seg.payload());
             }
             for seg in out_b {
                 n += 1;
                 if Some(n) == drop_nth {
                     continue;
                 }
-                a.process(now, &seg.repr, &seg.payload);
+                a.process(now, &seg.repr, seg.payload());
             }
             if total > 100_000 {
                 panic!("pump did not converge");
@@ -1232,7 +1307,7 @@ mod tests {
         assert!(segs.len() >= 2);
         // Deliver in reverse order.
         for seg in segs.iter().rev() {
-            s.process(now, &seg.repr, &seg.payload);
+            s.process(now, &seg.repr, seg.payload());
         }
         pump(&mut c, &mut s, now, None);
         assert_eq!(s.recv(5000).len(), 3000);
@@ -1298,7 +1373,7 @@ mod tests {
         c.dispatch(ka_at, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].repr.flags.contains(TcpFlags::ACK));
-        assert!(out[0].payload.is_empty());
+        assert!(out[0].payload().is_empty());
     }
 
     #[test]
@@ -1358,25 +1433,25 @@ mod tests {
             if i == 0 {
                 continue; // lost
             }
-            s.process(now, &seg.repr, &seg.payload);
+            s.process(now, &seg.repr, seg.payload());
             let mut out = Vec::new();
             s.dispatch(now, &mut out);
             acks.extend(out);
         }
         // Feed the dup ACKs back.
         for ack in &acks {
-            c.process(now, &ack.repr, &ack.payload);
+            c.process(now, &ack.repr, ack.payload());
         }
         let mut out = Vec::new();
         c.dispatch(now, &mut out);
         // The head segment must have been retransmitted without an RTO.
         let head_seq = segs[0].repr.seq;
         assert!(
-            out.iter().any(|seg| seg.repr.seq == head_seq && !seg.payload.is_empty()),
+            out.iter().any(|seg| seg.repr.seq == head_seq && !seg.payload().is_empty()),
             "head segment should be fast-retransmitted"
         );
         for seg in &out {
-            s.process(now, &seg.repr, &seg.payload);
+            s.process(now, &seg.repr, seg.payload());
         }
         pump(&mut c, &mut s, now, None);
         assert_eq!(s.recv(10_000).len(), 1460 * 5);
@@ -1405,7 +1480,7 @@ mod tests {
         s.send(&vec![1u8; 1200]);
         let mut segs = Vec::new();
         s.dispatch(now, &mut segs);
-        assert!(segs.iter().all(|sg| sg.payload.len() <= 500));
+        assert!(segs.iter().all(|sg| sg.payload().len() <= 500));
     }
 
     #[test]
@@ -1415,8 +1490,8 @@ mod tests {
         let mut segs = Vec::new();
         c.dispatch(now, &mut segs);
         let seg = &segs[0];
-        s.process(now, &seg.repr, &seg.payload);
-        s.process(now, &seg.repr, &seg.payload); // duplicate
+        s.process(now, &seg.repr, seg.payload());
+        s.process(now, &seg.repr, seg.payload()); // duplicate
         assert_eq!(s.recv(100), b"once");
         assert_eq!(s.recv_available(), 0);
     }

@@ -24,7 +24,7 @@ impl Channel {
         let drop = self.drops.get(self.cursor).copied().unwrap_or(false);
         self.cursor += 1;
         if !drop {
-            to.process(now, &seg.repr, &seg.payload);
+            to.process(now, &seg.repr, seg.payload());
         }
     }
 }
@@ -46,10 +46,10 @@ fn run_transfer(stream: &[u8], drops: Vec<bool>, chunk: usize) -> Vec<u8> {
         a.dispatch(now, &mut oa);
         b.dispatch(now, &mut ob);
         for s in oa {
-            b.process(now, &s.repr, &s.payload);
+            b.process(now, &s.repr, s.payload());
         }
         for s in ob {
-            a.process(now, &s.repr, &s.payload);
+            a.process(now, &s.repr, s.payload());
         }
     }
     assert_eq!(a.state(), TcpState::Established);
@@ -74,7 +74,7 @@ fn run_transfer(stream: &[u8], drops: Vec<bool>, chunk: usize) -> Vec<u8> {
         b.dispatch(now, &mut ob);
         for s in ob {
             // ACK path: lossless (loss there only slows things further).
-            a.process(now, &s.repr, &s.payload);
+            a.process(now, &s.repr, s.payload());
         }
         if received.len() >= stream.len() && sent >= stream.len() {
             break;

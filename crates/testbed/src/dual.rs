@@ -174,22 +174,6 @@ impl DualNatTestbed {
         self.topo.sim.with_node::<T, _>(id, f)
     }
 
-    /// Drives one of the clients.
-    #[deprecated(note = "use with_host(side.into(), f)")]
-    pub fn with_client<R>(
-        &mut self,
-        side: Side,
-        f: impl FnOnce(&mut Host, &mut NodeCtx) -> R,
-    ) -> R {
-        self.with_host(side.into(), f)
-    }
-
-    /// Drives the rendezvous server.
-    #[deprecated(note = "use with_host(HostId::Server, f)")]
-    pub fn with_server<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
-        self.with_host(HostId::Server, f)
-    }
-
     /// The rendezvous address a given side should talk to.
     pub fn rendezvous_addr(&self, side: Side) -> Ipv4Addr {
         match side {
@@ -264,20 +248,5 @@ mod tests {
     fn side_converts_to_host_id() {
         assert_eq!(HostId::from(Side::A), HostId::Lan(0));
         assert_eq!(HostId::from(Side::B), HostId::Lan(1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_still_delegate() {
-        let mut tb = DualNatTestbed::new(
-            "a",
-            GatewayPolicy::well_behaved(),
-            "b",
-            GatewayPolicy::well_behaved(),
-            11,
-        );
-        let via_shim = tb.with_client(Side::B, |h, _| h.dhcp_lease().unwrap().addr);
-        let via_host = tb.with_host(HostId::Lan(1), |h, _| h.dhcp_lease().unwrap().addr);
-        assert_eq!(via_shim, via_host);
     }
 }

@@ -32,22 +32,24 @@
 //! observable semantics and lets the fleet run embarrassingly parallel.
 //! The management link of Figure 1 is the experiment driver itself: probes
 //! steer both hosts directly through
-//! [`Simulator::with_node`](hgw_core::Simulator::with_node), out of band by
+//! [`SimCore::with_node`](hgw_core::SimCore::with_node), out of band by
 //! construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dual;
+pub mod kind;
 pub mod topology;
 
 pub use dual::{DualNatTestbed, Side};
-pub use topology::{HostId, LinkHandle, NodeHandle, Span, Topology, TopologyBuilder};
+pub use kind::NodeKind;
+pub use topology::{HostId, LinkHandle, NodeHandle, Span, Topology, TopologyBuilder, TopologySim};
 
 use std::net::Ipv4Addr;
 use std::ops::{Deref, DerefMut};
 
-use hgw_core::{LinkConfig, LinkId, NodeCtx, NodeId, PortId, SpanId};
+use hgw_core::{LinkConfig, LinkId, NodeCtx, NodeId, PortId};
 use hgw_gateway::{Gateway, GatewayPolicy, LAN_PORT, WAN_PORT};
 use hgw_stack::dhcp::DhcpServerConfig;
 use hgw_stack::dns::DnsZone;
@@ -130,9 +132,18 @@ pub struct TestbedBuilder {
     index: u8,
     seed: u64,
     hosts: usize,
+    boxed_oracle: bool,
 }
 
 impl TestbedBuilder {
+    /// Forces every node into the boxed dynamic-dispatch representation
+    /// (see [`TopologyBuilder::boxed_oracle`]); defaults to the
+    /// `boxed-oracle` cargo feature. Behavior is bit-identical either way —
+    /// this exists for differential oracle runs.
+    pub fn boxed_oracle(mut self, enabled: bool) -> TestbedBuilder {
+        self.boxed_oracle = enabled;
+        self
+    }
     /// Sets the testbed slot index (selects the `10.0.<index>.0/24` plan).
     pub fn index(mut self, index: u8) -> TestbedBuilder {
         self.index = index;
@@ -177,7 +188,14 @@ impl TestbedBuilder {
 
     /// Builds and boots the testbed (see [`Testbed::new`] for panics).
     pub fn build(self) -> Testbed {
-        Testbed::assemble(&self.tag, self.policy, self.index, self.seed, self.hosts)
+        Testbed::assemble(
+            &self.tag,
+            self.policy,
+            self.index,
+            self.seed,
+            self.hosts,
+            self.boxed_oracle,
+        )
     }
 }
 
@@ -192,13 +210,20 @@ impl Testbed {
         // Kept as the positional primitive; prefer [`Testbed::builder`]
         // for named parameters, campaign slot/seed derivation, and
         // household sizing.
-        Testbed::assemble(tag, policy, index, seed, 1)
+        Testbed::assemble(tag, policy, index, seed, 1, cfg!(feature = "boxed-oracle"))
     }
 
     /// Starts a [`TestbedBuilder`] for `tag` (slot index 1, seed 0, one
     /// LAN host until overridden).
     pub fn builder(tag: &str, policy: GatewayPolicy) -> TestbedBuilder {
-        TestbedBuilder { tag: tag.to_string(), policy, index: 1, seed: 0, hosts: 1 }
+        TestbedBuilder {
+            tag: tag.to_string(),
+            policy,
+            index: 1,
+            seed: 0,
+            hosts: 1,
+            boxed_oracle: cfg!(feature = "boxed-oracle"),
+        }
     }
 
     /// The preset over [`TopologyBuilder`]: M LAN hosts (direct link for
@@ -207,9 +232,16 @@ impl Testbed {
     /// reproducibility contract — for M = 1 it matches the seed repo's
     /// hand-rolled testbed exactly (client, gateway, server), so per-node
     /// RNG streams and event sequences are bit-identical.
-    fn assemble(tag: &str, policy: GatewayPolicy, index: u8, seed: u64, m: usize) -> Testbed {
+    fn assemble(
+        tag: &str,
+        policy: GatewayPolicy,
+        index: u8,
+        seed: u64,
+        m: usize,
+        boxed_oracle: bool,
+    ) -> Testbed {
         assert!((1..=64).contains(&m), "Testbed: host count must be in 1..=64, got {m}");
-        let mut b = TopologyBuilder::new(seed);
+        let mut b = TopologyBuilder::new(seed).boxed_oracle(boxed_oracle);
         let server_addr = Ipv4Addr::new(10, 0, index, 1);
         let ether = LinkConfig::ethernet_100m;
 
@@ -348,37 +380,5 @@ impl Testbed {
     /// The gateway's DHCP-acquired WAN address.
     pub fn gateway_wan_addr(&self) -> Ipv4Addr {
         self.topo.sim.node_ref::<Gateway>(self.gateway).wan_addr().expect("gateway bound")
-    }
-
-    /// Drives the test client.
-    #[deprecated(note = "use with_host(HostId::Client, f)")]
-    pub fn with_client<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
-        self.with_host(HostId::Client, f)
-    }
-
-    /// Drives the test server.
-    #[deprecated(note = "use with_host(HostId::Server, f)")]
-    pub fn with_server<R>(&mut self, f: impl FnOnce(&mut Host, &mut NodeCtx) -> R) -> R {
-        self.with_host(HostId::Server, f)
-    }
-
-    /// Inspects the gateway (diagnostics only — measurements must observe
-    /// from the hosts).
-    #[deprecated(note = "use with_node::<Gateway, _>(tb.gateway, f)")]
-    pub fn with_gateway<R>(&mut self, f: impl FnOnce(&mut Gateway, &mut NodeCtx) -> R) -> R {
-        let gateway = self.gateway;
-        self.topo.with_node::<Gateway, _>(gateway, f)
-    }
-
-    /// Opens a telemetry span named `name` at the current simulated time.
-    #[deprecated(note = "use span(name).begin()")]
-    pub fn span_begin(&mut self, name: &str) -> SpanId {
-        self.topo.span(name).begin()
-    }
-
-    /// Like `span_begin`, with a viewer-visible argument.
-    #[deprecated(note = "use span(name).arg(arg).begin()")]
-    pub fn span_begin_arg(&mut self, name: &str, arg: String) -> SpanId {
-        self.topo.span(name).arg(arg).begin()
     }
 }

@@ -44,13 +44,19 @@
 use std::net::Ipv4Addr;
 
 use hgw_core::{
-    Duration, Instant, LinkConfig, LinkId, Node, NodeCtx, NodeId, PortId, Simulator, SpanId,
+    Duration, Instant, LinkConfig, LinkId, Node, NodeCtx, NodeId, PortId, SimCore, SpanId,
 };
 use hgw_gateway::Gateway;
 use hgw_stack::host::Host;
 use hgw_stack::switch::Switch;
 
 use crate::dual::Side;
+use crate::kind::NodeKind;
+
+/// The statically dispatched simulator every topology runs on: node slots
+/// are [`NodeKind`] values, so the event loop dispatches by match instead
+/// of through `Box<dyn Node>` vtables.
+pub type TopologySim = SimCore<NodeKind>;
 
 /// How long a topology's bring-up phase (all DHCP clients bound, all
 /// gateway WAN sides configured) is allowed to take.
@@ -108,10 +114,15 @@ enum Kind {
     Gateway,
     /// A learning [`Switch`].
     Switch,
+    /// An ad-hoc [`Node`] added through [`TopologyBuilder::custom`] —
+    /// always considered ready during bring-up.
+    Custom,
 }
 
+// Wide by way of the inline NodeKind variants; build-time only, never hot.
+#[allow(clippy::large_enum_variant)]
 enum Spec {
-    Ready(Box<dyn Node>),
+    Ready(NodeKind),
     /// Switches are materialized at build time, once their final port
     /// count (one per [`TopologyBuilder::attach`]) is known.
     Switch {
@@ -127,6 +138,7 @@ pub struct TopologyBuilder {
     kinds: Vec<Kind>,
     specs: Vec<Spec>,
     links: Vec<(usize, PortId, usize, PortId, LinkConfig)>,
+    boxed_oracle: bool,
 }
 
 impl TopologyBuilder {
@@ -138,7 +150,20 @@ impl TopologyBuilder {
             kinds: Vec::new(),
             specs: Vec::new(),
             links: Vec::new(),
+            boxed_oracle: cfg!(feature = "boxed-oracle"),
         }
+    }
+
+    /// Forces every node into the [`NodeKind::Custom`] boxed representation
+    /// (dynamic dispatch), regardless of its declared type. The default is
+    /// `false` unless the `boxed-oracle` cargo feature is enabled.
+    ///
+    /// The two representations are required to produce bit-identical event
+    /// streams — this switch exists so differential tests (and the CI
+    /// oracle leg) can prove it on full topologies.
+    pub fn boxed_oracle(mut self, enabled: bool) -> TopologyBuilder {
+        self.boxed_oracle = enabled;
+        self
     }
 
     fn push(&mut self, name: &str, kind: Kind, spec: Spec) -> NodeHandle {
@@ -156,19 +181,27 @@ impl TopologyBuilder {
     /// [`TopologyBuilder::build`] waits for its lease during bring-up.
     pub fn host(&mut self, name: &str, host: Host) -> NodeHandle {
         let kind = if host.dhcp_client_enabled() { Kind::DhcpHost } else { Kind::StaticHost };
-        self.push(name, kind, Spec::Ready(Box::new(host)))
+        self.push(name, kind, Spec::Ready(NodeKind::Host(host)))
     }
 
     /// Adds a [`Gateway`]; bring-up waits for its DHCP-acquired WAN
     /// address.
     pub fn gateway(&mut self, name: &str, gateway: Gateway) -> NodeHandle {
-        self.push(name, Kind::Gateway, Spec::Ready(Box::new(gateway)))
+        self.push(name, Kind::Gateway, Spec::Ready(NodeKind::Gateway(gateway)))
     }
 
     /// Adds a learning LAN [`Switch`]. Its ports are allocated one per
     /// [`TopologyBuilder::attach`] call, in call order.
     pub fn switch(&mut self, name: &str) -> NodeHandle {
         self.push(name, Kind::Switch, Spec::Switch { ports: 0 })
+    }
+
+    /// Adds an arbitrary [`Node`] outside the closed testbed universe —
+    /// scripted attackers, protocol violators, measurement taps. The node
+    /// rides in the [`NodeKind::Custom`] slot (dynamic dispatch for this
+    /// node only) and is always considered ready during bring-up.
+    pub fn custom(&mut self, name: &str, node: Box<dyn Node>) -> NodeHandle {
+        self.push(name, Kind::Custom, Spec::Ready(NodeKind::Custom(node)))
     }
 
     /// Wires `a`'s port `ap` to `b`'s port `bp` (links are bidirectional;
@@ -213,14 +246,18 @@ impl TopologyBuilder {
     /// Panics if bring-up does not complete within 30 s of virtual time —
     /// a topology that cannot even DHCP is a bug, not a measurement.
     pub fn build(self) -> Topology {
-        let mut sim = Simulator::new(self.seed);
+        let mut sim = TopologySim::new(self.seed);
+        let oracle = self.boxed_oracle;
         let ids: Vec<NodeId> = self
             .specs
             .into_iter()
             .zip(&self.names)
-            .map(|(spec, name)| match spec {
-                Spec::Ready(node) => sim.add_node(node),
-                Spec::Switch { ports } => sim.add_node(Box::new(Switch::new(name, ports))),
+            .map(|(spec, name)| {
+                let node = match spec {
+                    Spec::Ready(node) => node,
+                    Spec::Switch { ports } => NodeKind::Switch(Switch::new(name, ports)),
+                };
+                sim.add_node(if oracle { node.into_boxed() } else { node })
             })
             .collect();
         let links: Vec<LinkId> = self
@@ -240,7 +277,7 @@ impl TopologyBuilder {
 /// or address nodes through it by name.
 pub struct Topology {
     /// The simulator owning every node.
-    pub sim: Simulator,
+    pub sim: TopologySim,
     names: Vec<String>,
     kinds: Vec<Kind>,
     ids: Vec<NodeId>,
@@ -272,7 +309,7 @@ impl Topology {
                 Kind::Gateway => {
                     self.sim.with_node::<Gateway, _>(id, |g, _| g.wan_addr().is_none())
                 }
-                Kind::StaticHost | Kind::Switch => false,
+                Kind::StaticHost | Kind::Switch | Kind::Custom => false,
             }
         })
     }
@@ -385,7 +422,7 @@ impl Topology {
 /// In-flight span builder returned by [`Topology::span`].
 #[must_use = "a span records nothing until begin() is called"]
 pub struct Span<'a> {
-    sim: &'a mut Simulator,
+    sim: &'a mut TopologySim,
     name: &'a str,
     arg: Option<String>,
 }

@@ -1,0 +1,116 @@
+//! Differential oracle for static dispatch: the same topology, seed, and
+//! workload must produce a bit-identical event stream whether nodes are
+//! dispatched statically (`NodeKind` match) or dynamically (every node
+//! rewrapped as `NodeKind::Custom(Box<dyn Node>)`, the pre-enum engine
+//! configuration). "Bit-identical" here is checked at every observable
+//! layer: aggregate simulator statistics, per-link transmit counters, the
+//! raw bytes and timestamps of every frame captured on the WAN link, and
+//! the application payloads received at the sockets.
+
+use std::net::SocketAddrV4;
+
+use hgw_core::{Dir, Duration, SimStats};
+use hgw_gateway::GatewayPolicy;
+use hgw_stack::host::{Host, ListenerApp};
+use hgw_testbed::{HostId, Testbed};
+
+/// A household testbed (3 LAN hosts through the learning switch) running a
+/// mixed workload: UDP echo bursts from every host, a TCP echo transfer
+/// through the NAT, and a DNS lookup via the gateway proxy.
+/// (stats, timer trace, frame trace, echoed TCP bytes) — the
+/// deterministic artifacts both dispatch modes must reproduce exactly.
+type DriveArtifacts = (SimStats, Vec<(u64, u64)>, Vec<(u64, Vec<u8>)>, Vec<u8>);
+
+fn drive(boxed_oracle: bool) -> DriveArtifacts {
+    let mut tb = Testbed::builder("oracle", GatewayPolicy::well_behaved())
+        .campaign_slot(3, 42)
+        .hosts(3)
+        .boxed_oracle(boxed_oracle)
+        .build();
+    let (lan_link, wan_link) = (tb.lan_link, tb.wan_link);
+    tb.sim.enable_trace(wan_link, Dir::AtoB);
+    tb.sim.enable_trace(wan_link, Dir::BtoA);
+
+    let server_addr = tb.server_addr;
+    tb.with_host(HostId::Server, |h, _| {
+        let s = h.udp_bind(7);
+        h.udp_set_echo(s, true);
+        h.tcp_listen(5001, ListenerApp::Echo);
+    });
+
+    // UDP bursts from every LAN host, staggered by run_for so traffic
+    // interleaves on the shared switch trunk.
+    let udp_dst = SocketAddrV4::new(server_addr, 7);
+    for i in 0..3usize {
+        tb.with_host(HostId::Lan(i), move |h, ctx| {
+            let s = h.udp_bind(40_000 + i as u16);
+            for k in 0..8u8 {
+                h.udp_send(ctx, s, udp_dst, &[i as u8, k, 0x55, 0xAA]);
+            }
+        });
+        tb.run_for(Duration::from_millis(5));
+    }
+
+    // A TCP transfer from the first host, echoed back by the server. The
+    // send is pumped in slices as the handshake completes and window opens.
+    let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+    let conn = tb.with_host(HostId::Client, move |h, ctx| {
+        h.tcp_connect(ctx, SocketAddrV4::new(server_addr, 5001))
+    });
+    let mut offset = 0;
+    let mut echoed = Vec::new();
+    for _ in 0..200 {
+        let slice = payload[offset..].to_vec();
+        offset += tb.with_host(HostId::Client, move |h, ctx| h.tcp_send(ctx, conn, &slice));
+        tb.run_for(Duration::from_millis(20));
+        echoed.extend(tb.with_host(HostId::Client, move |h, _| h.tcp_recv(conn, usize::MAX)));
+        if echoed.len() == payload.len() {
+            break;
+        }
+    }
+    assert_eq!(echoed, payload, "TCP echo must round-trip the payload");
+
+    let stats = tb.sim.stats();
+    let link_stats: Vec<(u64, u64)> = [lan_link, wan_link]
+        .iter()
+        .flat_map(|&l| {
+            [Dir::AtoB, Dir::BtoA].map(|d| {
+                let s = tb.sim.link(l).stats(d);
+                (s.tx_frames, s.tx_bytes)
+            })
+        })
+        .collect();
+    let mut wire: Vec<(u64, Vec<u8>)> = Vec::new();
+    for dir in [Dir::AtoB, Dir::BtoA] {
+        wire.extend(tb.sim.take_trace(wan_link, dir).into_iter().map(|(t, f)| (t.as_nanos(), f)));
+    }
+    (stats, link_stats, wire, echoed)
+}
+
+#[test]
+fn static_and_boxed_dispatch_are_bit_identical() {
+    let static_run = drive(false);
+    let boxed_run = drive(true);
+    assert_eq!(static_run.0, boxed_run.0, "simulator statistics diverged");
+    assert_eq!(static_run.1, boxed_run.1, "link transmit counters diverged");
+    assert_eq!(static_run.2.len(), boxed_run.2.len(), "WAN trace lengths diverged");
+    for (i, (a, b)) in static_run.2.iter().zip(&boxed_run.2).enumerate() {
+        assert_eq!(a, b, "WAN frame {i} diverged (timestamp or bytes)");
+    }
+    assert_eq!(static_run.3, boxed_run.3, "application payloads diverged");
+    assert!(static_run.0.events > 0 && !static_run.2.is_empty(), "workload actually ran");
+}
+
+#[test]
+fn typed_access_works_under_both_representations() {
+    for boxed in [false, true] {
+        let tb = Testbed::builder("acc", GatewayPolicy::well_behaved())
+            .campaign_slot(0, 7)
+            .boxed_oracle(boxed)
+            .build();
+        // node_ref downcasts through NodeKind::as_any in both modes.
+        let name = &tb.sim.node_ref::<Host>(tb.client).name;
+        assert_eq!(name, "test-client", "boxed={boxed}");
+        assert!(tb.gateway_wan_addr().is_private(), "boxed={boxed}");
+    }
+}

@@ -19,7 +19,7 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 /// Running one's-complement sum, resumable via `acc`. Dispatches long
 /// inputs to the wide-word path; `acc` and the result stay in the
 /// big-endian 16-bit-pair space the scalar loop uses.
-fn sum(data: &[u8], acc: u32) -> u32 {
+pub(crate) fn sum(data: &[u8], acc: u32) -> u32 {
     if data.len() < 64 {
         return sum_bytewise(data, acc);
     }
@@ -146,8 +146,70 @@ pub fn checksum_adjust(checksum: u16, old: u16, new: u16) -> u16 {
     delta.apply(checksum)
 }
 
+/// Appends `data` to `out` and returns its one's-complement byte-pair sum
+/// in one fused pass — the bulk-path kernel that replaces "copy, then
+/// re-read everything to checksum it".
+///
+/// The returned value is a running accumulator in the same big-endian
+/// 16-bit-pair space as the rest of this module, computed as if `data`
+/// started at an *even* byte offset (odd-length data is virtually
+/// zero-padded, matching RFC 1071). Accumulators compose by addition;
+/// a region appended at an odd offset contributes its sum byte-swapped
+/// ([`swap_pair_sum`]) — the standard RFC 1071 §2.B identity. Finish a
+/// composed transport sum with [`finish_transport_checksum`].
+///
+/// The wide path mirrors `internet_checksum`'s: four u128 lanes of u64
+/// little-endian loads (32 bytes per step) with the copy interleaved per
+/// block, proven against the copy-then-bytewise oracle in both unit tests
+/// and proptests over odd lengths, chunk splits, and >64 KiB payloads.
+pub fn copy_and_checksum(data: &[u8], out: &mut Vec<u8>) -> u32 {
+    if data.len() < 64 {
+        out.extend_from_slice(data);
+        return sum_bytewise(data, 0);
+    }
+    out.reserve(data.len());
+    let (wide, tail) = data.split_at(data.len() & !31);
+    let (mut l0, mut l1, mut l2, mut l3) = (0u128, 0u128, 0u128, 0u128);
+    for block in wide.chunks_exact(32) {
+        l0 += u64::from_le_bytes(block[0..8].try_into().unwrap()) as u128;
+        l1 += u64::from_le_bytes(block[8..16].try_into().unwrap()) as u128;
+        l2 += u64::from_le_bytes(block[16..24].try_into().unwrap()) as u128;
+        l3 += u64::from_le_bytes(block[24..32].try_into().unwrap()) as u128;
+        out.extend_from_slice(block);
+    }
+    let acc = (fold_wide(l0 + l1 + l2 + l3).swap_bytes()) as u32;
+    out.extend_from_slice(tail);
+    sum_bytewise(tail, acc)
+}
+
+/// Byte-swaps a pair-space accumulator, re-aligning a sum computed at an
+/// even offset for use at an odd offset (or vice versa) — RFC 1071 §2.B:
+/// the one's-complement sum is byte-order independent, so shifting a
+/// region's alignment by one byte exactly swaps the two sum bytes.
+pub fn swap_pair_sum(acc: u32) -> u32 {
+    fold(acc).swap_bytes() as u32
+}
+
+/// Folds a composed transport accumulator (pseudo-header + header +
+/// payload sums) into the on-wire checksum field value, applying the
+/// RFC 768 zero mapping (an all-zero result is transmitted as `0xFFFF`;
+/// harmless for TCP).
+pub fn finish_transport_checksum(acc: u32) -> u16 {
+    let folded = !fold(acc);
+    if folded == 0 {
+        0xFFFF
+    } else {
+        folded
+    }
+}
+
 /// The IPv4 pseudo-header sum used by UDP, TCP and DCCP checksums.
-fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u32) -> u32 {
+///
+/// Public so single-pass emitters can compose it with
+/// [`copy_and_checksum`] payload sums and finish with
+/// [`finish_transport_checksum`] instead of re-reading the whole segment
+/// through [`transport_checksum`].
+pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u32) -> u32 {
     let s = src.octets();
     let d = dst.octets();
     let mut acc = 0u32;
@@ -165,14 +227,7 @@ fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, length: u32) ->
 /// field zeroed) covered by the IPv4 pseudo-header.
 pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, data: &[u8]) -> u16 {
     let acc = sum(data, pseudo_header_sum(src, dst, protocol, data.len() as u32));
-    let folded = !fold(acc);
-    // Per RFC 768, a transmitted UDP checksum of zero means "no checksum";
-    // an all-zero result is sent as 0xFFFF instead. Harmless for TCP.
-    if folded == 0 {
-        0xFFFF
-    } else {
-        folded
-    }
+    finish_transport_checksum(acc)
 }
 
 /// Verifies a transport segment whose checksum field is still in place.
@@ -473,6 +528,138 @@ mod tests {
         }
         // 0xFFFF stored: ~HC = 0, folds to 0, complements back to 0xFFFF.
         assert_eq!(ChecksumDelta::new().apply(0xFFFF), 0xFFFF);
+    }
+
+    /// Reference for the fused kernel: plain copy, then the independent
+    /// u64 bytewise pair-sum (un-complemented, un-folded accumulator).
+    fn copy_then_oracle_sum(data: &[u8], out: &mut Vec<u8>) -> u64 {
+        out.extend_from_slice(data);
+        let mut acc: u64 = 0;
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            acc += u16::from_be_bytes([c[0], c[1]]) as u64;
+        }
+        if let [last] = chunks.remainder() {
+            acc += (*last as u64) << 8;
+        }
+        acc
+    }
+
+    fn fold64(mut acc: u64) -> u16 {
+        while acc > 0xFFFF {
+            acc = (acc & 0xFFFF) + (acc >> 16);
+        }
+        acc as u16
+    }
+
+    #[test]
+    fn copy_and_checksum_matches_copy_then_oracle_all_lengths() {
+        // Every split phase around the 64-byte threshold and 32-byte block
+        // size, at every alignment, odd and even lengths.
+        let data = lcg_fill(400, 13);
+        for start in 0..8 {
+            for len in 0..data.len() - start {
+                let slice = &data[start..start + len];
+                let mut fused = vec![0xA5u8; 3]; // nonempty destination
+                let mut plain = vec![0xA5u8; 3];
+                let acc = copy_and_checksum(slice, &mut fused);
+                let oracle = copy_then_oracle_sum(slice, &mut plain);
+                assert_eq!(fused, plain, "copied bytes len={len} start={start}");
+                assert_eq!(fold(acc), fold64(oracle), "sum len={len} start={start}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_and_checksum_carry_cascades_and_large() {
+        // All-0xFF maximizes lane carries; >64 KiB would overflow a u32
+        // bytewise accumulator in the worst case.
+        for len in [64usize, 65, 95, 1460, 65_537, 196_608] {
+            let data = vec![0xFFu8; len];
+            let (mut fused, mut plain) = (Vec::new(), Vec::new());
+            let acc = copy_and_checksum(&data, &mut fused);
+            let oracle = copy_then_oracle_sum(&data, &mut plain);
+            assert_eq!(fused, plain, "len={len}");
+            assert_eq!(fold(acc), fold64(oracle), "len={len}");
+        }
+    }
+
+    #[test]
+    fn chunked_copy_and_checksum_composes_with_parity_swap() {
+        // Emulate the ByteQueue bulk path: the payload arrives as chunks
+        // split at arbitrary (including odd) boundaries; per-chunk fused
+        // sums composed with the RFC 1071 §2.B byte-swap identity must
+        // equal the whole-payload checksum.
+        let data = lcg_fill(10_000, 29);
+        for splits in [vec![0], vec![1], vec![4096], vec![4095, 8191], vec![1, 2, 3, 5000]] {
+            let mut out = Vec::new();
+            let mut acc: u32 = 0;
+            let mut prev = 0usize;
+            let mut bounds = splits.clone();
+            bounds.push(data.len());
+            for b in bounds {
+                let part = copy_and_checksum(&data[prev..b], &mut out);
+                // A chunk starting at an odd offset contributes byte-swapped.
+                acc += if prev.is_multiple_of(2) { part } else { swap_pair_sum(part) };
+                prev = b;
+            }
+            assert_eq!(out, data, "splits={splits:?}");
+            assert_eq!(fold(acc), fold(sum_bytewise(&data, 0)), "composed sum splits={splits:?}");
+        }
+    }
+
+    #[test]
+    fn finish_transport_checksum_matches_transport_checksum() {
+        let src = Ipv4Addr::new(192, 168, 1, 2);
+        let dst = Ipv4Addr::new(10, 0, 1, 1);
+        for len in [0usize, 1, 12, 1459, 1460] {
+            let seg = lcg_fill(len, len as u64 + 1);
+            let mut copied = Vec::new();
+            let acc =
+                copy_and_checksum(&seg, &mut copied) + pseudo_header_sum(src, dst, 6, len as u32);
+            assert_eq!(
+                finish_transport_checksum(acc),
+                transport_checksum(src, dst, 6, &seg),
+                "len={len}"
+            );
+        }
+        // The RFC 768 zero mapping: an input folding to 0xFFFF complements
+        // to zero and must be emitted as 0xFFFF.
+        assert_eq!(finish_transport_checksum(0xFFFF), 0xFFFF);
+        assert_eq!(finish_transport_checksum(0x0001_FFFE), 0xFFFF);
+    }
+
+    mod copy_and_checksum_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Fused copy+sum equals copy-then-bytewise-oracle for any
+            /// payload, including odd lengths and >64 KiB buffers.
+            #[test]
+            fn matches_oracle(seed in any::<u64>(), len in 0usize..70_000) {
+                let data = lcg_fill(len, seed);
+                let (mut fused, mut plain) = (Vec::new(), Vec::new());
+                let acc = copy_and_checksum(&data, &mut fused);
+                let oracle = copy_then_oracle_sum(&data, &mut plain);
+                prop_assert_eq!(fused, plain);
+                prop_assert_eq!(fold(acc), fold64(oracle));
+            }
+
+            /// Splitting at any chunk boundary and composing with the
+            /// parity-swap identity reproduces the unsplit sum.
+            #[test]
+            fn split_composes(seed in any::<u64>(), len in 2usize..20_000, cut in 0usize..20_000) {
+                let data = lcg_fill(len, seed);
+                let cut = cut % (len + 1);
+                let mut out = Vec::new();
+                let a = copy_and_checksum(&data[..cut], &mut out);
+                let b = copy_and_checksum(&data[cut..], &mut out);
+                let composed = a + if cut % 2 == 0 { b } else { swap_pair_sum(b) };
+                prop_assert_eq!(&out, &data);
+                prop_assert_eq!(fold(composed), fold(sum_bytewise(&data, 0)));
+            }
+        }
     }
 
     #[test]

@@ -466,11 +466,22 @@ impl Ipv4Repr {
     /// complete packet in one buffer with a single payload copy.
     pub fn emit_header_into(&self, payload_len: usize, buf: &mut Vec<u8>) {
         let hl = self.header_len();
-        let total = hl + payload_len;
-        assert!(total <= u16::MAX as usize, "IPv4 packet too large");
         let base = buf.len();
         buf.resize(base + hl, 0);
-        let hdr = &mut buf[base..];
+        self.write_header(payload_len, &mut buf[base..base + hl]);
+    }
+
+    /// Writes the IPv4 header (with a valid header checksum) into a
+    /// pre-zeroed `hdr` slice of at least [`Ipv4Repr::header_len`] bytes,
+    /// declaring a total length of `header + payload_len`. This is the
+    /// in-place half of [`Ipv4Repr::emit_header_into`]: transports that
+    /// build segments with packet headroom (see
+    /// `hgw_stack::tcp::SEGMENT_HEADROOM`) fill the reserved prefix with
+    /// this instead of appending, so the payload is never copied again.
+    pub fn write_header(&self, payload_len: usize, hdr: &mut [u8]) {
+        let hl = self.header_len();
+        let total = hl + payload_len;
+        assert!(total <= u16::MAX as usize, "IPv4 packet too large");
         hdr[field::VER_IHL] = 0x40 | (hl / 4) as u8;
         write_u16(hdr, field::LENGTH, total as u16);
         write_u16(hdr, field::IDENT, self.ident);

@@ -8,7 +8,10 @@
 
 use std::net::Ipv4Addr;
 
-use crate::checksum::{transport_checksum, verify_transport_checksum, ChecksumDelta};
+use crate::checksum::{
+    copy_and_checksum, finish_transport_checksum, pseudo_header_sum, sum, transport_checksum,
+    verify_transport_checksum, ChecksumDelta,
+};
 use crate::error::{WireError, WireResult};
 use crate::field::{read_u16, read_u32, write_u16, write_u32};
 use crate::ip::Protocol;
@@ -420,6 +423,24 @@ impl TcpRepr {
         })
     }
 
+    /// Parses a segment view without verifying the checksum.
+    ///
+    /// For callers that already verified the segment (or deliberately
+    /// skip verification, e.g. after an incremental NAT rewrite) —
+    /// [`TcpRepr::parse`] re-reads the full payload to verify, which
+    /// doubles the per-segment memory traffic on the receive path.
+    pub fn parse_unverified<T: AsRef<[u8]>>(packet: &TcpPacket<T>) -> WireResult<TcpRepr> {
+        Ok(TcpRepr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            seq: packet.seq_number(),
+            ack: packet.ack_number(),
+            flags: packet.flags(),
+            window: packet.window(),
+            options: packet.options()?,
+        })
+    }
+
     /// Header length including padded options.
     pub fn header_len(&self) -> usize {
         let opt_len: usize = self.options.iter().map(TcpOption::wire_len).sum();
@@ -446,13 +467,79 @@ impl TcpRepr {
         payload: &[u8],
         buf: &mut Vec<u8>,
     ) {
+        let (base, hl) = self.emit_header_fields(buf);
+        // Fused copy+checksum: the payload is summed by the same pass that
+        // appends it, so the segment is never re-read to fill the checksum.
+        let payload_sum = copy_and_checksum(payload, buf);
+        self.finish_emit(src, dst, buf, base, hl, payload.len(), payload_sum);
+    }
+
+    /// Like [`TcpRepr::emit_with_payload_onto`], but takes the payload's
+    /// pre-computed pair sum (as returned by
+    /// [`copy_and_checksum`] or
+    /// `ByteQueue::copy_range_into_with_sum`) instead of summing during the
+    /// copy. This is the scatter-gather bulk path: the send buffer already
+    /// summed the payload when it materialized the segment, so emission
+    /// writes header and payload in one pass with zero checksum re-reads.
+    ///
+    /// `payload_sum` must be the big-endian pair-space accumulator of
+    /// exactly `payload`, computed as if it started at an even offset
+    /// (TCP headers are multiples of 4 bytes, so the payload always lands
+    /// on an even segment offset and the sum composes without swapping).
+    pub fn emit_with_payload_sum_onto(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        payload_sum: u32,
+        buf: &mut Vec<u8>,
+    ) {
+        let (base, hl) = self.emit_header_fields(buf);
+        buf.extend_from_slice(payload);
+        self.finish_emit(src, dst, buf, base, hl, payload.len(), payload_sum);
+    }
+
+    /// Writes the complete header (fields, flags, options, checksum) into
+    /// the pre-zeroed prefix of `seg`, whose remainder already holds the
+    /// payload bytes whose pair sum is `payload_sum`. This is the in-place
+    /// counterpart of [`TcpRepr::emit_with_payload_sum_onto`] for buffers
+    /// built with packet headroom: the payload was written (and summed)
+    /// directly at its final offset, so emission touches only header bytes.
+    ///
+    /// `payload_sum` obeys the same even-offset contract as
+    /// [`TcpRepr::emit_with_payload_sum_onto`].
+    pub fn write_header_with_sum(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload_len: usize,
+        payload_sum: u32,
+        seg: &mut [u8],
+    ) {
+        let hl = self.header_len();
+        self.write_header_fields(&mut seg[..hl]);
+        let seg_len = (hl + payload_len) as u32;
+        let acc = sum(&seg[..hl], pseudo_header_sum(src, dst, Protocol::Tcp.number(), seg_len))
+            + payload_sum;
+        write_u16(seg, field::CHECKSUM, finish_transport_checksum(acc));
+    }
+
+    /// Appends the zero-checksum header (fields, flags, options) onto
+    /// `buf`; returns `(base, header_len)` for the checksum fixup.
+    fn emit_header_fields(&self, buf: &mut Vec<u8>) -> (usize, usize) {
         let hl = self.header_len();
         let base = buf.len();
         // Zero-fill only the header region; appending the payload directly
         // skips a redundant memset of up to an MSS per data segment.
         buf.resize(base + hl, 0);
-        buf.extend_from_slice(payload);
-        let seg = &mut buf[base..];
+        self.write_header_fields(&mut buf[base..base + hl]);
+        (base, hl)
+    }
+
+    /// Writes the zero-checksum header fields into a pre-zeroed slice of
+    /// exactly [`TcpRepr::header_len`] bytes.
+    fn write_header_fields(&self, seg: &mut [u8]) {
+        let hl = seg.len();
         write_u16(seg, field::SRC_PORT, self.src_port);
         write_u16(seg, field::DST_PORT, self.dst_port);
         write_u32(seg, field::SEQ, self.seq.0);
@@ -466,8 +553,27 @@ impl TcpRepr {
             emit_options(&self.options, &mut opts);
             seg[field::OPTIONS..field::OPTIONS + opts.len()].copy_from_slice(&opts);
         }
-        let mut packet = TcpPacket::new_unchecked(seg);
-        packet.fill_checksum(src, dst);
+    }
+
+    /// Composes header + pseudo-header + payload sums and writes the
+    /// checksum field in place — no re-read of the emitted segment body.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_emit(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        buf: &mut [u8],
+        base: usize,
+        hl: usize,
+        payload_len: usize,
+        payload_sum: u32,
+    ) {
+        let seg_len = (hl + payload_len) as u32;
+        let acc = sum(
+            &buf[base..base + hl],
+            pseudo_header_sum(src, dst, Protocol::Tcp.number(), seg_len),
+        ) + payload_sum;
+        write_u16(&mut buf[base..], field::CHECKSUM, finish_transport_checksum(acc));
     }
 
     /// Total segment length for a given payload.
@@ -513,6 +619,43 @@ mod tests {
         assert!(!f.contains(TcpFlags::FIN));
         assert!(f.intersects(TcpFlags::ACK | TcpFlags::RST));
         assert!(!f.intersects(TcpFlags::RST));
+    }
+
+    #[test]
+    fn fused_emit_matches_presummed_emit_and_verifies() {
+        // The fused (sum-during-copy) and scatter-gather (pre-summed)
+        // emitters must produce bit-identical segments, and the checksum
+        // they write must survive the full-re-read verifier — across odd
+        // and even payload lengths, empty payloads, and option headers.
+        for with_opts in [false, true] {
+            for len in [0usize, 1, 2, 3, 64, 65, 536, 1459, 1460] {
+                let mut repr = TcpRepr::new(40000, 80, TcpFlags::PSH | TcpFlags::ACK);
+                repr.seq = SeqNumber(0xDEAD_BEEF);
+                repr.ack = SeqNumber(0x0102_0304);
+                if with_opts {
+                    repr.options = vec![TcpOption::MaxSegmentSize(1460)];
+                }
+                let payload: Vec<u8> = (0..len).map(|i| (i * 131 % 251) as u8).collect();
+
+                let mut fused = vec![0x45u8; 20]; // stand-in IPv4 header prefix
+                repr.emit_with_payload_onto(SRC, DST, &payload, &mut fused);
+
+                let mut copied = Vec::new();
+                let payload_sum = copy_and_checksum(&payload, &mut copied);
+                assert_eq!(copied, payload);
+                let mut presummed = vec![0x45u8; 20];
+                repr.emit_with_payload_sum_onto(SRC, DST, &payload, payload_sum, &mut presummed);
+
+                assert_eq!(fused, presummed, "len={len} opts={with_opts}");
+                let seg = &fused[20..];
+                assert!(
+                    verify_transport_checksum(SRC, DST, Protocol::Tcp.number(), seg),
+                    "len={len} opts={with_opts}"
+                );
+                let parsed = TcpRepr::parse_unverified(&TcpPacket::new_unchecked(seg)).unwrap();
+                assert_eq!(parsed, repr, "len={len} opts={with_opts}");
+            }
+        }
     }
 
     #[test]
