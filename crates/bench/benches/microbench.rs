@@ -471,6 +471,15 @@ fn bench_telemetry(results: &mut Vec<MicroResult>) {
     let mut reg = hgw_core::MetricsRegistry::new();
     let c = reg.counter("bench.counter");
     bench(results, "telemetry", "counter_inc", None, || reg.inc(c));
+    // The on/off pair `bench_diff` machine-checks: identical boxed engines,
+    // telemetry (and the lifecycle-tracing plumbing it feeds) enabled on one
+    // and left disabled on the other. The disabled leg is what every
+    // untraced run pays for carrying the tracing branches — `bench_diff`
+    // holds it to the ≤2% budget against `sim_event_dispatch_boxed`.
+    let mut off_sim = Simulator::new(1);
+    off_sim.add_node(Box::new(TimerPingPong));
+    off_sim.boot();
+    bench(results, "telemetry", "sim_event_dispatch_telemetry_off", None, || off_sim.step());
     let mut sim = Simulator::new(1);
     sim.enable_telemetry(hgw_core::TelemetryConfig::default());
     sim.add_node(Box::new(TimerPingPong));

@@ -153,6 +153,57 @@ fn drift_threshold() -> f64 {
     std::env::var("HGW_BENCH_DRIFT_PCT").ok().and_then(|v| v.parse::<f64>().ok()).unwrap_or(25.0)
 }
 
+fn telemetry_budget_pct() -> f64 {
+    std::env::var("HGW_TELEMETRY_BUDGET_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(2.0)
+}
+
+/// The telemetry dispatch budget, evaluated inside ONE capture (so both
+/// legs ran on the same machine in the same window): the
+/// `sim_event_dispatch_telemetry_on`/`_off` pair, plus the disabled-path
+/// overhead of `_off` against the plain `sim_event_dispatch_boxed` engine
+/// it is configured identically to. That last number is the cost every
+/// untraced run pays for carrying the tracing branches — the one the ≤2%
+/// budget (`HGW_TELEMETRY_BUDGET_PCT`) applies to.
+struct TelemetryBudget {
+    on_ns: f64,
+    off_ns: f64,
+    /// `(on - off) / off` — what enabling telemetry costs.
+    enabled_overhead_pct: f64,
+    boxed_ns: f64,
+    /// `(off - boxed) / boxed` — what the disabled path costs.
+    disabled_overhead_pct: f64,
+    budget_pct: f64,
+    within_budget: bool,
+}
+
+fn telemetry_budget(capture: &MicroCapture) -> Option<TelemetryBudget> {
+    let ns = |group: &str, name: &str| {
+        capture
+            .results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+            .map(|r| r.ns_per_iter)
+            .filter(|&v| v > 0.0)
+    };
+    let on_ns = ns("telemetry", "sim_event_dispatch_telemetry_on")?;
+    let off_ns = ns("telemetry", "sim_event_dispatch_telemetry_off")?;
+    let boxed_ns = ns("simulation", "sim_event_dispatch_boxed")?;
+    let budget_pct = telemetry_budget_pct();
+    let disabled_overhead_pct = (off_ns - boxed_ns) / boxed_ns * 100.0;
+    Some(TelemetryBudget {
+        on_ns,
+        off_ns,
+        enabled_overhead_pct: (on_ns - off_ns) / off_ns * 100.0,
+        boxed_ns,
+        disabled_overhead_pct,
+        budget_pct,
+        within_budget: disabled_overhead_pct <= budget_pct,
+    })
+}
+
 /// One benchmark's delta between two captures.
 struct DiffRow {
     /// `group/name`.
@@ -245,6 +296,20 @@ fn report(baseline: &MicroCapture, candidate: &MicroCapture) {
         candidate.results.len(),
         threshold
     );
+    if let Some(b) = telemetry_budget(candidate) {
+        println!(
+            "telemetry dispatch: on {:.1} ns vs off {:.1} ns ({:+.1}%); disabled path {:.1} ns vs \
+             boxed {:.1} ns ({:+.1}%, budget ≤{:.0}%) — {}",
+            b.on_ns,
+            b.off_ns,
+            b.enabled_overhead_pct,
+            b.off_ns,
+            b.boxed_ns,
+            b.disabled_overhead_pct,
+            b.budget_pct,
+            if b.within_budget { "within budget" } else { "BUDGET EXCEEDED" },
+        );
+    }
 }
 
 /// The machine-readable twin of [`report`]: same rows, same threshold
@@ -252,6 +317,22 @@ fn report(baseline: &MicroCapture, candidate: &MicroCapture) {
 fn report_json(baseline: &MicroCapture, candidate: &MicroCapture) {
     let threshold = drift_threshold();
     let rows = diff_rows(baseline, candidate, threshold);
+    let budget = telemetry_budget(candidate)
+        .map(|b| {
+            format!(
+                "{{\"on_ns_per_iter\": {:.3}, \"off_ns_per_iter\": {:.3}, \
+                 \"enabled_overhead_pct\": {:.3}, \"boxed_ns_per_iter\": {:.3}, \
+                 \"disabled_overhead_pct\": {:.3}, \"budget_pct\": {}, \"within_budget\": {}}}",
+                b.on_ns,
+                b.off_ns,
+                b.enabled_overhead_pct,
+                b.boxed_ns,
+                b.disabled_overhead_pct,
+                b.budget_pct,
+                b.within_budget,
+            )
+        })
+        .unwrap_or_else(|| "null".to_string());
     let num = |v: Option<f64>| v.map(|v| format!("{v:.3}")).unwrap_or_else(|| "null".to_string());
     let body: Vec<String> = rows
         .iter()
@@ -270,7 +351,8 @@ fn report_json(baseline: &MicroCapture, candidate: &MicroCapture) {
     println!(
         "{{\n  \"schema\": \"{}\",\n  \"baseline\": \"{}\",\n  \"candidate\": \"{}\",\n  \
          \"baseline_bench_ms\": {},\n  \"candidate_bench_ms\": {},\n  \
-         \"threshold_pct\": {},\n  \"drifted\": {},\n  \"rows\": [\n{}\n  ]\n}}",
+         \"threshold_pct\": {},\n  \"drifted\": {},\n  \"telemetry_budget\": {},\n  \
+         \"rows\": [\n{}\n  ]\n}}",
         DIFF_SCHEMA,
         json_escape(&baseline.label),
         json_escape(&candidate.label),
@@ -278,6 +360,7 @@ fn report_json(baseline: &MicroCapture, candidate: &MicroCapture) {
         candidate.bench_ms,
         threshold,
         rows.iter().filter(|r| r.status.starts_with("DRIFT")).count(),
+        budget,
         body.join(",\n"),
     );
 }
@@ -402,6 +485,39 @@ mod tests {
         assert!((pct("faster").unwrap() + 25.0).abs() < 1e-9);
         assert_eq!(pct("zero_base"), None);
         assert_eq!(pct("gone"), None);
+    }
+
+    #[test]
+    fn telemetry_budget_pairs_on_off_and_checks_the_disabled_path() {
+        // off = 25.5 vs boxed 25.0 → +2.0% disabled overhead, within the
+        // (inclusive) 2% budget; on = 26.1 vs off → +2.35% enabled cost.
+        let cand = capture_with(
+            "post",
+            &[
+                ("simulation", "sim_event_dispatch_boxed", 25.0),
+                ("telemetry", "sim_event_dispatch_telemetry_off", 25.5),
+                ("telemetry", "sim_event_dispatch_telemetry_on", 26.1),
+            ],
+        );
+        let b = telemetry_budget(&cand).expect("all three legs present");
+        assert!((b.disabled_overhead_pct - 2.0).abs() < 1e-9);
+        assert!(b.within_budget, "2.0% lands on the inclusive budget boundary");
+        assert!((b.enabled_overhead_pct - (26.1 - 25.5) / 25.5 * 100.0).abs() < 1e-9);
+
+        let over = capture_with(
+            "post",
+            &[
+                ("simulation", "sim_event_dispatch_boxed", 25.0),
+                ("telemetry", "sim_event_dispatch_telemetry_off", 26.0),
+                ("telemetry", "sim_event_dispatch_telemetry_on", 26.1),
+            ],
+        );
+        assert!(!telemetry_budget(&over).unwrap().within_budget, "+4% must exceed the budget");
+
+        // A capture missing any leg (e.g. a pre-tracing baseline) has no
+        // budget verdict rather than a spurious one.
+        let old = capture_with("pre", &[("simulation", "sim_event_dispatch_boxed", 25.0)]);
+        assert!(telemetry_budget(&old).is_none());
     }
 
     #[test]

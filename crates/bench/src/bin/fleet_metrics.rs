@@ -46,7 +46,7 @@ use hgw_bench::manifest::{render_fleet_manifest, render_mega_manifest, write_man
 use hgw_bench::{env_u64, env_usize, figures_dir};
 use hgw_devices::{all_devices, device, synthetic_fleet, DeviceProfile};
 use hgw_probe::distributions::{cdf_points, FleetDistributions};
-use hgw_probe::fleet::{FleetError, FleetRunner, FleetSample, Parallelism};
+use hgw_probe::fleet::{FleetError, FleetRunner, FleetSample, LifecycleFleetSummary, Parallelism};
 use hgw_probe::household::{
     measure_household, HouseholdFleetSummary, HouseholdReport, WorkloadConfig,
 };
@@ -143,7 +143,10 @@ fn run() -> Result<(), FleetError> {
     println!("{}", table.render());
     print_scheduling(&scheduling, seq_scheduling.wall_ms);
 
-    let household = run_household(&devices, seed, parallelism)?;
+    let (household, lifecycle) = match run_household(&devices, seed, parallelism)? {
+        Some((h, l)) => (Some(h), Some(l)),
+        None => (None, None),
+    };
 
     let per_device: Vec<_> = par_results.into_iter().map(|(tag, _, m)| (tag, m)).collect();
     let json = render_fleet_manifest(
@@ -153,6 +156,7 @@ fn run() -> Result<(), FleetError> {
         Some(&seq_scheduling),
         Some(&dist),
         household.as_ref(),
+        lifecycle.as_ref(),
     );
     for path in [figures_dir().join("manifest.json"), Path::new("BENCH_fleet.json").to_path_buf()] {
         match write_manifest(&path, &json) {
@@ -175,14 +179,15 @@ fn run() -> Result<(), FleetError> {
 }
 
 /// The household leg: a multi-host mixed workload on every device, run
-/// under both parallelism modes, checked for bit-identity, folded into the
-/// manifest's `household` block. Returns `None` when disabled via
+/// with binding-lifecycle tracing under both parallelism modes, checked
+/// for bit-identity, folded into the manifest's `household` and
+/// `binding_lifecycle` blocks. Returns `None` when disabled via
 /// `HGW_HOUSEHOLD_HOSTS=0`.
 fn run_household(
     devices: &[DeviceProfile],
     seed: u64,
     parallelism: Parallelism,
-) -> Result<Option<HouseholdFleetSummary>, FleetError> {
+) -> Result<Option<(HouseholdFleetSummary, LifecycleFleetSummary)>, FleetError> {
     let hosts = env_usize("HGW_HOUSEHOLD_HOSTS", 4);
     if hosts == 0 {
         return Ok(None);
@@ -199,24 +204,39 @@ fn run_household(
         devices.len()
     );
     let probe = |tb: &mut hgw_testbed::Testbed, _: &DeviceProfile| measure_household(tb, &cfg);
-    let runner = FleetRunner::new(devices).seed(seed).hosts(hosts);
+    let runner =
+        FleetRunner::new(devices).seed(seed).hosts(hosts).instrumented(true).lifecycle(true);
 
-    let seq = runner.parallelism(Parallelism::Sequential).run(probe)?.into_results()?;
-    let par = runner.parallelism(parallelism).run(probe)?.into_results()?;
-    for ((seq_tag, seq_r), (par_tag, par_r)) in seq.iter().zip(par.iter()) {
+    let seq =
+        runner.parallelism(Parallelism::Sequential).run(probe)?.into_instrumented_results()?;
+    let par = runner.parallelism(parallelism).run(probe)?.into_instrumented_results()?;
+    for ((seq_tag, seq_r, seq_m), (par_tag, par_r, par_m)) in seq.iter().zip(par.iter()) {
         assert_eq!(seq_tag, par_tag, "household device order must not depend on scheduling");
         assert_eq!(seq_r, par_r, "{seq_tag}: household report changed under {parallelism}");
+        assert_eq!(
+            seq_m.deterministic(),
+            par_m.deterministic(),
+            "{seq_tag}: household lifecycle metrics changed under {parallelism}"
+        );
     }
 
     let mut agg = HouseholdFleetSummary::new();
-    for (_, r) in &par {
+    let mut lifecycle = LifecycleFleetSummary::default();
+    for (_, r, m) in &par {
         agg.record(r);
+        lifecycle.record(m, r.churn_per_min);
     }
-    print_household(&agg, &par);
-    Ok(Some(agg))
+    let reports: Vec<(String, HouseholdReport)> =
+        par.into_iter().map(|(tag, r, _)| (tag, r)).collect();
+    print_household(&agg, &lifecycle, &reports);
+    Ok(Some((agg, lifecycle)))
 }
 
-fn print_household(agg: &HouseholdFleetSummary, per_device: &[(String, HouseholdReport)]) {
+fn print_household(
+    agg: &HouseholdFleetSummary,
+    lifecycle: &LifecycleFleetSummary,
+    per_device: &[(String, HouseholdReport)],
+) {
     let mut table = TextTable::new(&[
         "device",
         "web s/d",
@@ -250,6 +270,15 @@ fn print_household(agg: &HouseholdFleetSummary, per_device: &[(String, Household
         agg.churn_per_min_mean(),
         agg.exhausted_devices,
         agg.earliest_onset_secs.map(|v| format!(" (earliest at {v:.1} s)")).unwrap_or_default(),
+    );
+    println!(
+        "binding lifecycle: {} events across {}/{} traced device(s); churn/min p50 {} p90 {}; occupancy p90 {}",
+        lifecycle.counts.total(),
+        lifecycle.traced_devices,
+        lifecycle.devices,
+        lifecycle.churn_per_min.quantile(0.50),
+        lifecycle.churn_per_min.quantile(0.90),
+        lifecycle.occupancy.quantile(0.90),
     );
 }
 

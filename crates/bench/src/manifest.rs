@@ -10,7 +10,7 @@ use std::path::Path;
 use hgw_core::telemetry::Histogram;
 use hgw_core::{DropCounts, HistogramSummary};
 use hgw_probe::distributions::{cdf_points, FleetDistributions};
-use hgw_probe::fleet::{DeviceRunMetrics, SchedulingReport};
+use hgw_probe::fleet::{DeviceRunMetrics, LifecycleFleetSummary, SchedulingReport};
 use hgw_probe::household::HouseholdFleetSummary;
 
 /// Schema identifier stamped into every manifest.
@@ -49,7 +49,15 @@ use hgw_probe::household::HouseholdFleetSummary;
 /// wall-clock — so per-leg timing is explicit instead of being inferred
 /// from the `speedup_vs_sequential` scalar, and a parallel leg that loses
 /// to sequential is visible at a glance.
-pub const SCHEMA: &str = "hgw-fleet-manifest/6";
+///
+/// `/7` adds the optional top-level `binding_lifecycle` block — the
+/// lifecycle-traced campaign's fleet aggregate: per-kind event totals
+/// (`created` … `port_preserved_reuse`), the per-device churn-rate
+/// distribution in events/minute, the pooled live-binding occupancy
+/// distribution, the per-device refusal-onset distribution in seconds, and
+/// `exhausted_devices`. `null` when the campaign ran without
+/// [`FleetRunner::lifecycle`](hgw_probe::fleet::FleetRunner::lifecycle).
+pub const SCHEMA: &str = "hgw-fleet-manifest/7";
 
 /// Escapes a string for embedding in hand-emitted JSON.
 pub(crate) fn json_escape(s: &str) -> String {
@@ -262,6 +270,31 @@ pub fn household_json(h: &HouseholdFleetSummary) -> String {
     )
 }
 
+/// Renders the `binding_lifecycle` block of a `/7` manifest.
+///
+/// Deterministic: every field depends only on the campaign seed and fleet
+/// composition ([`LifecycleFleetSummary`]'s fold is schedule-independent),
+/// so the block is byte-identical across parallelism modes.
+pub fn binding_lifecycle_json(s: &LifecycleFleetSummary) -> String {
+    let kinds: Vec<String> = s.counts.iter().map(|(name, c)| format!("\"{name}\": {c}")).collect();
+    format!(
+        concat!(
+            "{{\"devices\": {}, \"traced_devices\": {}, \"events_total\": {}, ",
+            "\"events_by_kind\": {{{}}}, \"churn_per_min\": {}, ",
+            "\"occupancy\": {}, \"refusal_onset_secs\": {}, ",
+            "\"exhausted_devices\": {}}}"
+        ),
+        s.devices,
+        s.traced_devices,
+        s.counts.total(),
+        kinds.join(", "),
+        histogram_json(&s.churn_per_min),
+        histogram_json(&s.occupancy),
+        histogram_json(&s.refusal_onset_secs),
+        s.exhausted_devices,
+    )
+}
+
 /// Renders the full fleet manifest as a JSON string.
 ///
 /// `scheduling` is the parallel (or only) campaign's scheduling metadata;
@@ -270,7 +303,9 @@ pub fn household_json(h: &HouseholdFleetSummary) -> String {
 /// `sequential_wall_ms` / `speedup_vs_sequential` fields plus the leading
 /// entry of the `/6` `legs` array. `distributions`, when present, becomes
 /// the `fleet_distributions` block (rendered as `null` otherwise);
-/// `household`, when present, becomes the `/5` `household` block.
+/// `household`, when present, becomes the `/5` `household` block;
+/// `binding_lifecycle`, when present, becomes the `/7` `binding_lifecycle`
+/// block.
 pub fn render_fleet_manifest(
     seed: u64,
     per_device: &[(String, DeviceRunMetrics)],
@@ -278,6 +313,7 @@ pub fn render_fleet_manifest(
     sequential: Option<&SchedulingReport>,
     distributions: Option<&FleetDistributions>,
     household: Option<&HouseholdFleetSummary>,
+    binding_lifecycle: Option<&LifecycleFleetSummary>,
 ) -> String {
     let mut total = DeviceRunMetrics::default();
     for (_, m) in per_device {
@@ -294,13 +330,14 @@ pub fn render_fleet_manifest(
         if total.wall_ms > 0.0 { total.events as f64 / (total.wall_ms / 1e3) } else { 0.0 };
     let rows: Vec<String> = per_device.iter().map(|(tag, m)| device_json(tag, m)).collect();
     format!(
-        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"household\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"devices\": {},\n  \"scheduling\": {},\n  \"fleet_distributions\": {},\n  \"household\": {},\n  \"binding_lifecycle\": {},\n  \"totals\": {},\n  \"per_device\": [\n{}\n  ]\n}}\n",
         SCHEMA,
         seed,
         per_device.len(),
         scheduling_json(scheduling, sequential),
         distributions.map(distributions_json).unwrap_or_else(|| "null".to_string()),
         household.map(household_json).unwrap_or_else(|| "null".to_string()),
+        binding_lifecycle.map(binding_lifecycle_json).unwrap_or_else(|| "null".to_string()),
         device_json("*", &total).trim_start(),
         rows.join(",\n"),
     )
@@ -381,11 +418,12 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         for reason in DropReason::ALL {
             assert!(json.contains(reason.name()), "missing key {}", reason.name());
         }
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/6\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/7\""));
         assert!(json.contains("\"device\": \"ls1\""));
         assert!(json.contains("\"nat_bindings_peak\": 0"));
     }
@@ -398,6 +436,7 @@ mod tests {
             1,
             &[("a".to_string(), a), ("b".to_string(), b)],
             &test_scheduling(),
+            None,
             None,
             None,
             None,
@@ -421,6 +460,7 @@ mod tests {
             7,
             &[("ls1".to_string(), m)],
             &test_scheduling(),
+            None,
             None,
             None,
             None,
@@ -460,6 +500,7 @@ mod tests {
             Some(&test_sequential()),
             None,
             None,
+            None,
         );
         assert!(json.contains("\"mode\": \"fixed(4)\""), "{json}");
         assert!(json.contains("\"workers\": 4"));
@@ -482,6 +523,7 @@ mod tests {
             Some(&test_sequential()),
             None,
             None,
+            None,
         );
         // Sequential baseline first, recorded leg second, each with its own
         // mode, worker count, and wall-clock.
@@ -497,6 +539,7 @@ mod tests {
             1,
             &[("a".to_string(), DeviceRunMetrics::default())],
             &test_scheduling(),
+            None,
             None,
             None,
             None,
@@ -518,6 +561,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert!(json.contains("\"sequential_wall_ms\": null"));
         assert!(json.contains("\"speedup_vs_sequential\": null"));
@@ -536,6 +580,7 @@ mod tests {
             &test_scheduling(),
             None,
             Some(&dist),
+            None,
             None,
         );
         assert!(json.contains("\"fleet_distributions\": {\"devices\": 1, \"events\": 9"), "{json}");
@@ -569,6 +614,7 @@ mod tests {
             None,
             None,
             Some(&agg),
+            None,
         );
         assert!(
             json.contains("\"household\": {\"devices\": 1, \"hosts\": 2, \"flows_per_host\": 2"),
@@ -585,6 +631,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert!(json.contains("\"household\": null"), "{json}");
     }
@@ -597,7 +644,7 @@ mod tests {
         dist.record(&owrt, 185.5, None);
         let sequential = SchedulingReport { wall_ms: 400.0, ..test_sequential() };
         let json = render_mega_manifest(11, &dist, &test_scheduling(), Some(&sequential));
-        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/6\""));
+        assert!(json.contains("\"schema\": \"hgw-fleet-manifest/7\""));
         assert!(json.contains("\"seed\": 11"));
         assert!(json.contains("\"devices\": 2"));
         assert!(json.contains("\"speedup_vs_sequential\": 4.00"));

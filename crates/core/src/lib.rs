@@ -34,9 +34,13 @@ pub use pool::FramePool;
 pub use rng::SimRng;
 pub use sim::{SimCore, SimStats, Simulator};
 pub use telemetry::{
-    render_chrome_trace, DelaySummaries, FlightRecorder, Histogram, HistogramSummary,
-    MetricsRegistry, SpanId, SpanTimeline, Telemetry, TelemetryConfig,
+    render_binding_tracks, render_chrome_trace, DelaySummaries, FlightRecorder, Histogram,
+    HistogramSummary, LifecycleRing, MetricsRegistry, SpanId, SpanTimeline, Telemetry,
+    TelemetryConfig,
 };
 pub use time::{serialization_time, Duration, Instant};
-pub use trace::{CountingObserver, DropCounts, DropReason, EventLog, SimObserver, TraceEvent};
+pub use trace::{
+    BindingLifecycle, CountingObserver, DropCounts, DropReason, EventLog, FlowId, LifecycleCounts,
+    LifecycleEvent, SimObserver, TraceEvent,
+};
 pub use wheel::TimerWheel;

@@ -237,12 +237,26 @@ impl<K: SimNode> SimCore<K> {
             TraceEvent::FrameDropped { reason, .. } => self.stats.frames_dropped.add(*reason),
             TraceEvent::FrameDelivered { .. } => self.stats.frames_delivered += 1,
             TraceEvent::BindingCreated { .. } => {}
+            // Lifecycle events are pure observability: no stats change.
+            TraceEvent::Binding { .. } => {}
         }
         if let Some(t) = &mut self.telemetry {
             match &event {
                 TraceEvent::FrameDropped { .. } => t.note_dropped(),
                 TraceEvent::FrameDelivered { .. } => t.note_delivered(),
                 TraceEvent::BindingCreated { .. } => {}
+                TraceEvent::Binding { flow, proto, external_port, lifecycle } => {
+                    t.record_lifecycle(
+                        node,
+                        crate::trace::LifecycleEvent {
+                            at: self.now,
+                            flow: *flow,
+                            proto: *proto,
+                            external_port: *external_port,
+                            lifecycle: *lifecycle,
+                        },
+                    );
+                }
             }
             t.flight.record_event(self.now, node, event.clone());
         }
@@ -1106,7 +1120,11 @@ mod tests {
     fn flight_recorder_keeps_the_most_recent_frames() {
         use crate::telemetry::TelemetryConfig;
         let (mut sim, a, _b) = two_node_sim(LinkConfig::ethernet_100m());
-        sim.enable_telemetry(TelemetryConfig { flight_events: 4, flight_frames: 2 });
+        sim.enable_telemetry(TelemetryConfig {
+            flight_events: 4,
+            flight_frames: 2,
+            ..TelemetryConfig::default()
+        });
         sim.with_node::<Echo, _>(a, |_, ctx| {
             for i in 0..10u8 {
                 ctx.send_frame(PortId(0), vec![i; 32]);

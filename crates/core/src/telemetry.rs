@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 use crate::node::NodeId;
 use crate::pcap::PcapWriter;
 use crate::time::{Duration, Instant};
-use crate::trace::TraceEvent;
+use crate::trace::{BindingLifecycle, FlowId, LifecycleEvent, TraceEvent};
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -228,6 +228,12 @@ impl Histogram {
 
 /// Percentile snapshot of a [`Histogram`] — the deterministic digest that
 /// travels through `DeviceRunMetrics` into fleet manifests.
+///
+/// Empty-histogram contract (pinned by tests): when `count == 0` every
+/// field is 0 — [`Histogram::quantile`] returns 0 for *any* `q` (including
+/// 0.0 and 1.0) on a zero-count histogram, and `max` is 0 because nothing
+/// was recorded. A manifest reader can therefore treat `count == 0` as
+/// "no data" without special-casing the percentile fields.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Number of recorded samples.
@@ -668,8 +674,142 @@ fn event_json(at: Instant, node: NodeId, event: &TraceEvent) -> String {
             "\"kind\": \"binding_created\", \"external_port\": {external_port}, \
              \"port_preserved\": {port_preserved}"
         ),
+        TraceEvent::Binding { flow, proto, external_port, lifecycle } => format!(
+            "\"kind\": \"binding_lifecycle\", \"lifecycle\": \"{}\", \
+             \"flow\": \"{:016x}\", \"proto\": {proto}, \"external_port\": {external_port}",
+            lifecycle.kind_name(),
+            flow.0
+        ),
     };
     format!("    {{\"t_ns\": {}, \"node\": {}, {}}}", at.as_nanos(), node.0, body)
+}
+
+// ---------------------------------------------------------------------------
+// Binding-lifecycle ring
+// ---------------------------------------------------------------------------
+
+/// A bounded ring of the most recent [`LifecycleEvent`]s seen by one
+/// device's simulator — the per-device store behind fleet churn
+/// aggregation and the `nat_timeline` inspector.
+///
+/// Like the flight recorder it evicts oldest-first past capacity, but it
+/// also keeps an eviction counter so downstream consumers can tell "the
+/// run produced exactly these events" from "the window slid".
+#[derive(Debug)]
+pub struct LifecycleRing {
+    max_events: usize,
+    events: VecDeque<(NodeId, LifecycleEvent)>,
+    evicted: u64,
+}
+
+impl LifecycleRing {
+    /// A ring keeping the last `max_events` lifecycle events.
+    pub fn new(max_events: usize) -> LifecycleRing {
+        LifecycleRing {
+            max_events,
+            events: VecDeque::with_capacity(max_events.min(4096)),
+            evicted: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest past capacity.
+    pub fn record(&mut self, node: NodeId, event: LifecycleEvent) {
+        if self.max_events == 0 {
+            return;
+        }
+        if self.events.len() >= self.max_events {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back((node, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(NodeId, LifecycleEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the window slid (0 = the ring saw it all).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drains the retained events, oldest first (harvest).
+    pub fn drain(&mut self) -> Vec<(NodeId, LifecycleEvent)> {
+        self.events.drain(..).collect()
+    }
+}
+
+/// Renders lifecycle events as Chrome trace-event JSON with **one track
+/// per binding**: each distinct [`FlowId`] becomes a named thread (`tid` =
+/// first-seen order), every lifecycle step an instant event on that
+/// track, and each `Created → Expired` interval a `"ph": "X"` complete
+/// span — so a run's binding table reads as a Gantt chart in Perfetto.
+/// `pid` is the emitting node id, letting multi-gateway topologies keep
+/// their tables apart.
+pub fn render_binding_tracks(events: &[(NodeId, LifecycleEvent)]) -> String {
+    let mut flows: Vec<FlowId> = Vec::new();
+    let mut rows = Vec::new();
+    let tid_of =
+        |flows: &mut Vec<FlowId>, rows: &mut Vec<String>, e: &(NodeId, LifecycleEvent)| match flows
+            .iter()
+            .position(|&f| f == e.1.flow)
+        {
+            Some(i) => i,
+            None => {
+                flows.push(e.1.flow);
+                let tid = flows.len() - 1;
+                rows.push(format!(
+                    "{{\"ph\": \"M\", \"pid\": {}, \"tid\": {}, \"name\": \"thread_name\", \
+                     \"args\": {{\"name\": \"flow {:016x} p{}:{}\"}}}}",
+                    e.0 .0, tid, e.1.flow.0, e.1.proto, e.1.external_port
+                ));
+                tid
+            }
+        };
+    // Open-interval starts: (flow, created_ns), closed at Expired.
+    let mut open: Vec<(FlowId, u64)> = Vec::new();
+    for e in events {
+        let tid = tid_of(&mut flows, &mut rows, e);
+        let ts = e.1.at.as_nanos();
+        rows.push(format!(
+            "{{\"ph\": \"i\", \"pid\": {}, \"tid\": {}, \"name\": \"{}\", \"ts\": {}, \
+             \"s\": \"t\"}}",
+            e.0 .0,
+            tid,
+            e.1.lifecycle.kind_name(),
+            trace_us(ts)
+        ));
+        match e.1.lifecycle {
+            BindingLifecycle::Created { .. } => open.push((e.1.flow, ts)),
+            BindingLifecycle::Expired => {
+                if let Some(i) = open.iter().position(|(f, _)| *f == e.1.flow) {
+                    let (_, start) = open.swap_remove(i);
+                    rows.push(format!(
+                        "{{\"ph\": \"X\", \"pid\": {}, \"tid\": {}, \"name\": \"bound :{}\", \
+                         \"ts\": {}, \"dur\": {}}}",
+                        e.0 .0,
+                        tid,
+                        e.1.external_port,
+                        trace_us(start),
+                        trace_us(ts.saturating_sub(start))
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    format!("{{\"traceEvents\": [\n{}\n]}}\n", rows.join(",\n"))
 }
 
 // ---------------------------------------------------------------------------
@@ -683,17 +823,20 @@ pub struct TelemetryConfig {
     pub flight_events: usize,
     /// Flight-recorder frame ring capacity.
     pub flight_frames: usize,
+    /// Binding-lifecycle ring capacity (events retained per device).
+    pub lifecycle_events: usize,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        TelemetryConfig { flight_events: 256, flight_frames: 64 }
+        TelemetryConfig { flight_events: 256, flight_frames: 64, lifecycle_events: 4096 }
     }
 }
 
 impl TelemetryConfig {
-    /// Reads `HGW_TELEMETRY_FLIGHT_EVENTS` / `HGW_TELEMETRY_FLIGHT_FRAMES`,
-    /// falling back to the defaults (256 events, 64 frames) when unset or
+    /// Reads `HGW_TELEMETRY_FLIGHT_EVENTS` / `HGW_TELEMETRY_FLIGHT_FRAMES`
+    /// / `HGW_TELEMETRY_LIFECYCLE_EVENTS`, falling back to the defaults
+    /// (256 events, 64 frames, 4096 lifecycle events) when unset or
     /// unparseable.
     pub fn from_env() -> TelemetryConfig {
         let read = |key: &str, default: usize| {
@@ -703,6 +846,7 @@ impl TelemetryConfig {
         TelemetryConfig {
             flight_events: read("HGW_TELEMETRY_FLIGHT_EVENTS", d.flight_events),
             flight_frames: read("HGW_TELEMETRY_FLIGHT_FRAMES", d.flight_frames),
+            lifecycle_events: read("HGW_TELEMETRY_LIFECYCLE_EVENTS", d.lifecycle_events),
         }
     }
 }
@@ -751,6 +895,9 @@ pub struct Telemetry {
     pub spans: SpanTimeline,
     /// Bounded crash-scene rings.
     pub flight: FlightRecorder,
+    /// Bounded ring of binding-lifecycle events (empty unless the
+    /// gateway's lifecycle tracing is on).
+    pub lifecycle: LifecycleRing,
     h_one_way: HistogramId,
     h_residency: HistogramId,
     h_nat: HistogramId,
@@ -778,6 +925,7 @@ impl Telemetry {
             metrics,
             spans: SpanTimeline::new(),
             flight: FlightRecorder::new(config.flight_events, config.flight_frames),
+            lifecycle: LifecycleRing::new(config.lifecycle_events),
             h_one_way,
             h_residency,
             h_nat,
@@ -815,6 +963,12 @@ impl Telemetry {
     #[inline]
     pub fn note_dropped(&mut self) {
         self.metrics.inc(self.c_dropped);
+    }
+
+    /// Records a binding-lifecycle event into the bounded ring.
+    #[inline]
+    pub fn record_lifecycle(&mut self, node: NodeId, event: LifecycleEvent) {
+        self.lifecycle.record(node, event);
     }
 
     /// The one-way-delay histogram.
@@ -1070,5 +1224,151 @@ mod tests {
         let c = TelemetryConfig::default();
         assert_eq!(c.flight_events, 256);
         assert_eq!(c.flight_frames, 64);
+        assert_eq!(c.lifecycle_events, 4096);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_edges_are_pinned() {
+        // Satellite contract: a zero-count histogram answers 0 for every
+        // quantile — including the q=0.0 and q=1.0 edges — and its
+        // summary is the all-zero `HistogramSummary`. See the
+        // `HistogramSummary` docs; manifest readers rely on this.
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        // Out-of-range q is clamped, so the edges extend past [0, 1].
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.summary(), HistogramSummary { count: 0, p50: 0, p90: 0, p99: 0, max: 0 });
+    }
+
+    #[test]
+    fn flight_recorder_dump_wraps_oldest_first() {
+        // Satellite regression: record more events than the ring holds
+        // (the `HGW_TELEMETRY_FLIGHT_EVENTS` default) and prove the dump
+        // contains exactly the newest `max_events`, oldest-first.
+        let dir = std::env::temp_dir().join("hgw-flight-wrap-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cap = TelemetryConfig::default().flight_events;
+        let total = cap + 44;
+        let mut fr = FlightRecorder::new(cap, 1);
+        for i in 0..total {
+            fr.record_event(
+                Instant::from_micros(i as u64),
+                NodeId(0),
+                TraceEvent::FrameDelivered { bytes: i },
+            );
+        }
+        assert_eq!(fr.event_count(), cap);
+        let dump = fr.dump(&dir, "wrap", "wraparound regression").unwrap();
+        let json = std::fs::read_to_string(&dump.json).unwrap();
+        let stamps: Vec<u64> = json
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("{\"t_ns\": "))
+            .filter_map(|l| l.split(',').next()?.parse().ok())
+            .collect();
+        assert_eq!(stamps.len(), cap, "dump holds exactly the ring capacity");
+        // The oldest `total - cap` events were dropped; the survivors are
+        // the most recent ones, still in recording order.
+        let first_survivor = (total - cap) as u64 * 1000;
+        assert_eq!(stamps[0], first_survivor);
+        assert_eq!(*stamps.last().unwrap(), (total as u64 - 1) * 1000);
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]), "oldest-first ordering");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lifecycle_ring_bounds_and_counts_evictions() {
+        let mut ring = LifecycleRing::new(3);
+        for i in 0..5u64 {
+            ring.record(
+                NodeId(1),
+                LifecycleEvent {
+                    at: Instant::from_micros(i),
+                    flow: FlowId(i),
+                    proto: 17,
+                    external_port: 5000,
+                    lifecycle: BindingLifecycle::Refreshed,
+                },
+            );
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 2);
+        let first = ring.events().next().unwrap();
+        assert_eq!(first.1.flow, FlowId(2), "oldest two evicted");
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 3);
+        assert!(ring.is_empty());
+
+        let mut zero = LifecycleRing::new(0);
+        zero.record(
+            NodeId(0),
+            LifecycleEvent {
+                at: Instant::ZERO,
+                flow: FlowId(0),
+                proto: 17,
+                external_port: 0,
+                lifecycle: BindingLifecycle::Expired,
+            },
+        );
+        assert!(zero.is_empty());
+        assert_eq!(zero.evicted(), 0);
+    }
+
+    #[test]
+    fn binding_tracks_render_one_thread_per_flow() {
+        let ev = |us: u64, flow: u64, lifecycle| {
+            (
+                NodeId(3),
+                LifecycleEvent {
+                    at: Instant::from_micros(us),
+                    flow: FlowId(flow),
+                    proto: 17,
+                    external_port: 61_000,
+                    lifecycle,
+                },
+            )
+        };
+        let events = [
+            ev(10, 0xaa, BindingLifecycle::Created { port_preserved: true }),
+            ev(20, 0xaa, BindingLifecycle::Refreshed),
+            ev(15, 0xbb, BindingLifecycle::Created { port_preserved: false }),
+            ev(120, 0xaa, BindingLifecycle::Expired),
+            ev(121, 0xaa, BindingLifecycle::Quarantined),
+        ];
+        let json = render_binding_tracks(&events);
+        // Two flows → two thread-name metadata rows on distinct tids.
+        assert!(json.contains("\"name\": \"flow 00000000000000aa p17:61000\""));
+        assert!(json.contains("\"name\": \"flow 00000000000000bb p17:61000\""));
+        assert!(json.contains("\"tid\": 1"));
+        // Created → Expired renders a complete span covering the life.
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"name\": \"bound :61000\""));
+        assert!(json.contains("\"ts\": 10.000, \"dur\": 110.000"));
+        // Every lifecycle step is an instant event.
+        assert!(json.contains("\"name\": \"quarantined\""));
+        assert_eq!(json.matches("\"ph\": \"i\"").count(), events.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn event_json_renders_lifecycle_variant() {
+        let row = event_json(
+            Instant::from_micros(7),
+            NodeId(2),
+            &TraceEvent::Binding {
+                flow: FlowId(0xdead_beef),
+                proto: 17,
+                external_port: 61_001,
+                lifecycle: BindingLifecycle::Refused { reason: DropReason::Capacity },
+            },
+        );
+        assert!(row.contains("\"kind\": \"binding_lifecycle\""));
+        assert!(row.contains("\"lifecycle\": \"refused\""));
+        assert!(row.contains("\"flow\": \"00000000deadbeef\""));
+        assert!(row.contains("\"external_port\": 61001"));
     }
 }

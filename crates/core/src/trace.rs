@@ -134,6 +134,156 @@ impl DropCounts {
     }
 }
 
+/// Deterministic identity of one NAT session (flow).
+///
+/// A `FlowId` is the FNV-1a 64-bit hash of the canonical session tuple
+/// `(proto, internal ip:port, remote ip:port)` — exactly the key the NAT
+/// uses to look a binding up. Because it is a pure function of frame
+/// bytes, any layer (gateway, oracle, probe, post-hoc inspector) can
+/// recompute the same id from the same packet without coordination, which
+/// is what lets a flow's segments, NAT verdicts, and drops join into one
+/// causal timeline. Two runs with the same traffic produce the same ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// Computes the id from the canonical session tuple. `internal` and
+    /// `remote` are `(ipv4 as u32, port)` pairs; `proto` is the IP
+    /// protocol number (17 = UDP, 6 = TCP, 1 = ICMP, where the "port" of
+    /// an ICMP flow is its query ident and the remote port is 0).
+    pub fn from_tuple(proto: u8, internal: (u32, u16), remote: (u32, u16)) -> FlowId {
+        // FNV-1a 64: tiny, allocation-free, stable across platforms.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(proto);
+        for b in internal.0.to_be_bytes() {
+            eat(b);
+        }
+        for b in internal.1.to_be_bytes() {
+            eat(b);
+        }
+        for b in remote.0.to_be_bytes() {
+            eat(b);
+        }
+        for b in remote.1.to_be_bytes() {
+            eat(b);
+        }
+        FlowId(h)
+    }
+}
+
+/// One step in a NAT binding's life, emitted from every `NatTable`
+/// mutation site when lifecycle tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingLifecycle {
+    /// A fresh binding was created for the flow.
+    Created {
+        /// True if the internal source port was preserved externally.
+        port_preserved: bool,
+    },
+    /// Outbound or accepted-inbound traffic pushed the expiry forward.
+    Refreshed,
+    /// The idle/FIN timer fired and the binding was removed.
+    Expired,
+    /// The expired binding's tuple entered quarantine memory (the
+    /// port-preservation reuse window).
+    Quarantined,
+    /// The NAT refused to create a binding for the flow.
+    Refused {
+        /// Why it was refused (today always [`DropReason::Capacity`]).
+        reason: DropReason,
+    },
+    /// A new binding re-acquired its quarantined external port (the
+    /// UDP-4 paper behavior: same tuple, same port, within the window).
+    PortPreservedReuse,
+}
+
+impl BindingLifecycle {
+    /// Number of lifecycle kinds (slots in [`LifecycleCounts`]).
+    pub const KINDS: usize = 6;
+
+    /// Stable per-kind index, ignoring payload.
+    pub fn kind_index(self) -> usize {
+        match self {
+            BindingLifecycle::Created { .. } => 0,
+            BindingLifecycle::Refreshed => 1,
+            BindingLifecycle::Expired => 2,
+            BindingLifecycle::Quarantined => 3,
+            BindingLifecycle::Refused { .. } => 4,
+            BindingLifecycle::PortPreservedReuse => 5,
+        }
+    }
+
+    /// Machine-readable snake_case kind name (manifest / JSON key).
+    pub fn kind_name(self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+
+    /// Kind names in [`BindingLifecycle::kind_index`] order.
+    pub const KIND_NAMES: [&'static str; BindingLifecycle::KINDS] =
+        ["created", "refreshed", "expired", "quarantined", "refused", "port_preserved_reuse"];
+}
+
+/// Per-kind lifecycle event counters (one slot per [`BindingLifecycle`]
+/// kind), mirroring [`DropCounts`] for fleet aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleCounts([u64; BindingLifecycle::KINDS]);
+
+impl LifecycleCounts {
+    /// All-zero counters.
+    pub const ZERO: LifecycleCounts = LifecycleCounts([0; BindingLifecycle::KINDS]);
+
+    /// The count for one lifecycle kind.
+    pub fn by(&self, lifecycle: BindingLifecycle) -> u64 {
+        self.0[lifecycle.kind_index()]
+    }
+
+    /// Increments the count for one lifecycle kind.
+    pub fn add(&mut self, lifecycle: BindingLifecycle) {
+        self.0[lifecycle.kind_index()] += 1;
+    }
+
+    /// Total events across all kinds.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates `(kind_name, count)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        BindingLifecycle::KIND_NAMES.iter().zip(self.0.iter()).map(|(&n, &c)| (n, c))
+    }
+
+    /// Adds every counter of `other` into `self` (fleet aggregation).
+    pub fn merge(&mut self, other: &LifecycleCounts) {
+        for (slot, v) in self.0.iter_mut().zip(other.0.iter()) {
+            *slot += v;
+        }
+    }
+}
+
+/// One timestamped lifecycle record: the unit the gateway's trace buffer,
+/// the telemetry lifecycle ring, and the `nat_timeline` inspector all
+/// exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleEvent {
+    /// Virtual time of the mutation.
+    pub at: Instant,
+    /// Deterministic flow identity (see [`FlowId`]).
+    pub flow: FlowId,
+    /// IP protocol number of the flow (17/6/1).
+    pub proto: u8,
+    /// External port (or ICMP ident) of the binding; for a refusal, the
+    /// port that would have been translated (0 when none was assigned).
+    pub external_port: u16,
+    /// What happened.
+    pub lifecycle: BindingLifecycle,
+}
+
 /// One structured observability event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -155,6 +305,19 @@ pub enum TraceEvent {
         external_port: u16,
         /// True if the internal source port was preserved.
         port_preserved: bool,
+    },
+    /// A NAT binding changed lifecycle state (emitted only when
+    /// binding-lifecycle tracing is enabled on the gateway; a pure
+    /// observability event that never feeds back into behavior).
+    Binding {
+        /// Deterministic flow identity.
+        flow: FlowId,
+        /// IP protocol number of the flow.
+        proto: u8,
+        /// External port (or ICMP ident) involved.
+        external_port: u16,
+        /// What happened to the binding.
+        lifecycle: BindingLifecycle,
     },
 }
 
@@ -234,6 +397,8 @@ pub struct CountingObserver {
     pub drops: DropCounts,
     /// NAT bindings created.
     pub bindings_created: u64,
+    /// Binding-lifecycle events by kind (all zero unless tracing is on).
+    pub lifecycle: LifecycleCounts,
 }
 
 impl CountingObserver {
@@ -250,6 +415,7 @@ impl SimObserver for CountingObserver {
             TraceEvent::FrameDropped { reason, .. } => self.drops.add(*reason),
             TraceEvent::FrameDelivered { .. } => self.delivered += 1,
             TraceEvent::BindingCreated { .. } => self.bindings_created += 1,
+            TraceEvent::Binding { lifecycle, .. } => self.lifecycle.add(*lifecycle),
         }
     }
     fn as_any(&self) -> &dyn Any {
@@ -308,6 +474,50 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log.drops().by(DropReason::Filtered), 1);
         assert_eq!(log.drops().total(), 1);
+    }
+
+    #[test]
+    fn flow_id_is_deterministic_and_tuple_sensitive() {
+        let a = FlowId::from_tuple(17, (0x0a00_0002, 5000), (0xc0a8_0101, 4500));
+        let b = FlowId::from_tuple(17, (0x0a00_0002, 5000), (0xc0a8_0101, 4500));
+        assert_eq!(a, b, "same tuple must hash identically");
+        for (proto, internal, remote) in [
+            (6, (0x0a00_0002, 5000), (0xc0a8_0101, 4500)),
+            (17, (0x0a00_0003, 5000), (0xc0a8_0101, 4500)),
+            (17, (0x0a00_0002, 5001), (0xc0a8_0101, 4500)),
+            (17, (0x0a00_0002, 5000), (0xc0a8_0102, 4500)),
+            (17, (0x0a00_0002, 5000), (0xc0a8_0101, 4501)),
+        ] {
+            assert_ne!(a, FlowId::from_tuple(proto, internal, remote));
+        }
+    }
+
+    #[test]
+    fn lifecycle_kind_indices_and_names_are_stable() {
+        let all = [
+            BindingLifecycle::Created { port_preserved: false },
+            BindingLifecycle::Refreshed,
+            BindingLifecycle::Expired,
+            BindingLifecycle::Quarantined,
+            BindingLifecycle::Refused { reason: DropReason::Capacity },
+            BindingLifecycle::PortPreservedReuse,
+        ];
+        for (i, l) in all.iter().enumerate() {
+            assert_eq!(l.kind_index(), i);
+            assert_eq!(l.kind_name(), BindingLifecycle::KIND_NAMES[i]);
+        }
+        let mut c = LifecycleCounts::ZERO;
+        c.add(BindingLifecycle::Refreshed);
+        c.add(BindingLifecycle::Refreshed);
+        c.add(BindingLifecycle::Expired);
+        assert_eq!(c.by(BindingLifecycle::Refreshed), 2);
+        assert_eq!(c.total(), 3);
+        let mut d = LifecycleCounts::ZERO;
+        d.add(BindingLifecycle::Expired);
+        d.merge(&c);
+        assert_eq!(d.by(BindingLifecycle::Expired), 2);
+        assert_eq!(d.total(), 4);
+        assert_eq!(c.iter().map(|(_, n)| n).sum::<u64>(), 3);
     }
 
     #[test]

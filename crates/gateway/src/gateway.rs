@@ -169,6 +169,20 @@ impl Gateway {
         self.nat.stats()
     }
 
+    /// Turns on NAT binding-lifecycle tracing. Buffered events are drained
+    /// into the simulator's trace stream ([`TraceEvent::Binding`]) at the
+    /// end of every node dispatch, so observers see them in mutation
+    /// order. Idempotent; pure observability (forwarding behavior and NAT
+    /// state are bit-identical either way).
+    pub fn enable_lifecycle_tracing(&mut self) {
+        self.nat.enable_lifecycle_tracing();
+    }
+
+    /// True once [`Gateway::enable_lifecycle_tracing`] has been called.
+    pub fn lifecycle_tracing_enabled(&self) -> bool {
+        self.nat.lifecycle_tracing_enabled()
+    }
+
     /// Forwarding-engine counters for one direction (diagnostics).
     pub fn engine_stats(&self, dir: FwdDir) -> crate::engine::EngineDirStats {
         self.engine.stats(dir)
@@ -211,6 +225,23 @@ impl Gateway {
             ctx.emit_trace(TraceEvent::FrameDropped { reason: DropReason::QueueOverflow, bytes });
         }
         self.kick_engine(ctx);
+    }
+
+    /// Drains buffered NAT lifecycle events into the simulator's trace
+    /// stream. Called once at the end of every node entry point — all NAT
+    /// mutations happen on the frame path, so one flush per dispatch
+    /// preserves mutation order and leaves no events stranded.
+    fn flush_lifecycle(&mut self, ctx: &mut NodeCtx) {
+        if self.nat.lifecycle_tracing_enabled() {
+            for e in self.nat.drain_lifecycle_events() {
+                ctx.emit_trace(TraceEvent::Binding {
+                    flow: e.flow,
+                    proto: e.proto,
+                    external_port: e.external_port,
+                    lifecycle: e.lifecycle,
+                });
+            }
+        }
     }
 
     /// Counts a drop in the local stats and reports it to the observer.
@@ -1304,6 +1335,7 @@ impl Node for Gateway {
         } else {
             self.wan_input(ctx, frame);
         }
+        self.flush_lifecycle(ctx);
         self.reschedule(ctx);
     }
 
@@ -1334,6 +1366,7 @@ impl Node for Gateway {
                 self.poll(ctx);
             }
         }
+        self.flush_lifecycle(ctx);
     }
 
     impl_node_downcast!();

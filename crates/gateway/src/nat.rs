@@ -28,7 +28,9 @@
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
-use hgw_core::{Duration, Instant, TimerWheel};
+use hgw_core::{
+    BindingLifecycle, DropReason, Duration, FlowId, Instant, LifecycleEvent, TimerWheel,
+};
 
 use crate::policy::{EndpointScope, GatewayPolicy, PortAssignment, TrafficPattern};
 
@@ -43,8 +45,31 @@ pub enum NatProto {
     IcmpQuery,
 }
 
+impl NatProto {
+    /// The IP protocol number (the `proto` field of lifecycle events).
+    pub fn number(self) -> u8 {
+        match self {
+            NatProto::Udp => 17,
+            NatProto::Tcp => 6,
+            NatProto::IcmpQuery => 1,
+        }
+    }
+}
+
 /// An endpoint (address, port) pair.
 pub type Endpoint = (Ipv4Addr, u16);
+
+/// The deterministic [`FlowId`] of a NAT session: a pure function of the
+/// canonical tuple `(proto, internal, remote)`, so the gateway, the
+/// linear oracle, probes, and post-hoc inspectors all derive the same id
+/// from the same packet bytes without coordination.
+pub fn flow_id(proto: NatProto, internal: Endpoint, remote: Endpoint) -> FlowId {
+    FlowId::from_tuple(
+        proto.number(),
+        (u32::from(internal.0), internal.1),
+        (u32::from(remote.0), remote.1),
+    )
+}
 
 /// One NAT binding (a translated session).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -244,6 +269,12 @@ pub struct NatTable {
     /// in; doubles on each decimation pass.
     occupancy_stride: u32,
     occupancy_skipped: u32,
+    /// Binding-lifecycle trace buffer, `Some` only while tracing is on.
+    /// Events are recorded at every mutation site in mutation order and
+    /// drained by the owner (the gateway) after each table call; the
+    /// disabled path costs one discriminant check per site. Pure
+    /// observability: nothing in the table ever reads this buffer.
+    trace: Option<Vec<LifecycleEvent>>,
 }
 
 /// Base of the sequential allocation range.
@@ -283,6 +314,60 @@ impl NatTable {
             occupancy_log: Vec::new(),
             occupancy_stride: 1,
             occupancy_skipped: 0,
+            trace: None,
+        }
+    }
+
+    /// Turns binding-lifecycle tracing on: from here every mutation site
+    /// records a [`LifecycleEvent`] into an internal buffer the owner
+    /// drains with [`NatTable::drain_lifecycle_events`]. Tracing never
+    /// changes verdicts, stats, or table state.
+    pub fn enable_lifecycle_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// True when lifecycle tracing is on.
+    pub fn lifecycle_tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The buffered lifecycle events, in mutation order (empty when
+    /// tracing is off).
+    pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Takes the buffered lifecycle events, leaving tracing enabled.
+    pub fn drain_lifecycle_events(&mut self) -> Vec<LifecycleEvent> {
+        match &mut self.trace {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records one lifecycle event if tracing is on (one discriminant
+    /// check on the disabled path; the flow hash is only computed when
+    /// enabled).
+    #[inline]
+    fn trace_push(
+        &mut self,
+        at: Instant,
+        proto: NatProto,
+        internal: Endpoint,
+        remote: Endpoint,
+        external_port: u16,
+        lifecycle: BindingLifecycle,
+    ) {
+        if let Some(buf) = &mut self.trace {
+            buf.push(LifecycleEvent {
+                at,
+                flow: flow_id(proto, internal, remote),
+                proto: proto.number(),
+                external_port,
+                lifecycle,
+            });
         }
     }
 
@@ -426,10 +511,26 @@ impl NatTable {
             if pos != last && due.remove(&last) {
                 due.insert(pos);
             }
+            self.trace_push(
+                now,
+                b.proto,
+                b.internal,
+                b.remote,
+                b.external_port,
+                BindingLifecycle::Expired,
+            );
             let key = (b.proto, b.internal, b.remote, b.external_port);
             *self.quarantine.entry(key).or_insert(0) += 1;
             let seq = self.next_wheel_seq();
             self.quarantine_by_time.insert(b.expires_at.as_nanos(), seq, key);
+            self.trace_push(
+                now,
+                b.proto,
+                b.internal,
+                b.remote,
+                b.external_port,
+                BindingLifecycle::Quarantined,
+            );
         }
         if swept > 0 {
             self.stats.bindings_expired += swept as u64;
@@ -574,12 +675,28 @@ impl NatTable {
             };
             self.set_expiry(pos, expires_at);
             self.stats.bindings_refreshed += 1;
+            self.trace_push(
+                now,
+                proto,
+                internal,
+                remote,
+                external_port,
+                BindingLifecycle::Refreshed,
+            );
             return OutboundVerdict::Translated { external_port, created: false };
         }
         // New binding.
         if self.count(proto) >= policy.max_bindings {
             self.stats.refusals += 1;
             self.stats.first_refusal_at.get_or_insert(now);
+            self.trace_push(
+                now,
+                proto,
+                internal,
+                remote,
+                0,
+                BindingLifecycle::Refused { reason: DropReason::Capacity },
+            );
             return OutboundVerdict::NoCapacity;
         }
         let external_port = self.assign_port(policy, proto, internal, remote);
@@ -610,6 +727,28 @@ impl NatTable {
         });
         self.stats.peak_bindings = self.stats.peak_bindings.max(self.bindings.len());
         self.record_occupancy(now);
+        if self.trace.is_some() {
+            self.trace_push(
+                now,
+                proto,
+                internal,
+                remote,
+                external_port,
+                BindingLifecycle::Created { port_preserved: external_port == internal.1 },
+            );
+            // Same tuple, same port, still inside the quarantine window:
+            // the UDP-4 "reuse" observation, made causal.
+            if self.quarantine.contains_key(&(proto, internal, remote, external_port)) {
+                self.trace_push(
+                    now,
+                    proto,
+                    internal,
+                    remote,
+                    external_port,
+                    BindingLifecycle::PortPreservedReuse,
+                );
+            }
+        }
         OutboundVerdict::Translated { external_port, created: true }
     }
 
@@ -663,6 +802,7 @@ impl NatTable {
         };
         let b = &mut self.bindings[pos];
         let internal = b.internal;
+        let session_remote = b.remote;
         if b.pattern == TrafficPattern::OutboundOnly {
             b.pattern = TrafficPattern::InboundSeen;
         }
@@ -687,6 +827,16 @@ impl NatTable {
             }
         };
         self.set_expiry(pos, expires_at);
+        // The refreshed flow is the *binding's* session tuple (a filtering
+        // pass may have been matched by a different remote).
+        self.trace_push(
+            now,
+            proto,
+            internal,
+            session_remote,
+            external_port,
+            BindingLifecycle::Refreshed,
+        );
         InboundVerdict::Accept { internal }
     }
 
@@ -724,6 +874,7 @@ pub(crate) mod reference {
         occupancy_log: Vec<(Instant, usize)>,
         occupancy_stride: u32,
         occupancy_skipped: u32,
+        trace: Option<Vec<LifecycleEvent>>,
     }
 
     impl LinearNatTable {
@@ -736,6 +887,37 @@ pub(crate) mod reference {
                 occupancy_log: Vec::new(),
                 occupancy_stride: 1,
                 occupancy_skipped: 0,
+                trace: None,
+            }
+        }
+
+        pub fn enable_lifecycle_tracing(&mut self) {
+            if self.trace.is_none() {
+                self.trace = Some(Vec::new());
+            }
+        }
+
+        pub fn lifecycle_events(&self) -> &[LifecycleEvent] {
+            self.trace.as_deref().unwrap_or(&[])
+        }
+
+        fn trace_push(
+            &mut self,
+            at: Instant,
+            proto: NatProto,
+            internal: Endpoint,
+            remote: Endpoint,
+            external_port: u16,
+            lifecycle: BindingLifecycle,
+        ) {
+            if let Some(buf) = &mut self.trace {
+                buf.push(LifecycleEvent {
+                    at,
+                    flow: flow_id(proto, internal, remote),
+                    proto: proto.number(),
+                    external_port,
+                    lifecycle,
+                });
             }
         }
 
@@ -778,6 +960,22 @@ pub(crate) mod reference {
             while i < self.bindings.len() {
                 if self.bindings[i].expires_at <= now {
                     let b = self.bindings.swap_remove(i);
+                    self.trace_push(
+                        now,
+                        b.proto,
+                        b.internal,
+                        b.remote,
+                        b.external_port,
+                        BindingLifecycle::Expired,
+                    );
+                    self.trace_push(
+                        now,
+                        b.proto,
+                        b.internal,
+                        b.remote,
+                        b.external_port,
+                        BindingLifecycle::Quarantined,
+                    );
                     self.expired.push(b);
                 } else {
                     i += 1;
@@ -894,11 +1092,27 @@ pub(crate) mod reference {
                     }
                 }
                 self.stats.bindings_refreshed += 1;
+                self.trace_push(
+                    now,
+                    proto,
+                    internal,
+                    remote,
+                    external_port,
+                    BindingLifecycle::Refreshed,
+                );
                 return OutboundVerdict::Translated { external_port, created: false };
             }
             if self.count(proto) >= policy.max_bindings {
                 self.stats.refusals += 1;
                 self.stats.first_refusal_at.get_or_insert(now);
+                self.trace_push(
+                    now,
+                    proto,
+                    internal,
+                    remote,
+                    0,
+                    BindingLifecycle::Refused { reason: DropReason::Capacity },
+                );
                 return OutboundVerdict::NoCapacity;
             }
             let external_port = self.assign_port(policy, proto, internal, remote);
@@ -931,6 +1145,32 @@ pub(crate) mod reference {
             });
             self.stats.peak_bindings = self.stats.peak_bindings.max(self.bindings.len());
             self.record_occupancy(now);
+            if self.trace.is_some() {
+                self.trace_push(
+                    now,
+                    proto,
+                    internal,
+                    remote,
+                    external_port,
+                    BindingLifecycle::Created { port_preserved: external_port == internal.1 },
+                );
+                let reused = self.expired.iter().any(|b| {
+                    b.proto == proto
+                        && b.internal == internal
+                        && b.remote == remote
+                        && b.external_port == external_port
+                });
+                if reused {
+                    self.trace_push(
+                        now,
+                        proto,
+                        internal,
+                        remote,
+                        external_port,
+                        BindingLifecycle::PortPreservedReuse,
+                    );
+                }
+            }
             OutboundVerdict::Translated { external_port, created: true }
         }
 
@@ -975,6 +1215,7 @@ pub(crate) mod reference {
             };
             let b = &mut self.bindings[idx];
             let internal = b.internal;
+            let session_remote = b.remote;
             if b.pattern == TrafficPattern::OutboundOnly {
                 b.pattern = TrafficPattern::InboundSeen;
             }
@@ -998,6 +1239,14 @@ pub(crate) mod reference {
                     b.expires_at = NatTable::quantize(now, t, policy.timer_granularity);
                 }
             }
+            self.trace_push(
+                now,
+                proto,
+                internal,
+                session_remote,
+                external_port,
+                BindingLifecycle::Refreshed,
+            );
             InboundVerdict::Accept { internal }
         }
 
@@ -1358,6 +1607,85 @@ mod tests {
         assert_eq!(b.internal, internal());
         assert!(nat.find_for_embedded(NatProto::Udp, 1234).is_none());
     }
+
+    #[test]
+    fn lifecycle_tracing_is_off_by_default_and_changes_nothing() {
+        let p = pol();
+        let run = |traced: bool| {
+            let mut nat = NatTable::new();
+            if traced {
+                nat.enable_lifecycle_tracing();
+            }
+            let verdicts = vec![
+                nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false),
+                nat.outbound(t(5), &p, NatProto::Udp, internal(), remote(), false, false),
+            ];
+            nat.sweep(t(100));
+            let out = (verdicts, nat.bindings().to_vec(), nat.stats());
+            (out, nat.lifecycle_events().len())
+        };
+        let (off, off_events) = run(false);
+        let (on, on_events) = run(true);
+        assert_eq!(off, on, "tracing must not change verdicts, table, or stats");
+        assert_eq!(off_events, 0, "no events buffered when tracing is off");
+        assert!(on_events > 0);
+    }
+
+    #[test]
+    fn udp_full_life_is_traced_causally() {
+        // UDP-1 shape: create, keepalive refresh, then idle past the
+        // solitary timeout — the whole life shares one FlowId.
+        let p = pol(); // solitary 30 s
+        let mut nat = NatTable::new();
+        nat.enable_lifecycle_tracing();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        nat.outbound(t(10), &p, NatProto::Udp, internal(), remote(), false, false);
+        nat.sweep(t(100));
+        let events = nat.drain_lifecycle_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.lifecycle.kind_name()).collect();
+        assert_eq!(kinds, ["created", "refreshed", "expired", "quarantined"]);
+        let flow = flow_id(NatProto::Udp, internal(), remote());
+        assert!(events.iter().all(|e| e.flow == flow), "one flow, one id: {events:?}");
+        assert!(events.iter().all(|e| e.proto == 17 && e.external_port == 5000));
+        assert_eq!(events[0].lifecycle, BindingLifecycle::Created { port_preserved: true });
+        // Expiry lands at the refresh + the 30 s solitary timeout.
+        assert_eq!(events[2].at, t(100));
+        // Draining leaves tracing on and the buffer empty.
+        assert!(nat.lifecycle_tracing_enabled());
+        assert!(nat.lifecycle_events().is_empty());
+    }
+
+    #[test]
+    fn refusal_and_port_reuse_are_traced() {
+        // Refusal: 1-entry table, second flow refused with a Capacity
+        // reason and a recomputable flow id.
+        let mut p = pol();
+        p.max_bindings = 1;
+        p.mapping = EndpointScope::AddressAndPortDependent;
+        let mut nat = NatTable::new();
+        nat.enable_lifecycle_tracing();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        let refused_internal = (internal().0, 6001);
+        nat.outbound(t(1), &p, NatProto::Udp, refused_internal, remote(), false, false);
+        let events = nat.drain_lifecycle_events();
+        assert_eq!(
+            events.last().map(|e| e.lifecycle),
+            Some(BindingLifecycle::Refused { reason: DropReason::Capacity })
+        );
+        assert_eq!(events.last().unwrap().flow, flow_id(NatProto::Udp, refused_internal, remote()));
+        assert_eq!(events.last().unwrap().external_port, 0);
+
+        // Reuse: same tuple back inside the quarantine window re-acquires
+        // its port and the reuse is made explicit.
+        let p = pol(); // Preserve { reuse_expired: true }
+        let mut nat = NatTable::new();
+        nat.enable_lifecycle_tracing();
+        nat.outbound(t(0), &p, NatProto::Udp, internal(), remote(), false, false);
+        nat.outbound(t(100), &p, NatProto::Udp, internal(), remote(), false, false);
+        let kinds: Vec<&str> =
+            nat.lifecycle_events().iter().map(|e| e.lifecycle.kind_name()).collect();
+        assert_eq!(kinds, ["created", "expired", "quarantined", "created", "port_preserved_reuse"]);
+    }
 }
 
 /// Randomized differential tests: the indexed [`NatTable`] against the
@@ -1419,12 +1747,21 @@ mod differential {
         for proto in PROTOS {
             assert_eq!(new.count(proto), oracle.count(proto), "count({proto:?}) diverged: {ctx}");
         }
+        // The lifecycle event streams must mirror byte-for-byte: same
+        // events, same order, same timestamps, same flow ids.
+        assert_eq!(
+            new.lifecycle_events(),
+            oracle.lifecycle_events(),
+            "lifecycle event stream diverged: {ctx}"
+        );
     }
 
     fn drive(policy: &GatewayPolicy, seed: u64) {
         let mut rng = SimRng::new(seed);
         let mut new = NatTable::new();
         let mut oracle = LinearNatTable::new();
+        new.enable_lifecycle_tracing();
+        oracle.enable_lifecycle_tracing();
         let mut now = Instant::ZERO;
         for op in 0..OPS_PER_COMBO {
             // Mostly small steps; occasionally jump past timeouts or the
@@ -1470,6 +1807,28 @@ mod differential {
         assert!(
             oracle.stats().bindings_created > 0 && oracle.stats().bindings_expired > 0,
             "op stream failed to exercise the table (seed {seed})"
+        );
+        // The streams mirrored throughout; also prove they saw the same
+        // mutations the counters did (every create/expire/refresh/refusal
+        // has its event).
+        let events = new.lifecycle_events();
+        let count = |k: BindingLifecycle| events.iter().filter(|e| e.lifecycle == k).count() as u64;
+        let s = oracle.stats();
+        assert_eq!(count(BindingLifecycle::Expired), s.bindings_expired, "seed {seed}");
+        assert_eq!(count(BindingLifecycle::Quarantined), s.bindings_expired, "seed {seed}");
+        assert!(count(BindingLifecycle::Refreshed) >= s.bindings_refreshed, "seed {seed}");
+        assert_eq!(
+            count(BindingLifecycle::Refused { reason: DropReason::Capacity }),
+            s.refusals,
+            "seed {seed}"
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.lifecycle, BindingLifecycle::Created { .. }))
+                .count() as u64,
+            s.bindings_created,
+            "seed {seed}"
         );
     }
 

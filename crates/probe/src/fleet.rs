@@ -59,9 +59,10 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hgw_core::telemetry::{flight_dump_dir, telemetry_enabled_from_env};
+use hgw_core::telemetry::{flight_dump_dir, telemetry_enabled_from_env, Histogram};
 use hgw_core::{
-    CountingObserver, DropCounts, FramePool, HistogramSummary, SpanTimeline, TelemetryConfig,
+    CountingObserver, DropCounts, FramePool, HistogramSummary, LifecycleCounts, SpanTimeline,
+    TelemetryConfig,
 };
 use hgw_devices::DeviceProfile;
 use hgw_gateway::Gateway;
@@ -158,6 +159,16 @@ pub struct DeviceRunMetrics {
     pub nat_bindings_expired: u64,
     /// High-water mark of simultaneously live NAT bindings.
     pub nat_bindings_peak: usize,
+    /// Binding-lifecycle events by kind, as seen by the attached observer.
+    /// All zero unless the run had [`FleetRunner::lifecycle`] on (lifecycle
+    /// tracing is enabled after bring-up, alongside the observer).
+    pub nat_lifecycle: LifecycleCounts,
+    /// Distribution of live-binding occupancy samples over the run (the
+    /// NAT table logs a sample at every occupancy change). Deterministic
+    /// and tracing-independent.
+    pub nat_occupancy: Histogram,
+    /// Virtual-time seconds until the first capacity refusal, if any.
+    pub nat_first_refusal_secs: Option<f64>,
     /// Per-packet one-way delay distribution (link enqueue → delivery), in
     /// nanoseconds. `Some` iff the run had [`FleetRunner::telemetry`] on.
     pub delay_one_way: Option<HistogramSummary>,
@@ -174,6 +185,64 @@ impl DeviceRunMetrics {
     /// sequential-vs-parallel equivalence tests compare.
     pub fn deterministic(&self) -> DeviceRunMetrics {
         DeviceRunMetrics { wall_ms: 0.0, events_per_sec: 0.0, ..self.clone() }
+    }
+}
+
+/// Streaming fleet-wide aggregate of NAT binding-lifecycle activity — the
+/// fold target behind the run manifest's `binding_lifecycle` block.
+///
+/// Designed for [`FleetRunner::run_fold`]: `record` one device at a time
+/// into a per-worker accumulator, then [`LifecycleFleetSummary::merge`] the
+/// accumulators. Both are commutative and associative over devices (sums,
+/// counts, min, and [`Histogram::merge`]), so the aggregate is bit-identical
+/// across [`Parallelism`] modes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LifecycleFleetSummary {
+    /// Devices folded in.
+    pub devices: usize,
+    /// Devices that produced at least one lifecycle event.
+    pub traced_devices: usize,
+    /// Fleet-wide event totals by kind.
+    pub counts: LifecycleCounts,
+    /// Per-device binding churn in events/minute (created + expired),
+    /// rounded to the nearest integer.
+    pub churn_per_min: Histogram,
+    /// Pooled live-binding occupancy samples across every device.
+    pub occupancy: Histogram,
+    /// Per-device port-exhaustion onset in whole virtual seconds (devices
+    /// that refused at least one flow only).
+    pub refusal_onset_secs: Histogram,
+    /// Devices that hit at least one capacity refusal.
+    pub exhausted_devices: usize,
+}
+
+impl LifecycleFleetSummary {
+    /// Folds one completed device in. `churn_per_min` is the device's
+    /// binding churn rate (the household workload reports it directly;
+    /// other probes can derive it from created + expired over duration).
+    pub fn record(&mut self, metrics: &DeviceRunMetrics, churn_per_min: f64) {
+        self.devices += 1;
+        if metrics.nat_lifecycle.total() > 0 {
+            self.traced_devices += 1;
+        }
+        self.counts.merge(&metrics.nat_lifecycle);
+        self.churn_per_min.record(churn_per_min.round().max(0.0) as u64);
+        self.occupancy.merge(&metrics.nat_occupancy);
+        if let Some(onset) = metrics.nat_first_refusal_secs {
+            self.exhausted_devices += 1;
+            self.refusal_onset_secs.record(onset.max(0.0) as u64);
+        }
+    }
+
+    /// Merges another accumulator in (order-independent).
+    pub fn merge(&mut self, other: &LifecycleFleetSummary) {
+        self.devices += other.devices;
+        self.traced_devices += other.traced_devices;
+        self.counts.merge(&other.counts);
+        self.churn_per_min.merge(&other.churn_per_min);
+        self.occupancy.merge(&other.occupancy);
+        self.refusal_onset_secs.merge(&other.refusal_onset_secs);
+        self.exhausted_devices += other.exhausted_devices;
     }
 }
 
@@ -419,6 +488,7 @@ pub struct FleetRunner<'d> {
     hosts: usize,
     instrumented: bool,
     telemetry: bool,
+    lifecycle: bool,
     dump_dir: Option<&'d Path>,
 }
 
@@ -436,6 +506,7 @@ impl<'d> FleetRunner<'d> {
             hosts: 1,
             instrumented: false,
             telemetry: telemetry_enabled_from_env(),
+            lifecycle: false,
             dump_dir: None,
         }
     }
@@ -496,6 +567,19 @@ impl<'d> FleetRunner<'d> {
     /// — probe results and deterministic counters are unchanged.
     pub fn telemetry(mut self, on: bool) -> FleetRunner<'d> {
         self.telemetry = on;
+        self
+    }
+
+    /// Enables NAT binding-lifecycle tracing on every device's gateway
+    /// (after bring-up, alongside the observer). Traced events flow
+    /// through the simulator's trace stream into the attached
+    /// [`CountingObserver`] and, under [`FleetRunner::telemetry`], the
+    /// lifecycle ring and flight recorder. Tracing is a pure sink: probe
+    /// results and every deterministic counter except
+    /// [`DeviceRunMetrics::nat_lifecycle`] (and the observer's raw
+    /// `trace_events` total) are unchanged.
+    pub fn lifecycle(mut self, on: bool) -> FleetRunner<'d> {
+        self.lifecycle = on;
         self
     }
 
@@ -873,6 +957,9 @@ impl<'d> FleetRunner<'d> {
             if self.instrumented {
                 tb.sim.attach_observer(Box::new(CountingObserver::new()));
             }
+            if self.lifecycle {
+                tb.topo.enable_lifecycle_tracing();
+            }
             tb
         }));
         let mut tb = match brought_up {
@@ -971,7 +1058,12 @@ fn harvest_metrics(
         .as_any()
         .downcast_ref::<CountingObserver>()
         .ok_or_else(|| FleetError::ObserverMismatch { tag: tag.to_string() })?;
-    let nat = tb.sim.node_ref::<Gateway>(tb.gateway).nat_stats();
+    let gateway = tb.sim.node_ref::<Gateway>(tb.gateway);
+    let nat = gateway.nat_stats();
+    let mut nat_occupancy = Histogram::new();
+    for &(_, live) in gateway.nat_table().occupancy_log() {
+        nat_occupancy.record(live as u64);
+    }
     Ok(DeviceRunMetrics {
         wall_ms,
         events: stats.events,
@@ -982,6 +1074,9 @@ fn harvest_metrics(
         nat_bindings_created: nat.bindings_created,
         nat_bindings_expired: nat.bindings_expired,
         nat_bindings_peak: nat.peak_bindings,
+        nat_lifecycle: counts.lifecycle,
+        nat_occupancy,
+        nat_first_refusal_secs: nat.first_refusal_at.map(|t| t.as_secs_f64()),
         ..DeviceRunMetrics::default()
     })
 }
@@ -1165,6 +1260,95 @@ mod tests {
                     .collect()
             };
         assert_eq!(strip(plain), strip(with_t), "telemetry must be a pure sink");
+    }
+
+    /// A probe that drives NATed flows (the DNS probe terminates at the
+    /// gateway's proxy, so it never touches the binding table).
+    fn nat_probe(tb: &mut Testbed, _: &DeviceProfile) -> u64 {
+        let cfg = crate::household::WorkloadConfig {
+            flows_per_host: 2,
+            duration: hgw_core::Duration::from_secs(10),
+            ..Default::default()
+        };
+        let r = crate::household::measure_household(tb, &cfg);
+        r.nat.bindings_created
+    }
+
+    #[test]
+    fn lifecycle_fleet_traces_bindings_and_stays_pure() {
+        use hgw_core::BindingLifecycle;
+        let devices = all_devices();
+        let runner = FleetRunner::new(&devices[..2])
+            .seed(42)
+            .parallelism(Parallelism::Sequential)
+            .instrumented(true)
+            .telemetry(false);
+        let plain = runner.run(nat_probe).unwrap().into_instrumented_results().unwrap();
+        let traced =
+            runner.lifecycle(true).run(nat_probe).unwrap().into_instrumented_results().unwrap();
+        for ((t0, r0, m0), (t1, r1, m1)) in plain.iter().zip(&traced) {
+            assert_eq!((t0, r0), (t1, r1), "lifecycle tracing must not change probe results");
+            assert_eq!(m0.nat_lifecycle.total(), 0, "{t0}: events leaked without tracing");
+            assert!(m1.nat_lifecycle.total() > 0, "{t1}: no lifecycle events with tracing on");
+            // The DNS probe creates bindings after the observer attaches,
+            // so the observer's created count matches the NAT's own total.
+            assert_eq!(
+                m1.nat_lifecycle.by(BindingLifecycle::Created { port_preserved: false }),
+                m1.nat_bindings_created,
+                "{t1}"
+            );
+            // Everything deterministic except the lifecycle counters (and
+            // the raw trace-event total they ride in on) is bit-identical.
+            let strip = |m: &DeviceRunMetrics| {
+                let mut m = m.deterministic();
+                m.trace_events = 0;
+                m.nat_lifecycle = LifecycleCounts::ZERO;
+                m
+            };
+            assert_eq!(strip(m0), strip(m1), "{t0}: tracing must be a pure sink");
+        }
+    }
+
+    #[test]
+    fn lifecycle_fleet_summary_folds_and_merges() {
+        let devices = all_devices();
+        let runner = FleetRunner::new(&devices[..4])
+            .seed(7)
+            .parallelism(Parallelism::Sequential)
+            .instrumented(true)
+            .lifecycle(true);
+        let folded = runner
+            .run_fold(
+                nat_probe,
+                LifecycleFleetSummary::default,
+                |acc, sample| {
+                    let m = sample.metrics.as_ref().expect("instrumented");
+                    acc.record(m, 0.0);
+                },
+                |acc, other| acc.merge(&other),
+            )
+            .unwrap();
+        assert!(folded.failures.is_empty());
+        let seq = folded.aggregate;
+        assert_eq!(seq.devices, 4);
+        assert_eq!(seq.traced_devices, 4);
+        assert!(seq.counts.total() > 0);
+        assert_eq!(seq.churn_per_min.count(), 4);
+        // The same campaign under parallel workers folds to the same
+        // aggregate: record/merge are commutative and associative.
+        let par = runner
+            .parallelism(Parallelism::Fixed(2))
+            .run_fold(
+                nat_probe,
+                LifecycleFleetSummary::default,
+                |acc, sample| {
+                    let m = sample.metrics.as_ref().expect("instrumented");
+                    acc.record(m, 0.0);
+                },
+                |acc, other| acc.merge(&other),
+            )
+            .unwrap();
+        assert_eq!(seq, par.aggregate, "fold aggregate must be schedule-independent");
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use std::collections::HashMap;
 use std::net::SocketAddrV4;
 
-use hgw_core::{Duration, Histogram, Instant, SimRng};
+use hgw_core::{
+    BindingLifecycle, Duration, EventLog, FlowId, Histogram, Instant, SimRng, TraceEvent,
+};
 use hgw_gateway::{Gateway, NatStats};
 use hgw_stack::host::{ListenerApp, TcpHandle, UdpHandle};
 use hgw_testbed::{HostId, Testbed};
@@ -593,6 +595,70 @@ pub fn measure_household(tb: &mut Testbed, cfg: &WorkloadConfig) -> HouseholdRep
     report_out
 }
 
+/// One NAT flow's complete binding history from a traced run: every
+/// lifecycle event the gateway emitted for that flow, in causal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowBindingHistory {
+    /// Deterministic flow identity (see [`FlowId`]).
+    pub flow: FlowId,
+    /// IP protocol number (17 UDP, 6 TCP, 1 ICMP query).
+    pub proto: u8,
+    /// External port of the binding (0 when the flow was only refused).
+    pub external_port: u16,
+    /// Timestamped lifecycle steps in emission order.
+    pub events: Vec<(Instant, BindingLifecycle)>,
+}
+
+/// Groups the [`TraceEvent::Binding`] events of a recorded run into
+/// per-flow histories, in first-seen flow order. Non-binding events are
+/// ignored, so the log may carry a whole run's trace stream.
+pub fn flow_binding_histories(log: &EventLog) -> Vec<FlowBindingHistory> {
+    let mut flows: Vec<FlowBindingHistory> = Vec::new();
+    let mut index: HashMap<FlowId, usize> = HashMap::new();
+    for (at, _node, ev) in log.events() {
+        if let TraceEvent::Binding { flow, proto, external_port, lifecycle } = ev {
+            let i = *index.entry(*flow).or_insert_with(|| {
+                flows.push(FlowBindingHistory {
+                    flow: *flow,
+                    proto: *proto,
+                    external_port: *external_port,
+                    events: Vec::new(),
+                });
+                flows.len() - 1
+            });
+            // A refusal carries port 0; backfill once the flow gets a
+            // real binding (port-preserving retry after quarantine).
+            if flows[i].external_port == 0 {
+                flows[i].external_port = *external_port;
+            }
+            flows[i].events.push((*at, *lifecycle));
+        }
+    }
+    flows
+}
+
+/// [`measure_household`] with binding-lifecycle tracing on: enables
+/// tracing on the gateway, records the run's lifecycle stream through an
+/// [`EventLog`] observer, and returns the report plus per-flow binding
+/// histories.
+///
+/// The report is bit-identical to an untraced run's (pinned by tests) —
+/// tracing is a pure sink. This helper occupies the simulator's single
+/// observer slot for the run, so don't call it inside an instrumented
+/// fleet campaign; use
+/// [`FleetRunner::lifecycle`](crate::fleet::FleetRunner::lifecycle) there.
+pub fn measure_household_traced(
+    tb: &mut Testbed,
+    cfg: &WorkloadConfig,
+) -> (HouseholdReport, Vec<FlowBindingHistory>) {
+    tb.topo.enable_lifecycle_tracing();
+    tb.topo.sim.attach_observer(Box::new(EventLog::new()));
+    let report = measure_household(tb, cfg);
+    let log = tb.topo.sim.detach_observer().expect("household trace observer present");
+    let log = log.as_any().downcast_ref::<EventLog>().expect("household observer is an EventLog");
+    (report, flow_binding_histories(log))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,6 +674,57 @@ mod tests {
             keepalive_interval: Duration::from_secs(2),
             ..WorkloadConfig::default()
         }
+    }
+
+    #[test]
+    fn traced_household_is_bit_identical_and_reports_flow_histories() {
+        let mk =
+            || Testbed::builder("hh-trace", GatewayPolicy::well_behaved()).seed(5).hosts(3).build();
+        let plain = measure_household(&mut mk(), &quick_cfg());
+        let (traced, flows) = measure_household_traced(&mut mk(), &quick_cfg());
+        assert_eq!(plain, traced, "lifecycle tracing must not change the household report");
+
+        assert!(!flows.is_empty(), "a traced household run must see NAT flows");
+        let mut created = 0u64;
+        let mut refreshed = 0u64;
+        for f in &flows {
+            assert!(!f.events.is_empty());
+            assert!(
+                matches!(
+                    f.events[0].1,
+                    BindingLifecycle::Created { .. } | BindingLifecycle::Refused { .. }
+                ),
+                "a flow's history must start with its binding's creation or refusal"
+            );
+            for w in f.events.windows(2) {
+                assert!(w[0].0 <= w[1].0, "history timestamps must be causally ordered");
+            }
+            for (_, l) in &f.events {
+                match l {
+                    BindingLifecycle::Created { .. } => created += 1,
+                    BindingLifecycle::Refreshed => refreshed += 1,
+                    _ => {}
+                }
+            }
+        }
+        // The event stream reconciles with the NAT's own counters.
+        assert_eq!(created, traced.nat.bindings_created);
+        assert!(refreshed >= traced.nat.bindings_refreshed);
+    }
+
+    #[test]
+    fn traced_household_replays_bit_identically() {
+        let run = || {
+            let mut tb = Testbed::builder("hh-trace", GatewayPolicy::well_behaved())
+                .seed(9)
+                .hosts(2)
+                .build();
+            measure_household_traced(&mut tb, &quick_cfg())
+        };
+        let (r1, f1) = run();
+        let (r2, f2) = run();
+        assert_eq!(r1, r2, "traced runs must replay bit-identically");
+        assert_eq!(f1, f2, "flow histories must replay bit-identically");
     }
 
     #[test]

@@ -348,6 +348,15 @@ impl Topology {
         self.by_kind(&[Kind::Gateway])
     }
 
+    /// Turns on NAT binding-lifecycle tracing on every gateway in the
+    /// topology (see [`Gateway::enable_lifecycle_tracing`]). Pure
+    /// observability: traced runs stay bit-identical to untraced ones.
+    pub fn enable_lifecycle_tracing(&mut self) {
+        for id in self.gateway_nodes() {
+            self.sim.with_node::<Gateway, _>(id, |g, _| g.enable_lifecycle_tracing());
+        }
+    }
+
     fn by_kind(&self, kinds: &[Kind]) -> Vec<NodeId> {
         (0..self.ids.len())
             .filter(|&i| kinds.contains(&self.kinds[i]))

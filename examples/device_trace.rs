@@ -91,6 +91,11 @@ fn main() {
                 "binding created on :{external_port}{}",
                 if *port_preserved { " (port preserved)" } else { "" }
             ),
+            TraceEvent::Binding { flow, external_port, lifecycle, .. } => format!(
+                "binding {} on :{external_port} (flow {:#018x})",
+                lifecycle.kind_name(),
+                flow.0
+            ),
         };
         println!("  {:>12.6}s  node {:>2}  {desc}", at.as_secs_f64(), node.0);
     }
